@@ -1,0 +1,95 @@
+//! Compiler analyses that feed the DySel runtime (§3.4 of the paper).
+//!
+//! * [`safe_point`] — normalizes profiling work-group counts across kernel
+//!   variants with differing work-assignment factors (tiling, coarsening)
+//!   to the least common multiple, then scales the profiling workload to a
+//!   multiple of the device's execution units.
+//! * [`uniform_workload`] — detects work-group-varying loop bounds and
+//!   early exits, which make fully-productive profiling unfair.
+//! * [`side_effect`] — detects global atomics / overlapping outputs, which
+//!   force swap-based profiling for correctness.
+//! * [`infer_mode`] — combines the two into a conservative
+//!   [`ProfilingMode`] recommendation; the runtime lets programmers
+//!   override it, exactly as the paper's interface does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod safe_point;
+mod side_effect;
+mod uniform;
+
+pub use safe_point::{safe_point, SafePointPlan};
+pub use side_effect::{side_effect, SideEffectReport};
+pub use uniform::{uniform_workload, UniformityReport};
+
+use dysel_kernel::{ProfilingMode, VariantMeta};
+
+/// Conservatively infers the profiling mode for a variant set (§2.3):
+/// any side effects ⇒ swap-based; any irregularity ⇒ hybrid-based;
+/// otherwise fully-productive.
+///
+/// # Example
+///
+/// ```
+/// use dysel_analysis::infer_mode;
+/// use dysel_kernel::{KernelIr, ProfilingMode, VariantMeta};
+///
+/// let regular = VariantMeta::new("a", KernelIr::regular(vec![0]));
+/// assert_eq!(infer_mode(&[regular.clone()]), ProfilingMode::FullyProductive);
+///
+/// let atomic = VariantMeta::new("b", KernelIr::regular(vec![0]).with_atomics());
+/// assert_eq!(infer_mode(&[regular, atomic]), ProfilingMode::SwapPartial);
+/// ```
+pub fn infer_mode(variants: &[VariantMeta]) -> ProfilingMode {
+    let any_side_effect = variants.iter().any(|v| side_effect(&v.ir).forces_swap());
+    if any_side_effect {
+        return ProfilingMode::SwapPartial;
+    }
+    let any_irregular = variants.iter().any(|v| !uniform_workload(&v.ir).is_uniform);
+    if any_irregular {
+        ProfilingMode::HybridPartial
+    } else {
+        ProfilingMode::FullyProductive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysel_kernel::{KernelIr, LoopBound, LoopIr, LoopKind};
+
+    fn meta(ir: KernelIr) -> VariantMeta {
+        VariantMeta::new("m", ir)
+    }
+
+    #[test]
+    fn regular_set_is_fully_productive() {
+        let v = vec![meta(KernelIr::regular(vec![0])); 3];
+        assert_eq!(infer_mode(&v), ProfilingMode::FullyProductive);
+    }
+
+    #[test]
+    fn one_irregular_variant_forces_hybrid() {
+        let irregular = KernelIr::regular(vec![0]).with_loops(vec![LoopIr::new(
+            LoopKind::Kernel,
+            LoopBound::DataDependent,
+        )]);
+        let v = vec![meta(KernelIr::regular(vec![0])), meta(irregular)];
+        assert_eq!(infer_mode(&v), ProfilingMode::HybridPartial);
+    }
+
+    #[test]
+    fn side_effects_dominate_irregularity() {
+        let both = KernelIr::regular(vec![0])
+            .with_loops(vec![LoopIr::new(LoopKind::Kernel, LoopBound::DataDependent)])
+            .with_atomics();
+        assert_eq!(infer_mode(&[meta(both)]), ProfilingMode::SwapPartial);
+    }
+
+    #[test]
+    fn overlapping_outputs_force_swap() {
+        let overlap = KernelIr::regular(vec![0]).with_overlapping_outputs();
+        assert_eq!(infer_mode(&[meta(overlap)]), ProfilingMode::SwapPartial);
+    }
+}

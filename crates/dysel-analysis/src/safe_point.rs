@@ -1,0 +1,161 @@
+//! Safe point analysis: fair profiling work assignment across variants.
+
+/// Greatest common divisor.
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Least common multiple (saturating).
+fn lcm(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        (a / gcd(a, b)).saturating_mul(b)
+    }
+}
+
+/// The profiling work assignment computed by safe point analysis.
+///
+/// Every variant profiles the same number of *workload units*
+/// ([`SafePointPlan::slice_units`]), so their measured times are directly
+/// comparable throughputs; a variant with work-assignment factor `w` runs
+/// `slice_units / w` work-groups for that slice (the paper's 2-vs-3
+/// work-group example of Fig. 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafePointPlan {
+    /// LCM of the variants' work-assignment factors.
+    pub lcm: u64,
+    /// Scale applied so each profiling launch can occupy every execution
+    /// unit ("multiple of the number of CPU cores or GPU SMs", §3.4).
+    pub scale: u64,
+    /// Units each variant profiles: `lcm * scale`.
+    pub slice_units: u64,
+    /// Work-groups each variant runs for its slice (`slice_units / wa_i`).
+    pub groups: Vec<u64>,
+}
+
+/// Computes the profiling work assignment.
+///
+/// `distinct_slices` is how many *disjoint* slices the profiling phase
+/// consumes: `K` for fully-productive profiling (each variant profiles its
+/// own slice), `1` for the partial-productive modes (all variants share a
+/// slice). Returns `None` when the workload is too small to grant every
+/// variant a hardware-filling slice — the caller should then skip
+/// profiling (DySel deactivates profiling for small workloads, §2.1).
+///
+/// # Example
+///
+/// ```
+/// use dysel_analysis::safe_point;
+/// // The paper's Fig. 3 ratio: variants with factors 3 and 2 profile 2 and
+/// // 3 work-groups respectively (scaled here to fill a 4-unit device).
+/// let plan = safe_point(&[3, 2], 4, 10_000, 2).unwrap();
+/// assert_eq!(plan.lcm, 6);
+/// assert_eq!(plan.groups[0] * 3, plan.groups[1] * 2);
+/// // Together the profiling launches fill the 4-unit device.
+/// assert!(plan.groups.iter().sum::<u64>() >= 4);
+/// ```
+pub fn safe_point(
+    wa_factors: &[u32],
+    device_units: u32,
+    total_units: u64,
+    distinct_slices: u64,
+) -> Option<SafePointPlan> {
+    if wa_factors.is_empty() || wa_factors.contains(&0) || device_units == 0 {
+        return None;
+    }
+    let l = wa_factors
+        .iter()
+        .fold(1u64, |acc, &w| lcm(acc, u64::from(w)));
+    // Per-variant groups at scale 1: LCM / wa_i (the paper's Fig. 3 ratio).
+    let base_groups: u64 = wa_factors.iter().map(|&w| l / u64::from(w)).sum();
+    // "...multiply the number returned from safe point analysis by a
+    // constant to make the total workload become a multiple of the number
+    // of CPU cores or GPU SMs" (§3.4): scale so the *combined* profiling
+    // launches can occupy every execution unit.
+    let mut scale = u64::from(device_units).div_ceil(base_groups).max(1);
+    // Shrink if the workload cannot afford the slices; profiling must leave
+    // the plan feasible (slices fit the workload).
+    while scale > 1 && l * scale * distinct_slices > total_units {
+        scale -= 1;
+    }
+    let slice_units = l * scale;
+    if slice_units * distinct_slices > total_units {
+        return None;
+    }
+    let groups = wa_factors
+        .iter()
+        .map(|&w| slice_units / u64::from(w))
+        .collect();
+    Some(SafePointPlan {
+        lcm: l,
+        scale,
+        slice_units,
+        groups,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcm_normalization_matches_fig3() {
+        // Factors 3:2 -> 2 and 3 groups per LCM slice.
+        let plan = safe_point(&[3, 2], 1, 1_000, 2).unwrap();
+        assert_eq!(plan.lcm, 6);
+        assert_eq!(plan.slice_units % 6, 0);
+        // Equal units per variant.
+        assert_eq!(plan.groups[0] * 3, plan.slice_units);
+        assert_eq!(plan.groups[1] * 2, plan.slice_units);
+    }
+
+    #[test]
+    fn scales_to_fill_device() {
+        let plan = safe_point(&[1, 4], 13, 100_000, 2).unwrap();
+        // The combined profiling launches can occupy all 13 units.
+        let total: u64 = plan.groups.iter().sum();
+        assert!(total >= 13, "{plan:?}");
+        // And the LCM ratio is preserved.
+        assert_eq!(plan.groups[0], plan.groups[1] * 4);
+    }
+
+    #[test]
+    fn small_workload_is_rejected() {
+        // Two slices cannot fit in one unit of workload.
+        assert!(safe_point(&[1, 1], 4, 1, 2).is_none());
+        // One coarse work-group (factor 64) does not fit 63 units.
+        assert!(safe_point(&[64], 13, 63, 1).is_none());
+        // Tiny-but-feasible workloads still get a degenerate plan: the
+        // runtime's work-group-count threshold is what deactivates
+        // profiling for small launches (§2.1), not safe point analysis.
+        let plan = safe_point(&[1, 1], 4, 3, 2).unwrap();
+        assert_eq!(plan.slice_units, 1);
+    }
+
+    #[test]
+    fn shrinks_scale_for_modest_workloads() {
+        // Big device, modest workload: the plan shrinks but stays feasible.
+        let plan = safe_point(&[1, 2], 16, 40, 2).unwrap();
+        assert!(plan.slice_units * 2 <= 40);
+        assert!(plan.slice_units >= 2);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(safe_point(&[], 4, 100, 1).is_none());
+        assert!(safe_point(&[0], 4, 100, 1).is_none());
+        assert!(safe_point(&[1], 0, 100, 1).is_none());
+    }
+
+    #[test]
+    fn identical_factors_profile_identical_groups() {
+        let plan = safe_point(&[4, 4, 4], 4, 10_000, 3).unwrap();
+        assert_eq!(plan.groups[0], plan.groups[1]);
+        assert_eq!(plan.groups[1], plan.groups[2]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Side effect analysis (§3.4).
+
+use dysel_kernel::KernelIr;
+
+/// Result of side effect analysis on one kernel IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SideEffectReport {
+    /// Global atomic operations were detected.
+    pub has_global_atomics: bool,
+    /// Work-groups may write overlapping / variable output ranges.
+    pub overlapping_outputs: bool,
+}
+
+impl SideEffectReport {
+    /// Whether correctness forces swap-based partial-productive profiling.
+    pub fn forces_swap(self) -> bool {
+        self.has_global_atomics || self.overlapping_outputs
+    }
+}
+
+/// Detects output overlap hazards.
+///
+/// As in the paper, the analysis assumes the original program is
+/// data-race-free / deterministic and therefore "only detects global atomic
+/// operations" (plus declared output overlap). It is conservative: an
+/// atomic does not imply actual cross-work-group contention, so the runtime
+/// lets programmers override the decision.
+///
+/// # Example
+///
+/// ```
+/// use dysel_analysis::side_effect;
+/// use dysel_kernel::KernelIr;
+///
+/// let histogram_like = KernelIr::regular(vec![0]).with_atomics();
+/// assert!(side_effect(&histogram_like).forces_swap());
+/// ```
+pub fn side_effect(ir: &KernelIr) -> SideEffectReport {
+    SideEffectReport {
+        has_global_atomics: ir.has_global_atomics,
+        overlapping_outputs: !ir.output_disjoint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_kernel_is_safe() {
+        let r = side_effect(&KernelIr::regular(vec![0]));
+        assert!(!r.forces_swap());
+    }
+
+    #[test]
+    fn atomics_force_swap() {
+        let r = side_effect(&KernelIr::regular(vec![0]).with_atomics());
+        assert!(r.has_global_atomics);
+        assert!(r.forces_swap());
+    }
+
+    #[test]
+    fn overlap_forces_swap() {
+        let r = side_effect(&KernelIr::regular(vec![0]).with_overlapping_outputs());
+        assert!(r.overlapping_outputs);
+        assert!(r.forces_swap());
+    }
+}

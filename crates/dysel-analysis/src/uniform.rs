@@ -1,0 +1,93 @@
+//! Uniform workload analysis (§3.4).
+
+use dysel_kernel::{KernelIr, LoopBound};
+
+/// Result of uniform workload analysis on one kernel IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniformityReport {
+    /// Whether every loop bound is uniform across work-groups and there are
+    /// no early exits — i.e. fully-productive profiling compares fairly.
+    pub is_uniform: bool,
+    /// Loop indices (into `ir.loops`) with data-dependent bounds.
+    pub nonuniform_loops: Vec<usize>,
+    /// Whether an early break / early kernel termination was detected.
+    pub has_early_exit: bool,
+}
+
+/// Determines whether loop bounds vary across work-groups.
+///
+/// The analysis is conservative, as the paper notes: a CSR matrix whose
+/// rows all have equal length still has a *data-dependent* loop bound and
+/// is flagged non-uniform ("our analysis will flag it as a non-uniform
+/// workload since the loop bound is data-dependent", §3.4). DySel lets the
+/// programmer override the resulting mode choice.
+///
+/// # Example
+///
+/// ```
+/// use dysel_analysis::uniform_workload;
+/// use dysel_kernel::{KernelIr, LoopBound, LoopIr, LoopKind};
+///
+/// let csr_like = KernelIr::regular(vec![0]).with_loops(vec![
+///     LoopIr::new(LoopKind::WorkItem(0), LoopBound::UniformRuntime),
+///     LoopIr::new(LoopKind::Kernel, LoopBound::DataDependent),
+/// ]);
+/// assert!(!uniform_workload(&csr_like).is_uniform);
+/// ```
+pub fn uniform_workload(ir: &KernelIr) -> UniformityReport {
+    let nonuniform_loops: Vec<usize> = ir
+        .loops
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| matches!(l.bound, LoopBound::DataDependent))
+        .map(|(i, _)| i)
+        .collect();
+    let is_uniform = nonuniform_loops.is_empty() && !ir.early_exit;
+    UniformityReport {
+        is_uniform,
+        nonuniform_loops,
+        has_early_exit: ir.early_exit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysel_kernel::{LoopIr, LoopKind};
+
+    #[test]
+    fn constant_and_runtime_bounds_are_uniform() {
+        let ir = KernelIr::regular(vec![0]).with_loops(vec![
+            LoopIr::new(LoopKind::WorkItem(0), LoopBound::Const(64)),
+            LoopIr::new(LoopKind::Kernel, LoopBound::UniformRuntime),
+        ]);
+        let r = uniform_workload(&ir);
+        assert!(r.is_uniform);
+        assert!(r.nonuniform_loops.is_empty());
+    }
+
+    #[test]
+    fn data_dependent_bound_is_flagged_with_index() {
+        let ir = KernelIr::regular(vec![0]).with_loops(vec![
+            LoopIr::new(LoopKind::WorkItem(0), LoopBound::Const(64)),
+            LoopIr::new(LoopKind::Kernel, LoopBound::DataDependent),
+        ]);
+        let r = uniform_workload(&ir);
+        assert!(!r.is_uniform);
+        assert_eq!(r.nonuniform_loops, vec![1]);
+    }
+
+    #[test]
+    fn early_exit_alone_breaks_uniformity() {
+        let ir = KernelIr::regular(vec![0]).with_early_exit();
+        let r = uniform_workload(&ir);
+        assert!(!r.is_uniform);
+        assert!(r.has_early_exit);
+        assert!(r.nonuniform_loops.is_empty());
+    }
+
+    #[test]
+    fn empty_loop_nest_is_uniform() {
+        assert!(uniform_workload(&KernelIr::regular(vec![0])).is_uniform);
+    }
+}

@@ -1,0 +1,97 @@
+//! Locality-centric scheduling heuristic (Kim et al. [17] in the paper).
+//!
+//! LC statically ranks candidate work-item/kernel-loop schedules by the
+//! memory strides of their innermost loop: the schedule minimizing overall
+//! access stride is chosen unconditionally — which is exactly what goes
+//! wrong on inputs whose runtime distribution favours another schedule
+//! (the paper's `spmv-csr` diagonal-matrix case, §4.2 and §4.4).
+
+use dysel_kernel::{AccessPattern, KernelIr, Variant, VariantId};
+
+/// Penalty assigned to a data-dependent (indirect) access: the compiler
+/// cannot see its stride and assumes a poor one.
+pub const INDIRECT_PENALTY: i64 = 8;
+
+/// Stride score of one kernel IR: sum over access sites of the magnitude
+/// of the innermost-loop stride (elements), with [`INDIRECT_PENALTY`] for
+/// indirect accesses. Lower is predicted-faster.
+pub fn stride_score(ir: &KernelIr) -> i64 {
+    ir.accesses
+        .iter()
+        .map(|a| match &a.pattern {
+            AccessPattern::Affine(coeffs) => coeffs
+                .last()
+                .copied()
+                .unwrap_or(0)
+                .abs()
+                .min(INDIRECT_PENALTY * 16),
+            AccessPattern::Indirect => INDIRECT_PENALTY,
+        })
+        .sum()
+}
+
+/// Selects the schedule LC would compile: the variant with the minimum
+/// stride score (ties favour the earlier deposit).
+///
+/// # Panics
+///
+/// Panics on an empty variant set.
+///
+/// # Example
+///
+/// ```
+/// use dysel_baselines::lc_select;
+/// use dysel_workloads::sgemm;
+///
+/// let variants = sgemm::cpu_schedule_variants(64);
+/// let pick = lc_select(&variants);
+/// assert_eq!(variants[pick.0].name(), "lc-ikj"); // unit-stride innermost
+/// ```
+pub fn lc_select(variants: &[Variant]) -> VariantId {
+    assert!(!variants.is_empty(), "LC needs at least one candidate");
+    let best = variants
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, v)| stride_score(&v.meta.ir))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    VariantId(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysel_workloads::{sgemm, spmv_csr, stencil};
+
+    #[test]
+    fn lc_picks_unit_stride_sgemm_schedule() {
+        let variants = sgemm::cpu_schedule_variants(64);
+        let pick = lc_select(&variants);
+        assert_eq!(variants[pick.0].name(), "lc-ikj");
+    }
+
+    #[test]
+    fn lc_picks_x_inner_stencil_schedule() {
+        let variants = stencil::cpu_variants(32);
+        let pick = lc_select(&variants);
+        let name = variants[pick.0].name().to_owned();
+        assert!(name.ends_with('x'), "x-innermost expected, got {name}");
+    }
+
+    #[test]
+    fn lc_unconditionally_prefers_dfo_for_spmv() {
+        // The paper: "LC chooses to iterate in-kernel loops first (DFO) for
+        // both scalar and vector implementations and uses it
+        // unconditionally" — even when the diagonal input favours BFO.
+        let variants = spmv_csr::cpu_case4_variants(4096);
+        let pick = lc_select(&variants);
+        assert!(variants[pick.0].name().ends_with("dfo"));
+    }
+
+    #[test]
+    fn indirect_penalty_applies() {
+        use dysel_kernel::{AccessIr, KernelIr};
+        let ir = KernelIr::regular(vec![0]).with_accesses(vec![AccessIr::indirect_load(1)]);
+        assert_eq!(stride_score(&ir), INDIRECT_PENALTY);
+    }
+}

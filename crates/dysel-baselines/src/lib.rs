@@ -1,0 +1,30 @@
+//! Static selection baselines and exhaustive sweeps for the DySel
+//! reproduction.
+//!
+//! The paper compares DySel against state-of-the-art *static* decision
+//! procedures; this crate implements each comparator plus the oracle:
+//!
+//! * [`exhaustive_sweep`] — run every pure variant over the whole workload
+//!   (the **Oracle** / **Worst** bars of Figs. 8-11).
+//! * [`lc_select`] — locality-centric scheduling (Kim et al., ref. 17 in the paper): stride-minimizing
+//!   schedule choice (Case I).
+//! * [`porple_select`] — PORPLE-style model-driven data placement (Chen et al., ref. 7) with
+//!   per-GPU-generation parameters (Case II).
+//! * [`heuristic_select`] — rule-based placement (Jang et al., ref. 15; Case II).
+//! * [`intel_vec_select`] — Intel-OpenCL-style vectorization width choice
+//!   (Fig. 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lc;
+mod porple;
+mod rules;
+mod sweep;
+mod vecwidth;
+
+pub use lc::{lc_select, stride_score, INDIRECT_PENALTY};
+pub use porple::{porple_select, predicted_access_cost, predicted_variant_cost};
+pub use rules::{heuristic_select, rule_placement, CONST_CAPACITY};
+pub use sweep::{exhaustive_sweep, run_pure, SweepResult};
+pub use vecwidth::{intel_vec_select, is_divergent, width_of};

@@ -1,0 +1,107 @@
+//! Rule-based data placement (Jang et al. [15] in the paper).
+//!
+//! A pattern-matching heuristic with no cache model at all: read-only data
+//! that is reused goes to constant memory when it fits, large gathered
+//! data goes to texture, streams stay in global memory. Its blind spot is
+//! divergence: a 64 KiB `x` vector "fits" constant memory, but scattered
+//! warp reads serialize catastrophically there (the paper's 2.29x miss).
+
+use dysel_kernel::{AccessIr, AccessPattern, Args, Space, Variant, VariantId};
+
+/// Constant-memory capacity assumed by the rule (64 KiB, as on NVIDIA).
+pub const CONST_CAPACITY: u64 = 64 << 10;
+
+/// The placement the rule would assign to one read-only access site.
+pub fn rule_placement(access: &AccessIr, footprint: u64) -> Space {
+    match &access.pattern {
+        _ if access.lane_uniform => Space::Constant,
+        AccessPattern::Indirect => {
+            if footprint <= CONST_CAPACITY {
+                // "Reused, read-only and it fits" — the fatal rule.
+                Space::Constant
+            } else {
+                Space::Texture
+            }
+        }
+        AccessPattern::Affine(_) => Space::Global,
+    }
+}
+
+/// Selects the candidate whose placements agree most with the rule
+/// (read-only arguments only; ties favour the earlier deposit).
+///
+/// # Panics
+///
+/// Panics on an empty candidate set.
+pub fn heuristic_select(variants: &[Variant], args: &Args) -> VariantId {
+    assert!(!variants.is_empty(), "the heuristic needs candidates");
+    let score = |v: &Variant| -> usize {
+        v.meta
+            .ir
+            .accesses
+            .iter()
+            .filter(|a| !a.store)
+            .filter(|a| {
+                let footprint = args
+                    .buffer(a.arg)
+                    .map(|b| b.size_bytes())
+                    .unwrap_or(u64::MAX);
+                let desired = rule_placement(a, footprint);
+                let actual = v
+                    .meta
+                    .placements
+                    .get(a.arg)
+                    .copied()
+                    .flatten()
+                    .unwrap_or(a.space);
+                desired == actual
+            })
+            .count()
+    };
+    let best = variants
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, v)| (score(v), usize::MAX - i))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    VariantId(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysel_workloads::{particlefilter, spmv_csr, CsrMatrix};
+
+    #[test]
+    fn rule_sends_fitting_gathered_data_to_constant() {
+        // spmv's x is 64 KiB: the rule places it in constant memory — the
+        // worst possible choice on the actual device (2.29x, §4.2).
+        let m = CsrMatrix::random(2048, 16384, 0.01, 5);
+        let variants = spmv_csr::gpu_placement_variants(m.rows);
+        let args = spmv_csr::build_args(&m, 1);
+        let pick = heuristic_select(&variants, &args);
+        assert_eq!(variants[pick.0].name(), "heuristic");
+    }
+
+    #[test]
+    fn rule_is_right_for_particlefilter() {
+        // A big frame goes to texture, the small broadcast template to
+        // constant — which happens to be optimal (the paper: the heuristic
+        // generates the optimal version for particlefilter).
+        let shape = particlefilter::Shape {
+            particles: 1024,
+            window: 32,
+            frame: 1 << 16,
+        };
+        let variants = particlefilter::gpu_variants(shape);
+        let args = particlefilter::build_args(shape, 2);
+        let pick = heuristic_select(&variants, &args);
+        assert_eq!(variants[pick.0].name(), "heuristic");
+    }
+
+    #[test]
+    fn affine_streams_stay_in_global() {
+        let a = AccessIr::affine_load(0, vec![0, 1]);
+        assert_eq!(rule_placement(&a, 1 << 30), Space::Global);
+    }
+}

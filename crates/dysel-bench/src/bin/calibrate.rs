@@ -1,0 +1,105 @@
+//! Quick calibration probe: prints pure-variant sweep times for the key
+//! workload/device combinations so model constants can be sanity-checked
+//! against the paper's reported shapes.
+
+use dysel_baselines::exhaustive_sweep;
+use dysel_device::{CpuConfig, CpuDevice, Device, GpuConfig, GpuDevice};
+use dysel_workloads::{
+    cutcp, kmeans, particlefilter, sgemm, spmv_csr, spmv_jds, stencil, CsrMatrix, JdsMatrix,
+    Target, Workload,
+};
+
+fn cpu() -> Box<dyn Device> {
+    Box::new(CpuDevice::new(CpuConfig::noiseless()))
+}
+
+fn gpu() -> Box<dyn Device> {
+    Box::new(GpuDevice::new(GpuConfig::kepler_k20c().noiseless()))
+}
+
+fn show(label: &str, w: &Workload, target: Target, factory: fn() -> Box<dyn Device>) {
+    let r = exhaustive_sweep(w, target, factory);
+    let best = r.best().1;
+    print!("{label:40}");
+    for (id, t) in &r.times {
+        let name = w.variants(target)[id.0].name();
+        print!(" {name}={:.2}", t.ratio_over(best));
+    }
+    println!("  [spread {:.2}x]", r.spread());
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let small = std::env::args().any(|a| a == "--small");
+    let (nr, nc) = if small { (2048, 2048) } else { (16384, 16384) };
+
+    if which == "all" || which == "spmv" {
+        let random = CsrMatrix::random(nr, nc, 0.01, 42);
+        let diag = CsrMatrix::diagonal(if small { 65536 } else { 262144 });
+        let wr = spmv_csr::case4_workload("spmv-r", &random, 1);
+        let wd = spmv_csr::case4_workload("spmv-d", &diag, 1);
+        show("spmv-csr random GPU", &wr, Target::Gpu, gpu);
+        show("spmv-csr diagonal GPU", &wd, Target::Gpu, gpu);
+        show("spmv-csr random CPU", &wr, Target::Cpu, cpu);
+        show("spmv-csr diagonal CPU", &wd, Target::Cpu, cpu);
+        let wp = spmv_csr::placement_workload("spmv-place", &random, 1);
+        show("spmv-csr placements GPU", &wp, Target::Gpu, gpu);
+    }
+    if which == "all" || which == "jds" {
+        let jds = JdsMatrix::from_csr(&CsrMatrix::random(nr, nc, 0.01, 42));
+        let wj = spmv_jds::workload(&jds, 2);
+        show("spmv-jds GPU (4 variants)", &wj, Target::Gpu, gpu);
+        show("spmv-jds CPU (2 orders)", &wj, Target::Cpu, cpu);
+        let wv = spmv_jds::vector_workload(&jds, 2);
+        show("spmv-jds CPU vec widths", &wv, Target::Cpu, cpu);
+    }
+    if which == "all" || which == "sgemm" {
+        let n = if small { 128 } else { 256 };
+        let ws = sgemm::schedules_workload(n, 3);
+        show("sgemm CPU schedules", &ws, Target::Cpu, cpu);
+        let wm = sgemm::mixed_workload(n, 3);
+        show("sgemm CPU mixed", &wm, Target::Cpu, cpu);
+        show("sgemm GPU mixed", &wm, Target::Gpu, gpu);
+        let wv = sgemm::vector_workload(n, 3);
+        show("sgemm CPU vec widths", &wv, Target::Cpu, cpu);
+    }
+    if which == "all" || which == "stencil" {
+        let n = if small { 32 } else { 64 };
+        let w = stencil::workload(n, 4);
+        show("stencil CPU schedules", &w, Target::Cpu, cpu);
+        show("stencil GPU flavours", &w, Target::Gpu, gpu);
+    }
+    if which == "all" || which == "kmeans" {
+        let w = kmeans::workload(
+            kmeans::Shape {
+                n: if small { 4096 } else { 16384 },
+                d: 16,
+                k: 8,
+            },
+            5,
+        );
+        show("kmeans CPU schedules", &w, Target::Cpu, cpu);
+    }
+    if which == "all" || which == "cutcp" {
+        let w = cutcp::mixed_workload(
+            cutcp::Shape {
+                n: if small { 16 } else { 32 },
+                atoms: if small { 400 } else { 3000 },
+            },
+            6,
+        );
+        show("cutcp CPU (2 of 60)", &w, Target::Cpu, cpu);
+        show("cutcp GPU", &w, Target::Gpu, gpu);
+    }
+    if which == "all" || which == "pf" {
+        let w = particlefilter::workload(
+            particlefilter::Shape {
+                particles: if small { 4096 } else { 32768 },
+                window: 64,
+                frame: 1 << 16,
+            },
+            7,
+        );
+        show("particlefilter GPU placements", &w, Target::Gpu, gpu);
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments            # run everything, in paper order
+//! experiments fig8 fig9  # run specific experiments
+//! experiments --list     # list experiment ids
+//! ```
+
+use std::time::Instant;
+
+use dysel_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for (id, _) in experiments::all() {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        experiments::all().iter().map(|(n, _)| (*n).to_owned()).collect()
+    } else {
+        args
+    };
+    println!("DySel experiment harness (deterministic; seeds fixed)\n");
+    let t0 = Instant::now();
+    for id in &ids {
+        match experiments::by_id(id) {
+            Some(f) => {
+                let t = Instant::now();
+                let fig = f();
+                println!("{fig}   [{:.1}s]\n", t.elapsed().as_secs_f64());
+            }
+            None => eprintln!("unknown experiment {id:?}; try --list"),
+        }
+    }
+    println!("total: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,170 @@
+//! Figure rendering: labelled bars per workload row, as text tables.
+
+use std::fmt;
+
+/// One bar of a figure (e.g. `Sync = 1.03`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bar {
+    /// Bar label (scheme or variant name).
+    pub label: String,
+    /// Bar value (usually relative time over oracle; lower is better).
+    pub value: f64,
+}
+
+impl Bar {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, value: f64) -> Self {
+        Bar {
+            label: label.into(),
+            value,
+        }
+    }
+}
+
+/// One row of a figure: a workload and its bars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureRow {
+    /// Workload / input label.
+    pub workload: String,
+    /// Bars, in presentation order.
+    pub bars: Vec<Bar>,
+}
+
+/// A reproduced table or figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Identifier (e.g. `"fig8"`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the bar values mean.
+    pub metric: String,
+    /// Data rows.
+    pub rows: Vec<FigureRow>,
+    /// Free-form notes (substitutions, expected paper values).
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, metric: impl Into<String>) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            metric: metric.into(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, workload: impl Into<String>, bars: Vec<Bar>) {
+        self.rows.push(FigureRow {
+            workload: workload.into(),
+            bars,
+        });
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Appends a geometric-mean row over all current rows, bar-by-bar
+    /// (bars missing in some rows are skipped).
+    pub fn push_geomean(&mut self) {
+        if self.rows.is_empty() {
+            return;
+        }
+        let labels: Vec<String> = self.rows[0].bars.iter().map(|b| b.label.clone()).collect();
+        let mut bars = Vec::new();
+        for label in labels {
+            let vals: Vec<f64> = self
+                .rows
+                .iter()
+                .filter_map(|r| r.bars.iter().find(|b| b.label == label))
+                .map(|b| b.value)
+                .filter(|v| v.is_finite() && *v > 0.0)
+                .collect();
+            if !vals.is_empty() {
+                let g = (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp();
+                bars.push(Bar::new(label, g));
+            }
+        }
+        self.rows.push(FigureRow {
+            workload: "GeoMean".to_owned(),
+            bars,
+        });
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        writeln!(f, "   metric: {}", self.metric)?;
+        // Collect the union of bar labels in first-seen order.
+        let mut labels: Vec<&str> = Vec::new();
+        for r in &self.rows {
+            for b in &r.bars {
+                if !labels.contains(&b.label.as_str()) {
+                    labels.push(&b.label);
+                }
+            }
+        }
+        let wl_width = self
+            .rows
+            .iter()
+            .map(|r| r.workload.len())
+            .chain(["workload".len()])
+            .max()
+            .unwrap_or(8);
+        write!(f, "   {:wl_width$}", "workload")?;
+        for l in &labels {
+            write!(f, " | {l:>10}")?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            write!(f, "   {:wl_width$}", r.workload)?;
+            for l in &labels {
+                match r.bars.iter().find(|b| b.label == *l) {
+                    Some(b) => write!(f, " | {:>10.3}", b.value)?,
+                    None => write!(f, " | {:>10}", "-")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "   note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_all_bars_and_notes() {
+        let mut fig = Figure::new("figX", "demo", "relative time");
+        fig.push_row("w1", vec![Bar::new("Oracle", 1.0), Bar::new("Sync", 1.05)]);
+        fig.push_row("w2", vec![Bar::new("Oracle", 1.0), Bar::new("Worst", 3.0)]);
+        fig.note("hello");
+        let s = fig.to_string();
+        assert!(s.contains("Oracle"));
+        assert!(s.contains("Worst"));
+        assert!(s.contains("note: hello"));
+        assert!(s.contains("1.050"));
+    }
+
+    #[test]
+    fn geomean_is_geometric() {
+        let mut fig = Figure::new("g", "t", "m");
+        fig.push_row("a", vec![Bar::new("X", 1.0)]);
+        fig.push_row("b", vec![Bar::new("X", 4.0)]);
+        fig.push_geomean();
+        let gm = fig.rows.last().unwrap();
+        assert_eq!(gm.workload, "GeoMean");
+        assert!((gm.bars[0].value - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,286 @@
+//! Shared experiment machinery: device factories, the standard workload
+//! suite (paper §4.1 inputs, scaled to simulator-friendly sizes), and the
+//! oracle/DySel case runner behind Figs. 8-11.
+
+use dysel_baselines::{exhaustive_sweep, SweepResult};
+use dysel_core::{InitialSelection, LaunchOptions, LaunchReport, Runtime};
+use dysel_device::{CpuConfig, CpuDevice, Cycles, Device, GpuConfig, GpuDevice};
+use dysel_kernel::Orchestration;
+use dysel_workloads::{Target, Workload};
+
+/// Fresh default CPU device (4 cores, i7-3820-like, seeded noise).
+pub fn cpu_factory() -> Box<dyn Device> {
+    Box::new(CpuDevice::new(CpuConfig::default()))
+}
+
+/// Fresh default GPU device (Kepler K20c-like, seeded noise).
+pub fn gpu_factory() -> Box<dyn Device> {
+    Box::new(GpuDevice::new(GpuConfig::kepler_k20c()))
+}
+
+/// DySel execution times for the three orchestration bars of the figures.
+#[derive(Debug, Clone)]
+pub struct DyselTimes {
+    /// Synchronous flow.
+    pub sync: Cycles,
+    /// Asynchronous flow, best-variant initial selection.
+    pub async_best: Cycles,
+    /// Asynchronous flow, worst-variant initial selection.
+    pub async_worst: Cycles,
+    /// Launch report of the synchronous run (selection, overheads, ...).
+    pub sync_report: LaunchReport,
+    /// Launch report of the async-best run.
+    pub async_best_report: LaunchReport,
+}
+
+/// Everything the per-workload figures need: the pure-variant sweep and
+/// the DySel runs.
+#[derive(Debug)]
+pub struct CaseResult {
+    /// Pure-variant whole-workload times (oracle/worst/named bars).
+    pub sweep: SweepResult,
+    /// Variant names, in variant order.
+    pub names: Vec<String>,
+    /// DySel times.
+    pub dysel: DyselTimes,
+}
+
+impl CaseResult {
+    /// Relative time of a scheme over the oracle.
+    pub fn rel(&self, t: Cycles) -> f64 {
+        t.ratio_over(self.sweep.best().1)
+    }
+
+    /// Relative time of a named pure variant over the oracle.
+    pub fn rel_variant(&self, name: &str) -> f64 {
+        let idx = self
+            .names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("unknown variant {name}"));
+        self.sweep.times[idx].1.ratio_over(self.sweep.best().1)
+    }
+}
+
+/// Runs one DySel launch on a fresh device, verifying the output.
+pub fn run_dysel(
+    w: &Workload,
+    target: Target,
+    factory: &dyn Fn() -> Box<dyn Device>,
+    opts: &LaunchOptions,
+) -> LaunchReport {
+    let mut rt = Runtime::new(factory());
+    rt.add_kernels(&w.signature, w.variants(target).to_vec());
+    let mut args = w.fresh_args();
+    let report = rt
+        .launch(&w.signature, &mut args, w.total_units, opts)
+        .unwrap_or_else(|e| panic!("DySel launch of {} failed: {e}", w.name));
+    w.verify(&args)
+        .unwrap_or_else(|e| panic!("DySel output of {} is wrong: {e}", w.name));
+    report
+}
+
+/// Runs the full case: exhaustive sweep plus DySel under sync and async
+/// (best/worst initial) orchestrations.
+pub fn run_case(
+    w: &Workload,
+    target: Target,
+    factory: fn() -> Box<dyn Device>,
+) -> CaseResult {
+    let sweep = exhaustive_sweep(w, target, factory);
+    let names = w
+        .variants(target)
+        .iter()
+        .map(|v| v.name().to_owned())
+        .collect();
+    let (best, worst) = (sweep.best().0, sweep.worst().0);
+    let sync_report = run_dysel(
+        w,
+        target,
+        &factory,
+        &LaunchOptions::new().with_orchestration(Orchestration::Sync),
+    );
+    let async_best_report = run_dysel(
+        w,
+        target,
+        &factory,
+        &LaunchOptions::new().with_initial(InitialSelection::Index(best.0)),
+    );
+    let async_worst_report = run_dysel(
+        w,
+        target,
+        &factory,
+        &LaunchOptions::new().with_initial(InitialSelection::Index(worst.0)),
+    );
+    CaseResult {
+        sweep,
+        names,
+        dysel: DyselTimes {
+            sync: sync_report.total_time,
+            async_best: async_best_report.total_time,
+            async_worst: async_worst_report.total_time,
+            sync_report,
+            async_best_report,
+        },
+    }
+}
+
+/// The standard experiment inputs: the paper's §4.1 setup scaled to sizes
+/// the deterministic simulator sweeps in seconds.
+pub mod suite {
+    use dysel_workloads::{
+        cutcp, kmeans, particlefilter, sgemm, spmv_csr, spmv_jds, stencil, CsrMatrix, JdsMatrix,
+        Workload,
+    };
+
+    /// Rows/cols of the "random" sparse matrix (paper: 16k x 16k, 1%).
+    pub const SPMV_N: usize = 16384;
+    /// Rows of the diagonal matrix (paper: 2M; scaled 2x down).
+    pub const DIAG_N: usize = 1 << 20;
+    /// sgemm matrix edge.
+    pub const SGEMM_N: usize = 256;
+    /// stencil grid edge.
+    pub const STENCIL_N: usize = 96;
+    /// Master input seed.
+    pub const SEED: u64 = 42;
+
+    /// The SHOC random sparse matrix.
+    pub fn random_matrix() -> CsrMatrix {
+        CsrMatrix::random(SPMV_N, SPMV_N, 0.01, SEED)
+    }
+
+    /// The diagonal matrix of Case IV.
+    pub fn diagonal_matrix() -> CsrMatrix {
+        CsrMatrix::diagonal(DIAG_N)
+    }
+
+    /// spmv-csr with the Case IV variant grid, random input.
+    pub fn spmv_csr_random() -> Workload {
+        spmv_csr::case4_workload("spmv-csr(random)", &random_matrix(), SEED)
+    }
+
+    /// spmv-csr with the Case IV variant grid, diagonal input.
+    pub fn spmv_csr_diagonal() -> Workload {
+        spmv_csr::case4_workload("spmv-csr(diagonal)", &diagonal_matrix(), SEED)
+    }
+
+    /// spmv-csr with the Case I two-schedule CPU set, random input.
+    pub fn spmv_csr_sched_random() -> Workload {
+        let m = random_matrix();
+        spmv_csr::workload(
+            "spmv-csr(random)",
+            &m,
+            SEED,
+            spmv_csr::cpu_schedule_variants(m.rows),
+            spmv_csr::gpu_case4_variants(m.rows),
+        )
+    }
+
+    /// spmv-csr with the Case I two-schedule CPU set, diagonal input.
+    pub fn spmv_csr_sched_diagonal() -> Workload {
+        let m = diagonal_matrix();
+        spmv_csr::workload(
+            "spmv-csr(diagonal)",
+            &m,
+            SEED,
+            spmv_csr::cpu_schedule_variants(m.rows),
+            spmv_csr::gpu_case4_variants(m.rows),
+        )
+    }
+
+    /// spmv-csr with the Case II placement candidates, random input.
+    pub fn spmv_csr_placements() -> Workload {
+        spmv_csr::placement_workload("spmv-csr", &random_matrix(), SEED)
+    }
+
+    /// spmv-jds (Cases I & III).
+    pub fn spmv_jds_std() -> Workload {
+        spmv_jds::workload(&JdsMatrix::from_csr(&random_matrix()), SEED)
+    }
+
+    /// spmv-jds Fig. 1 vector-width candidates.
+    pub fn spmv_jds_vec() -> Workload {
+        spmv_jds::vector_workload(&JdsMatrix::from_csr(&random_matrix()), SEED)
+    }
+
+    /// sgemm with the six Case I schedules.
+    pub fn sgemm_schedules() -> Workload {
+        sgemm::schedules_workload(SGEMM_N, SEED)
+    }
+
+    /// sgemm with the Case III mixed-optimization candidates (CPU size).
+    pub fn sgemm_mixed() -> Workload {
+        sgemm::mixed_workload(SGEMM_N, SEED)
+    }
+
+    /// sgemm edge for the GPU experiments (bigger: GPUs have 13 SMs to
+    /// fill, so the profiling slice must stay a small workload fraction).
+    pub const SGEMM_N_GPU: usize = 512;
+
+    /// sgemm mixed candidates at the GPU experiment size.
+    pub fn sgemm_mixed_gpu() -> Workload {
+        sgemm::mixed_workload(SGEMM_N_GPU, SEED)
+    }
+
+    /// sgemm Fig. 1 vector-width candidates.
+    pub fn sgemm_vec() -> Workload {
+        sgemm::vector_workload(SGEMM_N, SEED)
+    }
+
+    /// stencil (Cases I & III).
+    pub fn stencil_std() -> Workload {
+        stencil::workload(STENCIL_N, SEED)
+    }
+
+    /// cutcp with the full 60-schedule Case I set.
+    pub fn cutcp_schedules() -> Workload {
+        cutcp::workload(cutcp::Shape { n: 64, atoms: 4000 }, SEED)
+    }
+
+    /// cutcp with the two Case III candidates.
+    pub fn cutcp_mixed() -> Workload {
+        cutcp::mixed_workload(cutcp::Shape { n: 64, atoms: 4000 }, SEED)
+    }
+
+    /// kmeans (Case I).
+    pub fn kmeans_std() -> Workload {
+        kmeans::workload(
+            kmeans::Shape {
+                n: 16384,
+                d: 16,
+                k: 8,
+            },
+            SEED,
+        )
+    }
+
+    /// particlefilter with the Case II placement candidates
+    /// (paper input size: 32,000 particles).
+    pub fn particlefilter_std() -> Workload {
+        particlefilter::workload(
+            particlefilter::Shape {
+                particles: 32768,
+                window: 64,
+                frame: 1 << 16,
+            },
+            SEED,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_case_produces_consistent_relatives() {
+        let w = suite::kmeans_std();
+        let case = run_case(&w, Target::Cpu, cpu_factory);
+        assert_eq!(case.names.len(), 3);
+        // Oracle relative is 1.0 by definition.
+        let best_name = case.names[case.sweep.best().0 .0].clone();
+        assert!((case.rel_variant(&best_name) - 1.0).abs() < 1e-9);
+        // DySel lands near the oracle (well under the worst variant).
+        assert!(case.rel(case.dysel.sync) < case.sweep.spread());
+    }
+}

@@ -1,0 +1,78 @@
+//! Runtime error type.
+
+use std::error::Error;
+use std::fmt;
+
+use dysel_kernel::KernelError;
+
+/// Errors raised by the DySel runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DyselError {
+    /// No kernel variants were registered under the requested signature.
+    UnknownSignature(String),
+    /// A signature exists but holds no variants.
+    EmptyPool(String),
+    /// An explicitly requested initial/default variant is out of range.
+    BadVariantIndex {
+        /// Signature looked up.
+        signature: String,
+        /// Index requested.
+        index: usize,
+        /// Variants available.
+        len: usize,
+    },
+    /// A buffer access failed while orchestrating sandboxes.
+    Kernel(KernelError),
+}
+
+impl fmt::Display for DyselError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DyselError::UnknownSignature(s) => {
+                write!(f, "no kernel registered under signature {s:?}")
+            }
+            DyselError::EmptyPool(s) => write!(f, "kernel pool for {s:?} is empty"),
+            DyselError::BadVariantIndex {
+                signature,
+                index,
+                len,
+            } => write!(
+                f,
+                "variant index {index} out of range for {signature:?} ({len} variants)"
+            ),
+            DyselError::Kernel(e) => write!(f, "argument error during profiling: {e}"),
+        }
+    }
+}
+
+impl Error for DyselError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DyselError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KernelError> for DyselError {
+    fn from(e: KernelError) -> Self {
+        DyselError::Kernel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_signature() {
+        let e = DyselError::UnknownSignature("sgemm".into());
+        assert!(e.to_string().contains("sgemm"));
+        let e = DyselError::BadVariantIndex {
+            signature: "spmv".into(),
+            index: 9,
+            len: 2,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,179 @@
+//! Launch options — the paper's `DySelLaunchKernel` parameters plus the
+//! engineering knobs discussed in §5.
+
+use dysel_kernel::{Orchestration, ProfilingMode, VariantId};
+
+/// How the asynchronous flow picks its initial default variant (§2.4: "we
+/// require that the compiler or programmer suggest an initial version").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitialSelection {
+    /// Use variant 0 (the compiler's first deposit).
+    #[default]
+    First,
+    /// Use an explicit variant index.
+    Index(usize),
+}
+
+impl InitialSelection {
+    /// Resolves to a variant id, checking bounds.
+    pub fn resolve(self, k: usize) -> Option<VariantId> {
+        match self {
+            InitialSelection::First => (k > 0).then_some(VariantId(0)),
+            InitialSelection::Index(i) => (i < k).then_some(VariantId(i)),
+        }
+    }
+}
+
+/// Options for one `launch_kernel` call (Fig. 6(b)) plus runtime knobs.
+///
+/// # Example
+///
+/// ```
+/// use dysel_core::{InitialSelection, LaunchOptions};
+/// use dysel_kernel::{Orchestration, ProfilingMode};
+///
+/// // An iterative solver's steady-state launch: reuse the cached pick.
+/// let steady = LaunchOptions::new().without_profiling();
+/// assert!(!steady.profiling);
+///
+/// // Force swap-based profiling with a suggested initial default and
+/// // three measurement repetitions to fight timer noise (§5.2).
+/// let careful = LaunchOptions::new()
+///     .with_mode(ProfilingMode::SwapPartial)
+///     .with_orchestration(Orchestration::Sync)
+///     .with_initial(InitialSelection::Index(1))
+///     .with_profile_reps(3);
+/// assert_eq!(careful.profile_reps, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchOptions {
+    /// Profiling activation flag: `false` reuses the last selection for
+    /// this signature (iterative solvers profile only the first iteration).
+    pub profiling: bool,
+    /// Profiling-mode override; `None` defers to the compiler analyses.
+    pub mode: Option<ProfilingMode>,
+    /// Synchronous or asynchronous orchestration.
+    pub orchestration: Orchestration,
+    /// Initial default for eager execution in asynchronous mode.
+    pub initial: InitialSelection,
+    /// Measurement repetitions per variant (fighting noise at extra
+    /// profiling cost, §5.2). The best (minimum) of the repetitions wins.
+    pub profile_reps: u32,
+    /// Work-groups per eager chunk, in multiples of the device's execution
+    /// units; `None` uses the runtime default.
+    pub chunk_groups_per_unit: Option<u64>,
+}
+
+impl Default for LaunchOptions {
+    fn default() -> Self {
+        LaunchOptions {
+            profiling: true,
+            mode: None,
+            orchestration: Orchestration::Async,
+            initial: InitialSelection::First,
+            profile_reps: 1,
+            chunk_groups_per_unit: None,
+        }
+    }
+}
+
+impl LaunchOptions {
+    /// Default options (profiling on, analyses pick the mode, async).
+    pub fn new() -> Self {
+        LaunchOptions::default()
+    }
+
+    /// Builder-style: disable profiling (reuse the cached selection).
+    pub fn without_profiling(mut self) -> Self {
+        self.profiling = false;
+        self
+    }
+
+    /// Builder-style: force a profiling mode.
+    pub fn with_mode(mut self, mode: ProfilingMode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Builder-style: choose the orchestration.
+    pub fn with_orchestration(mut self, orch: Orchestration) -> Self {
+        self.orchestration = orch;
+        self
+    }
+
+    /// Builder-style: suggest the async initial default.
+    pub fn with_initial(mut self, initial: InitialSelection) -> Self {
+        self.initial = initial;
+        self
+    }
+
+    /// Builder-style: set measurement repetitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reps` is zero.
+    pub fn with_profile_reps(mut self, reps: u32) -> Self {
+        assert!(reps > 0, "at least one profiling repetition is required");
+        self.profile_reps = reps;
+        self
+    }
+
+    /// Builder-style: set the eager chunk size (work-groups per unit).
+    pub fn with_chunk_groups_per_unit(mut self, groups: u64) -> Self {
+        self.chunk_groups_per_unit = Some(groups.max(1));
+        self
+    }
+}
+
+/// Runtime-wide configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeConfig {
+    /// Launches whose base work-group count falls below this threshold skip
+    /// profiling entirely ("profiling-based kernel selection is deactivated
+    /// for small workload", §2.1; Fig. 2 motivates 128).
+    pub profile_threshold_groups: u64,
+    /// Default eager chunk size: work-groups per execution unit per chunk.
+    pub default_chunk_groups_per_unit: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            profile_threshold_groups: 128,
+            default_chunk_groups_per_unit: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_selection_bounds() {
+        assert_eq!(InitialSelection::First.resolve(3), Some(VariantId(0)));
+        assert_eq!(InitialSelection::Index(2).resolve(3), Some(VariantId(2)));
+        assert_eq!(InitialSelection::Index(3).resolve(3), None);
+        assert_eq!(InitialSelection::First.resolve(0), None);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let o = LaunchOptions::new()
+            .with_mode(ProfilingMode::HybridPartial)
+            .with_orchestration(Orchestration::Sync)
+            .with_profile_reps(3)
+            .with_chunk_groups_per_unit(2);
+        assert_eq!(o.mode, Some(ProfilingMode::HybridPartial));
+        assert_eq!(o.orchestration, Orchestration::Sync);
+        assert_eq!(o.profile_reps, 3);
+        assert_eq!(o.chunk_groups_per_unit, Some(2));
+        assert!(o.profiling);
+    }
+
+    #[test]
+    #[should_panic(expected = "repetition")]
+    fn zero_reps_rejected() {
+        let _ = LaunchOptions::new().with_profile_reps(0);
+    }
+}

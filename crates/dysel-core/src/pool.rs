@@ -1,0 +1,129 @@
+//! The kernel pool: multiple implementations per kernel signature.
+
+use std::collections::HashMap;
+
+use dysel_kernel::{Variant, VariantId};
+
+use crate::DyselError;
+
+/// The kernel pool deposited by the compiler / programmer (Fig. 4's
+/// "Kernel Version Generator" output). Unlike a traditional runtime, DySel
+/// accepts *multiple* implementations per kernel signature (§3.1).
+///
+/// # Example
+///
+/// ```
+/// use dysel_core::KernelPool;
+/// use dysel_kernel::{KernelIr, Variant, VariantMeta};
+///
+/// let mut pool = KernelPool::new();
+/// let v = Variant::from_fn(
+///     VariantMeta::new("naive", KernelIr::regular(vec![0])),
+///     |_ctx, _args| {},
+/// );
+/// let id = pool.add_kernel("scale", v);
+/// assert_eq!(id.0, 0);
+/// assert_eq!(pool.variants("scale").unwrap().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct KernelPool {
+    sets: HashMap<String, Vec<Variant>>,
+}
+
+impl KernelPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        KernelPool::default()
+    }
+
+    /// Registers one more implementation of `signature` — the paper's
+    /// `DySelAddKernel(kernel_sig, implementation, wa_factor,
+    /// sandbox_index)` (Fig. 6(a)). Returns the variant's id within the
+    /// signature.
+    pub fn add_kernel(&mut self, signature: impl Into<String>, variant: Variant) -> VariantId {
+        let set = self.sets.entry(signature.into()).or_default();
+        set.push(variant);
+        VariantId(set.len() - 1)
+    }
+
+    /// Registers a whole candidate set at once.
+    pub fn add_kernels(
+        &mut self,
+        signature: impl Into<String>,
+        variants: impl IntoIterator<Item = Variant>,
+    ) {
+        let set = self.sets.entry(signature.into()).or_default();
+        set.extend(variants);
+    }
+
+    /// The candidate variants for a signature.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the signature is unknown or its pool is empty.
+    pub fn variants(&self, signature: &str) -> Result<&[Variant], DyselError> {
+        let set = self
+            .sets
+            .get(signature)
+            .ok_or_else(|| DyselError::UnknownSignature(signature.to_owned()))?;
+        if set.is_empty() {
+            return Err(DyselError::EmptyPool(signature.to_owned()));
+        }
+        Ok(set)
+    }
+
+    /// Registered signatures (unordered).
+    pub fn signatures(&self) -> impl Iterator<Item = &str> {
+        self.sets.keys().map(String::as_str)
+    }
+
+    /// Number of signatures.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether no signatures are registered.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysel_kernel::{KernelIr, VariantMeta};
+
+    fn dummy(name: &str) -> Variant {
+        Variant::from_fn(
+            VariantMeta::new(name, KernelIr::regular(vec![0])),
+            |_, _| {},
+        )
+    }
+
+    #[test]
+    fn ids_are_dense_per_signature() {
+        let mut p = KernelPool::new();
+        assert_eq!(p.add_kernel("k", dummy("a")), VariantId(0));
+        assert_eq!(p.add_kernel("k", dummy("b")), VariantId(1));
+        assert_eq!(p.add_kernel("other", dummy("c")), VariantId(0));
+        assert_eq!(p.variants("k").unwrap().len(), 2);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn unknown_signature_errors() {
+        let p = KernelPool::new();
+        assert!(matches!(
+            p.variants("nope"),
+            Err(DyselError::UnknownSignature(_))
+        ));
+    }
+
+    #[test]
+    fn bulk_registration() {
+        let mut p = KernelPool::new();
+        p.add_kernels("k", vec![dummy("a"), dummy("b"), dummy("c")]);
+        assert_eq!(p.variants("k").unwrap().len(), 3);
+        assert_eq!(p.variants("k").unwrap()[2].name(), "c");
+    }
+}

@@ -1,0 +1,158 @@
+//! Launch reports: what DySel did and what it cost.
+
+use dysel_device::Cycles;
+use dysel_kernel::{Orchestration, ProfilingMode, VariantId};
+
+/// One variant's profiling measurement (best of the repetitions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Measurement {
+    /// Which variant.
+    pub variant: VariantId,
+    /// Measured time for its profiling slice (noisy, as the host saw it).
+    pub measured: Cycles,
+    /// True time of the same slice (noise-free; for accuracy accounting).
+    pub true_time: Cycles,
+}
+
+/// Why profiling did not run (when it didn't).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// The caller disabled profiling and a cached selection was reused.
+    CachedSelection,
+    /// The caller disabled profiling and no cache existed; the default ran.
+    ProfilingDisabled,
+    /// Only one variant is registered.
+    SingleVariant,
+    /// The workload fell below the work-group threshold (§2.1).
+    SmallWorkload,
+    /// Safe point analysis could not fit profiling slices in the workload.
+    InfeasiblePlan,
+}
+
+/// Report returned by every DySel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchReport {
+    /// Kernel signature launched.
+    pub signature: String,
+    /// The selected variant.
+    pub selected: VariantId,
+    /// Its registered name.
+    pub selected_name: String,
+    /// Profiling mode used (`None` when profiling was skipped).
+    pub mode: Option<ProfilingMode>,
+    /// Orchestration actually used (swap mode downgrades async to sync).
+    pub orchestration: Orchestration,
+    /// Whether profiling ran, and if not, why.
+    pub skipped: Option<SkipReason>,
+    /// Virtual time from launch start to the last work-group's completion.
+    pub total_time: Cycles,
+    /// Virtual time from launch start until profiling (incl. selection)
+    /// completed. Zero when profiling was skipped.
+    pub profile_time: Cycles,
+    /// Per-variant measurements, in variant order.
+    pub measurements: Vec<Measurement>,
+    /// Workload units whose profiled execution landed in the final output.
+    pub productive_units: u64,
+    /// Workload units executed during profiling whose results were
+    /// discarded (sandboxes / losing private outputs).
+    pub wasted_units: u64,
+    /// Peak extra output space pinned by sandboxes / private copies.
+    pub extra_space_bytes: u64,
+    /// Eager chunks dispatched in asynchronous mode.
+    pub eager_chunks: u64,
+    /// Total kernel launches issued (profiling + eager + batch).
+    pub launches: u64,
+}
+
+impl std::fmt::Display for LaunchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: selected {} ({})",
+            self.signature, self.selected_name, self.selected
+        )?;
+        match (&self.mode, &self.skipped) {
+            (_, Some(reason)) => write!(f, ", profiling skipped ({reason:?})")?,
+            (Some(mode), None) => write!(
+                f,
+                ", {mode} {} profiling in {} ({} productive / {} wasted units)",
+                self.orchestration, self.profile_time, self.productive_units, self.wasted_units
+            )?,
+            (None, None) => {}
+        }
+        write!(f, ", total {}", self.total_time)
+    }
+}
+
+impl LaunchReport {
+    /// Whether profiling actually ran.
+    pub fn profiled(&self) -> bool {
+        self.skipped.is_none()
+    }
+
+    /// The variant whose *true* profiled time was smallest (oracle-on-slice
+    /// view, for selection-accuracy studies). `None` if profiling skipped.
+    pub fn true_best(&self) -> Option<VariantId> {
+        self.measurements
+            .iter()
+            .min_by_key(|m| m.true_time)
+            .map(|m| m.variant)
+    }
+
+    /// Whether the noisy selection matched the true best (§5.2 accuracy).
+    pub fn selection_accurate(&self) -> bool {
+        self.true_best().is_none_or(|b| b == self.selected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> LaunchReport {
+        LaunchReport {
+            signature: "k".into(),
+            selected: VariantId(1),
+            selected_name: "b".into(),
+            mode: Some(ProfilingMode::FullyProductive),
+            orchestration: Orchestration::Sync,
+            skipped: None,
+            total_time: Cycles(100),
+            profile_time: Cycles(10),
+            measurements: vec![
+                Measurement {
+                    variant: VariantId(0),
+                    measured: Cycles(9),
+                    true_time: Cycles(8),
+                },
+                Measurement {
+                    variant: VariantId(1),
+                    measured: Cycles(7),
+                    true_time: Cycles(9),
+                },
+            ],
+            productive_units: 10,
+            wasted_units: 0,
+            extra_space_bytes: 0,
+            eager_chunks: 0,
+            launches: 3,
+        }
+    }
+
+    #[test]
+    fn display_summarizes_the_launch() {
+        let r = report();
+        let s = r.to_string();
+        assert!(s.contains("selected b"));
+        assert!(s.contains("fully-productive"));
+        assert!(s.contains("total"));
+    }
+
+    #[test]
+    fn accuracy_detects_noise_flips() {
+        let r = report();
+        assert!(r.profiled());
+        assert_eq!(r.true_best(), Some(VariantId(0)));
+        assert!(!r.selection_accurate()); // noise picked v1, truth is v0
+    }
+}

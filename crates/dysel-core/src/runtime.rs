@@ -1,0 +1,558 @@
+//! The DySel runtime: productive micro-profiling and dynamic selection.
+
+use std::collections::HashMap;
+
+use dysel_analysis::{infer_mode, safe_point, SafePointPlan};
+use dysel_device::{Cycles, Device, LaunchRecord, LaunchSpec, StreamId};
+use dysel_kernel::{Args, Orchestration, ProfilingMode, UnitRange, Variant, VariantId};
+
+use crate::timeline::{LaunchKind, Timeline, TimelineEntry};
+use crate::{
+    DyselError, KernelPool, LaunchOptions, LaunchReport, LaunchStats, Measurement, RuntimeConfig,
+    SkipReason,
+};
+
+/// The compute stream used for eager chunks and the final batch; profiling
+/// launches use streams `1..=K`.
+const COMPUTE_STREAM: StreamId = StreamId(0);
+
+/// The DySel runtime, owning a device and the kernel pool.
+///
+/// # Example
+///
+/// ```
+/// use dysel_core::{LaunchOptions, Runtime};
+/// use dysel_device::{CpuConfig, CpuDevice};
+/// use dysel_kernel::{Args, Buffer, KernelIr, Space, Variant, VariantMeta};
+///
+/// # fn main() -> Result<(), dysel_core::DyselError> {
+/// let mut rt = Runtime::new(Box::new(CpuDevice::new(CpuConfig::noiseless())));
+/// rt.add_kernel(
+///     "fill",
+///     Variant::from_fn(VariantMeta::new("v0", KernelIr::regular(vec![0])), |ctx, args| {
+///         for i in ctx.units().iter() {
+///             args.f32_mut(0).unwrap()[i as usize] = 1.0;
+///         }
+///     }),
+/// );
+/// let mut args = Args::new();
+/// args.push(Buffer::f32("out", vec![0.0; 512], Space::Global));
+/// let report = rt.launch("fill", &mut args, 512, &LaunchOptions::new())?;
+/// assert_eq!(report.selected.0, 0);
+/// assert_eq!(args.f32(0).unwrap()[511], 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Runtime {
+    device: Box<dyn Device>,
+    pool: KernelPool,
+    stats: LaunchStats,
+    config: RuntimeConfig,
+    selection_cache: HashMap<String, VariantId>,
+    timeline: Timeline,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("device", &self.device.name())
+            .field("signatures", &self.pool.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// One profiling launch's bookkeeping.
+struct ProfiledLaunch {
+    variant: usize,
+    record: LaunchRecord,
+}
+
+impl Runtime {
+    /// Creates a runtime on a device with default configuration.
+    pub fn new(device: Box<dyn Device>) -> Self {
+        Runtime::with_config(device, RuntimeConfig::default())
+    }
+
+    /// Creates a runtime with an explicit configuration.
+    pub fn with_config(device: Box<dyn Device>, config: RuntimeConfig) -> Self {
+        Runtime {
+            device,
+            pool: KernelPool::new(),
+            stats: LaunchStats::new(),
+            config,
+            selection_cache: HashMap::new(),
+            timeline: Timeline::default(),
+        }
+    }
+
+    /// Registers a kernel variant (`DySelAddKernel`).
+    pub fn add_kernel(&mut self, signature: impl Into<String>, variant: Variant) -> VariantId {
+        self.pool.add_kernel(signature, variant)
+    }
+
+    /// Registers a whole candidate set.
+    pub fn add_kernels(
+        &mut self,
+        signature: impl Into<String>,
+        variants: impl IntoIterator<Item = Variant>,
+    ) {
+        self.pool.add_kernels(signature, variants)
+    }
+
+    /// The kernel pool.
+    pub fn pool(&self) -> &KernelPool {
+        &self.pool
+    }
+
+    /// The device.
+    pub fn device(&self) -> &dyn Device {
+        self.device.as_ref()
+    }
+
+    /// Mutable access to the device (e.g. to reset virtual time).
+    pub fn device_mut(&mut self) -> &mut dyn Device {
+        self.device.as_mut()
+    }
+
+    /// Launch statistics collected so far (Fig. 2).
+    pub fn stats(&self) -> &LaunchStats {
+        &self.stats
+    }
+
+    /// The recorded schedule of the most recent launch (or launch region):
+    /// which variant ran which units, when, and as what kind of work —
+    /// the data behind the paper's Fig. 5 comparison.
+    pub fn last_timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// The cached selection for a signature, if profiling already ran.
+    pub fn cached_selection(&self, signature: &str) -> Option<VariantId> {
+        self.selection_cache.get(signature).copied()
+    }
+
+    /// Clears device time, caches, statistics and cached selections.
+    pub fn reset(&mut self) {
+        self.device.reset();
+        self.stats.reset();
+        self.selection_cache.clear();
+    }
+
+    /// Launches `signature` over `total_units` workload units
+    /// (`DySelLaunchKernel`, Fig. 6(b)).
+    ///
+    /// With profiling enabled (and a large enough workload), DySel deploys
+    /// every registered variant on a small slice of `args`' actual data,
+    /// measures them, and processes the remaining units with the winner.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the signature is unknown, an explicit initial variant is
+    /// out of range, or sandbox construction hits a bad argument index.
+    pub fn launch(
+        &mut self,
+        signature: &str,
+        args: &mut Args,
+        total_units: u64,
+        opts: &LaunchOptions,
+    ) -> Result<LaunchReport, DyselError> {
+        self.launch_region(signature, args, 0, total_units, opts)
+    }
+
+    /// Launches `signature` over the workload units `[start, end)` only.
+    /// Building block of [`Runtime::launch`] (whole workload) and
+    /// [`Runtime::launch_mixed`] (per-region selection).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Runtime::launch`].
+    pub fn launch_region(
+        &mut self,
+        signature: &str,
+        args: &mut Args,
+        start: u64,
+        end: u64,
+        opts: &LaunchOptions,
+    ) -> Result<LaunchReport, DyselError> {
+        let total_units = end.saturating_sub(start);
+        let variants = self.pool.variants(signature)?;
+        let k = variants.len();
+        self.stats.record(total_units);
+        let device = self.device.as_mut();
+        let t_start = device.busy_until();
+
+        let initial = opts
+            .initial
+            .resolve(k)
+            .ok_or_else(|| DyselError::BadVariantIndex {
+                signature: signature.to_owned(),
+                index: match opts.initial {
+                    crate::InitialSelection::Index(i) => i,
+                    crate::InitialSelection::First => 0,
+                },
+                len: k,
+            })?;
+
+        // ---- skip paths -------------------------------------------------
+        let skip = if !opts.profiling {
+            match self.selection_cache.get(signature) {
+                Some(&id) => Some((SkipReason::CachedSelection, id)),
+                None => Some((SkipReason::ProfilingDisabled, initial)),
+            }
+        } else if k == 1 {
+            Some((SkipReason::SingleVariant, VariantId(0)))
+        } else if total_units < self.config.profile_threshold_groups {
+            // Small workloads skip profiling (§2.1); reuse an earlier
+            // selection for this signature if one exists.
+            let id = self
+                .selection_cache
+                .get(signature)
+                .copied()
+                .unwrap_or(initial);
+            Some((SkipReason::SmallWorkload, id))
+        } else {
+            None
+        };
+
+        let metas: Vec<_> = variants.iter().map(|v| v.meta.clone()).collect();
+        let mode = opts.mode.unwrap_or_else(|| infer_mode(&metas));
+        let reps = u64::from(opts.profile_reps);
+        let distinct_slices = match mode {
+            ProfilingMode::FullyProductive => k as u64 * reps,
+            _ => 1,
+        };
+        let wa_factors: Vec<u32> = metas.iter().map(|m| m.wa_factor).collect();
+        let plan = safe_point(&wa_factors, device.units(), total_units, distinct_slices);
+
+        let (skip, plan) = match (skip, plan) {
+            (Some(s), _) => (Some(s), None),
+            (None, Some(p)) => (None, Some(p)),
+            (None, None) => (Some((SkipReason::InfeasiblePlan, initial)), None),
+        };
+
+        if let Some((reason, selected)) = skip {
+            self.timeline.clear();
+            let rec = run_batch(
+                device,
+                &variants[selected.0],
+                args,
+                UnitRange::new(start, end),
+                t_start,
+            );
+            self.timeline.push(TimelineEntry {
+                kind: LaunchKind::Batch,
+                variant: selected,
+                variant_name: variants[selected.0].name().to_owned(),
+                units: UnitRange::new(start, end),
+                start: rec.start,
+                end: rec.end,
+            });
+            return Ok(LaunchReport {
+                signature: signature.to_owned(),
+                selected,
+                selected_name: variants[selected.0].name().to_owned(),
+                mode: None,
+                orchestration: opts.orchestration,
+                skipped: Some(reason),
+                total_time: rec.end.saturating_sub(t_start),
+                profile_time: Cycles::ZERO,
+                measurements: Vec::new(),
+                productive_units: 0,
+                wasted_units: 0,
+                extra_space_bytes: 0,
+                eager_chunks: 0,
+                launches: 1,
+            });
+        }
+        let plan = plan.expect("skip handled above");
+
+        // Swap-based profiling cannot run asynchronously (Table 1).
+        let orchestration = if mode == ProfilingMode::SwapPartial {
+            Orchestration::Sync
+        } else {
+            opts.orchestration
+        };
+
+        self.timeline.clear();
+        let report = profile_and_run(
+            device,
+            &self.config,
+            signature,
+            variants,
+            args,
+            start,
+            end,
+            mode,
+            orchestration,
+            initial,
+            opts,
+            &plan,
+            t_start,
+            &mut self.timeline,
+        )?;
+        self.selection_cache
+            .insert(signature.to_owned(), report.selected);
+        Ok(report)
+    }
+}
+
+/// Launches `variant` over `units` on the compute stream, unmeasured.
+fn run_batch(
+    device: &mut dyn Device,
+    variant: &Variant,
+    args: &mut Args,
+    units: UnitRange,
+    not_before: Cycles,
+) -> LaunchRecord {
+    device.launch(LaunchSpec {
+        kernel: variant.kernel.as_ref(),
+        meta: &variant.meta,
+        units,
+        args,
+        stream: COMPUTE_STREAM,
+        not_before,
+        measured: false,
+    })
+}
+
+/// The full profiling + selection + remaining-workload pipeline.
+#[allow(clippy::too_many_arguments)]
+fn profile_and_run(
+    device: &mut dyn Device,
+    config: &RuntimeConfig,
+    signature: &str,
+    variants: &[Variant],
+    args: &mut Args,
+    start: u64,
+    end: u64,
+    mode: ProfilingMode,
+    orchestration: Orchestration,
+    initial: VariantId,
+    opts: &LaunchOptions,
+    plan: &SafePointPlan,
+    t_start: Cycles,
+    timeline: &mut Timeline,
+) -> Result<LaunchReport, DyselError> {
+    let k = variants.len();
+    let reps = u64::from(opts.profile_reps);
+    let s = plan.slice_units;
+    let mut launches_issued: u64 = 0;
+
+    // ---- sandbox / private output spaces --------------------------------
+    let mut extra_space_bytes = 0u64;
+    let mut private_args: Vec<Option<Args>> = Vec::with_capacity(k);
+    for (i, v) in variants.iter().enumerate() {
+        let needs_copy = match mode {
+            ProfilingMode::FullyProductive => false,
+            ProfilingMode::HybridPartial => i > 0,
+            ProfilingMode::SwapPartial => true,
+        };
+        if needs_copy {
+            extra_space_bytes += args.sandbox_bytes(&v.meta.sandbox_args)?;
+            private_args.push(Some(args.sandbox_view(&v.meta.sandbox_args)?));
+        } else {
+            private_args.push(None);
+        }
+    }
+
+    // ---- issue profiling launches ---------------------------------------
+    let mut profiled: Vec<ProfiledLaunch> = Vec::with_capacity(k * reps as usize);
+    for (i, v) in variants.iter().enumerate() {
+        let stream = StreamId(i as u32 + 1);
+        for r in 0..reps {
+            let units = match mode {
+                ProfilingMode::FullyProductive => {
+                    let idx = i as u64 * reps + r;
+                    UnitRange::new(start + idx * s, start + (idx + 1) * s)
+                }
+                _ => UnitRange::new(start, start + s),
+            };
+            let target: &mut Args = match private_args[i].as_mut() {
+                Some(p) => p,
+                None => args,
+            };
+            let record = device.launch(LaunchSpec {
+                kernel: v.kernel.as_ref(),
+                meta: &v.meta,
+                units,
+                args: target,
+                stream,
+                not_before: t_start,
+                measured: true,
+            });
+            launches_issued += 1;
+            timeline.push(TimelineEntry {
+                kind: LaunchKind::Profile,
+                variant: VariantId(i),
+                variant_name: v.name().to_owned(),
+                units,
+                start: record.start,
+                end: record.end,
+            });
+            profiled.push(ProfiledLaunch { variant: i, record });
+        }
+    }
+    let profile_end = profiled
+        .iter()
+        .map(|p| p.record.end)
+        .max()
+        .unwrap_or(t_start);
+
+    // Per-variant best-of-reps measurements.
+    let measurements: Vec<Measurement> = (0..k)
+        .map(|i| {
+            let best_measured = profiled
+                .iter()
+                .filter(|p| p.variant == i)
+                .filter_map(|p| p.record.measured)
+                .min()
+                .unwrap_or(Cycles::MAX);
+            let best_true = profiled
+                .iter()
+                .filter(|p| p.variant == i)
+                .map(|p| p.record.span())
+                .min()
+                .unwrap_or(Cycles::MAX);
+            Measurement {
+                variant: VariantId(i),
+                measured: best_measured,
+                true_time: best_true,
+            }
+        })
+        .collect();
+
+    let profiled_end_units = match mode {
+        ProfilingMode::FullyProductive => k as u64 * reps * s,
+        _ => s,
+    };
+    let mut next_unit = start + profiled_end_units;
+    let mut eager_chunks = 0u64;
+    let mut chunk_ends = Cycles::ZERO;
+    let mut t_host = t_start;
+
+    // ---- asynchronous eager execution (Fig. 4(b), Fig. 5) ---------------
+    if orchestration == Orchestration::Async {
+        let chunk_per_unit = opts
+            .chunk_groups_per_unit
+            .unwrap_or(config.default_chunk_groups_per_unit)
+            .max(1);
+        let chunk_groups = chunk_per_unit * u64::from(device.units());
+        loop {
+            if next_unit >= end {
+                break;
+            }
+            // One status query per still-running profiling launch.
+            let unfinished = profiled
+                .iter()
+                .filter(|p| p.record.end > t_host)
+                .count()
+                .max(1);
+            t_host += device.query_latency() * unfinished as u64;
+            if profiled.iter().all(|p| p.record.end <= t_host) {
+                break;
+            }
+            // Wait for a vacant execution unit before dispatching a chunk.
+            let free = device.earliest_unit_free();
+            if free > t_host {
+                t_host = free;
+                if profiled.iter().all(|p| p.record.end <= t_host) {
+                    break;
+                }
+            }
+            // The chunk runs with the best variant the host has seen so
+            // far; before any measurement lands, that is the suggested
+            // initial default (Fig. 5(b)/(c)).
+            let current = best_so_far(&profiled, t_host).unwrap_or(initial);
+            let v = &variants[current.0];
+            let chunk_units = chunk_groups * u64::from(v.meta.wa_factor);
+            let chunk_end = (next_unit + chunk_units).min(end);
+            let rec = run_batch(device, v, args, UnitRange::new(next_unit, chunk_end), t_host);
+            launches_issued += 1;
+            timeline.push(TimelineEntry {
+                kind: LaunchKind::EagerChunk,
+                variant: current,
+                variant_name: v.name().to_owned(),
+                units: UnitRange::new(next_unit, chunk_end),
+                start: rec.start,
+                end: rec.end,
+            });
+            eager_chunks += 1;
+            chunk_ends = chunk_ends.max(rec.end);
+            next_unit = chunk_end;
+            // Asynchronous enqueue: the host only pays the submission side
+            // of the launch overhead.
+            t_host += device.launch_overhead() / 4;
+        }
+    }
+
+    // ---- selection -------------------------------------------------------
+    let t_sel = t_host.max(profile_end) + device.query_latency();
+    let winner = measurements
+        .iter()
+        .min_by_key(|m| m.measured)
+        .map(|m| m.variant)
+        .unwrap_or(initial);
+
+    // Swap-based: adopt the winner's private outputs as the final output.
+    if mode == ProfilingMode::SwapPartial {
+        let sandbox_args = variants[winner.0].meta.sandbox_args.clone();
+        if let Some(private) = private_args[winner.0].as_mut() {
+            args.adopt_outputs(private, &sandbox_args)?;
+        }
+    }
+
+    // ---- remaining workload ----------------------------------------------
+    let mut total_end = t_sel.max(chunk_ends).max(profile_end);
+    if next_unit < end {
+        let v = &variants[winner.0];
+        let rec = run_batch(device, v, args, UnitRange::new(next_unit, end), t_sel);
+        launches_issued += 1;
+        timeline.push(TimelineEntry {
+            kind: LaunchKind::Batch,
+            variant: winner,
+            variant_name: v.name().to_owned(),
+            units: UnitRange::new(next_unit, end),
+            start: rec.start,
+            end: rec.end,
+        });
+        total_end = total_end.max(rec.end);
+    }
+
+    let productive_units = match mode {
+        ProfilingMode::FullyProductive => profiled_end_units,
+        _ => s,
+    };
+    let wasted_units = (k as u64 * reps * s).saturating_sub(match mode {
+        ProfilingMode::FullyProductive => k as u64 * reps * s,
+        _ => s,
+    });
+
+    Ok(LaunchReport {
+        signature: signature.to_owned(),
+        selected: winner,
+        selected_name: variants[winner.0].name().to_owned(),
+        mode: Some(mode),
+        orchestration,
+        skipped: None,
+        total_time: total_end.saturating_sub(t_start),
+        profile_time: t_sel.saturating_sub(t_start),
+        measurements,
+        productive_units,
+        wasted_units,
+        extra_space_bytes,
+        eager_chunks,
+        launches: launches_issued,
+    })
+}
+
+/// Best (minimum measured) variant among profiling launches the host has
+/// observed complete by `t`.
+fn best_so_far(profiled: &[ProfiledLaunch], t: Cycles) -> Option<VariantId> {
+    profiled
+        .iter()
+        .filter(|p| p.record.end <= t)
+        .filter_map(|p| p.record.measured.map(|m| (m, p.variant)))
+        .min()
+        .map(|(_, v)| VariantId(v))
+}

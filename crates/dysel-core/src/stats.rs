@@ -1,0 +1,99 @@
+//! Launch statistics: the work-group-count distribution of Fig. 2.
+
+use std::collections::BTreeMap;
+
+/// Accumulates the number of base work-groups of every kernel launch, in
+/// power-of-two buckets, reproducing the paper's Fig. 2 histogram
+/// ("distribution of number of work-groups among kernel launches").
+///
+/// # Example
+///
+/// ```
+/// use dysel_core::LaunchStats;
+/// let mut stats = LaunchStats::new();
+/// stats.record(500);
+/// stats.record(500);
+/// stats.record(40_000);
+/// assert_eq!(stats.histogram(), vec![(512, 2), (65536, 1)]);
+/// assert_eq!(stats.launches_at_least(128), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LaunchStats {
+    buckets: BTreeMap<u64, u64>,
+    launches: u64,
+}
+
+impl LaunchStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        LaunchStats::default()
+    }
+
+    /// Records one launch of `groups` base work-groups.
+    pub fn record(&mut self, groups: u64) {
+        let bucket = groups.next_power_of_two().max(1);
+        *self.buckets.entry(bucket).or_insert(0) += 1;
+        self.launches += 1;
+    }
+
+    /// Total launches recorded.
+    pub fn launches(&self) -> u64 {
+        self.launches
+    }
+
+    /// `(bucket_upper_bound, count)` pairs in ascending bucket order.
+    pub fn histogram(&self) -> Vec<(u64, u64)> {
+        self.buckets.iter().map(|(&b, &c)| (b, c)).collect()
+    }
+
+    /// Launches with at least `min_groups` work-groups — the population
+    /// DySel targets (the paper drops launches below 128).
+    pub fn launches_at_least(&self, min_groups: u64) -> u64 {
+        self.buckets
+            .iter()
+            .filter(|(&b, _)| b >= min_groups)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Clears all counts.
+    pub fn reset(&mut self) {
+        self.buckets.clear();
+        self.launches = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        let mut s = LaunchStats::new();
+        s.record(100); // -> 128
+        s.record(128); // -> 128
+        s.record(129); // -> 256
+        s.record(5000); // -> 8192
+        assert_eq!(s.launches(), 4);
+        assert_eq!(s.histogram(), vec![(128, 2), (256, 1), (8192, 1)]);
+    }
+
+    #[test]
+    fn threshold_filtering() {
+        let mut s = LaunchStats::new();
+        s.record(3);
+        s.record(64);
+        s.record(200);
+        s.record(40000);
+        assert_eq!(s.launches_at_least(128), 2);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = LaunchStats::new();
+        s.record(7);
+        s.reset();
+        assert_eq!(s.launches(), 0);
+        assert!(s.histogram().is_empty());
+    }
+}

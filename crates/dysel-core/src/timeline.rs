@@ -1,0 +1,167 @@
+//! Execution timelines: what ran where and when, in virtual time.
+//!
+//! The paper's Fig. 5 illustrates how synchronous profiling leaves
+//! execution units vacant while the slowest variant finishes, and how the
+//! asynchronous flow fills the gap with eager chunks. This module records
+//! the actual schedule of a launch so that the comparison can be *shown*
+//! from real data rather than illustrated.
+
+use dysel_device::Cycles;
+use dysel_kernel::{UnitRange, VariantId};
+
+/// What kind of work a timeline entry represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchKind {
+    /// A measured micro-profiling launch.
+    Profile,
+    /// An eager chunk dispatched during asynchronous profiling.
+    EagerChunk,
+    /// The post-selection batch over the remaining workload.
+    Batch,
+}
+
+impl std::fmt::Display for LaunchKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LaunchKind::Profile => "profile",
+            LaunchKind::EagerChunk => "eager",
+            LaunchKind::Batch => "batch",
+        })
+    }
+}
+
+/// One launch in a DySel execution, in virtual time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEntry {
+    /// What the launch was for.
+    pub kind: LaunchKind,
+    /// Which variant ran.
+    pub variant: VariantId,
+    /// Registered variant name.
+    pub variant_name: String,
+    /// Workload units covered.
+    pub units: UnitRange,
+    /// Virtual start time (first work-group start).
+    pub start: Cycles,
+    /// Virtual end time (last work-group end).
+    pub end: Cycles,
+}
+
+/// The recorded schedule of one DySel launch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Timeline {
+    entries: Vec<TimelineEntry>,
+}
+
+impl Timeline {
+    /// All entries, in issue order.
+    pub fn entries(&self) -> &[TimelineEntry] {
+        &self.entries
+    }
+
+    pub(crate) fn push(&mut self, e: TimelineEntry) {
+        self.entries.push(e);
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// End of the profiling phase (latest profile-entry end).
+    pub fn profile_end(&self) -> Cycles {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == LaunchKind::Profile)
+            .map(|e| e.end)
+            .max()
+            .unwrap_or(Cycles::ZERO)
+    }
+
+    /// Units executed by eager chunks before profiling completed — the
+    /// work that would have been vacant time under the synchronous flow
+    /// (Fig. 5's shaded region).
+    pub fn eagerly_overlapped_units(&self) -> u64 {
+        let pe = self.profile_end();
+        self.entries
+            .iter()
+            .filter(|e| e.kind == LaunchKind::EagerChunk && e.start < pe)
+            .map(|e| e.units.len())
+            .sum()
+    }
+
+    /// Renders an ASCII Gantt chart of the launch over `width` columns.
+    ///
+    /// Each row is one launch; `#` marks its active span in virtual time.
+    pub fn render(&self, width: usize) -> String {
+        let t_min = self.entries.iter().map(|e| e.start).min().unwrap_or(Cycles::ZERO);
+        let t_max = self.entries.iter().map(|e| e.end).max().unwrap_or(Cycles::ZERO);
+        let span = (t_max.saturating_sub(t_min)).as_f64().max(1.0);
+        let width = width.max(16);
+        let mut out = String::new();
+        let label_w = self
+            .entries
+            .iter()
+            .map(|e| e.variant_name.len() + 10)
+            .max()
+            .unwrap_or(16);
+        for e in &self.entries {
+            let a = (((e.start.saturating_sub(t_min)).as_f64() / span) * width as f64) as usize;
+            let b = (((e.end.saturating_sub(t_min)).as_f64() / span) * width as f64).ceil() as usize;
+            let b = b.clamp(a + 1, width);
+            let label = format!("{:7} {}", e.kind.to_string(), e.variant_name);
+            out.push_str(&format!("{label:label_w$} |"));
+            out.push_str(&" ".repeat(a));
+            out.push_str(&"#".repeat(b - a));
+            out.push_str(&" ".repeat(width - b));
+            out.push_str(&format!("| [{}, {})\n", e.start.0, e.end.0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(kind: LaunchKind, start: u64, end: u64, units: (u64, u64)) -> TimelineEntry {
+        TimelineEntry {
+            kind,
+            variant: VariantId(0),
+            variant_name: "v".into(),
+            units: UnitRange::new(units.0, units.1),
+            start: Cycles(start),
+            end: Cycles(end),
+        }
+    }
+
+    #[test]
+    fn overlap_accounting() {
+        let mut t = Timeline::default();
+        t.push(entry(LaunchKind::Profile, 0, 100, (0, 4)));
+        t.push(entry(LaunchKind::EagerChunk, 40, 60, (4, 8))); // during profiling
+        t.push(entry(LaunchKind::EagerChunk, 120, 140, (8, 12))); // after
+        t.push(entry(LaunchKind::Batch, 140, 200, (12, 32)));
+        assert_eq!(t.profile_end(), Cycles(100));
+        assert_eq!(t.eagerly_overlapped_units(), 4);
+    }
+
+    #[test]
+    fn render_shows_every_entry() {
+        let mut t = Timeline::default();
+        t.push(entry(LaunchKind::Profile, 0, 50, (0, 1)));
+        t.push(entry(LaunchKind::Batch, 50, 100, (1, 10)));
+        let s = t.render(40);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("profile"));
+        assert!(s.contains("batch"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn empty_timeline_is_harmless() {
+        let t = Timeline::default();
+        assert_eq!(t.profile_end(), Cycles::ZERO);
+        assert_eq!(t.eagerly_overlapped_units(), 0);
+        assert_eq!(t.render(40), "");
+    }
+}

@@ -1,0 +1,141 @@
+//! Failure injection: what happens when a *losing* candidate variant is
+//! buggy (writes wrong values)?
+//!
+//! The partial-productive modes isolate losers by construction — hybrid
+//! routes non-first variants into sandboxes, swap gives everyone a private
+//! copy and only adopts the winner — so a buggy slow variant cannot
+//! corrupt the final output. Fully-productive profiling, by contrast,
+//! *requires* trusted variants: every profiled slice lands in the output
+//! (the §2.2 applicability contract, tested here from both sides).
+
+use dysel_core::{LaunchOptions, Runtime};
+use dysel_device::{CpuConfig, CpuDevice};
+use dysel_kernel::{
+    Args, Buffer, KernelIr, Orchestration, ProfilingMode, Space, Variant, VariantMeta,
+};
+
+const N: u64 = 2048;
+
+fn good_variant(name: &str, cost: u64) -> Variant {
+    Variant::from_fn(
+        VariantMeta::new(name, KernelIr::regular(vec![0])),
+        move |ctx, args| {
+            for i in ctx.units().iter() {
+                args.f32_mut(0).unwrap()[i as usize] = i as f32;
+            }
+            ctx.compute(ctx.units().len() * cost);
+        },
+    )
+}
+
+/// Expensive AND wrong: writes poison values. It will lose profiling.
+fn buggy_variant() -> Variant {
+    Variant::from_fn(
+        VariantMeta::new("buggy-slow", KernelIr::regular(vec![0])),
+        move |ctx, args| {
+            for i in ctx.units().iter() {
+                args.f32_mut(0).unwrap()[i as usize] = f32::NAN;
+            }
+            ctx.compute(ctx.units().len() * 50_000);
+        },
+    )
+}
+
+fn launch(mode: ProfilingMode, variants: Vec<Variant>) -> (dysel_core::LaunchReport, Vec<f32>) {
+    let mut rt = Runtime::new(Box::new(CpuDevice::new(CpuConfig::noiseless())));
+    rt.add_kernels("k", variants);
+    let mut args = Args::new();
+    args.push(Buffer::f32("out", vec![0.0; N as usize], Space::Global));
+    let report = rt
+        .launch(
+            "k",
+            &mut args,
+            N,
+            &LaunchOptions::new()
+                .with_mode(mode)
+                .with_orchestration(Orchestration::Sync),
+        )
+        .unwrap();
+    let out = args.f32(0).unwrap().to_vec();
+    (report, out)
+}
+
+fn is_clean(out: &[f32]) -> bool {
+    out.iter().enumerate().all(|(i, &v)| v == i as f32)
+}
+
+#[test]
+fn hybrid_sandboxes_isolate_a_buggy_loser() {
+    // The buggy variant is NOT variant 0, so hybrid routes its profiled
+    // writes into a sandbox that is discarded.
+    let (report, out) = launch(
+        ProfilingMode::HybridPartial,
+        vec![good_variant("good", 100), buggy_variant()],
+    );
+    assert_eq!(report.selected_name, "good");
+    assert!(is_clean(&out), "hybrid must discard the loser's writes");
+}
+
+#[test]
+fn swap_private_outputs_isolate_a_buggy_loser_in_any_position() {
+    for buggy_first in [true, false] {
+        let variants = if buggy_first {
+            vec![buggy_variant(), good_variant("good", 100)]
+        } else {
+            vec![good_variant("good", 100), buggy_variant()]
+        };
+        let (report, out) = launch(ProfilingMode::SwapPartial, variants);
+        assert_eq!(report.selected_name, "good");
+        assert!(
+            is_clean(&out),
+            "swap must adopt only the winner's private output (buggy_first={buggy_first})"
+        );
+    }
+}
+
+#[test]
+fn hybrid_with_buggy_first_variant_does_corrupt_its_slice() {
+    // The contract's sharp edge: hybrid's FIRST variant writes the real
+    // output, so a buggy variant 0 poisons exactly its profiled slice.
+    let (report, out) = launch(
+        ProfilingMode::HybridPartial,
+        vec![buggy_variant(), good_variant("good", 100)],
+    );
+    assert_eq!(report.selected_name, "good");
+    let poisoned = out.iter().filter(|v| v.is_nan()).count() as u64;
+    assert_eq!(
+        poisoned, report.productive_units,
+        "exactly the profiled slice reflects variant 0's writes"
+    );
+}
+
+#[test]
+fn fully_productive_requires_trusted_variants() {
+    // Fully-productive profiling makes every variant's slice part of the
+    // output — a buggy candidate corrupts its slice. This is the §2.2
+    // applicability restriction, visible as behaviour.
+    let (report, out) = launch(
+        ProfilingMode::FullyProductive,
+        vec![good_variant("good", 100), buggy_variant()],
+    );
+    assert_eq!(report.selected_name, "good");
+    let poisoned = out.iter().filter(|v| v.is_nan()).count();
+    assert!(poisoned > 0, "the buggy slice lands in the output by design");
+}
+
+#[test]
+fn losers_writes_never_leak_outside_their_slice() {
+    // Even in fully-productive mode, damage is bounded by the slice.
+    let (report, out) = launch(
+        ProfilingMode::FullyProductive,
+        vec![good_variant("good", 100), buggy_variant()],
+    );
+    let poisoned = out.iter().filter(|v| v.is_nan()).count() as u64;
+    assert!(poisoned <= report.productive_units);
+    // Everything after the profiled region is clean.
+    let tail_ok = out[report.productive_units as usize..]
+        .iter()
+        .enumerate()
+        .all(|(i, &v)| v == (i + report.productive_units as usize) as f32);
+    assert!(tail_ok);
+}

@@ -1,0 +1,577 @@
+//! Deterministic multicore CPU timing model.
+//!
+//! Mirrors the paper's CPU target (an Intel i7-3820 driven through Intel's
+//! OpenCL stack with TBB-style scheduling, §3.2): a handful of cores, a
+//! private cache hierarchy per core, SIMD execution with
+//! masking/packing/unpacking overheads under control divergence, and a
+//! work-stealing scheduler where profiling tasks take priority simply by
+//! being issued first.
+
+mod cache;
+
+pub use cache::{CacheConfig, CacheHierarchy, SetAssocCache};
+
+use dysel_kernel::{GroupCtx, MemOp, Space, TraceSink};
+
+use crate::device::{Device, DeviceKind, LaunchRecord, LaunchSpec, StreamId, StreamTable};
+use crate::noise::NoiseModel;
+use crate::sched::UnitPool;
+use crate::Cycles;
+
+/// CPU model parameters.
+#[derive(Debug, Clone)]
+pub struct CpuConfig {
+    /// Number of cores (execution units).
+    pub cores: u32,
+    /// Scalar arithmetic throughput, ops per cycle.
+    pub ipc: f64,
+    /// L1d configuration.
+    pub l1: CacheConfig,
+    /// L2 configuration.
+    pub l2: CacheConfig,
+    /// Per-core LLC share configuration.
+    pub l3: CacheConfig,
+    /// Cycles to pack/unpack one gathered lane (no hardware gather).
+    pub gather_pack_cycles: f64,
+    /// Masking/blending overhead per *divergent* vector iteration,
+    /// multiplied by the vector width (wider SIMD ⇒ larger overhead, §1).
+    pub mask_cycles_per_lane: f64,
+    /// Extra cycles for an atomic RMW beyond the cache access.
+    pub atomic_extra_cycles: f64,
+    /// Cost of a work-group barrier: on a CPU, a barrier forces loop
+    /// fission / work-item context switches across the serialized group.
+    pub barrier_cycles: f64,
+    /// Per-launch task-spawn overhead.
+    pub launch_overhead: Cycles,
+    /// Host-side status-query cost (nearly free on the CPU).
+    pub query_latency: Cycles,
+    /// Relative std-dev of measurement noise (CPUs are noisy, §5.2).
+    pub noise_sigma: f64,
+    /// Relative std-dev of per-work-group *execution* jitter (system noise;
+    /// creates the profiling drain tails that asynchronous DySel fills).
+    pub exec_sigma: f64,
+    /// Noise seed.
+    pub seed: u64,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig {
+            cores: 4,
+            ipc: 2.0,
+            l1: CacheConfig::l1d(),
+            l2: CacheConfig::l2(),
+            l3: CacheConfig::llc_share(),
+            gather_pack_cycles: 2.0,
+            mask_cycles_per_lane: 3.0,
+            atomic_extra_cycles: 20.0,
+            barrier_cycles: 150.0,
+            launch_overhead: Cycles(3000),
+            query_latency: Cycles(120),
+            noise_sigma: 0.02,
+            exec_sigma: 0.01,
+            seed: 0xD75E1,
+        }
+    }
+}
+
+impl CpuConfig {
+    /// A quieter configuration for tests (zero noise).
+    pub fn noiseless() -> Self {
+        CpuConfig {
+            noise_sigma: 0.0,
+            exec_sigma: 0.0,
+            ..CpuConfig::default()
+        }
+    }
+}
+
+/// Prices one work-group's trace against a core's cache hierarchy.
+struct CpuCostSink<'a> {
+    cfg: &'a CpuConfig,
+    cache: &'a mut CacheHierarchy,
+    mem_cycles: f64,
+    compute_cycles: f64,
+    /// Last line touched by recent vector accesses: the hardware
+    /// prefetcher tracks a few streams, so a warp/vector op that continues
+    /// one of them gets its line fetches largely hidden.
+    stream_tails: [i64; 4],
+    next_tail: usize,
+}
+
+impl<'a> CpuCostSink<'a> {
+    fn new(cfg: &'a CpuConfig, cache: &'a mut CacheHierarchy) -> Self {
+        CpuCostSink {
+            cfg,
+            cache,
+            mem_cycles: 0.0,
+            compute_cycles: 0.0,
+            stream_tails: [i64::MIN; 4],
+            next_tail: 0,
+        }
+    }
+
+    /// Accesses `addr`, charging a prefetched cost if the line continues a
+    /// tracked stream (and recording it as a stream tail either way).
+    fn vector_line_access(&mut self, addr: u64) -> f64 {
+        let line = (addr / u64::from(self.cache.line())) as i64;
+        let lat = self.cache.access(addr) as f64;
+        let prefetched = self.cache.l1_lat as f64 + 2.0;
+        let continues = self
+            .stream_tails
+            .iter()
+            .any(|&t| t != i64::MIN && (line == t || line == t + 1));
+        if let Some(slot) = self
+            .stream_tails
+            .iter_mut()
+            .find(|t| **t != i64::MIN && (line == **t || line == **t + 1))
+        {
+            *slot = line;
+        } else {
+            self.stream_tails[self.next_tail] = line;
+            self.next_tail = (self.next_tail + 1) % self.stream_tails.len();
+        }
+        if continues {
+            lat.min(prefetched)
+        } else {
+            lat
+        }
+    }
+
+    fn total(&self) -> Cycles {
+        Cycles::from_f64(self.mem_cycles + self.compute_cycles)
+    }
+
+    /// Walk a strided stream through the hierarchy, charging a full cache
+    /// access per distinct line and an L1-hit latency for same-line reuse.
+    ///
+    /// Constant-stride streams engage the hardware prefetcher: after a
+    /// two-line ramp-up, line fetches are charged a small prefetched cost
+    /// (the data still moves through the cache model, so capacity effects
+    /// remain). Strides beyond 256 bytes defeat the streamer.
+    fn stream_cost(&mut self, base: u64, count: u64, stride: i64) -> f64 {
+        if count == 0 {
+            return 0.0;
+        }
+        let line = i64::from(self.cache.line());
+        let l1 = self.cache.l1_lat as f64;
+        let prefetched = l1 + 2.0;
+        let prefetchable = stride != 0 && stride.unsigned_abs() <= 256;
+        let mut lines_seen = 0u64;
+        let mut cost = 0.0;
+        if stride == 0 {
+            cost += self.cache.access(base) as f64;
+            cost += (count - 1) as f64 * l1;
+            return cost;
+        }
+        let mut line_access = |cache: &mut CacheHierarchy, addr: u64| -> f64 {
+            let lat = cache.access(addr) as f64;
+            lines_seen += 1;
+            if prefetchable && lines_seen > 1 {
+                lat.min(prefetched)
+            } else {
+                lat
+            }
+        };
+        if stride.unsigned_abs() < line as u64 {
+            // Several consecutive elements share a line: charge the line
+            // once, the rest are L1 hits.
+            let per_line = (line / stride.abs()).max(1) as u64;
+            let mut i = 0u64;
+            let mut addr = base as i64;
+            while i < count {
+                let n = per_line.min(count - i);
+                cost += line_access(self.cache, addr as u64);
+                cost += (n - 1) as f64 * l1;
+                addr += stride * n as i64;
+                i += n;
+            }
+        } else {
+            // Every access touches a fresh line.
+            let mut addr = base as i64;
+            for _ in 0..count {
+                cost += line_access(self.cache, addr as u64);
+                addr += stride;
+            }
+        }
+        cost
+    }
+}
+
+impl TraceSink for CpuCostSink<'_> {
+    fn mem(&mut self, op: &MemOp) {
+        // On a CPU, GPU-specific spaces (texture/constant/scratchpad) all
+        // lower to the uniform memory hierarchy — the paper's point that
+        // GPU placements "make no difference for CPU" (§4.3) and that
+        // scratchpad tiling only adds copy traffic.
+        match op {
+            MemOp::Warp {
+                base,
+                stride,
+                lanes,
+                ..
+            } => {
+                // A vector load/store: one hierarchy access per distinct
+                // line touched by the lanes, with prefetcher coverage when
+                // the op continues a tracked stream.
+                let line = i64::from(self.cache.line());
+                if *stride == 0 {
+                    self.mem_cycles += self.cache.access(*base) as f64;
+                } else {
+                    let mut prev_line = i64::MIN;
+                    for l in 0..*lanes {
+                        let addr = *base as i64 + i64::from(l) * stride;
+                        let ln = addr / line;
+                        if ln != prev_line {
+                            self.mem_cycles += self.vector_line_access(addr as u64);
+                            prev_line = ln;
+                        }
+                    }
+                }
+            }
+            MemOp::WarpSeq {
+                base,
+                stride,
+                lanes,
+                repeat,
+                step,
+                ..
+            } => {
+                // Expand: each step is one vector access; the cache model
+                // needs the real addresses.
+                let line = i64::from(self.cache.line());
+                for k in 0..i64::from(*repeat) {
+                    let b = *base as i64 + k * step;
+                    if *stride == 0 {
+                        self.mem_cycles += self.cache.access(b as u64) as f64;
+                    } else {
+                        let mut prev_line = i64::MIN;
+                        for l in 0..*lanes {
+                            let addr = b + i64::from(l) * stride;
+                            let ln = addr / line;
+                            if ln != prev_line {
+                                self.mem_cycles += self.vector_line_access(addr as u64);
+                                prev_line = ln;
+                            }
+                        }
+                    }
+                }
+            }
+            MemOp::Gather { addrs, .. } => {
+                // No hardware gather (AVX1-class): each lane is a scalar
+                // load plus register insert/extract traffic. Gathers wider
+                // than one 128-bit half (4 lanes) pay extra cross-lane
+                // insertion work — the masking/packing overhead that "gets
+                // larger with wider SIMD datapath width" (§1).
+                for &a in addrs {
+                    self.mem_cycles += self.cache.access(a) as f64;
+                }
+                // A single-lane "gather" is just a scalar load with a
+                // computed address: no packing work.
+                if addrs.len() > 1 {
+                    let lanes = addrs.len() as f64;
+                    let widen = if addrs.len() > 4 { 3.0 } else { 1.0 };
+                    self.mem_cycles += lanes * self.cfg.gather_pack_cycles * widen;
+                }
+            }
+            MemOp::Stream {
+                base,
+                count,
+                stride,
+                ..
+            } => {
+                self.mem_cycles += self.stream_cost(*base, *count, *stride);
+            }
+            MemOp::Atomic { base, lanes, .. } => {
+                self.mem_cycles += self.cache.access(*base) as f64
+                    + f64::from(*lanes) * self.cfg.atomic_extra_cycles;
+            }
+            MemOp::Scratchpad { lanes, .. } => {
+                // Scratchpad lowers to ordinary (hot, but real) memory:
+                // roughly one L1-resident access per lane, slightly
+                // amortized by vectorization.
+                self.mem_cycles += f64::from(*lanes) * 1.0;
+            }
+        }
+    }
+
+    fn compute(&mut self, ops: u64) {
+        self.compute_cycles += ops as f64 / self.cfg.ipc;
+    }
+
+    fn vector_compute(&mut self, iters: u64, width: u32, active: u32, ops_per_iter: u64) {
+        // One vector iteration retires `ops_per_iter` vector instructions at
+        // scalar-issue throughput; divergence adds masking/blending work
+        // that grows with the SIMD width (§1, Fig. 1 discussion).
+        let mut per_iter = ops_per_iter as f64 / self.cfg.ipc;
+        if active < width {
+            per_iter += self.cfg.mask_cycles_per_lane * f64::from(width);
+        }
+        self.compute_cycles += iters as f64 * per_iter;
+    }
+
+    fn barrier(&mut self) {
+        self.compute_cycles += self.cfg.barrier_cycles;
+    }
+}
+
+/// The CPU device model.
+///
+/// # Example
+///
+/// ```
+/// use dysel_device::{CpuConfig, CpuDevice, Device};
+/// let cpu = CpuDevice::new(CpuConfig::default());
+/// assert_eq!(cpu.units(), 4);
+/// ```
+#[derive(Debug)]
+pub struct CpuDevice {
+    cfg: CpuConfig,
+    pool: UnitPool,
+    caches: Vec<CacheHierarchy>,
+    streams: StreamTable,
+    noise: NoiseModel,
+    exec_noise: NoiseModel,
+}
+
+impl CpuDevice {
+    /// Builds a CPU device from a configuration.
+    pub fn new(cfg: CpuConfig) -> Self {
+        let caches = (0..cfg.cores)
+            .map(|_| CacheHierarchy::new(cfg.l1, cfg.l2, cfg.l3))
+            .collect();
+        CpuDevice {
+            pool: UnitPool::new(cfg.cores as usize),
+            caches,
+            noise: NoiseModel::new(cfg.noise_sigma, cfg.seed),
+            exec_noise: NoiseModel::new(cfg.exec_sigma, cfg.seed ^ 0x9E37_79B9),
+            streams: StreamTable::default(),
+            cfg,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+}
+
+impl Default for CpuDevice {
+    fn default() -> Self {
+        CpuDevice::new(CpuConfig::default())
+    }
+}
+
+impl Device for CpuDevice {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Cpu
+    }
+
+    fn name(&self) -> String {
+        format!("cpu/{}-core", self.cfg.cores)
+    }
+
+    fn units(&self) -> u32 {
+        self.cfg.cores
+    }
+
+    fn launch_overhead(&self) -> Cycles {
+        self.cfg.launch_overhead
+    }
+
+    fn query_latency(&self) -> Cycles {
+        self.cfg.query_latency
+    }
+
+    fn launch(&mut self, spec: LaunchSpec<'_>) -> LaunchRecord {
+        // Launch overhead overlaps execution of earlier work in the same
+        // stream (pipelined enqueue): only the issue side pays it.
+        let gate = self
+            .streams
+            .gate(spec.stream, spec.not_before + self.cfg.launch_overhead);
+        let wa = u64::from(spec.meta.wa_factor);
+        let mut first_start = Cycles::MAX;
+        let mut last_end = Cycles::ZERO;
+        let mut busy = Cycles::ZERO;
+        let mut groups = 0u64;
+        for (g, units) in spec.units.groups(wa) {
+            let unit = self.pool.earliest_unit();
+            let cost = {
+                let mut sink = CpuCostSink::new(&self.cfg, &mut self.caches[unit]);
+                let mut ctx = GroupCtx::new(
+                    g,
+                    units,
+                    spec.meta.group_size,
+                    spec.args,
+                    &spec.meta.placements,
+                    &mut sink,
+                );
+                spec.kernel.run_group(&mut ctx, spec.args);
+                sink.total()
+            };
+            let cost = self.exec_noise.perturb(cost);
+            let p = self.pool.assign_to(unit, cost, gate);
+            first_start = first_start.min(p.start);
+            last_end = last_end.max(p.end);
+            busy += cost;
+            groups += 1;
+        }
+        if groups == 0 {
+            first_start = gate;
+            last_end = gate;
+        }
+        self.streams.record(spec.stream, last_end);
+        let measured = spec.measured.then(|| self.noise.perturb(busy));
+        LaunchRecord {
+            start: first_start,
+            end: last_end,
+            groups,
+            busy,
+            measured,
+        }
+    }
+
+    fn stream_end(&self, stream: StreamId) -> Cycles {
+        self.streams.end_of(stream)
+    }
+
+    fn earliest_unit_free(&self) -> Cycles {
+        self.pool.earliest_free()
+    }
+
+    fn busy_until(&self) -> Cycles {
+        self.pool.busy_until()
+    }
+
+    fn reset(&mut self) {
+        self.pool.reset();
+        self.streams.reset();
+        self.noise.reset();
+        self.exec_noise.reset();
+        for c in &mut self.caches {
+            c.reset();
+        }
+    }
+}
+
+// Spaces are intentionally ignored by the CPU model; keep the import used.
+const _: fn(Space) -> bool = Space::is_writable;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysel_kernel::{Args, Buffer, KernelIr, UnitRange, Variant, VariantMeta};
+
+    fn copy_variant(stride: i64) -> Variant {
+        Variant::from_fn(
+            VariantMeta::new(format!("copy-stride{stride}"), KernelIr::regular(vec![0]))
+                .with_wa_factor(256),
+            move |ctx, args| {
+                let u = ctx.units();
+                let n = args.f32(1).unwrap().len() as u64;
+                for i in u.iter() {
+                    let src = (i * stride.unsigned_abs()) % n;
+                    let v = args.f32(1).unwrap()[src as usize];
+                    args.f32_mut(0).unwrap()[i as usize] = v;
+                    ctx.stream_load(1, src, 1, 1);
+                    ctx.stream_store(0, i, 1, 1);
+                }
+                ctx.compute(u.len());
+            },
+        )
+    }
+
+    fn args(n: usize) -> Args {
+        let mut a = Args::new();
+        a.push(Buffer::f32("out", vec![0.0; n], Space::Global));
+        a.push(Buffer::f32("in", (0..n).map(|i| i as f32).collect(), Space::Global));
+        a
+    }
+
+    fn run(dev: &mut CpuDevice, v: &Variant, a: &mut Args, n: u64, measured: bool) -> LaunchRecord {
+        dev.launch(LaunchSpec {
+            kernel: v.kernel.as_ref(),
+            meta: &v.meta,
+            units: UnitRange::new(0, n),
+            args: a,
+            stream: StreamId(0),
+            not_before: Cycles::ZERO,
+            measured,
+        })
+    }
+
+    #[test]
+    fn launch_is_functional_and_scheduled() {
+        let mut dev = CpuDevice::new(CpuConfig::noiseless());
+        let v = copy_variant(1);
+        let mut a = args(1024);
+        let rec = run(&mut dev, &v, &mut a, 1024, false);
+        assert_eq!(rec.groups, 4);
+        assert!(rec.end > rec.start);
+        assert_eq!(a.f32(0).unwrap()[100], 100.0);
+        assert_eq!(dev.stream_end(StreamId(0)), rec.end);
+    }
+
+    #[test]
+    fn strided_access_costs_more_than_sequential() {
+        // 16 MiB working set: the strided walk misses to DRAM, the
+        // sequential walk mostly hits in L1.
+        let n = 1 << 22;
+        let mut d1 = CpuDevice::new(CpuConfig::noiseless());
+        let mut d2 = CpuDevice::new(CpuConfig::noiseless());
+        let (v1, v2) = (copy_variant(1), copy_variant(4099));
+        let mut a1 = args(n);
+        let mut a2 = args(n);
+        let seq = run(&mut d1, &v1, &mut a1, n as u64, false).span();
+        let strided = run(&mut d2, &v2, &mut a2, n as u64, false).span();
+        assert!(
+            strided.as_f64() > 2.0 * seq.as_f64(),
+            "strided {strided} vs sequential {seq}"
+        );
+    }
+
+    #[test]
+    fn measured_launches_report_a_span() {
+        let mut dev = CpuDevice::new(CpuConfig::noiseless());
+        let v = copy_variant(1);
+        let mut a = args(256);
+        let rec = run(&mut dev, &v, &mut a, 256, true);
+        assert_eq!(rec.measured, Some(rec.busy));
+        assert!(rec.busy >= rec.span());
+    }
+
+    #[test]
+    fn reset_restores_time_zero_behaviour() {
+        let mut dev = CpuDevice::new(CpuConfig::noiseless());
+        let v = copy_variant(1);
+        let mut a1 = args(512);
+        let r1 = run(&mut dev, &v, &mut a1, 512, false);
+        dev.reset();
+        let mut a2 = args(512);
+        let r2 = run(&mut dev, &v, &mut a2, 512, false);
+        assert_eq!(r1.span(), r2.span());
+        assert_eq!(r1.start, r2.start);
+    }
+
+    #[test]
+    fn groups_spread_across_cores() {
+        // Groups own disjoint 1 KiB slices (wa_factor 256), so per-core
+        // locality matches the serial run and 4 cores give ~4x.
+        let n = 1 << 20;
+        let mut dev = CpuDevice::new(CpuConfig::noiseless());
+        let v = copy_variant(1);
+        let mut a = args(n);
+        let parallel = run(&mut dev, &v, &mut a, n as u64, false).span();
+        let mut dev1 = CpuDevice::new(CpuConfig {
+            cores: 1,
+            ..CpuConfig::noiseless()
+        });
+        let mut a1 = args(n);
+        let serial = run(&mut dev1, &v, &mut a1, n as u64, false).span();
+        let speedup = serial.as_f64() / parallel.as_f64();
+        assert!(
+            (3.0..=4.5).contains(&speedup),
+            "speedup {speedup} (serial {serial}, parallel {parallel})"
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Virtual time, measured in device cycles.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in (or span of) virtual time, in device cycles.
+///
+/// All DySel executions are scheduled in virtual device time produced by
+/// the deterministic device models, so experiments regenerate identically
+/// on any host.
+///
+/// # Example
+///
+/// ```
+/// use dysel_device::Cycles;
+/// let t = Cycles(100) + Cycles(20);
+/// assert_eq!(t, Cycles(120));
+/// assert_eq!(t.ratio_over(Cycles(60)), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+    /// The maximum representable time.
+    pub const MAX: Cycles = Cycles(u64::MAX);
+
+    /// Builds a span from a floating-point cycle count (rounds up, clamps
+    /// negatives to zero).
+    pub fn from_f64(c: f64) -> Cycles {
+        if c <= 0.0 {
+            Cycles(0)
+        } else {
+            Cycles(c.ceil() as u64)
+        }
+    }
+
+    /// The raw cycle count as `f64`.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// `self / other` as a float; `other == 0` yields `f64::INFINITY` for a
+    /// nonzero numerator and `1.0` for zero (a degenerate but comparable
+    /// ratio for empty baselines).
+    pub fn ratio_over(self, other: Cycles) -> f64 {
+        if other.0 == 0 {
+            if self.0 == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.as_f64() / other.as_f64()
+        }
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(other.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: Cycles) -> Cycles {
+        Cycles(self.0.min(other.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("cycle subtraction underflow"),
+        )
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Cycles(5) + Cycles(7), Cycles(12));
+        assert_eq!(Cycles(9) - Cycles(4), Cycles(5));
+        assert_eq!(Cycles(3) * 4, Cycles(12));
+        assert_eq!(Cycles(12) / 4, Cycles(3));
+        let s: Cycles = [Cycles(1), Cycles(2), Cycles(3)].into_iter().sum();
+        assert_eq!(s, Cycles(6));
+    }
+
+    #[test]
+    fn ratio_edges() {
+        assert_eq!(Cycles(10).ratio_over(Cycles(5)), 2.0);
+        assert_eq!(Cycles(0).ratio_over(Cycles(0)), 1.0);
+        assert!(Cycles(3).ratio_over(Cycles(0)).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = Cycles(1) - Cycles(2);
+    }
+
+    #[test]
+    fn from_f64_rounds_up_and_clamps() {
+        assert_eq!(Cycles::from_f64(2.1), Cycles(3));
+        assert_eq!(Cycles::from_f64(-5.0), Cycles(0));
+    }
+}

@@ -1,0 +1,188 @@
+//! The device abstraction the DySel runtime drives.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use dysel_kernel::{Args, Kernel, UnitRange, VariantMeta};
+
+use crate::Cycles;
+
+/// Which family of device model is behind the trait object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Multicore CPU model (cache hierarchy + SIMD).
+    Cpu,
+    /// Throughput GPU model (SMs, warps, coalescing).
+    Gpu,
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DeviceKind::Cpu => "cpu",
+            DeviceKind::Gpu => "gpu",
+        })
+    }
+}
+
+/// Identifier of an in-order command stream (CUDA stream / task group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct StreamId(pub u32);
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One kernel launch handed to a device.
+pub struct LaunchSpec<'a> {
+    /// The kernel implementation to run.
+    pub kernel: &'a dyn Kernel,
+    /// Its registration metadata (group size, placements, IR, wa factor).
+    pub meta: &'a VariantMeta,
+    /// The workload units this launch covers; the device splits them into
+    /// work-groups of `meta.wa_factor` units each.
+    pub units: UnitRange,
+    /// Kernel arguments (mutated in place by functional execution).
+    pub args: &'a mut Args,
+    /// Stream to enqueue into (in-order within a stream).
+    pub stream: StreamId,
+    /// Host issue time: execution starts no earlier than this.
+    pub not_before: Cycles,
+    /// Whether to wrap the launch with measurement instrumentation
+    /// (in-kernel cycle counters on the GPU, timer calls on the CPU).
+    pub measured: bool,
+}
+
+impl fmt::Debug for LaunchSpec<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LaunchSpec")
+            .field("variant", &self.meta.name)
+            .field("units", &self.units)
+            .field("stream", &self.stream)
+            .field("not_before", &self.not_before)
+            .field("measured", &self.measured)
+            .finish()
+    }
+}
+
+/// What a completed (virtually scheduled) launch reported back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchRecord {
+    /// Time the first work-group started executing.
+    pub start: Cycles,
+    /// Time the last work-group finished.
+    pub end: Cycles,
+    /// Number of work-groups executed.
+    pub groups: u64,
+    /// Total execution-unit busy time consumed by the launch's groups
+    /// (excludes queueing behind other launches).
+    pub busy: Cycles,
+    /// Measured cost, present iff the launch was measured: the
+    /// throughput-normalized busy time (per-group in-kernel clock deltas
+    /// summed on the host, Fig. 7), perturbed by the device noise model.
+    /// Safe point analysis gives every profiling launch the same unit
+    /// count, so these compare directly even when work-assignment factors
+    /// (and therefore group counts and queueing) differ.
+    pub measured: Option<Cycles>,
+}
+
+impl LaunchRecord {
+    /// True completion span of the launch.
+    pub fn span(&self) -> Cycles {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// A deterministic device timing model that functionally executes kernels.
+///
+/// Launches are scheduled in virtual time: `launch` runs the kernel's
+/// work-groups immediately (producing real output in `args`) and returns
+/// when, in virtual device time, the work would have started and finished.
+/// Streams are in-order; distinct streams share execution units.
+pub trait Device {
+    /// Device family.
+    fn kind(&self) -> DeviceKind;
+
+    /// Short human-readable name (e.g. `"cpu/i7-3820-like"`).
+    fn name(&self) -> String;
+
+    /// Number of execution units (cores / SMs). Safe point analysis scales
+    /// profiling workloads to a multiple of this (§3.4).
+    fn units(&self) -> u32;
+
+    /// Fixed cost the host pays per kernel launch.
+    fn launch_overhead(&self) -> Cycles;
+
+    /// Cost of one host-side stream status query (`cudaStreamQuery` on the
+    /// GPU; nearly free on the CPU). Drives the §5.1 async discussion.
+    fn query_latency(&self) -> Cycles;
+
+    /// Executes a launch, returning its virtual schedule.
+    fn launch(&mut self, spec: LaunchSpec<'_>) -> LaunchRecord;
+
+    /// Completion time of all work enqueued so far in `stream`
+    /// (`Cycles::ZERO` if the stream never ran anything).
+    fn stream_end(&self, stream: StreamId) -> Cycles;
+
+    /// Earliest time at which some execution unit is idle.
+    fn earliest_unit_free(&self) -> Cycles;
+
+    /// Time at which the whole device drains.
+    fn busy_until(&self) -> Cycles;
+
+    /// Resets virtual time, stream state, caches and the noise generator.
+    fn reset(&mut self);
+}
+
+/// Book-keeping for in-order streams, shared by the device models.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StreamTable {
+    end: HashMap<StreamId, Cycles>,
+}
+
+impl StreamTable {
+    pub(crate) fn end_of(&self, s: StreamId) -> Cycles {
+        self.end.get(&s).copied().unwrap_or(Cycles::ZERO)
+    }
+
+    /// Earliest permissible start for a launch in `s` issued at `host_t`.
+    pub(crate) fn gate(&self, s: StreamId, host_t: Cycles) -> Cycles {
+        self.end_of(s).max(host_t)
+    }
+
+    pub(crate) fn record(&mut self, s: StreamId, end: Cycles) {
+        let e = self.end.entry(s).or_insert(Cycles::ZERO);
+        *e = (*e).max(end);
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.end.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_table_orders_work() {
+        let mut t = StreamTable::default();
+        assert_eq!(t.end_of(StreamId(0)), Cycles::ZERO);
+        t.record(StreamId(0), Cycles(100));
+        assert_eq!(t.gate(StreamId(0), Cycles(40)), Cycles(100));
+        assert_eq!(t.gate(StreamId(0), Cycles(140)), Cycles(140));
+        assert_eq!(t.gate(StreamId(1), Cycles(40)), Cycles(40));
+        t.reset();
+        assert_eq!(t.end_of(StreamId(0)), Cycles::ZERO);
+    }
+
+    #[test]
+    fn record_keeps_the_max() {
+        let mut t = StreamTable::default();
+        t.record(StreamId(2), Cycles(50));
+        t.record(StreamId(2), Cycles(30));
+        assert_eq!(t.end_of(StreamId(2)), Cycles(50));
+    }
+}

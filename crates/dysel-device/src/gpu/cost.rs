@@ -1,0 +1,330 @@
+//! Warp-level cost accounting for the GPU model.
+
+use dysel_kernel::{MemOp, Space, TraceSink};
+
+use crate::cpu::SetAssocCache;
+use crate::Cycles;
+
+use super::GpuConfig;
+
+/// Number of `segment_bytes`-sized memory segments touched by a warp whose
+/// lane `l` accesses `base + l * stride` (`elem` bytes each).
+pub fn coalesced_segments(base: u64, stride: i64, lanes: u32, elem: u32, segment_bytes: u32) -> u32 {
+    if lanes == 0 {
+        return 0;
+    }
+    let seg = i64::from(segment_bytes);
+    let mut segments: Vec<i64> = (0..lanes)
+        .flat_map(|l| {
+            let a = base as i64 + i64::from(l) * stride;
+            let first = a / seg;
+            let last = (a + i64::from(elem) - 1) / seg;
+            [first, last]
+        })
+        .collect();
+    segments.sort_unstable();
+    segments.dedup();
+    segments.len() as u32
+}
+
+/// Number of segments touched by a gather over arbitrary addresses.
+pub fn gather_segments(addrs: &[u64], elem: u32, segment_bytes: u32) -> u32 {
+    let seg = u64::from(segment_bytes);
+    let mut segments: Vec<u64> = addrs
+        .iter()
+        .flat_map(|&a| [a / seg, (a + u64::from(elem) - 1) / seg])
+        .collect();
+    segments.sort_unstable();
+    segments.dedup();
+    segments.len() as u32
+}
+
+/// Bank-conflict degree of a strided scratchpad access: the maximum number
+/// of lanes that map to the same of 32 4-byte banks.
+pub fn smem_conflict_degree(stride_words: i64, lanes: u32) -> u32 {
+    if lanes == 0 {
+        return 0;
+    }
+    if stride_words == 0 {
+        return 1; // broadcast
+    }
+    let mut banks = [0u32; 32];
+    for l in 0..lanes {
+        let bank = ((i64::from(l) * stride_words).rem_euclid(32)) as usize;
+        banks[bank] += 1;
+    }
+    banks.iter().copied().max().unwrap_or(1).max(1)
+}
+
+/// Prices a work-group's trace for one SM.
+pub(super) struct GpuCostSink<'a> {
+    cfg: &'a GpuConfig,
+    tex: &'a mut SetAssocCache,
+    mem_cycles: f64,
+    compute_cycles: f64,
+}
+
+impl<'a> GpuCostSink<'a> {
+    pub(super) fn new(cfg: &'a GpuConfig, tex: &'a mut SetAssocCache) -> Self {
+        GpuCostSink {
+            cfg,
+            tex,
+            mem_cycles: 0.0,
+            compute_cycles: 0.0,
+        }
+    }
+
+    /// Total group cost: memory segments and warp instructions share the
+    /// SM's issue bandwidth (serialized throughput model), scaled by the
+    /// occupancy latency factor, plus fixed scheduling cost.
+    pub(super) fn total(&self, latency_factor: f64) -> Cycles {
+        let busy = self.mem_cycles + self.compute_cycles;
+        Cycles::from_f64(busy * latency_factor + self.cfg.group_overhead_cycles)
+    }
+
+    fn price_global_segments(&mut self, segments: u32, cached: bool) {
+        if cached || self.cfg.global_loads_cached {
+            // Reads may hit the read-only path cache.
+            // (Approximated at segment granularity.)
+            self.mem_cycles += f64::from(segments) * self.cfg.gmem_segment_cycles * 0.6;
+        } else {
+            self.mem_cycles += f64::from(segments) * self.cfg.gmem_segment_cycles;
+        }
+    }
+
+    fn price_texture(&mut self, addrs: impl IntoIterator<Item = u64>) {
+        // Texture path: per 32-byte texture line, hit in the per-SM cache
+        // or pay a global segment fetch.
+        let line = u64::from(self.tex.config().line);
+        let mut lines: Vec<u64> = addrs.into_iter().map(|a| a / line).collect();
+        lines.dedup();
+        let mut hits = 0u32;
+        let mut misses = 0u32;
+        for l in lines {
+            if self.tex.access_line(l) {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+        }
+        // A texture miss fetches a 32-byte line: cheaper than a full
+        // 128-byte global segment, plus the cache-pipeline latency.
+        self.mem_cycles += f64::from(hits) * self.cfg.tex_hit_cycles
+            + f64::from(misses) * (0.6 * self.cfg.gmem_segment_cycles + self.cfg.tex_hit_cycles);
+    }
+
+    fn price_constant(&mut self, distinct_words: u32) {
+        self.mem_cycles += self.cfg.const_broadcast_cycles
+            + f64::from(distinct_words.saturating_sub(1)) * self.cfg.const_serialize_cycles;
+    }
+}
+
+impl TraceSink for GpuCostSink<'_> {
+    fn mem(&mut self, op: &MemOp) {
+        match op {
+            MemOp::Warp {
+                space,
+                base,
+                stride,
+                lanes,
+                elem,
+                store,
+            } => match space {
+                Space::Global => {
+                    let segs =
+                        coalesced_segments(*base, *stride, *lanes, *elem, self.cfg.segment_bytes);
+                    self.price_global_segments(segs, false);
+                    let _ = store;
+                }
+                Space::Texture => {
+                    let addrs =
+                        (0..*lanes).map(|l| (*base as i64 + i64::from(l) * stride) as u64);
+                    self.price_texture(addrs);
+                }
+                Space::Constant => {
+                    let distinct = if *stride == 0 { 1 } else { *lanes };
+                    self.price_constant(distinct);
+                }
+                Space::Scratchpad => {
+                    let words = stride / 4;
+                    let conflict = smem_conflict_degree(words, *lanes);
+                    self.mem_cycles += self.cfg.smem_cycles * f64::from(conflict);
+                }
+            },
+            MemOp::WarpSeq {
+                space,
+                base,
+                stride,
+                lanes,
+                elem,
+                repeat,
+                step,
+                ..
+            } => match space {
+                Space::Global => {
+                    // Lane shape is constant: sample the segment count at
+                    // two alignments and scale by the repeat count.
+                    let s0 =
+                        coalesced_segments(*base, *stride, *lanes, *elem, self.cfg.segment_bytes);
+                    let s1 = coalesced_segments(
+                        (*base as i64 + step).max(0) as u64,
+                        *stride,
+                        *lanes,
+                        *elem,
+                        self.cfg.segment_bytes,
+                    );
+                    let per = f64::from(s0 + s1) / 2.0;
+                    self.mem_cycles += per * f64::from(*repeat) * self.cfg.gmem_segment_cycles;
+                }
+                Space::Scratchpad => {
+                    let conflict = smem_conflict_degree(stride / 4, *lanes);
+                    self.mem_cycles +=
+                        self.cfg.smem_cycles * f64::from(conflict) * f64::from(*repeat);
+                }
+                Space::Constant => {
+                    let distinct = if *stride == 0 { 1 } else { *lanes };
+                    for _ in 0..*repeat {
+                        self.price_constant(distinct);
+                    }
+                }
+                Space::Texture => {
+                    for k in 0..i64::from(*repeat) {
+                        let b = (*base as i64 + k * step) as u64;
+                        let addrs = (0..*lanes).map(|l| (b as i64 + i64::from(l) * stride) as u64);
+                        self.price_texture(addrs);
+                    }
+                }
+            },
+            MemOp::Gather {
+                space,
+                addrs,
+                elem,
+                ..
+            } => match space {
+                Space::Global => {
+                    let segs = gather_segments(addrs, *elem, self.cfg.segment_bytes);
+                    self.price_global_segments(segs, false);
+                }
+                Space::Texture => {
+                    self.price_texture(addrs.iter().copied());
+                }
+                Space::Constant => {
+                    let mut d = addrs.clone();
+                    d.sort_unstable();
+                    d.dedup();
+                    self.price_constant(d.len() as u32);
+                }
+                Space::Scratchpad => {
+                    // Banked: compute conflict degree from the word addresses.
+                    let mut banks = [0u32; 32];
+                    for &a in addrs {
+                        banks[((a / 4) % 32) as usize] += 1;
+                    }
+                    let conflict = banks.iter().copied().max().unwrap_or(1).max(1);
+                    self.mem_cycles += self.cfg.smem_cycles * f64::from(conflict);
+                }
+            },
+            MemOp::Stream {
+                space,
+                base,
+                count,
+                stride,
+                elem: _,
+                ..
+            } => {
+                // A single-thread sequential loop on a GPU: each access is a
+                // (mostly) un-coalesced transaction unless consecutive
+                // accesses share a segment.
+                if *count == 0 {
+                    return;
+                }
+                match space {
+                    Space::Scratchpad => {
+                        self.mem_cycles += *count as f64 * self.cfg.smem_cycles;
+                    }
+                    Space::Texture => {
+                        let addrs =
+                            (0..*count).map(|i| (*base as i64 + i as i64 * stride) as u64);
+                        self.price_texture(addrs);
+                    }
+                    _ => {
+                        let seg = i64::from(self.cfg.segment_bytes);
+                        let per_seg = if *stride == 0 {
+                            *count
+                        } else {
+                            ((seg / stride.abs()).max(1)) as u64
+                        };
+                        let segs = count.div_ceil(per_seg) as u32;
+                        self.price_global_segments(segs, false);
+                    }
+                }
+            }
+            MemOp::Atomic {
+                lanes, distinct, ..
+            } => {
+                // Each distinct word pays one atomic transaction; contended
+                // lanes serialize behind it.
+                let contention = f64::from(*lanes) / f64::from((*distinct).max(1));
+                self.mem_cycles +=
+                    f64::from(*distinct) * self.cfg.atomic_cycles * contention.max(1.0);
+            }
+            MemOp::Scratchpad {
+                lanes: _, conflict, ..
+            } => {
+                self.mem_cycles += self.cfg.smem_cycles * f64::from((*conflict).max(1));
+            }
+        }
+    }
+
+    fn compute(&mut self, ops: u64) {
+        // Scalar ops aggregate into warp instructions.
+        let warp_ops = ops.div_ceil(32);
+        self.compute_cycles += warp_ops as f64 * self.cfg.issue_cycles;
+    }
+
+    fn vector_compute(&mut self, iters: u64, _width: u32, _active: u32, ops_per_iter: u64) {
+        // One warp instruction per (iteration, op): issue-bound regardless
+        // of how many lanes do useful work — warp underutilization shows up
+        // as *more iterations per useful element*, not cheaper iterations.
+        self.compute_cycles += (iters * ops_per_iter) as f64 * self.cfg.issue_cycles;
+    }
+
+    fn barrier(&mut self) {
+        self.compute_cycles += 8.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_coalesced_is_one_segment() {
+        // 32 lanes x 4B consecutive = 128B aligned at 0.
+        assert_eq!(coalesced_segments(0, 4, 32, 4, 128), 1);
+        // Misaligned by one element straddles two segments.
+        assert_eq!(coalesced_segments(4, 4, 32, 4, 128), 2);
+    }
+
+    #[test]
+    fn strided_warp_touches_many_segments() {
+        assert_eq!(coalesced_segments(0, 128, 32, 4, 128), 32);
+        assert_eq!(coalesced_segments(0, 0, 32, 4, 128), 1); // broadcast
+    }
+
+    #[test]
+    fn gather_segments_dedupes() {
+        let addrs: Vec<u64> = (0..32).map(|l| l * 4).collect();
+        assert_eq!(gather_segments(&addrs, 4, 128), 1);
+        let scattered: Vec<u64> = (0..32).map(|l| l * 4096).collect();
+        assert_eq!(gather_segments(&scattered, 4, 128), 32);
+    }
+
+    #[test]
+    fn smem_conflicts() {
+        assert_eq!(smem_conflict_degree(1, 32), 1); // unit stride: none
+        assert_eq!(smem_conflict_degree(2, 32), 2); // 2-way
+        assert_eq!(smem_conflict_degree(32, 32), 32); // same bank: full
+        assert_eq!(smem_conflict_degree(0, 32), 1); // broadcast
+    }
+}

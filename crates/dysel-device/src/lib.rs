@@ -1,0 +1,46 @@
+//! Deterministic device timing models for DySel.
+//!
+//! The paper evaluates DySel on real hardware (an Intel i7-3820 CPU and an
+//! NVIDIA K20c GPU). This reproduction substitutes deterministic timing
+//! models that functionally execute kernels (real outputs) while scheduling
+//! them in *virtual device time*:
+//!
+//! * [`CpuDevice`] — cores with private L1/L2/LLC-share cache simulation
+//!   driven by each work-group's memory trace, a SIMD cost model with
+//!   divergence masking overhead, and greedy earliest-free-core scheduling
+//!   (the deterministic analogue of TBB work stealing).
+//! * [`GpuDevice`] — streaming multiprocessors executing 32-lane warps with
+//!   global-memory coalescing, per-SM texture caches, constant broadcast,
+//!   scratchpad banking, occupancy limits, in-order streams and in-kernel
+//!   cycle counters.
+//!
+//! Both implement the [`Device`] trait the DySel runtime drives. All
+//! randomness (measurement noise) is seeded, so every experiment in the
+//! paper's evaluation regenerates bit-identically.
+//!
+//! # Example
+//!
+//! ```
+//! use dysel_device::{CpuConfig, CpuDevice, Device, DeviceKind};
+//!
+//! let mut cpu = CpuDevice::new(CpuConfig::default());
+//! assert_eq!(cpu.kind(), DeviceKind::Cpu);
+//! cpu.reset();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu;
+mod cycles;
+mod device;
+pub mod gpu;
+mod noise;
+mod sched;
+
+pub use cpu::{CacheConfig, CacheHierarchy, CpuConfig, CpuDevice, SetAssocCache};
+pub use cycles::Cycles;
+pub use device::{Device, DeviceKind, LaunchRecord, LaunchSpec, StreamId};
+pub use gpu::{GpuConfig, GpuDevice, GpuGeneration};
+pub use noise::NoiseModel;
+pub use sched::{Placement, UnitPool};

@@ -1,0 +1,563 @@
+//! Typed device buffers and kernel argument sets.
+//!
+//! Buffers carry a virtual base address (used by the device cache models),
+//! a memory-[`Space`] binding and copy-on-write storage. Copy-on-write is
+//! what makes the sandbox / private-output mechanics of hybrid- and
+//! swap-based partial-productive profiling cheap: a sandbox [`Args`] shares
+//! every input buffer with the original and only the written output buffers
+//! are actually duplicated.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::{KernelError, Space};
+
+/// Virtual-address bump allocator. Buffers never share cache lines.
+static NEXT_ADDR: AtomicU64 = AtomicU64::new(0x1000);
+
+fn alloc_addr(bytes: u64) -> u64 {
+    // 256-byte alignment mirrors typical device allocator granularity and
+    // keeps distinct buffers in distinct 128-byte coalescing segments.
+    let sz = bytes.div_ceil(256).max(1) * 256;
+    NEXT_ADDR.fetch_add(sz, Ordering::Relaxed)
+}
+
+/// Element type tag of a [`Buffer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemType {
+    /// 32-bit float.
+    F32,
+    /// 64-bit float.
+    F64,
+    /// 32-bit unsigned integer.
+    U32,
+    /// 32-bit signed integer.
+    I32,
+}
+
+impl ElemType {
+    /// Size of one element in bytes.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            ElemType::F32 | ElemType::U32 | ElemType::I32 => 4,
+            ElemType::F64 => 8,
+        }
+    }
+}
+
+impl fmt::Display for ElemType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ElemType::F32 => "f32",
+            ElemType::F64 => "f64",
+            ElemType::U32 => "u32",
+            ElemType::I32 => "i32",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Owned, typed storage behind a buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BufferData {
+    /// 32-bit float payload.
+    F32(Vec<f32>),
+    /// 64-bit float payload.
+    F64(Vec<f64>),
+    /// 32-bit unsigned integer payload.
+    U32(Vec<u32>),
+    /// 32-bit signed integer payload.
+    I32(Vec<i32>),
+}
+
+impl BufferData {
+    /// Element type tag.
+    pub fn elem_type(&self) -> ElemType {
+        match self {
+            BufferData::F32(_) => ElemType::F32,
+            BufferData::F64(_) => ElemType::F64,
+            BufferData::U32(_) => ElemType::U32,
+            BufferData::I32(_) => ElemType::I32,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            BufferData::F32(v) => v.len(),
+            BufferData::F64(v) => v.len(),
+            BufferData::U32(v) => v.len(),
+            BufferData::I32(v) => v.len(),
+        }
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total payload size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.len() as u64 * self.elem_type().size_bytes()
+    }
+}
+
+/// A device buffer: named, typed storage with a virtual base address and a
+/// default memory-space binding.
+///
+/// Cloning a `Buffer` is cheap (the payload is reference-counted); the clone
+/// receives a fresh virtual address, matching what a real allocator would do
+/// for a sandbox copy. Payload duplication only happens on first write to a
+/// shared buffer.
+///
+/// # Example
+///
+/// ```
+/// use dysel_kernel::{Buffer, Space};
+/// let mut b = Buffer::f32("x", vec![1.0, 2.0], Space::Global);
+/// let snapshot = b.clone();
+/// b.data_mut().and_then(|_| Ok(())).unwrap();
+/// assert_eq!(snapshot.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Buffer {
+    name: String,
+    data: Arc<BufferData>,
+    space: Space,
+    addr: u64,
+}
+
+impl Buffer {
+    /// Creates a buffer from raw [`BufferData`].
+    pub fn new(name: impl Into<String>, data: BufferData, space: Space) -> Self {
+        let addr = alloc_addr(data.size_bytes());
+        Buffer {
+            name: name.into(),
+            data: Arc::new(data),
+            space,
+            addr,
+        }
+    }
+
+    /// Creates an `f32` buffer.
+    pub fn f32(name: impl Into<String>, data: Vec<f32>, space: Space) -> Self {
+        Buffer::new(name, BufferData::F32(data), space)
+    }
+
+    /// Creates an `f64` buffer.
+    pub fn f64(name: impl Into<String>, data: Vec<f64>, space: Space) -> Self {
+        Buffer::new(name, BufferData::F64(data), space)
+    }
+
+    /// Creates a `u32` buffer.
+    pub fn u32(name: impl Into<String>, data: Vec<u32>, space: Space) -> Self {
+        Buffer::new(name, BufferData::U32(data), space)
+    }
+
+    /// Creates an `i32` buffer.
+    pub fn i32(name: impl Into<String>, data: Vec<i32>, space: Space) -> Self {
+        Buffer::new(name, BufferData::I32(data), space)
+    }
+
+    /// Buffer name (for reports and debugging).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Virtual base address.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// Default memory-space binding.
+    pub fn space(&self) -> Space {
+        self.space
+    }
+
+    /// Rebinds the default memory space.
+    pub fn set_space(&mut self, space: Space) {
+        self.space = space;
+    }
+
+    /// Element type.
+    pub fn elem_type(&self) -> ElemType {
+        self.data.elem_type()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Payload size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.data.size_bytes()
+    }
+
+    /// Shared view of the payload.
+    pub fn data(&self) -> &BufferData {
+        &self.data
+    }
+
+    /// Mutable view of the payload (clones if shared).
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; returns `Result` to keep room for write-protected
+    /// spaces.
+    pub fn data_mut(&mut self) -> Result<&mut BufferData, KernelError> {
+        Ok(Arc::make_mut(&mut self.data))
+    }
+
+    /// Whether this buffer currently shares its payload with another.
+    pub fn is_shared(&self) -> bool {
+        Arc::strong_count(&self.data) > 1
+    }
+
+    /// Makes a sandbox copy: shares the payload (copy-on-write) but takes a
+    /// fresh virtual address, as a real private allocation would.
+    pub fn sandbox_clone(&self) -> Buffer {
+        let mut b = self.clone();
+        b.addr = alloc_addr(b.size_bytes());
+        b.name = format!("{}#sandbox", self.name);
+        b
+    }
+
+    /// Swaps payload and address with another buffer (swap-based profiling).
+    pub fn swap_with(&mut self, other: &mut Buffer) {
+        std::mem::swap(&mut self.data, &mut other.data);
+        std::mem::swap(&mut self.addr, &mut other.addr);
+    }
+}
+
+/// The argument set handed to a kernel launch: an ordered list of buffers.
+///
+/// Argument indices are the kernel-facing names; metadata such as
+/// [`crate::VariantMeta::sandbox_args`] refers to these indices.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    bufs: Vec<Buffer>,
+}
+
+impl Args {
+    /// Creates an empty argument set.
+    pub fn new() -> Self {
+        Args::default()
+    }
+
+    /// Appends a buffer, returning its argument index.
+    pub fn push(&mut self, buf: Buffer) -> usize {
+        self.bufs.push(buf);
+        self.bufs.len() - 1
+    }
+
+    /// Number of arguments.
+    pub fn len(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Whether there are no arguments.
+    pub fn is_empty(&self) -> bool {
+        self.bufs.is_empty()
+    }
+
+    /// Borrow an argument buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::BadArgIndex`] if `index` is out of range.
+    pub fn buffer(&self, index: usize) -> Result<&Buffer, KernelError> {
+        self.bufs.get(index).ok_or(KernelError::BadArgIndex {
+            index,
+            len: self.bufs.len(),
+        })
+    }
+
+    /// Mutably borrow an argument buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::BadArgIndex`] if `index` is out of range.
+    pub fn buffer_mut(&mut self, index: usize) -> Result<&mut Buffer, KernelError> {
+        let len = self.bufs.len();
+        self.bufs
+            .get_mut(index)
+            .ok_or(KernelError::BadArgIndex { index, len })
+    }
+
+    /// Iterate over the buffers.
+    pub fn iter(&self) -> std::slice::Iter<'_, Buffer> {
+        self.bufs.iter()
+    }
+
+    /// Typed read access to an `f32` argument.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad index or if the argument is not `f32`.
+    pub fn f32(&self, index: usize) -> Result<&[f32], KernelError> {
+        match self.buffer(index)?.data() {
+            BufferData::F32(v) => Ok(v),
+            other => Err(KernelError::TypeMismatch {
+                index,
+                expected: ElemType::F32,
+                actual: other.elem_type(),
+            }),
+        }
+    }
+
+    /// Typed write access to an `f32` argument (copy-on-write).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad index or if the argument is not `f32`.
+    pub fn f32_mut(&mut self, index: usize) -> Result<&mut Vec<f32>, KernelError> {
+        match self.buffer_mut(index)?.data_mut()? {
+            BufferData::F32(v) => Ok(v),
+            other => Err(KernelError::TypeMismatch {
+                index,
+                expected: ElemType::F32,
+                actual: other.elem_type(),
+            }),
+        }
+    }
+
+    /// Typed read access to a `u32` argument.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad index or if the argument is not `u32`.
+    pub fn u32(&self, index: usize) -> Result<&[u32], KernelError> {
+        match self.buffer(index)?.data() {
+            BufferData::U32(v) => Ok(v),
+            other => Err(KernelError::TypeMismatch {
+                index,
+                expected: ElemType::U32,
+                actual: other.elem_type(),
+            }),
+        }
+    }
+
+    /// Typed write access to a `u32` argument (copy-on-write).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad index or if the argument is not `u32`.
+    pub fn u32_mut(&mut self, index: usize) -> Result<&mut Vec<u32>, KernelError> {
+        match self.buffer_mut(index)?.data_mut()? {
+            BufferData::U32(v) => Ok(v),
+            other => Err(KernelError::TypeMismatch {
+                index,
+                expected: ElemType::U32,
+                actual: other.elem_type(),
+            }),
+        }
+    }
+
+    /// Typed read access to an `i32` argument.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad index or if the argument is not `i32`.
+    pub fn i32(&self, index: usize) -> Result<&[i32], KernelError> {
+        match self.buffer(index)?.data() {
+            BufferData::I32(v) => Ok(v),
+            other => Err(KernelError::TypeMismatch {
+                index,
+                expected: ElemType::I32,
+                actual: other.elem_type(),
+            }),
+        }
+    }
+
+    /// Typed write access to an `i32` argument (copy-on-write).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad index or if the argument is not `i32`.
+    pub fn i32_mut(&mut self, index: usize) -> Result<&mut Vec<i32>, KernelError> {
+        match self.buffer_mut(index)?.data_mut()? {
+            BufferData::I32(v) => Ok(v),
+            other => Err(KernelError::TypeMismatch {
+                index,
+                expected: ElemType::I32,
+                actual: other.elem_type(),
+            }),
+        }
+    }
+
+    /// Typed read access to an `f64` argument.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad index or if the argument is not `f64`.
+    pub fn f64(&self, index: usize) -> Result<&[f64], KernelError> {
+        match self.buffer(index)?.data() {
+            BufferData::F64(v) => Ok(v),
+            other => Err(KernelError::TypeMismatch {
+                index,
+                expected: ElemType::F64,
+                actual: other.elem_type(),
+            }),
+        }
+    }
+
+    /// Typed write access to an `f64` argument (copy-on-write).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad index or if the argument is not `f64`.
+    pub fn f64_mut(&mut self, index: usize) -> Result<&mut Vec<f64>, KernelError> {
+        match self.buffer_mut(index)?.data_mut()? {
+            BufferData::F64(v) => Ok(v),
+            other => Err(KernelError::TypeMismatch {
+                index,
+                expected: ElemType::F64,
+                actual: other.elem_type(),
+            }),
+        }
+    }
+
+    /// Creates a sandbox view: all arguments shared, except the listed
+    /// output arguments which become private sandbox copies (fresh address,
+    /// copy-on-write payload).
+    ///
+    /// # Errors
+    ///
+    /// Fails if an index in `sandbox_args` is out of range.
+    pub fn sandbox_view(&self, sandbox_args: &[usize]) -> Result<Args, KernelError> {
+        let mut out = self.clone();
+        for &i in sandbox_args {
+            let fresh = out.buffer(i)?.sandbox_clone();
+            out.bufs[i] = fresh;
+        }
+        Ok(out)
+    }
+
+    /// Bytes of extra space a sandbox over `sandbox_args` would pin once
+    /// fully written (worst case: full copies of each listed output).
+    ///
+    /// # Errors
+    ///
+    /// Fails if an index in `sandbox_args` is out of range.
+    pub fn sandbox_bytes(&self, sandbox_args: &[usize]) -> Result<u64, KernelError> {
+        sandbox_args
+            .iter()
+            .try_fold(0u64, |acc, &i| Ok(acc + self.buffer(i)?.size_bytes()))
+    }
+
+    /// Adopts the listed buffers from `winner` (swap-based profiling: the
+    /// winning private output becomes the final output).
+    ///
+    /// # Errors
+    ///
+    /// Fails if an index is out of range in either argument set.
+    pub fn adopt_outputs(
+        &mut self,
+        winner: &mut Args,
+        output_args: &[usize],
+    ) -> Result<(), KernelError> {
+        for &i in output_args {
+            let src = winner.buffer_mut(i)?;
+            let dst = self.buffer_mut(i).expect("same arity");
+            dst.swap_with(src);
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Buffer> for Args {
+    fn from_iter<T: IntoIterator<Item = Buffer>>(iter: T) -> Self {
+        Args {
+            bufs: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Buffer> for Args {
+    fn extend<T: IntoIterator<Item = Buffer>>(&mut self, iter: T) {
+        self.bufs.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args2() -> Args {
+        let mut a = Args::new();
+        a.push(Buffer::f32("out", vec![0.0; 4], Space::Global));
+        a.push(Buffer::u32("in", vec![1, 2, 3, 4], Space::Global));
+        a
+    }
+
+    #[test]
+    fn addresses_are_unique_and_aligned() {
+        let a = Buffer::f32("a", vec![0.0; 100], Space::Global);
+        let b = Buffer::f32("b", vec![0.0; 100], Space::Global);
+        assert_ne!(a.addr(), b.addr());
+        assert_eq!(a.addr() % 256, 0);
+    }
+
+    #[test]
+    fn typed_access_checks_type() {
+        let a = args2();
+        assert!(a.f32(0).is_ok());
+        assert!(matches!(
+            a.f32(1),
+            Err(KernelError::TypeMismatch { index: 1, .. })
+        ));
+        assert!(matches!(a.f32(9), Err(KernelError::BadArgIndex { .. })));
+    }
+
+    #[test]
+    fn cow_write_does_not_leak_into_clone() {
+        let mut a = args2();
+        let snapshot = a.clone();
+        a.f32_mut(0).unwrap()[0] = 7.0;
+        assert_eq!(snapshot.f32(0).unwrap()[0], 0.0);
+        assert_eq!(a.f32(0).unwrap()[0], 7.0);
+    }
+
+    #[test]
+    fn sandbox_view_isolates_outputs_and_shares_inputs() {
+        let a = args2();
+        let mut sb = a.sandbox_view(&[0]).unwrap();
+        // Output got a fresh address, input kept its address.
+        assert_ne!(sb.buffer(0).unwrap().addr(), a.buffer(0).unwrap().addr());
+        assert_eq!(sb.buffer(1).unwrap().addr(), a.buffer(1).unwrap().addr());
+        // Writing the sandbox output leaves the original untouched.
+        sb.f32_mut(0).unwrap()[2] = 9.0;
+        assert_eq!(a.f32(0).unwrap()[2], 0.0);
+    }
+
+    #[test]
+    fn sandbox_bytes_counts_output_payload() {
+        let a = args2();
+        assert_eq!(a.sandbox_bytes(&[0]).unwrap(), 16);
+        assert_eq!(a.sandbox_bytes(&[0, 1]).unwrap(), 32);
+    }
+
+    #[test]
+    fn adopt_outputs_swaps_payload() {
+        let mut a = args2();
+        let mut w = a.sandbox_view(&[0]).unwrap();
+        w.f32_mut(0).unwrap().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        a.adopt_outputs(&mut w, &[0]).unwrap();
+        assert_eq!(a.f32(0).unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn collect_into_args() {
+        let a: Args = (0..3)
+            .map(|i| Buffer::f32(format!("b{i}"), vec![0.0], Space::Global))
+            .collect();
+        assert_eq!(a.len(), 3);
+    }
+}

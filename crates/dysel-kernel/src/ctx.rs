@@ -1,0 +1,336 @@
+//! Work-group execution context.
+
+use crate::{Args, MemOp, NullSink, Space, TraceSink, UnitRange};
+
+/// Snapshot of one argument's address/type/space, captured at launch.
+#[derive(Debug, Clone, Copy)]
+struct ArgLayout {
+    addr: u64,
+    elem: u32,
+    space: Space,
+}
+
+/// The context handed to a [`crate::Kernel`] for one work-group.
+///
+/// It tells the kernel *which slice of the workload* this group covers
+/// (after DySel's block-index offset shifting, §3.3 "Kernel Code
+/// Transformations") and receives the group's cost trace. All trace helper
+/// methods take **element** indices relative to the argument buffer; the
+/// context translates them into byte addresses for the device models.
+pub struct GroupCtx<'a> {
+    group: u64,
+    units: UnitRange,
+    group_size: u32,
+    layouts: Vec<ArgLayout>,
+    sink: &'a mut dyn TraceSink,
+}
+
+impl std::fmt::Debug for GroupCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupCtx")
+            .field("group", &self.group)
+            .field("units", &self.units)
+            .field("group_size", &self.group_size)
+            .field("args", &self.layouts.len())
+            .finish()
+    }
+}
+
+impl<'a> GroupCtx<'a> {
+    /// Builds a context for a launch. `placements` optionally overrides the
+    /// memory space of each argument (data-placement variants); `None`
+    /// entries (or a short slice) fall back to the buffer's own binding.
+    pub fn new(
+        group: u64,
+        units: UnitRange,
+        group_size: u32,
+        args: &Args,
+        placements: &[Option<Space>],
+        sink: &'a mut dyn TraceSink,
+    ) -> Self {
+        let layouts = args
+            .iter()
+            .enumerate()
+            .map(|(i, b)| ArgLayout {
+                addr: b.addr(),
+                elem: b.elem_type().size_bytes() as u32,
+                space: placements.get(i).copied().flatten().unwrap_or(b.space()),
+            })
+            .collect();
+        GroupCtx {
+            group,
+            units,
+            group_size,
+            layouts,
+            sink,
+        }
+    }
+
+    /// Convenience constructor for tests and doc examples: group `group`
+    /// covering units `[start, end)`, default placements, no trace.
+    pub fn for_test(group: u64, start: u64, end: u64, args: &Args) -> GroupCtx<'static> {
+        // A leaked NullSink is fine: zero-sized, once per call site in tests.
+        let sink: &'static mut NullSink = Box::leak(Box::new(NullSink));
+        GroupCtx::new(group, UnitRange::new(start, end), 256, args, &[], sink)
+    }
+
+    /// Index of this work-group within its launch.
+    pub fn group(&self) -> u64 {
+        self.group
+    }
+
+    /// Workload units this group must process (already offset-shifted).
+    pub fn units(&self) -> UnitRange {
+        self.units
+    }
+
+    /// Work-items per work-group for the running variant.
+    pub fn group_size(&self) -> u32 {
+        self.group_size
+    }
+
+    /// Memory space argument `arg` resolves to under the active placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arg` is out of range (kernels and variants are built
+    /// together; a bad index is a programming error in the variant).
+    pub fn space_of(&self, arg: usize) -> Space {
+        self.layouts[arg].space
+    }
+
+    fn layout(&self, arg: usize) -> ArgLayout {
+        self.layouts[arg]
+    }
+
+    // ---- trace emission helpers -------------------------------------
+
+    /// One warp/vector issue: `lanes` lanes load consecutive elements
+    /// starting at element `base`, lane `l` reading element
+    /// `base + l * stride_elems`.
+    pub fn warp_load(&mut self, arg: usize, base: u64, stride_elems: i64, lanes: u32) {
+        let l = self.layout(arg);
+        self.sink.mem(&MemOp::Warp {
+            space: l.space,
+            base: l.addr + base * u64::from(l.elem),
+            stride: stride_elems * i64::from(l.elem),
+            lanes,
+            elem: l.elem,
+            store: false,
+        });
+    }
+
+    /// A batched inner loop of `repeat` warp loads: the k-th issue starts
+    /// at element `base + k * step_elems` (e.g. a dense kernel's k-loop).
+    pub fn warp_load_seq(
+        &mut self,
+        arg: usize,
+        base: u64,
+        stride_elems: i64,
+        lanes: u32,
+        repeat: u32,
+        step_elems: i64,
+    ) {
+        let l = self.layout(arg);
+        self.sink.mem(&MemOp::WarpSeq {
+            space: l.space,
+            base: l.addr + base * u64::from(l.elem),
+            stride: stride_elems * i64::from(l.elem),
+            lanes,
+            elem: l.elem,
+            store: false,
+            repeat,
+            step: step_elems * i64::from(l.elem),
+        });
+    }
+
+    /// Store-side counterpart of [`GroupCtx::warp_load`].
+    pub fn warp_store(&mut self, arg: usize, base: u64, stride_elems: i64, lanes: u32) {
+        let l = self.layout(arg);
+        self.sink.mem(&MemOp::Warp {
+            space: l.space,
+            base: l.addr + base * u64::from(l.elem),
+            stride: stride_elems * i64::from(l.elem),
+            lanes,
+            elem: l.elem,
+            store: true,
+        });
+    }
+
+    /// Data-dependent gather: each active lane reads its own element index.
+    pub fn gather(&mut self, arg: usize, elem_indices: &[u64]) {
+        let l = self.layout(arg);
+        let addrs = elem_indices
+            .iter()
+            .map(|&i| l.addr + i * u64::from(l.elem))
+            .collect();
+        self.sink.mem(&MemOp::Gather {
+            space: l.space,
+            addrs,
+            elem: l.elem,
+            store: false,
+        });
+    }
+
+    /// Data-dependent scatter: each active lane writes its own element index.
+    pub fn scatter(&mut self, arg: usize, elem_indices: &[u64]) {
+        let l = self.layout(arg);
+        let addrs = elem_indices
+            .iter()
+            .map(|&i| l.addr + i * u64::from(l.elem))
+            .collect();
+        self.sink.mem(&MemOp::Gather {
+            space: l.space,
+            addrs,
+            elem: l.elem,
+            store: true,
+        });
+    }
+
+    /// Sequential load loop: `count` elements from element `base`, advancing
+    /// `stride_elems` per access (CPU work-item serialization shape).
+    pub fn stream_load(&mut self, arg: usize, base: u64, count: u64, stride_elems: i64) {
+        let l = self.layout(arg);
+        self.sink.mem(&MemOp::Stream {
+            space: l.space,
+            base: l.addr + base * u64::from(l.elem),
+            count,
+            stride: stride_elems * i64::from(l.elem),
+            elem: l.elem,
+            store: false,
+        });
+    }
+
+    /// Sequential store loop; see [`GroupCtx::stream_load`].
+    pub fn stream_store(&mut self, arg: usize, base: u64, count: u64, stride_elems: i64) {
+        let l = self.layout(arg);
+        self.sink.mem(&MemOp::Stream {
+            space: l.space,
+            base: l.addr + base * u64::from(l.elem),
+            count,
+            stride: stride_elems * i64::from(l.elem),
+            elem: l.elem,
+            store: true,
+        });
+    }
+
+    /// Atomic read-modify-write by `lanes` lanes on `distinct` distinct
+    /// words at/after element `base`.
+    pub fn atomic(&mut self, arg: usize, base: u64, lanes: u32, distinct: u32) {
+        let l = self.layout(arg);
+        self.sink.mem(&MemOp::Atomic {
+            space: l.space,
+            base: l.addr + base * u64::from(l.elem),
+            lanes,
+            distinct: distinct.max(1),
+        });
+    }
+
+    /// Scratchpad access with bank-conflict degree `conflict` (1 = none).
+    pub fn scratchpad(&mut self, lanes: u32, conflict: u32, store: bool) {
+        self.sink.mem(&MemOp::Scratchpad {
+            lanes,
+            conflict: conflict.max(1),
+            store,
+        });
+    }
+
+    /// `ops` scalar arithmetic operations.
+    pub fn compute(&mut self, ops: u64) {
+        self.sink.compute(ops);
+    }
+
+    /// `iters` iterations of a `width`-wide SIMD loop with `active` useful
+    /// lanes, `ops_per_iter` vector ops per iteration.
+    pub fn vector_compute(&mut self, iters: u64, width: u32, active: u32, ops_per_iter: u64) {
+        self.sink.vector_compute(iters, width, active, ops_per_iter);
+    }
+
+    /// Work-group barrier.
+    pub fn barrier(&mut self) {
+        self.sink.barrier();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Buffer, CountingSink};
+
+    fn args() -> Args {
+        let mut a = Args::new();
+        a.push(Buffer::f32("x", vec![0.0; 64], Space::Global));
+        a.push(Buffer::u32("idx", vec![0; 64], Space::Texture));
+        a
+    }
+
+    #[test]
+    fn addresses_are_translated_to_bytes() {
+        let a = args();
+        let base_addr = a.buffer(0).unwrap().addr();
+        struct Probe {
+            expect_base: u64,
+            hit: bool,
+        }
+        impl TraceSink for Probe {
+            fn mem(&mut self, op: &MemOp) {
+                if let MemOp::Warp { base, stride, .. } = op {
+                    assert_eq!(*base, self.expect_base + 8 * 4);
+                    assert_eq!(*stride, 4);
+                    self.hit = true;
+                }
+            }
+            fn compute(&mut self, _ops: u64) {}
+        }
+        let mut probe = Probe {
+            expect_base: base_addr,
+            hit: false,
+        };
+        let mut ctx = GroupCtx::new(0, UnitRange::new(0, 1), 32, &a, &[], &mut probe);
+        ctx.warp_load(0, 8, 1, 32);
+        assert!(probe.hit);
+    }
+
+    #[test]
+    fn placement_overrides_buffer_space() {
+        let a = args();
+        let mut sink = CountingSink::default();
+        let ctx = GroupCtx::new(
+            0,
+            UnitRange::new(0, 1),
+            32,
+            &a,
+            &[Some(Space::Constant)],
+            &mut sink,
+        );
+        assert_eq!(ctx.space_of(0), Space::Constant);
+        assert_eq!(ctx.space_of(1), Space::Texture); // falls back to binding
+    }
+
+    #[test]
+    fn gather_translates_every_lane() {
+        let a = args();
+        struct Probe(Vec<u64>);
+        impl TraceSink for Probe {
+            fn mem(&mut self, op: &MemOp) {
+                if let MemOp::Gather { addrs, .. } = op {
+                    self.0 = addrs.clone();
+                }
+            }
+            fn compute(&mut self, _ops: u64) {}
+        }
+        let mut probe = Probe(vec![]);
+        let base = a.buffer(1).unwrap().addr();
+        let mut ctx = GroupCtx::new(0, UnitRange::new(0, 1), 32, &a, &[], &mut probe);
+        ctx.gather(1, &[0, 5, 9]);
+        assert_eq!(probe.0, vec![base, base + 20, base + 36]);
+    }
+
+    #[test]
+    fn for_test_provides_units() {
+        let a = args();
+        let ctx = GroupCtx::for_test(3, 6, 12, &a);
+        assert_eq!(ctx.group(), 3);
+        assert_eq!(ctx.units().len(), 6);
+    }
+}

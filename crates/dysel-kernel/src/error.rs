@@ -1,0 +1,64 @@
+//! Error type for the programming-model substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ElemType;
+
+/// Errors raised by buffer and argument accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// An argument index was out of range for the [`crate::Args`] set.
+    BadArgIndex {
+        /// Index requested by the kernel.
+        index: usize,
+        /// Number of arguments actually present.
+        len: usize,
+    },
+    /// An argument had a different element type than requested.
+    TypeMismatch {
+        /// Index of the offending argument.
+        index: usize,
+        /// Element type the caller expected.
+        expected: ElemType,
+        /// Element type actually stored.
+        actual: ElemType,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::BadArgIndex { index, len } => {
+                write!(f, "argument index {index} out of range (have {len} args)")
+            }
+            KernelError::TypeMismatch {
+                index,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "argument {index} has element type {actual}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = KernelError::BadArgIndex { index: 3, len: 2 };
+        assert!(e.to_string().contains("index 3"));
+        let e = KernelError::TypeMismatch {
+            index: 1,
+            expected: ElemType::F32,
+            actual: ElemType::U32,
+        };
+        assert!(e.to_string().contains("expected f32"));
+    }
+}

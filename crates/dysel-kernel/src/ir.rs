@@ -1,0 +1,268 @@
+//! A compact kernel intermediate representation for the compiler analyses.
+//!
+//! The paper's analyses (§3.4) operate on compiler IR; here each variant
+//! carries a declarative summary of its loop nest and access patterns that
+//! the `dysel-analysis` crate consumes:
+//!
+//! * **uniform workload analysis** inspects [`LoopBound`]s and
+//!   [`KernelIr::early_exit`];
+//! * **side effect analysis** inspects [`KernelIr::has_global_atomics`] and
+//!   [`KernelIr::output_disjoint`];
+//! * the **locality-centric scheduling** baseline estimates memory strides
+//!   from [`AccessIr`] under each candidate loop order.
+
+use crate::Space;
+
+/// What a loop in the nest iterates over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopKind {
+    /// A loop over work-items along dimension `d` (0 = x, 1 = y, 2 = z) —
+    /// these are the loops a CPU OpenCL runtime materializes when it
+    /// serializes work-item execution.
+    WorkItem(u8),
+    /// An in-kernel loop written by the programmer (e.g. the `k` loop of
+    /// `sgemm`, the row loop of `spmv`).
+    Kernel,
+}
+
+/// Trip count of a loop, as far as the compiler can tell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopBound {
+    /// Compile-time constant.
+    Const(u64),
+    /// Uniform across work-groups but only known at runtime (e.g. a matrix
+    /// dimension passed as a scalar argument).
+    UniformRuntime,
+    /// Varies per work-group / work-item (e.g. CSR row length). This is
+    /// what makes a workload *irregular* for profiling purposes.
+    DataDependent,
+}
+
+impl LoopBound {
+    /// Whether the bound is identical for every work-group.
+    pub fn is_uniform(self) -> bool {
+        !matches!(self, LoopBound::DataDependent)
+    }
+}
+
+/// One loop level in the kernel's (schedulable) loop nest, outermost first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoopIr {
+    /// What the loop iterates over.
+    pub kind: LoopKind,
+    /// Its trip count.
+    pub bound: LoopBound,
+}
+
+impl LoopIr {
+    /// Convenience constructor.
+    pub fn new(kind: LoopKind, bound: LoopBound) -> Self {
+        LoopIr { kind, bound }
+    }
+}
+
+/// Shape of one memory access site with respect to the loop variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// Address is affine in the loop variables: `base + Σ coeff_i * loop_i`,
+    /// with one coefficient (in elements) per loop level of
+    /// [`KernelIr::loops`].
+    Affine(Vec<i64>),
+    /// Address depends on loaded data (e.g. gather through an index array).
+    Indirect,
+}
+
+/// One access site in the kernel.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AccessIr {
+    /// Which kernel argument is accessed.
+    pub arg: usize,
+    /// Default memory space for the access (placements may override).
+    pub space: Space,
+    /// Address shape w.r.t. the loop nest.
+    pub pattern: AccessPattern,
+    /// Whether the site stores.
+    pub store: bool,
+    /// All lanes of a warp/vector read the *same* address (broadcast) —
+    /// what makes constant memory attractive to placement models.
+    pub lane_uniform: bool,
+    /// For indirect accesses: the byte extent of the window the indices
+    /// fall in, when the compiler can bound it (e.g. `base + objxy[f]`
+    /// with a bounded template). Placement models use it to estimate
+    /// cache residency.
+    pub reuse_window_bytes: Option<u64>,
+}
+
+impl AccessIr {
+    /// Read access with an affine pattern.
+    pub fn affine_load(arg: usize, coeffs: Vec<i64>) -> Self {
+        AccessIr {
+            arg,
+            space: Space::Global,
+            pattern: AccessPattern::Affine(coeffs),
+            store: false,
+            lane_uniform: false,
+            reuse_window_bytes: None,
+        }
+    }
+
+    /// Write access with an affine pattern.
+    pub fn affine_store(arg: usize, coeffs: Vec<i64>) -> Self {
+        AccessIr {
+            arg,
+            space: Space::Global,
+            pattern: AccessPattern::Affine(coeffs),
+            store: true,
+            lane_uniform: false,
+            reuse_window_bytes: None,
+        }
+    }
+
+    /// Data-dependent (indirect) read.
+    pub fn indirect_load(arg: usize) -> Self {
+        AccessIr {
+            arg,
+            space: Space::Global,
+            pattern: AccessPattern::Indirect,
+            store: false,
+            lane_uniform: false,
+            reuse_window_bytes: None,
+        }
+    }
+
+    /// Builder-style: mark the access as lane-uniform (broadcast).
+    pub fn uniform(mut self) -> Self {
+        self.lane_uniform = true;
+        self
+    }
+
+    /// Builder-style: bound the indirect reuse window.
+    pub fn with_reuse_window(mut self, bytes: u64) -> Self {
+        self.reuse_window_bytes = Some(bytes);
+        self
+    }
+}
+
+/// Declarative summary of one kernel variant, consumed by the analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelIr {
+    /// The schedulable loop nest, outermost first.
+    pub loops: Vec<LoopIr>,
+    /// Access sites.
+    pub accesses: Vec<AccessIr>,
+    /// Whether the kernel uses global atomic operations.
+    pub has_global_atomics: bool,
+    /// Whether distinct work-groups write disjoint ranges of the output.
+    pub output_disjoint: bool,
+    /// Whether the kernel may exit a loop early / terminate early.
+    pub early_exit: bool,
+    /// Argument indices the kernel writes (its outputs).
+    pub output_args: Vec<usize>,
+    /// Scratchpad bytes used per work-group (affects GPU occupancy).
+    pub scratchpad_bytes: u32,
+}
+
+impl Default for KernelIr {
+    fn default() -> Self {
+        KernelIr {
+            loops: Vec::new(),
+            accesses: Vec::new(),
+            has_global_atomics: false,
+            output_disjoint: true,
+            early_exit: false,
+            output_args: vec![0],
+            scratchpad_bytes: 0,
+        }
+    }
+}
+
+impl KernelIr {
+    /// A minimal regular IR: constant-bound loops, disjoint outputs, no
+    /// atomics — the "BLAS/stencil" shape that admits fully-productive
+    /// profiling.
+    pub fn regular(output_args: Vec<usize>) -> Self {
+        KernelIr {
+            output_args,
+            ..KernelIr::default()
+        }
+    }
+
+    /// Whether any loop bound varies across work-groups.
+    pub fn has_nonuniform_loops(&self) -> bool {
+        self.loops.iter().any(|l| !l.bound.is_uniform())
+    }
+
+    /// Builder-style: set the loop nest.
+    pub fn with_loops(mut self, loops: Vec<LoopIr>) -> Self {
+        self.loops = loops;
+        self
+    }
+
+    /// Builder-style: set the access sites.
+    pub fn with_accesses(mut self, accesses: Vec<AccessIr>) -> Self {
+        self.accesses = accesses;
+        self
+    }
+
+    /// Builder-style: mark global atomics.
+    pub fn with_atomics(mut self) -> Self {
+        self.has_global_atomics = true;
+        self
+    }
+
+    /// Builder-style: mark overlapping outputs.
+    pub fn with_overlapping_outputs(mut self) -> Self {
+        self.output_disjoint = false;
+        self
+    }
+
+    /// Builder-style: mark early exits.
+    pub fn with_early_exit(mut self) -> Self {
+        self.early_exit = true;
+        self
+    }
+
+    /// Builder-style: set scratchpad usage.
+    pub fn with_scratchpad(mut self, bytes: u32) -> Self {
+        self.scratchpad_bytes = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_ir_is_uniform() {
+        let ir = KernelIr::regular(vec![0]).with_loops(vec![
+            LoopIr::new(LoopKind::WorkItem(0), LoopBound::UniformRuntime),
+            LoopIr::new(LoopKind::Kernel, LoopBound::Const(128)),
+        ]);
+        assert!(!ir.has_nonuniform_loops());
+        assert!(ir.output_disjoint);
+        assert!(!ir.has_global_atomics);
+    }
+
+    #[test]
+    fn data_dependent_loop_is_nonuniform() {
+        let ir = KernelIr::regular(vec![0]).with_loops(vec![LoopIr::new(
+            LoopKind::Kernel,
+            LoopBound::DataDependent,
+        )]);
+        assert!(ir.has_nonuniform_loops());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let ir = KernelIr::regular(vec![1])
+            .with_atomics()
+            .with_overlapping_outputs()
+            .with_early_exit()
+            .with_scratchpad(4096);
+        assert!(ir.has_global_atomics);
+        assert!(!ir.output_disjoint);
+        assert!(ir.early_exit);
+        assert_eq!(ir.scratchpad_bytes, 4096);
+    }
+}

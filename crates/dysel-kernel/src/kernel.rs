@@ -1,0 +1,193 @@
+//! The kernel trait and variant metadata.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{Args, GroupCtx, KernelIr, Space};
+
+/// A kernel implementation, executed one work-group at a time.
+///
+/// Implementations must be deterministic functions of `(ctx.units(),
+/// args)`: DySel relies on every variant of a signature computing the same
+/// output for the same unit range (that is what makes profiling
+/// *productive*, §2.2). Kernels must honour `ctx.units()` exactly — the
+/// final group of a launch may cover fewer units than the variant's
+/// work-assignment factor.
+pub trait Kernel: Send + Sync {
+    /// Executes one work-group covering `ctx.units()`, writing real results
+    /// into `args` and emitting its cost trace through `ctx`.
+    fn run_group(&self, ctx: &mut GroupCtx<'_>, args: &mut Args);
+}
+
+impl<F> Kernel for F
+where
+    F: Fn(&mut GroupCtx<'_>, &mut Args) + Send + Sync,
+{
+    fn run_group(&self, ctx: &mut GroupCtx<'_>, args: &mut Args) {
+        self(ctx, args)
+    }
+}
+
+/// Identifier of a variant inside a kernel signature's pool (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VariantId(pub usize);
+
+impl fmt::Display for VariantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Metadata registered alongside a kernel implementation — the payload of
+/// the paper's `DySelAddKernel` call (Fig. 6(a)).
+#[derive(Debug, Clone)]
+pub struct VariantMeta {
+    /// Human-readable variant name (e.g. `"tiled16-coarse2"`).
+    pub name: String,
+    /// Work-assignment factor: workload units processed per work-group.
+    /// The runtime normalizes profiling work across variants with the LCM
+    /// of these factors (safe point analysis, §3.4).
+    pub wa_factor: u32,
+    /// Work-items per work-group.
+    pub group_size: u32,
+    /// Argument indices that need sandboxes / private copies during
+    /// partial-productive profiling (the `sandbox_index` API parameter).
+    pub sandbox_args: Vec<usize>,
+    /// Per-argument memory-space overrides (data-placement variants);
+    /// `None` keeps the buffer's own binding.
+    pub placements: Vec<Option<Space>>,
+    /// Declarative IR for the compiler analyses.
+    pub ir: KernelIr,
+}
+
+impl VariantMeta {
+    /// Creates metadata with defaults: factor 1, group size 256, sandboxes
+    /// over the IR's output args, no placement overrides.
+    pub fn new(name: impl Into<String>, ir: KernelIr) -> Self {
+        VariantMeta {
+            name: name.into(),
+            wa_factor: 1,
+            group_size: 256,
+            sandbox_args: ir.output_args.clone(),
+            placements: Vec::new(),
+            ir,
+        }
+    }
+
+    /// Builder-style: set the work-assignment factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn with_wa_factor(mut self, factor: u32) -> Self {
+        assert!(factor > 0, "work-assignment factor must be positive");
+        self.wa_factor = factor;
+        self
+    }
+
+    /// Builder-style: set the work-group size.
+    pub fn with_group_size(mut self, size: u32) -> Self {
+        assert!(size > 0, "group size must be positive");
+        self.group_size = size;
+        self
+    }
+
+    /// Builder-style: set placement overrides.
+    pub fn with_placements(mut self, placements: Vec<Option<Space>>) -> Self {
+        self.placements = placements;
+        self
+    }
+
+    /// Builder-style: set the sandbox argument list explicitly.
+    pub fn with_sandbox_args(mut self, args: Vec<usize>) -> Self {
+        self.sandbox_args = args;
+        self
+    }
+}
+
+/// One candidate implementation in the kernel pool: metadata plus code.
+#[derive(Clone)]
+pub struct Variant {
+    /// Registration metadata.
+    pub meta: VariantMeta,
+    /// The implementation.
+    pub kernel: Arc<dyn Kernel>,
+}
+
+impl Variant {
+    /// Bundles a kernel with its metadata.
+    pub fn new(meta: VariantMeta, kernel: Arc<dyn Kernel>) -> Self {
+        Variant { meta, kernel }
+    }
+
+    /// Convenience: wrap a closure kernel.
+    pub fn from_fn<F>(meta: VariantMeta, f: F) -> Self
+    where
+        F: Fn(&mut GroupCtx<'_>, &mut Args) + Send + Sync + 'static,
+    {
+        Variant {
+            meta,
+            kernel: Arc::new(f),
+        }
+    }
+
+    /// Variant name shortcut.
+    pub fn name(&self) -> &str {
+        &self.meta.name
+    }
+}
+
+impl fmt::Debug for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Variant")
+            .field("name", &self.meta.name)
+            .field("wa_factor", &self.meta.wa_factor)
+            .field("group_size", &self.meta.group_size)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Buffer, KernelIr};
+
+    #[test]
+    fn closure_kernels_work() {
+        let v = Variant::from_fn(
+            VariantMeta::new("id", KernelIr::regular(vec![0])),
+            |ctx, args| {
+                let u = ctx.units();
+                for i in u.iter() {
+                    args.f32_mut(0).unwrap()[i as usize] = i as f32;
+                }
+            },
+        );
+        let mut args = Args::new();
+        args.push(Buffer::f32("o", vec![0.0; 4], Space::Global));
+        let mut ctx = GroupCtx::for_test(0, 1, 3, &args);
+        v.kernel.run_group(&mut ctx, &mut args);
+        assert_eq!(args.f32(0).unwrap(), &[0.0, 1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn meta_builder_defaults() {
+        let m = VariantMeta::new("x", KernelIr::regular(vec![2]));
+        assert_eq!(m.wa_factor, 1);
+        assert_eq!(m.sandbox_args, vec![2]);
+        let m = m.with_wa_factor(4).with_group_size(128);
+        assert_eq!(m.wa_factor, 4);
+        assert_eq!(m.group_size, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_wa_factor_rejected() {
+        let _ = VariantMeta::new("x", KernelIr::default()).with_wa_factor(0);
+    }
+
+    #[test]
+    fn variant_id_display() {
+        assert_eq!(VariantId(3).to_string(), "v3");
+    }
+}

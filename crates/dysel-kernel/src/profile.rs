@@ -1,0 +1,127 @@
+//! Shared vocabulary for the profiling modes and orchestration flavours.
+
+use std::fmt;
+
+/// The three productive micro-profiling modes of §2.2 / Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProfilingMode {
+    /// Each variant profiles a *different* slice of the workload; all K
+    /// profiled slices contribute to the final output. Requires a regular
+    /// workload with non-overlapping outputs. Zero extra space.
+    FullyProductive,
+    /// All variants profile the *same* slice; the first variant writes the
+    /// real output, the others write sandboxes (≤ K−1 extra copies).
+    /// Handles irregular workloads fairly.
+    HybridPartial,
+    /// All variants run the same slice into private output copies; the
+    /// winner's copy is swapped in (≤ K copies). Handles overlapping /
+    /// variable output ranges, atomics, and algorithm changes. Cannot run
+    /// asynchronously: the final output space is unknown until selection.
+    SwapPartial,
+}
+
+impl ProfilingMode {
+    /// How many of the K profiled executions contribute output
+    /// (Table 1, "productive output in profiling").
+    pub fn productive_slices(self, k: usize) -> usize {
+        match self {
+            ProfilingMode::FullyProductive => k,
+            ProfilingMode::HybridPartial | ProfilingMode::SwapPartial => 1.min(k),
+        }
+    }
+
+    /// Upper bound on extra output copies required (Table 1, "extra space").
+    pub fn extra_copies(self, k: usize) -> usize {
+        match self {
+            ProfilingMode::FullyProductive => 0,
+            ProfilingMode::HybridPartial => k.saturating_sub(1),
+            ProfilingMode::SwapPartial => k,
+        }
+    }
+
+    /// Whether asynchronous (eager) execution is supported (Table 1).
+    pub fn supports_async(self) -> bool {
+        !matches!(self, ProfilingMode::SwapPartial)
+    }
+
+    /// Whether the mode tolerates irregular (work-group-varying) workloads.
+    pub fn handles_irregular(self) -> bool {
+        !matches!(self, ProfilingMode::FullyProductive)
+    }
+
+    /// Whether the mode tolerates overlapping / variable output ranges and
+    /// global atomics.
+    pub fn handles_output_overlap(self) -> bool {
+        matches!(self, ProfilingMode::SwapPartial)
+    }
+}
+
+impl fmt::Display for ProfilingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProfilingMode::FullyProductive => "fully-productive",
+            ProfilingMode::HybridPartial => "hybrid-partial",
+            ProfilingMode::SwapPartial => "swap-partial",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How profiling and the remaining execution are orchestrated (§2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Orchestration {
+    /// Barrier after profiling, then batch-launch the winner (Fig. 4(a)).
+    Sync,
+    /// Eager execution of workload chunks with the best-so-far (initially a
+    /// suggested default) variant while profiling completes (Fig. 4(b)).
+    #[default]
+    Async,
+}
+
+impl fmt::Display for Orchestration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Orchestration::Sync => "sync",
+            Orchestration::Async => "async",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_properties() {
+        use ProfilingMode::*;
+        let k = 5;
+        // Productive output in profiling: K / 1 / 1.
+        assert_eq!(FullyProductive.productive_slices(k), 5);
+        assert_eq!(HybridPartial.productive_slices(k), 1);
+        assert_eq!(SwapPartial.productive_slices(k), 1);
+        // Extra space: 0 / <= K-1 / <= K.
+        assert_eq!(FullyProductive.extra_copies(k), 0);
+        assert_eq!(HybridPartial.extra_copies(k), 4);
+        assert_eq!(SwapPartial.extra_copies(k), 5);
+        // Async support: yes / yes / no.
+        assert!(FullyProductive.supports_async());
+        assert!(HybridPartial.supports_async());
+        assert!(!SwapPartial.supports_async());
+    }
+
+    #[test]
+    fn applicability_ladder() {
+        use ProfilingMode::*;
+        assert!(!FullyProductive.handles_irregular());
+        assert!(HybridPartial.handles_irregular());
+        assert!(SwapPartial.handles_irregular());
+        assert!(!HybridPartial.handles_output_overlap());
+        assert!(SwapPartial.handles_output_overlap());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ProfilingMode::SwapPartial.to_string(), "swap-partial");
+        assert_eq!(Orchestration::Async.to_string(), "async");
+    }
+}

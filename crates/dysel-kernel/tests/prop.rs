@@ -1,0 +1,127 @@
+//! Property-based tests for the programming-model substrate.
+
+use proptest::prelude::*;
+
+use dysel_kernel::{Args, Buffer, CountingSink, GroupCtx, MemOp, Space, TraceSink, UnitRange};
+
+proptest! {
+    /// `UnitRange::groups` partitions the range exactly: every unit is
+    /// covered once, groups are in order, and only the last may be short.
+    #[test]
+    fn groups_partition_exactly(start in 0u64..10_000, len in 0u64..10_000, per in 1u64..512) {
+        let r = UnitRange::new(start, start + len);
+        let parts: Vec<_> = r.groups(per).collect();
+        let mut expect = start;
+        for (i, (g, p)) in parts.iter().enumerate() {
+            prop_assert_eq!(*g, i as u64);
+            prop_assert_eq!(p.start, expect);
+            prop_assert!(p.len() <= per);
+            if i + 1 < parts.len() {
+                prop_assert_eq!(p.len(), per);
+            }
+            expect = p.end;
+        }
+        prop_assert_eq!(expect, r.end);
+        prop_assert_eq!(parts.len() as u64, len.div_ceil(per));
+    }
+
+    /// Intersection is commutative, contained in both, and idempotent.
+    #[test]
+    fn intersect_properties(a0 in 0u64..1000, al in 0u64..1000, b0 in 0u64..1000, bl in 0u64..1000) {
+        let a = UnitRange::new(a0, a0 + al);
+        let b = UnitRange::new(b0, b0 + bl);
+        let i1 = a.intersect(b);
+        let i2 = b.intersect(a);
+        prop_assert_eq!(i1.len(), i2.len());
+        prop_assert!(i1.len() <= a.len() && i1.len() <= b.len());
+        prop_assert_eq!(i1.intersect(a).len(), i1.len());
+        for u in i1.iter() {
+            prop_assert!(a.contains(u) && b.contains(u));
+        }
+    }
+
+    /// Copy-on-write isolation: writes through one clone never reach
+    /// another, regardless of the write pattern.
+    #[test]
+    fn cow_isolation(values in proptest::collection::vec(any::<f32>(), 1..64),
+                     writes in proptest::collection::vec((0usize..64, any::<f32>()), 0..32)) {
+        let mut a = Args::new();
+        a.push(Buffer::f32("b", values.clone(), Space::Global));
+        let snapshot = a.clone();
+        for (i, v) in writes {
+            let idx = i % values.len();
+            a.f32_mut(0).unwrap()[idx] = v;
+        }
+        // The snapshot still sees the original data bit-for-bit.
+        for (orig, snap) in values.iter().zip(snapshot.f32(0).unwrap()) {
+            prop_assert_eq!(orig.to_bits(), snap.to_bits());
+        }
+    }
+
+    /// Sandbox views isolate exactly the listed arguments and share the
+    /// rest (addresses prove sharing).
+    #[test]
+    fn sandbox_isolates_only_outputs(n_args in 1usize..6, outputs in proptest::collection::vec(0usize..6, 0..6)) {
+        let mut a = Args::new();
+        for i in 0..n_args {
+            a.push(Buffer::f32(format!("b{i}"), vec![0.0; 8], Space::Global));
+        }
+        let outputs: Vec<usize> = outputs.into_iter().filter(|&i| i < n_args).collect();
+        let sb = a.sandbox_view(&outputs).unwrap();
+        for i in 0..n_args {
+            let same_addr = sb.buffer(i).unwrap().addr() == a.buffer(i).unwrap().addr();
+            prop_assert_eq!(same_addr, !outputs.contains(&i), "arg {}", i);
+        }
+    }
+
+    /// The counting sink's byte accounting matches the descriptor contents
+    /// for any mix of operations.
+    #[test]
+    fn counting_sink_accounting(lanes in 1u32..64, count in 1u64..512, stride in -64i64..64) {
+        let mut s = CountingSink::default();
+        s.mem(&MemOp::Warp { space: Space::Global, base: 4096, stride: 4, lanes, elem: 4, store: false });
+        s.mem(&MemOp::Stream { space: Space::Global, base: 0, count, stride, elem: 4, store: true });
+        prop_assert_eq!(s.accesses, u64::from(lanes) + count);
+        prop_assert_eq!(s.bytes, u64::from(lanes) * 4 + count * 4);
+        prop_assert_eq!(s.stores, 1);
+        prop_assert_eq!(s.mem_ops, 2);
+    }
+
+    /// Swap round-trips: adopting outputs twice restores the original
+    /// payloads.
+    #[test]
+    fn adopt_outputs_is_an_involution(a_vals in proptest::collection::vec(any::<f32>(), 4..16),
+                                      b_vals in proptest::collection::vec(any::<f32>(), 4..16)) {
+        let size = a_vals.len().min(b_vals.len());
+        let mut a = Args::new();
+        a.push(Buffer::f32("out", a_vals[..size].to_vec(), Space::Global));
+        let mut b = Args::new();
+        b.push(Buffer::f32("out", b_vals[..size].to_vec(), Space::Global));
+        let orig_a: Vec<u32> = a.f32(0).unwrap().iter().map(|v| v.to_bits()).collect();
+        a.adopt_outputs(&mut b, &[0]).unwrap();
+        a.adopt_outputs(&mut b, &[0]).unwrap();
+        let back: Vec<u32> = a.f32(0).unwrap().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(orig_a, back);
+    }
+}
+
+/// Address translation in `GroupCtx` is linear in the element index.
+#[test]
+fn ctx_translation_is_linear() {
+    struct Probe(Vec<u64>);
+    impl TraceSink for Probe {
+        fn mem(&mut self, op: &MemOp) {
+            if let MemOp::Gather { addrs, .. } = op {
+                self.0.extend(addrs);
+            }
+        }
+        fn compute(&mut self, _: u64) {}
+    }
+    let mut a = Args::new();
+    a.push(Buffer::f32("x", vec![0.0; 128], Space::Global));
+    let base = a.buffer(0).unwrap().addr();
+    let mut probe = Probe(Vec::new());
+    let mut ctx = GroupCtx::new(0, UnitRange::new(0, 1), 32, &a, &[], &mut probe);
+    ctx.gather(0, &[0, 1, 2, 50, 127]);
+    assert_eq!(probe.0, vec![base, base + 4, base + 8, base + 200, base + 508]);
+}

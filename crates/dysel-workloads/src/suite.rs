@@ -1,0 +1,167 @@
+//! The workload descriptor shared by examples, tests and the benchmark
+//! harness.
+
+use std::fmt;
+use std::sync::Arc;
+
+use dysel_kernel::{Args, Variant};
+
+/// Which device family a variant set targets. Candidate sets differ per
+/// device, exactly as in the paper (e.g. 4 `spmv-jds` variants on GPU but
+/// 2 on CPU, §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// CPU variant set.
+    Cpu,
+    /// GPU variant set.
+    Gpu,
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Target::Cpu => "cpu",
+            Target::Gpu => "gpu",
+        })
+    }
+}
+
+/// Verification callback: checks the output buffers against a host
+/// reference, returning a description of the first mismatch.
+pub type VerifyFn = Arc<dyn Fn(&Args) -> Result<(), String> + Send + Sync>;
+
+/// One benchmark workload: seeded input data, per-target variant sets, and
+/// a host-reference verifier.
+#[derive(Clone)]
+pub struct Workload {
+    /// Workload name (e.g. `"sgemm"`, `"spmv-csr(diagonal)"`).
+    pub name: String,
+    /// Kernel signature the variants register under.
+    pub signature: String,
+    /// Total workload units (base work-groups).
+    pub total_units: u64,
+    /// Whether the application launches this kernel iteratively (profile
+    /// only the first iteration, §3.1).
+    pub iterative: bool,
+    /// Pristine input/output buffers (copy-on-write; cloning is cheap).
+    args: Args,
+    variants_cpu: Vec<Variant>,
+    variants_gpu: Vec<Variant>,
+    verify: VerifyFn,
+}
+
+impl Workload {
+    /// Assembles a workload description.
+    pub fn new(
+        name: impl Into<String>,
+        args: Args,
+        total_units: u64,
+        variants_cpu: Vec<Variant>,
+        variants_gpu: Vec<Variant>,
+        verify: VerifyFn,
+    ) -> Self {
+        let name = name.into();
+        Workload {
+            signature: name.clone(),
+            name,
+            total_units,
+            iterative: false,
+            args,
+            variants_cpu,
+            variants_gpu,
+            verify,
+        }
+    }
+
+    /// Builder-style: mark the workload as iterative.
+    pub fn iterative(mut self) -> Self {
+        self.iterative = true;
+        self
+    }
+
+    /// A fresh copy of the pristine argument set (copy-on-write: inputs are
+    /// shared, outputs duplicate on first write).
+    pub fn fresh_args(&self) -> Args {
+        self.args.clone()
+    }
+
+    /// The candidate variants for a target device family.
+    pub fn variants(&self, target: Target) -> &[Variant] {
+        match target {
+            Target::Cpu => &self.variants_cpu,
+            Target::Gpu => &self.variants_gpu,
+        }
+    }
+
+    /// Verifies output buffers against the host reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first mismatch.
+    pub fn verify(&self, args: &Args) -> Result<(), String> {
+        (self.verify)(args)
+    }
+}
+
+impl fmt::Debug for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("total_units", &self.total_units)
+            .field("iterative", &self.iterative)
+            .field("cpu_variants", &self.variants_cpu.len())
+            .field("gpu_variants", &self.variants_gpu.len())
+            .finish()
+    }
+}
+
+/// Compares two `f32` slices with a relative-plus-absolute tolerance,
+/// reporting the first offending index.
+pub fn check_close(name: &str, got: &[f32], want: &[f32], tol: f32) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!(
+            "{name}: length mismatch ({} vs {})",
+            got.len(),
+            want.len()
+        ));
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let scale = 1.0f32.max(w.abs());
+        if (g - w).abs() > tol * scale {
+            return Err(format!("{name}[{i}]: got {g}, want {w}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysel_kernel::{Buffer, Space};
+
+    #[test]
+    fn check_close_reports_index() {
+        assert!(check_close("y", &[1.0, 2.0], &[1.0, 2.0], 1e-6).is_ok());
+        let err = check_close("y", &[1.0, 9.0], &[1.0, 2.0], 1e-6).unwrap_err();
+        assert!(err.contains("y[1]"), "{err}");
+        assert!(check_close("y", &[1.0], &[1.0, 2.0], 1e-6).is_err());
+    }
+
+    #[test]
+    fn fresh_args_are_isolated() {
+        let mut args = Args::new();
+        args.push(Buffer::f32("out", vec![0.0; 4], Space::Global));
+        let w = Workload::new(
+            "w",
+            args,
+            4,
+            vec![],
+            vec![],
+            Arc::new(|_| Ok(())),
+        );
+        let mut a1 = w.fresh_args();
+        a1.f32_mut(0).unwrap()[0] = 5.0;
+        let a2 = w.fresh_args();
+        assert_eq!(a2.f32(0).unwrap()[0], 0.0);
+    }
+}

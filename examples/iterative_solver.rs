@@ -1,0 +1,76 @@
+//! The profiling-activation-flag workflow of §3.1: an iterative solver
+//! (power iteration, whose hot kernel is `spmv`) profiles only its first
+//! iteration and reuses the selection for the rest.
+//!
+//! ```text
+//! cargo run --release --example iterative_solver
+//! ```
+//!
+//! Run on two different matrices, DySel picks *different* spmv kernels —
+//! the vector kernel for the random matrix, the scalar kernel for the
+//! diagonal one — without any code change in the solver.
+
+use dysel::core::{LaunchOptions, Runtime};
+use dysel::device::{GpuConfig, GpuDevice};
+use dysel::workloads::{spmv_csr, CsrMatrix, Target};
+
+const ITERS: usize = 25;
+
+/// One power-iteration solve: x <- normalize(A x), repeated.
+fn power_iteration(matrix: &CsrMatrix, label: &str) {
+    let workload = spmv_csr::case4_workload("spmv", matrix, 11);
+    let mut rt = Runtime::new(Box::new(GpuDevice::new(GpuConfig::kepler_k20c())));
+    rt.add_kernels(&workload.signature, workload.variants(Target::Gpu).to_vec());
+
+    let mut args = workload.fresh_args();
+    let mut total = dysel::device::Cycles::ZERO;
+    let mut eigen_estimate = 0.0f32;
+
+    for iter in 0..ITERS {
+        // Profiling activation flag: on for the first iteration only.
+        let opts = if iter == 0 {
+            LaunchOptions::new()
+        } else {
+            LaunchOptions::new().without_profiling()
+        };
+        let report = rt
+            .launch(&workload.signature, &mut args, workload.total_units, &opts)
+            .expect("launch");
+        total += report.total_time;
+        if iter == 0 {
+            println!(
+                "{label}: first-iteration profiling selected {:?} ({})",
+                report.selected_name, report.profile_time
+            );
+        } else {
+            assert_eq!(
+                report.skipped,
+                Some(dysel::core::SkipReason::CachedSelection),
+                "later iterations must reuse the cached selection"
+            );
+        }
+
+        // Host side of the solver: norm and renormalize, y -> x.
+        let norm = {
+            let y = args.f32(spmv_csr::arg::Y).expect("y");
+            y.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-20)
+        };
+        eigen_estimate = norm;
+        let y = args.f32(spmv_csr::arg::Y).expect("y").to_vec();
+        let x = args.f32_mut(spmv_csr::arg::X).expect("x");
+        for (xi, yi) in x.iter_mut().zip(&y) {
+            *xi = yi / norm;
+        }
+    }
+    println!(
+        "{label}: {ITERS} iterations in {total}, |lambda_max| ~= {eigen_estimate:.3}\n"
+    );
+}
+
+fn main() {
+    println!("power iteration with DySel-managed spmv\n");
+    let random = CsrMatrix::random(16384, 16384, 0.01, 42);
+    power_iteration(&random, "random 16k x 16k (1% dense)");
+    let diagonal = CsrMatrix::diagonal(1 << 20);
+    power_iteration(&diagonal, "diagonal 1M x 1M");
+}

@@ -1,0 +1,67 @@
+//! Mixed-version execution (the paper's stated future work, §4.1): on a
+//! matrix whose character changes halfway through, per-region selection
+//! beats *every* pure variant — including the paper's "oracle".
+//!
+//! ```text
+//! cargo run --release --example mixed_partitions
+//! ```
+
+use dysel::baselines::exhaustive_sweep;
+use dysel::core::{LaunchOptions, Runtime};
+use dysel::device::{Device, GpuConfig, GpuDevice};
+use dysel::workloads::{spmv_csr, CsrMatrix, Target};
+
+fn gpu() -> Box<dyn Device> {
+    Box::new(GpuDevice::new(GpuConfig::kepler_k20c()))
+}
+
+fn main() {
+    // 8k random-pattern rows followed by 256k diagonal rows.
+    let (random_rows, diag_rows) = (8192usize, 262_144usize);
+    let rows = random_rows + diag_rows;
+    let top = CsrMatrix::random(random_rows, rows, 160.0 / rows as f64, 42);
+    let mut row_ptr = top.row_ptr.clone();
+    let mut col_idx = top.col_idx.clone();
+    let mut vals = top.vals.clone();
+    for r in 0..diag_rows {
+        col_idx.push((random_rows + r) as u32);
+        vals.push(1.0);
+        row_ptr.push(col_idx.len() as u32);
+    }
+    let matrix = CsrMatrix { rows, cols: rows, row_ptr, col_idx, vals };
+    let workload = spmv_csr::case4_workload("spmv", &matrix, 42);
+
+    // Every pure variant over the whole workload (the paper's oracle/worst).
+    let sweep = exhaustive_sweep(&workload, Target::Gpu, gpu);
+    println!("pure variants over the whole workload:");
+    for (id, t) in &sweep.times {
+        println!("  {:12} {t}", workload.variants(Target::Gpu)[id.0].name());
+    }
+    let best_pure = sweep.best().1;
+
+    // Mixed-version DySel: the row-pointer profile reveals where the matrix
+    // changes character; pass that boundary as a region cut.
+    let cut = (random_rows / spmv_csr::ROW_BLOCK) as u64;
+    let mut rt = Runtime::new(gpu());
+    rt.add_kernels(&workload.signature, workload.variants(Target::Gpu).to_vec());
+    let mut args = workload.fresh_args();
+    let mixed = rt
+        .launch_mixed_at(&workload.signature, &mut args, workload.total_units, &[cut], &LaunchOptions::new())
+        .expect("mixed launch");
+    workload.verify(&args).expect("outputs stay exact");
+
+    println!("\nmixed-version DySel (cut at unit {cut}):");
+    for (i, region) in mixed.regions.iter().enumerate() {
+        println!(
+            "  region {i}: picked {:12} ({})",
+            region.selected_name, region.total_time
+        );
+    }
+    let speedup = best_pure.as_f64() / mixed.total_time.as_f64();
+    println!(
+        "\nmixed total {} vs best pure {best_pure}: {speedup:.2}x better than the paper's oracle",
+        mixed.total_time
+    );
+    assert!(mixed.is_heterogeneous());
+    assert!(speedup > 1.0, "mixing should win on this input");
+}

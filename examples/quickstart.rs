@@ -1,0 +1,99 @@
+//! Quickstart: registering two hand-written kernel variants and letting
+//! DySel pick at launch time.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The kernel is a SAXPY-ish update, `y[i] = a*x[i] + y[i]`, written twice:
+//! a scalar row-walk and an 8-wide vectorized version. On the deterministic
+//! CPU model the vectorized version wins — but the point is that the caller
+//! never has to know that: it deposits both and launches.
+
+use dysel::core::{LaunchOptions, Runtime};
+use dysel::device::{CpuConfig, CpuDevice};
+use dysel::kernel::{Args, Buffer, KernelIr, Space, Variant, VariantMeta};
+
+const N: u64 = 1 << 16;
+const A: f32 = 2.5;
+
+/// Scalar variant: one element at a time.
+fn scalar_variant() -> Variant {
+    Variant::from_fn(
+        VariantMeta::new("saxpy-scalar", KernelIr::regular(vec![0])).with_wa_factor(64),
+        |ctx, args| {
+            let u = ctx.units();
+            for i in u.iter() {
+                let x = args.f32(1).expect("x")[i as usize];
+                let y = &mut args.f32_mut(0).expect("y")[i as usize];
+                *y += A * x;
+            }
+            // Cost trace: scalar loads/stores plus one FMA per element.
+            ctx.stream_load(1, u.start, u.len(), 1);
+            ctx.stream_load(0, u.start, u.len(), 1);
+            ctx.stream_store(0, u.start, u.len(), 1);
+            ctx.compute(2 * u.len());
+        },
+    )
+}
+
+/// 8-wide vectorized variant: same math, AVX-shaped trace.
+fn vector_variant() -> Variant {
+    Variant::from_fn(
+        VariantMeta::new("saxpy-8way", KernelIr::regular(vec![0])).with_wa_factor(64),
+        |ctx, args| {
+            let u = ctx.units();
+            for i in u.iter() {
+                let x = args.f32(1).expect("x")[i as usize];
+                let y = &mut args.f32_mut(0).expect("y")[i as usize];
+                *y += A * x;
+            }
+            for chunk in (u.start..u.end).step_by(8) {
+                let lanes = 8.min(u.end - chunk) as u32;
+                ctx.warp_load(1, chunk, 1, lanes);
+                ctx.warp_load(0, chunk, 1, lanes);
+                ctx.warp_store(0, chunk, 1, lanes);
+            }
+            ctx.vector_compute(u.len().div_ceil(8), 8, 8, 2);
+        },
+    )
+}
+
+fn main() -> Result<(), dysel::core::DyselError> {
+    // A runtime on the (deterministic, simulated) 4-core CPU.
+    let mut rt = Runtime::new(Box::new(CpuDevice::new(CpuConfig::default())));
+
+    // DySelAddKernel: deposit both implementations under one signature.
+    rt.add_kernel("saxpy", scalar_variant());
+    rt.add_kernel("saxpy", vector_variant());
+
+    // The actual data.
+    let mut args = Args::new();
+    args.push(Buffer::f32("y", vec![1.0; N as usize], Space::Global));
+    args.push(Buffer::f32(
+        "x",
+        (0..N).map(|i| (i % 7) as f32).collect(),
+        Space::Global,
+    ));
+
+    // DySelLaunchKernel: profiling on, asynchronous orchestration.
+    let report = rt.launch("saxpy", &mut args, N, &LaunchOptions::new())?;
+
+    println!("selected       : {}", report.selected_name);
+    println!("profiling mode : {:?}", report.mode);
+    println!("profile time   : {}", report.profile_time);
+    println!("total time     : {}", report.total_time);
+    println!("eager chunks   : {}", report.eager_chunks);
+    for m in &report.measurements {
+        println!("  measured {} -> {}", m.variant, m.measured);
+    }
+
+    // Productive profiling left the output complete and exact.
+    let y = args.f32(0).expect("y");
+    for i in 0..N as usize {
+        let want = 1.0 + A * (i % 7) as f32;
+        assert_eq!(y[i], want, "output mismatch at {i}");
+    }
+    println!("output verified: y = a*x + y for all {N} elements");
+    Ok(())
+}

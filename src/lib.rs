@@ -1,0 +1,69 @@
+//! # DySel — lightweight dynamic selection for kernel-based data-parallel programs
+//!
+//! A complete Rust reproduction of *"DySel: Lightweight Dynamic Selection
+//! for Kernel-based Data-parallel Programming Model"* (Chang, Kim, Hwu —
+//! ASPLOS 2016), including the runtime, its compiler analyses, deterministic
+//! CPU/GPU device models standing in for the paper's testbed, the evaluated
+//! benchmark workloads, the static-selection baselines it compares against,
+//! and a harness regenerating every table and figure.
+//!
+//! ## The idea
+//!
+//! Picking the fastest implementation of a data-parallel kernel depends on
+//! the device *and* the input; static heuristics and performance models
+//! routinely guess wrong. DySel side-steps modeling entirely: the compiler
+//! (or programmer) deposits several candidate variants, and at launch time
+//! the runtime **micro-profiles** each candidate on a small slice of the
+//! *actual* workload, then runs the rest with the winner. Profiling is
+//! *productive* — profiled slices contribute to the final output — so the
+//! observed worst-case overhead stays in single-digit percentages.
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`kernel`] | programming-model substrate: buffers, kernels, traces, IR |
+//! | [`device`] | deterministic CPU & GPU timing models (virtual time) |
+//! | [`analysis`] | safe point / uniform workload / side effect analyses |
+//! | [`core`] | the DySel runtime: productive profiling, sync/async flows |
+//! | [`workloads`] | sgemm, spmv, stencil, cutcp, kmeans, particle filter, histogram |
+//! | [`baselines`] | LC scheduling, PORPLE-like placement, heuristics, oracle |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dysel::core::{LaunchOptions, Runtime};
+//! use dysel::device::{CpuConfig, CpuDevice};
+//! use dysel::workloads::{spmv_csr, CsrMatrix, Target};
+//!
+//! # fn main() -> Result<(), dysel::core::DyselError> {
+//! // A workload whose best implementation depends on the input...
+//! let matrix = CsrMatrix::diagonal(100_000);
+//! let workload = spmv_csr::case4_workload("spmv", &matrix, 7);
+//!
+//! // ...a runtime on a device, with the candidate variants deposited...
+//! let mut rt = Runtime::new(Box::new(CpuDevice::new(CpuConfig::default())));
+//! rt.add_kernels(&workload.signature, workload.variants(Target::Cpu).to_vec());
+//!
+//! // ...and one launch: DySel micro-profiles, selects, and finishes.
+//! let mut args = workload.fresh_args();
+//! let report = rt.launch(&workload.signature, &mut args, workload.total_units,
+//!                        &LaunchOptions::new())?;
+//! workload.verify(&args).expect("productive profiling keeps outputs exact");
+//! println!("selected {} in {}", report.selected_name, report.profile_time);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/dysel-bench` for the paper's evaluation harness
+//! (`cargo run --release -p dysel-bench --bin experiments`).
+
+#![forbid(unsafe_code)]
+
+pub use dysel_analysis as analysis;
+pub use dysel_baselines as baselines;
+pub use dysel_core as core;
+pub use dysel_device as device;
+pub use dysel_kernel as kernel;
+pub use dysel_workloads as workloads;

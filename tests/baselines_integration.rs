@@ -1,0 +1,105 @@
+//! Cross-crate integration of the static baselines against real
+//! workloads and real device sweeps: where each heuristic is right, where
+//! it is wrong, and that DySel recovers the losses — the logical core of
+//! the paper's case studies at test scale.
+
+use dysel::baselines::{
+    exhaustive_sweep, heuristic_select, intel_vec_select, lc_select, porple_select,
+};
+use dysel::core::{LaunchOptions, Runtime, RuntimeConfig};
+use dysel::device::{CpuConfig, CpuDevice, Device, GpuConfig, GpuDevice};
+use dysel::workloads::{sgemm, spmv_csr, CsrMatrix, Target};
+
+fn cpu() -> Box<dyn Device> {
+    Box::new(CpuDevice::new(CpuConfig::noiseless()))
+}
+
+fn gpu() -> Box<dyn Device> {
+    Box::new(GpuDevice::new(GpuConfig::kepler_k20c().noiseless()))
+}
+
+#[test]
+fn lc_is_right_on_regular_sgemm_but_wrong_on_diagonal_spmv() {
+    // sgemm: LC's stride-minimizing pick is near the oracle.
+    let w = sgemm::schedules_workload(64, 5);
+    let sweep = exhaustive_sweep(&w, Target::Cpu, cpu);
+    let lc = lc_select(w.variants(Target::Cpu));
+    let lc_rel = sweep.time_of(lc).ratio_over(sweep.best().1);
+    assert!(lc_rel < 1.25, "LC on sgemm: {lc_rel}");
+
+    // spmv on a diagonal matrix: LC's unconditional DFO loses.
+    let m = CsrMatrix::diagonal(1 << 18);
+    let w = spmv_csr::case4_workload("spmv", &m, 5);
+    let sweep = exhaustive_sweep(&w, Target::Cpu, cpu);
+    let lc = lc_select(w.variants(Target::Cpu));
+    assert!(w.variants(Target::Cpu)[lc.0].name().ends_with("dfo"));
+    let lc_rel = sweep.time_of(lc).ratio_over(sweep.best().1);
+    assert!(lc_rel > 1.05, "LC should err on the diagonal input: {lc_rel}");
+}
+
+#[test]
+fn porple_and_heuristic_err_on_spmv_placements_and_dysel_recovers() {
+    let m = CsrMatrix::random(8192, 8192, 0.01, 5);
+    let w = spmv_csr::placement_workload("spmv", &m, 5);
+    let sweep = exhaustive_sweep(&w, Target::Gpu, gpu);
+    let args = w.fresh_args();
+
+    let porple = porple_select(&GpuConfig::kepler_k20c(), w.variants(Target::Gpu), &args);
+    let heuristic = heuristic_select(w.variants(Target::Gpu), &args);
+    let porple_rel = sweep.time_of(porple).ratio_over(sweep.best().1);
+    let heuristic_rel = sweep.time_of(heuristic).ratio_over(sweep.best().1);
+    assert!(porple_rel > 1.02, "PORPLE should be suboptimal: {porple_rel}");
+    assert!(
+        heuristic_rel > porple_rel,
+        "the rule heuristic should be worse than PORPLE ({heuristic_rel} vs {porple_rel})"
+    );
+
+    // DySel lands below both.
+    let mut rt = Runtime::with_config(
+        gpu(),
+        RuntimeConfig {
+            profile_threshold_groups: 16,
+            ..RuntimeConfig::default()
+        },
+    );
+    rt.add_kernels(&w.signature, w.variants(Target::Gpu).to_vec());
+    let mut wargs = w.fresh_args();
+    let report = rt
+        .launch(&w.signature, &mut wargs, w.total_units, &LaunchOptions::new())
+        .unwrap();
+    w.verify(&wargs).unwrap();
+    let dysel_rel = report.total_time.ratio_over(sweep.best().1);
+    assert!(
+        dysel_rel < porple_rel && dysel_rel < heuristic_rel,
+        "DySel {dysel_rel} vs PORPLE {porple_rel} / heuristic {heuristic_rel}"
+    );
+}
+
+#[test]
+fn vectorizer_heuristic_mispicks_both_fig1_cases() {
+    // sgemm: regular → the heuristic's 4-way is not the best (8-way is).
+    let w = sgemm::vector_workload(64, 5);
+    let sweep = exhaustive_sweep(&w, Target::Cpu, cpu);
+    let pick = intel_vec_select(w.variants(Target::Cpu));
+    assert_ne!(pick, sweep.best().0, "heuristic should mispick on sgemm");
+
+    // The misprediction costs real performance.
+    let loss = sweep.time_of(pick).ratio_over(sweep.best().1);
+    assert!(loss > 1.05, "loss {loss}");
+}
+
+#[test]
+fn oracle_is_never_beaten_by_a_static_pick() {
+    let m = CsrMatrix::random(4096, 4096, 0.01, 5);
+    let w = spmv_csr::case4_workload("spmv", &m, 5);
+    for target in [Target::Cpu, Target::Gpu] {
+        let factory = match target {
+            Target::Cpu => cpu as fn() -> Box<dyn Device>,
+            Target::Gpu => gpu as fn() -> Box<dyn Device>,
+        };
+        let sweep = exhaustive_sweep(&w, target, factory);
+        let lc = lc_select(w.variants(target));
+        assert!(sweep.time_of(lc) >= sweep.best().1);
+        assert!(sweep.time_of(lc) <= sweep.worst().1);
+    }
+}
