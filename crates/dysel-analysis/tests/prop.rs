@@ -1,31 +1,40 @@
-//! Property-based tests for the compiler analyses.
-
-use proptest::prelude::*;
+//! Randomized property tests for the compiler analyses.
+//!
+//! Gated behind the dep-less `proptest` cargo feature and driven by the
+//! in-tree [`XorShiftRng`]: `cargo test -p dysel-analysis --features proptest`.
+#![cfg(feature = "proptest")]
 
 use dysel_analysis::{infer_mode, safe_point, side_effect, uniform_workload};
-use dysel_kernel::{KernelIr, LoopBound, LoopIr, LoopKind, ProfilingMode, VariantMeta};
+use dysel_kernel::{
+    KernelIr, LoopBound, LoopIr, LoopKind, ProfilingMode, VariantMeta, XorShiftRng,
+};
 
-proptest! {
-    /// Safe point invariants: every variant profiles exactly
-    /// `slice_units` units; groups follow the LCM ratio; the plan fits the
-    /// workload; combined groups can fill the device when feasible.
-    #[test]
-    fn safe_point_invariants(factors in proptest::collection::vec(1u32..64, 1..8),
-                             units in 1u32..32,
-                             total in 1u64..100_000,
-                             slices in 1u64..8) {
+const CASES: u64 = 128;
+
+/// Safe point invariants: every variant profiles exactly `slice_units`
+/// units; groups follow the LCM ratio; the plan fits the workload.
+#[test]
+fn safe_point_invariants() {
+    for case in 0..CASES {
+        let mut rng = XorShiftRng::seed_from_u64(0xA11A_5000 + case);
+        let factors: Vec<u32> = (0..rng.gen_range_usize(1, 8))
+            .map(|_| rng.gen_range_u32(1, 64))
+            .collect();
+        let units = rng.gen_range_u32(1, 32);
+        let total = rng.gen_range_u64(1, 100_000);
+        let slices = rng.gen_range_u64(1, 8);
         match safe_point(&factors, units, total, slices) {
             Some(plan) => {
-                prop_assert!(plan.slice_units > 0);
-                prop_assert_eq!(plan.groups.len(), factors.len());
+                assert!(plan.slice_units > 0);
+                assert_eq!(plan.groups.len(), factors.len());
                 for (g, &w) in plan.groups.iter().zip(&factors) {
                     // Each variant covers the full slice in whole groups.
-                    prop_assert_eq!(g * u64::from(w), plan.slice_units);
+                    assert_eq!(g * u64::from(w), plan.slice_units);
                 }
                 // The plan fits the workload.
-                prop_assert!(plan.slice_units * slices <= total);
+                assert!(plan.slice_units * slices <= total);
                 // slice = lcm * scale.
-                prop_assert_eq!(plan.slice_units, plan.lcm * plan.scale);
+                assert_eq!(plan.slice_units, plan.lcm * plan.scale);
             }
             None => {
                 // Infeasible only when even the minimal slice cannot fit.
@@ -33,51 +42,71 @@ proptest! {
                     let w = u64::from(w);
                     acc / gcd(acc, w) * w
                 });
-                prop_assert!(l * slices > total, "rejected a feasible plan: lcm {l}");
+                assert!(l * slices > total, "rejected a feasible plan: lcm {l}");
             }
         }
     }
+}
 
-    /// Mode inference is monotone: adding a variant never relaxes the
-    /// required mode (swap > hybrid > fully).
-    #[test]
-    fn mode_inference_is_monotone(irregular in any::<bool>(), atomics in any::<bool>()) {
-        let mut ir = KernelIr::regular(vec![0]);
-        if irregular {
-            ir = ir.with_loops(vec![LoopIr::new(LoopKind::Kernel, LoopBound::DataDependent)]);
+/// Mode inference is monotone: adding a variant never relaxes the required
+/// mode (swap > hybrid > fully). Exhaustive over the flag combinations.
+#[test]
+fn mode_inference_is_monotone() {
+    for irregular in [false, true] {
+        for atomics in [false, true] {
+            let mut ir = KernelIr::regular(vec![0]);
+            if irregular {
+                ir = ir.with_loops(vec![LoopIr::new(LoopKind::Kernel, LoopBound::DataDependent)]);
+            }
+            if atomics {
+                ir = ir.with_atomics();
+            }
+            let base = vec![VariantMeta::new("a", KernelIr::regular(vec![0]))];
+            let extended = {
+                let mut v = base.clone();
+                v.push(VariantMeta::new("b", ir));
+                v
+            };
+            let rank = |m: ProfilingMode| match m {
+                ProfilingMode::FullyProductive => 0,
+                ProfilingMode::HybridPartial => 1,
+                ProfilingMode::SwapPartial => 2,
+            };
+            assert!(rank(infer_mode(&extended)) >= rank(infer_mode(&base)));
         }
-        if atomics {
-            ir = ir.with_atomics();
-        }
-        let base = vec![VariantMeta::new("a", KernelIr::regular(vec![0]))];
-        let extended = {
-            let mut v = base.clone();
-            v.push(VariantMeta::new("b", ir));
-            v
-        };
-        let rank = |m: ProfilingMode| match m {
-            ProfilingMode::FullyProductive => 0,
-            ProfilingMode::HybridPartial => 1,
-            ProfilingMode::SwapPartial => 2,
-        };
-        prop_assert!(rank(infer_mode(&extended)) >= rank(infer_mode(&base)));
     }
+}
 
-    /// The side-effect and uniformity analyses agree with the IR flags
-    /// they are defined over (soundness: flags imply detection).
-    #[test]
-    fn analyses_are_sound(atomics in any::<bool>(), overlap in any::<bool>(), early in any::<bool>()) {
-        let mut ir = KernelIr::regular(vec![0]);
-        if atomics { ir = ir.with_atomics(); }
-        if overlap { ir = ir.with_overlapping_outputs(); }
-        if early { ir = ir.with_early_exit(); }
-        let se = side_effect(&ir);
-        prop_assert_eq!(se.forces_swap(), atomics || overlap);
-        let un = uniform_workload(&ir);
-        prop_assert_eq!(un.is_uniform, !early); // no data-dependent loops here
+/// The side-effect and uniformity analyses agree with the IR flags they are
+/// defined over (soundness: flags imply detection). Exhaustive.
+#[test]
+fn analyses_are_sound() {
+    for atomics in [false, true] {
+        for overlap in [false, true] {
+            for early in [false, true] {
+                let mut ir = KernelIr::regular(vec![0]);
+                if atomics {
+                    ir = ir.with_atomics();
+                }
+                if overlap {
+                    ir = ir.with_overlapping_outputs();
+                }
+                if early {
+                    ir = ir.with_early_exit();
+                }
+                let se = side_effect(&ir);
+                assert_eq!(se.forces_swap(), atomics || overlap);
+                let un = uniform_workload(&ir);
+                assert_eq!(un.is_uniform, !early); // no data-dependent loops here
+            }
+        }
     }
 }
 
 fn gcd(a: u64, b: u64) -> u64 {
-    if b == 0 { a } else { gcd(b, a % b) }
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
 }

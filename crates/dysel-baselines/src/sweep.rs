@@ -73,11 +73,11 @@ where
 {
     let variants = w.variants(target);
     let mut times = vec![Cycles::ZERO; variants.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, v) in variants.iter().enumerate() {
             let factory = &factory;
-            handles.push((i, scope.spawn(move |_| {
+            handles.push((i, scope.spawn(move || {
                 let mut device = factory();
                 run_pure(w, v, device.as_mut())
             })));
@@ -85,8 +85,7 @@ where
         for (i, h) in handles {
             times[i] = h.join().expect("sweep thread panicked");
         }
-    })
-    .expect("crossbeam scope");
+    });
     SweepResult {
         times: times
             .into_iter()

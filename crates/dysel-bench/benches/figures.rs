@@ -1,14 +1,16 @@
-//! Criterion benches, one group per paper table/figure plus micro-benches
-//! of the runtime machinery.
+//! Wall-clock benches, one group per paper table/figure plus micro-benches
+//! of the runtime machinery — on a minimal `std::time::Instant` harness so
+//! the workspace carries no external bench dependencies.
 //!
 //! The *virtual-time* results that reproduce the paper's numbers come from
 //! the `experiments` binary (they are deterministic, not wall-clock).
 //! These benches measure the *host cost* of regenerating each figure's
 //! core DySel launch at reduced scale — i.e. the simulator and runtime
-//! throughput a user experiences — and keep the figure pipelines exercised
-//! under `cargo bench`.
+//! throughput a user experiences. Gated behind the `bench-deps` feature:
+//! `cargo bench -p dysel-bench --features bench-deps`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use dysel_analysis::safe_point;
 use dysel_baselines::run_pure;
@@ -22,6 +24,22 @@ use dysel_workloads::{
     histogram, kmeans, particlefilter, sgemm, spmv_csr, spmv_jds, stencil, CsrMatrix, JdsMatrix,
     Target, Workload,
 };
+
+const SAMPLES: usize = 10;
+
+/// Run `f` `SAMPLES` times and report min / mean wall-clock per iteration.
+fn bench(group: &str, name: &str, mut f: impl FnMut()) {
+    f(); // warm-up
+    let mut times = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed());
+    }
+    let min = times.iter().min().unwrap();
+    let mean = times.iter().sum::<std::time::Duration>() / SAMPLES as u32;
+    println!("{group}/{name}: min {min:>12.2?}  mean {mean:>12.2?}");
+}
 
 fn cpu() -> Box<dyn Device> {
     Box::new(CpuDevice::new(CpuConfig::default()))
@@ -42,57 +60,51 @@ fn dysel_launch(w: &Workload, target: Target, device: Box<dyn Device>, orch: Orc
     rt.add_kernels(&w.signature, w.variants(target).to_vec());
     let mut args = w.fresh_args();
     let report = rt
-        .launch(&w.signature, &mut args, w.total_units, &LaunchOptions::new().with_orchestration(orch))
+        .launch(
+            &w.signature,
+            &mut args,
+            w.total_units,
+            &LaunchOptions::new().with_orchestration(orch),
+        )
         .expect("launch");
-    criterion::black_box(report);
+    black_box(report);
 }
 
 /// Fig. 1 pipeline: the vectorization candidates, swept pure.
-fn bench_fig1(c: &mut Criterion) {
+fn bench_fig1() {
     let w = sgemm::vector_workload(64, 42);
-    let mut g = c.benchmark_group("fig1_vectorization");
-    g.sample_size(10);
-    g.bench_function("sgemm64_vec_sweep", |b| {
-        b.iter_batched(
-            cpu,
-            |mut dev| {
-                for v in w.variants(Target::Cpu) {
-                    criterion::black_box(run_pure(&w, v, dev.as_mut()));
-                }
-            },
-            BatchSize::PerIteration,
-        )
+    bench("fig1_vectorization", "sgemm64_vec_sweep", || {
+        let mut dev = cpu();
+        for v in w.variants(Target::Cpu) {
+            black_box(run_pure(&w, v, dev.as_mut()));
+        }
     });
-    g.finish();
 }
 
 /// Fig. 8 pipeline: DySel on the Case I CPU workloads.
-fn bench_fig8(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_lc_cpu");
-    g.sample_size(10);
+fn bench_fig8() {
+    let g = "fig8_lc_cpu";
     let sg = sgemm::schedules_workload(64, 42);
-    g.bench_function("sgemm64_dysel_sync", |b| {
-        b.iter(|| dysel_launch(&sg, Target::Cpu, cpu(), Orchestration::Sync))
+    bench(g, "sgemm64_dysel_sync", || {
+        dysel_launch(&sg, Target::Cpu, cpu(), Orchestration::Sync)
     });
     let km = kmeans::workload(kmeans::Shape { n: 4096, d: 16, k: 8 }, 42);
-    g.bench_function("kmeans4k_dysel_async", |b| {
-        b.iter(|| dysel_launch(&km, Target::Cpu, cpu(), Orchestration::Async))
+    bench(g, "kmeans4k_dysel_async", || {
+        dysel_launch(&km, Target::Cpu, cpu(), Orchestration::Async)
     });
     let st = stencil::workload(32, 42);
-    g.bench_function("stencil32_dysel_async", |b| {
-        b.iter(|| dysel_launch(&st, Target::Cpu, cpu(), Orchestration::Async))
+    bench(g, "stencil32_dysel_async", || {
+        dysel_launch(&st, Target::Cpu, cpu(), Orchestration::Async)
     });
-    g.finish();
 }
 
 /// Fig. 9 pipeline: GPU data-placement selection.
-fn bench_fig9(c: &mut Criterion) {
+fn bench_fig9() {
+    let g = "fig9_placement_gpu";
     let m = CsrMatrix::random(4096, 4096, 0.01, 42);
     let w = spmv_csr::placement_workload("spmv", &m, 42);
-    let mut g = c.benchmark_group("fig9_placement_gpu");
-    g.sample_size(10);
-    g.bench_function("spmv4k_placements_dysel", |b| {
-        b.iter(|| dysel_launch(&w, Target::Gpu, gpu(), Orchestration::Sync))
+    bench(g, "spmv4k_placements_dysel", || {
+        dysel_launch(&w, Target::Gpu, gpu(), Orchestration::Sync)
     });
     let pf = particlefilter::workload(
         particlefilter::Shape {
@@ -102,52 +114,46 @@ fn bench_fig9(c: &mut Criterion) {
         },
         42,
     );
-    g.bench_function("particlefilter8k_dysel", |b| {
-        b.iter(|| dysel_launch(&pf, Target::Gpu, gpu(), Orchestration::Async))
+    bench(g, "particlefilter8k_dysel", || {
+        dysel_launch(&pf, Target::Gpu, gpu(), Orchestration::Async)
     });
-    g.finish();
 }
 
 /// Fig. 10 pipeline: mixed-optimization candidates on both devices.
-fn bench_fig10(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_mixed");
-    g.sample_size(10);
+fn bench_fig10() {
+    let g = "fig10_mixed";
     let sg = sgemm::mixed_workload(64, 42);
-    g.bench_function("sgemm64_mixed_cpu", |b| {
-        b.iter(|| dysel_launch(&sg, Target::Cpu, cpu(), Orchestration::Sync))
+    bench(g, "sgemm64_mixed_cpu", || {
+        dysel_launch(&sg, Target::Cpu, cpu(), Orchestration::Sync)
     });
-    g.bench_function("sgemm64_mixed_gpu", |b| {
-        b.iter(|| dysel_launch(&sg, Target::Gpu, gpu(), Orchestration::Sync))
+    bench(g, "sgemm64_mixed_gpu", || {
+        dysel_launch(&sg, Target::Gpu, gpu(), Orchestration::Sync)
     });
     let jds = spmv_jds::workload(&JdsMatrix::from_csr(&CsrMatrix::random(4096, 4096, 0.01, 42)), 42);
-    g.bench_function("spmvjds4k_gpu", |b| {
-        b.iter(|| dysel_launch(&jds, Target::Gpu, gpu(), Orchestration::Async))
+    bench(g, "spmvjds4k_gpu", || {
+        dysel_launch(&jds, Target::Gpu, gpu(), Orchestration::Async)
     });
-    g.finish();
 }
 
 /// Fig. 11 pipeline: input-dependent selection on both matrices.
-fn bench_fig11(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11_input_dependent");
-    g.sample_size(10);
+fn bench_fig11() {
+    let g = "fig11_input_dependent";
     let rnd = spmv_csr::case4_workload("spmv", &CsrMatrix::random(4096, 4096, 0.01, 42), 42);
     let dia = spmv_csr::case4_workload("spmv", &CsrMatrix::diagonal(1 << 17), 42);
-    g.bench_function("random4k_gpu", |b| {
-        b.iter(|| dysel_launch(&rnd, Target::Gpu, gpu(), Orchestration::Async))
+    bench(g, "random4k_gpu", || {
+        dysel_launch(&rnd, Target::Gpu, gpu(), Orchestration::Async)
     });
-    g.bench_function("diagonal128k_gpu", |b| {
-        b.iter(|| dysel_launch(&dia, Target::Gpu, gpu(), Orchestration::Async))
+    bench(g, "diagonal128k_gpu", || {
+        dysel_launch(&dia, Target::Gpu, gpu(), Orchestration::Async)
     });
-    g.bench_function("random4k_cpu", |b| {
-        b.iter(|| dysel_launch(&rnd, Target::Cpu, cpu(), Orchestration::Async))
+    bench(g, "random4k_cpu", || {
+        dysel_launch(&rnd, Target::Cpu, cpu(), Orchestration::Async)
     });
-    g.finish();
 }
 
 /// Table 1 / extensions: the three productive modes plus swap-on-atomics.
-fn bench_modes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_modes");
-    g.sample_size(10);
+fn bench_modes() {
+    let g = "table1_modes";
     let m = CsrMatrix::random(4096, 4096, 0.01, 42);
     let w = spmv_csr::case4_workload("spmv", &m, 42);
     for mode in [
@@ -155,22 +161,18 @@ fn bench_modes(c: &mut Criterion) {
         ProfilingMode::HybridPartial,
         ProfilingMode::SwapPartial,
     ] {
-        g.bench_function(format!("spmv4k_{mode}"), |b| {
-            b.iter(|| {
-                let mut rt = Runtime::with_config(
-                    cpu(),
-                    RuntimeConfig {
-                        profile_threshold_groups: 16,
-                        ..RuntimeConfig::default()
-                    },
-                );
-                rt.add_kernels(&w.signature, w.variants(Target::Cpu).to_vec());
-                let mut args = w.fresh_args();
-                let opts = LaunchOptions::new().with_mode(mode);
-                criterion::black_box(
-                    rt.launch(&w.signature, &mut args, w.total_units, &opts).unwrap(),
-                );
-            })
+        bench(g, &format!("spmv4k_{mode}"), || {
+            let mut rt = Runtime::with_config(
+                cpu(),
+                RuntimeConfig {
+                    profile_threshold_groups: 16,
+                    ..RuntimeConfig::default()
+                },
+            );
+            rt.add_kernels(&w.signature, w.variants(Target::Cpu).to_vec());
+            let mut args = w.fresh_args();
+            let opts = LaunchOptions::new().with_mode(mode);
+            black_box(rt.launch(&w.signature, &mut args, w.total_units, &opts).unwrap());
         });
     }
     let hist = histogram::workload(
@@ -178,63 +180,59 @@ fn bench_modes(c: &mut Criterion) {
         histogram::Distribution::Skewed,
         42,
     );
-    g.bench_function("histogram_swap_gpu", |b| {
-        b.iter(|| dysel_launch(&hist, Target::Gpu, gpu(), Orchestration::Sync))
+    bench(g, "histogram_swap_gpu", || {
+        dysel_launch(&hist, Target::Gpu, gpu(), Orchestration::Sync)
     });
-    g.finish();
 }
 
 /// Micro-benches of the simulator primitives the whole harness rests on.
-fn bench_micro(c: &mut Criterion) {
-    let mut g = c.benchmark_group("micro");
-    g.bench_function("cache_hierarchy_1k_accesses", |b| {
+fn bench_micro() {
+    let g = "micro";
+    {
         let mut h = CacheHierarchy::default();
         let mut i = 0u64;
-        b.iter(|| {
+        bench(g, "cache_hierarchy_1k_accesses", || {
             let mut total = 0u64;
             for _ in 0..1000 {
                 i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
                 total += h.access(i % (1 << 22));
             }
-            criterion::black_box(total)
-        })
-    });
-    g.bench_function("setassoc_1k_lines", |b| {
+            black_box(total);
+        });
+    }
+    {
         let mut cache = SetAssocCache::new(CacheConfig::l1d());
         let mut i = 0u64;
-        b.iter(|| {
+        bench(g, "setassoc_1k_lines", || {
             let mut hits = 0u32;
             for _ in 0..1000 {
                 i = i.wrapping_add(64);
                 hits += u32::from(cache.access(i % (1 << 18)));
             }
-            criterion::black_box(hits)
-        })
+            black_box(hits);
+        });
+    }
+    bench(g, "coalescer_warp", || {
+        let mut total = 0u32;
+        for s in 1..64i64 {
+            total += coalesced_segments(4096, s, 32, 4, 128);
+        }
+        black_box(total);
     });
-    g.bench_function("coalescer_warp", |b| {
-        b.iter(|| {
-            let mut total = 0u32;
-            for s in 1..64i64 {
-                total += coalesced_segments(4096, s, 32, 4, 128);
-            }
-            criterion::black_box(total)
-        })
-    });
-    g.bench_function("safe_point_60_variants", |b| {
+    {
         let factors: Vec<u32> = (0..60).map(|i| 1 + (i % 4) as u32).collect();
-        b.iter(|| criterion::black_box(safe_point(&factors, 13, 1 << 20, 60)))
-    });
-    g.finish();
+        bench(g, "safe_point_60_variants", || {
+            black_box(safe_point(&factors, 13, 1 << 20, 60));
+        });
+    }
 }
 
-criterion_group!(
-    figures,
-    bench_fig1,
-    bench_fig8,
-    bench_fig9,
-    bench_fig10,
-    bench_fig11,
-    bench_modes,
-    bench_micro
-);
-criterion_main!(figures);
+fn main() {
+    bench_fig1();
+    bench_fig8();
+    bench_fig9();
+    bench_fig10();
+    bench_fig11();
+    bench_modes();
+    bench_micro();
+}

@@ -1,27 +1,58 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments            # run everything, in paper order
-//! experiments fig8 fig9  # run specific experiments
-//! experiments --list     # list experiment ids
+//! experiments                # run everything, in paper order
+//! experiments fig8 fig9     # run specific experiments
+//! experiments --threads 4   # fan functional execution over 4 workers
+//! experiments --list        # list experiment ids
 //! ```
+//!
+//! `--threads N` sets the worker-thread count of every device's functional
+//! executor (default: all available cores). The virtual-time results are
+//! bit-identical at any `N` — the flag trades host wall-clock only.
 
 use std::time::Instant;
 
-use dysel_bench::experiments;
+use dysel_bench::{experiments, harness};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--list") {
+    let mut ids: Vec<String> = Vec::new();
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--list" {
+            list = true;
+        } else if a == "--threads" {
+            let n = args
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--threads needs a number (0 = all cores)");
+                    std::process::exit(2);
+                });
+            harness::set_threads(n);
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            match v.parse::<usize>() {
+                Ok(n) => harness::set_threads(n),
+                Err(_) => {
+                    eprintln!("--threads needs a number (0 = all cores)");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            ids.push(a);
+        }
+    }
+    if list {
         for (id, _) in experiments::all() {
             println!("{id}");
         }
         return;
     }
-    let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+    let ids: Vec<String> = if ids.is_empty() || ids.iter().any(|a| a == "all") {
         experiments::all().iter().map(|(n, _)| (*n).to_owned()).collect()
     } else {
-        args
+        ids
     };
     println!("DySel experiment harness (deterministic; seeds fixed)\n");
     let t0 = Instant::now();

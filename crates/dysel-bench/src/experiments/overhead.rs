@@ -145,8 +145,8 @@ mod tests {
     #[test]
     fn repeating_profiling_recovers_accuracy() {
         let w = suite::kmeans_std();
-        let noisy = selection_accuracy(&w, 0.25, 1, 12);
-        let repeated = selection_accuracy(&w, 0.25, 6, 12);
+        let noisy = selection_accuracy(&w, 0.25, 1, 48);
+        let repeated = selection_accuracy(&w, 0.25, 6, 48);
         assert!(
             repeated >= noisy,
             "reps should not hurt accuracy ({repeated} vs {noisy})"

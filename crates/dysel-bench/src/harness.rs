@@ -2,20 +2,45 @@
 //! suite (paper §4.1 inputs, scaled to simulator-friendly sizes), and the
 //! oracle/DySel case runner behind Figs. 8-11.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use dysel_baselines::{exhaustive_sweep, SweepResult};
 use dysel_core::{InitialSelection, LaunchOptions, LaunchReport, Runtime};
 use dysel_device::{CpuConfig, CpuDevice, Cycles, Device, GpuConfig, GpuDevice};
 use dysel_kernel::Orchestration;
 use dysel_workloads::{Target, Workload};
 
+/// Worker threads the factories give each fresh device's functional
+/// executor; `0` means auto (`std::thread::available_parallelism`).
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker-thread count used by [`cpu_factory`] / [`gpu_factory`]
+/// (the `--threads` flag). Only affects devices created afterwards; the
+/// virtual-time results are identical for every thread count — this knob
+/// trades host wall-clock only.
+pub fn set_threads(threads: usize) {
+    THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The current worker-thread setting (`0` = auto).
+pub fn threads() -> usize {
+    THREADS.load(Ordering::Relaxed)
+}
+
 /// Fresh default CPU device (4 cores, i7-3820-like, seeded noise).
 pub fn cpu_factory() -> Box<dyn Device> {
-    Box::new(CpuDevice::new(CpuConfig::default()))
+    Box::new(CpuDevice::new(CpuConfig {
+        threads: threads(),
+        ..CpuConfig::default()
+    }))
 }
 
 /// Fresh default GPU device (Kepler K20c-like, seeded noise).
 pub fn gpu_factory() -> Box<dyn Device> {
-    Box::new(GpuDevice::new(GpuConfig::kepler_k20c()))
+    Box::new(GpuDevice::new(GpuConfig {
+        threads: threads(),
+        ..GpuConfig::kepler_k20c()
+    }))
 }
 
 /// DySel execution times for the three orchestration bars of the figures.

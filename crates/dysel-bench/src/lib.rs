@@ -15,7 +15,7 @@
 
 pub mod experiments;
 mod figure;
-mod harness;
+pub mod harness;
 
 pub use figure::{Bar, Figure, FigureRow};
 pub use harness::{cpu_factory, gpu_factory, run_case, suite, CaseResult, DyselTimes};

@@ -134,6 +134,12 @@ pub struct RuntimeConfig {
     pub profile_threshold_groups: u64,
     /// Default eager chunk size: work-groups per execution unit per chunk.
     pub default_chunk_groups_per_unit: u64,
+    /// When set, a signature is micro-profiled at most once per runtime:
+    /// any later launch of the same signature reuses the cached selection
+    /// even with profiling enabled in its [`LaunchOptions`]. Iterative
+    /// solvers get the §5.2 steady-state behaviour without having to pass
+    /// [`LaunchOptions::without_profiling`] from the second iteration on.
+    pub profile_once_per_signature: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -141,6 +147,7 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             profile_threshold_groups: 128,
             default_chunk_groups_per_unit: 1,
+            profile_once_per_signature: false,
         }
     }
 }

@@ -1,8 +1,9 @@
-//! The kernel pool: multiple implementations per kernel signature.
+//! The kernel pool: multiple implementations per kernel signature — and the
+//! sandbox pool that recycles private profiling outputs across launches.
 
 use std::collections::HashMap;
 
-use dysel_kernel::{Variant, VariantId};
+use dysel_kernel::{Args, KernelError, Variant, VariantId};
 
 use crate::DyselError;
 
@@ -88,10 +89,78 @@ impl KernelPool {
     }
 }
 
+/// A pool of reusable sandbox argument sets, keyed by `(signature,
+/// variant)`.
+///
+/// Hybrid- and swap-based profiling give each candidate a private copy of
+/// its output arguments. An iterative solver that re-profiles every
+/// iteration would allocate those copies afresh each launch; instead the
+/// runtime *leases* them from this pool and hands them back once profiling
+/// completes. A leased set is refreshed ([`Args::refresh_from`]) so its
+/// buffers re-share the live workload data copy-on-write — data-wise
+/// indistinguishable from a fresh [`Args::sandbox_view`] — while keeping
+/// their sandbox addresses (and backing allocations) stable across reuses.
+#[derive(Debug, Default)]
+pub(crate) struct SandboxPool {
+    free: HashMap<(String, usize), Args>,
+    allocations: u64,
+    reuses: u64,
+}
+
+impl SandboxPool {
+    /// Leases a sandbox over `src`'s `sandbox_args` for variant `variant`
+    /// of `signature`, reusing a previously returned set when possible.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an index in `sandbox_args` is out of range.
+    pub(crate) fn lease(
+        &mut self,
+        signature: &str,
+        variant: usize,
+        src: &Args,
+        sandbox_args: &[usize],
+    ) -> Result<Args, KernelError> {
+        if let Some(mut sb) = self.free.remove(&(signature.to_owned(), variant)) {
+            if sb.len() == src.len() {
+                sb.refresh_from(src)?;
+                self.reuses += 1;
+                return Ok(sb);
+            }
+            // The variant set changed shape under this signature; drop the
+            // stale sandbox and fall through to a fresh allocation.
+        }
+        self.allocations += 1;
+        src.sandbox_view(sandbox_args)
+    }
+
+    /// Returns a leased sandbox for later reuse.
+    pub(crate) fn give_back(&mut self, signature: &str, variant: usize, sandbox: Args) {
+        self.free.insert((signature.to_owned(), variant), sandbox);
+    }
+
+    /// Fresh sandbox allocations performed so far.
+    pub(crate) fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Leases served by recycling a returned sandbox.
+    pub(crate) fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Drops all pooled sandboxes and zeroes the counters.
+    pub(crate) fn clear(&mut self) {
+        self.free.clear();
+        self.allocations = 0;
+        self.reuses = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dysel_kernel::{KernelIr, VariantMeta};
+    use dysel_kernel::{Buffer, KernelIr, Space, VariantMeta};
 
     fn dummy(name: &str) -> Variant {
         Variant::from_fn(
@@ -125,5 +194,64 @@ mod tests {
         p.add_kernels("k", vec![dummy("a"), dummy("b"), dummy("c")]);
         assert_eq!(p.variants("k").unwrap().len(), 3);
         assert_eq!(p.variants("k").unwrap()[2].name(), "c");
+    }
+
+    fn src_args(v: f32) -> Args {
+        let mut a = Args::new();
+        a.push(Buffer::f32("in", vec![v; 8], Space::Global));
+        a.push(Buffer::f32("out", vec![0.0; 8], Space::Global));
+        a
+    }
+
+    #[test]
+    fn sandbox_lease_isolates_and_reuse_recycles_the_allocation() {
+        let mut pool = SandboxPool::default();
+        let src = src_args(1.0);
+
+        let mut sb = pool.lease("k", 0, &src, &[1]).unwrap();
+        assert_eq!((pool.allocations(), pool.reuses()), (1, 0));
+        let sandbox_addr = sb.buffer(1).unwrap().addr();
+        assert_ne!(sandbox_addr, src.buffer(1).unwrap().addr());
+        // Writes through the lease never reach the live output.
+        sb.f32_mut(1).unwrap()[3] = 9.0;
+        assert_eq!(src.f32(1).unwrap()[3], 0.0);
+        pool.give_back("k", 0, sb);
+
+        // The second lease recycles the set: same sandbox address, and the
+        // stale write has been refreshed away.
+        let src2 = src_args(2.0);
+        let sb2 = pool.lease("k", 0, &src2, &[1]).unwrap();
+        assert_eq!((pool.allocations(), pool.reuses()), (1, 1));
+        assert_eq!(sb2.buffer(1).unwrap().addr(), sandbox_addr);
+        assert_eq!(sb2.f32(1).unwrap()[3], 0.0);
+        assert_eq!(sb2.f32(0).unwrap()[0], 2.0);
+    }
+
+    #[test]
+    fn sandbox_leases_are_keyed_per_variant() {
+        let mut pool = SandboxPool::default();
+        let src = src_args(1.0);
+        let a = pool.lease("k", 0, &src, &[1]).unwrap();
+        let b = pool.lease("k", 1, &src, &[1]).unwrap();
+        assert_ne!(a.buffer(1).unwrap().addr(), b.buffer(1).unwrap().addr());
+        pool.give_back("k", 0, a);
+        pool.give_back("k", 1, b);
+        // Each key recycles its own set.
+        pool.lease("k", 0, &src, &[1]).unwrap();
+        pool.lease("k", 1, &src, &[1]).unwrap();
+        assert_eq!((pool.allocations(), pool.reuses()), (2, 2));
+    }
+
+    #[test]
+    fn arity_change_falls_back_to_a_fresh_allocation() {
+        let mut pool = SandboxPool::default();
+        let src = src_args(1.0);
+        let sb = pool.lease("k", 0, &src, &[1]).unwrap();
+        pool.give_back("k", 0, sb);
+        let mut bigger = src_args(1.0);
+        bigger.push(Buffer::f32("extra", vec![0.0; 4], Space::Global));
+        let sb2 = pool.lease("k", 0, &bigger, &[1]).unwrap();
+        assert_eq!(sb2.len(), 3);
+        assert_eq!((pool.allocations(), pool.reuses()), (2, 0));
     }
 }

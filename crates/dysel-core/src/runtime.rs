@@ -3,9 +3,10 @@
 use std::collections::HashMap;
 
 use dysel_analysis::{infer_mode, safe_point, SafePointPlan};
-use dysel_device::{Cycles, Device, LaunchRecord, LaunchSpec, StreamId};
+use dysel_device::{BatchEntry, Cycles, Device, LaunchRecord, LaunchSpec, StreamId};
 use dysel_kernel::{Args, Orchestration, ProfilingMode, UnitRange, Variant, VariantId};
 
+use crate::pool::SandboxPool;
 use crate::timeline::{LaunchKind, Timeline, TimelineEntry};
 use crate::{
     DyselError, KernelPool, LaunchOptions, LaunchReport, LaunchStats, Measurement, RuntimeConfig,
@@ -49,6 +50,7 @@ pub struct Runtime {
     stats: LaunchStats,
     config: RuntimeConfig,
     selection_cache: HashMap<String, VariantId>,
+    sandboxes: SandboxPool,
     timeline: Timeline,
 }
 
@@ -82,6 +84,7 @@ impl Runtime {
             stats: LaunchStats::new(),
             config,
             selection_cache: HashMap::new(),
+            sandboxes: SandboxPool::default(),
             timeline: Timeline::default(),
         }
     }
@@ -132,11 +135,21 @@ impl Runtime {
         self.selection_cache.get(signature).copied()
     }
 
-    /// Clears device time, caches, statistics and cached selections.
+    /// Clears device time, caches, statistics, cached selections and the
+    /// pooled profiling sandboxes.
     pub fn reset(&mut self) {
         self.device.reset();
         self.stats.reset();
         self.selection_cache.clear();
+        self.sandboxes.clear();
+    }
+
+    /// Sandbox-pool accounting: `(fresh allocations, recycled leases)`.
+    /// Hybrid- and swap-mode profiling leases its private output copies
+    /// from a per-`(signature, variant)` pool, so steady-state re-profiling
+    /// stops allocating after the first launch.
+    pub fn sandbox_stats(&self) -> (u64, u64) {
+        (self.sandboxes.allocations(), self.sandboxes.reuses())
     }
 
     /// Launches `signature` over `total_units` workload units
@@ -200,6 +213,15 @@ impl Runtime {
                 Some(&id) => Some((SkipReason::CachedSelection, id)),
                 None => Some((SkipReason::ProfilingDisabled, initial)),
             }
+        } else if self.config.profile_once_per_signature
+            && self.selection_cache.contains_key(signature)
+        {
+            // Profile-once runtimes treat every later launch of a profiled
+            // signature as the steady state of an iterative solver.
+            Some((
+                SkipReason::CachedSelection,
+                self.selection_cache[signature],
+            ))
         } else if k == 1 {
             Some((SkipReason::SingleVariant, VariantId(0)))
         } else if total_units < self.config.profile_threshold_groups {
@@ -289,6 +311,7 @@ impl Runtime {
             opts,
             &plan,
             t_start,
+            &mut self.sandboxes,
             &mut self.timeline,
         )?;
         self.selection_cache
@@ -332,6 +355,7 @@ fn profile_and_run(
     opts: &LaunchOptions,
     plan: &SafePointPlan,
     t_start: Cycles,
+    sandboxes: &mut SandboxPool,
     timeline: &mut Timeline,
 ) -> Result<LaunchReport, DyselError> {
     let k = variants.len();
@@ -340,6 +364,8 @@ fn profile_and_run(
     let mut launches_issued: u64 = 0;
 
     // ---- sandbox / private output spaces --------------------------------
+    // Leased from the sandbox pool so steady-state re-profiling recycles
+    // the private copies instead of allocating them each launch.
     let mut extra_space_bytes = 0u64;
     let mut private_args: Vec<Option<Args>> = Vec::with_capacity(k);
     for (i, v) in variants.iter().enumerate() {
@@ -350,49 +376,80 @@ fn profile_and_run(
         };
         if needs_copy {
             extra_space_bytes += args.sandbox_bytes(&v.meta.sandbox_args)?;
-            private_args.push(Some(args.sandbox_view(&v.meta.sandbox_args)?));
+            private_args.push(Some(sandboxes.lease(
+                signature,
+                i,
+                args,
+                &v.meta.sandbox_args,
+            )?));
         } else {
             private_args.push(None);
         }
     }
 
     // ---- issue profiling launches ---------------------------------------
-    let mut profiled: Vec<ProfiledLaunch> = Vec::with_capacity(k * reps as usize);
-    for (i, v) in variants.iter().enumerate() {
-        let stream = StreamId(i as u32 + 1);
-        for r in 0..reps {
-            let units = match mode {
-                ProfilingMode::FullyProductive => {
-                    let idx = i as u64 * reps + r;
-                    UnitRange::new(start + idx * s, start + (idx + 1) * s)
+    // All K * reps profiling launches go to the device as ONE batch: they
+    // are mutually independent (disjoint productive slices, or private
+    // sandboxes), so the device may fan their functional execution out
+    // across worker threads while scheduling them in issue order.
+    let profiled: Vec<ProfiledLaunch> = {
+        // targets[0] is the live argument set; each sandboxed variant's
+        // lease follows, with `target_of[i]` naming the slot variant `i`
+        // executes against.
+        let mut targets: Vec<&mut Args> = Vec::with_capacity(1 + k);
+        targets.push(&mut *args);
+        let mut target_of: Vec<usize> = Vec::with_capacity(k);
+        for private in private_args.iter_mut() {
+            match private {
+                Some(p) => {
+                    target_of.push(targets.len());
+                    targets.push(p);
                 }
-                _ => UnitRange::new(start, start + s),
-            };
-            let target: &mut Args = match private_args[i].as_mut() {
-                Some(p) => p,
-                None => args,
-            };
-            let record = device.launch(LaunchSpec {
-                kernel: v.kernel.as_ref(),
-                meta: &v.meta,
-                units,
-                args: target,
-                stream,
-                not_before: t_start,
-                measured: true,
-            });
-            launches_issued += 1;
-            timeline.push(TimelineEntry {
-                kind: LaunchKind::Profile,
-                variant: VariantId(i),
-                variant_name: v.name().to_owned(),
-                units,
-                start: record.start,
-                end: record.end,
-            });
-            profiled.push(ProfiledLaunch { variant: i, record });
+                None => target_of.push(0),
+            }
         }
-    }
+        let mut entries: Vec<BatchEntry<'_>> = Vec::with_capacity(k * reps as usize);
+        for (i, v) in variants.iter().enumerate() {
+            let stream = StreamId(i as u32 + 1);
+            for r in 0..reps {
+                let units = match mode {
+                    ProfilingMode::FullyProductive => {
+                        let idx = i as u64 * reps + r;
+                        UnitRange::new(start + idx * s, start + (idx + 1) * s)
+                    }
+                    _ => UnitRange::new(start, start + s),
+                };
+                entries.push(BatchEntry {
+                    kernel: v.kernel.as_ref(),
+                    meta: &v.meta,
+                    units,
+                    target: target_of[i],
+                    stream,
+                    not_before: t_start,
+                    measured: true,
+                });
+            }
+        }
+        launches_issued += entries.len() as u64;
+        let records = device.launch_batch(&entries, &mut targets);
+        debug_assert_eq!(records.len(), entries.len());
+        entries
+            .iter()
+            .zip(records)
+            .map(|(e, record)| {
+                let i = usize::try_from(e.stream.0 - 1).expect("stream fits");
+                timeline.push(TimelineEntry {
+                    kind: LaunchKind::Profile,
+                    variant: VariantId(i),
+                    variant_name: variants[i].name().to_owned(),
+                    units: e.units,
+                    start: record.start,
+                    end: record.end,
+                });
+                ProfiledLaunch { variant: i, record }
+            })
+            .collect()
+    };
     let profile_end = profiled
         .iter()
         .map(|p| p.record.end)
@@ -517,6 +574,13 @@ fn profile_and_run(
             end: rec.end,
         });
         total_end = total_end.max(rec.end);
+    }
+
+    // Hand the leased sandboxes back for reuse by later launches.
+    for (i, private) in private_args.into_iter().enumerate() {
+        if let Some(sb) = private {
+            sandboxes.give_back(signature, i, sb);
+        }
     }
 
     let productive_units = match mode {

@@ -1,7 +1,7 @@
 //! End-to-end tests of the DySel runtime on the CPU device model, using
 //! synthetic variants with controlled (deterministic) cost.
 
-use dysel_core::{InitialSelection, LaunchOptions, Runtime, SkipReason};
+use dysel_core::{InitialSelection, LaunchOptions, Runtime, RuntimeConfig, SkipReason};
 use dysel_device::{CpuConfig, CpuDevice};
 use dysel_kernel::{
     Args, Buffer, KernelIr, Orchestration, ProfilingMode, Space, Variant, VariantMeta,
@@ -236,6 +236,73 @@ fn profiling_flag_reuses_cached_selection() {
         .unwrap();
     assert_eq!(second.skipped, Some(SkipReason::CachedSelection));
     assert_eq!(second.selected, first.selected);
+    assert_output_complete(&args2, N);
+}
+
+#[test]
+fn profile_once_runtime_skips_reprofiling_the_same_signature() {
+    let mut rt = Runtime::with_config(
+        Box::new(CpuDevice::new(CpuConfig::noiseless())),
+        RuntimeConfig {
+            profile_once_per_signature: true,
+            ..RuntimeConfig::default()
+        },
+    );
+    rt.add_kernels("double", three_variants());
+    let mut args = fresh_args(N);
+    let first = rt
+        .launch("double", &mut args, N, &LaunchOptions::new())
+        .unwrap();
+    assert!(first.profiled());
+    assert_eq!(first.selected_name, "fast");
+
+    // Iteration 2 with profiling STILL ENABLED: the profile-once runtime
+    // reuses the cached winner and issues exactly one batch launch.
+    let mut args2 = fresh_args(N);
+    let second = rt
+        .launch("double", &mut args2, N, &LaunchOptions::new())
+        .unwrap();
+    assert_eq!(second.skipped, Some(SkipReason::CachedSelection));
+    assert_eq!(second.selected, first.selected);
+    assert_eq!(second.launches, 1);
+    assert!(second.measurements.is_empty());
+    assert_output_complete(&args2, N);
+
+    // A different signature still profiles.
+    rt.add_kernels("double2", three_variants());
+    let mut args3 = fresh_args(N);
+    let third = rt
+        .launch("double2", &mut args3, N, &LaunchOptions::new())
+        .unwrap();
+    assert!(third.profiled());
+
+    // reset() drops the cache, so profiling runs again.
+    rt.reset();
+    let mut args4 = fresh_args(N);
+    let fourth = rt
+        .launch("double", &mut args4, N, &LaunchOptions::new())
+        .unwrap();
+    assert!(fourth.profiled());
+}
+
+#[test]
+fn reprofiling_recycles_the_leased_sandboxes() {
+    // Hybrid mode sandboxes variants 1..K; re-profiling the signature must
+    // lease those private copies back out of the pool, not allocate anew.
+    let mut rt = runtime_with(three_variants());
+    let opts = LaunchOptions::new()
+        .with_mode(ProfilingMode::HybridPartial)
+        .with_orchestration(Orchestration::Sync);
+
+    let mut args = fresh_args(N);
+    let first = rt.launch("double", &mut args, N, &opts).unwrap();
+    assert_eq!(rt.sandbox_stats(), (2, 0), "variants 1 and 2 sandboxed");
+
+    let mut args2 = fresh_args(N);
+    let second = rt.launch("double", &mut args2, N, &opts).unwrap();
+    assert_eq!(rt.sandbox_stats(), (2, 2), "second profile reuses both");
+    assert_eq!(second.selected, first.selected);
+    assert_eq!(second.extra_space_bytes, first.extra_space_bytes);
     assert_output_complete(&args2, N);
 }
 

@@ -11,9 +11,12 @@ mod cache;
 
 pub use cache::{CacheConfig, CacheHierarchy, SetAssocCache};
 
-use dysel_kernel::{GroupCtx, MemOp, Space, TraceSink};
+use dysel_kernel::{Args, MemOp, RecordedTrace, Space, TraceSink, VariantMeta};
 
-use crate::device::{Device, DeviceKind, LaunchRecord, LaunchSpec, StreamId, StreamTable};
+use crate::device::{
+    BatchEntry, Device, DeviceKind, LaunchRecord, LaunchSpec, StreamId, StreamTable,
+};
+use crate::exec::{launch_batch_engine, Executor, PriceModel};
 use crate::noise::NoiseModel;
 use crate::sched::UnitPool;
 use crate::Cycles;
@@ -52,6 +55,10 @@ pub struct CpuConfig {
     pub exec_sigma: f64,
     /// Noise seed.
     pub seed: u64,
+    /// Worker threads for the functional phase of launches (0 = one per
+    /// available host core). Any value yields bit-identical results; see
+    /// [`crate::Executor`].
+    pub threads: usize,
 }
 
 impl Default for CpuConfig {
@@ -71,6 +78,7 @@ impl Default for CpuConfig {
             noise_sigma: 0.02,
             exec_sigma: 0.01,
             seed: 0xD75E1,
+            threads: 0,
         }
     }
 }
@@ -332,6 +340,7 @@ pub struct CpuDevice {
     streams: StreamTable,
     noise: NoiseModel,
     exec_noise: NoiseModel,
+    exec: Executor,
 }
 
 impl CpuDevice {
@@ -346,6 +355,7 @@ impl CpuDevice {
             noise: NoiseModel::new(cfg.noise_sigma, cfg.seed),
             exec_noise: NoiseModel::new(cfg.exec_sigma, cfg.seed ^ 0x9E37_79B9),
             streams: StreamTable::default(),
+            exec: Executor::new(cfg.threads),
             cfg,
         }
     }
@@ -353,6 +363,25 @@ impl CpuDevice {
     /// The active configuration.
     pub fn config(&self) -> &CpuConfig {
         &self.cfg
+    }
+
+    /// The functional-phase executor (exposes the resolved worker count).
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+}
+
+/// Prices recorded traces against per-core cache state for the engine.
+struct CpuPriceModel<'a> {
+    cfg: &'a CpuConfig,
+    caches: &'a mut [CacheHierarchy],
+}
+
+impl PriceModel for CpuPriceModel<'_> {
+    fn group_cost(&mut self, unit: usize, _meta: &VariantMeta, trace: &RecordedTrace) -> Cycles {
+        let mut sink = CpuCostSink::new(self.cfg, &mut self.caches[unit]);
+        trace.replay(&mut sink);
+        sink.total()
     }
 }
 
@@ -384,51 +413,42 @@ impl Device for CpuDevice {
     }
 
     fn launch(&mut self, spec: LaunchSpec<'_>) -> LaunchRecord {
+        let entry = BatchEntry {
+            kernel: spec.kernel,
+            meta: spec.meta,
+            units: spec.units,
+            target: 0,
+            stream: spec.stream,
+            not_before: spec.not_before,
+            measured: spec.measured,
+        };
+        self.launch_batch(&[entry], &mut [spec.args])
+            .pop()
+            .expect("one record per entry")
+    }
+
+    fn launch_batch(
+        &mut self,
+        entries: &[BatchEntry<'_>],
+        targets: &mut [&mut Args],
+    ) -> Vec<LaunchRecord> {
         // Launch overhead overlaps execution of earlier work in the same
         // stream (pipelined enqueue): only the issue side pays it.
-        let gate = self
-            .streams
-            .gate(spec.stream, spec.not_before + self.cfg.launch_overhead);
-        let wa = u64::from(spec.meta.wa_factor);
-        let mut first_start = Cycles::MAX;
-        let mut last_end = Cycles::ZERO;
-        let mut busy = Cycles::ZERO;
-        let mut groups = 0u64;
-        for (g, units) in spec.units.groups(wa) {
-            let unit = self.pool.earliest_unit();
-            let cost = {
-                let mut sink = CpuCostSink::new(&self.cfg, &mut self.caches[unit]);
-                let mut ctx = GroupCtx::new(
-                    g,
-                    units,
-                    spec.meta.group_size,
-                    spec.args,
-                    &spec.meta.placements,
-                    &mut sink,
-                );
-                spec.kernel.run_group(&mut ctx, spec.args);
-                sink.total()
-            };
-            let cost = self.exec_noise.perturb(cost);
-            let p = self.pool.assign_to(unit, cost, gate);
-            first_start = first_start.min(p.start);
-            last_end = last_end.max(p.end);
-            busy += cost;
-            groups += 1;
-        }
-        if groups == 0 {
-            first_start = gate;
-            last_end = gate;
-        }
-        self.streams.record(spec.stream, last_end);
-        let measured = spec.measured.then(|| self.noise.perturb(busy));
-        LaunchRecord {
-            start: first_start,
-            end: last_end,
-            groups,
-            busy,
-            measured,
-        }
+        let mut model = CpuPriceModel {
+            cfg: &self.cfg,
+            caches: &mut self.caches,
+        };
+        launch_batch_engine(
+            &self.exec,
+            entries,
+            targets,
+            &mut self.streams,
+            &mut self.pool,
+            &mut self.exec_noise,
+            &mut self.noise,
+            self.cfg.launch_overhead,
+            &mut model,
+        )
     }
 
     fn stream_end(&self, stream: StreamId) -> Cycles {

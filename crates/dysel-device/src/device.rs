@@ -95,6 +95,44 @@ impl LaunchRecord {
     }
 }
 
+/// One entry of a batched launch (see [`Device::launch_batch`]).
+///
+/// Unlike [`LaunchSpec`], the argument set is named by an *index* into the
+/// batch's target slice rather than borrowed directly — several entries may
+/// share one target (the K fully-productive profiling launches all mutate
+/// the real workload buffers), which a slice of `&mut Args` per entry could
+/// not express.
+pub struct BatchEntry<'a> {
+    /// The kernel implementation to run.
+    pub kernel: &'a dyn Kernel,
+    /// Its registration metadata (group size, placements, IR, wa factor).
+    pub meta: &'a VariantMeta,
+    /// The workload units this launch covers.
+    pub units: UnitRange,
+    /// Index into the batch's `targets` slice naming the argument set this
+    /// entry executes against.
+    pub target: usize,
+    /// Stream to enqueue into (in-order within a stream).
+    pub stream: StreamId,
+    /// Host issue time: execution starts no earlier than this.
+    pub not_before: Cycles,
+    /// Whether to wrap the launch with measurement instrumentation.
+    pub measured: bool,
+}
+
+impl fmt::Debug for BatchEntry<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BatchEntry")
+            .field("variant", &self.meta.name)
+            .field("units", &self.units)
+            .field("target", &self.target)
+            .field("stream", &self.stream)
+            .field("not_before", &self.not_before)
+            .field("measured", &self.measured)
+            .finish()
+    }
+}
+
 /// A deterministic device timing model that functionally executes kernels.
 ///
 /// Launches are scheduled in virtual time: `launch` runs the kernel's
@@ -121,6 +159,38 @@ pub trait Device {
 
     /// Executes a launch, returning its virtual schedule.
     fn launch(&mut self, spec: LaunchSpec<'_>) -> LaunchRecord;
+
+    /// Executes a batch of launches as if issued back-to-back in entry
+    /// order, returning one record per entry (same order).
+    ///
+    /// Semantically identical to looping [`Device::launch`] — stream
+    /// gating, unit scheduling and the noise sequence all advance exactly
+    /// as in the serial issue order — but device models may overlap the
+    /// *functional* execution of all entries across worker threads. The
+    /// runtime hands its K independent micro-profiling launches to this
+    /// method so they fan out together.
+    ///
+    /// Every `entry.target` must index into `targets`.
+    fn launch_batch(
+        &mut self,
+        entries: &[BatchEntry<'_>],
+        targets: &mut [&mut Args],
+    ) -> Vec<LaunchRecord> {
+        entries
+            .iter()
+            .map(|e| {
+                self.launch(LaunchSpec {
+                    kernel: e.kernel,
+                    meta: e.meta,
+                    units: e.units,
+                    args: &mut *targets[e.target],
+                    stream: e.stream,
+                    not_before: e.not_before,
+                    measured: e.measured,
+                })
+            })
+            .collect()
+    }
 
     /// Completion time of all work enqueued so far in `stream`
     /// (`Cycles::ZERO` if the stream never ran anything).

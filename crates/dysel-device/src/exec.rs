@@ -1,0 +1,340 @@
+//! The parallel work-pool executor and the two-phase launch engine.
+//!
+//! The device models price every work-group against *stateful* per-unit
+//! cache models and a greedy earliest-free-unit scheduler, so the virtual
+//! timeline is an inherently serial computation. Functional execution of
+//! the work-groups, however, is pure: a group's outputs and its cost trace
+//! depend only on the pre-launch buffer contents and the group's unit
+//! range. The engine exploits exactly that split:
+//!
+//! 1. **Functional phase (parallel).** A launch's groups are partitioned
+//!    into a fixed number of contiguous *spans* (independent of the worker
+//!    count). Each span job clones the pre-launch argument snapshot
+//!    (copy-on-write, so inputs are shared), executes its groups, and
+//!    records each group's cost trace with a
+//!    [`dysel_kernel::RecordingSink`]. Jobs run on a std-only work pool —
+//!    `std::thread` workers pulling span indexes from a shared queue and
+//!    returning results over an `mpsc` channel.
+//! 2. **Reduction + pricing phase (serial, canonical order).** Span results
+//!    are reduced in span order: output deltas are merged into the real
+//!    argument buffers, then every recorded trace is replayed — in the
+//!    launch's canonical group order — through the device's cost sink,
+//!    per-unit cache state, scheduler and noise model.
+//!
+//! Because phase 2 consumes span results in canonical order regardless of
+//! which worker produced them when, the same seed yields bit-identical
+//! outputs, measurements and schedules at any thread count — the
+//! determinism contract the test suite pins at 1, 2 and 8 workers.
+//!
+//! ## Output-merge strategies
+//!
+//! Workers execute against a snapshot, so every group observes the
+//! *pre-launch* buffer state (the same guarantee a real accelerator gives
+//! concurrent work-groups). Worker writes are folded back by comparing the
+//! executed snapshot against the pristine one, per declared output
+//! argument:
+//!
+//! * disjoint outputs (`ir.output_disjoint`, no atomics): changed elements
+//!   overwrite the target in span order — bit-identical to serial
+//!   execution, since each element is written by at most one group;
+//! * overlapping/atomic outputs: the element-wise *delta* is added with
+//!   wrapping arithmetic, which composes exactly for the commutative
+//!   accumulations (e.g. histogram bin counts) such kernels perform.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+use dysel_kernel::{
+    Args, GroupCtx, Kernel, RecordedTrace, RecordingSink, UnitRange, VariantMeta,
+};
+
+use crate::device::{BatchEntry, LaunchRecord, StreamTable};
+use crate::noise::NoiseModel;
+use crate::sched::UnitPool;
+use crate::Cycles;
+
+/// Spans a launch is split into for the functional phase. Fixed (not a
+/// function of the worker count) so that span boundaries — and therefore
+/// merge order and recorded traces — are identical at every thread count.
+const SPANS_PER_LAUNCH: usize = 16;
+
+/// A std-only work pool: `threads` workers executing indexed jobs pulled
+/// from a shared queue, with results reduced in index order.
+///
+/// `threads == 0` resolves to [`std::thread::available_parallelism`];
+/// `threads == 1` runs jobs inline on the caller thread (no spawning).
+#[derive(Debug, Clone)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// Creates an executor with the given worker count (0 = auto).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        Executor { threads }
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs jobs `0..n` across the pool and returns their results in job
+    /// order. Job scheduling is dynamic (workers pull the next index off a
+    /// shared counter) but the returned order — and thus everything
+    /// downstream — is canonical.
+    pub fn run_ordered<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.threads <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let workers = self.threads.min(n);
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    if tx.send((i, f(i))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, v) in rx {
+                slots[i] = Some(v);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job index was executed"))
+            .collect()
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new(0)
+    }
+}
+
+/// One functionally executed work-group: its identity plus recorded trace.
+pub(crate) struct GroupRun {
+    pub(crate) trace: RecordedTrace,
+}
+
+/// One span's worth of functional execution: the mutated snapshot and the
+/// per-group traces, in group order.
+pub(crate) struct SpanRun {
+    pub(crate) args: Args,
+    pub(crate) groups: Vec<GroupRun>,
+}
+
+/// One launch to execute functionally.
+pub(crate) struct FunctionalItem<'a> {
+    pub(crate) kernel: &'a dyn Kernel,
+    pub(crate) meta: &'a VariantMeta,
+    pub(crate) units: UnitRange,
+    /// Pre-launch snapshot of the argument set this launch targets.
+    pub(crate) pristine: &'a Args,
+}
+
+/// Executes every item's work-groups across the pool (phase 1). Spans of
+/// *all* items are fanned out together, so a batch of K profiling launches
+/// saturates the workers even when each launch is small. Results come back
+/// grouped per item, spans in order.
+pub(crate) fn run_functional(
+    exec: &Executor,
+    items: &[FunctionalItem<'_>],
+) -> Vec<Vec<SpanRun>> {
+    // Per item: the group list and its partition into spans.
+    let groups: Vec<Vec<(u64, UnitRange)>> = items
+        .iter()
+        .map(|it| it.units.groups(u64::from(it.meta.wa_factor)).collect())
+        .collect();
+    // Global job list: (item, group range) pairs, item-major.
+    let mut jobs: Vec<(usize, usize, usize)> = Vec::new();
+    for (i, g) in groups.iter().enumerate() {
+        let spans = g.len().min(SPANS_PER_LAUNCH);
+        for s in 0..spans {
+            jobs.push((i, s * g.len() / spans, (s + 1) * g.len() / spans));
+        }
+    }
+    let span_runs = exec.run_ordered(jobs.len(), |j| {
+        let (i, lo, hi) = jobs[j];
+        let item = &items[i];
+        let mut args = item.pristine.clone();
+        let mut runs = Vec::with_capacity(hi - lo);
+        for &(g, gu) in &groups[i][lo..hi] {
+            let mut sink = RecordingSink::new();
+            let mut ctx = GroupCtx::new(
+                g,
+                gu,
+                item.meta.group_size,
+                &args,
+                &item.meta.placements,
+                &mut sink,
+            );
+            item.kernel.run_group(&mut ctx, &mut args);
+            runs.push(GroupRun {
+                trace: sink.into_trace(),
+            });
+        }
+        SpanRun { args, groups: runs }
+    });
+    // Regroup the flat span list per item (jobs were built item-major).
+    let mut out: Vec<Vec<SpanRun>> = items.iter().map(|_| Vec::new()).collect();
+    for ((i, _, _), run) in jobs.iter().zip(span_runs) {
+        out[*i].push(run);
+    }
+    out
+}
+
+/// Folds a launch's span results back into the real target (phase 2a).
+pub(crate) fn merge_spans(
+    target: &mut Args,
+    pristine: &Args,
+    spans: &[SpanRun],
+    meta: &VariantMeta,
+) {
+    let additive = meta.ir.has_global_atomics || !meta.ir.output_disjoint;
+    let outs: Vec<usize> = meta
+        .ir
+        .output_args
+        .iter()
+        .copied()
+        .filter(|&i| i < target.len())
+        .collect();
+    for span in spans {
+        target
+            .merge_outputs(&span.args, pristine, &outs, additive)
+            .expect("span snapshot has the target's arity");
+    }
+}
+
+/// Device-specific trace pricing: one work-group's recorded trace against
+/// the stateful cost model of execution unit `unit`.
+pub(crate) trait PriceModel {
+    /// The group's execution cost on `unit`.
+    fn group_cost(&mut self, unit: usize, meta: &VariantMeta, trace: &RecordedTrace) -> Cycles;
+}
+
+/// The full two-phase batch launch shared by the device models: parallel
+/// functional execution of every entry, then serial in-order merge,
+/// pricing, scheduling and measurement.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn launch_batch_engine<M: PriceModel>(
+    exec: &Executor,
+    entries: &[BatchEntry<'_>],
+    targets: &mut [&mut Args],
+    streams: &mut StreamTable,
+    pool: &mut UnitPool,
+    exec_noise: &mut NoiseModel,
+    meas_noise: &mut NoiseModel,
+    launch_overhead: Cycles,
+    model: &mut M,
+) -> Vec<LaunchRecord> {
+    // Phase 0: one pristine snapshot per distinct target (cheap: payloads
+    // are shared copy-on-write until a worker writes).
+    let pristine: Vec<Args> = targets.iter().map(|t| (**t).clone()).collect();
+
+    // Phase 1: functional execution of every entry across the pool.
+    let items: Vec<FunctionalItem<'_>> = entries
+        .iter()
+        .map(|e| FunctionalItem {
+            kernel: e.kernel,
+            meta: e.meta,
+            units: e.units,
+            pristine: &pristine[e.target],
+        })
+        .collect();
+    let runs = run_functional(exec, &items);
+
+    // Phase 2: serial reduction in issue order — merge outputs, then
+    // replay each group's trace through the cost model in canonical order.
+    let mut records = Vec::with_capacity(entries.len());
+    for (e, spans) in entries.iter().zip(&runs) {
+        merge_spans(targets[e.target], &pristine[e.target], spans, e.meta);
+        let gate = streams.gate(e.stream, e.not_before + launch_overhead);
+        let mut first_start = Cycles::MAX;
+        let mut last_end = Cycles::ZERO;
+        let mut busy = Cycles::ZERO;
+        let mut groups = 0u64;
+        for span in spans {
+            for g in &span.groups {
+                let unit = pool.earliest_unit();
+                let cost = exec_noise.perturb(model.group_cost(unit, e.meta, &g.trace));
+                let p = pool.assign_to(unit, cost, gate);
+                first_start = first_start.min(p.start);
+                last_end = last_end.max(p.end);
+                busy += cost;
+                groups += 1;
+            }
+        }
+        if groups == 0 {
+            first_start = gate;
+            last_end = gate;
+        }
+        streams.record(e.stream, last_end);
+        let measured = e.measured.then(|| meas_noise.perturb(busy));
+        records.push(LaunchRecord {
+            start: first_start,
+            end: last_end,
+            groups,
+            busy,
+            measured,
+        });
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_ordered_returns_results_in_job_order() {
+        for threads in [1, 2, 8] {
+            let exec = Executor::new(threads);
+            let got = exec.run_ordered(37, |i| i * i);
+            assert_eq!(got, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        assert!(Executor::new(0).threads() >= 1);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let exec = Executor::new(4);
+        let got: Vec<u32> = exec.run_ordered(0, |_| unreachable!());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn pool_handles_more_jobs_than_workers() {
+        let exec = Executor::new(3);
+        let got = exec.run_ordered(100, |i| i + 1);
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[99], 100);
+    }
+}

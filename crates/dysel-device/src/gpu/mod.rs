@@ -10,10 +10,13 @@ mod cost;
 
 pub use cost::{coalesced_segments, gather_segments, smem_conflict_degree};
 
-use dysel_kernel::GroupCtx;
+use dysel_kernel::{Args, RecordedTrace, VariantMeta};
 
 use crate::cpu::{CacheConfig, SetAssocCache};
-use crate::device::{Device, DeviceKind, LaunchRecord, LaunchSpec, StreamId, StreamTable};
+use crate::device::{
+    BatchEntry, Device, DeviceKind, LaunchRecord, LaunchSpec, StreamId, StreamTable,
+};
+use crate::exec::{launch_batch_engine, Executor, PriceModel};
 use crate::noise::NoiseModel;
 use crate::sched::UnitPool;
 use crate::Cycles;
@@ -104,6 +107,10 @@ pub struct GpuConfig {
     pub exec_sigma: f64,
     /// Noise seed.
     pub seed: u64,
+    /// Worker threads for the functional phase of launches (0 = one per
+    /// available host core). Any value yields bit-identical results; see
+    /// [`crate::Executor`].
+    pub threads: usize,
 }
 
 impl GpuConfig {
@@ -136,6 +143,7 @@ impl GpuConfig {
             noise_sigma: 0.01,
             exec_sigma: 0.004,
             seed: 0x6B20C,
+            threads: 0,
         }
     }
 
@@ -237,6 +245,7 @@ pub struct GpuDevice {
     streams: StreamTable,
     noise: NoiseModel,
     exec_noise: NoiseModel,
+    exec: Executor,
 }
 
 impl GpuDevice {
@@ -251,6 +260,7 @@ impl GpuDevice {
             streams: StreamTable::default(),
             noise: NoiseModel::new(cfg.noise_sigma, cfg.seed),
             exec_noise: NoiseModel::new(cfg.exec_sigma, cfg.seed ^ 0x9E37_79B9),
+            exec: Executor::new(cfg.threads),
             cfg,
         }
     }
@@ -258,6 +268,27 @@ impl GpuDevice {
     /// The active configuration.
     pub fn config(&self) -> &GpuConfig {
         &self.cfg
+    }
+
+    /// The functional-phase executor (exposes the resolved worker count).
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+}
+
+/// Prices recorded traces against per-SM texture-cache state.
+struct GpuPriceModel<'a> {
+    cfg: &'a GpuConfig,
+    tex_caches: &'a mut [SetAssocCache],
+}
+
+impl PriceModel for GpuPriceModel<'_> {
+    fn group_cost(&mut self, sm: usize, meta: &VariantMeta, trace: &RecordedTrace) -> Cycles {
+        let occ = self.cfg.occupancy(meta.group_size, meta.ir.scratchpad_bytes);
+        let lat_factor = self.cfg.latency_factor(occ);
+        let mut sink = cost::GpuCostSink::new(self.cfg, &mut self.tex_caches[sm]);
+        trace.replay(&mut sink);
+        sink.total(lat_factor)
     }
 }
 
@@ -289,61 +320,45 @@ impl Device for GpuDevice {
     }
 
     fn launch(&mut self, spec: LaunchSpec<'_>) -> LaunchRecord {
+        let entry = BatchEntry {
+            kernel: spec.kernel,
+            meta: spec.meta,
+            units: spec.units,
+            target: 0,
+            stream: spec.stream,
+            not_before: spec.not_before,
+            measured: spec.measured,
+        };
+        self.launch_batch(&[entry], &mut [spec.args])
+            .pop()
+            .expect("one record per entry")
+    }
+
+    fn launch_batch(
+        &mut self,
+        entries: &[BatchEntry<'_>],
+        targets: &mut [&mut Args],
+    ) -> Vec<LaunchRecord> {
         // Launch overhead overlaps execution of earlier work in the same
-        // stream (pipelined enqueue): only the issue side pays it.
-        let gate = self
-            .streams
-            .gate(spec.stream, spec.not_before + self.cfg.launch_overhead);
-        let wa = u64::from(spec.meta.wa_factor);
-        let occ = self
-            .cfg
-            .occupancy(spec.meta.group_size, spec.meta.ir.scratchpad_bytes);
-        let lat_factor = self.cfg.latency_factor(occ);
-        let mut first_start = Cycles::MAX;
-        let mut last_end = Cycles::ZERO;
-        let mut busy = Cycles::ZERO;
-        let mut groups = 0u64;
-        for (g, units) in spec.units.groups(wa) {
-            let sm = self.pool.earliest_unit();
-            let cost = {
-                let mut sink = cost::GpuCostSink::new(&self.cfg, &mut self.tex_caches[sm]);
-                let mut ctx = GroupCtx::new(
-                    g,
-                    units,
-                    spec.meta.group_size,
-                    spec.args,
-                    &spec.meta.placements,
-                    &mut sink,
-                );
-                spec.kernel.run_group(&mut ctx, spec.args);
-                sink.total(lat_factor)
-            };
-            let cost = self.exec_noise.perturb(cost);
-            // `occ` groups share an SM: model as the SM retiring groups at
-            // `cost / occ`-spaced completion with full `cost` pipeline
-            // depth. Throughput-wise this equals serializing `cost` but
-            // credits latency hiding through `lat_factor` above.
-            let p = self.pool.assign_to(sm, cost, gate);
-            first_start = first_start.min(p.start);
-            last_end = last_end.max(p.end);
-            busy += cost;
-            groups += 1;
-        }
-        if groups == 0 {
-            first_start = gate;
-            last_end = gate;
-        }
-        self.streams.record(spec.stream, last_end);
-        // In-kernel clock: atomicMin of first block start, atomicMax-ish of
-        // last block end (Fig. 7), read back by the host.
-        let measured = spec.measured.then(|| self.noise.perturb(busy));
-        LaunchRecord {
-            start: first_start,
-            end: last_end,
-            groups,
-            busy,
-            measured,
-        }
+        // stream (pipelined enqueue): only the issue side pays it. The
+        // measured value is the in-kernel clock readout (Fig. 7): atomicMin
+        // of first block start / atomicMax-ish of last block end, summed as
+        // busy time and read back by the host.
+        let mut model = GpuPriceModel {
+            cfg: &self.cfg,
+            tex_caches: &mut self.tex_caches,
+        };
+        launch_batch_engine(
+            &self.exec,
+            entries,
+            targets,
+            &mut self.streams,
+            &mut self.pool,
+            &mut self.exec_noise,
+            &mut self.noise,
+            self.cfg.launch_overhead,
+            &mut model,
+        )
     }
 
     fn stream_end(&self, stream: StreamId) -> Cycles {

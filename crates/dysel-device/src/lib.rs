@@ -18,6 +18,12 @@
 //! randomness (measurement noise) is seeded, so every experiment in the
 //! paper's evaluation regenerates bit-identically.
 //!
+//! Functional execution of work-groups runs on a std-only work pool (the
+//! [`Executor`]); the virtual-time pricing pass stays serial and consumes
+//! results in canonical work-group order, so outputs, measurements and
+//! selections are bit-identical at any worker-thread count (the two-phase
+//! launch engine in `exec.rs`).
+//!
 //! # Example
 //!
 //! ```
@@ -34,13 +40,15 @@
 pub mod cpu;
 mod cycles;
 mod device;
+mod exec;
 pub mod gpu;
 mod noise;
 mod sched;
 
 pub use cpu::{CacheConfig, CacheHierarchy, CpuConfig, CpuDevice, SetAssocCache};
 pub use cycles::Cycles;
-pub use device::{Device, DeviceKind, LaunchRecord, LaunchSpec, StreamId};
+pub use device::{BatchEntry, Device, DeviceKind, LaunchRecord, LaunchSpec, StreamId};
+pub use exec::Executor;
 pub use gpu::{GpuConfig, GpuDevice, GpuGeneration};
 pub use noise::NoiseModel;
 pub use sched::{Placement, UnitPool};

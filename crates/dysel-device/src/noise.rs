@@ -7,8 +7,7 @@
 //! *measured* times only — the true completion times that drive the virtual
 //! schedule stay exact.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dysel_kernel::XorShiftRng;
 
 use crate::Cycles;
 
@@ -18,7 +17,7 @@ use crate::Cycles;
 #[derive(Debug, Clone)]
 pub struct NoiseModel {
     sigma: f64,
-    rng: StdRng,
+    rng: XorShiftRng,
     seed: u64,
 }
 
@@ -27,7 +26,7 @@ impl NoiseModel {
     pub fn new(sigma: f64, seed: u64) -> Self {
         NoiseModel {
             sigma: sigma.max(0.0),
-            rng: StdRng::seed_from_u64(seed),
+            rng: XorShiftRng::seed_from_u64(seed),
             seed,
         }
     }
@@ -39,7 +38,7 @@ impl NoiseModel {
 
     /// Re-arms the generator to its initial seed.
     pub fn reset(&mut self) {
-        self.rng = StdRng::seed_from_u64(self.seed);
+        self.rng = XorShiftRng::seed_from_u64(self.seed);
     }
 
     /// Applies noise to a measured span.
@@ -48,7 +47,7 @@ impl NoiseModel {
             return t;
         }
         // Irwin–Hall(12) - 6 is close to N(0,1) and cheap/deterministic.
-        let z: f64 = (0..12).map(|_| self.rng.gen::<f64>()).sum::<f64>() - 6.0;
+        let z: f64 = (0..12).map(|_| self.rng.next_f64()).sum::<f64>() - 6.0;
         let factor = (1.0 + self.sigma * z).max(0.05);
         Cycles::from_f64(t.as_f64() * factor)
     }

@@ -1,115 +1,180 @@
-//! Property-based tests for the device models.
-
-use proptest::prelude::*;
+//! Randomized property tests for the device models.
+//!
+//! Gated behind the dep-less `proptest` cargo feature and driven by the
+//! in-tree [`XorShiftRng`]: `cargo test -p dysel-device --features proptest`.
+#![cfg(feature = "proptest")]
 
 use dysel_device::gpu::{coalesced_segments, gather_segments, smem_conflict_degree};
-use dysel_device::{CacheConfig, CacheHierarchy, Cycles, NoiseModel, SetAssocCache, UnitPool};
+use dysel_device::{
+    CacheConfig, CacheHierarchy, Cycles, Executor, NoiseModel, SetAssocCache, UnitPool,
+};
+use dysel_kernel::XorShiftRng;
 
-proptest! {
-    /// Coalescing bounds: a warp touches at least 1 and at most
-    /// `lanes + 1` segments (the +1 for element straddle).
-    #[test]
-    fn coalescing_bounds(base in 0u64..1_000_000, stride in -512i64..512, lanes in 1u32..64) {
-        // Keep addresses positive.
-        let base = base + 100_000;
+const CASES: u64 = 128;
+
+fn rng_for(test: u64, case: u64) -> XorShiftRng {
+    XorShiftRng::seed_from_u64(0xDE71_CE00 + test * 1_000_003 + case)
+}
+
+/// Coalescing bounds: a warp touches at least 1 and at most `2 * lanes`
+/// segments (the factor for element straddle).
+#[test]
+fn coalescing_bounds() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let base = rng.gen_range_u64(0, 1_000_000) + 100_000;
+        let stride = rng.gen_range_u64(0, 1024) as i64 - 512;
+        let lanes = rng.gen_range_u32(1, 64);
         let segs = coalesced_segments(base, stride, lanes, 4, 128);
-        prop_assert!(segs >= 1);
-        // Each lane touches at most two segments (element straddle).
-        prop_assert!(segs <= 2 * lanes, "{segs} vs {lanes}");
+        assert!(segs >= 1);
+        assert!(segs <= 2 * lanes, "{segs} vs {lanes}");
     }
+}
 
-    /// Tighter bound for unit-stride warps: ceil(bytes/seg) + 1.
-    #[test]
-    fn unit_stride_coalesces(base in 0u64..1_000_000, lanes in 1u32..64) {
+/// Tighter bound for unit-stride warps: ceil(bytes/seg) + 1.
+#[test]
+fn unit_stride_coalesces() {
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let base = rng.gen_range_u64(0, 1_000_000);
+        let lanes = rng.gen_range_u32(1, 64);
         let segs = coalesced_segments(base, 4, lanes, 4, 128);
         let tight = (u64::from(lanes) * 4).div_ceil(128) as u32 + 1;
-        prop_assert!(segs <= tight);
+        assert!(segs <= tight);
     }
+}
 
-    /// Gather segments never exceed the address count and dedup exactly
-    /// duplicates.
-    #[test]
-    fn gather_segment_bounds(addrs in proptest::collection::vec(0u64..1_000_000, 1..64)) {
+/// Gather segments never exceed the address count and dedup exact
+/// duplicates.
+#[test]
+fn gather_segment_bounds() {
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let addrs: Vec<u64> = (0..rng.gen_range_usize(1, 64))
+            .map(|_| rng.gen_range_u64(0, 1_000_000))
+            .collect();
         let segs = gather_segments(&addrs, 4, 128);
-        prop_assert!(segs >= 1);
-        prop_assert!(segs <= 2 * addrs.len() as u32);
+        assert!(segs >= 1);
+        assert!(segs <= 2 * addrs.len() as u32);
         let dup: Vec<u64> = addrs.iter().flat_map(|&a| [a, a]).collect();
-        prop_assert_eq!(gather_segments(&dup, 4, 128), segs);
+        assert_eq!(gather_segments(&dup, 4, 128), segs);
     }
+}
 
-    /// Bank conflicts are between 1 and `lanes`, and odd strides are
-    /// conflict-free for a full warp.
-    #[test]
-    fn bank_conflict_bounds(stride in -128i64..128, lanes in 1u32..33) {
+/// Bank conflicts are between 1 and `lanes`, and odd strides are
+/// conflict-free for a full warp.
+#[test]
+fn bank_conflict_bounds() {
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let stride = rng.gen_range_u64(0, 256) as i64 - 128;
+        let lanes = rng.gen_range_u32(1, 33);
         let c = smem_conflict_degree(stride, lanes);
-        prop_assert!(c >= 1 && c <= lanes);
+        assert!(c >= 1 && c <= lanes);
         if stride % 2 != 0 && lanes == 32 {
-            prop_assert_eq!(c, 1, "odd strides are conflict-free");
+            assert_eq!(c, 1, "odd strides are conflict-free");
         }
     }
+}
 
-    /// Cache hit rate is in [0, 1]; re-walking the same small footprint is
-    /// all hits; stats add up.
-    #[test]
-    fn cache_sanity(lines in proptest::collection::vec(0u64..128, 1..256)) {
+/// Cache hit rate is in [0, 1]; re-walking the same small footprint is all
+/// hits; stats add up.
+#[test]
+fn cache_sanity() {
+    for case in 0..CASES {
+        let mut rng = rng_for(5, case);
+        let lines: Vec<u64> = (0..rng.gen_range_usize(1, 256))
+            .map(|_| rng.gen_range_u64(0, 128))
+            .collect();
         let mut c = SetAssocCache::new(CacheConfig::l1d());
         for &l in &lines {
             c.access_line(l);
         }
         let (h1, m1) = c.stats();
-        prop_assert_eq!(h1 + m1, lines.len() as u64);
+        assert_eq!(h1 + m1, lines.len() as u64);
         // 128 distinct lines = 8 KiB: fits 32 KiB, so a re-walk all hits.
         for &l in &lines {
-            prop_assert!(c.access_line(l));
+            assert!(c.access_line(l));
         }
         let rate = c.hit_rate();
-        prop_assert!((0.0..=1.0).contains(&rate));
+        assert!((0.0..=1.0).contains(&rate));
     }
+}
 
-    /// Hierarchy latencies are monotone: every access costs at least an L1
-    /// hit and at most a memory access.
-    #[test]
-    fn hierarchy_latency_bounds(addrs in proptest::collection::vec(0u64..(1u64<<24), 1..200)) {
+/// Hierarchy latencies are monotone: every access costs at least an L1 hit
+/// and at most a memory access.
+#[test]
+fn hierarchy_latency_bounds() {
+    for case in 0..CASES {
+        let mut rng = rng_for(6, case);
+        let addrs: Vec<u64> = (0..rng.gen_range_usize(1, 200))
+            .map(|_| rng.gen_range_u64(0, 1 << 24))
+            .collect();
         let mut h = CacheHierarchy::default();
         for &a in &addrs {
             let lat = h.access(a);
-            prop_assert!(lat >= h.l1_lat && lat <= h.mem_lat);
+            assert!(lat >= h.l1_lat && lat <= h.mem_lat);
         }
     }
+}
 
-    /// UnitPool scheduling: work is conserved (sum of spans = sum of
-    /// costs) and the makespan is within the list-scheduling bound.
-    #[test]
-    fn pool_schedules_conservatively(costs in proptest::collection::vec(1u64..10_000, 1..64),
-                                     units in 1usize..16) {
+/// UnitPool scheduling: work is conserved (sum of spans = sum of costs)
+/// and the makespan is within the list-scheduling bound.
+#[test]
+fn pool_schedules_conservatively() {
+    for case in 0..CASES {
+        let mut rng = rng_for(7, case);
+        let costs: Vec<u64> = (0..rng.gen_range_usize(1, 64))
+            .map(|_| rng.gen_range_u64(1, 10_000))
+            .collect();
+        let units = rng.gen_range_usize(1, 16);
         let mut p = UnitPool::new(units);
         let mut spans = 0u64;
         for &c in &costs {
             let pl = p.assign(Cycles(c), Cycles::ZERO);
-            prop_assert_eq!(pl.end - pl.start, Cycles(c));
+            assert_eq!(pl.end - pl.start, Cycles(c));
             spans += c;
         }
         let total: u64 = costs.iter().sum();
-        prop_assert_eq!(spans, total);
+        assert_eq!(spans, total);
         let makespan = p.busy_until().0;
         let max_c = *costs.iter().max().unwrap();
         // Greedy list scheduling: makespan <= total/units + max job.
-        prop_assert!(makespan <= total / units as u64 + max_c);
-        prop_assert!(makespan >= total / units as u64);
-        prop_assert!(makespan >= max_c);
+        assert!(makespan <= total / units as u64 + max_c);
+        assert!(makespan >= total / units as u64);
+        assert!(makespan >= max_c);
     }
+}
 
-    /// Noise is deterministic under reset and mean-preserving within a
-    /// loose band.
-    #[test]
-    fn noise_deterministic(sigma in 0.0f64..0.2, seed in any::<u64>()) {
+/// Noise is deterministic under reset and across equal seeds.
+#[test]
+fn noise_deterministic() {
+    for case in 0..CASES {
+        let mut rng = rng_for(8, case);
+        let sigma = rng.gen_range_f64(0.0, 0.2);
+        let seed = rng.next_u64();
         let mut n1 = NoiseModel::new(sigma, seed);
         let mut n2 = NoiseModel::new(sigma, seed);
         for _ in 0..20 {
-            prop_assert_eq!(n1.perturb(Cycles(1_000_000)), n2.perturb(Cycles(1_000_000)));
+            assert_eq!(n1.perturb(Cycles(1_000_000)), n2.perturb(Cycles(1_000_000)));
         }
         n1.reset();
         let mut n3 = NoiseModel::new(sigma, seed);
-        prop_assert_eq!(n1.perturb(Cycles(123_456)), n3.perturb(Cycles(123_456)));
+        assert_eq!(n1.perturb(Cycles(123_456)), n3.perturb(Cycles(123_456)));
+    }
+}
+
+/// The work pool returns results in job order for any job count and any
+/// worker count, including workers > jobs and jobs > workers.
+#[test]
+fn executor_order_invariant() {
+    for case in 0..CASES / 4 {
+        let mut rng = rng_for(9, case);
+        let n = rng.gen_range_usize(0, 200);
+        let threads = rng.gen_range_usize(1, 12);
+        let exec = Executor::new(threads);
+        let got = exec.run_ordered(n, |i| i.wrapping_mul(2654435761));
+        let want: Vec<usize> = (0..n).map(|i| i.wrapping_mul(2654435761)).collect();
+        assert_eq!(got, want);
     }
 }

@@ -234,6 +234,148 @@ impl Buffer {
         std::mem::swap(&mut self.data, &mut other.data);
         std::mem::swap(&mut self.addr, &mut other.addr);
     }
+
+    /// Whether `self` and `other` share the same payload allocation.
+    pub fn shares_payload_with(&self, other: &Buffer) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Re-points this buffer's payload at `src`'s payload (copy-on-write
+    /// share). The address and name stay as they are — this is how a leased
+    /// sandbox buffer is refreshed with current data without reallocating.
+    pub fn share_payload_from(&mut self, src: &Buffer) {
+        self.data = Arc::clone(&src.data);
+    }
+
+    /// Merges a worker's writes into this buffer.
+    ///
+    /// `executed` is a worker-side copy that started from `pristine` (the
+    /// pre-launch snapshot) and was mutated by running some work-groups.
+    /// With `additive = false` every element whose bits differ from the
+    /// pristine value overwrites the target (disjoint-output kernels: each
+    /// element is written by at most one span, so span order is last-wins
+    /// and matches serial execution). With `additive = true` the *delta*
+    /// `executed - pristine` is added onto the target (accumulating kernels
+    /// such as histogram: integer deltas compose exactly under wrapping
+    /// arithmetic regardless of span order).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the three buffers disagree on element type or length.
+    pub fn merge_span(
+        &mut self,
+        executed: &Buffer,
+        pristine: &Buffer,
+        additive: bool,
+    ) -> Result<(), KernelError> {
+        if executed.shares_payload_with(pristine) {
+            return Ok(()); // copy-on-write never triggered: no writes.
+        }
+        let mismatch = |index| KernelError::TypeMismatch {
+            index,
+            expected: pristine.elem_type(),
+            actual: executed.elem_type(),
+        };
+        match (
+            Arc::make_mut(&mut self.data),
+            executed.data(),
+            pristine.data(),
+        ) {
+            (BufferData::F32(t), BufferData::F32(e), BufferData::F32(p)) => {
+                merge_float(t, e, p, additive, |a, b| a + b, |a, b| a - b)
+            }
+            (BufferData::F64(t), BufferData::F64(e), BufferData::F64(p)) => {
+                merge_float(t, e, p, additive, |a, b| a + b, |a, b| a - b)
+            }
+            (BufferData::U32(t), BufferData::U32(e), BufferData::U32(p)) => {
+                merge_int(t, e, p, additive)
+            }
+            (BufferData::I32(t), BufferData::I32(e), BufferData::I32(p)) => {
+                merge_int(t, e, p, additive)
+            }
+            _ => return Err(mismatch(0)),
+        }
+        Ok(())
+    }
+}
+
+/// Bitwise change detection for floats: `to_bits` comparison catches NaN
+/// payloads and signed zeros that `==` would miss.
+fn merge_float<T: Copy + PartialEq + FloatBits>(
+    target: &mut [T],
+    executed: &[T],
+    pristine: &[T],
+    additive: bool,
+    add: impl Fn(T, T) -> T,
+    sub: impl Fn(T, T) -> T,
+) {
+    for ((t, &e), &p) in target.iter_mut().zip(executed).zip(pristine) {
+        if e.bits() == p.bits() {
+            continue;
+        }
+        if additive {
+            *t = add(*t, sub(e, p));
+        } else {
+            *t = e;
+        }
+    }
+}
+
+fn merge_int<T: Copy + PartialEq + WrappingArith>(
+    target: &mut [T],
+    executed: &[T],
+    pristine: &[T],
+    additive: bool,
+) {
+    for ((t, &e), &p) in target.iter_mut().zip(executed).zip(pristine) {
+        if e == p {
+            continue;
+        }
+        if additive {
+            *t = t.wrapping_add(e.wrapping_sub(p));
+        } else {
+            *t = e;
+        }
+    }
+}
+
+trait FloatBits {
+    fn bits(self) -> u64;
+}
+
+impl FloatBits for f32 {
+    fn bits(self) -> u64 {
+        u64::from(self.to_bits())
+    }
+}
+
+impl FloatBits for f64 {
+    fn bits(self) -> u64 {
+        self.to_bits()
+    }
+}
+
+trait WrappingArith {
+    fn wrapping_add(self, rhs: Self) -> Self;
+    fn wrapping_sub(self, rhs: Self) -> Self;
+}
+
+impl WrappingArith for u32 {
+    fn wrapping_add(self, rhs: Self) -> Self {
+        u32::wrapping_add(self, rhs)
+    }
+    fn wrapping_sub(self, rhs: Self) -> Self {
+        u32::wrapping_sub(self, rhs)
+    }
+}
+
+impl WrappingArith for i32 {
+    fn wrapping_add(self, rhs: Self) -> Self {
+        i32::wrapping_add(self, rhs)
+    }
+    fn wrapping_sub(self, rhs: Self) -> Self {
+        i32::wrapping_sub(self, rhs)
+    }
 }
 
 /// The argument set handed to a kernel launch: an ordered list of buffers.
@@ -452,6 +594,53 @@ impl Args {
             .try_fold(0u64, |acc, &i| Ok(acc + self.buffer(i)?.size_bytes()))
     }
 
+    /// Merges a worker-side execution of some work-groups back into this
+    /// argument set (see [`Buffer::merge_span`]).
+    ///
+    /// Only the listed `output_args` are inspected; every other argument is
+    /// read-only by contract (the kernel IR declares its outputs). Buffers
+    /// the worker never wrote still share their payload with `pristine` and
+    /// are skipped without touching a single element.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an index in `output_args` is out of range.
+    pub fn merge_outputs(
+        &mut self,
+        executed: &Args,
+        pristine: &Args,
+        output_args: &[usize],
+        additive: bool,
+    ) -> Result<(), KernelError> {
+        for &i in output_args {
+            let exec = executed.buffer(i)?;
+            let prist = pristine.buffer(i)?;
+            self.buffer_mut(i)?.merge_span(exec, prist, additive)?;
+        }
+        Ok(())
+    }
+
+    /// Refreshes a leased sandbox in place: every buffer re-shares `src`'s
+    /// current payload (copy-on-write), while sandbox addresses and names
+    /// are kept. After this call the set is indistinguishable, data-wise,
+    /// from a fresh [`Args::sandbox_view`] of `src`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the two sets have different arity.
+    pub fn refresh_from(&mut self, src: &Args) -> Result<(), KernelError> {
+        if self.len() != src.len() {
+            return Err(KernelError::BadArgIndex {
+                index: src.len(),
+                len: self.len(),
+            });
+        }
+        for (dst, s) in self.bufs.iter_mut().zip(src.iter()) {
+            dst.share_payload_from(s);
+        }
+        Ok(())
+    }
+
     /// Adopts the listed buffers from `winner` (swap-based profiling: the
     /// winning private output becomes the final output).
     ///
@@ -551,6 +740,66 @@ mod tests {
         w.f32_mut(0).unwrap().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
         a.adopt_outputs(&mut w, &[0]).unwrap();
         assert_eq!(a.f32(0).unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn merge_overwrite_takes_changed_elements_only() {
+        let pristine = Buffer::f32("out", vec![1.0, 2.0, 3.0, 4.0], Space::Global);
+        let mut span_a = pristine.clone();
+        if let BufferData::F32(v) = Arc::make_mut(&mut span_a.data) {
+            v[1] = 20.0;
+        }
+        let mut span_b = pristine.clone();
+        if let BufferData::F32(v) = Arc::make_mut(&mut span_b.data) {
+            v[3] = 40.0;
+        }
+        let mut target = pristine.clone();
+        target.merge_span(&span_a, &pristine, false).unwrap();
+        target.merge_span(&span_b, &pristine, false).unwrap();
+        assert_eq!(
+            matches!(target.data(), BufferData::F32(v) if v == &vec![1.0, 20.0, 3.0, 40.0]),
+            true
+        );
+    }
+
+    #[test]
+    fn merge_additive_composes_overlapping_increments() {
+        let pristine = Buffer::u32("hist", vec![5, 0, 0], Space::Global);
+        let mut span_a = pristine.clone();
+        if let BufferData::U32(v) = Arc::make_mut(&mut span_a.data) {
+            v[0] += 3;
+            v[1] += 1;
+        }
+        let mut span_b = pristine.clone();
+        if let BufferData::U32(v) = Arc::make_mut(&mut span_b.data) {
+            v[0] += 2;
+        }
+        let mut target = pristine.clone();
+        target.merge_span(&span_a, &pristine, true).unwrap();
+        target.merge_span(&span_b, &pristine, true).unwrap();
+        assert!(matches!(target.data(), BufferData::U32(v) if v == &vec![10, 1, 0]));
+    }
+
+    #[test]
+    fn merge_skips_untouched_shared_payloads() {
+        let pristine = Buffer::f32("out", vec![7.0; 8], Space::Global);
+        let span = pristine.clone(); // never written: still shared
+        let mut target = Buffer::f32("tgt", vec![1.0; 8], Space::Global);
+        target.merge_span(&span, &pristine, false).unwrap();
+        assert!(matches!(target.data(), BufferData::F32(v) if v == &vec![1.0; 8]));
+    }
+
+    #[test]
+    fn refresh_from_reshares_payloads_and_keeps_addresses() {
+        let mut a = args2();
+        let mut sb = a.sandbox_view(&[0]).unwrap();
+        let sandbox_addr = sb.buffer(0).unwrap().addr();
+        sb.f32_mut(0).unwrap()[0] = 9.0; // dirty the lease
+        a.f32_mut(0).unwrap()[1] = 5.0; // source moved on
+        sb.refresh_from(&a).unwrap();
+        assert_eq!(sb.buffer(0).unwrap().addr(), sandbox_addr);
+        assert_eq!(sb.f32(0).unwrap(), a.f32(0).unwrap());
+        assert!(sb.buffer(1).unwrap().shares_payload_with(a.buffer(1).unwrap()));
     }
 
     #[test]

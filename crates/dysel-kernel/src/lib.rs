@@ -64,6 +64,7 @@ mod ir;
 mod kernel;
 mod profile;
 mod range;
+mod rng;
 mod space;
 mod trace;
 
@@ -74,5 +75,6 @@ pub use ir::{AccessIr, AccessPattern, KernelIr, LoopBound, LoopIr, LoopKind};
 pub use kernel::{Kernel, Variant, VariantId, VariantMeta};
 pub use profile::{Orchestration, ProfilingMode};
 pub use range::UnitRange;
+pub use rng::XorShiftRng;
 pub use space::Space;
-pub use trace::{CountingSink, MemOp, NullSink, TraceSink};
+pub use trace::{CountingSink, MemOp, NullSink, RecordedTrace, RecordingSink, TraceEvent, TraceSink};

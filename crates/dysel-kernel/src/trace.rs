@@ -168,6 +168,95 @@ pub trait TraceSink {
     fn barrier(&mut self) {}
 }
 
+/// One recorded trace event, replayable into any [`TraceSink`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A batched memory operation.
+    Mem(MemOp),
+    /// Scalar compute ops.
+    Compute(u64),
+    /// A SIMD/vector loop: `(iters, width, active, ops_per_iter)`.
+    VectorCompute(u64, u32, u32, u64),
+    /// A work-group barrier.
+    Barrier,
+}
+
+/// The full cost trace of one work-group, captured by a [`RecordingSink`].
+///
+/// Recorded traces are what lets the parallel executor split a launch into
+/// two phases: worker threads run the kernels functionally and *record*
+/// their traces, then a single serial pass replays every trace in canonical
+/// work-group order against the stateful device cost models — so the priced
+/// timeline is bit-identical no matter how many workers executed phase one.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecordedTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl RecordedTrace {
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Feeds every recorded event into `sink`, in recording order.
+    pub fn replay(&self, sink: &mut dyn TraceSink) {
+        for ev in &self.events {
+            match ev {
+                TraceEvent::Mem(op) => sink.mem(op),
+                TraceEvent::Compute(ops) => sink.compute(*ops),
+                TraceEvent::VectorCompute(iters, width, active, ops) => {
+                    sink.vector_compute(*iters, *width, *active, *ops)
+                }
+                TraceEvent::Barrier => sink.barrier(),
+            }
+        }
+    }
+}
+
+/// A sink that materializes the trace instead of pricing it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecordingSink {
+    trace: RecordedTrace,
+}
+
+impl RecordingSink {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        RecordingSink::default()
+    }
+
+    /// Consumes the recorder, yielding the captured trace.
+    pub fn into_trace(self) -> RecordedTrace {
+        self.trace
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn mem(&mut self, op: &MemOp) {
+        self.trace.events.push(TraceEvent::Mem(op.clone()));
+    }
+
+    fn compute(&mut self, ops: u64) {
+        self.trace.events.push(TraceEvent::Compute(ops));
+    }
+
+    fn vector_compute(&mut self, iters: u64, width: u32, active: u32, ops_per_iter: u64) {
+        self.trace
+            .events
+            .push(TraceEvent::VectorCompute(iters, width, active, ops_per_iter));
+    }
+
+    fn barrier(&mut self) {
+        self.trace.events.push(TraceEvent::Barrier);
+    }
+}
+
 /// A sink that ignores everything (functional-only execution).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullSink;
@@ -258,6 +347,32 @@ mod tests {
         let mut s = CountingSink::default();
         s.vector_compute(4, 8, 8, 3);
         assert_eq!(s.compute_ops, 12);
+    }
+
+    #[test]
+    fn recording_then_replaying_matches_direct_emission() {
+        let emit = |sink: &mut dyn TraceSink| {
+            sink.mem(&MemOp::Warp {
+                space: Space::Global,
+                base: 128,
+                stride: 4,
+                lanes: 32,
+                elem: 4,
+                store: false,
+            });
+            sink.compute(17);
+            sink.vector_compute(4, 8, 6, 3);
+            sink.barrier();
+        };
+        let mut direct = CountingSink::default();
+        emit(&mut direct);
+        let mut rec = RecordingSink::new();
+        emit(&mut rec);
+        let trace = rec.into_trace();
+        assert_eq!(trace.len(), 4);
+        let mut replayed = CountingSink::default();
+        trace.replay(&mut replayed);
+        assert_eq!(direct, replayed);
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! Compressed sparse row matrices and reference kernels.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dysel_kernel::XorShiftRng;
 
 /// A CSR-format sparse matrix with `f32` values.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,7 +37,7 @@ impl CsrMatrix {
     /// uniformly-placed non-zeros — the SHOC `spmv` default input shape
     /// ("16k-by-16k random sparse matrix with 1% probability of non-zeros").
     pub fn random(rows: usize, cols: usize, density: f64, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = XorShiftRng::seed_from_u64(seed);
         let mut row_ptr = Vec::with_capacity(rows + 1);
         let mut col_idx = Vec::new();
         let mut vals = Vec::new();
@@ -48,16 +47,16 @@ impl CsrMatrix {
             // Sample a per-row count around the expectation (Poisson-ish via
             // a clamped normal approximation, deterministic under the seed).
             let std = expected.sqrt();
-            let z: f64 = (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() * 2.0 - 6.0;
+            let z: f64 = (0..6).map(|_| rng.next_f64()).sum::<f64>() * 2.0 - 6.0;
             let len = (expected + z * std).round().clamp(1.0, cols as f64) as usize;
             let mut cols_in_row: Vec<u32> = (0..len)
-                .map(|_| rng.gen_range(0..cols as u32))
+                .map(|_| rng.gen_range_u32(0, cols as u32))
                 .collect();
             cols_in_row.sort_unstable();
             cols_in_row.dedup();
             for c in cols_in_row {
                 col_idx.push(c);
-                vals.push(rng.gen_range(-1.0..1.0));
+                vals.push(rng.gen_range_f32(-1.0, 1.0));
             }
             row_ptr.push(col_idx.len() as u32);
         }

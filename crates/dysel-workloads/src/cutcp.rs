@@ -489,16 +489,15 @@ pub fn gpu_variants(shape: Shape) -> Vec<Variant> {
 
 /// Builds the argument set: atoms placed uniformly and sorted by cell.
 pub fn build_args(shape: Shape, seed: u64) -> Args {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
+    use dysel_kernel::XorShiftRng;
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     let c = cells_per_dim(shape.n);
     let mut per_cell: Vec<Vec<[f32; 4]>> = vec![Vec::new(); c * c * c];
     for _ in 0..shape.atoms {
-        let x = rng.gen_range(0.0..shape.n as f32);
-        let y = rng.gen_range(0.0..shape.n as f32);
-        let z = rng.gen_range(0.0..shape.n as f32);
-        let q = rng.gen_range(0.1..1.0);
+        let x = rng.gen_range_f32(0.0, shape.n as f32);
+        let y = rng.gen_range_f32(0.0, shape.n as f32);
+        let z = rng.gen_range_f32(0.0, shape.n as f32);
+        let q = rng.gen_range_f32(0.1, 1.0);
         let cell = cell_id(
             shape.n,
             (x as usize / BRICK).min(c - 1),

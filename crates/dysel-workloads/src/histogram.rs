@@ -156,18 +156,17 @@ pub fn variants(n: usize) -> Vec<Variant> {
 
 /// Builds the argument set.
 pub fn build_args(n: usize, dist: Distribution, seed: u64) -> Args {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
+    use dysel_kernel::XorShiftRng;
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     let data: Vec<u32> = (0..n)
         .map(|_| match dist {
-            Distribution::Uniform => rng.gen_range(0..BINS as u32),
+            Distribution::Uniform => rng.gen_range_u32(0, BINS as u32),
             Distribution::Skewed => {
                 // 90% of values land in 4 bins.
-                if rng.gen::<f64>() < 0.9 {
-                    rng.gen_range(0..4)
+                if rng.next_f64() < 0.9 {
+                    rng.gen_range_u32(0, 4)
                 } else {
-                    rng.gen_range(0..BINS as u32)
+                    rng.gen_range_u32(0, BINS as u32)
                 }
             }
         })

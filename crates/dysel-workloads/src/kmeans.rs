@@ -216,17 +216,16 @@ pub fn gpu_variants(shape: Shape) -> Vec<Variant> {
 
 /// Builds the argument set with seeded clustered points.
 pub fn build_args(shape: Shape, seed: u64) -> Args {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
+    use dysel_kernel::XorShiftRng;
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     let centers: Vec<f32> = (0..shape.k * shape.d)
-        .map(|_| rng.gen_range(-4.0..4.0))
+        .map(|_| rng.gen_range_f32(-4.0, 4.0))
         .collect();
     let mut pts = Vec::with_capacity(shape.n * shape.d);
     for _ in 0..shape.n {
-        let c = rng.gen_range(0..shape.k);
+        let c = rng.gen_range_usize(0, shape.k);
         for dim in 0..shape.d {
-            pts.push(centers[c * shape.d + dim] + rng.gen_range(-0.6..0.6));
+            pts.push(centers[c * shape.d + dim] + rng.gen_range_f32(-0.6, 0.6));
         }
     }
     let mut args = Args::new();

@@ -147,15 +147,14 @@ pub fn cpu_variants(shape: Shape) -> Vec<Variant> {
 
 /// Builds the argument set: seeded frame, particle positions and template.
 pub fn build_args(shape: Shape, seed: u64) -> Args {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
-    let image: Vec<f32> = (0..shape.frame).map(|_| rng.gen_range(0.0..1.0)).collect();
+    use dysel_kernel::XorShiftRng;
+    let mut rng = XorShiftRng::seed_from_u64(seed);
+    let image: Vec<f32> = (0..shape.frame).map(|_| rng.gen_range_f32(0.0, 1.0)).collect();
     let pos: Vec<u32> = (0..shape.particles)
-        .map(|_| rng.gen_range(0..shape.frame as u32))
+        .map(|_| rng.gen_range_u32(0, shape.frame as u32))
         .collect();
     let objxy: Vec<u32> = (0..shape.window)
-        .map(|_| rng.gen_range(0..4096u32))
+        .map(|_| rng.gen_range_u32(0, 4096))
         .collect();
     let mut args = Args::new();
     args.push(Buffer::f32(

@@ -427,13 +427,12 @@ pub fn cpu_mixed_variants(n: usize) -> Vec<Variant> {
 }
 
 fn build_args(n: usize, seed: u64) -> Args {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
+    use dysel_kernel::XorShiftRng;
+    let mut rng = XorShiftRng::seed_from_u64(seed);
     let mut args = Args::new();
     args.push(Buffer::f32("C", vec![0.0; n * n], Space::Global));
-    let a: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    let b: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let a: Vec<f32> = (0..n * n).map(|_| rng.gen_range_f32(-1.0, 1.0)).collect();
+    let b: Vec<f32> = (0..n * n).map(|_| rng.gen_range_f32(-1.0, 1.0)).collect();
     args.push(Buffer::f32("A", a, Space::Global));
     args.push(Buffer::f32("B", b, Space::Global));
     args

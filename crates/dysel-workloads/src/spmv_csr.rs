@@ -374,10 +374,9 @@ pub fn gpu_placement_variants(rows: usize) -> Vec<Variant> {
 
 /// Builds the argument set for a matrix.
 pub fn build_args(m: &CsrMatrix, seed: u64) -> Args {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
-    let x: Vec<f32> = (0..m.cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    use dysel_kernel::XorShiftRng;
+    let mut rng = XorShiftRng::seed_from_u64(seed);
+    let x: Vec<f32> = (0..m.cols).map(|_| rng.gen_range_f32(-1.0, 1.0)).collect();
     let mut args = Args::new();
     args.push(Buffer::f32("y", vec![0.0; m.rows], Space::Global));
     args.push(Buffer::u32("row_ptr", m.row_ptr.clone(), Space::Global));

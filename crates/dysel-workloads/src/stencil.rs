@@ -372,10 +372,9 @@ pub fn gpu_variants(n: usize) -> Vec<Variant> {
 
 /// Builds the argument set: a seeded input grid and a zero output grid.
 pub fn build_args(n: usize, seed: u64) -> Args {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
-    let grid: Vec<f32> = (0..n * n * n).map(|_| rng.gen_range(0.0..1.0)).collect();
+    use dysel_kernel::XorShiftRng;
+    let mut rng = XorShiftRng::seed_from_u64(seed);
+    let grid: Vec<f32> = (0..n * n * n).map(|_| rng.gen_range_f32(0.0, 1.0)).collect();
     let mut args = Args::new();
     args.push(Buffer::f32("out", vec![0.0; n * n * n], Space::Global));
     args.push(Buffer::f32("in", grid, Space::Global));

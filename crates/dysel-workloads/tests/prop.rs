@@ -1,59 +1,82 @@
-//! Property-based tests for the workload substrates: format conversions,
-//! generators, and variant-vs-reference agreement on random inputs.
+//! Randomized property tests for the workload substrates: format
+//! conversions, generators, and variant-vs-reference agreement.
+//!
+//! Gated behind the dep-less `proptest` cargo feature and driven by the
+//! in-tree [`XorShiftRng`]: `cargo test -p dysel-workloads --features proptest`.
+#![cfg(feature = "proptest")]
 
-use proptest::prelude::*;
-
-use dysel_kernel::GroupCtx;
+use dysel_kernel::{GroupCtx, XorShiftRng};
 use dysel_workloads::{
     gemm_ref, histogram, kmeans, spmv_csr, spmv_jds, CsrMatrix, JdsMatrix, Target,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+const CASES: u64 = 16;
 
-    /// CSR generation invariants for arbitrary shapes and densities.
-    #[test]
-    fn csr_generator_invariants(rows in 1usize..200, cols in 1usize..200,
-                                density in 0.001f64..0.3, seed in any::<u64>()) {
+fn rng_for(test: u64, case: u64) -> XorShiftRng {
+    XorShiftRng::seed_from_u64(0x3011_AD00 + test * 1_000_003 + case)
+}
+
+/// CSR generation invariants for arbitrary shapes and densities.
+#[test]
+fn csr_generator_invariants() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let rows = rng.gen_range_usize(1, 200);
+        let cols = rng.gen_range_usize(1, 200);
+        let density = rng.gen_range_f64(0.001, 0.3);
+        let seed = rng.next_u64();
         let m = CsrMatrix::random(rows, cols, density, seed);
-        prop_assert_eq!(m.rows, rows);
-        prop_assert_eq!(m.row_ptr.len(), rows + 1);
-        prop_assert_eq!(m.row_ptr[0], 0);
-        prop_assert_eq!(*m.row_ptr.last().unwrap() as usize, m.nnz());
+        assert_eq!(m.rows, rows);
+        assert_eq!(m.row_ptr.len(), rows + 1);
+        assert_eq!(m.row_ptr[0], 0);
+        assert_eq!(*m.row_ptr.last().unwrap() as usize, m.nnz());
         for r in 0..rows {
-            prop_assert!(m.row_ptr[r] <= m.row_ptr[r + 1]);
+            assert!(m.row_ptr[r] <= m.row_ptr[r + 1]);
             let cols_r: Vec<u32> = (m.row_ptr[r]..m.row_ptr[r + 1])
                 .map(|j| m.col_idx[j as usize])
                 .collect();
-            prop_assert!(cols_r.windows(2).all(|w| w[0] < w[1]));
-            prop_assert!(cols_r.iter().all(|&c| (c as usize) < cols));
+            assert!(cols_r.windows(2).all(|w| w[0] < w[1]));
+            assert!(cols_r.iter().all(|&c| (c as usize) < cols));
         }
     }
+}
 
-    /// JDS conversion preserves the matrix: spmv agrees with CSR on random
-    /// vectors, and nnz/diagonal bookkeeping is exact.
-    #[test]
-    fn jds_roundtrip(rows in 1usize..150, density in 0.01f64..0.2, seed in any::<u64>()) {
+/// JDS conversion preserves the matrix: spmv agrees with CSR on random
+/// vectors, and nnz/diagonal bookkeeping is exact.
+#[test]
+fn jds_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let rows = rng.gen_range_usize(1, 150);
+        let density = rng.gen_range_f64(0.01, 0.2);
+        let seed = rng.next_u64();
         let m = CsrMatrix::random(rows, rows, density, seed);
         let j = JdsMatrix::from_csr(&m);
-        prop_assert_eq!(j.nnz(), m.nnz());
-        prop_assert_eq!(j.num_diagonals(), m.max_row_len());
-        let x: Vec<f32> = (0..rows).map(|i| ((i * 37 + 11) % 17) as f32 * 0.25 - 2.0).collect();
+        assert_eq!(j.nnz(), m.nnz());
+        assert_eq!(j.num_diagonals(), m.max_row_len());
+        let x: Vec<f32> = (0..rows)
+            .map(|i| ((i * 37 + 11) % 17) as f32 * 0.25 - 2.0)
+            .collect();
         let yc = m.spmv_ref(&x);
         let yj = j.spmv_ref(&x);
         for (a, b) in yc.iter().zip(&yj) {
-            prop_assert!((a - b).abs() <= 1e-3 * (1.0 + a.abs()), "{a} vs {b}");
+            assert!((a - b).abs() <= 1e-3 * (1.0 + a.abs()), "{a} vs {b}");
         }
         // dia_rows is non-increasing and consistent with dia_ptr.
-        prop_assert!(j.dia_rows.windows(2).all(|w| w[0] >= w[1]));
+        assert!(j.dia_rows.windows(2).all(|w| w[0] >= w[1]));
     }
+}
 
-    /// Every spmv-csr variant (both targets) matches the host reference on
-    /// arbitrary random matrices — the productive-profiling correctness
-    /// precondition, fuzzed.
-    #[test]
-    fn spmv_variants_agree_with_reference(rows in 33usize..300, density in 0.005f64..0.1,
-                                          seed in any::<u64>()) {
+/// Every spmv-csr variant (both targets) matches the host reference on
+/// arbitrary random matrices — the productive-profiling correctness
+/// precondition, fuzzed.
+#[test]
+fn spmv_variants_agree_with_reference() {
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let rows = rng.gen_range_usize(33, 300);
+        let density = rng.gen_range_f64(0.005, 0.1);
+        let seed = rng.next_u64();
         let m = CsrMatrix::random(rows, rows, density, seed);
         let w = spmv_csr::case4_workload("spmv", &m, seed);
         for target in [Target::Cpu, Target::Gpu] {
@@ -62,15 +85,20 @@ proptest! {
                 let mut ctx = GroupCtx::for_test(0, 0, w.total_units, &args);
                 v.kernel.run_group(&mut ctx, &mut args);
                 if let Err(e) = w.verify(&args) {
-                    return Err(TestCaseError::fail(format!("{} ({target}): {e}", v.name())));
+                    panic!("{} ({target}): {e}", v.name());
                 }
             }
         }
     }
+}
 
-    /// JDS variants agree with the reference under fuzzing too.
-    #[test]
-    fn jds_variants_agree_with_reference(rows in 33usize..200, seed in any::<u64>()) {
+/// JDS variants agree with the reference under fuzzing too.
+#[test]
+fn jds_variants_agree_with_reference() {
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let rows = rng.gen_range_usize(33, 200);
+        let seed = rng.next_u64();
         let m = CsrMatrix::random(rows, rows, 0.05, seed);
         let w = spmv_jds::workload(&JdsMatrix::from_csr(&m), seed);
         for target in [Target::Cpu, Target::Gpu] {
@@ -79,16 +107,21 @@ proptest! {
                 let mut ctx = GroupCtx::for_test(0, 0, w.total_units, &args);
                 v.kernel.run_group(&mut ctx, &mut args);
                 if let Err(e) = w.verify(&args) {
-                    return Err(TestCaseError::fail(format!("{} ({target}): {e}", v.name())));
+                    panic!("{} ({target}): {e}", v.name());
                 }
             }
         }
     }
+}
 
-    /// Histogram variants are exact for any distribution and split points
-    /// (accumulative outputs compose across arbitrary unit splits).
-    #[test]
-    fn histogram_composes_across_splits(seed in any::<u64>(), cut in 1u64..31) {
+/// Histogram variants are exact for any distribution and split points
+/// (accumulative outputs compose across arbitrary unit splits).
+#[test]
+fn histogram_composes_across_splits() {
+    for case in 0..CASES {
+        let mut rng = rng_for(5, case);
+        let seed = rng.next_u64();
+        let cut = rng.gen_range_u64(1, 31);
         let n = 32 * histogram::ELEMS_PER_UNIT;
         let w = histogram::workload(n, histogram::Distribution::Skewed, seed);
         let v = &w.variants(Target::Gpu)[0];
@@ -97,33 +130,40 @@ proptest! {
             let mut ctx = GroupCtx::for_test(0, a, b, &args);
             v.kernel.run_group(&mut ctx, &mut args);
         }
-        prop_assert!(w.verify(&args).is_ok());
+        assert!(w.verify(&args).is_ok());
     }
+}
 
-    /// gemm_ref is linear: C(A, B1 + B2) = C(A, B1) + C(A, B2).
-    #[test]
-    fn gemm_ref_is_linear(n in 1usize..12, seed in any::<u64>()) {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(seed);
-        let a: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let b1: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let b2: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+/// gemm_ref is linear: C(A, B1 + B2) = C(A, B1) + C(A, B2).
+#[test]
+fn gemm_ref_is_linear() {
+    for case in 0..CASES {
+        let mut rng = rng_for(6, case);
+        let n = rng.gen_range_usize(1, 12);
+        let a: Vec<f32> = (0..n * n).map(|_| rng.gen_range_f32(-1.0, 1.0)).collect();
+        let b1: Vec<f32> = (0..n * n).map(|_| rng.gen_range_f32(-1.0, 1.0)).collect();
+        let b2: Vec<f32> = (0..n * n).map(|_| rng.gen_range_f32(-1.0, 1.0)).collect();
         let sum: Vec<f32> = b1.iter().zip(&b2).map(|(x, y)| x + y).collect();
         let c_sum = gemm_ref(n, n, n, &a, &sum);
         let c1 = gemm_ref(n, n, n, &a, &b1);
         let c2 = gemm_ref(n, n, n, &a, &b2);
         for i in 0..n * n {
-            prop_assert!((c_sum[i] - (c1[i] + c2[i])).abs() < 1e-3);
+            assert!((c_sum[i] - (c1[i] + c2[i])).abs() < 1e-3);
         }
     }
+}
 
-    /// kmeans assignments are invariant across schedules for any shape.
-    #[test]
-    fn kmeans_schedules_agree(n in 64usize..512, d in 2usize..24, k in 2usize..9,
-                              seed in any::<u64>()) {
-        let shape = kmeans::Shape { n, d, k };
-        let w = kmeans::workload(shape, seed);
+/// kmeans assignments are invariant across schedules for any shape.
+#[test]
+fn kmeans_schedules_agree() {
+    for case in 0..CASES {
+        let mut rng = rng_for(7, case);
+        let shape = kmeans::Shape {
+            n: rng.gen_range_usize(64, 512),
+            d: rng.gen_range_usize(2, 24),
+            k: rng.gen_range_usize(2, 9),
+        };
+        let w = kmeans::workload(shape, rng.next_u64());
         let mut outputs: Vec<Vec<i32>> = Vec::new();
         for v in w.variants(Target::Cpu) {
             let mut args = w.fresh_args();
@@ -132,7 +172,7 @@ proptest! {
             outputs.push(args.i32(kmeans::arg::ASSIGN).unwrap().to_vec());
         }
         for o in &outputs[1..] {
-            prop_assert_eq!(o, &outputs[0]);
+            assert_eq!(o, &outputs[0]);
         }
     }
 }

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Tier-1 verification: offline build, full test matrix, and the
+# thread-count determinism contract of the parallel executor.
+#
+# Everything here runs with no network access and no external crates —
+# including the optional extras:
+#   --proptest     also run the in-tree randomized property suites
+#   --bench        also build the std-only timing benches
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_proptest=0
+run_bench=0
+for arg in "$@"; do
+    case "$arg" in
+        --proptest) run_proptest=1 ;;
+        --bench) run_bench=1 ;;
+        *)
+            echo "unknown flag: $arg (known: --proptest --bench)" >&2
+            exit 2
+            ;;
+    esac
+done
+
+echo "==> offline release build"
+cargo build --release --workspace
+
+echo "==> full test matrix (unit + integration + end-to-end)"
+cargo test --release --workspace -q
+
+echo "==> determinism: --threads 1 vs --threads 4 must be bit-identical"
+strip_wallclock() { sed -E 's/\[[0-9.]+s\]//g; s/total: [0-9.]+s//'; }
+bin=target/release/experiments
+cargo build --release -p dysel-bench --bin experiments -q
+"$bin" --threads 1 fig11a | strip_wallclock > /tmp/dysel-verify-t1.txt
+"$bin" --threads 4 fig11a | strip_wallclock > /tmp/dysel-verify-t4.txt
+grep -q "fig11a" /tmp/dysel-verify-t1.txt  # guard against an empty run
+diff /tmp/dysel-verify-t1.txt /tmp/dysel-verify-t4.txt
+echo "    identical"
+
+if [ "$run_proptest" = 1 ]; then
+    echo "==> property suites (--features proptest)"
+    for crate in dysel-kernel dysel-device dysel-analysis dysel-core dysel-workloads; do
+        cargo test --release -p "$crate" --features proptest -q
+    done
+fi
+
+if [ "$run_bench" = 1 ]; then
+    echo "==> timing benches build (--features bench-deps)"
+    cargo bench -p dysel-bench --features bench-deps --no-run
+fi
+
+echo "==> OK"

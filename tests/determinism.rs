@@ -33,6 +33,55 @@ fn run(device: Box<dyn Device>, target: Target) -> (LaunchReport, Vec<u32>) {
     (report, bits)
 }
 
+/// The determinism contract of the parallel executor: the worker-thread
+/// count changes host wall-clock only. Selections, reports (every virtual
+/// timestamp and measurement) and output buffers are bit-identical whether
+/// the functional execution ran inline or fanned out over 2 or 8 workers.
+#[test]
+fn worker_thread_count_never_changes_cpu_results() {
+    let baseline = run(
+        Box::new(CpuDevice::new(CpuConfig {
+            threads: 1,
+            ..CpuConfig::default()
+        })),
+        Target::Cpu,
+    );
+    for threads in [2usize, 8] {
+        let (report, bits) = run(
+            Box::new(CpuDevice::new(CpuConfig {
+                threads,
+                ..CpuConfig::default()
+            })),
+            Target::Cpu,
+        );
+        assert_eq!(report, baseline.0, "{threads} threads: report diverged");
+        assert_eq!(bits, baseline.1, "{threads} threads: output diverged");
+    }
+}
+
+/// Same contract on the GPU model (SwapPartial inference path included).
+#[test]
+fn worker_thread_count_never_changes_gpu_results() {
+    let baseline = run(
+        Box::new(GpuDevice::new(GpuConfig {
+            threads: 1,
+            ..GpuConfig::kepler_k20c()
+        })),
+        Target::Gpu,
+    );
+    for threads in [2usize, 8] {
+        let (report, bits) = run(
+            Box::new(GpuDevice::new(GpuConfig {
+                threads,
+                ..GpuConfig::kepler_k20c()
+            })),
+            Target::Gpu,
+        );
+        assert_eq!(report, baseline.0, "{threads} threads: report diverged");
+        assert_eq!(bits, baseline.1, "{threads} threads: output diverged");
+    }
+}
+
 #[test]
 fn cpu_runs_are_bit_identical() {
     let (r1, o1) = run(Box::new(CpuDevice::new(CpuConfig::default())), Target::Cpu);

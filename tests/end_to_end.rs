@@ -6,7 +6,7 @@
 use dysel::baselines::exhaustive_sweep;
 use dysel::core::{LaunchOptions, Runtime, RuntimeConfig};
 use dysel::device::{CpuConfig, CpuDevice, Device, GpuConfig, GpuDevice};
-use dysel::kernel::Orchestration;
+use dysel::kernel::{Orchestration, ProfilingMode};
 use dysel::workloads::{
     histogram, kmeans, particlefilter, sgemm, spmv_csr, stencil, CsrMatrix, Target, Workload,
 };
@@ -97,6 +97,50 @@ fn sync_and_async_agree_on_selection_without_noise() {
         );
         if sync.profiled() && asynch.profiled() {
             assert_eq!(sync.selected, asynch.selected, "{}", w.name);
+        }
+    }
+}
+
+/// The full mode x orchestration matrix over three structurally different
+/// workloads: a regular kernel (sgemm), an irregular one (spmv-csr) and an
+/// atomics-based accumulator (histogram). Every combination must produce
+/// the exact reference output (`Workload::verify` checks against the serial
+/// golden computation) and, with zero noise, select the same variant the
+/// offline exhaustive sweep crowns. The sgemm edge is 128: at smaller
+/// sizes the profiling slice's cache behaviour genuinely diverges from the
+/// whole workload's and the close loop-order schedules flip.
+#[test]
+fn mode_orchestration_matrix_is_correct_and_selects_the_sweep_winner() {
+    let workloads = vec![
+        sgemm::schedules_workload(128, 7),
+        spmv_csr::case4_workload("spmv", &CsrMatrix::random(2048, 2048, 0.01, 7), 7),
+        histogram::workload(64 * histogram::ELEMS_PER_UNIT, histogram::Distribution::Skewed, 7),
+    ];
+    for w in &workloads {
+        let winner = exhaustive_sweep(w, Target::Cpu, cpu).best().0;
+        for mode in [
+            ProfilingMode::FullyProductive,
+            ProfilingMode::HybridPartial,
+            ProfilingMode::SwapPartial,
+        ] {
+            for orch in [Orchestration::Sync, Orchestration::Async] {
+                let opts = LaunchOptions::new().with_mode(mode).with_orchestration(orch);
+                let report = run_dysel(w, Target::Cpu, cpu(), &opts);
+                let label = format!("{} / {mode} / {orch}", w.name);
+                assert!(report.profiled(), "{label}: profiling must run");
+                if mode == ProfilingMode::SwapPartial {
+                    // Table 1: swap-based profiling forces the sync flow.
+                    assert_eq!(report.orchestration, Orchestration::Sync, "{label}");
+                    assert_eq!(report.eager_chunks, 0, "{label}");
+                } else {
+                    assert_eq!(report.orchestration, orch, "{label}");
+                }
+                assert_eq!(
+                    report.selected, winner,
+                    "{label}: picked {} against the sweep",
+                    report.selected_name
+                );
+            }
         }
     }
 }
