@@ -59,6 +59,7 @@ pub fn run_pure(w: &Workload, variant: &Variant, device: &mut dyn Device) -> Cyc
         not_before: Cycles::ZERO,
         measured: false,
     });
+    let rec = rec.unwrap_done();
     w.verify(&args)
         .unwrap_or_else(|e| panic!("pure run of {} is wrong: {e}", variant.name()));
     rec.end

@@ -10,10 +10,28 @@
 //! `--threads N` sets the worker-thread count of every device's functional
 //! executor (default: all available cores). The virtual-time results are
 //! bit-identical at any `N` — the flag trades host wall-clock only.
+//!
+//! `--fault-plan SPEC` installs a deterministic fault-injection plan on
+//! every device the experiments build, e.g.
+//! `--fault-plan "seed=7;ctas@0+1=error;coarse=hang*64?0.5"`, to watch the
+//! runtime's graceful-degradation machinery (retries, quarantine, repair)
+//! under the full workload suite. Off by default.
 
 use std::time::Instant;
 
 use dysel_bench::{experiments, harness};
+use dysel_device::FaultPlan;
+
+fn install_fault_plan(spec: &str) {
+    match spec.parse::<FaultPlan>() {
+        Ok(plan) => harness::set_fault_plan(Some(plan)),
+        Err(e) => {
+            eprintln!("--fault-plan could not parse {spec:?}: {e}");
+            eprintln!("expected: seed=N;NAME[@FROM[+COUNT]]=KIND[*FACTOR][?PROB];...");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let mut ids: Vec<String> = Vec::new();
@@ -39,6 +57,14 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if a == "--fault-plan" {
+            let spec = args.next().unwrap_or_else(|| {
+                eprintln!("--fault-plan needs a plan spec");
+                std::process::exit(2);
+            });
+            install_fault_plan(&spec);
+        } else if let Some(spec) = a.strip_prefix("--fault-plan=") {
+            install_fault_plan(spec);
         } else {
             ids.push(a);
         }

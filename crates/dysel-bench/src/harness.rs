@@ -3,16 +3,33 @@
 //! oracle/DySel case runner behind Figs. 8-11.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use dysel_baselines::{exhaustive_sweep, SweepResult};
 use dysel_core::{InitialSelection, LaunchOptions, LaunchReport, Runtime};
-use dysel_device::{CpuConfig, CpuDevice, Cycles, Device, GpuConfig, GpuDevice};
+use dysel_device::{CpuConfig, CpuDevice, Cycles, Device, FaultPlan, GpuConfig, GpuDevice};
 use dysel_kernel::Orchestration;
 use dysel_workloads::{Target, Workload};
 
 /// Worker threads the factories give each fresh device's functional
 /// executor; `0` means auto (`std::thread::available_parallelism`).
 static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Fault-injection plan installed on every device the factories build
+/// (the `--fault-plan` flag); `None` (the default) injects nothing.
+static FAULT_PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+/// Installs (or clears, with `None`) the fault plan used by
+/// [`cpu_factory`] / [`gpu_factory`]. Each fresh device gets its own clone
+/// with zeroed launch counters, so runs stay independent and reproducible.
+pub fn set_fault_plan(plan: Option<FaultPlan>) {
+    *FAULT_PLAN.lock().unwrap() = plan;
+}
+
+/// The currently installed factory fault plan, if any.
+pub fn fault_plan() -> Option<FaultPlan> {
+    FAULT_PLAN.lock().unwrap().clone()
+}
 
 /// Sets the worker-thread count used by [`cpu_factory`] / [`gpu_factory`]
 /// (the `--threads` flag). Only affects devices created afterwards; the
@@ -29,18 +46,22 @@ pub fn threads() -> usize {
 
 /// Fresh default CPU device (4 cores, i7-3820-like, seeded noise).
 pub fn cpu_factory() -> Box<dyn Device> {
-    Box::new(CpuDevice::new(CpuConfig {
+    let mut dev = Box::new(CpuDevice::new(CpuConfig {
         threads: threads(),
         ..CpuConfig::default()
-    }))
+    }));
+    dev.set_fault_plan(fault_plan());
+    dev
 }
 
 /// Fresh default GPU device (Kepler K20c-like, seeded noise).
 pub fn gpu_factory() -> Box<dyn Device> {
-    Box::new(GpuDevice::new(GpuConfig {
+    let mut dev = Box::new(GpuDevice::new(GpuConfig {
         threads: threads(),
         ..GpuConfig::kepler_k20c()
-    }))
+    }));
+    dev.set_fault_plan(fault_plan());
+    dev
 }
 
 /// DySel execution times for the three orchestration bars of the figures.

@@ -23,6 +23,22 @@ pub enum DyselError {
     },
     /// A buffer access failed while orchestrating sandboxes.
     Kernel(KernelError),
+    /// Every registered variant of the signature is quarantined; no
+    /// trustworthy implementation is left. The user buffers are untouched.
+    AllVariantsFaulted {
+        /// Signature whose pool is exhausted.
+        signature: String,
+        /// How many variants sit in quarantine.
+        quarantined: usize,
+    },
+    /// A non-profiling launch (eager chunk, repair or final batch) kept
+    /// failing after the configured retries.
+    LaunchFailed {
+        /// Signature being launched.
+        signature: String,
+        /// Name of the variant whose launch failed.
+        variant: String,
+    },
 }
 
 impl fmt::Display for DyselError {
@@ -41,6 +57,17 @@ impl fmt::Display for DyselError {
                 "variant index {index} out of range for {signature:?} ({len} variants)"
             ),
             DyselError::Kernel(e) => write!(f, "argument error during profiling: {e}"),
+            DyselError::AllVariantsFaulted {
+                signature,
+                quarantined,
+            } => write!(
+                f,
+                "all {quarantined} variant(s) of {signature:?} are quarantined"
+            ),
+            DyselError::LaunchFailed { signature, variant } => write!(
+                f,
+                "launch of {signature:?} variant {variant:?} failed after retries"
+            ),
         }
     }
 }

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod fault;
 mod mixed;
 mod options;
 mod pool;
@@ -37,6 +38,7 @@ mod stats;
 mod timeline;
 
 pub use error::DyselError;
+pub use fault::{FaultReport, QuarantineReason};
 pub use mixed::MixedReport;
 pub use options::{InitialSelection, LaunchOptions, RuntimeConfig};
 pub use pool::KernelPool;

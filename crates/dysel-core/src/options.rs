@@ -1,6 +1,7 @@
 //! Launch options — the paper's `DySelLaunchKernel` parameters plus the
 //! engineering knobs discussed in §5.
 
+use dysel_device::Cycles;
 use dysel_kernel::{Orchestration, ProfilingMode, VariantId};
 
 /// How the asynchronous flow picks its initial default variant (§2.4: "we
@@ -140,6 +141,22 @@ pub struct RuntimeConfig {
     /// solvers get the §5.2 steady-state behaviour without having to pass
     /// [`LaunchOptions::without_profiling`] from the second iteration on.
     pub profile_once_per_signature: bool,
+    /// How many times a transient launch failure is retried before the
+    /// variant is quarantined (first rung of the degradation ladder).
+    pub max_launch_retries: u32,
+    /// Base host-side backoff before a retry; attempt `n` waits
+    /// `retry_backoff * 2^n` cycles after observing the failure.
+    pub retry_backoff: Cycles,
+    /// When set, a profiled variant whose measurement exceeds
+    /// `factor * best measurement` is dropped from selection and
+    /// quarantined (`DeadlineExceeded`) — the hang guard. `None` (the
+    /// default) waits for every variant, as the paper's runtime does.
+    pub profile_deadline_factor: Option<f64>,
+    /// When `true`, profiled outputs are cross-checked before a variant
+    /// may win: sandboxed variants must agree with the consensus digest,
+    /// and a fully-productive winner is re-validated against a runner-up.
+    /// Off by default — the healthy path pays nothing for it.
+    pub validate_outputs: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -148,6 +165,10 @@ impl Default for RuntimeConfig {
             profile_threshold_groups: 128,
             default_chunk_groups_per_unit: 1,
             profile_once_per_signature: false,
+            max_launch_retries: 2,
+            retry_backoff: Cycles(2_000),
+            profile_deadline_factor: None,
+            validate_outputs: false,
         }
     }
 }

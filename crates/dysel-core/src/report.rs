@@ -3,6 +3,8 @@
 use dysel_device::Cycles;
 use dysel_kernel::{Orchestration, ProfilingMode, VariantId};
 
+use crate::FaultReport;
+
 /// One variant's profiling measurement (best of the repetitions).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Measurement {
@@ -60,8 +62,12 @@ pub struct LaunchReport {
     pub extra_space_bytes: u64,
     /// Eager chunks dispatched in asynchronous mode.
     pub eager_chunks: u64,
-    /// Total kernel launches issued (profiling + eager + batch).
+    /// Total kernel launches issued (profiling + eager + batch, plus any
+    /// retries, validation launches and repairs).
     pub launches: u64,
+    /// What the graceful-degradation machinery saw and did (retries,
+    /// deadline discards, quarantines, repairs). Empty on the healthy path.
+    pub faults: FaultReport,
 }
 
 impl std::fmt::Display for LaunchReport {
@@ -79,6 +85,15 @@ impl std::fmt::Display for LaunchReport {
                 self.orchestration, self.profile_time, self.productive_units, self.wasted_units
             )?,
             (None, None) => {}
+        }
+        if !self.faults.is_clean() {
+            write!(
+                f,
+                ", degraded ({} launch errors, {} quarantined, {} repaired slices)",
+                self.faults.launch_errors,
+                self.faults.quarantined.len(),
+                self.faults.repaired_slices
+            )?;
         }
         write!(f, ", total {}", self.total_time)
     }
@@ -136,6 +151,7 @@ mod tests {
             extra_space_bytes: 0,
             eager_chunks: 0,
             launches: 3,
+            faults: FaultReport::default(),
         }
     }
 

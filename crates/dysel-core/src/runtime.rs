@@ -1,11 +1,25 @@
 //! The DySel runtime: productive micro-profiling and dynamic selection.
+//!
+//! Besides the paper's profiling/selection pipeline, the runtime carries a
+//! graceful-degradation ladder (see [`crate::FaultReport`]): transient
+//! launch failures are retried with bounded backoff, variants that blow the
+//! profiling deadline or produce wrong output are quarantined per
+//! signature, selection and the eager default fall back to the surviving
+//! candidates, and productive profiling slices a faulted variant left
+//! unwritten or corrupt are re-executed with the winner so the final output
+//! stays exact. Only when *every* variant is quarantined does a launch fail
+//! — with [`DyselError::AllVariantsFaulted`] and the user buffers restored
+//! untouched.
 
 use std::collections::HashMap;
 
 use dysel_analysis::{infer_mode, safe_point, SafePointPlan};
-use dysel_device::{BatchEntry, Cycles, Device, LaunchRecord, LaunchSpec, StreamId};
-use dysel_kernel::{Args, Orchestration, ProfilingMode, UnitRange, Variant, VariantId};
+use dysel_device::{
+    BatchEntry, Cycles, Device, LaunchOutcome, LaunchRecord, LaunchSpec, StreamId,
+};
+use dysel_kernel::{Args, Orchestration, ProfilingMode, UnitRange, Variant, VariantId, VariantMeta};
 
+use crate::fault::{FaultReport, QuarantineReason};
 use crate::pool::SandboxPool;
 use crate::timeline::{LaunchKind, Timeline, TimelineEntry};
 use crate::{
@@ -16,6 +30,14 @@ use crate::{
 /// The compute stream used for eager chunks and the final batch; profiling
 /// launches use streams `1..=K`.
 const COMPUTE_STREAM: StreamId = StreamId(0);
+
+/// Stream for output-validation cross-check launches. Their writes land in
+/// a scratch sandbox and never reach the final output.
+const VALIDATE_STREAM: StreamId = StreamId(u32::MAX);
+
+/// Sandbox-pool slot of the shared validation scratch space (outside the
+/// `0..K` variant range, so it never collides with a private output lease).
+const VALIDATE_SLOT: usize = usize::MAX;
 
 /// The DySel runtime, owning a device and the kernel pool.
 ///
@@ -52,6 +74,7 @@ pub struct Runtime {
     selection_cache: HashMap<String, VariantId>,
     sandboxes: SandboxPool,
     timeline: Timeline,
+    quarantine: HashMap<String, Vec<(VariantId, QuarantineReason)>>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -86,6 +109,7 @@ impl Runtime {
             selection_cache: HashMap::new(),
             sandboxes: SandboxPool::default(),
             timeline: Timeline::default(),
+            quarantine: HashMap::new(),
         }
     }
 
@@ -135,13 +159,25 @@ impl Runtime {
         self.selection_cache.get(signature).copied()
     }
 
-    /// Clears device time, caches, statistics, cached selections and the
-    /// pooled profiling sandboxes.
+    /// Variants of `signature` currently quarantined, with the reason each
+    /// was excluded, in quarantine order. Empty for healthy signatures.
+    pub fn quarantined(&self, signature: &str) -> &[(VariantId, QuarantineReason)] {
+        self.quarantine
+            .get(signature)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Clears device time (replaying any installed fault plan), statistics,
+    /// cached selections, quarantine state, the recorded timeline and the
+    /// pooled profiling sandboxes (including their lease counters).
     pub fn reset(&mut self) {
         self.device.reset();
         self.stats.reset();
         self.selection_cache.clear();
         self.sandboxes.clear();
+        self.timeline.clear();
+        self.quarantine.clear();
     }
 
     /// Sandbox-pool accounting: `(fresh allocations, recycled leases)`.
@@ -162,7 +198,10 @@ impl Runtime {
     /// # Errors
     ///
     /// Fails if the signature is unknown, an explicit initial variant is
-    /// out of range, or sandbox construction hits a bad argument index.
+    /// out of range, sandbox construction hits a bad argument index, or
+    /// the degradation ladder runs out of variants
+    /// ([`DyselError::AllVariantsFaulted`], [`DyselError::LaunchFailed`]).
+    /// On error the user buffers hold their pre-launch contents.
     pub fn launch(
         &mut self,
         signature: &str,
@@ -191,9 +230,6 @@ impl Runtime {
         let total_units = end.saturating_sub(start);
         let variants = self.pool.variants(signature)?;
         let k = variants.len();
-        self.stats.record(total_units);
-        let device = self.device.as_mut();
-        let t_start = device.busy_until();
 
         let initial = opts
             .initial
@@ -207,10 +243,28 @@ impl Runtime {
                 len: k,
             })?;
 
+        // Fallback rung of the degradation ladder: only non-quarantined
+        // variants may run, win, or serve as the eager default.
+        let quarantine = self.quarantine.entry(signature.to_owned()).or_default();
+        let mut active: Vec<usize> = (0..k)
+            .filter(|i| !quarantine.iter().any(|(v, _)| v.0 == *i))
+            .collect();
+        if active.is_empty() {
+            return Err(DyselError::AllVariantsFaulted {
+                signature: signature.to_owned(),
+                quarantined: quarantine.len(),
+            });
+        }
+
+        self.stats.record(total_units);
+        let device = self.device.as_mut();
+        let t_start = device.busy_until();
+        let initial = sanitize(&active, initial);
+
         // ---- skip paths -------------------------------------------------
         let skip = if !opts.profiling {
             match self.selection_cache.get(signature) {
-                Some(&id) => Some((SkipReason::CachedSelection, id)),
+                Some(&id) => Some((SkipReason::CachedSelection, sanitize(&active, id))),
                 None => Some((SkipReason::ProfilingDisabled, initial)),
             }
         } else if self.config.profile_once_per_signature
@@ -220,10 +274,10 @@ impl Runtime {
             // signature as the steady state of an iterative solver.
             Some((
                 SkipReason::CachedSelection,
-                self.selection_cache[signature],
+                sanitize(&active, self.selection_cache[signature]),
             ))
-        } else if k == 1 {
-            Some((SkipReason::SingleVariant, VariantId(0)))
+        } else if active.len() == 1 {
+            Some((SkipReason::SingleVariant, VariantId(active[0])))
         } else if total_units < self.config.profile_threshold_groups {
             // Small workloads skip profiling (§2.1); reuse an earlier
             // selection for this signature if one exists.
@@ -232,19 +286,19 @@ impl Runtime {
                 .get(signature)
                 .copied()
                 .unwrap_or(initial);
-            Some((SkipReason::SmallWorkload, id))
+            Some((SkipReason::SmallWorkload, sanitize(&active, id)))
         } else {
             None
         };
 
-        let metas: Vec<_> = variants.iter().map(|v| v.meta.clone()).collect();
-        let mode = opts.mode.unwrap_or_else(|| infer_mode(&metas));
+        let active_metas: Vec<_> = active.iter().map(|&i| variants[i].meta.clone()).collect();
+        let mode = opts.mode.unwrap_or_else(|| infer_mode(&active_metas));
         let reps = u64::from(opts.profile_reps);
         let distinct_slices = match mode {
-            ProfilingMode::FullyProductive => k as u64 * reps,
+            ProfilingMode::FullyProductive => active.len() as u64 * reps,
             _ => 1,
         };
-        let wa_factors: Vec<u32> = metas.iter().map(|m| m.wa_factor).collect();
+        let wa_factors: Vec<u32> = active_metas.iter().map(|m| m.wa_factor).collect();
         let plan = safe_point(&wa_factors, device.units(), total_units, distinct_slices);
 
         let (skip, plan) = match (skip, plan) {
@@ -253,15 +307,47 @@ impl Runtime {
             (None, None) => (Some((SkipReason::InfeasiblePlan, initial)), None),
         };
 
-        if let Some((reason, selected)) = skip {
+        if let Some((reason, mut selected)) = skip {
             self.timeline.clear();
-            let rec = run_batch(
-                device,
-                &variants[selected.0],
-                args,
-                UnitRange::new(start, end),
-                t_start,
-            );
+            let mut faults = FaultReport::default();
+            let mut launches_issued = 0u64;
+            // Retry-then-fall-back: a variant whose launch keeps failing is
+            // quarantined and the next surviving candidate runs instead.
+            let rec = loop {
+                match launch_checked(
+                    device,
+                    &self.config,
+                    &variants[selected.0],
+                    args,
+                    UnitRange::new(start, end),
+                    COMPUTE_STREAM,
+                    t_start,
+                    false,
+                    &mut faults,
+                    &mut launches_issued,
+                ) {
+                    Ok(rec) => break rec,
+                    Err(()) => {
+                        quarantine_variant(
+                            &mut active,
+                            quarantine,
+                            &mut faults,
+                            selected.0,
+                            QuarantineReason::LaunchFailed,
+                        );
+                        match active.first() {
+                            Some(&next) => selected = VariantId(next),
+                            None => {
+                                self.stats.record_faults(&faults);
+                                return Err(DyselError::AllVariantsFaulted {
+                                    signature: signature.to_owned(),
+                                    quarantined: quarantine.len(),
+                                });
+                            }
+                        }
+                    }
+                }
+            };
             self.timeline.push(TimelineEntry {
                 kind: LaunchKind::Batch,
                 variant: selected,
@@ -270,6 +356,7 @@ impl Runtime {
                 start: rec.start,
                 end: rec.end,
             });
+            self.stats.record_faults(&faults);
             return Ok(LaunchReport {
                 signature: signature.to_owned(),
                 selected,
@@ -284,7 +371,8 @@ impl Runtime {
                 wasted_units: 0,
                 extra_space_bytes: 0,
                 eager_chunks: 0,
-                launches: 1,
+                launches: launches_issued,
+                faults,
             });
         }
         let plan = plan.expect("skip handled above");
@@ -302,6 +390,8 @@ impl Runtime {
             &self.config,
             signature,
             variants,
+            &active,
+            quarantine,
             args,
             start,
             end,
@@ -313,6 +403,7 @@ impl Runtime {
             t_start,
             &mut self.sandboxes,
             &mut self.timeline,
+            &mut self.stats,
         )?;
         self.selection_cache
             .insert(signature.to_owned(), report.selected);
@@ -320,32 +411,98 @@ impl Runtime {
     }
 }
 
-/// Launches `variant` over `units` on the compute stream, unmeasured.
-fn run_batch(
+/// Clamps a selection to the non-quarantined candidate set.
+fn sanitize(active: &[usize], id: VariantId) -> VariantId {
+    if active.contains(&id.0) {
+        id
+    } else {
+        VariantId(active[0])
+    }
+}
+
+/// The declared output arguments of a variant that exist in `args`.
+fn outputs_of(meta: &VariantMeta, args: &Args) -> Vec<usize> {
+    meta.ir
+        .output_args
+        .iter()
+        .copied()
+        .filter(|&i| i < args.len())
+        .collect()
+}
+
+/// Removes `vi` from the surviving candidates and records the quarantine in
+/// both the signature's persistent list and this launch's fault report.
+fn quarantine_variant(
+    alive: &mut Vec<usize>,
+    quarantine: &mut Vec<(VariantId, QuarantineReason)>,
+    faults: &mut FaultReport,
+    vi: usize,
+    reason: QuarantineReason,
+) {
+    if let Some(pos) = alive.iter().position(|&a| a == vi) {
+        alive.remove(pos);
+        quarantine.push((VariantId(vi), reason));
+        faults.quarantined.push((VariantId(vi), reason));
+    }
+}
+
+/// Launches `variant` over `units`, retrying transient failures with
+/// bounded exponential backoff (first rung of the degradation ladder).
+///
+/// `Err(())` means the launch failed permanently (or exhausted its
+/// retries); the caller decides whether that quarantines the variant or
+/// fails the whole DySel launch. A failed device launch executed nothing.
+#[allow(clippy::too_many_arguments)]
+fn launch_checked(
     device: &mut dyn Device,
+    config: &RuntimeConfig,
     variant: &Variant,
     args: &mut Args,
     units: UnitRange,
-    not_before: Cycles,
-) -> LaunchRecord {
-    device.launch(LaunchSpec {
-        kernel: variant.kernel.as_ref(),
-        meta: &variant.meta,
-        units,
-        args,
-        stream: COMPUTE_STREAM,
-        not_before,
-        measured: false,
-    })
+    stream: StreamId,
+    mut not_before: Cycles,
+    measured: bool,
+    faults: &mut FaultReport,
+    launches: &mut u64,
+) -> Result<LaunchRecord, ()> {
+    let mut attempt = 0u32;
+    loop {
+        *launches += 1;
+        match device.launch(LaunchSpec {
+            kernel: variant.kernel.as_ref(),
+            meta: &variant.meta,
+            units,
+            args,
+            stream,
+            not_before,
+            measured,
+        }) {
+            LaunchOutcome::Done(rec) => return Ok(rec),
+            LaunchOutcome::Failed(failure) => {
+                faults.launch_errors += 1;
+                if !failure.transient || attempt >= config.max_launch_retries {
+                    return Err(());
+                }
+                faults.retries += 1;
+                not_before = failure.at + config.retry_backoff * (1u64 << attempt.min(16));
+                attempt += 1;
+            }
+        }
+    }
 }
 
-/// The full profiling + selection + remaining-workload pipeline.
+/// Leases sandboxes, snapshots the user buffers, runs the profiling
+/// pipeline, and guarantees the cleanup invariants: leased sandboxes go
+/// back to the pool, fault counters reach the runtime stats, and on error
+/// the user buffers are restored bit-exactly from the snapshot.
 #[allow(clippy::too_many_arguments)]
 fn profile_and_run(
     device: &mut dyn Device,
     config: &RuntimeConfig,
     signature: &str,
     variants: &[Variant],
+    active: &[usize],
+    quarantine: &mut Vec<(VariantId, QuarantineReason)>,
     args: &mut Args,
     start: u64,
     end: u64,
@@ -357,64 +514,159 @@ fn profile_and_run(
     t_start: Cycles,
     sandboxes: &mut SandboxPool,
     timeline: &mut Timeline,
+    stats: &mut LaunchStats,
 ) -> Result<LaunchReport, DyselError> {
-    let k = variants.len();
-    let reps = u64::from(opts.profile_reps);
-    let s = plan.slice_units;
-    let mut launches_issued: u64 = 0;
+    // Copy-on-write snapshot: the healthy path pays a handful of Arc
+    // clones, and a degraded-to-error launch restores from it exactly.
+    let snapshot = args.clone();
 
     // ---- sandbox / private output spaces --------------------------------
     // Leased from the sandbox pool so steady-state re-profiling recycles
     // the private copies instead of allocating them each launch.
     let mut extra_space_bytes = 0u64;
-    let mut private_args: Vec<Option<Args>> = Vec::with_capacity(k);
-    for (i, v) in variants.iter().enumerate() {
+    let mut private_args: Vec<Option<Args>> = (0..variants.len()).map(|_| None).collect();
+    let mut lease_err: Option<DyselError> = None;
+    for (pos, &vi) in active.iter().enumerate() {
         let needs_copy = match mode {
             ProfilingMode::FullyProductive => false,
-            ProfilingMode::HybridPartial => i > 0,
+            ProfilingMode::HybridPartial => pos > 0,
             ProfilingMode::SwapPartial => true,
         };
-        if needs_copy {
-            extra_space_bytes += args.sandbox_bytes(&v.meta.sandbox_args)?;
-            private_args.push(Some(sandboxes.lease(
-                signature,
-                i,
-                args,
-                &v.meta.sandbox_args,
-            )?));
-        } else {
-            private_args.push(None);
+        if !needs_copy {
+            continue;
+        }
+        let v = &variants[vi];
+        let leased = args
+            .sandbox_bytes(&v.meta.sandbox_args)
+            .map_err(DyselError::from)
+            .and_then(|bytes| {
+                extra_space_bytes += bytes;
+                sandboxes
+                    .lease(signature, vi, args, &v.meta.sandbox_args)
+                    .map_err(DyselError::from)
+            });
+        match leased {
+            Ok(p) => private_args[vi] = Some(p),
+            Err(e) => {
+                lease_err = Some(e);
+                break;
+            }
         }
     }
+
+    let mut faults = FaultReport::default();
+    let result = match lease_err {
+        Some(e) => Err(e),
+        None => profile_core(
+            device,
+            config,
+            signature,
+            variants,
+            active,
+            quarantine,
+            args,
+            &mut private_args,
+            extra_space_bytes,
+            &snapshot,
+            start,
+            end,
+            mode,
+            orchestration,
+            initial,
+            opts,
+            plan,
+            t_start,
+            sandboxes,
+            timeline,
+            &mut faults,
+        ),
+    };
+
+    // Hand the leased sandboxes back for reuse by later launches.
+    for (vi, private) in private_args.into_iter().enumerate() {
+        if let Some(sb) = private {
+            sandboxes.give_back(signature, vi, sb);
+        }
+    }
+    stats.record_faults(&faults);
+
+    match result {
+        Ok(report) => Ok(report),
+        Err(e) => {
+            *args = snapshot;
+            Err(e)
+        }
+    }
+}
+
+/// The full profiling + selection + degradation + remaining-workload
+/// pipeline. Fault accounting lands in `faults` even when this returns an
+/// error (the wrapper folds it into the runtime statistics either way).
+#[allow(clippy::too_many_arguments)]
+fn profile_core(
+    device: &mut dyn Device,
+    config: &RuntimeConfig,
+    signature: &str,
+    variants: &[Variant],
+    active: &[usize],
+    quarantine: &mut Vec<(VariantId, QuarantineReason)>,
+    args: &mut Args,
+    private_args: &mut [Option<Args>],
+    extra_space_bytes: u64,
+    snapshot: &Args,
+    start: u64,
+    end: u64,
+    mode: ProfilingMode,
+    orchestration: Orchestration,
+    initial: VariantId,
+    opts: &LaunchOptions,
+    plan: &SafePointPlan,
+    t_start: Cycles,
+    sandboxes: &mut SandboxPool,
+    timeline: &mut Timeline,
+    faults: &mut FaultReport,
+) -> Result<LaunchReport, DyselError> {
+    let k = variants.len();
+    let ka = active.len();
+    let reps = u64::from(opts.profile_reps);
+    let s = plan.slice_units;
+    let mut launches_issued: u64 = 0;
+    let mut alive: Vec<usize> = active.to_vec();
+    // Productive profiling slices a faulted variant left unwritten or
+    // corrupt; re-executed with the winner before the final batch.
+    let mut dead_slices: Vec<UnitRange> = Vec::new();
 
     // ---- issue profiling launches ---------------------------------------
     // All K * reps profiling launches go to the device as ONE batch: they
     // are mutually independent (disjoint productive slices, or private
     // sandboxes), so the device may fan their functional execution out
     // across worker threads while scheduling them in issue order.
-    let profiled: Vec<ProfiledLaunch> = {
+    let mut profiled: Vec<ProfiledLaunch> = Vec::with_capacity(ka * reps as usize);
+    {
         // targets[0] is the live argument set; each sandboxed variant's
-        // lease follows, with `target_of[i]` naming the slot variant `i`
-        // executes against.
-        let mut targets: Vec<&mut Args> = Vec::with_capacity(1 + k);
+        // lease follows, with `target_of[pos]` naming the slot the variant
+        // at active position `pos` executes against.
+        let mut targets: Vec<&mut Args> = Vec::with_capacity(1 + ka);
         targets.push(&mut *args);
-        let mut target_of: Vec<usize> = Vec::with_capacity(k);
-        for private in private_args.iter_mut() {
-            match private {
-                Some(p) => {
-                    target_of.push(targets.len());
-                    targets.push(p);
-                }
-                None => target_of.push(0),
+        let mut target_of: Vec<usize> = vec![0; ka];
+        for (vi, slot) in private_args.iter_mut().enumerate() {
+            if let Some(p) = slot.as_mut() {
+                let pos = active
+                    .iter()
+                    .position(|&a| a == vi)
+                    .expect("sandboxes are leased for active variants only");
+                target_of[pos] = targets.len();
+                targets.push(p);
             }
         }
-        let mut entries: Vec<BatchEntry<'_>> = Vec::with_capacity(k * reps as usize);
-        for (i, v) in variants.iter().enumerate() {
-            let stream = StreamId(i as u32 + 1);
+        let mut entries: Vec<BatchEntry<'_>> = Vec::with_capacity(ka * reps as usize);
+        for (pos, &vi) in active.iter().enumerate() {
+            let stream = StreamId(pos as u32 + 1);
+            let v = &variants[vi];
             for r in 0..reps {
                 let units = match mode {
                     ProfilingMode::FullyProductive => {
-                        let idx = i as u64 * reps + r;
+                        let idx = pos as u64 * reps + r;
                         UnitRange::new(start + idx * s, start + (idx + 1) * s)
                     }
                     _ => UnitRange::new(start, start + s),
@@ -423,7 +675,7 @@ fn profile_and_run(
                     kernel: v.kernel.as_ref(),
                     meta: &v.meta,
                     units,
-                    target: target_of[i],
+                    target: target_of[pos],
                     stream,
                     not_before: t_start,
                     measured: true,
@@ -431,32 +683,86 @@ fn profile_and_run(
             }
         }
         launches_issued += entries.len() as u64;
-        let records = device.launch_batch(&entries, &mut targets);
-        debug_assert_eq!(records.len(), entries.len());
-        entries
-            .iter()
-            .zip(records)
-            .map(|(e, record)| {
-                let i = usize::try_from(e.stream.0 - 1).expect("stream fits");
+        let outcomes = device.launch_batch(&entries, &mut targets);
+        debug_assert_eq!(outcomes.len(), entries.len());
+        for (e, outcome) in entries.iter().zip(outcomes) {
+            let pos = usize::try_from(e.stream.0 - 1).expect("stream fits");
+            let vi = active[pos];
+            let record = match outcome {
+                LaunchOutcome::Done(record) => Some(record),
+                LaunchOutcome::Failed(first) => {
+                    // Retry the failed profiling launch serially; its slot
+                    // in the batch schedule is gone, but a profiling slice
+                    // is small and the stream is otherwise idle.
+                    faults.launch_errors += 1;
+                    let mut recovered = None;
+                    let mut fail = first;
+                    let mut attempt = 0u32;
+                    while fail.transient && attempt < config.max_launch_retries {
+                        faults.retries += 1;
+                        let not_before =
+                            fail.at + config.retry_backoff * (1u64 << attempt.min(16));
+                        launches_issued += 1;
+                        match device.launch(LaunchSpec {
+                            kernel: e.kernel,
+                            meta: e.meta,
+                            units: e.units,
+                            args: &mut *targets[e.target],
+                            stream: e.stream,
+                            not_before,
+                            measured: true,
+                        }) {
+                            LaunchOutcome::Done(record) => {
+                                recovered = Some(record);
+                                break;
+                            }
+                            LaunchOutcome::Failed(f2) => {
+                                faults.launch_errors += 1;
+                                fail = f2;
+                                attempt += 1;
+                            }
+                        }
+                    }
+                    if recovered.is_none() {
+                        quarantine_variant(
+                            &mut alive,
+                            quarantine,
+                            faults,
+                            vi,
+                            QuarantineReason::LaunchFailed,
+                        );
+                        if e.target == 0 && mode == ProfilingMode::FullyProductive {
+                            // Its productive slice was never written.
+                            dead_slices.push(e.units);
+                        }
+                    }
+                    recovered
+                }
+            };
+            if let Some(record) = record {
                 timeline.push(TimelineEntry {
                     kind: LaunchKind::Profile,
-                    variant: VariantId(i),
-                    variant_name: variants[i].name().to_owned(),
+                    variant: VariantId(vi),
+                    variant_name: variants[vi].name().to_owned(),
                     units: e.units,
                     start: record.start,
                     end: record.end,
                 });
-                ProfiledLaunch { variant: i, record }
-            })
-            .collect()
-    };
-    let profile_end = profiled
-        .iter()
-        .map(|p| p.record.end)
-        .max()
-        .unwrap_or(t_start);
+                profiled.push(ProfiledLaunch { variant: vi, record });
+            }
+        }
+    }
+    // In hybrid mode the first candidate writes the live slice; if every
+    // one of its launches failed, that slice is unwritten.
+    if mode == ProfilingMode::HybridPartial
+        && !alive.contains(&active[0])
+        && !profiled.iter().any(|p| p.variant == active[0])
+    {
+        dead_slices.push(UnitRange::new(start, start + s));
+    }
 
-    // Per-variant best-of-reps measurements.
+    // Per-variant best-of-reps measurements (quarantined and launch-less
+    // variants surface as `Cycles::MAX` and can never win).
     let measurements: Vec<Measurement> = (0..k)
         .map(|i| {
             let best_measured = profiled
@@ -479,8 +785,107 @@ fn profile_and_run(
         })
         .collect();
 
+    // ---- deadline discard (hang guard) ----------------------------------
+    // A variant whose measurement exceeds `factor * best` is dropped: the
+    // host stops waiting for it instead of stalling selection. Its data is
+    // valid (the launch did complete in virtual time), so no repair.
+    if let Some(factor) = config.profile_deadline_factor {
+        let best = alive
+            .iter()
+            .map(|&vi| measurements[vi].measured)
+            .filter(|&m| m < Cycles::MAX)
+            .min();
+        if let Some(best) = best {
+            let budget = Cycles::from_f64(best.as_f64() * factor.max(1.0));
+            let over: Vec<usize> = alive
+                .iter()
+                .copied()
+                .filter(|&vi| measurements[vi].measured > budget)
+                .collect();
+            for vi in over {
+                faults.deadline_discards += 1;
+                quarantine_variant(
+                    &mut alive,
+                    quarantine,
+                    faults,
+                    vi,
+                    QuarantineReason::DeadlineExceeded,
+                );
+            }
+        }
+    }
+
+    // The host waits only for launches of variants it still cares about.
+    let profile_end = profiled
+        .iter()
+        .filter(|p| alive.contains(&p.variant))
+        .map(|p| p.record.end)
+        .max()
+        .unwrap_or(t_start);
+
+    // ---- output consensus (sandboxed modes) ------------------------------
+    // Hybrid/swap candidates all computed the SAME slice, so their output
+    // digests must agree. Computed before any eager chunk touches `args`.
+    if config.validate_outputs && mode != ProfilingMode::FullyProductive {
+        let outs = outputs_of(&variants[active[0]].meta, args);
+        let mut digests: Vec<(usize, u64)> = Vec::new();
+        for &vi in alive.iter() {
+            if !profiled.iter().any(|p| p.variant == vi) {
+                continue;
+            }
+            let digest = match private_args[vi].as_ref() {
+                Some(p) => p.changed_digest(snapshot, &outs)?,
+                None => args.changed_digest(snapshot, &outs)?,
+            };
+            digests.push((vi, digest));
+        }
+        if digests.len() >= 2 {
+            let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+            for &(vi, d) in &digests {
+                groups.entry(d).or_default().push(vi);
+            }
+            let first = active[0];
+            // Largest agreeing group wins; ties prefer the group holding
+            // the live-slice writer, then the lowest variant index.
+            let trusted = groups
+                .values()
+                .max_by_key(|members| {
+                    (
+                        members.len(),
+                        members.contains(&first),
+                        std::cmp::Reverse(members[0]),
+                    )
+                })
+                .cloned()
+                .unwrap_or_default();
+            for &(vi, _) in &digests {
+                if !trusted.contains(&vi) {
+                    faults.validation_failures += 1;
+                    quarantine_variant(
+                        &mut alive,
+                        quarantine,
+                        faults,
+                        vi,
+                        QuarantineReason::WrongOutput,
+                    );
+                    if mode == ProfilingMode::HybridPartial && vi == first {
+                        // The dissenter wrote the live slice: re-execute it.
+                        dead_slices.push(UnitRange::new(start, start + s));
+                    }
+                }
+            }
+        }
+    }
+
+    if alive.is_empty() {
+        return Err(DyselError::AllVariantsFaulted {
+            signature: signature.to_owned(),
+            quarantined: quarantine.len(),
+        });
+    }
+
     let profiled_end_units = match mode {
-        ProfilingMode::FullyProductive => k as u64 * reps * s,
+        ProfilingMode::FullyProductive => ka as u64 * reps * s,
         _ => s,
     };
     let mut next_unit = start + profiled_end_units;
@@ -502,54 +907,131 @@ fn profile_and_run(
             // One status query per still-running profiling launch.
             let unfinished = profiled
                 .iter()
-                .filter(|p| p.record.end > t_host)
+                .filter(|p| alive.contains(&p.variant) && p.record.end > t_host)
                 .count()
                 .max(1);
             t_host += device.query_latency() * unfinished as u64;
-            if profiled.iter().all(|p| p.record.end <= t_host) {
+            let all_done = |t: Cycles, profiled: &[ProfiledLaunch], alive: &[usize]| {
+                profiled
+                    .iter()
+                    .filter(|p| alive.contains(&p.variant))
+                    .all(|p| p.record.end <= t)
+            };
+            if all_done(t_host, &profiled, &alive) {
                 break;
             }
             // Wait for a vacant execution unit before dispatching a chunk.
             let free = device.earliest_unit_free();
             if free > t_host {
                 t_host = free;
-                if profiled.iter().all(|p| p.record.end <= t_host) {
+                if all_done(t_host, &profiled, &alive) {
                     break;
                 }
             }
-            // The chunk runs with the best variant the host has seen so
-            // far; before any measurement lands, that is the suggested
-            // initial default (Fig. 5(b)/(c)).
-            let current = best_so_far(&profiled, t_host).unwrap_or(initial);
+            // The chunk runs with the best surviving variant the host has
+            // seen so far; before any measurement lands, that is the
+            // suggested initial default (Fig. 5(b)/(c)).
+            let fallback = if alive.contains(&initial.0) {
+                initial
+            } else {
+                VariantId(alive[0])
+            };
+            let current = best_so_far(&profiled, &alive, t_host).unwrap_or(fallback);
             let v = &variants[current.0];
             let chunk_units = chunk_groups * u64::from(v.meta.wa_factor);
             let chunk_end = (next_unit + chunk_units).min(end);
-            let rec = run_batch(device, v, args, UnitRange::new(next_unit, chunk_end), t_host);
-            launches_issued += 1;
-            timeline.push(TimelineEntry {
-                kind: LaunchKind::EagerChunk,
-                variant: current,
-                variant_name: v.name().to_owned(),
-                units: UnitRange::new(next_unit, chunk_end),
-                start: rec.start,
-                end: rec.end,
-            });
-            eager_chunks += 1;
-            chunk_ends = chunk_ends.max(rec.end);
-            next_unit = chunk_end;
-            // Asynchronous enqueue: the host only pays the submission side
-            // of the launch overhead.
-            t_host += device.launch_overhead() / 4;
+            match launch_checked(
+                device,
+                config,
+                v,
+                args,
+                UnitRange::new(next_unit, chunk_end),
+                COMPUTE_STREAM,
+                t_host,
+                false,
+                faults,
+                &mut launches_issued,
+            ) {
+                Ok(rec) => {
+                    timeline.push(TimelineEntry {
+                        kind: LaunchKind::EagerChunk,
+                        variant: current,
+                        variant_name: v.name().to_owned(),
+                        units: UnitRange::new(next_unit, chunk_end),
+                        start: rec.start,
+                        end: rec.end,
+                    });
+                    eager_chunks += 1;
+                    chunk_ends = chunk_ends.max(rec.end);
+                    next_unit = chunk_end;
+                    // Asynchronous enqueue: the host only pays the
+                    // submission side of the launch overhead.
+                    t_host += device.launch_overhead() / 4;
+                }
+                Err(()) => {
+                    // A failed launch executed nothing: quarantine the
+                    // variant and re-dispatch the same chunk with another.
+                    quarantine_variant(
+                        &mut alive,
+                        quarantine,
+                        faults,
+                        current.0,
+                        QuarantineReason::LaunchFailed,
+                    );
+                    if alive.is_empty() {
+                        return Err(DyselError::AllVariantsFaulted {
+                            signature: signature.to_owned(),
+                            quarantined: quarantine.len(),
+                        });
+                    }
+                }
+            }
         }
     }
 
     // ---- selection -------------------------------------------------------
     let t_sel = t_host.max(profile_end) + device.query_latency();
-    let winner = measurements
-        .iter()
-        .min_by_key(|m| m.measured)
-        .map(|m| m.variant)
-        .unwrap_or(initial);
+    // Surviving candidates by measurement; ties keep the lower index, so a
+    // healthy run selects exactly what the paper's arg-min would.
+    let mut order: Vec<usize> = alive.clone();
+    order.sort_by_key(|&vi| (measurements[vi].measured, vi));
+    let mut t_val = t_sel;
+
+    // ---- winner cross-validation (fully-productive mode) -----------------
+    // Productive slices were each written by a DIFFERENT variant, so no
+    // consensus exists; instead the winner recomputes the losers' slices
+    // into a scratch sandbox (and a referee recomputes the winner's).
+    if config.validate_outputs && mode == ProfilingMode::FullyProductive && order.len() >= 2 {
+        let mut scratch = sandboxes.lease(
+            signature,
+            VALIDATE_SLOT,
+            args,
+            &variants[order[0]].meta.sandbox_args,
+        )?;
+        let vres = validate_fp(
+            device,
+            config,
+            variants,
+            active,
+            reps,
+            s,
+            start,
+            args,
+            &mut scratch,
+            &mut order,
+            &mut alive,
+            quarantine,
+            &mut dead_slices,
+            faults,
+            &mut launches_issued,
+            timeline,
+            &mut t_val,
+        );
+        sandboxes.give_back(signature, VALIDATE_SLOT, scratch);
+        vres?;
+    }
+
+    let winner = VariantId(order[0]);
 
     // Swap-based: adopt the winner's private outputs as the final output.
     if mode == ProfilingMode::SwapPartial {
@@ -559,12 +1041,61 @@ fn profile_and_run(
         }
     }
 
+    // ---- repairs ---------------------------------------------------------
+    // Re-execute every dead productive slice with the winner so the final
+    // output is exactly what an all-healthy launch would have produced.
+    let mut t_repair = t_val;
+    for range in std::mem::take(&mut dead_slices) {
+        let v = &variants[winner.0];
+        let rec = launch_checked(
+            device,
+            config,
+            v,
+            args,
+            range,
+            COMPUTE_STREAM,
+            t_repair,
+            false,
+            faults,
+            &mut launches_issued,
+        )
+        .map_err(|()| DyselError::LaunchFailed {
+            signature: signature.to_owned(),
+            variant: v.name().to_owned(),
+        })?;
+        faults.repaired_slices += 1;
+        faults.repaired_units += range.len();
+        timeline.push(TimelineEntry {
+            kind: LaunchKind::Repair,
+            variant: winner,
+            variant_name: v.name().to_owned(),
+            units: range,
+            start: rec.start,
+            end: rec.end,
+        });
+        t_repair = t_repair.max(rec.end);
+    }
+
     // ---- remaining workload ----------------------------------------------
-    let mut total_end = t_sel.max(chunk_ends).max(profile_end);
+    let mut total_end = t_val.max(chunk_ends).max(profile_end).max(t_repair);
     if next_unit < end {
         let v = &variants[winner.0];
-        let rec = run_batch(device, v, args, UnitRange::new(next_unit, end), t_sel);
-        launches_issued += 1;
+        let rec = launch_checked(
+            device,
+            config,
+            v,
+            args,
+            UnitRange::new(next_unit, end),
+            COMPUTE_STREAM,
+            t_repair.max(t_sel),
+            false,
+            faults,
+            &mut launches_issued,
+        )
+        .map_err(|()| DyselError::LaunchFailed {
+            signature: signature.to_owned(),
+            variant: v.name().to_owned(),
+        })?;
         timeline.push(TimelineEntry {
             kind: LaunchKind::Batch,
             variant: winner,
@@ -576,21 +1107,12 @@ fn profile_and_run(
         total_end = total_end.max(rec.end);
     }
 
-    // Hand the leased sandboxes back for reuse by later launches.
-    for (i, private) in private_args.into_iter().enumerate() {
-        if let Some(sb) = private {
-            sandboxes.give_back(signature, i, sb);
-        }
-    }
-
-    let productive_units = match mode {
+    let gross_productive = match mode {
         ProfilingMode::FullyProductive => profiled_end_units,
         _ => s,
     };
-    let wasted_units = (k as u64 * reps * s).saturating_sub(match mode {
-        ProfilingMode::FullyProductive => k as u64 * reps * s,
-        _ => s,
-    });
+    let productive_units = gross_productive.saturating_sub(faults.repaired_units);
+    let wasted_units = (ka as u64 * reps * s).saturating_sub(productive_units);
 
     Ok(LaunchReport {
         signature: signature.to_owned(),
@@ -600,22 +1122,205 @@ fn profile_and_run(
         orchestration,
         skipped: None,
         total_time: total_end.saturating_sub(t_start),
-        profile_time: t_sel.saturating_sub(t_start),
+        profile_time: t_val.saturating_sub(t_start),
         measurements,
         productive_units,
         wasted_units,
         extra_space_bytes,
         eager_chunks,
         launches: launches_issued,
+        faults: faults.clone(),
     })
 }
 
-/// Best (minimum measured) variant among profiling launches the host has
-/// observed complete by `t`.
-fn best_so_far(profiled: &[ProfiledLaunch], t: Cycles) -> Option<VariantId> {
+/// Fully-productive winner validation (two passes over a scratch sandbox).
+///
+/// Pass 1: the provisional winner recomputes every runner-up's productive
+/// slices into `scratch` and flags those whose bits disagree with what the
+/// runner-up wrote. Pass 2: a referee (the best non-suspect runner-up)
+/// recomputes the *winner's* slices — this runs even with zero suspects,
+/// because a corrupt winner whose validation launches happen to be clean
+/// (a windowed fault) is otherwise invisible. A winner contradicted by the
+/// referee, or by ALL of at least two runner-ups, is quarantined and its
+/// slices marked dead; otherwise the dissenting runner-ups are quarantined.
+///
+/// With only two candidates left and a disagreement, the pair is
+/// indistinguishable; the runtime trusts the (faster) winner — the
+/// documented K=2 limitation.
+#[allow(clippy::too_many_arguments)]
+fn validate_fp(
+    device: &mut dyn Device,
+    config: &RuntimeConfig,
+    variants: &[Variant],
+    active: &[usize],
+    reps: u64,
+    s: u64,
+    start: u64,
+    args: &Args,
+    scratch: &mut Args,
+    order: &mut Vec<usize>,
+    alive: &mut Vec<usize>,
+    quarantine: &mut Vec<(VariantId, QuarantineReason)>,
+    dead_slices: &mut Vec<UnitRange>,
+    faults: &mut FaultReport,
+    launches_issued: &mut u64,
+    timeline: &mut Timeline,
+    t_val: &mut Cycles,
+) -> Result<(), DyselError> {
+    let slice_of = |vi: usize, r: u64| -> Option<UnitRange> {
+        let pos = active.iter().position(|&a| a == vi)?;
+        let idx = pos as u64 * reps + r;
+        Some(UnitRange::new(start + idx * s, start + (idx + 1) * s))
+    };
+    // Recomputes `who`'s launch of `range` into the refreshed scratch and
+    // reports whether the recomputed bits disagree with the live output.
+    // `Ok(None)` means the recomputing variant's launch itself failed.
+    macro_rules! recompute {
+        ($by:expr, $range:expr) => {{
+            let v: &Variant = $by;
+            let range: UnitRange = $range;
+            scratch.refresh_from(args)?;
+            faults.validation_launches += 1;
+            match launch_checked(
+                device,
+                config,
+                v,
+                scratch,
+                range,
+                VALIDATE_STREAM,
+                *t_val,
+                false,
+                faults,
+                launches_issued,
+            ) {
+                Ok(rec) => {
+                    timeline.push(TimelineEntry {
+                        kind: LaunchKind::Validate,
+                        variant: VariantId(
+                            variants.iter().position(|x| std::ptr::eq(x, v)).unwrap_or(0),
+                        ),
+                        variant_name: v.name().to_owned(),
+                        units: range,
+                        start: rec.start,
+                        end: rec.end,
+                    });
+                    *t_val = (*t_val).max(rec.end);
+                    let outs = outputs_of(&v.meta, args);
+                    Some(args.bits_differ(scratch, &outs)?)
+                }
+                Err(()) => None,
+            }
+        }};
+    }
+
+    loop {
+        if order.len() < 2 {
+            return Ok(());
+        }
+        let winner = order[0];
+        // Pass 1: winner recomputes each runner-up's slices.
+        let mut suspects: Vec<usize> = Vec::new();
+        let mut winner_broke = false;
+        let mut checked = 0usize;
+        for &cand in order.iter().skip(1).collect::<Vec<_>>() {
+            let mut differs = false;
+            let mut failed = false;
+            for r in 0..reps {
+                let Some(range) = slice_of(cand, r) else {
+                    continue;
+                };
+                match recompute!(&variants[winner], range) {
+                    Some(true) => differs = true,
+                    Some(false) => {}
+                    None => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            if failed {
+                winner_broke = true;
+                break;
+            }
+            checked += 1;
+            if differs {
+                suspects.push(cand);
+            }
+        }
+        if winner_broke {
+            // The winner cannot even launch any more: quarantine it. Its
+            // own productive slices were written successfully earlier and
+            // stay valid — no repair needed.
+            quarantine_variant(alive, quarantine, faults, winner, QuarantineReason::LaunchFailed);
+            order.remove(0);
+            continue;
+        }
+
+        // Pass 2: a referee recomputes the winner's slices.
+        let mut winner_bad = checked >= 2 && !suspects.is_empty() && suspects.len() == checked;
+        let referee = order
+            .iter()
+            .skip(1)
+            .find(|vi| !suspects.contains(vi))
+            .copied();
+        if let Some(rf) = referee {
+            let mut ref_broke = false;
+            let mut ref_differs = false;
+            for r in 0..reps {
+                let Some(range) = slice_of(winner, r) else {
+                    continue;
+                };
+                match recompute!(&variants[rf], range) {
+                    Some(true) => ref_differs = true,
+                    Some(false) => {}
+                    None => {
+                        ref_broke = true;
+                        break;
+                    }
+                }
+            }
+            if ref_broke {
+                quarantine_variant(alive, quarantine, faults, rf, QuarantineReason::LaunchFailed);
+                order.retain(|&vi| vi != rf);
+                continue; // same winner, next referee
+            }
+            if ref_differs {
+                winner_bad = true;
+            }
+        }
+
+        if winner_bad {
+            faults.validation_failures += 1;
+            quarantine_variant(alive, quarantine, faults, winner, QuarantineReason::WrongOutput);
+            for r in 0..reps {
+                if let Some(range) = slice_of(winner, r) {
+                    dead_slices.push(range);
+                }
+            }
+            order.remove(0);
+            continue; // revalidate under the next-best winner
+        }
+        // Winner confirmed: the dissenting runner-ups are the wrong ones.
+        for &cand in &suspects {
+            faults.validation_failures += 1;
+            quarantine_variant(alive, quarantine, faults, cand, QuarantineReason::WrongOutput);
+            for r in 0..reps {
+                if let Some(range) = slice_of(cand, r) {
+                    dead_slices.push(range);
+                }
+            }
+        }
+        order.retain(|vi| !suspects.contains(vi));
+        return Ok(());
+    }
+}
+
+/// Best (minimum measured) surviving variant among profiling launches the
+/// host has observed complete by `t`.
+fn best_so_far(profiled: &[ProfiledLaunch], alive: &[usize], t: Cycles) -> Option<VariantId> {
     profiled
         .iter()
-        .filter(|p| p.record.end <= t)
+        .filter(|p| alive.contains(&p.variant) && p.record.end <= t)
         .filter_map(|p| p.record.measured.map(|m| (m, p.variant)))
         .min()
         .map(|(_, v)| VariantId(v))

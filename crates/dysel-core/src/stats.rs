@@ -2,6 +2,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::FaultReport;
+
 /// Accumulates the number of base work-groups of every kernel launch, in
 /// power-of-two buckets, reproducing the paper's Fig. 2 histogram
 /// ("distribution of number of work-groups among kernel launches").
@@ -21,6 +23,11 @@ use std::collections::BTreeMap;
 pub struct LaunchStats {
     buckets: BTreeMap<u64, u64>,
     launches: u64,
+    launch_errors: u64,
+    retries: u64,
+    deadline_discards: u64,
+    validation_failures: u64,
+    quarantined_variants: u64,
 }
 
 impl LaunchStats {
@@ -56,10 +63,43 @@ impl LaunchStats {
             .sum()
     }
 
+    /// Folds one launch's fault accounting into the runtime-wide totals.
+    pub(crate) fn record_faults(&mut self, faults: &FaultReport) {
+        self.launch_errors += faults.launch_errors;
+        self.retries += faults.retries;
+        self.deadline_discards += faults.deadline_discards;
+        self.validation_failures += faults.validation_failures;
+        self.quarantined_variants += faults.quarantined.len() as u64;
+    }
+
+    /// Launch failures observed across every launch (including retries).
+    pub fn launch_errors(&self) -> u64 {
+        self.launch_errors
+    }
+
+    /// Retries issued for transient launch failures.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Variants dropped because their measurement blew the deadline.
+    pub fn deadline_discards(&self) -> u64 {
+        self.deadline_discards
+    }
+
+    /// Variants caught by output validation.
+    pub fn validation_failures(&self) -> u64 {
+        self.validation_failures
+    }
+
+    /// Variants quarantined across every launch.
+    pub fn quarantined_variants(&self) -> u64 {
+        self.quarantined_variants
+    }
+
     /// Clears all counts.
     pub fn reset(&mut self) {
-        self.buckets.clear();
-        self.launches = 0;
+        *self = LaunchStats::default();
     }
 }
 

@@ -18,6 +18,12 @@ pub enum LaunchKind {
     EagerChunk,
     /// The post-selection batch over the remaining workload.
     Batch,
+    /// An output-validation launch (winner/runner-up cross-check into a
+    /// scratch sandbox; its writes never reach the final output).
+    Validate,
+    /// A productive profiling slice re-executed with the winner because a
+    /// faulted variant left it unwritten or corrupt.
+    Repair,
 }
 
 impl std::fmt::Display for LaunchKind {
@@ -26,6 +32,8 @@ impl std::fmt::Display for LaunchKind {
             LaunchKind::Profile => "profile",
             LaunchKind::EagerChunk => "eager",
             LaunchKind::Batch => "batch",
+            LaunchKind::Validate => "validate",
+            LaunchKind::Repair => "repair",
         })
     }
 }

@@ -14,9 +14,10 @@ pub use cache::{CacheConfig, CacheHierarchy, SetAssocCache};
 use dysel_kernel::{Args, MemOp, RecordedTrace, Space, TraceSink, VariantMeta};
 
 use crate::device::{
-    BatchEntry, Device, DeviceKind, LaunchRecord, LaunchSpec, StreamId, StreamTable,
+    BatchEntry, Device, DeviceKind, LaunchOutcome, LaunchSpec, StreamId, StreamTable,
 };
 use crate::exec::{launch_batch_engine, Executor, PriceModel};
+use crate::fault::FaultPlan;
 use crate::noise::NoiseModel;
 use crate::sched::UnitPool;
 use crate::Cycles;
@@ -341,6 +342,7 @@ pub struct CpuDevice {
     noise: NoiseModel,
     exec_noise: NoiseModel,
     exec: Executor,
+    fault: Option<FaultPlan>,
 }
 
 impl CpuDevice {
@@ -356,6 +358,7 @@ impl CpuDevice {
             exec_noise: NoiseModel::new(cfg.exec_sigma, cfg.seed ^ 0x9E37_79B9),
             streams: StreamTable::default(),
             exec: Executor::new(cfg.threads),
+            fault: None,
             cfg,
         }
     }
@@ -412,7 +415,7 @@ impl Device for CpuDevice {
         self.cfg.query_latency
     }
 
-    fn launch(&mut self, spec: LaunchSpec<'_>) -> LaunchRecord {
+    fn launch(&mut self, spec: LaunchSpec<'_>) -> LaunchOutcome {
         let entry = BatchEntry {
             kernel: spec.kernel,
             meta: spec.meta,
@@ -424,14 +427,14 @@ impl Device for CpuDevice {
         };
         self.launch_batch(&[entry], &mut [spec.args])
             .pop()
-            .expect("one record per entry")
+            .expect("one outcome per entry")
     }
 
     fn launch_batch(
         &mut self,
         entries: &[BatchEntry<'_>],
         targets: &mut [&mut Args],
-    ) -> Vec<LaunchRecord> {
+    ) -> Vec<LaunchOutcome> {
         // Launch overhead overlaps execution of earlier work in the same
         // stream (pipelined enqueue): only the issue side pays it.
         let mut model = CpuPriceModel {
@@ -448,7 +451,16 @@ impl Device for CpuDevice {
             &mut self.noise,
             self.cfg.launch_overhead,
             &mut model,
+            self.fault.as_mut(),
         )
+    }
+
+    fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     fn stream_end(&self, stream: StreamId) -> Cycles {
@@ -470,6 +482,9 @@ impl Device for CpuDevice {
         self.exec_noise.reset();
         for c in &mut self.caches {
             c.reset();
+        }
+        if let Some(plan) = &mut self.fault {
+            plan.reset();
         }
     }
 }
@@ -508,7 +523,13 @@ mod tests {
         a
     }
 
-    fn run(dev: &mut CpuDevice, v: &Variant, a: &mut Args, n: u64, measured: bool) -> LaunchRecord {
+    fn run(
+        dev: &mut CpuDevice,
+        v: &Variant,
+        a: &mut Args,
+        n: u64,
+        measured: bool,
+    ) -> crate::device::LaunchRecord {
         dev.launch(LaunchSpec {
             kernel: v.kernel.as_ref(),
             meta: &v.meta,
@@ -518,6 +539,7 @@ mod tests {
             not_before: Cycles::ZERO,
             measured,
         })
+        .unwrap_done()
     }
 
     #[test]

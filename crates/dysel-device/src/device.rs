@@ -5,6 +5,7 @@ use std::fmt;
 
 use dysel_kernel::{Args, Kernel, UnitRange, VariantMeta};
 
+use crate::fault::FaultPlan;
 use crate::Cycles;
 
 /// Which family of device model is behind the trait object.
@@ -95,6 +96,57 @@ impl LaunchRecord {
     }
 }
 
+/// Why a launch failed without executing any work-group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchFailure {
+    /// Virtual time at which the host observes the failure.
+    pub at: Cycles,
+    /// Whether a retry may succeed. Injected [`crate::FaultKind::LaunchError`]
+    /// faults are transient: the retry consults the plan afresh.
+    pub transient: bool,
+}
+
+/// Result of a launch: a virtual schedule, or a failure report.
+///
+/// A failed launch executed nothing — its target buffers are untouched,
+/// its stream did not advance, and no execution unit was occupied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a launch may have failed; check the outcome"]
+pub enum LaunchOutcome {
+    /// The launch ran; here is its virtual schedule.
+    Done(LaunchRecord),
+    /// The launch failed before executing.
+    Failed(LaunchFailure),
+}
+
+impl LaunchOutcome {
+    /// The record, if the launch completed.
+    pub fn done(self) -> Option<LaunchRecord> {
+        match self {
+            LaunchOutcome::Done(r) => Some(r),
+            LaunchOutcome::Failed(_) => None,
+        }
+    }
+
+    /// True when the launch failed.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, LaunchOutcome::Failed(_))
+    }
+
+    /// The record of a completed launch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the launch failed. For callers that do not inject faults
+    /// (or have already filtered failures) this is the infallible path.
+    pub fn unwrap_done(self) -> LaunchRecord {
+        match self {
+            LaunchOutcome::Done(r) => r,
+            LaunchOutcome::Failed(f) => panic!("launch failed at {}", f.at),
+        }
+    }
+}
+
 /// One entry of a batched launch (see [`Device::launch_batch`]).
 ///
 /// Unlike [`LaunchSpec`], the argument set is named by an *index* into the
@@ -157,11 +209,13 @@ pub trait Device {
     /// GPU; nearly free on the CPU). Drives the §5.1 async discussion.
     fn query_latency(&self) -> Cycles;
 
-    /// Executes a launch, returning its virtual schedule.
-    fn launch(&mut self, spec: LaunchSpec<'_>) -> LaunchRecord;
+    /// Executes a launch, returning its virtual schedule — or a failure,
+    /// if an installed [`FaultPlan`] injects a launch error. Without a
+    /// plan the outcome is always [`LaunchOutcome::Done`].
+    fn launch(&mut self, spec: LaunchSpec<'_>) -> LaunchOutcome;
 
     /// Executes a batch of launches as if issued back-to-back in entry
-    /// order, returning one record per entry (same order).
+    /// order, returning one outcome per entry (same order).
     ///
     /// Semantically identical to looping [`Device::launch`] — stream
     /// gating, unit scheduling and the noise sequence all advance exactly
@@ -175,7 +229,7 @@ pub trait Device {
         &mut self,
         entries: &[BatchEntry<'_>],
         targets: &mut [&mut Args],
-    ) -> Vec<LaunchRecord> {
+    ) -> Vec<LaunchOutcome> {
         entries
             .iter()
             .map(|e| {
@@ -192,6 +246,17 @@ pub trait Device {
             .collect()
     }
 
+    /// Installs (or removes, with `None`) a fault-injection plan. The
+    /// default device injects nothing and discards the plan.
+    fn set_fault_plan(&mut self, _plan: Option<FaultPlan>) {}
+
+    /// The installed fault plan, with its live launch counters and
+    /// injection log — the ground truth tests compare report counters
+    /// against. `None` when fault injection is off (the default).
+    fn fault_plan(&self) -> Option<&FaultPlan> {
+        None
+    }
+
     /// Completion time of all work enqueued so far in `stream`
     /// (`Cycles::ZERO` if the stream never ran anything).
     fn stream_end(&self, stream: StreamId) -> Cycles;
@@ -202,7 +267,9 @@ pub trait Device {
     /// Time at which the whole device drains.
     fn busy_until(&self) -> Cycles;
 
-    /// Resets virtual time, stream state, caches and the noise generator.
+    /// Resets virtual time, stream state, caches, the noise generator and
+    /// any installed fault plan's launch counters (the plan's rules stay:
+    /// a reset device replays the same fault sequence).
     fn reset(&mut self);
 }
 

@@ -49,7 +49,8 @@ use dysel_kernel::{
     Args, GroupCtx, Kernel, RecordedTrace, RecordingSink, UnitRange, VariantMeta,
 };
 
-use crate::device::{BatchEntry, LaunchRecord, StreamTable};
+use crate::device::{BatchEntry, LaunchFailure, LaunchOutcome, LaunchRecord, StreamTable};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::noise::NoiseModel;
 use crate::sched::UnitPool;
 use crate::Cycles;
@@ -207,6 +208,16 @@ pub(crate) fn run_functional(
     out
 }
 
+/// The declared output arguments of `meta` that exist in `target`.
+fn output_indices(meta: &VariantMeta, target: &Args) -> Vec<usize> {
+    meta.ir
+        .output_args
+        .iter()
+        .copied()
+        .filter(|&i| i < target.len())
+        .collect()
+}
+
 /// Folds a launch's span results back into the real target (phase 2a).
 pub(crate) fn merge_spans(
     target: &mut Args,
@@ -215,13 +226,7 @@ pub(crate) fn merge_spans(
     meta: &VariantMeta,
 ) {
     let additive = meta.ir.has_global_atomics || !meta.ir.output_disjoint;
-    let outs: Vec<usize> = meta
-        .ir
-        .output_args
-        .iter()
-        .copied()
-        .filter(|&i| i < target.len())
-        .collect();
+    let outs = output_indices(meta, target);
     for span in spans {
         target
             .merge_outputs(&span.args, pristine, &outs, additive)
@@ -239,6 +244,14 @@ pub(crate) trait PriceModel {
 /// The full two-phase batch launch shared by the device models: parallel
 /// functional execution of every entry, then serial in-order merge,
 /// pricing, scheduling and measurement.
+///
+/// When a [`FaultPlan`] is installed, each entry consults it — in issue
+/// order, so decisions are independent of the worker-thread count — before
+/// anything runs. An injected `LaunchError` skips the entry entirely (no
+/// functional execution, no noise draws, no stream or unit-pool advance);
+/// `Hang` multiplies every priced group cost; `WrongOutput`/`Poison`
+/// tamper with exactly the elements the launch wrote, after the merge.
+/// The healthy path with no plan costs one `Option` check per batch.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn launch_batch_engine<M: PriceModel>(
     exec: &Executor,
@@ -250,28 +263,72 @@ pub(crate) fn launch_batch_engine<M: PriceModel>(
     meas_noise: &mut NoiseModel,
     launch_overhead: Cycles,
     model: &mut M,
-) -> Vec<LaunchRecord> {
+    faults: Option<&mut FaultPlan>,
+) -> Vec<LaunchOutcome> {
+    // Fault decisions, one per entry in issue order (counters tick here).
+    let decisions: Vec<Option<FaultKind>> = match faults {
+        Some(plan) => entries.iter().map(|e| plan.decide(&e.meta.name)).collect(),
+        None => vec![None; entries.len()],
+    };
+
     // Phase 0: one pristine snapshot per distinct target (cheap: payloads
     // are shared copy-on-write until a worker writes).
     let pristine: Vec<Args> = targets.iter().map(|t| (**t).clone()).collect();
 
-    // Phase 1: functional execution of every entry across the pool.
-    let items: Vec<FunctionalItem<'_>> = entries
-        .iter()
-        .map(|e| FunctionalItem {
+    // Phase 1: functional execution of every entry across the pool —
+    // except entries whose launch fails, which never execute.
+    let mut item_of: Vec<Option<usize>> = Vec::with_capacity(entries.len());
+    let mut items: Vec<FunctionalItem<'_>> = Vec::with_capacity(entries.len());
+    for (e, decision) in entries.iter().zip(&decisions) {
+        if *decision == Some(FaultKind::LaunchError) {
+            item_of.push(None);
+            continue;
+        }
+        item_of.push(Some(items.len()));
+        items.push(FunctionalItem {
             kernel: e.kernel,
             meta: e.meta,
             units: e.units,
             pristine: &pristine[e.target],
-        })
-        .collect();
+        });
+    }
     let runs = run_functional(exec, &items);
 
     // Phase 2: serial reduction in issue order — merge outputs, then
     // replay each group's trace through the cost model in canonical order.
-    let mut records = Vec::with_capacity(entries.len());
-    for (e, spans) in entries.iter().zip(&runs) {
+    let mut outcomes = Vec::with_capacity(entries.len());
+    for (ei, e) in entries.iter().enumerate() {
+        let spans = match item_of[ei] {
+            Some(i) => &runs[i],
+            None => {
+                // Failed launch: nothing ran, nothing advances. The host
+                // observes the failure once the stream would have started.
+                let at = streams.gate(e.stream, e.not_before + launch_overhead);
+                outcomes.push(LaunchOutcome::Failed(LaunchFailure {
+                    at,
+                    transient: true,
+                }));
+                continue;
+            }
+        };
         merge_spans(targets[e.target], &pristine[e.target], spans, e.meta);
+        if let Some(kind @ (FaultKind::WrongOutput | FaultKind::Poison)) = decisions[ei] {
+            let outs = output_indices(e.meta, targets[e.target]);
+            for span in spans {
+                targets[e.target]
+                    .corrupt_changed(
+                        &span.args,
+                        &pristine[e.target],
+                        &outs,
+                        kind == FaultKind::Poison,
+                    )
+                    .expect("span snapshot has the target's arity");
+            }
+        }
+        let slow = match decisions[ei] {
+            Some(FaultKind::Hang(factor)) => factor.max(1),
+            _ => 1,
+        };
         let gate = streams.gate(e.stream, e.not_before + launch_overhead);
         let mut first_start = Cycles::MAX;
         let mut last_end = Cycles::ZERO;
@@ -280,7 +337,7 @@ pub(crate) fn launch_batch_engine<M: PriceModel>(
         for span in spans {
             for g in &span.groups {
                 let unit = pool.earliest_unit();
-                let cost = exec_noise.perturb(model.group_cost(unit, e.meta, &g.trace));
+                let cost = exec_noise.perturb(model.group_cost(unit, e.meta, &g.trace)) * slow;
                 let p = pool.assign_to(unit, cost, gate);
                 first_start = first_start.min(p.start);
                 last_end = last_end.max(p.end);
@@ -294,15 +351,15 @@ pub(crate) fn launch_batch_engine<M: PriceModel>(
         }
         streams.record(e.stream, last_end);
         let measured = e.measured.then(|| meas_noise.perturb(busy));
-        records.push(LaunchRecord {
+        outcomes.push(LaunchOutcome::Done(LaunchRecord {
             start: first_start,
             end: last_end,
             groups,
             busy,
             measured,
-        });
+        }));
     }
-    records
+    outcomes
 }
 
 #[cfg(test)]

@@ -14,9 +14,10 @@ use dysel_kernel::{Args, RecordedTrace, VariantMeta};
 
 use crate::cpu::{CacheConfig, SetAssocCache};
 use crate::device::{
-    BatchEntry, Device, DeviceKind, LaunchRecord, LaunchSpec, StreamId, StreamTable,
+    BatchEntry, Device, DeviceKind, LaunchOutcome, LaunchSpec, StreamId, StreamTable,
 };
 use crate::exec::{launch_batch_engine, Executor, PriceModel};
+use crate::fault::FaultPlan;
 use crate::noise::NoiseModel;
 use crate::sched::UnitPool;
 use crate::Cycles;
@@ -246,6 +247,7 @@ pub struct GpuDevice {
     noise: NoiseModel,
     exec_noise: NoiseModel,
     exec: Executor,
+    fault: Option<FaultPlan>,
 }
 
 impl GpuDevice {
@@ -261,6 +263,7 @@ impl GpuDevice {
             noise: NoiseModel::new(cfg.noise_sigma, cfg.seed),
             exec_noise: NoiseModel::new(cfg.exec_sigma, cfg.seed ^ 0x9E37_79B9),
             exec: Executor::new(cfg.threads),
+            fault: None,
             cfg,
         }
     }
@@ -319,7 +322,7 @@ impl Device for GpuDevice {
         self.cfg.query_latency
     }
 
-    fn launch(&mut self, spec: LaunchSpec<'_>) -> LaunchRecord {
+    fn launch(&mut self, spec: LaunchSpec<'_>) -> LaunchOutcome {
         let entry = BatchEntry {
             kernel: spec.kernel,
             meta: spec.meta,
@@ -331,14 +334,14 @@ impl Device for GpuDevice {
         };
         self.launch_batch(&[entry], &mut [spec.args])
             .pop()
-            .expect("one record per entry")
+            .expect("one outcome per entry")
     }
 
     fn launch_batch(
         &mut self,
         entries: &[BatchEntry<'_>],
         targets: &mut [&mut Args],
-    ) -> Vec<LaunchRecord> {
+    ) -> Vec<LaunchOutcome> {
         // Launch overhead overlaps execution of earlier work in the same
         // stream (pipelined enqueue): only the issue side pays it. The
         // measured value is the in-kernel clock readout (Fig. 7): atomicMin
@@ -358,7 +361,16 @@ impl Device for GpuDevice {
             &mut self.noise,
             self.cfg.launch_overhead,
             &mut model,
+            self.fault.as_mut(),
         )
+    }
+
+    fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     fn stream_end(&self, stream: StreamId) -> Cycles {
@@ -380,6 +392,9 @@ impl Device for GpuDevice {
         self.exec_noise.reset();
         for c in &mut self.tex_caches {
             c.reset();
+        }
+        if let Some(plan) = &mut self.fault {
+            plan.reset();
         }
     }
 }
@@ -431,6 +446,7 @@ mod tests {
             not_before: Cycles::ZERO,
             measured: false,
         })
+        .unwrap_done()
         .span()
     }
 
@@ -467,6 +483,7 @@ mod tests {
             not_before: Cycles::ZERO,
             measured: false,
         });
+        let r1 = r1.unwrap_done();
         let r2 = dev.launch(LaunchSpec {
             kernel: v.kernel.as_ref(),
             meta: &v.meta,
@@ -476,6 +493,7 @@ mod tests {
             not_before: Cycles::ZERO,
             measured: false,
         });
+        let r2 = r2.unwrap_done();
         // Same stream: second launch starts after the first ends.
         assert!(r2.start >= r1.end);
     }
@@ -505,6 +523,7 @@ mod tests {
             not_before: Cycles::ZERO,
             measured: true,
         });
+        let rec = rec.unwrap_done();
         // Throughput-normalized measurement: the busy-time sum, which for
         // 13 equal groups on 13 SMs is ~13x the wall span.
         assert_eq!(rec.measured, Some(rec.busy));

@@ -41,14 +41,21 @@ pub mod cpu;
 mod cycles;
 mod device;
 mod exec;
+mod fault;
 pub mod gpu;
 mod noise;
 mod sched;
 
 pub use cpu::{CacheConfig, CacheHierarchy, CpuConfig, CpuDevice, SetAssocCache};
 pub use cycles::Cycles;
-pub use device::{BatchEntry, Device, DeviceKind, LaunchRecord, LaunchSpec, StreamId};
+pub use device::{
+    BatchEntry, Device, DeviceKind, LaunchFailure, LaunchOutcome, LaunchRecord, LaunchSpec,
+    StreamId,
+};
 pub use exec::Executor;
+pub use fault::{
+    FaultKind, FaultPlan, FaultPlanParseError, FaultRule, InjectedFault, DEFAULT_HANG_FACTOR,
+};
 pub use gpu::{GpuConfig, GpuDevice, GpuGeneration};
 pub use noise::NoiseModel;
 pub use sched::{Placement, UnitPool};

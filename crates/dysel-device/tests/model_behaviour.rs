@@ -21,6 +21,7 @@ fn one_launch(dev: &mut GpuDevice, v: &Variant, units: u64, args: &mut Args) -> 
         not_before: Cycles::ZERO,
         measured: false,
     })
+    .unwrap_done()
     .busy
 }
 
@@ -191,6 +192,7 @@ fn stream_pipelining_overlaps_launch_overhead() {
         not_before: Cycles::ZERO,
         measured: false,
     });
+    let r1 = r1.unwrap_done();
     let r2 = dev.launch(LaunchSpec {
         kernel: v.kernel.as_ref(),
         meta: &v.meta,
@@ -200,6 +202,7 @@ fn stream_pipelining_overlaps_launch_overhead() {
         not_before: Cycles::ZERO,
         measured: false,
     });
+    let r2 = r2.unwrap_done();
     assert!(r2.start <= r1.end + dev.launch_overhead());
     assert!(r2.start >= r1.end.min(r2.start)); // sanity
 }
@@ -221,12 +224,13 @@ fn measured_busy_is_schedule_independent() {
             not_before: Cycles::ZERO,
             measured: true,
         })
+        .unwrap_done()
         .measured
         .unwrap();
     // Queue a big launch first, then measure the same slice again.
     dev.reset();
     let filler = rereader(1 << 12, 0);
-    dev.launch(LaunchSpec {
+    let _ = dev.launch(LaunchSpec {
         kernel: filler.kernel.as_ref(),
         meta: &filler.meta,
         units: UnitRange::new(1000, 3000),
@@ -245,6 +249,7 @@ fn measured_busy_is_schedule_independent() {
             not_before: Cycles::ZERO,
             measured: true,
         })
+        .unwrap_done()
         .measured
         .unwrap();
     let ratio = contended.ratio_over(quiet);

@@ -297,6 +297,168 @@ impl Buffer {
         }
         Ok(())
     }
+
+    /// Tampers with every element whose bits differ between `executed` and
+    /// `pristine` — i.e. exactly the elements a launch wrote. With
+    /// `poison = false` the written value is bit-flipped (a plausible but
+    /// wrong result); with `poison = true` it becomes NaN (floats) or a
+    /// sentinel (integers). Returns the number of tampered elements.
+    ///
+    /// This is the device fault injector's `WrongOutput`/`Poison` write
+    /// path; it deliberately mirrors [`Buffer::merge_span`]'s change
+    /// detection so only genuinely-written elements are corrupted.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the buffers disagree on element type.
+    pub fn corrupt_changed(
+        &mut self,
+        executed: &Buffer,
+        pristine: &Buffer,
+        poison: bool,
+    ) -> Result<u64, KernelError> {
+        if executed.shares_payload_with(pristine) {
+            return Ok(0); // copy-on-write never triggered: no writes.
+        }
+        let mismatch = |index| KernelError::TypeMismatch {
+            index,
+            expected: pristine.elem_type(),
+            actual: executed.elem_type(),
+        };
+        let mut tampered = 0u64;
+        match (
+            Arc::make_mut(&mut self.data),
+            executed.data(),
+            pristine.data(),
+        ) {
+            (BufferData::F32(t), BufferData::F32(e), BufferData::F32(p)) => {
+                for ((t, &e), &p) in t.iter_mut().zip(e).zip(p) {
+                    if e.to_bits() != p.to_bits() {
+                        *t = if poison {
+                            f32::NAN
+                        } else {
+                            f32::from_bits(e.to_bits() ^ 0x0040_0001)
+                        };
+                        tampered += 1;
+                    }
+                }
+            }
+            (BufferData::F64(t), BufferData::F64(e), BufferData::F64(p)) => {
+                for ((t, &e), &p) in t.iter_mut().zip(e).zip(p) {
+                    if e.to_bits() != p.to_bits() {
+                        *t = if poison {
+                            f64::NAN
+                        } else {
+                            f64::from_bits(e.to_bits() ^ 0x0000_0000_0010_0001)
+                        };
+                        tampered += 1;
+                    }
+                }
+            }
+            (BufferData::U32(t), BufferData::U32(e), BufferData::U32(p)) => {
+                for ((t, &e), &p) in t.iter_mut().zip(e).zip(p) {
+                    if e != p {
+                        *t = if poison { u32::MAX } else { e ^ 0xDEAD_BEEF };
+                        tampered += 1;
+                    }
+                }
+            }
+            (BufferData::I32(t), BufferData::I32(e), BufferData::I32(p)) => {
+                for ((t, &e), &p) in t.iter_mut().zip(e).zip(p) {
+                    if e != p {
+                        *t = if poison { i32::MIN } else { e ^ 0x5EED_0BAD };
+                        tampered += 1;
+                    }
+                }
+            }
+            _ => return Err(mismatch(0)),
+        }
+        Ok(tampered)
+    }
+
+    /// FNV-1a digest over `(index, bits)` of every element whose bits
+    /// differ from `pristine`. Two buffers that started from the same
+    /// pristine data digest equal iff they wrote the same elements with
+    /// the same bit patterns — the sandbox cross-check primitive.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the buffers disagree on element type.
+    pub fn changed_digest(&self, pristine: &Buffer) -> Result<u64, KernelError> {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        if self.shares_payload_with(pristine) {
+            return Ok(OFFSET); // no writes: digest of the empty change set.
+        }
+        let mismatch = |index| KernelError::TypeMismatch {
+            index,
+            expected: pristine.elem_type(),
+            actual: self.elem_type(),
+        };
+        let mut h = OFFSET;
+        let mut fold = |i: u64, bits: u64| {
+            for b in i.to_le_bytes().into_iter().chain(bits.to_le_bytes()) {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        };
+        match (self.data(), pristine.data()) {
+            (BufferData::F32(a), BufferData::F32(p)) => {
+                for (i, (&a, &p)) in a.iter().zip(p).enumerate() {
+                    if a.to_bits() != p.to_bits() {
+                        fold(i as u64, u64::from(a.to_bits()));
+                    }
+                }
+            }
+            (BufferData::F64(a), BufferData::F64(p)) => {
+                for (i, (&a, &p)) in a.iter().zip(p).enumerate() {
+                    if a.to_bits() != p.to_bits() {
+                        fold(i as u64, a.to_bits());
+                    }
+                }
+            }
+            (BufferData::U32(a), BufferData::U32(p)) => {
+                for (i, (&a, &p)) in a.iter().zip(p).enumerate() {
+                    if a != p {
+                        fold(i as u64, u64::from(a));
+                    }
+                }
+            }
+            (BufferData::I32(a), BufferData::I32(p)) => {
+                for (i, (&a, &p)) in a.iter().zip(p).enumerate() {
+                    if a != p {
+                        fold(i as u64, u64::from(a as u32));
+                    }
+                }
+            }
+            _ => return Err(mismatch(0)),
+        }
+        Ok(h)
+    }
+
+    /// Whether any element's bits differ from `other`'s.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the buffers disagree on element type.
+    pub fn bits_differ(&self, other: &Buffer) -> Result<bool, KernelError> {
+        if self.shares_payload_with(other) {
+            return Ok(false);
+        }
+        let mismatch = |index| KernelError::TypeMismatch {
+            index,
+            expected: other.elem_type(),
+            actual: self.elem_type(),
+        };
+        match (self.data(), other.data()) {
+            (BufferData::F32(a), BufferData::F32(b)) => Ok(a.len() != b.len()
+                || a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits())),
+            (BufferData::F64(a), BufferData::F64(b)) => Ok(a.len() != b.len()
+                || a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits())),
+            (BufferData::U32(a), BufferData::U32(b)) => Ok(a != b),
+            (BufferData::I32(a), BufferData::I32(b)) => Ok(a != b),
+            _ => Err(mismatch(0)),
+        }
+    }
 }
 
 /// Bitwise change detection for floats: `to_bits` comparison catches NaN
@@ -659,6 +821,65 @@ impl Args {
         }
         Ok(())
     }
+
+    /// Tampers with every output element a launch wrote (see
+    /// [`Buffer::corrupt_changed`]). Returns the tampered element count.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an index in `output_args` is out of range or the sets
+    /// disagree on types.
+    pub fn corrupt_changed(
+        &mut self,
+        executed: &Args,
+        pristine: &Args,
+        output_args: &[usize],
+        poison: bool,
+    ) -> Result<u64, KernelError> {
+        let mut tampered = 0;
+        for &i in output_args {
+            let exec = executed.buffer(i)?;
+            let prist = pristine.buffer(i)?;
+            tampered += self.buffer_mut(i)?.corrupt_changed(exec, prist, poison)?;
+        }
+        Ok(tampered)
+    }
+
+    /// Combined digest of the changes each listed output holds relative to
+    /// `pristine` (see [`Buffer::changed_digest`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if an index in `output_args` is out of range or the sets
+    /// disagree on types.
+    pub fn changed_digest(
+        &self,
+        pristine: &Args,
+        output_args: &[usize],
+    ) -> Result<u64, KernelError> {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &i in output_args {
+            let d = self.buffer(i)?.changed_digest(pristine.buffer(i)?)?;
+            h = (h ^ d).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(h)
+    }
+
+    /// Whether any listed output's bits differ between the two sets (see
+    /// [`Buffer::bits_differ`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if an index in `output_args` is out of range or the sets
+    /// disagree on types.
+    pub fn bits_differ(&self, other: &Args, output_args: &[usize]) -> Result<bool, KernelError> {
+        for &i in output_args {
+            if self.buffer(i)?.bits_differ(other.buffer(i)?)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
 }
 
 impl FromIterator<Buffer> for Args {
@@ -800,6 +1021,63 @@ mod tests {
         assert_eq!(sb.buffer(0).unwrap().addr(), sandbox_addr);
         assert_eq!(sb.f32(0).unwrap(), a.f32(0).unwrap());
         assert!(sb.buffer(1).unwrap().shares_payload_with(a.buffer(1).unwrap()));
+    }
+
+    #[test]
+    fn corrupt_changed_hits_only_written_elements() {
+        let pristine = args2();
+        let mut executed = pristine.clone();
+        executed.f32_mut(0).unwrap()[1] = 5.0;
+        executed.f32_mut(0).unwrap()[3] = 6.0;
+        let mut target = executed.clone();
+        let n = target
+            .corrupt_changed(&executed, &pristine, &[0], false)
+            .unwrap();
+        assert_eq!(n, 2);
+        let out = target.f32(0).unwrap();
+        assert_eq!(out[0], 0.0); // unwritten: untouched
+        assert_ne!(out[1], 5.0);
+        assert_ne!(out[3], 6.0);
+        // Poison writes NaN instead.
+        let mut target = executed.clone();
+        target
+            .corrupt_changed(&executed, &pristine, &[0], true)
+            .unwrap();
+        assert!(target.f32(0).unwrap()[1].is_nan());
+        assert!(!target.f32(0).unwrap()[0].is_nan());
+    }
+
+    #[test]
+    fn changed_digest_agrees_iff_writes_agree() {
+        let pristine = args2();
+        let write = |vals: &[(usize, f32)]| {
+            let mut a = pristine.clone();
+            for &(i, v) in vals {
+                a.f32_mut(0).unwrap()[i] = v;
+            }
+            a
+        };
+        let a = write(&[(1, 5.0), (2, 6.0)]);
+        let b = write(&[(1, 5.0), (2, 6.0)]);
+        let c = write(&[(1, 5.0), (2, 6.5)]);
+        let d_a = a.changed_digest(&pristine, &[0]).unwrap();
+        assert_eq!(d_a, b.changed_digest(&pristine, &[0]).unwrap());
+        assert_ne!(d_a, c.changed_digest(&pristine, &[0]).unwrap());
+        // An untouched (still-shared) set digests like the empty change set.
+        let untouched = pristine.clone();
+        let empty = untouched.changed_digest(&pristine, &[0]).unwrap();
+        assert_ne!(d_a, empty);
+    }
+
+    #[test]
+    fn bits_differ_detects_nan_and_shared_payloads() {
+        let a = args2();
+        let shared = a.clone();
+        assert!(!a.bits_differ(&shared, &[0]).unwrap());
+        let mut nan = a.clone();
+        nan.f32_mut(0).unwrap()[2] = f32::NAN;
+        assert!(a.bits_differ(&nan, &[0]).unwrap());
+        assert!(!a.bits_differ(&a.clone(), &[0, 1]).unwrap());
     }
 
     #[test]

@@ -90,9 +90,9 @@ fn main() -> Result<(), dysel::core::DyselError> {
 
     // Productive profiling left the output complete and exact.
     let y = args.f32(0).expect("y");
-    for i in 0..N as usize {
+    for (i, got) in y.iter().enumerate() {
         let want = 1.0 + A * (i % 7) as f32;
-        assert_eq!(y[i], want, "output mismatch at {i}");
+        assert_eq!(*got, want, "output mismatch at {i}");
     }
     println!("output verified: y = a*x + y for all {N} elements");
     Ok(())

@@ -25,8 +25,22 @@ done
 echo "==> offline release build"
 cargo build --release --workspace
 
+echo "==> clippy, warnings as errors (all targets: lib, tests, examples)"
+cargo clippy --all-targets -- -D warnings
+
 echo "==> full test matrix (unit + integration + end-to-end)"
 cargo test --release --workspace -q
+
+echo "==> quickstart example smoke"
+cargo run --release --example quickstart -q | grep -q "output verified"
+echo "    verified"
+
+echo "==> fault-plan flag smoke (bad spec must be rejected, exit 2)"
+if target/release/experiments --fault-plan "bogus spec" --list >/dev/null 2>&1; then
+    echo "    --fault-plan accepted a bogus spec" >&2
+    exit 1
+fi
+echo "    rejected"
 
 echo "==> determinism: --threads 1 vs --threads 4 must be bit-identical"
 strip_wallclock() { sed -E 's/\[[0-9.]+s\]//g; s/total: [0-9.]+s//'; }

@@ -3,7 +3,9 @@
 //! figure in EXPERIMENTS.md regenerate bit-identically.
 
 use dysel::core::{LaunchOptions, LaunchReport, Runtime, RuntimeConfig};
-use dysel::device::{CpuConfig, CpuDevice, Device, GpuConfig, GpuDevice};
+use dysel::device::{
+    CpuConfig, CpuDevice, Device, FaultKind, FaultPlan, FaultRule, GpuConfig, GpuDevice,
+};
 use dysel::workloads::{spmv_csr, CsrMatrix, Target, Workload};
 
 fn workload() -> Workload {
@@ -118,6 +120,70 @@ fn different_noise_seeds_change_measurements_but_not_output() {
     );
     // ...but outputs stay exact regardless of what was selected.
     assert_eq!(o1, o2);
+}
+
+/// The determinism contract extends to the degradation machinery: with a
+/// fault plan active (a hang, a transient launch error and silent
+/// corruption on three different variants), retries, deadline discards,
+/// quarantine decisions, repairs and the final output are all functions of
+/// virtual time and the plan's seed alone — bit-identical whether the
+/// functional execution ran inline or over 2 or 8 worker threads.
+#[test]
+fn worker_thread_count_never_changes_faulted_results() {
+    let w = workload();
+    let names: Vec<String> = w
+        .variants(Target::Cpu)
+        .iter()
+        .map(|v| v.name().to_owned())
+        .collect();
+    assert!(names.len() >= 3, "case IV grid has at least 3 CPU variants");
+    let plan = || {
+        FaultPlan::new(2026)
+            .with(FaultRule::new(&names[0], FaultKind::Hang(16)))
+            .with(FaultRule::new(&names[1], FaultKind::LaunchError).window(0, 1))
+            .with(FaultRule::new(&names[2], FaultKind::WrongOutput))
+    };
+    let faulted = |threads: usize| {
+        let mut dev = CpuDevice::new(CpuConfig {
+            threads,
+            ..CpuConfig::default()
+        });
+        dev.set_fault_plan(Some(plan()));
+        let mut rt = Runtime::with_config(
+            Box::new(dev),
+            RuntimeConfig {
+                profile_threshold_groups: 16,
+                validate_outputs: true,
+                profile_deadline_factor: Some(8.0),
+                ..RuntimeConfig::default()
+            },
+        );
+        rt.add_kernels(&w.signature, w.variants(Target::Cpu).to_vec());
+        let mut args = w.fresh_args();
+        let report = rt
+            .launch(&w.signature, &mut args, w.total_units, &LaunchOptions::new())
+            .unwrap();
+        let bits: Vec<u32> = args
+            .f32(spmv_csr::arg::Y)
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        // The plan must actually have fired, or this test proves nothing.
+        assert!(!report.faults.is_clean(), "{threads} threads: plan inert");
+        assert!(report.faults.retries >= 1, "{threads} threads: no retry");
+        (report, bits)
+    };
+    let baseline = faulted(1);
+    for threads in [2usize, 8] {
+        let (report, bits) = faulted(threads);
+        assert_eq!(report, baseline.0, "{threads} threads: report diverged");
+        assert_eq!(bits, baseline.1, "{threads} threads: output diverged");
+    }
+    // And a healthy run of the same workload produces the same bits: the
+    // degradation ladder preserved output exactness.
+    let healthy = run(Box::new(CpuDevice::new(CpuConfig::default())), Target::Cpu);
+    assert_eq!(baseline.1, healthy.1, "degraded output diverged");
 }
 
 #[test]

@@ -1,0 +1,230 @@
+//! Quarantine life cycle: deadline cutoff, transient-retry recovery, pool
+//! exhaustion, the selection-cache interaction, and `Runtime::reset`.
+
+use dysel::core::{
+    DyselError, LaunchOptions, LaunchReport, QuarantineReason, Runtime, RuntimeConfig, SkipReason,
+};
+use dysel::device::{CpuConfig, CpuDevice, Device, FaultKind, FaultPlan, FaultRule};
+use dysel::kernel::{
+    Args, Buffer, KernelIr, Orchestration, ProfilingMode, Space, Variant, VariantId, VariantMeta,
+};
+
+const N: u64 = 4096;
+
+/// `out[u] = 2*in[u] + 1`, priced at `cost` vector iterations per unit.
+fn writer(name: &str, cost: u64) -> Variant {
+    Variant::from_fn(
+        VariantMeta::new(name, KernelIr::regular(vec![0])),
+        move |ctx, args| {
+            for u in ctx.units().iter() {
+                let x = args.f32(1).unwrap()[u as usize];
+                args.f32_mut(0).unwrap()[u as usize] = 2.0 * x + 1.0;
+                ctx.vector_compute(cost, 8, 8, 1);
+            }
+        },
+    )
+}
+
+fn fresh_args() -> Args {
+    let mut a = Args::new();
+    a.push(Buffer::f32("out", vec![0.0; N as usize], Space::Global));
+    a.push(Buffer::f32(
+        "in",
+        (0..N).map(|i| i as f32).collect(),
+        Space::Global,
+    ));
+    a
+}
+
+fn runtime(plan: Option<FaultPlan>, config: RuntimeConfig) -> Runtime {
+    let mut dev = CpuDevice::new(CpuConfig::noiseless());
+    dev.set_fault_plan(plan);
+    let mut rt = Runtime::with_config(Box::new(dev), config);
+    rt.add_kernels(
+        "triple",
+        [
+            writer("a-slow", 12),
+            writer("b-mid", 8),
+            writer("c-fast", 4),
+        ],
+    );
+    rt
+}
+
+fn config() -> RuntimeConfig {
+    RuntimeConfig {
+        profile_threshold_groups: 16,
+        ..RuntimeConfig::default()
+    }
+}
+
+fn fp_sync(rt: &mut Runtime, args: &mut Args) -> Result<LaunchReport, DyselError> {
+    let opts = LaunchOptions::new()
+        .with_mode(ProfilingMode::FullyProductive)
+        .with_orchestration(Orchestration::Sync);
+    rt.launch("triple", args, N, &opts)
+}
+
+/// The deadline is a cutoff, not just a discard: with the hang guard on,
+/// the launch stops waiting for the hung variant, so it completes earlier
+/// (in virtual time) than the same faulted launch without a deadline.
+#[test]
+fn deadline_cuts_the_wait_for_a_hung_variant() {
+    let plan = || Some(FaultPlan::new(3).with(FaultRule::new("b-mid", FaultKind::Hang(64))));
+    let mut guarded = runtime(
+        plan(),
+        RuntimeConfig {
+            profile_deadline_factor: Some(8.0),
+            ..config()
+        },
+    );
+    let mut patient = runtime(plan(), config());
+    let g = fp_sync(&mut guarded, &mut fresh_args()).unwrap();
+    let p = fp_sync(&mut patient, &mut fresh_args()).unwrap();
+    assert_eq!(g.faults.deadline_discards, 1);
+    assert_eq!(
+        guarded.quarantined("triple"),
+        &[(VariantId(1), QuarantineReason::DeadlineExceeded)]
+    );
+    // Without a deadline the paper's runtime waits for every measurement.
+    assert_eq!(p.faults.deadline_discards, 0);
+    assert!(patient.quarantined("triple").is_empty());
+    // Both still dodge the hang in selection; the guarded run is faster.
+    assert_ne!(g.selected, VariantId(1));
+    assert_ne!(p.selected, VariantId(1));
+    assert!(
+        g.total_time < p.total_time,
+        "deadline run {} !< patient run {}",
+        g.total_time,
+        p.total_time
+    );
+}
+
+/// A transient launch error within the retry budget recovers in place:
+/// no quarantine, correct output, and an exact retry ledger.
+#[test]
+fn transient_error_is_retried_not_quarantined() {
+    let plan = FaultPlan::new(5).with(FaultRule::new("c-fast", FaultKind::LaunchError).window(0, 1));
+    let mut rt = runtime(Some(plan), config());
+    let mut args = fresh_args();
+    let report = fp_sync(&mut rt, &mut args).unwrap();
+    assert_eq!(report.faults.launch_errors, 1);
+    assert_eq!(report.faults.retries, 1);
+    assert!(report.faults.quarantined.is_empty());
+    assert!(rt.quarantined("triple").is_empty());
+    // The recovered variant is still eligible — and still wins.
+    assert_eq!(report.selected, VariantId(2));
+    for (i, y) in args.f32(0).unwrap().iter().enumerate() {
+        assert_eq!(*y, 2.0 * i as f32 + 1.0);
+    }
+}
+
+/// Every variant failing permanently yields a typed error — no panic, the
+/// user buffers bit-untouched — and later launches of the signature fail
+/// fast without issuing device work.
+#[test]
+fn exhausted_pool_is_a_typed_error_with_untouched_buffers() {
+    let plan = FaultPlan::new(9)
+        .with(FaultRule::new("a-slow", FaultKind::LaunchError))
+        .with(FaultRule::new("b-mid", FaultKind::LaunchError))
+        .with(FaultRule::new("c-fast", FaultKind::LaunchError));
+    let mut rt = runtime(Some(plan), config());
+    let mut args = fresh_args();
+    let sentinel: Vec<u32> = args.f32(0).unwrap().iter().map(|v| v.to_bits()).collect();
+    let err = fp_sync(&mut rt, &mut args).unwrap_err();
+    assert_eq!(
+        err,
+        DyselError::AllVariantsFaulted {
+            signature: "triple".into(),
+            quarantined: 3,
+        }
+    );
+    let after: Vec<u32> = args.f32(0).unwrap().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(after, sentinel, "user buffers were modified on error");
+    assert_eq!(rt.quarantined("triple").len(), 3);
+    assert_eq!(rt.stats().quarantined_variants(), 3);
+
+    // The second launch fails before recording or launching anything.
+    let launches_before = rt.stats().launches();
+    let errors_before = rt.stats().launch_errors();
+    let err2 = fp_sync(&mut rt, &mut args).unwrap_err();
+    assert!(matches!(err2, DyselError::AllVariantsFaulted { .. }));
+    assert_eq!(rt.stats().launches(), launches_before);
+    assert_eq!(rt.stats().launch_errors(), errors_before);
+}
+
+/// A cached selection that later lands in quarantine must not be replayed:
+/// the skip path falls back to a surviving variant, in `profile_once` mode
+/// as well as on later cache hits.
+#[test]
+fn quarantined_cached_selection_falls_back() {
+    // c-fast wins launch 1 (launch index 0: profile, 1: final batch), then
+    // fails permanently from its 3rd launch on.
+    let plan = FaultPlan::new(11).with(FaultRule::new("c-fast", FaultKind::LaunchError).window(2, u64::MAX));
+    let mut rt = runtime(
+        Some(plan),
+        RuntimeConfig {
+            profile_once_per_signature: true,
+            ..config()
+        },
+    );
+    let r1 = fp_sync(&mut rt, &mut fresh_args()).unwrap();
+    assert_eq!(r1.selected, VariantId(2));
+    assert_eq!(rt.cached_selection("triple"), Some(VariantId(2)));
+
+    // Steady state: the cached winner's batch launch now fails for good;
+    // the run must quarantine it and finish with a survivor.
+    let mut args = fresh_args();
+    let r2 = fp_sync(&mut rt, &mut args).unwrap();
+    assert_eq!(r2.skipped, Some(SkipReason::CachedSelection));
+    assert_ne!(r2.selected, VariantId(2));
+    assert_eq!(
+        rt.quarantined("triple"),
+        &[(VariantId(2), QuarantineReason::LaunchFailed)]
+    );
+    for (i, y) in args.f32(0).unwrap().iter().enumerate() {
+        assert_eq!(*y, 2.0 * i as f32 + 1.0);
+    }
+
+    // Later cache hits sanitize the stale cached id without re-launching
+    // the quarantined variant.
+    let r3 = fp_sync(&mut rt, &mut fresh_args()).unwrap();
+    assert_eq!(r3.skipped, Some(SkipReason::CachedSelection));
+    assert_ne!(r3.selected, VariantId(2));
+    assert!(r3.faults.is_clean());
+}
+
+/// `Runtime::reset` clears quarantine state, statistics, the recorded
+/// timeline and the sandbox-pool counters — and a reset device replays
+/// the same fault sequence, reproducing the same quarantine.
+#[test]
+fn reset_clears_quarantine_stats_and_sandbox_counters() {
+    let plan = FaultPlan::new(13).with(FaultRule::new("b-mid", FaultKind::LaunchError));
+    let mut rt = runtime(Some(plan), config());
+    let opts = LaunchOptions::new()
+        .with_mode(ProfilingMode::SwapPartial)
+        .with_orchestration(Orchestration::Sync);
+    let r1 = rt.launch("triple", &mut fresh_args(), N, &opts).unwrap();
+    assert!(!r1.faults.is_clean());
+    assert!(!rt.quarantined("triple").is_empty());
+    assert!(rt.stats().launches() > 0);
+    assert!(rt.sandbox_stats().0 > 0, "swap mode leases sandboxes");
+    assert!(!rt.last_timeline().entries().is_empty());
+
+    rt.reset();
+    assert!(rt.quarantined("triple").is_empty());
+    assert_eq!(rt.cached_selection("triple"), None);
+    assert_eq!(rt.stats().launches(), 0);
+    assert_eq!(rt.stats().launch_errors(), 0);
+    assert_eq!(rt.stats().quarantined_variants(), 0);
+    assert_eq!(rt.sandbox_stats(), (0, 0));
+    assert!(rt.last_timeline().entries().is_empty());
+
+    // Device reset rewound the fault plan: the rerun replays identically.
+    let r2 = rt.launch("triple", &mut fresh_args(), N, &opts).unwrap();
+    assert_eq!(r1, r2);
+    assert_eq!(
+        rt.quarantined("triple"),
+        &[(VariantId(1), QuarantineReason::LaunchFailed)]
+    );
+}
