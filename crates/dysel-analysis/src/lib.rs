@@ -82,7 +82,10 @@ mod tests {
     #[test]
     fn side_effects_dominate_irregularity() {
         let both = KernelIr::regular(vec![0])
-            .with_loops(vec![LoopIr::new(LoopKind::Kernel, LoopBound::DataDependent)])
+            .with_loops(vec![LoopIr::new(
+                LoopKind::Kernel,
+                LoopBound::DataDependent,
+            )])
             .with_atomics();
         assert_eq!(infer_mode(&[meta(both)]), ProfilingMode::SwapPartial);
     }

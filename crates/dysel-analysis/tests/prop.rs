@@ -56,7 +56,10 @@ fn mode_inference_is_monotone() {
         for atomics in [false, true] {
             let mut ir = KernelIr::regular(vec![0]);
             if irregular {
-                ir = ir.with_loops(vec![LoopIr::new(LoopKind::Kernel, LoopBound::DataDependent)]);
+                ir = ir.with_loops(vec![LoopIr::new(
+                    LoopKind::Kernel,
+                    LoopBound::DataDependent,
+                )]);
             }
             if atomics {
                 ir = ir.with_atomics();

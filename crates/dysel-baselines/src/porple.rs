@@ -13,7 +13,12 @@ use dysel_kernel::{AccessIr, AccessPattern, Args, Space, Variant, VariantId};
 
 /// Predicted cost (arbitrary units per warp access) of one access site
 /// under a placement, per the generation's parameters.
-pub fn predicted_access_cost(cfg: &GpuConfig, access: &AccessIr, space: Space, footprint: u64) -> f64 {
+pub fn predicted_access_cost(
+    cfg: &GpuConfig,
+    access: &AccessIr,
+    space: Space,
+    footprint: u64,
+) -> f64 {
     let seg = cfg.gmem_segment_cycles;
     let streaming = match &access.pattern {
         AccessPattern::Affine(coeffs) => coeffs.last().copied().unwrap_or(0).abs() <= 1,
@@ -47,8 +52,10 @@ pub fn predicted_access_cost(cfg: &GpuConfig, access: &AccessIr, space: Space, f
                 // (texture was THE irregular-data path) optimistically
                 // assumes 4x reuse within the working set; the newer,
                 // read-only-cache-era models are purely capacity-based.
-                let window =
-                    access.reuse_window_bytes.unwrap_or(footprint).min(footprint.max(1)) as f64;
+                let window = access
+                    .reuse_window_bytes
+                    .unwrap_or(footprint)
+                    .min(footprint.max(1)) as f64;
                 let cap = cfg.tex_cache.capacity as f64;
                 let hit = if cfg.generation == GpuGeneration::Fermi {
                     // Fermi-era model: optimistic 4x temporal reuse.
@@ -173,7 +180,11 @@ mod tests {
         let m = CsrMatrix::random(1024, 16384, 0.01, 5);
         let variants = spmv_csr::gpu_placement_variants(m.rows);
         let args = spmv_csr::build_args(&m, 1);
-        for cfg in [GpuConfig::fermi(), GpuConfig::kepler_k20c(), GpuConfig::maxwell()] {
+        for cfg in [
+            GpuConfig::fermi(),
+            GpuConfig::kepler_k20c(),
+            GpuConfig::maxwell(),
+        ] {
             let pick = porple_select(&cfg, &variants, &args);
             assert_ne!(variants[pick.0].name(), "heuristic", "{}", cfg.generation);
         }

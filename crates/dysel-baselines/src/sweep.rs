@@ -58,6 +58,7 @@ pub fn run_pure(w: &Workload, variant: &Variant, device: &mut dyn Device) -> Cyc
         stream: StreamId(0),
         not_before: Cycles::ZERO,
         measured: false,
+        budget: None,
     });
     let rec = rec.unwrap_done();
     w.verify(&args)
@@ -78,10 +79,13 @@ where
         let mut handles = Vec::new();
         for (i, v) in variants.iter().enumerate() {
             let factory = &factory;
-            handles.push((i, scope.spawn(move || {
-                let mut device = factory();
-                run_pure(w, v, device.as_mut())
-            })));
+            handles.push((
+                i,
+                scope.spawn(move || {
+                    let mut device = factory();
+                    run_pure(w, v, device.as_mut())
+                }),
+            ));
         }
         for (i, h) in handles {
             times[i] = h.join().expect("sweep thread panicked");

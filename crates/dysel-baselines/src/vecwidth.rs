@@ -81,7 +81,11 @@ mod tests {
         let m = JdsMatrix::from_csr(&CsrMatrix::random(128, 128, 0.05, 3));
         let variants = spmv_jds::cpu_vector_variants(m.rows);
         let pick = intel_vec_select(&variants);
-        assert!(variants[pick.0].name().contains("8way"), "{}", variants[pick.0].name());
+        assert!(
+            variants[pick.0].name().contains("8way"),
+            "{}",
+            variants[pick.0].name()
+        );
     }
 
     #[test]

@@ -88,7 +88,14 @@ fn bench_fig8() {
     bench(g, "sgemm64_dysel_sync", || {
         dysel_launch(&sg, Target::Cpu, cpu(), Orchestration::Sync)
     });
-    let km = kmeans::workload(kmeans::Shape { n: 4096, d: 16, k: 8 }, 42);
+    let km = kmeans::workload(
+        kmeans::Shape {
+            n: 4096,
+            d: 16,
+            k: 8,
+        },
+        42,
+    );
     bench(g, "kmeans4k_dysel_async", || {
         dysel_launch(&km, Target::Cpu, cpu(), Orchestration::Async)
     });
@@ -129,7 +136,10 @@ fn bench_fig10() {
     bench(g, "sgemm64_mixed_gpu", || {
         dysel_launch(&sg, Target::Gpu, gpu(), Orchestration::Sync)
     });
-    let jds = spmv_jds::workload(&JdsMatrix::from_csr(&CsrMatrix::random(4096, 4096, 0.01, 42)), 42);
+    let jds = spmv_jds::workload(
+        &JdsMatrix::from_csr(&CsrMatrix::random(4096, 4096, 0.01, 42)),
+        42,
+    );
     bench(g, "spmvjds4k_gpu", || {
         dysel_launch(&jds, Target::Gpu, gpu(), Orchestration::Async)
     });
@@ -172,7 +182,10 @@ fn bench_modes() {
             rt.add_kernels(&w.signature, w.variants(Target::Cpu).to_vec());
             let mut args = w.fresh_args();
             let opts = LaunchOptions::new().with_mode(mode);
-            black_box(rt.launch(&w.signature, &mut args, w.total_units, &opts).unwrap());
+            black_box(
+                rt.launch(&w.signature, &mut args, w.total_units, &opts)
+                    .unwrap(),
+            );
         });
     }
     let hist = histogram::workload(

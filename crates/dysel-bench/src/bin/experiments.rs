@@ -16,7 +16,15 @@
 //! `--fault-plan "seed=7;ctas@0+1=error;coarse=hang*64?0.5"`, to watch the
 //! runtime's graceful-degradation machinery (retries, quarantine, repair)
 //! under the full workload suite. Off by default.
+//!
+//! `--state-file PATH` persists per-signature selections (and quarantine)
+//! across invocations: the first run micro-profiles and writes PATH, a
+//! re-run warm-starts from it and performs zero profiling launches. The
+//! end-of-run summary line reports `profiled=` and a selections digest so
+//! the two runs are easy to compare. A corrupt or version-skewed file is
+//! ignored with a warning (cold start), never a crash.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use dysel_bench::{experiments, harness};
@@ -57,6 +65,14 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if a == "--state-file" {
+            let p = args.next().unwrap_or_else(|| {
+                eprintln!("--state-file needs a path");
+                std::process::exit(2);
+            });
+            harness::set_state_file(Some(PathBuf::from(p)));
+        } else if let Some(p) = a.strip_prefix("--state-file=") {
+            harness::set_state_file(Some(PathBuf::from(p)));
         } else if a == "--fault-plan" {
             let spec = args.next().unwrap_or_else(|| {
                 eprintln!("--fault-plan needs a plan spec");
@@ -76,7 +92,10 @@ fn main() {
         return;
     }
     let ids: Vec<String> = if ids.is_empty() || ids.iter().any(|a| a == "all") {
-        experiments::all().iter().map(|(n, _)| (*n).to_owned()).collect()
+        experiments::all()
+            .iter()
+            .map(|(n, _)| (*n).to_owned())
+            .collect()
     } else {
         ids
     };
@@ -92,5 +111,6 @@ fn main() {
             None => eprintln!("unknown experiment {id:?}; try --list"),
         }
     }
+    println!("{}", harness::run_summary().line());
     println!("total: {:.1}s", t0.elapsed().as_secs_f64());
 }

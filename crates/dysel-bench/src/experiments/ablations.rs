@@ -55,7 +55,7 @@ pub fn abl_query() -> Figure {
         let base = GpuConfig::kepler_k20c();
         let cfg = GpuConfig {
             query_latency: dysel_device::Cycles(
-                ((base.query_latency.0 as f64) * scale).max(1.0) as u64,
+                ((base.query_latency.0 as f64) * scale).max(1.0) as u64
             ),
             ..base
         };
@@ -70,7 +70,12 @@ pub fn abl_query() -> Figure {
         rt.add_kernels(&w.signature, w.variants(Target::Gpu).to_vec());
         let mut args = w.fresh_args();
         let report = rt
-            .launch(&w.signature, &mut args, w.total_units, &LaunchOptions::new())
+            .launch(
+                &w.signature,
+                &mut args,
+                w.total_units,
+                &LaunchOptions::new(),
+            )
             .expect("launch");
         fig.push_row(
             format!("query x{scale}"),

@@ -68,7 +68,12 @@ pub fn ext_mixed() -> Figure {
     rt.add_kernels(&w.signature, w.variants(Target::Gpu).to_vec());
     let mut args = w.fresh_args();
     let single = rt
-        .launch(&w.signature, &mut args, w.total_units, &LaunchOptions::new())
+        .launch(
+            &w.signature,
+            &mut args,
+            w.total_units,
+            &LaunchOptions::new(),
+        )
         .expect("launch");
     w.verify(&args).expect("single-selection output");
 
@@ -77,7 +82,13 @@ pub fn ext_mixed() -> Figure {
     rt.add_kernels(&w.signature, w.variants(Target::Gpu).to_vec());
     let mut args = w.fresh_args();
     let mixed = rt
-        .launch_mixed_at(&w.signature, &mut args, w.total_units, &[cut], &LaunchOptions::new())
+        .launch_mixed_at(
+            &w.signature,
+            &mut args,
+            w.total_units,
+            &[cut],
+            &LaunchOptions::new(),
+        )
         .expect("mixed launch");
     w.verify(&args).expect("mixed output");
 
@@ -89,7 +100,10 @@ pub fn ext_mixed() -> Figure {
         ));
     }
     bars.push(Bar::new("DySel", single.total_time.ratio_over(best_pure)));
-    bars.push(Bar::new("DySel-mixed", mixed.total_time.ratio_over(best_pure)));
+    bars.push(Bar::new(
+        "DySel-mixed",
+        mixed.total_time.ratio_over(best_pure),
+    ));
     let sel = mixed.selections();
     fig.push_row(
         format!(
@@ -115,7 +129,10 @@ pub fn ext_swap() -> Figure {
         "extension: swap-based profiling on an atomics workload",
         "relative execution time over oracle (lower is better)",
     );
-    for dist in [histogram::Distribution::Uniform, histogram::Distribution::Skewed] {
+    for dist in [
+        histogram::Distribution::Uniform,
+        histogram::Distribution::Skewed,
+    ] {
         let w = histogram::workload(512 * histogram::ELEMS_PER_UNIT, dist, suite::SEED);
         let case = run_case(&w, Target::Gpu, gpu_factory);
         let report = &case.dysel.sync_report;
@@ -159,7 +176,12 @@ pub fn ext_portability() -> Figure {
             rt.add_kernels(&w.signature, w.variants(Target::Gpu).to_vec());
             let mut args = w.fresh_args();
             let report = rt
-                .launch(&w.signature, &mut args, w.total_units, &LaunchOptions::new())
+                .launch(
+                    &w.signature,
+                    &mut args,
+                    w.total_units,
+                    &LaunchOptions::new(),
+                )
                 .expect("launch");
             w.verify(&args).expect("output");
             fig.push_row(
@@ -200,7 +222,13 @@ pub fn ext_formats() -> Figure {
             }
             row_ptr.push(col_idx.len() as u32);
         }
-        CsrMatrix { rows: n, cols: n, row_ptr, col_idx, vals }
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     };
     let skewed = {
         let mut m = CsrMatrix::random(16384, 16384, 0.002, suite::SEED);
@@ -251,8 +279,16 @@ mod tests {
     #[test]
     fn format_selection_flips_with_the_input() {
         let fig = ext_formats();
-        assert!(fig.rows[0].workload.contains("pick: ell"), "{}", fig.rows[0].workload);
-        assert!(!fig.rows[1].workload.contains("pick: ell"), "{}", fig.rows[1].workload);
+        assert!(
+            fig.rows[0].workload.contains("pick: ell"),
+            "{}",
+            fig.rows[0].workload
+        );
+        assert!(
+            !fig.rows[1].workload.contains("pick: ell"),
+            "{}",
+            fig.rows[1].workload
+        );
     }
 
     #[test]

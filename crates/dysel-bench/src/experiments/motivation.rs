@@ -26,10 +26,7 @@ pub fn fig1() -> Figure {
         let t_heuristic = sweep.time_of(pick);
         let mut bars = vec![Bar::new("heuristic", 1.0)];
         for (i, v) in variants.iter().enumerate() {
-            bars.push(Bar::new(
-                v.name(),
-                t_heuristic.ratio_over(sweep.times[i].1),
-            ));
+            bars.push(Bar::new(v.name(), t_heuristic.ratio_over(sweep.times[i].1)));
         }
         fig.push_row(
             format!("{} (pick: {})", w.name, variants[pick.0].name()),
@@ -66,7 +63,10 @@ pub fn fig2() -> Figure {
         "number of kernel launches per power-of-two work-group bucket",
     );
     for (bucket, count) in stats.histogram() {
-        fig.push_row(format!("<= {bucket} work-groups"), vec![Bar::new("launches", count as f64)]);
+        fig.push_row(
+            format!("<= {bucket} work-groups"),
+            vec![Bar::new("launches", count as f64)],
+        );
     }
     fig.note(format!(
         "{} of {} launches have >= 128 work-groups (DySel's activation threshold, §2.1)",

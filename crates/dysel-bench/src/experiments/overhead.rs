@@ -28,7 +28,10 @@ pub fn sec51() -> Figure {
             Bar::new("spread(x)", case.sweep.spread()),
             Bar::new("sync-ovh%", pct(case.rel(case.dysel.sync))),
             Bar::new("async-ovh%", pct(case.rel(case.dysel.async_best))),
-            Bar::new("eager-chunks", case.dysel.async_best_report.eager_chunks as f64),
+            Bar::new(
+                "eager-chunks",
+                case.dysel.async_best_report.eager_chunks as f64,
+            ),
             Bar::new(
                 "profile-time%",
                 100.0 * case.dysel.sync_report.profile_time.as_f64()
@@ -55,7 +58,12 @@ fn per_iteration_overhead(w: &Workload, iters: u32) -> f64 {
         for _ in 0..iters {
             let mut args = w.fresh_args();
             let report = rt
-                .launch(&w.signature, &mut args, w.total_units, &LaunchOptions::new())
+                .launch(
+                    &w.signature,
+                    &mut args,
+                    w.total_units,
+                    &LaunchOptions::new(),
+                )
                 .expect("oracle launch");
             total += report.total_time;
         }
@@ -68,7 +76,12 @@ fn per_iteration_overhead(w: &Workload, iters: u32) -> f64 {
     for _ in 0..iters {
         let mut args = w.fresh_args();
         let report = rt
-            .launch(&w.signature, &mut args, w.total_units, &LaunchOptions::new())
+            .launch(
+                &w.signature,
+                &mut args,
+                w.total_units,
+                &LaunchOptions::new(),
+            )
             .expect("launch");
         total += report.total_time;
     }
@@ -120,7 +133,10 @@ pub fn sec52() -> Figure {
         let rel = per_iteration_overhead(&w, iters);
         fig.push_row(
             w.name.clone(),
-            vec![Bar::new("every-iter", rel), Bar::new("ovh%", (rel - 1.0) * 100.0)],
+            vec![
+                Bar::new("every-iter", rel),
+                Bar::new("ovh%", (rel - 1.0) * 100.0),
+            ],
         );
     }
     // Selection accuracy: kmeans' closest schedules differ by only ~14%,

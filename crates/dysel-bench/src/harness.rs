@@ -2,11 +2,14 @@
 //! suite (paper §4.1 inputs, scaled to simulator-friendly sizes), and the
 //! oracle/DySel case runner behind Figs. 8-11.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use dysel_baselines::{exhaustive_sweep, SweepResult};
-use dysel_core::{InitialSelection, LaunchOptions, LaunchReport, Runtime};
+use dysel_core::{
+    InitialSelection, LaunchOptions, LaunchReport, Runtime, RuntimeConfig, SkipReason,
+};
 use dysel_device::{CpuConfig, CpuDevice, Cycles, Device, FaultPlan, GpuConfig, GpuDevice};
 use dysel_kernel::Orchestration;
 use dysel_workloads::{Target, Workload};
@@ -42,6 +45,151 @@ pub fn set_threads(threads: usize) {
 /// The current worker-thread setting (`0` = auto).
 pub fn threads() -> usize {
     THREADS.load(Ordering::Relaxed)
+}
+
+/// Selection-state file used by every [`run_dysel`] runtime (the
+/// `--state-file` flag); `None` (the default) keeps runs stateless.
+static STATE_FILE: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Whether a state-file problem was already reported (warn once per run).
+static STATE_WARNED: AtomicBool = AtomicBool::new(false);
+
+/// Installs (or clears, with `None`) the selection-state file path used by
+/// [`run_dysel`]. With a path set, every runtime warm-starts from the file
+/// (skipping micro-profiling for signatures it already names) and saves
+/// the merged state back after each launch.
+pub fn set_state_file(path: Option<PathBuf>) {
+    *STATE_FILE.lock().unwrap() = path;
+}
+
+/// The currently installed selection-state file path, if any.
+pub fn state_file() -> Option<PathBuf> {
+    STATE_FILE.lock().unwrap().clone()
+}
+
+fn warn_state_once(msg: &str) {
+    if !STATE_WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!("warning: {msg}");
+    }
+}
+
+/// Aggregate over every DySel launch a run performed via [`run_dysel`]:
+/// the numbers behind the one-line end-of-run summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// DySel launches performed.
+    pub launches: u64,
+    /// Launches that ran micro-profiling (zero on a warm restart).
+    pub profiled: u64,
+    /// Launches that reused a cached/persisted selection instead.
+    pub warm_skips: u64,
+    /// Launch failures observed (including failed retries).
+    pub launch_errors: u64,
+    /// Retries issued for transient launch failures.
+    pub retries: u64,
+    /// Variants dropped for blowing the profiling deadline.
+    pub deadline_discards: u64,
+    /// Launches cooperatively preempted by the cycle-budget subsystem.
+    pub preemptions: u64,
+    /// Variants caught by output validation.
+    pub validation_failures: u64,
+    /// Productive profiling slices re-executed with the winner.
+    pub repaired_slices: u64,
+    /// Variants quarantined across all launches.
+    pub quarantined: u64,
+    /// FNV-1a digest over the `(signature, selected name)` sequence, in
+    /// launch order. Deterministic run order makes equal digests mean
+    /// "every launch selected the same winner" — what the warm-restart
+    /// smoke compares between a cold and a warm invocation.
+    pub selections_digest: u64,
+}
+
+impl RunSummary {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    const fn new() -> Self {
+        RunSummary {
+            launches: 0,
+            profiled: 0,
+            warm_skips: 0,
+            launch_errors: 0,
+            retries: 0,
+            deadline_discards: 0,
+            preemptions: 0,
+            validation_failures: 0,
+            repaired_slices: 0,
+            quarantined: 0,
+            selections_digest: Self::FNV_OFFSET,
+        }
+    }
+
+    fn fold(&mut self, bytes: &[u8]) {
+        for b in bytes.iter().chain(&[0u8]) {
+            self.selections_digest ^= u64::from(*b);
+            self.selections_digest = self.selections_digest.wrapping_mul(Self::FNV_PRIME);
+        }
+    }
+
+    fn record(&mut self, report: &LaunchReport) {
+        self.launches += 1;
+        if report.profiled() {
+            self.profiled += 1;
+        }
+        if report.skipped == Some(SkipReason::CachedSelection) {
+            self.warm_skips += 1;
+        }
+        self.launch_errors += report.faults.launch_errors;
+        self.retries += report.faults.retries;
+        self.deadline_discards += report.faults.deadline_discards;
+        self.preemptions += report.faults.preemptions;
+        self.validation_failures += report.faults.validation_failures;
+        self.repaired_slices += report.faults.repaired_slices;
+        self.quarantined += report.faults.quarantined.len() as u64;
+        self.fold(report.signature.as_bytes());
+        self.fold(report.selected_name.as_bytes());
+    }
+
+    /// The one-line end-of-run rendering.
+    pub fn line(&self) -> String {
+        format!(
+            "run summary: launches={} profiled={} warm-skips={} \
+             faults[errors={} retries={} deadline={} preempted={} \
+             wrong-output={} repaired={}] quarantined={} selections={:016x}",
+            self.launches,
+            self.profiled,
+            self.warm_skips,
+            self.launch_errors,
+            self.retries,
+            self.deadline_discards,
+            self.preemptions,
+            self.validation_failures,
+            self.repaired_slices,
+            self.quarantined,
+            self.selections_digest,
+        )
+    }
+}
+
+impl Default for RunSummary {
+    fn default() -> Self {
+        RunSummary::new()
+    }
+}
+
+/// Launch ledger of the current run (every [`run_dysel`] call records into
+/// it).
+static SUMMARY: Mutex<RunSummary> = Mutex::new(RunSummary::new());
+
+/// Snapshot of the run's launch/fault/selection summary so far.
+pub fn run_summary() -> RunSummary {
+    SUMMARY.lock().unwrap().clone()
+}
+
+/// Resets the run summary (tests; a fresh `experiments` process starts
+/// clean anyway).
+pub fn reset_run_summary() {
+    *SUMMARY.lock().unwrap() = RunSummary::new();
 }
 
 /// Fresh default CPU device (4 cores, i7-3820-like, seeded noise).
@@ -115,7 +263,17 @@ pub fn run_dysel(
     factory: &dyn Fn() -> Box<dyn Device>,
     opts: &LaunchOptions,
 ) -> LaunchReport {
-    let mut rt = Runtime::new(factory());
+    let state_path = state_file();
+    let mut rt = Runtime::with_config(
+        factory(),
+        RuntimeConfig {
+            state_path: state_path.clone(),
+            ..RuntimeConfig::default()
+        },
+    );
+    if let Some(e) = rt.state_load_error() {
+        warn_state_once(&format!("selection state ignored, cold start: {e}"));
+    }
     rt.add_kernels(&w.signature, w.variants(target).to_vec());
     let mut args = w.fresh_args();
     let report = rt
@@ -123,16 +281,21 @@ pub fn run_dysel(
         .unwrap_or_else(|e| panic!("DySel launch of {} failed: {e}", w.name));
     w.verify(&args)
         .unwrap_or_else(|e| panic!("DySel output of {} is wrong: {e}", w.name));
+    SUMMARY.lock().unwrap().record(&report);
+    if state_path.is_some() {
+        // Load-merge-save per launch: the fresh runtime warm-started from
+        // the file above, so saving writes the union of every signature
+        // seen so far, atomically.
+        if let Err(e) = rt.save_state() {
+            warn_state_once(&format!("selection state not saved: {e}"));
+        }
+    }
     report
 }
 
 /// Runs the full case: exhaustive sweep plus DySel under sync and async
 /// (best/worst initial) orchestrations.
-pub fn run_case(
-    w: &Workload,
-    target: Target,
-    factory: fn() -> Box<dyn Device>,
-) -> CaseResult {
+pub fn run_case(w: &Workload, target: Target, factory: fn() -> Box<dyn Device>) -> CaseResult {
     let sweep = exhaustive_sweep(w, target, factory);
     let names = w
         .variants(target)

@@ -5,6 +5,8 @@ use std::fmt;
 
 use dysel_kernel::KernelError;
 
+use crate::persist::StateError;
+
 /// Errors raised by the DySel runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DyselError {
@@ -39,6 +41,9 @@ pub enum DyselError {
         /// Name of the variant whose launch failed.
         variant: String,
     },
+    /// Loading or saving the persistent selection state failed; the
+    /// runtime state in memory is unaffected (a failed load cold-starts).
+    State(StateError),
 }
 
 impl fmt::Display for DyselError {
@@ -68,6 +73,7 @@ impl fmt::Display for DyselError {
                 f,
                 "launch of {signature:?} variant {variant:?} failed after retries"
             ),
+            DyselError::State(e) => write!(f, "selection-state persistence failed: {e}"),
         }
     }
 }
@@ -76,8 +82,15 @@ impl Error for DyselError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             DyselError::Kernel(e) => Some(e),
+            DyselError::State(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<StateError> for DyselError {
+    fn from(e: StateError) -> Self {
+        DyselError::State(e)
     }
 }
 

@@ -19,6 +19,7 @@
 
 use std::fmt;
 
+use dysel_device::Cycles;
 use dysel_kernel::VariantId;
 
 /// Why a variant was excluded from selection.
@@ -49,8 +50,20 @@ pub struct FaultReport {
     pub launch_errors: u64,
     /// Retries issued for transient launch failures.
     pub retries: u64,
-    /// Variants dropped because their measurement blew the deadline.
+    /// Variants dropped because their measurement blew the deadline. A
+    /// cooperative preemption counts here too: the budget subsystem is the
+    /// deadline rung of the ladder enforced *during* the launch instead of
+    /// after it.
     pub deadline_discards: u64,
+    /// Launches cooperatively preempted by the cycle-budget subsystem
+    /// before completing their slice.
+    pub preemptions: u64,
+    /// Work-groups the preempted launches executed before stopping —
+    /// always short of their slices' totals, which is the point.
+    pub preempted_groups: u64,
+    /// Priced cycles the preempted launches spent before stopping; each
+    /// launch's share is bounded by its budget.
+    pub preempted_cycles: Cycles,
     /// Variants caught by output validation (cross-check or consensus).
     pub validation_failures: u64,
     /// Extra launches issued by output validation.
@@ -73,6 +86,9 @@ impl FaultReport {
             launch_errors,
             retries,
             deadline_discards,
+            preemptions,
+            preempted_groups,
+            preempted_cycles,
             validation_failures,
             validation_launches: _,
             repaired_slices,
@@ -82,6 +98,9 @@ impl FaultReport {
         *launch_errors == 0
             && *retries == 0
             && *deadline_discards == 0
+            && *preemptions == 0
+            && *preempted_groups == 0
+            && *preempted_cycles == Cycles::ZERO
             && *validation_failures == 0
             && *repaired_slices == 0
             && *repaired_units == 0

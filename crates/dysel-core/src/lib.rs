@@ -31,6 +31,7 @@ mod error;
 mod fault;
 mod mixed;
 mod options;
+mod persist;
 mod pool;
 mod report;
 mod runtime;
@@ -41,6 +42,7 @@ pub use error::DyselError;
 pub use fault::{FaultReport, QuarantineReason};
 pub use mixed::MixedReport;
 pub use options::{InitialSelection, LaunchOptions, RuntimeConfig};
+pub use persist::{RuntimeState, StateError};
 pub use pool::KernelPool;
 pub use report::{LaunchReport, Measurement, SkipReason};
 pub use runtime::Runtime;

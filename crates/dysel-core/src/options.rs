@@ -157,6 +157,15 @@ pub struct RuntimeConfig {
     /// and a fully-productive winner is re-validated against a runner-up.
     /// Off by default — the healthy path pays nothing for it.
     pub validate_outputs: bool,
+    /// When set, the runtime persists what it learns — per-signature
+    /// selections and quarantine entries — to this file
+    /// ([`crate::Runtime::save_state`]) and loads it back on construction,
+    /// so iterative applications restart warm and skip micro-profiling
+    /// entirely. The file is versioned, checksummed and written
+    /// atomically; a corrupt or incompatible file cold-starts the runtime
+    /// with a typed [`crate::StateError`] instead of panicking. `None`
+    /// (the default) keeps all state in memory.
+    pub state_path: Option<std::path::PathBuf>,
 }
 
 impl Default for RuntimeConfig {
@@ -169,6 +178,7 @@ impl Default for RuntimeConfig {
             retry_backoff: Cycles(2_000),
             profile_deadline_factor: None,
             validate_outputs: false,
+            state_path: None,
         }
     }
 }

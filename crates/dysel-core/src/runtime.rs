@@ -11,15 +11,18 @@
 //! — with [`DyselError::AllVariantsFaulted`] and the user buffers restored
 //! untouched.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use dysel_analysis::{infer_mode, safe_point, SafePointPlan};
 use dysel_device::{
-    BatchEntry, Cycles, Device, LaunchOutcome, LaunchRecord, LaunchSpec, StreamId,
+    BatchEntry, BudgetPolicy, Cycles, Device, LaunchOutcome, LaunchRecord, LaunchSpec, StreamId,
 };
-use dysel_kernel::{Args, Orchestration, ProfilingMode, UnitRange, Variant, VariantId, VariantMeta};
+use dysel_kernel::{
+    Args, Orchestration, ProfilingMode, UnitRange, Variant, VariantId, VariantMeta,
+};
 
 use crate::fault::{FaultReport, QuarantineReason};
+use crate::persist::{self, RuntimeState, StateError};
 use crate::pool::SandboxPool;
 use crate::timeline::{LaunchKind, Timeline, TimelineEntry};
 use crate::{
@@ -75,6 +78,13 @@ pub struct Runtime {
     sandboxes: SandboxPool,
     timeline: Timeline,
     quarantine: HashMap<String, Vec<(VariantId, QuarantineReason)>>,
+    /// Signatures whose selection was loaded from the state file: these
+    /// skip micro-profiling on launch (warm restart), independently of
+    /// [`RuntimeConfig::profile_once_per_signature`].
+    warm: HashSet<String>,
+    /// What went wrong with the best-effort state load at construction,
+    /// if anything; the runtime cold-started in that case.
+    state_error: Option<StateError>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -100,8 +110,16 @@ impl Runtime {
     }
 
     /// Creates a runtime with an explicit configuration.
+    ///
+    /// With [`RuntimeConfig::state_path`] set and the file present, the
+    /// persisted selection state is loaded best-effort: on success the
+    /// runtime starts warm (cached selections and quarantine restored,
+    /// micro-profiling skipped for the loaded signatures); a corrupt,
+    /// truncated or version-skewed file cold-starts the runtime and parks
+    /// the typed error in [`Runtime::state_load_error`]. A missing file is
+    /// a plain cold start, not an error.
     pub fn with_config(device: Box<dyn Device>, config: RuntimeConfig) -> Self {
-        Runtime {
+        let mut rt = Runtime {
             device,
             pool: KernelPool::new(),
             stats: LaunchStats::new(),
@@ -110,7 +128,97 @@ impl Runtime {
             sandboxes: SandboxPool::default(),
             timeline: Timeline::default(),
             quarantine: HashMap::new(),
+            warm: HashSet::new(),
+            state_error: None,
+        };
+        if let Some(path) = rt.config.state_path.clone() {
+            if path.exists() {
+                match persist::load(&path) {
+                    Ok(state) => rt.apply_state(&state),
+                    Err(e) => rt.state_error = Some(e),
+                }
+            }
         }
+        rt
+    }
+
+    /// The persisted runtime state as a value: cached selections and
+    /// quarantine entries, ready for [`crate::persist`] encoding.
+    fn snapshot_state(&self) -> RuntimeState {
+        RuntimeState {
+            selections: self
+                .selection_cache
+                .iter()
+                .map(|(s, id)| (s.clone(), *id))
+                .collect(),
+            quarantine: self
+                .quarantine
+                .iter()
+                .filter(|(_, v)| !v.is_empty())
+                .map(|(s, v)| (s.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Installs a loaded state: selections become warm cached selections
+    /// (skipping micro-profiling), quarantine entries are restored.
+    fn apply_state(&mut self, state: &RuntimeState) {
+        for (sig, id) in &state.selections {
+            self.selection_cache.insert(sig.clone(), *id);
+            self.warm.insert(sig.clone());
+        }
+        for (sig, entries) in &state.quarantine {
+            self.quarantine.insert(sig.clone(), entries.clone());
+        }
+    }
+
+    /// Persists the current selection cache and quarantine set to the
+    /// configured [`RuntimeConfig::state_path`], atomically (temp file +
+    /// rename): a crash mid-save leaves the previous file intact.
+    ///
+    /// # Errors
+    ///
+    /// [`DyselError::State`] if no state path is configured or the write
+    /// fails; in-memory state is unaffected either way.
+    pub fn save_state(&self) -> Result<(), DyselError> {
+        let path = self
+            .config
+            .state_path
+            .as_deref()
+            .ok_or(StateError::NoStatePath)?;
+        persist::save(&self.snapshot_state(), path)?;
+        Ok(())
+    }
+
+    /// Explicitly (re)loads the state file from the configured
+    /// [`RuntimeConfig::state_path`], replacing in-memory selections and
+    /// quarantine entries for the signatures it names, and returns the
+    /// loaded state.
+    ///
+    /// # Errors
+    ///
+    /// [`DyselError::State`] if no state path is configured, the file is
+    /// missing or unreadable, or its content is rejected (bad magic,
+    /// version skew, truncation, checksum mismatch, malformed payload).
+    /// On error the in-memory state is left exactly as it was — the
+    /// cold-start guarantee.
+    pub fn load_state(&mut self) -> Result<RuntimeState, DyselError> {
+        let path = self
+            .config
+            .state_path
+            .clone()
+            .ok_or(StateError::NoStatePath)?;
+        let state = persist::load(&path)?;
+        self.apply_state(&state);
+        self.state_error = None;
+        Ok(state)
+    }
+
+    /// The typed error of the best-effort state load performed at
+    /// construction, if it failed (the runtime cold-started). `None`
+    /// after a successful or skipped load.
+    pub fn state_load_error(&self) -> Option<&StateError> {
+        self.state_error.as_ref()
     }
 
     /// Registers a kernel variant (`DySelAddKernel`).
@@ -178,6 +286,7 @@ impl Runtime {
         self.sandboxes.clear();
         self.timeline.clear();
         self.quarantine.clear();
+        self.warm.clear();
     }
 
     /// Sandbox-pool accounting: `(fresh allocations, recycled leases)`.
@@ -258,6 +367,11 @@ impl Runtime {
 
         self.stats.record(total_units);
         let device = self.device.as_mut();
+        // Budget rung of the ladder: with a deadline factor configured the
+        // device derives per-launch cycle budgets for profiling launches
+        // from the best measurement seen so far and cooperatively preempts
+        // any launch that blows its budget mid-slice.
+        device.set_budget_policy(self.config.profile_deadline_factor.map(BudgetPolicy::new));
         let t_start = device.busy_until();
         let initial = sanitize(&active, initial);
 
@@ -267,11 +381,13 @@ impl Runtime {
                 Some(&id) => Some((SkipReason::CachedSelection, sanitize(&active, id))),
                 None => Some((SkipReason::ProfilingDisabled, initial)),
             }
-        } else if self.config.profile_once_per_signature
+        } else if (self.config.profile_once_per_signature || self.warm.contains(signature))
             && self.selection_cache.contains_key(signature)
         {
             // Profile-once runtimes treat every later launch of a profiled
-            // signature as the steady state of an iterative solver.
+            // signature as the steady state of an iterative solver; a
+            // selection loaded from the state file gets the same warm
+            // treatment — that is the point of persisting it.
             Some((
                 SkipReason::CachedSelection,
                 sanitize(&active, self.selection_cache[signature]),
@@ -476,6 +592,7 @@ fn launch_checked(
             stream,
             not_before,
             measured,
+            budget: None,
         }) {
             LaunchOutcome::Done(rec) => return Ok(rec),
             LaunchOutcome::Failed(failure) => {
@@ -486,6 +603,12 @@ fn launch_checked(
                 faults.retries += 1;
                 not_before = failure.at + config.retry_backoff * (1u64 << attempt.min(16));
                 attempt += 1;
+            }
+            LaunchOutcome::Preempted(_) => {
+                // No budget is attached here, so this arm is defensive: a
+                // preempted launch is discarded like a hard failure.
+                faults.preemptions += 1;
+                return Err(());
             }
         }
     }
@@ -679,6 +802,7 @@ fn profile_core(
                     stream,
                     not_before: t_start,
                     measured: true,
+                    budget: None,
                 });
             }
         }
@@ -700,8 +824,7 @@ fn profile_core(
                     let mut attempt = 0u32;
                     while fail.transient && attempt < config.max_launch_retries {
                         faults.retries += 1;
-                        let not_before =
-                            fail.at + config.retry_backoff * (1u64 << attempt.min(16));
+                        let not_before = fail.at + config.retry_backoff * (1u64 << attempt.min(16));
                         launches_issued += 1;
                         match device.launch(LaunchSpec {
                             kernel: e.kernel,
@@ -711,6 +834,7 @@ fn profile_core(
                             stream: e.stream,
                             not_before,
                             measured: true,
+                            budget: None,
                         }) {
                             LaunchOutcome::Done(record) => {
                                 recovered = Some(record);
@@ -721,6 +845,8 @@ fn profile_core(
                                 fail = f2;
                                 attempt += 1;
                             }
+                            // Unbudgeted retry; defensive — give up.
+                            LaunchOutcome::Preempted(_) => break,
                         }
                     }
                     if recovered.is_none() {
@@ -738,6 +864,28 @@ fn profile_core(
                     }
                     recovered
                 }
+                LaunchOutcome::Preempted(p) => {
+                    // The launch blew its cycle budget and was cut off
+                    // mid-slice; its partial writes were discarded by the
+                    // device. Fold the preemption into the deadline rung
+                    // of the ladder: quarantine the variant and hand any
+                    // productive slice it owned to the winner for repair.
+                    faults.preemptions += 1;
+                    faults.preempted_groups += p.groups_done;
+                    faults.preempted_cycles += p.cycles_spent;
+                    faults.deadline_discards += 1;
+                    quarantine_variant(
+                        &mut alive,
+                        quarantine,
+                        faults,
+                        vi,
+                        QuarantineReason::DeadlineExceeded,
+                    );
+                    if e.target == 0 && mode == ProfilingMode::FullyProductive {
+                        dead_slices.push(e.units);
+                    }
+                    None
+                }
             };
             if let Some(record) = record {
                 timeline.push(TimelineEntry {
@@ -748,7 +896,10 @@ fn profile_core(
                     start: record.start,
                     end: record.end,
                 });
-                profiled.push(ProfiledLaunch { variant: vi, record });
+                profiled.push(ProfiledLaunch {
+                    variant: vi,
+                    record,
+                });
             }
         }
     }
@@ -1044,6 +1195,10 @@ fn profile_core(
     // ---- repairs ---------------------------------------------------------
     // Re-execute every dead productive slice with the winner so the final
     // output is exactly what an all-healthy launch would have produced.
+    // Every repair is enqueued at the same host issue time (`t_val`): the
+    // compute stream serializes them, and the per-launch overhead overlaps
+    // execution of the previous repair (pipelined enqueue) instead of
+    // being paid again between every pair.
     let mut t_repair = t_val;
     for range in std::mem::take(&mut dead_slices) {
         let v = &variants[winner.0];
@@ -1054,7 +1209,7 @@ fn profile_core(
             args,
             range,
             COMPUTE_STREAM,
-            t_repair,
+            t_val,
             false,
             faults,
             &mut launches_issued,
@@ -1080,6 +1235,8 @@ fn profile_core(
     let mut total_end = t_val.max(chunk_ends).max(profile_end).max(t_repair);
     if next_unit < end {
         let v = &variants[winner.0];
+        // Issued at selection time; the compute stream already orders it
+        // behind any repairs (same pipelined-enqueue overlap as above).
         let rec = launch_checked(
             device,
             config,
@@ -1087,7 +1244,7 @@ fn profile_core(
             args,
             UnitRange::new(next_unit, end),
             COMPUTE_STREAM,
-            t_repair.max(t_sel),
+            t_val.max(t_sel),
             false,
             faults,
             &mut launches_issued,
@@ -1197,7 +1354,10 @@ fn validate_fp(
                     timeline.push(TimelineEntry {
                         kind: LaunchKind::Validate,
                         variant: VariantId(
-                            variants.iter().position(|x| std::ptr::eq(x, v)).unwrap_or(0),
+                            variants
+                                .iter()
+                                .position(|x| std::ptr::eq(x, v))
+                                .unwrap_or(0),
                         ),
                         variant_name: v.name().to_owned(),
                         units: range,
@@ -1251,7 +1411,13 @@ fn validate_fp(
             // The winner cannot even launch any more: quarantine it. Its
             // own productive slices were written successfully earlier and
             // stay valid — no repair needed.
-            quarantine_variant(alive, quarantine, faults, winner, QuarantineReason::LaunchFailed);
+            quarantine_variant(
+                alive,
+                quarantine,
+                faults,
+                winner,
+                QuarantineReason::LaunchFailed,
+            );
             order.remove(0);
             continue;
         }
@@ -1280,7 +1446,13 @@ fn validate_fp(
                 }
             }
             if ref_broke {
-                quarantine_variant(alive, quarantine, faults, rf, QuarantineReason::LaunchFailed);
+                quarantine_variant(
+                    alive,
+                    quarantine,
+                    faults,
+                    rf,
+                    QuarantineReason::LaunchFailed,
+                );
                 order.retain(|&vi| vi != rf);
                 continue; // same winner, next referee
             }
@@ -1291,7 +1463,13 @@ fn validate_fp(
 
         if winner_bad {
             faults.validation_failures += 1;
-            quarantine_variant(alive, quarantine, faults, winner, QuarantineReason::WrongOutput);
+            quarantine_variant(
+                alive,
+                quarantine,
+                faults,
+                winner,
+                QuarantineReason::WrongOutput,
+            );
             for r in 0..reps {
                 if let Some(range) = slice_of(winner, r) {
                     dead_slices.push(range);
@@ -1303,7 +1481,13 @@ fn validate_fp(
         // Winner confirmed: the dissenting runner-ups are the wrong ones.
         for &cand in &suspects {
             faults.validation_failures += 1;
-            quarantine_variant(alive, quarantine, faults, cand, QuarantineReason::WrongOutput);
+            quarantine_variant(
+                alive,
+                quarantine,
+                faults,
+                cand,
+                QuarantineReason::WrongOutput,
+            );
             for r in 0..reps {
                 if let Some(range) = slice_of(cand, r) {
                     dead_slices.push(range);

@@ -26,6 +26,7 @@ pub struct LaunchStats {
     launch_errors: u64,
     retries: u64,
     deadline_discards: u64,
+    preemptions: u64,
     validation_failures: u64,
     quarantined_variants: u64,
 }
@@ -68,6 +69,7 @@ impl LaunchStats {
         self.launch_errors += faults.launch_errors;
         self.retries += faults.retries;
         self.deadline_discards += faults.deadline_discards;
+        self.preemptions += faults.preemptions;
         self.validation_failures += faults.validation_failures;
         self.quarantined_variants += faults.quarantined.len() as u64;
     }
@@ -85,6 +87,11 @@ impl LaunchStats {
     /// Variants dropped because their measurement blew the deadline.
     pub fn deadline_discards(&self) -> u64 {
         self.deadline_discards
+    }
+
+    /// Launches cooperatively preempted by the cycle-budget subsystem.
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
     }
 
     /// Variants caught by output validation.

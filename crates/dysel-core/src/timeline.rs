@@ -101,8 +101,18 @@ impl Timeline {
     ///
     /// Each row is one launch; `#` marks its active span in virtual time.
     pub fn render(&self, width: usize) -> String {
-        let t_min = self.entries.iter().map(|e| e.start).min().unwrap_or(Cycles::ZERO);
-        let t_max = self.entries.iter().map(|e| e.end).max().unwrap_or(Cycles::ZERO);
+        let t_min = self
+            .entries
+            .iter()
+            .map(|e| e.start)
+            .min()
+            .unwrap_or(Cycles::ZERO);
+        let t_max = self
+            .entries
+            .iter()
+            .map(|e| e.end)
+            .max()
+            .unwrap_or(Cycles::ZERO);
         let span = (t_max.saturating_sub(t_min)).as_f64().max(1.0);
         let width = width.max(16);
         let mut out = String::new();
@@ -114,7 +124,8 @@ impl Timeline {
             .unwrap_or(16);
         for e in &self.entries {
             let a = (((e.start.saturating_sub(t_min)).as_f64() / span) * width as f64) as usize;
-            let b = (((e.end.saturating_sub(t_min)).as_f64() / span) * width as f64).ceil() as usize;
+            let b =
+                (((e.end.saturating_sub(t_min)).as_f64() / span) * width as f64).ceil() as usize;
             let b = b.clamp(a + 1, width);
             let label = format!("{:7} {}", e.kind.to_string(), e.variant_name);
             out.push_str(&format!("{label:label_w$} |"));

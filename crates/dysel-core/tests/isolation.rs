@@ -120,7 +120,10 @@ fn fully_productive_requires_trusted_variants() {
     );
     assert_eq!(report.selected_name, "good");
     let poisoned = out.iter().filter(|v| v.is_nan()).count();
-    assert!(poisoned > 0, "the buggy slice lands in the output by design");
+    assert!(
+        poisoned > 0,
+        "the buggy slice lands in the output by design"
+    );
 }
 
 #[test]

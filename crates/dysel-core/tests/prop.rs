@@ -8,8 +8,7 @@
 use dysel_core::{LaunchOptions, Runtime};
 use dysel_device::{CpuConfig, CpuDevice};
 use dysel_kernel::{
-    Args, Buffer, KernelIr, Orchestration, ProfilingMode, Space, Variant, VariantMeta,
-    XorShiftRng,
+    Args, Buffer, KernelIr, Orchestration, ProfilingMode, Space, Variant, VariantMeta, XorShiftRng,
 };
 
 const N: u64 = 2048;
@@ -69,7 +68,9 @@ fn output_complete_and_selection_optimal() {
         let mut rt = Runtime::new(Box::new(CpuDevice::new(CpuConfig::noiseless())));
         rt.add_kernels("k", variants);
         let mut args = fresh_args();
-        let opts = LaunchOptions::new().with_mode(mode).with_orchestration(orch);
+        let opts = LaunchOptions::new()
+            .with_mode(mode)
+            .with_orchestration(orch);
         let report = rt.launch("k", &mut args, N, &opts).unwrap();
 
         // 1. The output is complete and correct in every configuration.
@@ -126,10 +127,15 @@ fn report_consistency() {
         let r1 = rt.launch("k", &mut args, N, &LaunchOptions::new()).unwrap();
         assert!(r1.profile_time <= r1.total_time);
         assert!(r1.launches >= k + 1); // k profiles + at least one batch
-        // Second launch without profiling: cached selection.
+                                       // Second launch without profiling: cached selection.
         let mut args2 = fresh_args();
         let r2 = rt
-            .launch("k", &mut args2, N, &LaunchOptions::new().without_profiling())
+            .launch(
+                "k",
+                &mut args2,
+                N,
+                &LaunchOptions::new().without_profiling(),
+            )
             .unwrap();
         assert_eq!(r2.selected, r1.selected);
         assert_eq!(r2.launches, 1);

@@ -349,7 +349,9 @@ fn mixed_wa_factors_profile_fairly() {
 fn unknown_signature_is_an_error() {
     let mut rt = runtime_with(three_variants());
     let mut args = fresh_args(N);
-    assert!(rt.launch("nope", &mut args, N, &LaunchOptions::new()).is_err());
+    assert!(rt
+        .launch("nope", &mut args, N, &LaunchOptions::new())
+        .is_err());
 }
 
 #[test]

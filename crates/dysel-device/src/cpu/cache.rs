@@ -198,7 +198,11 @@ impl CacheHierarchy {
 
 impl Default for CacheHierarchy {
     fn default() -> Self {
-        CacheHierarchy::new(CacheConfig::l1d(), CacheConfig::l2(), CacheConfig::llc_share())
+        CacheHierarchy::new(
+            CacheConfig::l1d(),
+            CacheConfig::l2(),
+            CacheConfig::llc_share(),
+        )
     }
 }
 

@@ -14,7 +14,7 @@ pub use cache::{CacheConfig, CacheHierarchy, SetAssocCache};
 use dysel_kernel::{Args, MemOp, RecordedTrace, Space, TraceSink, VariantMeta};
 
 use crate::device::{
-    BatchEntry, Device, DeviceKind, LaunchOutcome, LaunchSpec, StreamId, StreamTable,
+    BatchEntry, BudgetPolicy, Device, DeviceKind, LaunchOutcome, LaunchSpec, StreamId, StreamTable,
 };
 use crate::exec::{launch_batch_engine, Executor, PriceModel};
 use crate::fault::FaultPlan;
@@ -343,6 +343,7 @@ pub struct CpuDevice {
     exec_noise: NoiseModel,
     exec: Executor,
     fault: Option<FaultPlan>,
+    budget: Option<BudgetPolicy>,
 }
 
 impl CpuDevice {
@@ -359,6 +360,7 @@ impl CpuDevice {
             streams: StreamTable::default(),
             exec: Executor::new(cfg.threads),
             fault: None,
+            budget: None,
             cfg,
         }
     }
@@ -424,6 +426,7 @@ impl Device for CpuDevice {
             stream: spec.stream,
             not_before: spec.not_before,
             measured: spec.measured,
+            budget: spec.budget,
         };
         self.launch_batch(&[entry], &mut [spec.args])
             .pop()
@@ -452,6 +455,7 @@ impl Device for CpuDevice {
             self.cfg.launch_overhead,
             &mut model,
             self.fault.as_mut(),
+            self.budget,
         )
     }
 
@@ -461,6 +465,14 @@ impl Device for CpuDevice {
 
     fn fault_plan(&self) -> Option<&FaultPlan> {
         self.fault.as_ref()
+    }
+
+    fn set_budget_policy(&mut self, policy: Option<BudgetPolicy>) {
+        self.budget = policy;
+    }
+
+    fn budget_policy(&self) -> Option<BudgetPolicy> {
+        self.budget
     }
 
     fn stream_end(&self, stream: StreamId) -> Cycles {
@@ -519,7 +531,11 @@ mod tests {
     fn args(n: usize) -> Args {
         let mut a = Args::new();
         a.push(Buffer::f32("out", vec![0.0; n], Space::Global));
-        a.push(Buffer::f32("in", (0..n).map(|i| i as f32).collect(), Space::Global));
+        a.push(Buffer::f32(
+            "in",
+            (0..n).map(|i| i as f32).collect(),
+            Space::Global,
+        ));
         a
     }
 
@@ -538,6 +554,7 @@ mod tests {
             stream: StreamId(0),
             not_before: Cycles::ZERO,
             measured,
+            budget: None,
         })
         .unwrap_done()
     }

@@ -54,6 +54,13 @@ pub struct LaunchSpec<'a> {
     /// Whether to wrap the launch with measurement instrumentation
     /// (in-kernel cycle counters on the GPU, timer calls on the CPU).
     pub measured: bool,
+    /// Cooperative launch budget in priced cycles. When set, the device
+    /// checks an accumulated-cost watermark at every work-group boundary
+    /// and preempts the launch ([`LaunchOutcome::Preempted`]) the moment
+    /// committing the next group would exceed the budget; a preempted
+    /// launch spends strictly `<= budget` cycles. `None` (the default)
+    /// runs to completion.
+    pub budget: Option<Cycles>,
 }
 
 impl fmt::Debug for LaunchSpec<'_> {
@@ -64,6 +71,7 @@ impl fmt::Debug for LaunchSpec<'_> {
             .field("stream", &self.stream)
             .field("not_before", &self.not_before)
             .field("measured", &self.measured)
+            .field("budget", &self.budget)
             .finish()
     }
 }
@@ -106,10 +114,34 @@ pub struct LaunchFailure {
     pub transient: bool,
 }
 
-/// Result of a launch: a virtual schedule, or a failure report.
+/// How far a cooperatively preempted launch got before its budget ran out.
+///
+/// A preempted launch is discarded wholesale: its target buffers are
+/// untouched (partial writes are thrown away with the snapshot they were
+/// made against) and its stream did not advance. Only the execution units
+/// that ran the committed groups were occupied — that is the bounded cost
+/// the budget buys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchPreemption {
+    /// Virtual time at which the host observes the preemption (the end of
+    /// the last committed work-group, or the launch gate when the very
+    /// first group already blew the budget).
+    pub at: Cycles,
+    /// Priced cycles spent on committed groups. Strictly `<= budget`: the
+    /// watermark is checked *before* each group commits.
+    pub cycles_spent: Cycles,
+    /// Work-groups that executed and were priced before preemption. Always
+    /// less than the launch's total group count.
+    pub groups_done: u64,
+}
+
+/// Result of a launch: a virtual schedule, a failure report, or a
+/// cooperative preemption.
 ///
 /// A failed launch executed nothing — its target buffers are untouched,
-/// its stream did not advance, and no execution unit was occupied.
+/// its stream did not advance, and no execution unit was occupied. A
+/// preempted launch ([`LaunchPreemption`]) stopped at its cycle budget;
+/// its partial writes were discarded and its stream did not advance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[must_use = "a launch may have failed; check the outcome"]
 pub enum LaunchOutcome {
@@ -117,6 +149,8 @@ pub enum LaunchOutcome {
     Done(LaunchRecord),
     /// The launch failed before executing.
     Failed(LaunchFailure),
+    /// The launch blew its cycle budget and was cooperatively preempted.
+    Preempted(LaunchPreemption),
 }
 
 impl LaunchOutcome {
@@ -124,7 +158,7 @@ impl LaunchOutcome {
     pub fn done(self) -> Option<LaunchRecord> {
         match self {
             LaunchOutcome::Done(r) => Some(r),
-            LaunchOutcome::Failed(_) => None,
+            LaunchOutcome::Failed(_) | LaunchOutcome::Preempted(_) => None,
         }
     }
 
@@ -133,16 +167,26 @@ impl LaunchOutcome {
         matches!(self, LaunchOutcome::Failed(_))
     }
 
+    /// The preemption report, if the launch blew its budget.
+    pub fn preempted(self) -> Option<LaunchPreemption> {
+        match self {
+            LaunchOutcome::Preempted(p) => Some(p),
+            LaunchOutcome::Done(_) | LaunchOutcome::Failed(_) => None,
+        }
+    }
+
     /// The record of a completed launch.
     ///
     /// # Panics
     ///
-    /// Panics if the launch failed. For callers that do not inject faults
-    /// (or have already filtered failures) this is the infallible path.
+    /// Panics if the launch failed or was preempted. For callers that do
+    /// not inject faults or budgets (or have already filtered failures)
+    /// this is the infallible path.
     pub fn unwrap_done(self) -> LaunchRecord {
         match self {
             LaunchOutcome::Done(r) => r,
             LaunchOutcome::Failed(f) => panic!("launch failed at {}", f.at),
+            LaunchOutcome::Preempted(p) => panic!("launch preempted at {}", p.at),
         }
     }
 }
@@ -170,6 +214,10 @@ pub struct BatchEntry<'a> {
     pub not_before: Cycles,
     /// Whether to wrap the launch with measurement instrumentation.
     pub measured: bool,
+    /// Explicit cooperative cycle budget for this entry (see
+    /// [`LaunchSpec::budget`]). Takes precedence over any installed
+    /// [`BudgetPolicy`]-derived budget.
+    pub budget: Option<Cycles>,
 }
 
 impl fmt::Debug for BatchEntry<'_> {
@@ -181,7 +229,36 @@ impl fmt::Debug for BatchEntry<'_> {
             .field("stream", &self.stream)
             .field("not_before", &self.not_before)
             .field("measured", &self.measured)
+            .field("budget", &self.budget)
             .finish()
+    }
+}
+
+/// Device-level policy deriving default launch budgets for *measured*
+/// (profiling) launches from the best measurement seen so far within a
+/// batch: once some measured entry completes at cost `best`, every later
+/// measured entry in the same batch runs under a budget of
+/// `deadline_factor x best` (updated as better measurements arrive). The
+/// first measured entry has no baseline and runs unbudgeted; unmeasured
+/// launches are never budgeted by policy. Budgets are defined in priced
+/// cycles, so the policy's decisions — like everything else in the virtual
+/// timeline — are independent of the worker-thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetPolicy {
+    /// Multiple of the best-so-far measurement a profiling launch may
+    /// spend before it is preempted. Values below 1.0 are clamped to 1.0.
+    pub deadline_factor: f64,
+}
+
+impl BudgetPolicy {
+    /// A policy preempting measured launches at `deadline_factor x best`.
+    pub fn new(deadline_factor: f64) -> Self {
+        BudgetPolicy { deadline_factor }
+    }
+
+    /// The budget this policy derives from a best-so-far measurement.
+    pub fn budget_for(&self, best: Cycles) -> Cycles {
+        Cycles::from_f64(best.as_f64() * self.deadline_factor.max(1.0))
     }
 }
 
@@ -241,6 +318,7 @@ pub trait Device {
                     stream: e.stream,
                     not_before: e.not_before,
                     measured: e.measured,
+                    budget: e.budget,
                 })
             })
             .collect()
@@ -249,6 +327,16 @@ pub trait Device {
     /// Installs (or removes, with `None`) a fault-injection plan. The
     /// default device injects nothing and discards the plan.
     fn set_fault_plan(&mut self, _plan: Option<FaultPlan>) {}
+
+    /// Installs (or removes, with `None`) a launch-budget policy. The
+    /// default device never preempts and discards the policy.
+    fn set_budget_policy(&mut self, _policy: Option<BudgetPolicy>) {}
+
+    /// The installed budget policy. `None` when budgets are off (the
+    /// default).
+    fn budget_policy(&self) -> Option<BudgetPolicy> {
+        None
+    }
 
     /// The installed fault plan, with its live launch counters and
     /// injection log — the ground truth tests compare report counters

@@ -46,10 +46,13 @@ use std::sync::mpsc;
 use std::thread;
 
 use dysel_kernel::{
-    Args, GroupCtx, Kernel, RecordedTrace, RecordingSink, UnitRange, VariantMeta,
+    span_bounds, Args, GroupCtx, Kernel, RecordedTrace, RecordingSink, UnitRange, VariantMeta,
 };
 
-use crate::device::{BatchEntry, LaunchFailure, LaunchOutcome, LaunchRecord, StreamTable};
+use crate::device::{
+    BatchEntry, BudgetPolicy, LaunchFailure, LaunchOutcome, LaunchPreemption, LaunchRecord,
+    StreamTable,
+};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::noise::NoiseModel;
 use crate::sched::UnitPool;
@@ -161,10 +164,7 @@ pub(crate) struct FunctionalItem<'a> {
 /// *all* items are fanned out together, so a batch of K profiling launches
 /// saturates the workers even when each launch is small. Results come back
 /// grouped per item, spans in order.
-pub(crate) fn run_functional(
-    exec: &Executor,
-    items: &[FunctionalItem<'_>],
-) -> Vec<Vec<SpanRun>> {
+pub(crate) fn run_functional(exec: &Executor, items: &[FunctionalItem<'_>]) -> Vec<Vec<SpanRun>> {
     // Per item: the group list and its partition into spans.
     let groups: Vec<Vec<(u64, UnitRange)>> = items
         .iter()
@@ -173,9 +173,8 @@ pub(crate) fn run_functional(
     // Global job list: (item, group range) pairs, item-major.
     let mut jobs: Vec<(usize, usize, usize)> = Vec::new();
     for (i, g) in groups.iter().enumerate() {
-        let spans = g.len().min(SPANS_PER_LAUNCH);
-        for s in 0..spans {
-            jobs.push((i, s * g.len() / spans, (s + 1) * g.len() / spans));
+        for (lo, hi) in span_bounds(g.len(), SPANS_PER_LAUNCH) {
+            jobs.push((i, lo, hi));
         }
     }
     let span_runs = exec.run_ordered(jobs.len(), |j| {
@@ -241,6 +240,17 @@ pub(crate) trait PriceModel {
     fn group_cost(&mut self, unit: usize, meta: &VariantMeta, trace: &RecordedTrace) -> Cycles;
 }
 
+/// How phase 2 will handle one batch entry.
+enum EntryPlan {
+    /// Functionally executed by the phase-1 fan-out; index into `runs`.
+    Fanned(usize),
+    /// Budget-eligible: executed lazily, group by group, inside phase 2 so
+    /// a preemption really stops the functional execution.
+    Inline,
+    /// Injected `LaunchError`: never executes.
+    Refused,
+}
+
 /// The full two-phase batch launch shared by the device models: parallel
 /// functional execution of every entry, then serial in-order merge,
 /// pricing, scheduling and measurement.
@@ -252,6 +262,28 @@ pub(crate) trait PriceModel {
 /// `Hang` multiplies every priced group cost; `WrongOutput`/`Poison`
 /// tamper with exactly the elements the launch wrote, after the merge.
 /// The healthy path with no plan costs one `Option` check per batch.
+///
+/// ## Cooperative launch budgets
+///
+/// An entry runs under a cycle budget when it carries an explicit
+/// [`BatchEntry::budget`], or when a [`BudgetPolicy`] is installed, the
+/// entry is measured, and an earlier measured entry of this batch already
+/// established a best-so-far baseline (`budget = deadline_factor x best`,
+/// tightening as better measurements arrive). Budget-eligible entries skip
+/// the phase-1 fan-out and execute *inline* during phase 2: each group is
+/// run functionally against a private snapshot, priced, and committed only
+/// if the accumulated spend stays within budget — the first group that
+/// would overflow preempts the launch ([`LaunchOutcome::Preempted`])
+/// before executing any further work, so `cycles_spent <= budget` holds
+/// strictly and a `hang*64` variant costs at most the budget instead of
+/// 64x the slice. A preempted entry discards its snapshot (target buffers
+/// untouched) and does not advance its stream; the unit pool keeps only
+/// the committed groups' occupancy. The inline path walks the same
+/// [`span_bounds`] partition in the same canonical group order and draws
+/// noise identically, so an entry that *completes* within budget is
+/// bit-identical to the fanned path — and every budget decision is made in
+/// priced virtual cycles, keeping outcomes independent of the worker
+/// count.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn launch_batch_engine<M: PriceModel>(
     exec: &Executor,
@@ -264,6 +296,7 @@ pub(crate) fn launch_batch_engine<M: PriceModel>(
     launch_overhead: Cycles,
     model: &mut M,
     faults: Option<&mut FaultPlan>,
+    budget_policy: Option<BudgetPolicy>,
 ) -> Vec<LaunchOutcome> {
     // Fault decisions, one per entry in issue order (counters tick here).
     let decisions: Vec<Option<FaultKind>> = match faults {
@@ -276,90 +309,218 @@ pub(crate) fn launch_batch_engine<M: PriceModel>(
     let pristine: Vec<Args> = targets.iter().map(|t| (**t).clone()).collect();
 
     // Phase 1: functional execution of every entry across the pool —
-    // except entries whose launch fails, which never execute.
-    let mut item_of: Vec<Option<usize>> = Vec::with_capacity(entries.len());
+    // except refused entries (which never execute) and budget-eligible
+    // ones (which must be able to stop mid-launch, so they run inline in
+    // phase 2). Eligibility must be decidable before pricing, so any
+    // measured entry is kept inline while a policy is installed, whether
+    // or not a baseline ends up binding it.
+    let mut plan_of: Vec<EntryPlan> = Vec::with_capacity(entries.len());
     let mut items: Vec<FunctionalItem<'_>> = Vec::with_capacity(entries.len());
     for (e, decision) in entries.iter().zip(&decisions) {
         if *decision == Some(FaultKind::LaunchError) {
-            item_of.push(None);
-            continue;
+            plan_of.push(EntryPlan::Refused);
+        } else if e.budget.is_some() || (budget_policy.is_some() && e.measured) {
+            plan_of.push(EntryPlan::Inline);
+        } else {
+            plan_of.push(EntryPlan::Fanned(items.len()));
+            items.push(FunctionalItem {
+                kernel: e.kernel,
+                meta: e.meta,
+                units: e.units,
+                pristine: &pristine[e.target],
+            });
         }
-        item_of.push(Some(items.len()));
-        items.push(FunctionalItem {
-            kernel: e.kernel,
-            meta: e.meta,
-            units: e.units,
-            pristine: &pristine[e.target],
-        });
     }
     let runs = run_functional(exec, &items);
 
     // Phase 2: serial reduction in issue order — merge outputs, then
     // replay each group's trace through the cost model in canonical order.
+    let mut best_measured: Option<Cycles> = None;
     let mut outcomes = Vec::with_capacity(entries.len());
     for (ei, e) in entries.iter().enumerate() {
-        let spans = match item_of[ei] {
-            Some(i) => &runs[i],
-            None => {
-                // Failed launch: nothing ran, nothing advances. The host
-                // observes the failure once the stream would have started.
-                let at = streams.gate(e.stream, e.not_before + launch_overhead);
-                outcomes.push(LaunchOutcome::Failed(LaunchFailure {
-                    at,
-                    transient: true,
-                }));
-                continue;
-            }
-        };
-        merge_spans(targets[e.target], &pristine[e.target], spans, e.meta);
-        if let Some(kind @ (FaultKind::WrongOutput | FaultKind::Poison)) = decisions[ei] {
-            let outs = output_indices(e.meta, targets[e.target]);
-            for span in spans {
-                targets[e.target]
-                    .corrupt_changed(
-                        &span.args,
-                        &pristine[e.target],
-                        &outs,
-                        kind == FaultKind::Poison,
-                    )
-                    .expect("span snapshot has the target's arity");
-            }
-        }
         let slow = match decisions[ei] {
             Some(FaultKind::Hang(factor)) => factor.max(1),
             _ => 1,
         };
-        let gate = streams.gate(e.stream, e.not_before + launch_overhead);
-        let mut first_start = Cycles::MAX;
-        let mut last_end = Cycles::ZERO;
-        let mut busy = Cycles::ZERO;
-        let mut groups = 0u64;
-        for span in spans {
-            for g in &span.groups {
-                let unit = pool.earliest_unit();
-                let cost = exec_noise.perturb(model.group_cost(unit, e.meta, &g.trace)) * slow;
-                let p = pool.assign_to(unit, cost, gate);
-                first_start = first_start.min(p.start);
-                last_end = last_end.max(p.end);
-                busy += cost;
-                groups += 1;
+        let corrupt = match decisions[ei] {
+            Some(kind @ (FaultKind::WrongOutput | FaultKind::Poison)) => {
+                Some(kind == FaultKind::Poison)
             }
+            _ => None,
+        };
+        let outcome = match plan_of[ei] {
+            EntryPlan::Refused => {
+                // Failed launch: nothing ran, nothing advances. The host
+                // observes the failure once the stream would have started.
+                let at = streams.gate(e.stream, e.not_before + launch_overhead);
+                LaunchOutcome::Failed(LaunchFailure {
+                    at,
+                    transient: true,
+                })
+            }
+            EntryPlan::Fanned(i) => {
+                let spans = &runs[i];
+                merge_spans(targets[e.target], &pristine[e.target], spans, e.meta);
+                if let Some(poison) = corrupt {
+                    let outs = output_indices(e.meta, targets[e.target]);
+                    for span in spans {
+                        targets[e.target]
+                            .corrupt_changed(&span.args, &pristine[e.target], &outs, poison)
+                            .expect("span snapshot has the target's arity");
+                    }
+                }
+                let gate = streams.gate(e.stream, e.not_before + launch_overhead);
+                let mut first_start = Cycles::MAX;
+                let mut last_end = Cycles::ZERO;
+                let mut busy = Cycles::ZERO;
+                let mut groups = 0u64;
+                for span in spans {
+                    for g in &span.groups {
+                        let unit = pool.earliest_unit();
+                        let cost =
+                            exec_noise.perturb(model.group_cost(unit, e.meta, &g.trace)) * slow;
+                        let p = pool.assign_to(unit, cost, gate);
+                        first_start = first_start.min(p.start);
+                        last_end = last_end.max(p.end);
+                        busy += cost;
+                        groups += 1;
+                    }
+                }
+                if groups == 0 {
+                    first_start = gate;
+                    last_end = gate;
+                }
+                streams.record(e.stream, last_end);
+                let measured = e.measured.then(|| meas_noise.perturb(busy));
+                LaunchOutcome::Done(LaunchRecord {
+                    start: first_start,
+                    end: last_end,
+                    groups,
+                    busy,
+                    measured,
+                })
+            }
+            EntryPlan::Inline => {
+                let budget = e.budget.or_else(|| match (budget_policy, best_measured) {
+                    (Some(p), Some(best)) if e.measured => Some(p.budget_for(best)),
+                    _ => None,
+                });
+                run_budgeted_entry(
+                    e,
+                    targets,
+                    &pristine,
+                    streams,
+                    pool,
+                    exec_noise,
+                    meas_noise,
+                    launch_overhead,
+                    model,
+                    slow,
+                    corrupt,
+                    budget,
+                )
+            }
+        };
+        if let LaunchOutcome::Done(LaunchRecord {
+            measured: Some(m), ..
+        }) = outcome
+        {
+            best_measured = Some(best_measured.map_or(m, |b| b.min(m)));
         }
-        if groups == 0 {
-            first_start = gate;
-            last_end = gate;
-        }
-        streams.record(e.stream, last_end);
-        let measured = e.measured.then(|| meas_noise.perturb(busy));
-        outcomes.push(LaunchOutcome::Done(LaunchRecord {
-            start: first_start,
-            end: last_end,
-            groups,
-            busy,
-            measured,
-        }));
+        outcomes.push(outcome);
     }
     outcomes
+}
+
+/// Executes one budget-eligible entry inline (see the budget section of
+/// [`launch_batch_engine`]): groups run functionally against a private
+/// snapshot in the canonical [`span_bounds`] order, each priced and then
+/// committed only if the accumulated spend stays within `budget`.
+#[allow(clippy::too_many_arguments)]
+fn run_budgeted_entry<M: PriceModel>(
+    e: &BatchEntry<'_>,
+    targets: &mut [&mut Args],
+    pristine: &[Args],
+    streams: &mut StreamTable,
+    pool: &mut UnitPool,
+    exec_noise: &mut NoiseModel,
+    meas_noise: &mut NoiseModel,
+    launch_overhead: Cycles,
+    model: &mut M,
+    slow: u64,
+    corrupt: Option<bool>,
+    budget: Option<Cycles>,
+) -> LaunchOutcome {
+    let groups: Vec<(u64, UnitRange)> = e.units.groups(u64::from(e.meta.wa_factor)).collect();
+    let gate = streams.gate(e.stream, e.not_before + launch_overhead);
+    let mut work = pristine[e.target].clone();
+    let mut first_start = Cycles::MAX;
+    let mut last_end = Cycles::ZERO;
+    let mut busy = Cycles::ZERO;
+    let mut groups_done = 0u64;
+    let mut preempted = false;
+    'spans: for (lo, hi) in span_bounds(groups.len(), SPANS_PER_LAUNCH) {
+        for &(g, gu) in &groups[lo..hi] {
+            let mut sink = RecordingSink::new();
+            let mut ctx = GroupCtx::new(
+                g,
+                gu,
+                e.meta.group_size,
+                &work,
+                &e.meta.placements,
+                &mut sink,
+            );
+            e.kernel.run_group(&mut ctx, &mut work);
+            let trace = sink.into_trace();
+            let unit = pool.earliest_unit();
+            let cost = exec_noise.perturb(model.group_cost(unit, e.meta, &trace)) * slow;
+            if let Some(b) = budget {
+                if busy + cost > b {
+                    // Committing this group would blow the budget: preempt
+                    // before it occupies a unit or writes become visible.
+                    preempted = true;
+                    break 'spans;
+                }
+            }
+            let p = pool.assign_to(unit, cost, gate);
+            first_start = first_start.min(p.start);
+            last_end = last_end.max(p.end);
+            busy += cost;
+            groups_done += 1;
+        }
+    }
+    if preempted {
+        // The snapshot (and with it every partial write) is discarded; the
+        // stream does not advance, exactly like a failed launch.
+        return LaunchOutcome::Preempted(LaunchPreemption {
+            at: if groups_done == 0 { gate } else { last_end },
+            cycles_spent: busy,
+            groups_done,
+        });
+    }
+    let outs = output_indices(e.meta, targets[e.target]);
+    let additive = e.meta.ir.has_global_atomics || !e.meta.ir.output_disjoint;
+    targets[e.target]
+        .merge_outputs(&work, &pristine[e.target], &outs, additive)
+        .expect("work snapshot has the target's arity");
+    if let Some(poison) = corrupt {
+        targets[e.target]
+            .corrupt_changed(&work, &pristine[e.target], &outs, poison)
+            .expect("work snapshot has the target's arity");
+    }
+    if groups_done == 0 {
+        first_start = gate;
+        last_end = gate;
+    }
+    streams.record(e.stream, last_end);
+    let measured = e.measured.then(|| meas_noise.perturb(busy));
+    LaunchOutcome::Done(LaunchRecord {
+        start: first_start,
+        end: last_end,
+        groups: groups_done,
+        busy,
+        measured,
+    })
 }
 
 #[cfg(test)]

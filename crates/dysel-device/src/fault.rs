@@ -308,10 +308,7 @@ fn parse_rule(s: &str) -> Result<FaultRule, FaultPlanParseError> {
         Some((name, window)) => {
             let (from, count) = match window.split_once('+') {
                 None => (window.parse().map_err(|_| err())?, u64::MAX),
-                Some((f, c)) => (
-                    f.parse().map_err(|_| err())?,
-                    c.parse().map_err(|_| err())?,
-                ),
+                Some((f, c)) => (f.parse().map_err(|_| err())?, c.parse().map_err(|_| err())?),
             };
             (name, from, count)
         }
@@ -338,7 +335,9 @@ fn parse_rule(s: &str) -> Result<FaultRule, FaultPlanParseError> {
     if !(0.0..=1.0).contains(&probability) {
         return Err(err());
     }
-    Ok(FaultRule::new(name, kind).window(from, count).with_probability(probability))
+    Ok(FaultRule::new(name, kind)
+        .window(from, count)
+        .with_probability(probability))
 }
 
 #[cfg(test)]
@@ -367,14 +366,22 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for bad in ["v", "=error", "v=explode", "v@x=error", "v=hang*x", "v=wrong?2"] {
+        for bad in [
+            "v",
+            "=error",
+            "v=explode",
+            "v@x=error",
+            "v=hang*x",
+            "v=wrong?2",
+        ] {
             assert!(bad.parse::<FaultPlan>().is_err(), "{bad:?} parsed");
         }
     }
 
     #[test]
     fn windows_select_launch_indexes() {
-        let mut plan = FaultPlan::new(0).with(FaultRule::new("v", FaultKind::LaunchError).window(1, 2));
+        let mut plan =
+            FaultPlan::new(0).with(FaultRule::new("v", FaultKind::LaunchError).window(1, 2));
         let hits: Vec<bool> = (0..5).map(|_| plan.decide("v").is_some()).collect();
         assert_eq!(hits, [false, true, true, false, false]);
         assert_eq!(plan.launches_of("v"), 5);

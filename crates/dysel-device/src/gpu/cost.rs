@@ -9,7 +9,13 @@ use super::GpuConfig;
 
 /// Number of `segment_bytes`-sized memory segments touched by a warp whose
 /// lane `l` accesses `base + l * stride` (`elem` bytes each).
-pub fn coalesced_segments(base: u64, stride: i64, lanes: u32, elem: u32, segment_bytes: u32) -> u32 {
+pub fn coalesced_segments(
+    base: u64,
+    stride: i64,
+    lanes: u32,
+    elem: u32,
+    segment_bytes: u32,
+) -> u32 {
     if lanes == 0 {
         return 0;
     }
@@ -137,8 +143,7 @@ impl TraceSink for GpuCostSink<'_> {
                     let _ = store;
                 }
                 Space::Texture => {
-                    let addrs =
-                        (0..*lanes).map(|l| (*base as i64 + i64::from(l) * stride) as u64);
+                    let addrs = (0..*lanes).map(|l| (*base as i64 + i64::from(l) * stride) as u64);
                     self.price_texture(addrs);
                 }
                 Space::Constant => {
@@ -196,10 +201,7 @@ impl TraceSink for GpuCostSink<'_> {
                 }
             },
             MemOp::Gather {
-                space,
-                addrs,
-                elem,
-                ..
+                space, addrs, elem, ..
             } => match space {
                 Space::Global => {
                     let segs = gather_segments(addrs, *elem, self.cfg.segment_bytes);
@@ -243,8 +245,7 @@ impl TraceSink for GpuCostSink<'_> {
                         self.mem_cycles += *count as f64 * self.cfg.smem_cycles;
                     }
                     Space::Texture => {
-                        let addrs =
-                            (0..*count).map(|i| (*base as i64 + i as i64 * stride) as u64);
+                        let addrs = (0..*count).map(|i| (*base as i64 + i as i64 * stride) as u64);
                         self.price_texture(addrs);
                     }
                     _ => {

@@ -14,7 +14,7 @@ use dysel_kernel::{Args, RecordedTrace, VariantMeta};
 
 use crate::cpu::{CacheConfig, SetAssocCache};
 use crate::device::{
-    BatchEntry, Device, DeviceKind, LaunchOutcome, LaunchSpec, StreamId, StreamTable,
+    BatchEntry, BudgetPolicy, Device, DeviceKind, LaunchOutcome, LaunchSpec, StreamId, StreamTable,
 };
 use crate::exec::{launch_batch_engine, Executor, PriceModel};
 use crate::fault::FaultPlan;
@@ -248,6 +248,7 @@ pub struct GpuDevice {
     exec_noise: NoiseModel,
     exec: Executor,
     fault: Option<FaultPlan>,
+    budget: Option<BudgetPolicy>,
 }
 
 impl GpuDevice {
@@ -264,6 +265,7 @@ impl GpuDevice {
             exec_noise: NoiseModel::new(cfg.exec_sigma, cfg.seed ^ 0x9E37_79B9),
             exec: Executor::new(cfg.threads),
             fault: None,
+            budget: None,
             cfg,
         }
     }
@@ -287,7 +289,9 @@ struct GpuPriceModel<'a> {
 
 impl PriceModel for GpuPriceModel<'_> {
     fn group_cost(&mut self, sm: usize, meta: &VariantMeta, trace: &RecordedTrace) -> Cycles {
-        let occ = self.cfg.occupancy(meta.group_size, meta.ir.scratchpad_bytes);
+        let occ = self
+            .cfg
+            .occupancy(meta.group_size, meta.ir.scratchpad_bytes);
         let lat_factor = self.cfg.latency_factor(occ);
         let mut sink = cost::GpuCostSink::new(self.cfg, &mut self.tex_caches[sm]);
         trace.replay(&mut sink);
@@ -331,6 +335,7 @@ impl Device for GpuDevice {
             stream: spec.stream,
             not_before: spec.not_before,
             measured: spec.measured,
+            budget: spec.budget,
         };
         self.launch_batch(&[entry], &mut [spec.args])
             .pop()
@@ -362,6 +367,7 @@ impl Device for GpuDevice {
             self.cfg.launch_overhead,
             &mut model,
             self.fault.as_mut(),
+            self.budget,
         )
     }
 
@@ -371,6 +377,14 @@ impl Device for GpuDevice {
 
     fn fault_plan(&self) -> Option<&FaultPlan> {
         self.fault.as_ref()
+    }
+
+    fn set_budget_policy(&mut self, policy: Option<BudgetPolicy>) {
+        self.budget = policy;
+    }
+
+    fn budget_policy(&self) -> Option<BudgetPolicy> {
+        self.budget
     }
 
     fn stream_end(&self, stream: StreamId) -> Cycles {
@@ -445,6 +459,7 @@ mod tests {
             stream: StreamId(0),
             not_before: Cycles::ZERO,
             measured: false,
+            budget: None,
         })
         .unwrap_done()
         .span()
@@ -482,6 +497,7 @@ mod tests {
             stream: StreamId(1),
             not_before: Cycles::ZERO,
             measured: false,
+            budget: None,
         });
         let r1 = r1.unwrap_done();
         let r2 = dev.launch(LaunchSpec {
@@ -492,6 +508,7 @@ mod tests {
             stream: StreamId(1),
             not_before: Cycles::ZERO,
             measured: false,
+            budget: None,
         });
         let r2 = r2.unwrap_done();
         // Same stream: second launch starts after the first ends.
@@ -522,6 +539,7 @@ mod tests {
             stream: StreamId(0),
             not_before: Cycles::ZERO,
             measured: true,
+            budget: None,
         });
         let rec = rec.unwrap_done();
         // Throughput-normalized measurement: the busy-time sum, which for

@@ -49,8 +49,8 @@ mod sched;
 pub use cpu::{CacheConfig, CacheHierarchy, CpuConfig, CpuDevice, SetAssocCache};
 pub use cycles::Cycles;
 pub use device::{
-    BatchEntry, Device, DeviceKind, LaunchFailure, LaunchOutcome, LaunchRecord, LaunchSpec,
-    StreamId,
+    BatchEntry, BudgetPolicy, Device, DeviceKind, LaunchFailure, LaunchOutcome, LaunchPreemption,
+    LaunchRecord, LaunchSpec, StreamId,
 };
 pub use exec::Executor;
 pub use fault::{

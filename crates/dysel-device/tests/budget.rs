@@ -1,0 +1,168 @@
+//! Device-level budget/preemption contract, independent of the runtime's
+//! degradation machinery:
+//!
+//! * a budgeted launch that would overrun is cooperatively preempted: it
+//!   stops executing work-groups, spends at most `budget` priced cycles,
+//!   leaves the target buffers untouched and advances no stream;
+//! * a budget generous enough to finish changes nothing — the outcome is
+//!   bit-identical to the unbudgeted launch;
+//! * preemption points are priced-cycle watermarks, so the preemption
+//!   itself is bit-identical at any worker-thread count.
+
+use dysel_device::{
+    CpuConfig, CpuDevice, Cycles, Device, FaultKind, FaultPlan, FaultRule, LaunchOutcome,
+    LaunchRecord, LaunchSpec, StreamId,
+};
+use dysel_kernel::{Args, Buffer, KernelIr, Space, UnitRange, Variant, VariantMeta};
+
+const N: u64 = 1024;
+
+/// `out[u] = 2*in[u] + 1` per unit — one written element per unit, so any
+/// rolled-back write is observable.
+fn writer(name: &str) -> Variant {
+    Variant::from_fn(
+        VariantMeta::new(name, KernelIr::regular(vec![0])),
+        |ctx, args| {
+            for u in ctx.units().iter() {
+                let x = args.f32(1).unwrap()[u as usize];
+                args.f32_mut(0).unwrap()[u as usize] = 2.0 * x + 1.0;
+                ctx.vector_compute(1, 8, 8, 1);
+            }
+        },
+    )
+}
+
+fn fresh_args() -> Args {
+    let mut a = Args::new();
+    a.push(Buffer::f32("out", vec![0.0; N as usize], Space::Global));
+    a.push(Buffer::f32(
+        "in",
+        (0..N).map(|i| i as f32).collect(),
+        Space::Global,
+    ));
+    a
+}
+
+fn device(threads: usize, plan: Option<FaultPlan>) -> CpuDevice {
+    let mut dev = CpuDevice::new(CpuConfig {
+        threads,
+        ..CpuConfig::noiseless()
+    });
+    dev.set_fault_plan(plan);
+    dev
+}
+
+fn launch(
+    dev: &mut CpuDevice,
+    v: &Variant,
+    args: &mut Args,
+    budget: Option<Cycles>,
+) -> LaunchOutcome {
+    dev.launch(LaunchSpec {
+        kernel: v.kernel.as_ref(),
+        meta: &v.meta,
+        units: UnitRange::new(0, N),
+        args,
+        stream: StreamId(0),
+        not_before: Cycles::ZERO,
+        measured: true,
+        budget,
+    })
+}
+
+/// The unbudgeted healthy reference: record plus output bits.
+fn healthy_run() -> (LaunchRecord, Vec<u32>) {
+    let mut dev = device(1, None);
+    let v = writer("w");
+    let mut a = fresh_args();
+    let rec = launch(&mut dev, &v, &mut a, None).unwrap_done();
+    let bits = a.f32(0).unwrap().iter().map(|y| y.to_bits()).collect();
+    (rec, bits)
+}
+
+#[test]
+fn budget_preempts_a_hung_launch_and_rolls_everything_back() {
+    let (healthy, _) = healthy_run();
+    assert!(healthy.groups > 1, "need multiple work-groups to preempt");
+    // A hang*64 launch under an 8x-healthy budget must stop early: each
+    // hung group costs 64x its healthy price, so the budget affords well
+    // under an eighth of the groups.
+    let budget = Cycles::from_f64(healthy.busy.as_f64() * 8.0);
+    let plan = FaultPlan::new(0).with(FaultRule::new("w", FaultKind::Hang(64)));
+    let mut dev = device(1, Some(plan));
+    let v = writer("w");
+    let mut a = fresh_args();
+    let p = launch(&mut dev, &v, &mut a, Some(budget))
+        .preempted()
+        .expect("hang*64 under an 8x budget must preempt");
+    // The watermark is strict: at most `budget` priced cycles were spent,
+    // and the launch stopped executing groups the moment it would overrun.
+    assert!(
+        p.cycles_spent <= budget,
+        "spent {} > budget {budget}",
+        p.cycles_spent
+    );
+    assert!(p.groups_done > 0, "the first groups fit under the budget");
+    assert!(
+        p.groups_done < healthy.groups,
+        "preemption must cut the launch short ({} groups)",
+        healthy.groups
+    );
+    // Rollback: no write reached the target, no stream advanced, and the
+    // fault ledger still records the (interrupted) hang injection.
+    assert!(a.f32(0).unwrap().iter().all(|y| *y == 0.0));
+    assert_eq!(dev.stream_end(StreamId(0)), Cycles::ZERO);
+    assert_eq!(
+        dev.fault_plan()
+            .unwrap()
+            .injected_count(FaultKind::Hang(64)),
+        1
+    );
+}
+
+#[test]
+fn zero_budget_preempts_before_the_first_group() {
+    let plan = FaultPlan::new(0).with(FaultRule::new("w", FaultKind::Hang(64)));
+    let mut dev = device(1, Some(plan));
+    let v = writer("w");
+    let mut a = fresh_args();
+    let p = launch(&mut dev, &v, &mut a, Some(Cycles::ZERO))
+        .preempted()
+        .expect("a zero budget affords no group at all");
+    assert_eq!(p.groups_done, 0);
+    assert_eq!(p.cycles_spent, Cycles::ZERO);
+    assert!(a.f32(0).unwrap().iter().all(|y| *y == 0.0));
+}
+
+#[test]
+fn generous_budget_is_bit_identical_to_unbudgeted() {
+    let (healthy, bits) = healthy_run();
+    let budget = Cycles::from_f64(healthy.busy.as_f64() * 1000.0);
+    let mut dev = device(1, None);
+    let v = writer("w");
+    let mut a = fresh_args();
+    let rec = launch(&mut dev, &v, &mut a, Some(budget)).unwrap_done();
+    assert_eq!(rec, healthy, "a budget that never fires must be invisible");
+    let budgeted: Vec<u32> = a.f32(0).unwrap().iter().map(|y| y.to_bits()).collect();
+    assert_eq!(budgeted, bits);
+    assert_eq!(dev.stream_end(StreamId(0)), rec.end);
+}
+
+#[test]
+fn preemption_is_bit_identical_across_worker_threads() {
+    let (healthy, _) = healthy_run();
+    let budget = Cycles::from_f64(healthy.busy.as_f64() * 8.0);
+    let run = |threads: usize| {
+        let plan = FaultPlan::new(0).with(FaultRule::new("w", FaultKind::Hang(64)));
+        let mut dev = device(threads, Some(plan));
+        let v = writer("w");
+        let mut a = fresh_args();
+        launch(&mut dev, &v, &mut a, Some(budget))
+            .preempted()
+            .expect("hang*64 under an 8x budget must preempt")
+    };
+    let baseline = run(1);
+    for threads in [2usize, 8] {
+        assert_eq!(run(threads), baseline, "{threads} threads diverged");
+    }
+}

@@ -47,7 +47,12 @@ fn device(plan: Option<FaultPlan>) -> CpuDevice {
     dev
 }
 
-fn launch(dev: &mut CpuDevice, v: &Variant, args: &mut Args, units: UnitRange) -> dysel_device::LaunchOutcome {
+fn launch(
+    dev: &mut CpuDevice,
+    v: &Variant,
+    args: &mut Args,
+    units: UnitRange,
+) -> dysel_device::LaunchOutcome {
     dev.launch(LaunchSpec {
         kernel: v.kernel.as_ref(),
         meta: &v.meta,
@@ -56,6 +61,7 @@ fn launch(dev: &mut CpuDevice, v: &Variant, args: &mut Args, units: UnitRange) -
         stream: StreamId(0),
         not_before: Cycles::ZERO,
         measured: true,
+        budget: None,
     })
 }
 
@@ -80,7 +86,9 @@ fn no_plan_injects_nothing() {
     dev.set_fault_plan(Some(FaultPlan::new(0)));
     let v = writer("w");
     let mut a = fresh_args();
-    assert!(launch(&mut dev, &v, &mut a, UnitRange::new(0, N)).done().is_some());
+    assert!(launch(&mut dev, &v, &mut a, UnitRange::new(0, N))
+        .done()
+        .is_some());
     assert_eq!(dev.fault_plan().unwrap().total_injected(), 0);
 }
 
@@ -94,7 +102,7 @@ fn launch_error_executes_nothing_and_advances_no_stream() {
     assert!(out.is_failed());
     let failure = match out {
         dysel_device::LaunchOutcome::Failed(f) => f,
-        dysel_device::LaunchOutcome::Done(_) => unreachable!(),
+        _ => unreachable!(),
     };
     assert!(failure.transient);
     // The host observes the failure after paying the launch overhead.
@@ -181,6 +189,7 @@ fn windowed_rule_hits_only_its_launch_indexes_in_a_batch() {
             stream: StreamId(i as u32),
             not_before: Cycles::ZERO,
             measured: false,
+            budget: None,
         })
         .collect();
     let outcomes = dev.launch_batch(&entries, &mut [&mut a]);

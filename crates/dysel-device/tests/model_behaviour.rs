@@ -1,9 +1,7 @@
 //! Behavioural tests of the device models: the memory-system effects the
 //! paper's case studies rely on, checked in isolation.
 
-use dysel_device::{
-    Cycles, Device, GpuConfig, GpuDevice, LaunchSpec, StreamId,
-};
+use dysel_device::{Cycles, Device, GpuConfig, GpuDevice, LaunchSpec, StreamId};
 use dysel_kernel::{Args, Buffer, KernelIr, Space, UnitRange, Variant, VariantMeta};
 
 fn gpu() -> GpuDevice {
@@ -20,6 +18,7 @@ fn one_launch(dev: &mut GpuDevice, v: &Variant, units: u64, args: &mut Args) -> 
         stream: StreamId(0),
         not_before: Cycles::ZERO,
         measured: false,
+        budget: None,
     })
     .unwrap_done()
     .busy
@@ -191,6 +190,7 @@ fn stream_pipelining_overlaps_launch_overhead() {
         stream: StreamId(0),
         not_before: Cycles::ZERO,
         measured: false,
+        budget: None,
     });
     let r1 = r1.unwrap_done();
     let r2 = dev.launch(LaunchSpec {
@@ -201,6 +201,7 @@ fn stream_pipelining_overlaps_launch_overhead() {
         stream: StreamId(0),
         not_before: Cycles::ZERO,
         measured: false,
+        budget: None,
     });
     let r2 = r2.unwrap_done();
     assert!(r2.start <= r1.end + dev.launch_overhead());
@@ -223,6 +224,7 @@ fn measured_busy_is_schedule_independent() {
             stream: StreamId(1),
             not_before: Cycles::ZERO,
             measured: true,
+            budget: None,
         })
         .unwrap_done()
         .measured
@@ -238,6 +240,7 @@ fn measured_busy_is_schedule_independent() {
         stream: StreamId(2),
         not_before: Cycles::ZERO,
         measured: false,
+        budget: None,
     });
     let contended = dev
         .launch(LaunchSpec {
@@ -248,6 +251,7 @@ fn measured_busy_is_schedule_independent() {
             stream: StreamId(1),
             not_before: Cycles::ZERO,
             measured: true,
+            budget: None,
         })
         .unwrap_done()
         .measured

@@ -450,10 +450,12 @@ impl Buffer {
             actual: self.elem_type(),
         };
         match (self.data(), other.data()) {
-            (BufferData::F32(a), BufferData::F32(b)) => Ok(a.len() != b.len()
-                || a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits())),
-            (BufferData::F64(a), BufferData::F64(b)) => Ok(a.len() != b.len()
-                || a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits())),
+            (BufferData::F32(a), BufferData::F32(b)) => {
+                Ok(a.len() != b.len() || a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits()))
+            }
+            (BufferData::F64(a), BufferData::F64(b)) => {
+                Ok(a.len() != b.len() || a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits()))
+            }
             (BufferData::U32(a), BufferData::U32(b)) => Ok(a != b),
             (BufferData::I32(a), BufferData::I32(b)) => Ok(a != b),
             _ => Err(mismatch(0)),
@@ -1020,7 +1022,10 @@ mod tests {
         sb.refresh_from(&a).unwrap();
         assert_eq!(sb.buffer(0).unwrap().addr(), sandbox_addr);
         assert_eq!(sb.f32(0).unwrap(), a.f32(0).unwrap());
-        assert!(sb.buffer(1).unwrap().shares_payload_with(a.buffer(1).unwrap()));
+        assert!(sb
+            .buffer(1)
+            .unwrap()
+            .shares_payload_with(a.buffer(1).unwrap()));
     }
 
     #[test]

@@ -74,7 +74,9 @@ pub use error::KernelError;
 pub use ir::{AccessIr, AccessPattern, KernelIr, LoopBound, LoopIr, LoopKind};
 pub use kernel::{Kernel, Variant, VariantId, VariantMeta};
 pub use profile::{Orchestration, ProfilingMode};
-pub use range::UnitRange;
+pub use range::{span_bounds, UnitRange};
 pub use rng::XorShiftRng;
 pub use space::Space;
-pub use trace::{CountingSink, MemOp, NullSink, RecordedTrace, RecordingSink, TraceEvent, TraceSink};
+pub use trace::{
+    CountingSink, MemOp, NullSink, RecordedTrace, RecordingSink, TraceEvent, TraceSink,
+};

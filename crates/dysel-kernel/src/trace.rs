@@ -125,7 +125,10 @@ impl MemOp {
         match self {
             MemOp::Warp { lanes, elem, .. } => u64::from(*lanes) * u64::from(*elem),
             MemOp::WarpSeq {
-                lanes, elem, repeat, ..
+                lanes,
+                elem,
+                repeat,
+                ..
             } => u64::from(*lanes) * u64::from(*elem) * u64::from(*repeat),
             MemOp::Gather { addrs, elem, .. } => addrs.len() as u64 * u64::from(*elem),
             MemOp::Stream { count, elem, .. } => count * u64::from(*elem),
@@ -247,9 +250,12 @@ impl TraceSink for RecordingSink {
     }
 
     fn vector_compute(&mut self, iters: u64, width: u32, active: u32, ops_per_iter: u64) {
-        self.trace
-            .events
-            .push(TraceEvent::VectorCompute(iters, width, active, ops_per_iter));
+        self.trace.events.push(TraceEvent::VectorCompute(
+            iters,
+            width,
+            active,
+            ops_per_iter,
+        ));
     }
 
     fn barrier(&mut self) {

@@ -220,5 +220,8 @@ fn ctx_translation_is_linear() {
     let mut probe = Probe(Vec::new());
     let mut ctx = GroupCtx::new(0, UnitRange::new(0, 1), 32, &a, &[], &mut probe);
     ctx.gather(0, &[0, 1, 2, 50, 127]);
-    assert_eq!(probe.0, vec![base, base + 4, base + 8, base + 200, base + 508]);
+    assert_eq!(
+        probe.0,
+        vec![base, base + 4, base + 8, base + 200, base + 508]
+    );
 }

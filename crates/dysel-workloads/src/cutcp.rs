@@ -347,17 +347,19 @@ fn schedule_ir(shape: Shape, sched: &[Lp; 5]) -> KernelIr {
         .iter()
         .map(|&l| if l == Lp::A { 4 } else { 0 })
         .collect();
-    KernelIr::regular(vec![arg::OUT]).with_loops(loops).with_accesses(vec![
-        AccessIr::affine_load(arg::ATOMS, atom_coeffs),
-        AccessIr {
-            arg: arg::OUT,
-            space: Space::Global,
-            pattern: dysel_kernel::AccessPattern::Affine(out_coeffs),
-            store: true,
-            lane_uniform: false,
-            reuse_window_bytes: None,
-        },
-    ])
+    KernelIr::regular(vec![arg::OUT])
+        .with_loops(loops)
+        .with_accesses(vec![
+            AccessIr::affine_load(arg::ATOMS, atom_coeffs),
+            AccessIr {
+                arg: arg::OUT,
+                space: Space::Global,
+                pattern: dysel_kernel::AccessPattern::Affine(out_coeffs),
+                store: true,
+                lane_uniform: false,
+                reuse_window_bytes: None,
+            },
+        ])
 }
 
 /// One CPU schedule variant.
@@ -407,7 +409,10 @@ pub fn cpu_mixed_variants(shape: Shape) -> Vec<Variant> {
         .iter()
         .position(|s| s[4] == Lp::Z && s[0] == Lp::B)
         .expect("b..z schedule exists");
-    vec![cpu_variant(shape, scheds[a_inner]), cpu_variant(shape, scheds[z_inner])]
+    vec![
+        cpu_variant(shape, scheds[a_inner]),
+        cpu_variant(shape, scheds[z_inner]),
+    ]
 }
 
 /// GPU variants (Case III): base, and a coarsened version staging bin
@@ -463,7 +468,12 @@ pub fn gpu_variants(shape: Shape) -> Vec<Variant> {
                     if len == 0 {
                         continue;
                     }
-                    ctx.warp_load(arg::ATOMS, u64::from(bin_start[cell]) * 4, 1, (len * 4).min(32) as u32);
+                    ctx.warp_load(
+                        arg::ATOMS,
+                        u64::from(bin_start[cell]) * 4,
+                        1,
+                        (len * 4).min(32) as u32,
+                    );
                     ctx.scratchpad(32, 1, true);
                     ctx.barrier();
                     for a in 0..len {
@@ -530,7 +540,12 @@ fn reference(shape: Shape, atoms: &[f32]) -> Vec<f32> {
     let n = shape.n;
     let mut out = vec![0.0f32; n * n * n];
     for a in 0..atoms.len() / 4 {
-        let (ax, ay, az, q) = (atoms[4 * a], atoms[4 * a + 1], atoms[4 * a + 2], atoms[4 * a + 3]);
+        let (ax, ay, az, q) = (
+            atoms[4 * a],
+            atoms[4 * a + 1],
+            atoms[4 * a + 2],
+            atoms[4 * a + 3],
+        );
         let (x0, x1) = (
             ((ax - CUTOFF).floor().max(0.0)) as usize,
             ((ax + CUTOFF).ceil().min(n as f32 - 1.0)) as usize,
@@ -566,7 +581,10 @@ pub fn mixed_workload(shape: Shape, seed: u64) -> Workload {
 }
 
 fn workload_with(shape: Shape, seed: u64, cpu: Vec<Variant>) -> Workload {
-    assert!(shape.n.is_multiple_of(BRICK), "lattice edge must be a multiple of 4");
+    assert!(
+        shape.n.is_multiple_of(BRICK),
+        "lattice edge must be a multiple of 4"
+    );
     let verify: crate::VerifyFn = Arc::new(move |args: &Args| {
         let atoms = args.f32(arg::ATOMS).map_err(|e| e.to_string())?;
         let want = reference(shape, atoms);

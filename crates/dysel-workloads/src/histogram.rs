@@ -18,8 +18,7 @@
 use std::sync::Arc;
 
 use dysel_kernel::{
-    AccessIr, Args, Buffer, KernelIr, LoopBound, LoopIr, LoopKind, Space, Variant,
-    VariantMeta,
+    AccessIr, Args, Buffer, KernelIr, LoopBound, LoopIr, LoopKind, Space, Variant, VariantMeta,
 };
 
 use crate::{check_close, Workload};
@@ -122,8 +121,8 @@ pub fn atomic_variant(n: usize) -> Variant {
 
 /// The privatized kernel: per-group scratchpad histogram, merged once.
 pub fn privatized_variant(n: usize) -> Variant {
-    let meta = VariantMeta::new("privatized", ir().with_scratchpad(BINS as u32 * 4))
-        .with_group_size(256);
+    let meta =
+        VariantMeta::new("privatized", ir().with_scratchpad(BINS as u32 * 4)).with_group_size(256);
     Variant::from_fn(meta, move |ctx, args| {
         for u in ctx.units().iter() {
             accumulate(args, u, n);

@@ -39,10 +39,7 @@ impl JdsMatrix {
         let mut vals = Vec::with_capacity(m.nnz());
         dia_ptr.push(0u32);
         for d in 0..max_len {
-            let alive = order
-                .iter()
-                .take_while(|&&r| m.row_len(r) > d)
-                .count();
+            let alive = order.iter().take_while(|&&r| m.row_len(r) > d).count();
             dia_rows.push(alive as u32);
             for &r in order.iter().take(alive) {
                 let j = m.row_ptr[r] as usize + d;
@@ -74,7 +71,10 @@ impl JdsMatrix {
 
     /// Length of *sorted* row `i`.
     pub fn sorted_row_len(&self, i: usize) -> usize {
-        self.dia_rows.iter().take_while(|&&a| a as usize > i).count()
+        self.dia_rows
+            .iter()
+            .take_while(|&&a| a as usize > i)
+            .count()
     }
 
     /// Reference `y = A * x`, producing `y` in *original* row order.

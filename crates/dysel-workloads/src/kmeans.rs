@@ -76,11 +76,7 @@ fn compute_block(args: &mut Args, shape: Shape, unit: u64) {
             let mut best = (f32::MAX, 0i32);
             for c in 0..shape.k {
                 let crow = &ctr[c * shape.d..(c + 1) * shape.d];
-                let dist: f32 = row
-                    .iter()
-                    .zip(crow)
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let dist: f32 = row.iter().zip(crow).map(|(a, b)| (a - b) * (a - b)).sum();
                 if dist < best.0 {
                     best = (dist, c as i32);
                 }
@@ -229,7 +225,11 @@ pub fn build_args(shape: Shape, seed: u64) -> Args {
         }
     }
     let mut args = Args::new();
-    args.push(Buffer::i32("assign", vec![-1; shape.n], dysel_kernel::Space::Global));
+    args.push(Buffer::i32(
+        "assign",
+        vec![-1; shape.n],
+        dysel_kernel::Space::Global,
+    ));
     args.push(Buffer::f32("points", pts, dysel_kernel::Space::Global));
     args.push(Buffer::f32("centers", centers, dysel_kernel::Space::Global));
     args
@@ -287,7 +287,11 @@ mod tests {
     use dysel_kernel::GroupCtx;
 
     fn shape() -> Shape {
-        Shape { n: 512, d: 16, k: 5 }
+        Shape {
+            n: 512,
+            d: 16,
+            k: 5,
+        }
     }
 
     #[test]

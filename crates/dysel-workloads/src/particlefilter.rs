@@ -12,8 +12,7 @@
 use std::sync::Arc;
 
 use dysel_kernel::{
-    AccessIr, Args, Buffer, KernelIr, LoopBound, LoopIr, LoopKind, Space, Variant,
-    VariantMeta,
+    AccessIr, Args, Buffer, KernelIr, LoopBound, LoopIr, LoopKind, Space, Variant, VariantMeta,
 };
 
 use crate::{check_close, Workload};
@@ -149,7 +148,9 @@ pub fn cpu_variants(shape: Shape) -> Vec<Variant> {
 pub fn build_args(shape: Shape, seed: u64) -> Args {
     use dysel_kernel::XorShiftRng;
     let mut rng = XorShiftRng::seed_from_u64(seed);
-    let image: Vec<f32> = (0..shape.frame).map(|_| rng.gen_range_f32(0.0, 1.0)).collect();
+    let image: Vec<f32> = (0..shape.frame)
+        .map(|_| rng.gen_range_f32(0.0, 1.0))
+        .collect();
     let pos: Vec<u32> = (0..shape.particles)
         .map(|_| rng.gen_range_u32(0, shape.frame as u32))
         .collect();

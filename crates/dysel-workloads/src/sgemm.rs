@@ -76,7 +76,10 @@ impl Schedule {
 
 fn tile_coords(n: usize, unit: u64) -> (usize, usize) {
     let tiles = n / TILE;
-    ((unit as usize / tiles) * TILE, (unit as usize % tiles) * TILE)
+    (
+        (unit as usize / tiles) * TILE,
+        (unit as usize % tiles) * TILE,
+    )
 }
 
 /// Computes one `C` tile functionally (schedule-independent result).
@@ -229,18 +232,20 @@ fn schedule_ir(n: usize, s: Schedule) -> KernelIr {
         cb.push(b);
         cc.push(c);
     }
-    KernelIr::regular(vec![arg::C]).with_loops(loops).with_accesses(vec![
-        AccessIr::affine_load(arg::A, ca),
-        AccessIr::affine_load(arg::B, cb),
-        AccessIr {
-            arg: arg::C,
-            space: Space::Global,
-            pattern: AccessPattern::Affine(cc),
-            store: true,
-            lane_uniform: false,
-            reuse_window_bytes: None,
-        },
-    ])
+    KernelIr::regular(vec![arg::C])
+        .with_loops(loops)
+        .with_accesses(vec![
+            AccessIr::affine_load(arg::A, ca),
+            AccessIr::affine_load(arg::B, cb),
+            AccessIr {
+                arg: arg::C,
+                space: Space::Global,
+                pattern: AccessPattern::Affine(cc),
+                store: true,
+                lane_uniform: false,
+                reuse_window_bytes: None,
+            },
+        ])
 }
 
 /// The six CPU schedule variants (Case I).
@@ -352,8 +357,18 @@ pub fn gpu_variants(n: usize) -> Vec<Variant> {
                 for kt in 0..(n64 / TILE as u64) {
                     // Stage A and B tiles into scratchpad, coalesced.
                     for r in 0..TILE as u64 {
-                        ctx.warp_load(arg::A, (ti as u64 + r) * n64 + kt * TILE as u64, 1, TILE as u32);
-                        ctx.warp_load(arg::B, (kt * TILE as u64 + r) * n64 + tj as u64, 1, TILE as u32);
+                        ctx.warp_load(
+                            arg::A,
+                            (ti as u64 + r) * n64 + kt * TILE as u64,
+                            1,
+                            TILE as u32,
+                        );
+                        ctx.warp_load(
+                            arg::B,
+                            (kt * TILE as u64 + r) * n64 + tj as u64,
+                            1,
+                            TILE as u32,
+                        );
                         ctx.scratchpad(TILE as u32 * 2, 1, true);
                     }
                     ctx.barrier();
@@ -402,8 +417,18 @@ pub fn cpu_mixed_variants(n: usize) -> Vec<Variant> {
                     for r in 0..TILE as u64 {
                         // Stage tiles into "local" buffers: on a CPU these
                         // are just extra copies through the same caches.
-                        ctx.warp_load(arg::A, (ti as u64 + r) * n64 + kt * TILE as u64, 1, TILE as u32);
-                        ctx.warp_load(arg::B, (kt * TILE as u64 + r) * n64 + tj as u64, 1, TILE as u32);
+                        ctx.warp_load(
+                            arg::A,
+                            (ti as u64 + r) * n64 + kt * TILE as u64,
+                            1,
+                            TILE as u32,
+                        );
+                        ctx.warp_load(
+                            arg::B,
+                            (kt * TILE as u64 + r) * n64 + tj as u64,
+                            1,
+                            TILE as u32,
+                        );
                         ctx.scratchpad(TILE as u32 * 2, 1, true);
                     }
                     ctx.barrier();
@@ -443,7 +468,12 @@ fn verify_fn(n: usize) -> crate::VerifyFn {
         let a = args.f32(arg::A).map_err(|e| e.to_string())?;
         let b = args.f32(arg::B).map_err(|e| e.to_string())?;
         let want = gemm_ref(n, n, n, a, b);
-        check_close("C", args.f32(arg::C).map_err(|e| e.to_string())?, &want, 2e-3)
+        check_close(
+            "C",
+            args.f32(arg::C).map_err(|e| e.to_string())?,
+            &want,
+            2e-3,
+        )
     })
 }
 
@@ -497,7 +527,8 @@ mod tests {
             let units = w.total_units;
             let mut ctx = GroupCtx::for_test(0, 0, units, &args);
             v.kernel.run_group(&mut ctx, &mut args);
-            w.verify(&args).unwrap_or_else(|e| panic!("{}: {e}", v.name()));
+            w.verify(&args)
+                .unwrap_or_else(|e| panic!("{}: {e}", v.name()));
         }
     }
 
@@ -509,7 +540,8 @@ mod tests {
             let mut args = w.fresh_args();
             let mut ctx = GroupCtx::for_test(0, 0, w.total_units, &args);
             v.kernel.run_group(&mut ctx, &mut args);
-            w.verify(&args).unwrap_or_else(|e| panic!("{}: {e}", v.name()));
+            w.verify(&args)
+                .unwrap_or_else(|e| panic!("{}: {e}", v.name()));
         }
     }
 

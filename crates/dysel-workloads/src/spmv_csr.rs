@@ -129,7 +129,11 @@ fn bfo_ir() -> KernelIr {
 /// vector kernel, reduces partial sums through local memory — a pure copy
 /// cost once lowered to the CPU (§4.4).
 pub fn cpu_variant(rows: usize, schedule: CpuSchedule, vector_width: u32) -> Variant {
-    let flavor = if vector_width <= 1 { "scalar" } else { "vector" };
+    let flavor = if vector_width <= 1 {
+        "scalar"
+    } else {
+        "vector"
+    };
     let name = format!("{flavor}-{}", schedule.name());
     let ir = match schedule {
         CpuSchedule::Dfo => dfo_ir(),
@@ -188,10 +192,7 @@ pub fn cpu_variant(rows: usize, schedule: CpuSchedule, vector_width: u32) -> Var
                     }
                 }
                 CpuSchedule::Bfo => {
-                    let max_len = (0..hi - lo)
-                        .map(|r| ptr[r + 1] - ptr[r])
-                        .max()
-                        .unwrap_or(0);
+                    let max_len = (0..hi - lo).map(|r| ptr[r + 1] - ptr[r]).max().unwrap_or(0);
                     for k in 0..max_len {
                         // The breadth-first order keeps one running sum per
                         // row alive: too many for registers, so partials
@@ -366,7 +367,11 @@ pub fn gpu_placement_variants(rows: usize) -> Vec<Variant> {
         // PORPLE policy computed with Kepler parameters: suboptimal.
         gpu_scalar(rows, place(Space::Global, Space::Texture), "porple-kepler"),
         // PORPLE policy computed with Maxwell parameters.
-        gpu_scalar(rows, place(Space::Texture, Space::Texture), "porple-maxwell"),
+        gpu_scalar(
+            rows,
+            place(Space::Texture, Space::Texture),
+            "porple-maxwell",
+        ),
         // Rule-based heuristic: "read-only, reused => constant memory".
         gpu_scalar(rows, place(Space::Constant, Space::Global), "heuristic"),
     ]
@@ -390,7 +395,12 @@ fn verify_fn(m: CsrMatrix) -> crate::VerifyFn {
     Arc::new(move |args: &Args| {
         let x = args.f32(arg::X).map_err(|e| e.to_string())?;
         let want = m.spmv_ref(x);
-        check_close("y", args.f32(arg::Y).map_err(|e| e.to_string())?, &want, 1e-3)
+        check_close(
+            "y",
+            args.f32(arg::Y).map_err(|e| e.to_string())?,
+            &want,
+            1e-3,
+        )
     })
 }
 

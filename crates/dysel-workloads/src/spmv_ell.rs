@@ -12,8 +12,7 @@
 use std::sync::Arc;
 
 use dysel_kernel::{
-    AccessIr, Args, Buffer, KernelIr, LoopBound, LoopIr, LoopKind, Space, Variant,
-    VariantMeta,
+    AccessIr, Args, Buffer, KernelIr, LoopBound, LoopIr, LoopKind, Space, Variant, VariantMeta,
 };
 
 use crate::{check_close, spmv_csr, CsrMatrix, Workload};
@@ -172,7 +171,12 @@ pub fn workload(name: &str, m: &CsrMatrix, seed: u64) -> Workload {
     let verify: crate::VerifyFn = Arc::new(move |args: &Args| {
         let x = args.f32(arg::X).map_err(|e| e.to_string())?;
         let want = mref.spmv_ref(x);
-        check_close("y", args.f32(arg::Y).map_err(|e| e.to_string())?, &want, 1e-3)
+        check_close(
+            "y",
+            args.f32(arg::Y).map_err(|e| e.to_string())?,
+            &want,
+            1e-3,
+        )
     });
     Workload::new(
         name,
@@ -188,8 +192,8 @@ pub fn workload(name: &str, m: &CsrMatrix, seed: u64) -> Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dysel_kernel::GroupCtx;
     use crate::Target;
+    use dysel_kernel::GroupCtx;
 
     #[test]
     fn ell_conversion_is_exact() {

@@ -11,8 +11,7 @@
 use std::sync::Arc;
 
 use dysel_kernel::{
-    AccessIr, Args, Buffer, KernelIr, LoopBound, LoopIr, LoopKind, Space, Variant,
-    VariantMeta,
+    AccessIr, Args, Buffer, KernelIr, LoopBound, LoopIr, LoopKind, Space, Variant, VariantMeta,
 };
 
 use crate::{check_close, JdsMatrix, Workload};
@@ -148,7 +147,12 @@ pub fn gpu_variant(jds_rows: usize, unroll_prefetch: bool, texture: bool) -> Var
                     }
                     if alive_hi > lo {
                         // Values along a diagonal are contiguous: coalesced.
-                        ctx.warp_load(arg::VALS, dia_ptr[d + dd] + lo as u64, 1, (alive_hi - lo) as u32);
+                        ctx.warp_load(
+                            arg::VALS,
+                            dia_ptr[d + dd] + lo as u64,
+                            1,
+                            (alive_hi - lo) as u32,
+                        );
                     }
                 }
                 if n > 0 {
@@ -336,12 +340,7 @@ pub fn build_args(m: &JdsMatrix, seed: u64) -> Args {
 
 /// Assembles the spmv-jds workload with the Case I/III variant sets.
 pub fn workload(m: &JdsMatrix, seed: u64) -> Workload {
-    workload_with(
-        m,
-        seed,
-        cpu_variants(m.rows),
-        gpu_variants(m.rows),
-    )
+    workload_with(m, seed, cpu_variants(m.rows), gpu_variants(m.rows))
 }
 
 /// Fig. 1 workload (CPU vector widths).
@@ -349,17 +348,17 @@ pub fn vector_workload(m: &JdsMatrix, seed: u64) -> Workload {
     workload_with(m, seed, cpu_vector_variants(m.rows), gpu_variants(m.rows))
 }
 
-fn workload_with(
-    m: &JdsMatrix,
-    seed: u64,
-    cpu: Vec<Variant>,
-    gpu: Vec<Variant>,
-) -> Workload {
+fn workload_with(m: &JdsMatrix, seed: u64, cpu: Vec<Variant>, gpu: Vec<Variant>) -> Workload {
     let mref = m.clone();
     let verify: crate::VerifyFn = Arc::new(move |args: &Args| {
         let x = args.f32(arg::X).map_err(|e| e.to_string())?;
         let want = mref.spmv_ref(x);
-        check_close("y", args.f32(arg::Y).map_err(|e| e.to_string())?, &want, 1e-3)
+        check_close(
+            "y",
+            args.f32(arg::Y).map_err(|e| e.to_string())?,
+            &want,
+            1e-3,
+        )
     });
     Workload::new(
         "spmv-jds",

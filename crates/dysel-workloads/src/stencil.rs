@@ -72,7 +72,8 @@ fn compute_unit(args: &mut Args, n: usize, unit: u64) {
     }
     let out = args.f32_mut(arg::OUT).expect("out");
     for dy in 0..YB {
-        out[at(n, 0, y0 + dy, z)..at(n, 0, y0 + dy, z) + n].copy_from_slice(&rows[dy * n..(dy + 1) * n]);
+        out[at(n, 0, y0 + dy, z)..at(n, 0, y0 + dy, z) + n]
+            .copy_from_slice(&rows[dy * n..(dy + 1) * n]);
     }
 }
 
@@ -374,7 +375,9 @@ pub fn gpu_variants(n: usize) -> Vec<Variant> {
 pub fn build_args(n: usize, seed: u64) -> Args {
     use dysel_kernel::XorShiftRng;
     let mut rng = XorShiftRng::seed_from_u64(seed);
-    let grid: Vec<f32> = (0..n * n * n).map(|_| rng.gen_range_f32(0.0, 1.0)).collect();
+    let grid: Vec<f32> = (0..n * n * n)
+        .map(|_| rng.gen_range_f32(0.0, 1.0))
+        .collect();
     let mut args = Args::new();
     args.push(Buffer::f32("out", vec![0.0; n * n * n], Space::Global));
     args.push(Buffer::f32("in", grid, Space::Global));
@@ -386,17 +389,18 @@ fn reference(n: usize, g: &[f32]) -> Vec<f32> {
     for z in 0..n {
         for y in 0..n {
             for x in 0..n {
-                out[at(n, x, y, z)] = if x == 0 || x == n - 1 || y == 0 || y == n - 1 || z == 0 || z == n - 1 {
-                    g[at(n, x, y, z)]
-                } else {
-                    C0 * g[at(n, x, y, z)]
-                        + C1 * (g[at(n, x - 1, y, z)]
-                            + g[at(n, x + 1, y, z)]
-                            + g[at(n, x, y - 1, z)]
-                            + g[at(n, x, y + 1, z)]
-                            + g[at(n, x, y, z - 1)]
-                            + g[at(n, x, y, z + 1)])
-                };
+                out[at(n, x, y, z)] =
+                    if x == 0 || x == n - 1 || y == 0 || y == n - 1 || z == 0 || z == n - 1 {
+                        g[at(n, x, y, z)]
+                    } else {
+                        C0 * g[at(n, x, y, z)]
+                            + C1 * (g[at(n, x - 1, y, z)]
+                                + g[at(n, x + 1, y, z)]
+                                + g[at(n, x, y - 1, z)]
+                                + g[at(n, x, y + 1, z)]
+                                + g[at(n, x, y, z - 1)]
+                                + g[at(n, x, y, z + 1)])
+                    };
             }
         }
     }

@@ -151,14 +151,7 @@ mod tests {
     fn fresh_args_are_isolated() {
         let mut args = Args::new();
         args.push(Buffer::f32("out", vec![0.0; 4], Space::Global));
-        let w = Workload::new(
-            "w",
-            args,
-            4,
-            vec![],
-            vec![],
-            Arc::new(|_| Ok(())),
-        );
+        let w = Workload::new("w", args, 4, vec![], vec![], Arc::new(|_| Ok(())));
         let mut a1 = w.fresh_args();
         a1.f32_mut(0).unwrap()[0] = 5.0;
         let a2 = w.fresh_args();

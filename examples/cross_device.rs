@@ -16,7 +16,12 @@ fn deploy(workload: &Workload, target: Target, device: Box<dyn Device>, label: &
     rt.add_kernels(&workload.signature, workload.variants(target).to_vec());
     let mut args = workload.fresh_args();
     let report = rt
-        .launch(&workload.signature, &mut args, workload.total_units, &LaunchOptions::new())
+        .launch(
+            &workload.signature,
+            &mut args,
+            workload.total_units,
+            &LaunchOptions::new(),
+        )
         .expect("launch");
     workload
         .verify(&args)
@@ -30,7 +35,12 @@ fn deploy(workload: &Workload, target: Target, device: Box<dyn Device>, label: &
 fn main() {
     println!("stencil (3D Jacobi, 96^3), candidates: 6 CPU schedules / 3 GPU flavours");
     let w = stencil::workload(96, 42);
-    deploy(&w, Target::Cpu, Box::new(CpuDevice::new(CpuConfig::default())), "cpu/4-core");
+    deploy(
+        &w,
+        Target::Cpu,
+        Box::new(CpuDevice::new(CpuConfig::default())),
+        "cpu/4-core",
+    );
     deploy(
         &w,
         Target::Gpu,
@@ -46,7 +56,12 @@ fn main() {
 
     println!("\nsgemm (256^2), candidates: naive base vs scratchpad-tiled");
     let w = sgemm::mixed_workload(256, 42);
-    deploy(&w, Target::Cpu, Box::new(CpuDevice::new(CpuConfig::default())), "cpu/4-core");
+    deploy(
+        &w,
+        Target::Cpu,
+        Box::new(CpuDevice::new(CpuConfig::default())),
+        "cpu/4-core",
+    );
     deploy(
         &w,
         Target::Gpu,

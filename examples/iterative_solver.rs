@@ -62,9 +62,7 @@ fn power_iteration(matrix: &CsrMatrix, label: &str) {
             *xi = yi / norm;
         }
     }
-    println!(
-        "{label}: {ITERS} iterations in {total}, |lambda_max| ~= {eigen_estimate:.3}\n"
-    );
+    println!("{label}: {ITERS} iterations in {total}, |lambda_max| ~= {eigen_estimate:.3}\n");
 }
 
 fn main() {

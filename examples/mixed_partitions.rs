@@ -28,7 +28,13 @@ fn main() {
         vals.push(1.0);
         row_ptr.push(col_idx.len() as u32);
     }
-    let matrix = CsrMatrix { rows, cols: rows, row_ptr, col_idx, vals };
+    let matrix = CsrMatrix {
+        rows,
+        cols: rows,
+        row_ptr,
+        col_idx,
+        vals,
+    };
     let workload = spmv_csr::case4_workload("spmv", &matrix, 42);
 
     // Every pure variant over the whole workload (the paper's oracle/worst).
@@ -46,7 +52,13 @@ fn main() {
     rt.add_kernels(&workload.signature, workload.variants(Target::Gpu).to_vec());
     let mut args = workload.fresh_args();
     let mixed = rt
-        .launch_mixed_at(&workload.signature, &mut args, workload.total_units, &[cut], &LaunchOptions::new())
+        .launch_mixed_at(
+            &workload.signature,
+            &mut args,
+            workload.total_units,
+            &[cut],
+            &LaunchOptions::new(),
+        )
         .expect("mixed launch");
     workload.verify(&args).expect("outputs stay exact");
 

@@ -25,6 +25,9 @@ done
 echo "==> offline release build"
 cargo build --release --workspace
 
+echo "==> rustfmt check"
+cargo fmt --all --check
+
 echo "==> clippy, warnings as errors (all targets: lib, tests, examples)"
 cargo clippy --all-targets -- -D warnings
 
@@ -51,6 +54,26 @@ cargo build --release -p dysel-bench --bin experiments -q
 grep -q "fig11a" /tmp/dysel-verify-t1.txt  # guard against an empty run
 diff /tmp/dysel-verify-t1.txt /tmp/dysel-verify-t4.txt
 echo "    identical"
+
+echo "==> warm restart: second --state-file run must skip all profiling"
+state=/tmp/dysel-verify-state.bin
+rm -f "$state"
+"$bin" --state-file "$state" fig11b | grep "^run summary" > /tmp/dysel-verify-cold.txt
+test -s "$state"  # the cold run must have written the state file
+"$bin" --state-file "$state" fig11b | grep "^run summary" > /tmp/dysel-verify-warm.txt
+grep -q " profiled=0 " /tmp/dysel-verify-warm.txt
+cold_sel=$(grep -o "selections=[0-9a-f]*" /tmp/dysel-verify-cold.txt)
+warm_sel=$(grep -o "selections=[0-9a-f]*" /tmp/dysel-verify-warm.txt)
+test -n "$cold_sel" && test "$cold_sel" = "$warm_sel"
+echo "    warm run profiled nothing, same winners ($warm_sel)"
+
+echo "==> corrupted state file: typed warning + cold start, exit 0"
+printf 'not a dysel state file' > "$state"
+"$bin" --state-file "$state" fig11b > /tmp/dysel-verify-corrupt.txt 2>&1
+grep -q "selection state ignored, cold start" /tmp/dysel-verify-corrupt.txt
+grep "^run summary" /tmp/dysel-verify-corrupt.txt | grep -vq " profiled=0 "
+rm -f "$state"
+echo "    cold-started with a warning"
 
 if [ "$run_proptest" = 1 ]; then
     echo "==> property suites (--features proptest)"

@@ -34,7 +34,10 @@ fn lc_is_right_on_regular_sgemm_but_wrong_on_diagonal_spmv() {
     let lc = lc_select(w.variants(Target::Cpu));
     assert!(w.variants(Target::Cpu)[lc.0].name().ends_with("dfo"));
     let lc_rel = sweep.time_of(lc).ratio_over(sweep.best().1);
-    assert!(lc_rel > 1.05, "LC should err on the diagonal input: {lc_rel}");
+    assert!(
+        lc_rel > 1.05,
+        "LC should err on the diagonal input: {lc_rel}"
+    );
 }
 
 #[test]
@@ -48,7 +51,10 @@ fn porple_and_heuristic_err_on_spmv_placements_and_dysel_recovers() {
     let heuristic = heuristic_select(w.variants(Target::Gpu), &args);
     let porple_rel = sweep.time_of(porple).ratio_over(sweep.best().1);
     let heuristic_rel = sweep.time_of(heuristic).ratio_over(sweep.best().1);
-    assert!(porple_rel > 1.02, "PORPLE should be suboptimal: {porple_rel}");
+    assert!(
+        porple_rel > 1.02,
+        "PORPLE should be suboptimal: {porple_rel}"
+    );
     assert!(
         heuristic_rel > porple_rel,
         "the rule heuristic should be worse than PORPLE ({heuristic_rel} vs {porple_rel})"
@@ -65,7 +71,12 @@ fn porple_and_heuristic_err_on_spmv_placements_and_dysel_recovers() {
     rt.add_kernels(&w.signature, w.variants(Target::Gpu).to_vec());
     let mut wargs = w.fresh_args();
     let report = rt
-        .launch(&w.signature, &mut wargs, w.total_units, &LaunchOptions::new())
+        .launch(
+            &w.signature,
+            &mut wargs,
+            w.total_units,
+            &LaunchOptions::new(),
+        )
         .unwrap();
     w.verify(&wargs).unwrap();
     let dysel_rel = report.total_time.ratio_over(sweep.best().1);

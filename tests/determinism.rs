@@ -4,7 +4,7 @@
 
 use dysel::core::{LaunchOptions, LaunchReport, Runtime, RuntimeConfig};
 use dysel::device::{
-    CpuConfig, CpuDevice, Device, FaultKind, FaultPlan, FaultRule, GpuConfig, GpuDevice,
+    CpuConfig, CpuDevice, Cycles, Device, FaultKind, FaultPlan, FaultRule, GpuConfig, GpuDevice,
 };
 use dysel::workloads::{spmv_csr, CsrMatrix, Target, Workload};
 
@@ -24,7 +24,12 @@ fn run(device: Box<dyn Device>, target: Target) -> (LaunchReport, Vec<u32>) {
     rt.add_kernels(&w.signature, w.variants(target).to_vec());
     let mut args = w.fresh_args();
     let report = rt
-        .launch(&w.signature, &mut args, w.total_units, &LaunchOptions::new())
+        .launch(
+            &w.signature,
+            &mut args,
+            w.total_units,
+            &LaunchOptions::new(),
+        )
         .unwrap();
     let bits = args
         .f32(spmv_csr::arg::Y)
@@ -94,8 +99,14 @@ fn cpu_runs_are_bit_identical() {
 
 #[test]
 fn gpu_runs_are_bit_identical() {
-    let (r1, o1) = run(Box::new(GpuDevice::new(GpuConfig::kepler_k20c())), Target::Gpu);
-    let (r2, o2) = run(Box::new(GpuDevice::new(GpuConfig::kepler_k20c())), Target::Gpu);
+    let (r1, o1) = run(
+        Box::new(GpuDevice::new(GpuConfig::kepler_k20c())),
+        Target::Gpu,
+    );
+    let (r2, o2) = run(
+        Box::new(GpuDevice::new(GpuConfig::kepler_k20c())),
+        Target::Gpu,
+    );
     assert_eq!(r1, r2);
     assert_eq!(o1, o2);
 }
@@ -115,8 +126,14 @@ fn different_noise_seeds_change_measurements_but_not_output() {
     let (r2, o2) = seeded(2);
     // Noise changed the measured values...
     assert_ne!(
-        r1.measurements.iter().map(|m| m.measured).collect::<Vec<_>>(),
-        r2.measurements.iter().map(|m| m.measured).collect::<Vec<_>>()
+        r1.measurements
+            .iter()
+            .map(|m| m.measured)
+            .collect::<Vec<_>>(),
+        r2.measurements
+            .iter()
+            .map(|m| m.measured)
+            .collect::<Vec<_>>()
     );
     // ...but outputs stay exact regardless of what was selected.
     assert_eq!(o1, o2);
@@ -161,7 +178,12 @@ fn worker_thread_count_never_changes_faulted_results() {
         rt.add_kernels(&w.signature, w.variants(Target::Cpu).to_vec());
         let mut args = w.fresh_args();
         let report = rt
-            .launch(&w.signature, &mut args, w.total_units, &LaunchOptions::new())
+            .launch(
+                &w.signature,
+                &mut args,
+                w.total_units,
+                &LaunchOptions::new(),
+            )
             .unwrap();
         let bits: Vec<u32> = args
             .f32(spmv_csr::arg::Y)
@@ -186,6 +208,139 @@ fn worker_thread_count_never_changes_faulted_results() {
     assert_eq!(baseline.1, healthy.1, "degraded output diverged");
 }
 
+/// Cooperative preemption is part of the determinism contract: with the
+/// budget subsystem armed (`profile_deadline_factor`) and a hang on a
+/// *later* variant — so earlier healthy measurements have already set the
+/// budget baseline when the hung variant profiles — the preemption point
+/// is a priced-cycle watermark, and the whole run (preemption counters,
+/// report, output bits) is identical at 1, 2 and 8 worker threads.
+#[test]
+fn budget_preemption_is_bit_identical_across_worker_threads() {
+    let w = workload();
+    let names: Vec<String> = w
+        .variants(Target::Cpu)
+        .iter()
+        .map(|v| v.name().to_owned())
+        .collect();
+    assert!(names.len() >= 3, "case IV grid has at least 3 CPU variants");
+    let hung = names[2].clone();
+    let factor = 8.0;
+    let budgeted = |threads: usize| {
+        let mut dev = CpuDevice::new(CpuConfig {
+            threads,
+            ..CpuConfig::default()
+        });
+        dev.set_fault_plan(Some(
+            FaultPlan::new(7).with(FaultRule::new(&hung, FaultKind::Hang(64))),
+        ));
+        let mut rt = Runtime::with_config(
+            Box::new(dev),
+            RuntimeConfig {
+                profile_threshold_groups: 16,
+                profile_deadline_factor: Some(factor),
+                ..RuntimeConfig::default()
+            },
+        );
+        rt.add_kernels(&w.signature, w.variants(Target::Cpu).to_vec());
+        let mut args = w.fresh_args();
+        let report = rt
+            .launch(
+                &w.signature,
+                &mut args,
+                w.total_units,
+                &LaunchOptions::new(),
+            )
+            .unwrap();
+        let bits: Vec<u32> = args
+            .f32(spmv_csr::arg::Y)
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        // The budget must actually have fired, mid-launch: the hung
+        // variant stopped executing groups instead of running to the end.
+        // (Here its very first hang*64-priced group already overruns, so
+        // zero groups complete — the strictest possible stop.)
+        assert!(
+            report.faults.preemptions >= 1,
+            "{threads} threads: no preemption"
+        );
+        // Acceptance bound: the hang cost at most `factor` times the best
+        // measurement available when its budget was derived (a variant
+        // profiled before it).
+        let baseline = report
+            .measurements
+            .iter()
+            .filter(|m| m.variant.0 < 2)
+            .map(|m| m.measured)
+            .min()
+            .expect("earlier variants measured");
+        let bound = Cycles::from_f64(baseline.as_f64() * factor);
+        assert!(
+            report.faults.preempted_cycles <= bound,
+            "{threads} threads: preempted {} > bound {bound}",
+            report.faults.preempted_cycles
+        );
+        (report, bits)
+    };
+    let baseline = budgeted(1);
+    for threads in [2usize, 8] {
+        let (report, bits) = budgeted(threads);
+        assert_eq!(report, baseline.0, "{threads} threads: report diverged");
+        assert_eq!(bits, baseline.1, "{threads} threads: output diverged");
+    }
+    // Exactness survives the preemption: the degraded output equals the
+    // healthy run bit for bit.
+    let healthy = run(Box::new(CpuDevice::new(CpuConfig::default())), Target::Cpu);
+    assert_eq!(baseline.1, healthy.1, "preempted run's output diverged");
+}
+
+/// `Device::reset` replays budgeted runs too: the same preemption at the
+/// same priced cycle, the same report.
+#[test]
+fn reset_replays_the_same_preemption() {
+    let w = workload();
+    let names: Vec<String> = w
+        .variants(Target::Cpu)
+        .iter()
+        .map(|v| v.name().to_owned())
+        .collect();
+    let mut dev = CpuDevice::new(CpuConfig::default());
+    dev.set_fault_plan(Some(
+        FaultPlan::new(7).with(FaultRule::new(&names[2], FaultKind::Hang(64))),
+    ));
+    let mut rt = Runtime::with_config(
+        Box::new(dev),
+        RuntimeConfig {
+            profile_threshold_groups: 16,
+            profile_deadline_factor: Some(8.0),
+            ..RuntimeConfig::default()
+        },
+    );
+    rt.add_kernels(&w.signature, w.variants(Target::Cpu).to_vec());
+    let mut args = w.fresh_args();
+    let r1 = rt
+        .launch(
+            &w.signature,
+            &mut args,
+            w.total_units,
+            &LaunchOptions::new(),
+        )
+        .unwrap();
+    assert!(r1.faults.preemptions >= 1, "plan inert");
+    rt.reset();
+    let mut args = w.fresh_args();
+    let r2 = rt
+        .launch(
+            &w.signature,
+            &mut args,
+            w.total_units,
+            &LaunchOptions::new(),
+        )
+        .unwrap();
+    assert_eq!(r1, r2);
+}
+
 #[test]
 fn device_reset_replays_the_same_schedule() {
     let w = workload();
@@ -199,12 +354,22 @@ fn device_reset_replays_the_same_schedule() {
     rt.add_kernels(&w.signature, w.variants(Target::Cpu).to_vec());
     let mut args = w.fresh_args();
     let r1 = rt
-        .launch(&w.signature, &mut args, w.total_units, &LaunchOptions::new())
+        .launch(
+            &w.signature,
+            &mut args,
+            w.total_units,
+            &LaunchOptions::new(),
+        )
         .unwrap();
     rt.reset();
     let mut args = w.fresh_args();
     let r2 = rt
-        .launch(&w.signature, &mut args, w.total_units, &LaunchOptions::new())
+        .launch(
+            &w.signature,
+            &mut args,
+            w.total_units,
+            &LaunchOptions::new(),
+        )
         .unwrap();
     assert_eq!(r1, r2);
 }

@@ -51,7 +51,14 @@ fn small_suite() -> Vec<Workload> {
         spmv_csr::case4_workload("spmv-rnd", &CsrMatrix::random(2048, 2048, 0.01, 7), 7),
         spmv_csr::case4_workload("spmv-diag", &CsrMatrix::diagonal(4096), 7),
         stencil::workload(32, 7),
-        kmeans::workload(kmeans::Shape { n: 2048, d: 8, k: 4 }, 7),
+        kmeans::workload(
+            kmeans::Shape {
+                n: 2048,
+                d: 8,
+                k: 4,
+            },
+            7,
+        ),
         particlefilter::workload(
             particlefilter::Shape {
                 particles: 2048,
@@ -60,7 +67,11 @@ fn small_suite() -> Vec<Workload> {
             },
             7,
         ),
-        histogram::workload(64 * histogram::ELEMS_PER_UNIT, histogram::Distribution::Skewed, 7),
+        histogram::workload(
+            64 * histogram::ELEMS_PER_UNIT,
+            histogram::Distribution::Skewed,
+            7,
+        ),
     ]
 }
 
@@ -114,7 +125,11 @@ fn mode_orchestration_matrix_is_correct_and_selects_the_sweep_winner() {
     let workloads = vec![
         sgemm::schedules_workload(128, 7),
         spmv_csr::case4_workload("spmv", &CsrMatrix::random(2048, 2048, 0.01, 7), 7),
-        histogram::workload(64 * histogram::ELEMS_PER_UNIT, histogram::Distribution::Skewed, 7),
+        histogram::workload(
+            64 * histogram::ELEMS_PER_UNIT,
+            histogram::Distribution::Skewed,
+            7,
+        ),
     ];
     for w in &workloads {
         let winner = exhaustive_sweep(w, Target::Cpu, cpu).best().0;
@@ -124,7 +139,9 @@ fn mode_orchestration_matrix_is_correct_and_selects_the_sweep_winner() {
             ProfilingMode::SwapPartial,
         ] {
             for orch in [Orchestration::Sync, Orchestration::Async] {
-                let opts = LaunchOptions::new().with_mode(mode).with_orchestration(orch);
+                let opts = LaunchOptions::new()
+                    .with_mode(mode)
+                    .with_orchestration(orch);
                 let report = run_dysel(w, Target::Cpu, cpu(), &opts);
                 let label = format!("{} / {mode} / {orch}", w.name);
                 assert!(report.profiled(), "{label}: profiling must run");
@@ -150,7 +167,10 @@ fn dysel_stays_well_under_the_worst_variant() {
     // The headline property, on the input-sensitive workload: DySel lands
     // near the oracle while the worst pure variant is far away.
     let w = spmv_csr::case4_workload("spmv-diag", &CsrMatrix::diagonal(16384), 7);
-    for (target, factory) in [(Target::Cpu, cpu as fn() -> _), (Target::Gpu, gpu as fn() -> _)] {
+    for (target, factory) in [
+        (Target::Cpu, cpu as fn() -> _),
+        (Target::Gpu, gpu as fn() -> _),
+    ] {
         let sweep = exhaustive_sweep(&w, target, factory);
         let report = run_dysel(&w, target, factory(), &LaunchOptions::new());
         let rel = report.total_time.ratio_over(sweep.best().1);
@@ -202,6 +222,9 @@ fn regular_workloads_profile_fully_productively() {
 fn irregular_workloads_profile_hybrid() {
     let w = spmv_csr::case4_workload("spmv", &CsrMatrix::random(4096, 4096, 0.01, 7), 7);
     let report = run_dysel(&w, Target::Gpu, gpu(), &LaunchOptions::new());
-    assert_eq!(report.mode, Some(dysel::kernel::ProfilingMode::HybridPartial));
+    assert_eq!(
+        report.mode,
+        Some(dysel::kernel::ProfilingMode::HybridPartial)
+    );
     assert!(report.extra_space_bytes > 0);
 }

@@ -98,25 +98,77 @@ fn every_fault_class_degrades_gracefully_in_every_mode() {
     let cases: &[(&str, usize, FaultKind, QuarantineReason)] = &[
         // A permanently failing launch (retries exhausted) on the healthy
         // winner, on the hybrid live-slice writer, and on a loser.
-        ("c-fast", 2, FaultKind::LaunchError, QuarantineReason::LaunchFailed),
-        ("a-slow", 0, FaultKind::LaunchError, QuarantineReason::LaunchFailed),
-        ("b-mid", 1, FaultKind::LaunchError, QuarantineReason::LaunchFailed),
+        (
+            "c-fast",
+            2,
+            FaultKind::LaunchError,
+            QuarantineReason::LaunchFailed,
+        ),
+        (
+            "a-slow",
+            0,
+            FaultKind::LaunchError,
+            QuarantineReason::LaunchFailed,
+        ),
+        (
+            "b-mid",
+            1,
+            FaultKind::LaunchError,
+            QuarantineReason::LaunchFailed,
+        ),
         // Silent corruption on the same three victims.
-        ("c-fast", 2, FaultKind::WrongOutput, QuarantineReason::WrongOutput),
-        ("a-slow", 0, FaultKind::WrongOutput, QuarantineReason::WrongOutput),
-        ("b-mid", 1, FaultKind::WrongOutput, QuarantineReason::WrongOutput),
+        (
+            "c-fast",
+            2,
+            FaultKind::WrongOutput,
+            QuarantineReason::WrongOutput,
+        ),
+        (
+            "a-slow",
+            0,
+            FaultKind::WrongOutput,
+            QuarantineReason::WrongOutput,
+        ),
+        (
+            "b-mid",
+            1,
+            FaultKind::WrongOutput,
+            QuarantineReason::WrongOutput,
+        ),
         // NaN poisoning is caught by the same validation machinery.
-        ("c-fast", 2, FaultKind::Poison, QuarantineReason::WrongOutput),
+        (
+            "c-fast",
+            2,
+            FaultKind::Poison,
+            QuarantineReason::WrongOutput,
+        ),
         // A hang blows the x8 profiling deadline (x64 cost vs x3 spread).
-        ("b-mid", 1, FaultKind::Hang(64), QuarantineReason::DeadlineExceeded),
-        ("c-fast", 2, FaultKind::Hang(64), QuarantineReason::DeadlineExceeded),
+        (
+            "b-mid",
+            1,
+            FaultKind::Hang(64),
+            QuarantineReason::DeadlineExceeded,
+        ),
+        (
+            "c-fast",
+            2,
+            FaultKind::Hang(64),
+            QuarantineReason::DeadlineExceeded,
+        ),
     ];
     for mode in MODES {
         for orch in ORCHS {
             let (healthy, healthy_bits) = launch(&mut runtime(None), mode, orch);
             let healthy = healthy.expect("healthy launch succeeds");
-            assert!(healthy.faults.is_clean(), "{mode} {orch}: healthy run degraded");
-            assert_eq!(healthy.selected, VariantId(2), "{mode} {orch}: healthy winner");
+            assert!(
+                healthy.faults.is_clean(),
+                "{mode} {orch}: healthy run degraded"
+            );
+            assert_eq!(
+                healthy.selected,
+                VariantId(2),
+                "{mode} {orch}: healthy winner"
+            );
             for &(victim, vi, kind, reason) in cases {
                 let ctx = format!("{mode} {orch} {victim}={kind}");
                 let plan = FaultPlan::new(7).with(FaultRule::new(victim, kind));
@@ -183,11 +235,7 @@ fn every_fault_class_degrades_gracefully_in_every_mode() {
 fn launch_error_ledger_is_exact() {
     let plan = FaultPlan::new(7).with(FaultRule::new("b-mid", FaultKind::LaunchError));
     let mut rt = runtime(Some(plan));
-    let (report, _) = launch(
-        &mut rt,
-        ProfilingMode::FullyProductive,
-        Orchestration::Sync,
-    );
+    let (report, _) = launch(&mut rt, ProfilingMode::FullyProductive, Orchestration::Sync);
     let report = report.unwrap();
     let retries = RuntimeConfig::default().max_launch_retries as u64;
     assert_eq!(report.faults.launch_errors, 1 + retries);
@@ -212,11 +260,7 @@ fn launch_error_ledger_is_exact() {
 fn corrupt_winner_is_dethroned_and_repaired() {
     let plan = FaultPlan::new(7).with(FaultRule::new("c-fast", FaultKind::WrongOutput));
     let mut rt = runtime(Some(plan));
-    let (report, bits) = launch(
-        &mut rt,
-        ProfilingMode::FullyProductive,
-        Orchestration::Sync,
-    );
+    let (report, bits) = launch(&mut rt, ProfilingMode::FullyProductive, Orchestration::Sync);
     let report = report.unwrap();
     assert_eq!(report.selected, VariantId(1), "next-fastest survivor wins");
     assert_eq!(

@@ -1,0 +1,265 @@
+//! Crash-safe selection persistence: warm restarts skip micro-profiling
+//! and reselect the same winner; corrupt, truncated or version-skewed
+//! state files cold-start with a typed error — never a panic — and leave
+//! both in-memory state and user buffers untouched.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use dysel::core::{
+    DyselError, LaunchOptions, LaunchReport, QuarantineReason, Runtime, RuntimeConfig, SkipReason,
+    StateError,
+};
+use dysel::device::{CpuConfig, CpuDevice, Device, FaultKind, FaultPlan, FaultRule};
+use dysel::kernel::{
+    Args, Buffer, KernelIr, Orchestration, ProfilingMode, Space, Variant, VariantId, VariantMeta,
+};
+
+const N: u64 = 4096;
+
+/// `out[u] = 2*in[u] + 1`, priced at `cost` vector iterations per unit.
+fn writer(name: &str, cost: u64) -> Variant {
+    Variant::from_fn(
+        VariantMeta::new(name, KernelIr::regular(vec![0])),
+        move |ctx, args| {
+            for u in ctx.units().iter() {
+                let x = args.f32(1).unwrap()[u as usize];
+                args.f32_mut(0).unwrap()[u as usize] = 2.0 * x + 1.0;
+                ctx.vector_compute(cost, 8, 8, 1);
+            }
+        },
+    )
+}
+
+fn fresh_args() -> Args {
+    let mut a = Args::new();
+    a.push(Buffer::f32("out", vec![0.0; N as usize], Space::Global));
+    a.push(Buffer::f32(
+        "in",
+        (0..N).map(|i| i as f32).collect(),
+        Space::Global,
+    ));
+    a
+}
+
+/// A per-test state-file path under the OS temp dir, cleared up front.
+fn temp_path(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "dysel-persistence-{}-{tag}.state",
+        std::process::id()
+    ));
+    let _ = fs::remove_file(&p);
+    p
+}
+
+fn config(path: &Path) -> RuntimeConfig {
+    RuntimeConfig {
+        profile_threshold_groups: 16,
+        state_path: Some(path.to_path_buf()),
+        ..RuntimeConfig::default()
+    }
+}
+
+fn runtime(plan: Option<FaultPlan>, config: RuntimeConfig) -> Runtime {
+    let mut dev = CpuDevice::new(CpuConfig::noiseless());
+    dev.set_fault_plan(plan);
+    let mut rt = Runtime::with_config(Box::new(dev), config);
+    rt.add_kernels(
+        "triple",
+        [
+            writer("a-slow", 12),
+            writer("b-mid", 8),
+            writer("c-fast", 4),
+        ],
+    );
+    rt
+}
+
+fn fp_sync(rt: &mut Runtime, args: &mut Args) -> LaunchReport {
+    let opts = LaunchOptions::new()
+        .with_mode(ProfilingMode::FullyProductive)
+        .with_orchestration(Orchestration::Sync);
+    rt.launch("triple", args, N, &opts).unwrap()
+}
+
+fn out_bits(args: &Args) -> Vec<u32> {
+    args.f32(0).unwrap().iter().map(|y| y.to_bits()).collect()
+}
+
+/// Writes a valid one-launch state file and returns its bytes plus the
+/// cold run's report and output bits.
+fn seeded_state(path: &Path) -> (Vec<u8>, LaunchReport, Vec<u32>) {
+    let mut rt = runtime(None, config(path));
+    let mut args = fresh_args();
+    let report = fp_sync(&mut rt, &mut args);
+    assert!(report.profiled(), "the cold run must micro-profile");
+    rt.save_state().unwrap();
+    (fs::read(path).unwrap(), report, out_bits(&args))
+}
+
+#[test]
+fn warm_restart_skips_profiling_and_reselects_the_same_winner() {
+    let path = temp_path("warm");
+    let (_, cold, cold_bits) = seeded_state(&path);
+    let mut rt = runtime(None, config(&path));
+    assert!(rt.state_load_error().is_none());
+    let mut args = fresh_args();
+    let warm = fp_sync(&mut rt, &mut args);
+    assert!(!warm.profiled(), "warm restarts must not micro-profile");
+    assert_eq!(warm.skipped, Some(SkipReason::CachedSelection));
+    assert_eq!(warm.selected, cold.selected);
+    assert_eq!(warm.selected_name, cold.selected_name);
+    assert_eq!(out_bits(&args), cold_bits, "warm output diverged");
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn round_trip_preserves_selections_and_quarantine_bit_for_bit() {
+    let path = temp_path("roundtrip");
+    // Quarantine b-mid via the budget/deadline rung, then persist.
+    let plan = FaultPlan::new(3).with(FaultRule::new("b-mid", FaultKind::Hang(64)));
+    let mut rt = runtime(
+        Some(plan),
+        RuntimeConfig {
+            profile_deadline_factor: Some(8.0),
+            ..config(&path)
+        },
+    );
+    let cold = fp_sync(&mut rt, &mut fresh_args());
+    assert!(cold.faults.preemptions >= 1, "the budget must have fired");
+    assert_eq!(
+        rt.quarantined("triple"),
+        &[(VariantId(1), QuarantineReason::DeadlineExceeded)]
+    );
+    rt.save_state().unwrap();
+    let bytes = fs::read(&path).unwrap();
+    // A fresh runtime loads the identical selections and quarantine
+    // reasons, and re-saving writes the identical bytes: the format is
+    // canonical, so save -> load -> save is a fixed point.
+    let mut rt2 = runtime(None, config(&path));
+    assert!(rt2.state_load_error().is_none());
+    assert_eq!(
+        rt2.quarantined("triple"),
+        &[(VariantId(1), QuarantineReason::DeadlineExceeded)]
+    );
+    let state = rt2.load_state().unwrap();
+    assert_eq!(state.selections.get("triple"), Some(&cold.selected));
+    rt2.save_state().unwrap();
+    assert_eq!(fs::read(&path).unwrap(), bytes, "re-save diverged");
+    let warm = fp_sync(&mut rt2, &mut fresh_args());
+    assert_eq!(warm.selected, cold.selected);
+    assert!(!warm.profiled());
+    let _ = fs::remove_file(&path);
+}
+
+/// Corrupting the file in `mutate` must cold-start the runtime with the
+/// expected typed error, after which a launch profiles from scratch and
+/// the user buffers come out exactly as healthy.
+fn corrupt_and_cold_start(
+    tag: &str,
+    mutate: impl FnOnce(&mut Vec<u8>),
+    expect: impl Fn(&StateError) -> bool,
+) {
+    let path = temp_path(tag);
+    let (mut bytes, cold, cold_bits) = seeded_state(&path);
+    mutate(&mut bytes);
+    fs::write(&path, &bytes).unwrap();
+    let mut rt = runtime(None, config(&path));
+    let err = rt
+        .state_load_error()
+        .expect("a corrupted file must surface a typed error")
+        .clone();
+    assert!(expect(&err), "unexpected error class: {err:?}");
+    let mut args = fresh_args();
+    let report = fp_sync(&mut rt, &mut args);
+    assert!(report.profiled(), "cold starts must micro-profile");
+    assert_eq!(report.selected, cold.selected);
+    assert_eq!(out_bits(&args), cold_bits, "cold-start output diverged");
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn truncated_file_cold_starts_with_typed_error() {
+    corrupt_and_cold_start(
+        "truncated",
+        |bytes| bytes.truncate(bytes.len() / 2),
+        |e| matches!(e, StateError::Truncated { .. }),
+    );
+}
+
+#[test]
+fn flipped_payload_byte_is_a_checksum_mismatch() {
+    corrupt_and_cold_start(
+        "flipped",
+        |bytes| *bytes.last_mut().unwrap() ^= 0xff,
+        |e| matches!(e, StateError::ChecksumMismatch { .. }),
+    );
+}
+
+#[test]
+fn future_version_is_rejected_as_unsupported() {
+    corrupt_and_cold_start(
+        "version",
+        |bytes| bytes[8..12].copy_from_slice(&99u32.to_le_bytes()),
+        |e| matches!(e, StateError::UnsupportedVersion { found: 99, .. }),
+    );
+}
+
+#[test]
+fn garbage_magic_is_rejected_as_bad_magic() {
+    corrupt_and_cold_start(
+        "magic",
+        |bytes| bytes[0] = b'X',
+        |e| matches!(e, StateError::BadMagic { .. }),
+    );
+}
+
+#[test]
+fn explicit_load_failure_leaves_memory_untouched() {
+    let path = temp_path("load-err");
+    let mut rt = runtime(
+        None,
+        RuntimeConfig {
+            profile_once_per_signature: true,
+            ..config(&path)
+        },
+    );
+    let cold = fp_sync(&mut rt, &mut fresh_args());
+    rt.save_state().unwrap();
+    // Corrupt the file *after* the runtime went warm: an explicit reload
+    // must fail typed and change nothing in memory.
+    let mut bytes = fs::read(&path).unwrap();
+    bytes.truncate(10);
+    fs::write(&path, &bytes).unwrap();
+    match rt.load_state() {
+        Err(DyselError::State(StateError::Truncated { .. })) => {}
+        other => panic!("expected a typed truncation error, got {other:?}"),
+    }
+    let again = fp_sync(&mut rt, &mut fresh_args());
+    assert_eq!(again.skipped, Some(SkipReason::CachedSelection));
+    assert_eq!(again.selected, cold.selected);
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn save_without_a_state_path_is_a_typed_error() {
+    let rt = runtime(
+        None,
+        RuntimeConfig {
+            profile_threshold_groups: 16,
+            ..RuntimeConfig::default()
+        },
+    );
+    match rt.save_state() {
+        Err(DyselError::State(StateError::NoStatePath)) => {}
+        other => panic!("expected NoStatePath, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_file_is_a_plain_cold_start() {
+    let path = temp_path("missing");
+    let rt = runtime(None, config(&path));
+    assert!(rt.state_load_error().is_none());
+    assert!(!path.exists());
+}

@@ -104,7 +104,8 @@ fn deadline_cuts_the_wait_for_a_hung_variant() {
 /// no quarantine, correct output, and an exact retry ledger.
 #[test]
 fn transient_error_is_retried_not_quarantined() {
-    let plan = FaultPlan::new(5).with(FaultRule::new("c-fast", FaultKind::LaunchError).window(0, 1));
+    let plan =
+        FaultPlan::new(5).with(FaultRule::new("c-fast", FaultKind::LaunchError).window(0, 1));
     let mut rt = runtime(Some(plan), config());
     let mut args = fresh_args();
     let report = fp_sync(&mut rt, &mut args).unwrap();
@@ -160,7 +161,8 @@ fn exhausted_pool_is_a_typed_error_with_untouched_buffers() {
 fn quarantined_cached_selection_falls_back() {
     // c-fast wins launch 1 (launch index 0: profile, 1: final batch), then
     // fails permanently from its 3rd launch on.
-    let plan = FaultPlan::new(11).with(FaultRule::new("c-fast", FaultKind::LaunchError).window(2, u64::MAX));
+    let plan = FaultPlan::new(11)
+        .with(FaultRule::new("c-fast", FaultKind::LaunchError).window(2, u64::MAX));
     let mut rt = runtime(
         Some(plan),
         RuntimeConfig {
