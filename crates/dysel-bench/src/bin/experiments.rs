@@ -28,7 +28,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use dysel_bench::{experiments, harness};
-use dysel_device::FaultPlan;
+use dysel_core::FaultPlan;
 
 fn install_fault_plan(spec: &str) {
     match spec.parse::<FaultPlan>() {

@@ -1,0 +1,162 @@
+//! `dysel-lint` — audits the variant metadata of the whole built-in
+//! workload suite with the `dysel-verify` static verifier.
+//!
+//! For every workload and device target the linter runs the per-variant
+//! checks (disjointness solver, store-site/output agreement, sandbox and
+//! placement coverage) plus the arity check against the workload's actual
+//! argument list, then renders the findings deny-first.
+//!
+//! ```text
+//! cargo run --release -p dysel-bench --bin dysel-lint           # human
+//! cargo run --release -p dysel-bench --bin dysel-lint -- --json
+//! cargo run --release -p dysel-bench --bin dysel-lint -- \
+//!     --allow DV102 --deny DV201                                # remaps
+//! ```
+//!
+//! Exit status: `0` when no finding of `Deny` severity survives the
+//! configuration, `1` otherwise, `2` on bad usage — so CI can gate on it.
+
+use std::process::ExitCode;
+
+use dysel_bench::harness::suite;
+use dysel_verify::{
+    render_human, render_json, verify_arity, verify_variant, Diagnostic, LintCode, LintConfig,
+    Severity,
+};
+use dysel_workloads::{histogram, Target, Workload};
+
+/// The audited suite: every harness workload plus the histogram patterns
+/// (atomics vs privatization), which the figure harness drives separately.
+fn audit_suite() -> Vec<(&'static str, Workload)> {
+    vec![
+        ("spmv-csr-random", suite::spmv_csr_random()),
+        ("spmv-csr-diagonal", suite::spmv_csr_diagonal()),
+        ("spmv-csr-sched-random", suite::spmv_csr_sched_random()),
+        ("spmv-csr-sched-diagonal", suite::spmv_csr_sched_diagonal()),
+        ("spmv-csr-placements", suite::spmv_csr_placements()),
+        ("spmv-jds", suite::spmv_jds_std()),
+        ("spmv-jds-vec", suite::spmv_jds_vec()),
+        ("sgemm-schedules", suite::sgemm_schedules()),
+        ("sgemm-mixed", suite::sgemm_mixed()),
+        ("sgemm-mixed-gpu", suite::sgemm_mixed_gpu()),
+        ("sgemm-vec", suite::sgemm_vec()),
+        ("stencil", suite::stencil_std()),
+        ("cutcp-schedules", suite::cutcp_schedules()),
+        ("cutcp-mixed", suite::cutcp_mixed()),
+        ("kmeans", suite::kmeans_std()),
+        ("particlefilter", suite::particlefilter_std()),
+        (
+            "histogram-uniform",
+            histogram::workload(1 << 16, histogram::Distribution::Uniform, suite::SEED),
+        ),
+        (
+            "histogram-skewed",
+            histogram::workload(1 << 16, histogram::Distribution::Skewed, suite::SEED),
+        ),
+    ]
+}
+
+/// Lints one workload on one target, qualifying each finding's variant
+/// name with its workload/target so the flat report stays readable.
+fn lint_workload(name: &str, w: &Workload, target: Target) -> Vec<Diagnostic> {
+    let variants = w.variants(target);
+    let arity = w.fresh_args().len();
+    let tag = match target {
+        Target::Cpu => "cpu",
+        Target::Gpu => "gpu",
+    };
+    let mut diags = Vec::new();
+    for v in variants {
+        let mut found = verify_variant(&v.meta);
+        found.extend(verify_arity(&v.meta, arity));
+        for mut d in found {
+            d.variant = if d.variant.is_empty() {
+                format!("{name}/{tag}")
+            } else {
+                format!("{name}/{tag}::{}", d.variant)
+            };
+            diags.push(d);
+        }
+    }
+    diags
+}
+
+fn usage() -> &'static str {
+    "usage: dysel-lint [--json] [--allow CODE] [--warn CODE] [--note CODE] [--deny CODE]...\n\
+     \n\
+     Audits the built-in workload suite with the dysel-verify static\n\
+     verifier. CODE is a stable lint code such as DV102. Exits 1 when any\n\
+     Deny-severity finding survives the configuration."
+}
+
+fn parse_code(flag: &str, value: Option<String>) -> Result<LintCode, String> {
+    let value = value.ok_or_else(|| format!("{flag} needs a lint code argument"))?;
+    LintCode::parse(&value).ok_or_else(|| format!("unknown lint code {value:?} for {flag}"))
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut config = LintConfig::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let parsed = match arg.as_str() {
+            "--json" => {
+                json = true;
+                continue;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            flag @ ("--allow" | "--deny" | "--warn" | "--note") => {
+                parse_code(flag, argv.next()).map(|code| (flag.to_owned(), code))
+            }
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        match parsed {
+            Ok((flag, code)) => {
+                config = match flag.as_str() {
+                    "--allow" => config.allow(code),
+                    "--deny" => config.deny(code),
+                    "--warn" => config.warn(code),
+                    _ => config.note(code),
+                };
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut diags = Vec::new();
+    let mut variants_audited = 0usize;
+    for (name, w) in audit_suite() {
+        for target in [Target::Cpu, Target::Gpu] {
+            variants_audited += w.variants(target).len();
+            diags.extend(lint_workload(name, &w, target));
+        }
+    }
+    let diags = config.apply(diags);
+    let denies = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .count();
+
+    if json {
+        println!("{}", render_json(&diags));
+    } else {
+        print!("{}", render_human(&diags));
+        println!(
+            "dysel-lint: {} variant(s) audited, {} finding(s), {} deny",
+            variants_audited,
+            diags.len(),
+            denies
+        );
+    }
+    if denies > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

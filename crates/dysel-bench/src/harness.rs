@@ -8,9 +8,9 @@ use std::sync::Mutex;
 
 use dysel_baselines::{exhaustive_sweep, SweepResult};
 use dysel_core::{
-    InitialSelection, LaunchOptions, LaunchReport, Runtime, RuntimeConfig, SkipReason,
+    FaultPlan, InitialSelection, LaunchOptions, LaunchReport, Runtime, RuntimeConfig, SkipReason,
 };
-use dysel_device::{CpuConfig, CpuDevice, Cycles, Device, FaultPlan, GpuConfig, GpuDevice};
+use dysel_device::{CpuConfig, CpuDevice, Cycles, Device, GpuConfig, GpuDevice};
 use dysel_kernel::Orchestration;
 use dysel_workloads::{Target, Workload};
 

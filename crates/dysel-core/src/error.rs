@@ -44,6 +44,15 @@ pub enum DyselError {
     /// Loading or saving the persistent selection state failed; the
     /// runtime state in memory is unaffected (a failed load cold-starts).
     State(StateError),
+    /// The static verifier found `Deny`-severity metadata violations and
+    /// the runtime runs with [`crate::VerifyLevel::Strict`]. The launch (or
+    /// registration) was refused before touching any user buffer.
+    Rejected {
+        /// Signature whose variant set was rejected.
+        signature: String,
+        /// The findings, at their post-configuration severities.
+        diagnostics: Vec<dysel_verify::Diagnostic>,
+    },
 }
 
 impl fmt::Display for DyselError {
@@ -74,6 +83,21 @@ impl fmt::Display for DyselError {
                 "launch of {signature:?} variant {variant:?} failed after retries"
             ),
             DyselError::State(e) => write!(f, "selection-state persistence failed: {e}"),
+            DyselError::Rejected {
+                signature,
+                diagnostics,
+            } => {
+                let denies = diagnostics
+                    .iter()
+                    .filter(|d| d.severity == dysel_verify::Severity::Deny)
+                    .count();
+                write!(
+                    f,
+                    "variant metadata of {signature:?} rejected by the static \
+                     verifier ({denies} deny finding(s), {} total)",
+                    diagnostics.len()
+                )
+            }
         }
     }
 }

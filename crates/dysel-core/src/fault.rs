@@ -22,6 +22,13 @@ use std::fmt;
 use dysel_device::Cycles;
 use dysel_kernel::VariantId;
 
+// Fault *injection* lives in `dysel-device` (faults are device behaviour);
+// this re-export makes `dysel-core` the one user-facing home for all
+// fault-handling types, so callers never import `dysel_device` directly.
+pub use dysel_device::{
+    FaultKind, FaultPlan, FaultPlanParseError, FaultRule, InjectedFault, DEFAULT_HANG_FACTOR,
+};
+
 /// Why a variant was excluded from selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QuarantineReason {
@@ -31,6 +38,10 @@ pub enum QuarantineReason {
     DeadlineExceeded,
     /// Output validation caught it writing different bits than its peers.
     WrongOutput,
+    /// The trace-replay sanitizer observed cross-group write overlap from a
+    /// variant whose metadata declares disjoint outputs — its IR lied to
+    /// the static verifier.
+    MetadataMismatch,
 }
 
 impl fmt::Display for QuarantineReason {
@@ -39,6 +50,7 @@ impl fmt::Display for QuarantineReason {
             QuarantineReason::LaunchFailed => "launch-failed",
             QuarantineReason::DeadlineExceeded => "deadline-exceeded",
             QuarantineReason::WrongOutput => "wrong-output",
+            QuarantineReason::MetadataMismatch => "metadata-mismatch",
         })
     }
 }
@@ -128,5 +140,9 @@ mod tests {
             "deadline-exceeded"
         );
         assert_eq!(QuarantineReason::WrongOutput.to_string(), "wrong-output");
+        assert_eq!(
+            QuarantineReason::MetadataMismatch.to_string(),
+            "metadata-mismatch"
+        );
     }
 }

@@ -39,9 +39,12 @@ mod stats;
 mod timeline;
 
 pub use error::DyselError;
-pub use fault::{FaultReport, QuarantineReason};
+pub use fault::{
+    FaultKind, FaultPlan, FaultPlanParseError, FaultReport, FaultRule, InjectedFault,
+    QuarantineReason, DEFAULT_HANG_FACTOR,
+};
 pub use mixed::MixedReport;
-pub use options::{InitialSelection, LaunchOptions, RuntimeConfig};
+pub use options::{InitialSelection, LaunchOptions, RuntimeConfig, VerifyLevel};
 pub use persist::{RuntimeState, StateError};
 pub use pool::KernelPool;
 pub use report::{LaunchReport, Measurement, SkipReason};

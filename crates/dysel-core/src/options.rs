@@ -126,6 +126,23 @@ impl LaunchOptions {
     }
 }
 
+/// How the runtime reacts to static-verifier findings on the variant
+/// metadata it is handed (see `dysel-verify`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyLevel {
+    /// Trust the metadata as the paper's runtime does; no checks run. The
+    /// default: existing behaviour is bit-identical.
+    #[default]
+    Off,
+    /// Run the checks; `Deny` findings downgrade the launch to swap-based
+    /// profiling (the always-safe mode) and are recorded on the runtime
+    /// ([`crate::Runtime::diagnostics`]) instead of failing the launch.
+    Lenient,
+    /// Run the checks; `Deny` findings reject the registration or launch
+    /// with [`crate::DyselError::Rejected`].
+    Strict,
+}
+
 /// Runtime-wide configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeConfig {
@@ -166,6 +183,20 @@ pub struct RuntimeConfig {
     /// with a typed [`crate::StateError`] instead of panicking. `None`
     /// (the default) keeps all state in memory.
     pub state_path: Option<std::path::PathBuf>,
+    /// Static-verification level for variant metadata at `add_kernel` and
+    /// launch time. [`VerifyLevel::Off`] by default — verification is
+    /// opt-in and the healthy path pays nothing for it.
+    pub verify: VerifyLevel,
+    /// When `true` (and `verify` is not [`VerifyLevel::Off`]), the first
+    /// profiling launch of each declared-disjoint variant additionally runs
+    /// the trace-replay sanitizer: a few work-groups execute against a
+    /// copy-on-write clone and their *observed* store footprints are
+    /// cross-checked for cross-group overlap. A variant whose observation
+    /// contradicts its declaration is quarantined
+    /// ([`crate::QuarantineReason::MetadataMismatch`]). Off by default:
+    /// the sanitizer allocates scratch buffers and costs a few groups of
+    /// execution per variant.
+    pub sanitize_traces: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -179,6 +210,8 @@ impl Default for RuntimeConfig {
             profile_deadline_factor: None,
             validate_outputs: false,
             state_path: None,
+            verify: VerifyLevel::Off,
+            sanitize_traces: false,
         }
     }
 }

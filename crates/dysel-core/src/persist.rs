@@ -159,6 +159,7 @@ fn reason_code(r: QuarantineReason) -> u8 {
         QuarantineReason::LaunchFailed => 0,
         QuarantineReason::DeadlineExceeded => 1,
         QuarantineReason::WrongOutput => 2,
+        QuarantineReason::MetadataMismatch => 3,
     }
 }
 
@@ -167,6 +168,7 @@ fn reason_from_code(c: u8) -> Option<QuarantineReason> {
         0 => Some(QuarantineReason::LaunchFailed),
         1 => Some(QuarantineReason::DeadlineExceeded),
         2 => Some(QuarantineReason::WrongOutput),
+        3 => Some(QuarantineReason::MetadataMismatch),
         _ => None,
     }
 }
@@ -451,10 +453,11 @@ mod tests {
             QuarantineReason::LaunchFailed,
             QuarantineReason::DeadlineExceeded,
             QuarantineReason::WrongOutput,
+            QuarantineReason::MetadataMismatch,
         ] {
             assert_eq!(reason_from_code(reason_code(r)), Some(r));
         }
-        assert_eq!(reason_from_code(3), None);
+        assert_eq!(reason_from_code(4), None);
     }
 
     #[test]

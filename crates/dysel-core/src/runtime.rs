@@ -21,13 +21,15 @@ use dysel_kernel::{
     Args, Orchestration, ProfilingMode, UnitRange, Variant, VariantId, VariantMeta,
 };
 
+use dysel_verify::{has_deny, sanitize_variant, Diagnostic};
+
 use crate::fault::{FaultReport, QuarantineReason};
 use crate::persist::{self, RuntimeState, StateError};
 use crate::pool::SandboxPool;
 use crate::timeline::{LaunchKind, Timeline, TimelineEntry};
 use crate::{
     DyselError, KernelPool, LaunchOptions, LaunchReport, LaunchStats, Measurement, RuntimeConfig,
-    SkipReason,
+    SkipReason, VerifyLevel,
 };
 
 /// The compute stream used for eager chunks and the final batch; profiling
@@ -85,6 +87,11 @@ pub struct Runtime {
     /// What went wrong with the best-effort state load at construction,
     /// if anything; the runtime cold-started in that case.
     state_error: Option<StateError>,
+    /// Static-verifier findings recorded per signature (deduplicated).
+    diagnostics: HashMap<String, Vec<Diagnostic>>,
+    /// `(signature, variant)` pairs the trace-replay sanitizer already
+    /// cross-checked; the sanitizer runs once per pair, not per launch.
+    sanitized: HashSet<(String, usize)>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -130,6 +137,8 @@ impl Runtime {
             quarantine: HashMap::new(),
             warm: HashSet::new(),
             state_error: None,
+            diagnostics: HashMap::new(),
+            sanitized: HashSet::new(),
         };
         if let Some(path) = rt.config.state_path.clone() {
             if path.exists() {
@@ -222,8 +231,45 @@ impl Runtime {
     }
 
     /// Registers a kernel variant (`DySelAddKernel`).
+    ///
+    /// With [`RuntimeConfig::verify`] enabled the variant's metadata is
+    /// linted on the way in and the findings are recorded on the runtime
+    /// ([`Runtime::diagnostics`]); registration itself never fails — the
+    /// launch path is where [`VerifyLevel::Strict`] rejects. Use
+    /// [`Runtime::try_add_kernel`] to refuse bad metadata at the door.
     pub fn add_kernel(&mut self, signature: impl Into<String>, variant: Variant) -> VariantId {
+        let signature = signature.into();
+        if self.config.verify != VerifyLevel::Off {
+            let diags = dysel_verify::verify_variant(&variant.meta);
+            record_diags(&mut self.diagnostics, &signature, diags);
+        }
         self.pool.add_kernel(signature, variant)
+    }
+
+    /// Registers a kernel variant after running the static verifier on its
+    /// metadata, regardless of [`RuntimeConfig::verify`]. Findings are
+    /// recorded on the runtime ([`Runtime::diagnostics`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DyselError::Rejected`] if the verifier reports any `Deny`-severity
+    /// finding (index out of range, disjointness over-claim, undeclared
+    /// store site, …); the variant is *not* registered in that case.
+    pub fn try_add_kernel(
+        &mut self,
+        signature: impl Into<String>,
+        variant: Variant,
+    ) -> Result<VariantId, DyselError> {
+        let signature = signature.into();
+        let diags = dysel_verify::verify_variant(&variant.meta);
+        if has_deny(&diags) {
+            return Err(DyselError::Rejected {
+                signature,
+                diagnostics: diags,
+            });
+        }
+        record_diags(&mut self.diagnostics, &signature, diags);
+        Ok(self.pool.add_kernel(signature, variant))
     }
 
     /// Registers a whole candidate set.
@@ -232,7 +278,21 @@ impl Runtime {
         signature: impl Into<String>,
         variants: impl IntoIterator<Item = Variant>,
     ) {
-        self.pool.add_kernels(signature, variants)
+        let signature = signature.into();
+        for variant in variants {
+            self.add_kernel(signature.clone(), variant);
+        }
+    }
+
+    /// Static-verifier findings recorded for `signature` so far — from
+    /// registration (with [`RuntimeConfig::verify`] enabled or via
+    /// [`Runtime::try_add_kernel`]) and from verified launches. Duplicate
+    /// findings are recorded once. Empty for unverified signatures.
+    pub fn diagnostics(&self, signature: &str) -> &[Diagnostic] {
+        self.diagnostics
+            .get(signature)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The kernel pool.
@@ -287,6 +347,8 @@ impl Runtime {
         self.timeline.clear();
         self.quarantine.clear();
         self.warm.clear();
+        self.diagnostics.clear();
+        self.sanitized.clear();
     }
 
     /// Sandbox-pool accounting: `(fresh allocations, recycled leases)`.
@@ -365,6 +427,36 @@ impl Runtime {
             });
         }
 
+        // ---- static verification (see `dysel-verify`) -------------------
+        // Strict mode refuses the launch before touching any user buffer;
+        // lenient mode downgrades a denied launch to swap-based profiling,
+        // the mode that is safe whatever the metadata claims.
+        let mut force_swap = false;
+        if self.config.verify != VerifyLevel::Off {
+            let metas: Vec<VariantMeta> =
+                active.iter().map(|&i| variants[i].meta.clone()).collect();
+            let mut diags: Vec<Diagnostic> = Vec::new();
+            for m in &metas {
+                diags.extend(dysel_verify::verify_variant(m));
+                diags.extend(dysel_verify::verify_arity(m, args.len()));
+            }
+            if let Some(requested) = opts.mode {
+                diags.extend(dysel_verify::verify_mode_override(&metas, requested));
+            }
+            if has_deny(&diags) {
+                match self.config.verify {
+                    VerifyLevel::Strict => {
+                        return Err(DyselError::Rejected {
+                            signature: signature.to_owned(),
+                            diagnostics: diags,
+                        });
+                    }
+                    _ => force_swap = true,
+                }
+            }
+            record_diags(&mut self.diagnostics, signature, diags);
+        }
+
         self.stats.record(total_units);
         let device = self.device.as_mut();
         // Budget rung of the ladder: with a deadline factor configured the
@@ -407,8 +499,49 @@ impl Runtime {
             None
         };
 
+        // ---- trace-replay sanitizer (dynamic cross-check) ---------------
+        // Before the first profiled launch of a declared-disjoint variant,
+        // replay a few of its work-groups against a copy-on-write clone and
+        // cross-check the *observed* store footprints for cross-group
+        // overlap. A variant whose observation contradicts its declaration
+        // lied to the static verifier and is quarantined.
+        if self.config.sanitize_traces && self.config.verify != VerifyLevel::Off && skip.is_none() {
+            let mut pre_faults = FaultReport::default();
+            for vi in active.clone() {
+                let key = (signature.to_owned(), vi);
+                if !variants[vi].meta.ir.output_disjoint || self.sanitized.contains(&key) {
+                    continue;
+                }
+                self.sanitized.insert(key);
+                // A replay that cannot run (bad argument index) is the
+                // verifier's DV301 finding, not a sanitizer verdict.
+                if let Ok(outcome) = sanitize_variant(&variants[vi], args, total_units) {
+                    if outcome.contradicts_disjoint() {
+                        quarantine_variant(
+                            &mut active,
+                            quarantine,
+                            &mut pre_faults,
+                            vi,
+                            QuarantineReason::MetadataMismatch,
+                        );
+                    }
+                }
+            }
+            self.stats.record_faults(&pre_faults);
+            if active.is_empty() {
+                return Err(DyselError::AllVariantsFaulted {
+                    signature: signature.to_owned(),
+                    quarantined: quarantine.len(),
+                });
+            }
+        }
+
         let active_metas: Vec<_> = active.iter().map(|&i| variants[i].meta.clone()).collect();
-        let mode = opts.mode.unwrap_or_else(|| infer_mode(&active_metas));
+        let mode = if force_swap {
+            ProfilingMode::SwapPartial
+        } else {
+            opts.mode.unwrap_or_else(|| infer_mode(&active_metas))
+        };
         let reps = u64::from(opts.profile_reps);
         let distinct_slices = match mode {
             ProfilingMode::FullyProductive => active.len() as u64 * reps,
@@ -524,6 +657,26 @@ impl Runtime {
         self.selection_cache
             .insert(signature.to_owned(), report.selected);
         Ok(report)
+    }
+}
+
+/// Records verifier findings for a signature, skipping exact duplicates —
+/// re-verifying the same metadata on every launch must not grow the list.
+/// A free function (not a method) so callers holding disjoint-field borrows
+/// of the runtime can still record.
+fn record_diags(
+    store: &mut HashMap<String, Vec<Diagnostic>>,
+    signature: &str,
+    diags: Vec<Diagnostic>,
+) {
+    if diags.is_empty() {
+        return;
+    }
+    let slot = store.entry(signature.to_owned()).or_default();
+    for d in diags {
+        if !slot.contains(&d) {
+            slot.push(d);
+        }
     }
 }
 

@@ -130,6 +130,19 @@ impl AccessIr {
         }
     }
 
+    /// Data-dependent (indirect) write — e.g. a histogram scatter. The
+    /// verifier treats such sites as unprovable rather than disjoint.
+    pub fn indirect_store(arg: usize) -> Self {
+        AccessIr {
+            arg,
+            space: Space::Global,
+            pattern: AccessPattern::Indirect,
+            store: true,
+            lane_uniform: false,
+            reuse_window_bytes: None,
+        }
+    }
+
     /// Builder-style: mark the access as lane-uniform (broadcast).
     pub fn uniform(mut self) -> Self {
         self.lane_uniform = true;

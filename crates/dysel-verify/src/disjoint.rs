@@ -1,0 +1,689 @@
+//! Affine write-disjointness analysis.
+//!
+//! Every [`AccessPattern::Affine`] store site writes element
+//! `Σ coeff_d · i_d` of its argument, where `i_d` ranges over the loop nest
+//! of the variant. Two *distinct work items* race iff their index vectors
+//! differ in at least one [`LoopKind::WorkItem`] dimension yet resolve to
+//! the same element. Substituting the index difference `δ` turns that into
+//! an integer feasibility question:
+//!
+//! ```text
+//!   Σ_d coeff_d · δ_d = 0   with δ_e ≠ 0 for some work-item dimension e
+//! ```
+//!
+//! where `|δ_d| ≤ extent_d − 1` for compile-time-constant bounds and `δ_d`
+//! is unconstrained for runtime bounds. The solver proves **Disjoint** when
+//! the system is infeasible for *every* runtime extent, proves **Overlap**
+//! when it exhibits a witness valid under the declared extents, and reports
+//! **Unknown** otherwise.
+//!
+//! Modeling assumptions, stated once:
+//!
+//! * work-item loop indices are globally unique per work item across the
+//!   launch (the runtime's unit ranges tile the workload);
+//! * runtime work-item extents are at least 2 — a degenerate
+//!   single-work-item launch is trivially race-free anyway;
+//! * kernel-loop trip counts are *not* assumed: an overlap witness never
+//!   relies on a runtime-bounded kernel loop iterating more than once.
+
+use std::collections::HashSet;
+
+use dysel_kernel::{AccessIr, AccessPattern, KernelIr, LoopBound, LoopKind};
+
+/// Cap on the bounded sum-set enumeration; beyond it the solver answers
+/// [`Verdict::Unknown`] instead of burning time (~200k entries).
+const ENUM_CAP: usize = 1 << 18;
+
+/// Outcome of the disjointness analysis for a store site, an argument, or a
+/// whole kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// No two distinct work items can write the same element, for any
+    /// runtime extent. Declaring `output_disjoint` is sound.
+    Disjoint,
+    /// A concrete witness exists: two distinct work items write the same
+    /// element. Declaring `output_disjoint` is a race.
+    Overlap,
+    /// The solver could neither prove nor refute disjointness (indirect
+    /// stores, unbounded interactions, enumeration cap).
+    Unknown,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Verdict::Disjoint => "disjoint",
+            Verdict::Overlap => "overlap",
+            Verdict::Unknown => "unknown",
+        })
+    }
+}
+
+/// Per-argument analysis result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgVerdict {
+    /// Argument index the stores target.
+    pub arg: usize,
+    /// Combined verdict over every store site (and site pair) of the arg.
+    pub verdict: Verdict,
+    /// Number of store sites analyzed.
+    pub sites: usize,
+}
+
+/// One difference variable of the feasibility system: contribution
+/// `coeff · m` with the multiplier `m` ranging over `[lo, hi]` (bounded) or
+/// all of ℤ (unbounded).
+#[derive(Debug, Clone, Copy)]
+struct Term {
+    coeff: i64,
+    lo: i64,
+    hi: i64,
+    bounded: bool,
+    work_item: bool,
+}
+
+impl Term {
+    fn symmetric(coeff: i64, extent: Option<u64>, work_item: bool) -> Self {
+        match extent {
+            Some(e) => {
+                let m = (e.saturating_sub(1)).min(i64::MAX as u64) as i64;
+                Term {
+                    coeff,
+                    lo: -m,
+                    hi: m,
+                    bounded: true,
+                    work_item,
+                }
+            }
+            None => Term {
+                coeff,
+                lo: 0,
+                hi: 0,
+                bounded: false,
+                work_item,
+            },
+        }
+    }
+
+    /// Largest absolute contribution this term can make (bounded only).
+    fn max_abs(&self) -> i64 {
+        self.coeff
+            .saturating_abs()
+            .saturating_mul(self.lo.abs().max(self.hi.abs()))
+    }
+}
+
+fn extent_of(bound: LoopBound) -> Option<u64> {
+    match bound {
+        LoopBound::Const(e) => Some(e),
+        LoopBound::UniformRuntime | LoopBound::DataDependent => None,
+    }
+}
+
+/// Builds the difference-variable terms for a single store site.
+/// `Err(Overlap)` short-circuits: a zero coefficient on a work-item
+/// dimension that can vary means two distinct work items write identically.
+fn site_terms(ir: &KernelIr, coeffs: &[i64]) -> Result<Vec<Term>, Verdict> {
+    let mut terms = Vec::new();
+    let mut any_work_item_loop = false;
+    for (d, l) in ir.loops.iter().enumerate() {
+        let c = coeffs.get(d).copied().unwrap_or(0);
+        let work_item = matches!(l.kind, LoopKind::WorkItem(_));
+        any_work_item_loop |= work_item;
+        let extent = extent_of(l.bound);
+        // A dimension that cannot take two values cannot distinguish
+        // anything: drop it.
+        if matches!(extent, Some(e) if e <= 1) {
+            continue;
+        }
+        if c == 0 {
+            if work_item {
+                // Two work items differing only in this dimension write
+                // the same addresses.
+                return Err(Verdict::Overlap);
+            }
+            continue; // a kernel loop the address ignores
+        }
+        terms.push(Term::symmetric(c, extent, work_item));
+    }
+    if !any_work_item_loop {
+        // The nest never enumerates work items: every work item replays the
+        // same store addresses.
+        return Err(Verdict::Overlap);
+    }
+    Ok(terms)
+}
+
+/// Greatest common divisor (non-negative).
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Sorted-chain dominance: with every term bounded and sorted by |coeff|
+/// descending, if each coefficient strictly exceeds the total reach of all
+/// smaller terms, a zero sum forces every multiplier to zero.
+fn chain_dominates(terms: &[Term]) -> bool {
+    if terms.iter().any(|t| !t.bounded) {
+        return false;
+    }
+    let mut sorted: Vec<&Term> = terms.iter().collect();
+    sorted.sort_by_key(|t| std::cmp::Reverse(t.coeff.saturating_abs()));
+    for (i, t) in sorted.iter().enumerate() {
+        let rest: i64 = sorted[i + 1..]
+            .iter()
+            .fold(0i64, |acc, s| acc.saturating_add(s.max_abs()));
+        if t.coeff.saturating_abs() <= rest {
+            return false;
+        }
+    }
+    true
+}
+
+/// Exact sum-set of the bounded terms, tagged by whether any work-item
+/// multiplier is nonzero. Returns `None` if the set would exceed the cap.
+fn bounded_sumset(terms: &[Term]) -> Option<HashSet<(i64, bool)>> {
+    let mut set: HashSet<(i64, bool)> = HashSet::new();
+    set.insert((0, false));
+    for t in terms {
+        debug_assert!(t.bounded);
+        let mut next = HashSet::new();
+        for &(v, wi) in &set {
+            for m in t.lo..=t.hi {
+                let contrib = t.coeff.checked_mul(m)?;
+                let sum = v.checked_add(contrib)?;
+                next.insert((sum, wi || (t.work_item && m != 0)));
+                if next.len() > ENUM_CAP {
+                    return None;
+                }
+            }
+        }
+        set = next;
+    }
+    Some(set)
+}
+
+/// Overlap probe under clamped extents: bounded terms keep their declared
+/// ranges, unbounded work-item terms are clamped to ±1 (the ≥2-work-items
+/// assumption), unbounded kernel terms are pinned to 0 (no trip-count
+/// assumption). A hit is a genuine witness under those assumptions.
+fn clamped_overlap(terms: &[Term]) -> bool {
+    let clamped: Vec<Term> = terms
+        .iter()
+        .map(|t| {
+            if t.bounded {
+                *t
+            } else if t.work_item {
+                Term {
+                    lo: -1,
+                    hi: 1,
+                    bounded: true,
+                    ..*t
+                }
+            } else {
+                Term {
+                    lo: 0,
+                    hi: 0,
+                    bounded: true,
+                    ..*t
+                }
+            }
+        })
+        .collect();
+    // Clamp generously-bounded ranges too, so the probe always terminates:
+    // an overlap witness with small multipliers is found either way, and a
+    // miss under clamping is reported as Unknown, never Disjoint.
+    let clamped: Vec<Term> = clamped
+        .iter()
+        .map(|t| Term {
+            lo: t.lo.max(-8),
+            hi: t.hi.min(8),
+            ..*t
+        })
+        .collect();
+    match bounded_sumset(&clamped) {
+        Some(set) => set.contains(&(0, true)),
+        None => false,
+    }
+}
+
+/// Decides whether `Σ coeff_d · δ_d = 0` has a solution with a nonzero
+/// work-item multiplier, over the exact (possibly unbounded) ranges.
+fn analyze_terms(terms: &[Term]) -> Verdict {
+    if terms.is_empty() {
+        // Work-item loops exist but none can vary: a single work item.
+        return Verdict::Disjoint;
+    }
+    if terms.len() == 1 {
+        // c · δ = 0 with c ≠ 0 forces δ = 0 — no second work item reaches
+        // the same element, for any extent.
+        return Verdict::Disjoint;
+    }
+    let unbounded_wi = terms.iter().filter(|t| !t.bounded && t.work_item).count();
+    let unbounded_kernel: Vec<i64> = terms
+        .iter()
+        .filter(|t| !t.bounded && !t.work_item)
+        .map(|t| t.coeff)
+        .collect();
+    let bounded: Vec<Term> = terms.iter().filter(|t| t.bounded).copied().collect();
+
+    if unbounded_wi == 0 {
+        // Everything that can make the work-item side nonzero is bounded.
+        if unbounded_kernel.is_empty() {
+            if chain_dominates(terms) {
+                return Verdict::Disjoint;
+            }
+            return match bounded_sumset(&bounded) {
+                Some(set) if set.contains(&(0, true)) => Verdict::Overlap,
+                Some(_) => Verdict::Disjoint,
+                None => {
+                    if clamped_overlap(terms) {
+                        Verdict::Overlap
+                    } else {
+                        Verdict::Unknown
+                    }
+                }
+            };
+        }
+        // Kernel loops with runtime trip counts contribute any multiple of
+        // their gcd — for *some* extent. A sum that only cancels through
+        // them is not a provable overlap, but it blocks a disjointness
+        // proof.
+        let g = unbounded_kernel.iter().fold(0i64, |acc, &c| gcd(acc, c));
+        return match bounded_sumset(&bounded) {
+            Some(set) => {
+                if set.contains(&(0, true)) {
+                    // Witness with every unbounded kernel multiplier at 0.
+                    Verdict::Overlap
+                } else if set.iter().any(|&(v, wi)| wi && g != 0 && v % g == 0) {
+                    Verdict::Unknown
+                } else {
+                    Verdict::Disjoint
+                }
+            }
+            None => {
+                if clamped_overlap(terms) {
+                    Verdict::Overlap
+                } else {
+                    Verdict::Unknown
+                }
+            }
+        };
+    }
+
+    if unbounded_wi >= 2 || terms.len() > unbounded_wi {
+        // Two unbounded work-item terms always cancel for large extents
+        // (δ_e = c_j·t, δ_j = −c_e·t), and one unbounded work-item term
+        // against any other term cancels whenever the divisibility works
+        // out — either way no disjointness proof survives every extent.
+        if clamped_overlap(terms) {
+            return Verdict::Overlap;
+        }
+        return Verdict::Unknown;
+    }
+
+    // Exactly one term, unbounded work-item — already handled by len()==1.
+    if clamped_overlap(terms) {
+        Verdict::Overlap
+    } else {
+        Verdict::Unknown
+    }
+}
+
+/// Single-site verdict: can two distinct work items write the same element
+/// through this affine store?
+fn site_verdict(ir: &KernelIr, coeffs: &[i64]) -> Verdict {
+    match site_terms(ir, coeffs) {
+        Ok(terms) => analyze_terms(&terms),
+        Err(v) => v,
+    }
+}
+
+/// Cross-site verdict: can work item A through `a` and a *different* work
+/// item B through `b` write the same element? Sound only when both sites
+/// agree on their work-item coefficients (the sites then share the
+/// work-item difference vector); otherwise the absolute indices cannot be
+/// eliminated and the pair stays [`Verdict::Unknown`].
+fn pair_verdict(ir: &KernelIr, a: &[i64], b: &[i64]) -> Verdict {
+    let mut terms = Vec::new();
+    let mut any_work_item_loop = false;
+    for (d, l) in ir.loops.iter().enumerate() {
+        let ca = a.get(d).copied().unwrap_or(0);
+        let cb = b.get(d).copied().unwrap_or(0);
+        let work_item = matches!(l.kind, LoopKind::WorkItem(_));
+        any_work_item_loop |= work_item;
+        let extent = extent_of(l.bound);
+        if work_item {
+            if ca != cb {
+                return Verdict::Unknown;
+            }
+            if matches!(extent, Some(e) if e <= 1) {
+                continue;
+            }
+            if ca == 0 {
+                // Identical zero dependence on a varying work-item dim.
+                return Verdict::Overlap;
+            }
+            terms.push(Term::symmetric(ca, extent, true));
+        } else if ca == cb {
+            if matches!(extent, Some(e) if e <= 1) || ca == 0 {
+                continue;
+            }
+            terms.push(Term::symmetric(ca, extent, false));
+        } else {
+            // Independent absolute indices i, j ∈ [0, extent): contribution
+            // ca·i − cb·j.
+            match extent {
+                Some(e) if e <= 1 => {
+                    // Both indices pinned to 0: contributes nothing even
+                    // though the coefficients differ.
+                    continue;
+                }
+                Some(e) => {
+                    let m = (e - 1).min(i64::MAX as u64) as i64;
+                    if ca != 0 {
+                        terms.push(Term {
+                            coeff: ca,
+                            lo: 0,
+                            hi: m,
+                            bounded: true,
+                            work_item: false,
+                        });
+                    }
+                    if cb != 0 {
+                        terms.push(Term {
+                            coeff: -cb,
+                            lo: 0,
+                            hi: m,
+                            bounded: true,
+                            work_item: false,
+                        });
+                    }
+                }
+                None => {
+                    if ca != 0 {
+                        terms.push(Term::symmetric(ca, None, false));
+                    }
+                    if cb != 0 {
+                        terms.push(Term::symmetric(cb, None, false));
+                    }
+                }
+            }
+        }
+    }
+    if !any_work_item_loop {
+        return Verdict::Overlap;
+    }
+    if !terms.iter().any(|t| t.work_item) {
+        // All work-item dims were pinned (extent ≤ 1): one work item only.
+        return Verdict::Disjoint;
+    }
+    analyze_terms(&terms)
+}
+
+fn combine(acc: Verdict, v: Verdict) -> Verdict {
+    match (acc, v) {
+        (Verdict::Overlap, _) | (_, Verdict::Overlap) => Verdict::Overlap,
+        (Verdict::Unknown, _) | (_, Verdict::Unknown) => Verdict::Unknown,
+        _ => Verdict::Disjoint,
+    }
+}
+
+/// Analyzes every argument with at least one store site, returning one
+/// verdict per stored argument (ascending argument order).
+pub fn write_disjointness(ir: &KernelIr) -> Vec<ArgVerdict> {
+    let mut args: Vec<usize> = ir
+        .accesses
+        .iter()
+        .filter(|a| a.store)
+        .map(|a| a.arg)
+        .collect();
+    args.sort_unstable();
+    args.dedup();
+    args.into_iter()
+        .map(|arg| {
+            let sites: Vec<&AccessIr> = ir
+                .accesses
+                .iter()
+                .filter(|a| a.store && a.arg == arg)
+                .collect();
+            let mut verdict = Verdict::Disjoint;
+            for (i, s) in sites.iter().enumerate() {
+                match &s.pattern {
+                    AccessPattern::Indirect => {
+                        verdict = combine(verdict, Verdict::Unknown);
+                    }
+                    AccessPattern::Affine(coeffs) => {
+                        verdict = combine(verdict, site_verdict(ir, coeffs));
+                        for other in &sites[i + 1..] {
+                            if let AccessPattern::Affine(oc) = &other.pattern {
+                                verdict = combine(verdict, pair_verdict(ir, coeffs, oc));
+                            }
+                        }
+                    }
+                }
+            }
+            ArgVerdict {
+                arg,
+                verdict,
+                sites: sites.len(),
+            }
+        })
+        .collect()
+}
+
+/// Kernel-level verdict over every stored argument; `None` when the IR
+/// declares no store site at all (nothing to analyze).
+pub fn write_verdict(ir: &KernelIr) -> Option<Verdict> {
+    let per_arg = write_disjointness(ir);
+    if per_arg.is_empty() {
+        return None;
+    }
+    Some(
+        per_arg
+            .iter()
+            .fold(Verdict::Disjoint, |acc, a| combine(acc, a.verdict)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysel_kernel::{LoopIr, LoopKind};
+
+    fn ir(loops: Vec<LoopIr>, accesses: Vec<AccessIr>) -> KernelIr {
+        KernelIr::regular(vec![0])
+            .with_loops(loops)
+            .with_accesses(accesses)
+    }
+
+    fn wi(bound: LoopBound) -> LoopIr {
+        LoopIr::new(LoopKind::WorkItem(0), bound)
+    }
+
+    fn wi_d(d: u8, bound: LoopBound) -> LoopIr {
+        LoopIr::new(LoopKind::WorkItem(d), bound)
+    }
+
+    fn kl(bound: LoopBound) -> LoopIr {
+        LoopIr::new(LoopKind::Kernel, bound)
+    }
+
+    #[test]
+    fn unit_stride_work_item_store_is_disjoint() {
+        // The spmv/kmeans shape: y[i] over [WorkItem, Kernel] loops.
+        let k = ir(
+            vec![wi(LoopBound::UniformRuntime), kl(LoopBound::DataDependent)],
+            vec![AccessIr::affine_store(0, vec![1, 0])],
+        );
+        assert_eq!(write_verdict(&k), Some(Verdict::Disjoint));
+    }
+
+    #[test]
+    fn zero_coeff_work_item_dim_overlaps() {
+        let k = ir(
+            vec![wi(LoopBound::UniformRuntime), kl(LoopBound::Const(16))],
+            vec![AccessIr::affine_store(0, vec![0, 1])],
+        );
+        assert_eq!(write_verdict(&k), Some(Verdict::Overlap));
+    }
+
+    #[test]
+    fn dominant_strides_are_disjoint() {
+        // The sgemm shape: C[i*n + j] with i, j work-item loops of extent n.
+        let n = 64;
+        let k = ir(
+            vec![
+                wi_d(1, LoopBound::Const(n as u64)),
+                wi_d(0, LoopBound::Const(n as u64)),
+                kl(LoopBound::Const(n as u64)),
+            ],
+            vec![AccessIr::affine_store(0, vec![n, 1, 0])],
+        );
+        assert_eq!(write_verdict(&k), Some(Verdict::Disjoint));
+    }
+
+    #[test]
+    fn short_row_stride_overlaps() {
+        // C[i*2 + j] with j ranging to 3: rows collide.
+        let k = ir(
+            vec![wi_d(1, LoopBound::Const(4)), wi_d(0, LoopBound::Const(4))],
+            vec![AccessIr::affine_store(0, vec![2, 1])],
+        );
+        assert_eq!(write_verdict(&k), Some(Verdict::Overlap));
+    }
+
+    #[test]
+    fn kernel_loop_stride_blocks_proof() {
+        // out[i + 4k] with unbounded k: for extents > 4 work items collide.
+        let k = ir(
+            vec![wi(LoopBound::Const(16)), kl(LoopBound::UniformRuntime)],
+            vec![AccessIr::affine_store(0, vec![1, 4])],
+        );
+        assert_eq!(write_verdict(&k), Some(Verdict::Unknown));
+    }
+
+    #[test]
+    fn kernel_loop_stride_out_of_reach_is_disjoint() {
+        // out[i + 16k], i < 8: no kernel multiple lands inside ±7.
+        let k = ir(
+            vec![wi(LoopBound::Const(8)), kl(LoopBound::UniformRuntime)],
+            vec![AccessIr::affine_store(0, vec![1, 16])],
+        );
+        assert_eq!(write_verdict(&k), Some(Verdict::Disjoint));
+    }
+
+    #[test]
+    fn indirect_store_is_unknown() {
+        let mut a = AccessIr::indirect_load(0);
+        a.store = true;
+        let k = ir(vec![wi(LoopBound::UniformRuntime)], vec![a]);
+        assert_eq!(write_verdict(&k), Some(Verdict::Unknown));
+    }
+
+    #[test]
+    fn no_store_sites_is_none() {
+        let k = ir(
+            vec![wi(LoopBound::UniformRuntime)],
+            vec![AccessIr::affine_load(0, vec![1])],
+        );
+        assert_eq!(write_verdict(&k), None);
+    }
+
+    #[test]
+    fn no_work_item_loops_overlap() {
+        let k = ir(
+            vec![kl(LoopBound::Const(8))],
+            vec![AccessIr::affine_store(0, vec![1])],
+        );
+        assert_eq!(write_verdict(&k), Some(Verdict::Overlap));
+    }
+
+    #[test]
+    fn two_unbounded_work_item_dims_with_equal_strides_overlap() {
+        let k = ir(
+            vec![
+                wi_d(0, LoopBound::UniformRuntime),
+                wi_d(1, LoopBound::UniformRuntime),
+            ],
+            vec![AccessIr::affine_store(0, vec![3, 3])],
+        );
+        assert_eq!(write_verdict(&k), Some(Verdict::Overlap));
+    }
+
+    #[test]
+    fn two_unbounded_work_item_dims_with_coprime_strides_unknown() {
+        let k = ir(
+            vec![
+                wi_d(0, LoopBound::UniformRuntime),
+                wi_d(1, LoopBound::UniformRuntime),
+            ],
+            vec![AccessIr::affine_store(0, vec![64, 65])],
+        );
+        assert_eq!(write_verdict(&k), Some(Verdict::Unknown));
+    }
+
+    #[test]
+    fn cross_site_same_stride_different_kernel_coeff() {
+        // Site A: out[i], site B: out[i + k] with k < 4 and i unbounded:
+        // B's k shifts into A's lane — overlap across work items.
+        let loops = vec![wi(LoopBound::UniformRuntime), kl(LoopBound::Const(4))];
+        let k = ir(
+            loops,
+            vec![
+                AccessIr::affine_store(0, vec![1, 0]),
+                AccessIr::affine_store(0, vec![1, 1]),
+            ],
+        );
+        assert_eq!(write_verdict(&k), Some(Verdict::Overlap));
+    }
+
+    #[test]
+    fn cross_site_differing_work_item_coeffs_unknown() {
+        let loops = vec![wi(LoopBound::Const(8))];
+        let k = ir(
+            loops,
+            vec![
+                AccessIr::affine_store(0, vec![2]),
+                AccessIr::affine_store(0, vec![3]),
+            ],
+        );
+        assert_eq!(write_verdict(&k), Some(Verdict::Unknown));
+    }
+
+    #[test]
+    fn extent_one_work_item_dims_are_vacuously_disjoint() {
+        let k = ir(
+            vec![wi(LoopBound::Const(1)), kl(LoopBound::Const(8))],
+            vec![AccessIr::affine_store(0, vec![0, 1])],
+        );
+        assert_eq!(write_verdict(&k), Some(Verdict::Disjoint));
+    }
+
+    #[test]
+    fn stencil_shape_dominates() {
+        // {1, n, n²} over three work-item loops of extent n.
+        let n: i64 = 96;
+        let k = ir(
+            vec![
+                wi_d(2, LoopBound::Const(n as u64)),
+                wi_d(1, LoopBound::Const(n as u64)),
+                wi_d(0, LoopBound::Const(n as u64)),
+            ],
+            vec![AccessIr::affine_store(0, vec![n * n, n, 1])],
+        );
+        assert_eq!(write_verdict(&k), Some(Verdict::Disjoint));
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(Verdict::Disjoint.to_string(), "disjoint");
+        assert_eq!(Verdict::Overlap.to_string(), "overlap");
+        assert_eq!(Verdict::Unknown.to_string(), "unknown");
+    }
+}

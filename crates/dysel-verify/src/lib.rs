@@ -1,0 +1,37 @@
+//! Static verification of kernel-variant metadata.
+//!
+//! The DySel runtime *trusts* every [`dysel_kernel::KernelIr`] declaration:
+//! a variant claiming `output_disjoint` while its work-groups actually
+//! overlap silently corrupts fully-productive profiling, and a wrong
+//! `sandbox_args` list breaks hybrid isolation. The paper's §3.4 compiler
+//! analyses are supposed to *guarantee* this metadata; this crate proves it
+//! instead of assuming it:
+//!
+//! * [`disjoint`] — solves the affine store-site equations of
+//!   [`dysel_kernel::AccessPattern::Affine`] coefficients to statically
+//!   prove or refute cross-work-item write disjointness (write-write race
+//!   detection);
+//! * [`lint`] — a small lint engine with stable codes (`DV1xx` disjointness,
+//!   `DV2xx` output declarations, `DV3xx` sandbox/placement indices,
+//!   `DV4xx` mode overrides), `Deny`/`Warn`/`Note` severities, per-code
+//!   allow/deny configuration, and human plus JSON renderers;
+//! * [`checks`] — runs every soundness check over a
+//!   [`dysel_kernel::VariantMeta`] (or a whole variant set / launch) and
+//!   emits diagnostics;
+//! * [`replay`] — the dynamic sanitizer: executes a few work-groups with a
+//!   recording [`dysel_kernel::TraceSink`], replays the captured traces
+//!   into a store-footprint collector, and cross-checks the *observed*
+//!   cross-group write footprints against the static verdict.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod disjoint;
+pub mod lint;
+pub mod replay;
+
+pub use checks::{has_deny, verify_arity, verify_mode_override, verify_set, verify_variant};
+pub use disjoint::{write_disjointness, write_verdict, ArgVerdict, Verdict};
+pub use lint::{render_human, render_json, Diagnostic, LintCode, LintConfig, Severity};
+pub use replay::{sanitize_variant, FootprintSink, SanitizeOutcome, StoreFootprint};

@@ -1,0 +1,342 @@
+//! The lint engine: stable codes, severities, allow/deny configuration and
+//! renderers.
+//!
+//! Every finding of the verifier flows through a [`Diagnostic`] carrying a
+//! stable [`LintCode`]. Codes group by subsystem:
+//!
+//! | code  | default  | meaning |
+//! |-------|----------|---------|
+//! | DV100 | Deny | `output_disjoint` declared but overlap proven |
+//! | DV101 | Note | overlap declared but disjointness proven |
+//! | DV102 | Note | `output_disjoint` declared but unproven |
+//! | DV200 | Deny | store site targets an undeclared output |
+//! | DV201 | Warn | declared output never stored by any site |
+//! | DV300 | Deny | `sandbox_args` misses a declared output |
+//! | DV301 | Deny | metadata index outside the placement-declared arity |
+//! | DV302 | Warn | placement list does not cover a referenced argument |
+//! | DV400 | Deny | mode override weaker than what side effects require |
+//! | DV401 | Warn | `FullyProductive` override on an irregular variant set |
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How serious a finding is, and what the runtime does about it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: a missed opportunity or an unproven claim.
+    Note,
+    /// Suspicious but not unsound; surfaced, never rejected.
+    Warn,
+    /// Unsound metadata: strict mode rejects, lenient mode degrades.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+            Severity::Note => "note",
+        })
+    }
+}
+
+/// Stable identifiers for every check the verifier performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// DV100: `output_disjoint` declared, cross-work-item overlap proven.
+    DisjointViolated,
+    /// DV101: overlap declared, disjointness proven — fully-productive
+    /// profiling is being left on the table.
+    DisjointUnderclaimed,
+    /// DV102: `output_disjoint` declared but the solver could not prove it.
+    DisjointUnproven,
+    /// DV200: a store site targets an argument missing from `output_args`.
+    UndeclaredStore,
+    /// DV201: a declared output is never stored by any access site.
+    OutputNeverStored,
+    /// DV300: `sandbox_args` does not cover a declared output — hybrid and
+    /// swap profiling would leak profiling writes into user buffers.
+    SandboxMissingOutput,
+    /// DV301: an output/sandbox index lies outside the arity the placement
+    /// list declares.
+    SandboxOutOfRange,
+    /// DV302: the placement list does not cover an argument that access
+    /// sites reference.
+    PlacementsTooShort,
+    /// DV400: a profiling-mode override weaker than swap on a variant set
+    /// whose side effects force swap-based profiling.
+    IllegalModeOverride,
+    /// DV401: a `FullyProductive` override on an irregular or early-exit
+    /// variant set — measurements will be unfair, though not unsound.
+    RiskyModeOverride,
+}
+
+impl LintCode {
+    /// Every code, in ascending code order.
+    pub const ALL: [LintCode; 10] = [
+        LintCode::DisjointViolated,
+        LintCode::DisjointUnderclaimed,
+        LintCode::DisjointUnproven,
+        LintCode::UndeclaredStore,
+        LintCode::OutputNeverStored,
+        LintCode::SandboxMissingOutput,
+        LintCode::SandboxOutOfRange,
+        LintCode::PlacementsTooShort,
+        LintCode::IllegalModeOverride,
+        LintCode::RiskyModeOverride,
+    ];
+
+    /// The stable code string (e.g. `"DV100"`).
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::DisjointViolated => "DV100",
+            LintCode::DisjointUnderclaimed => "DV101",
+            LintCode::DisjointUnproven => "DV102",
+            LintCode::UndeclaredStore => "DV200",
+            LintCode::OutputNeverStored => "DV201",
+            LintCode::SandboxMissingOutput => "DV300",
+            LintCode::SandboxOutOfRange => "DV301",
+            LintCode::PlacementsTooShort => "DV302",
+            LintCode::IllegalModeOverride => "DV400",
+            LintCode::RiskyModeOverride => "DV401",
+        }
+    }
+
+    /// Default severity before any [`LintConfig`] override.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            LintCode::DisjointViolated
+            | LintCode::UndeclaredStore
+            | LintCode::SandboxMissingOutput
+            | LintCode::SandboxOutOfRange
+            | LintCode::IllegalModeOverride => Severity::Deny,
+            LintCode::OutputNeverStored
+            | LintCode::PlacementsTooShort
+            | LintCode::RiskyModeOverride => Severity::Warn,
+            LintCode::DisjointUnderclaimed | LintCode::DisjointUnproven => Severity::Note,
+        }
+    }
+
+    /// Parses a stable code string (e.g. from a CLI flag).
+    pub fn parse(s: &str) -> Option<LintCode> {
+        LintCode::ALL.iter().copied().find(|c| c.code() == s)
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One verifier finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which check fired.
+    pub code: LintCode,
+    /// Effective severity (after configuration).
+    pub severity: Severity,
+    /// Name of the variant the finding is about (empty for set-level
+    /// findings such as mode overrides).
+    pub variant: String,
+    /// Human-readable description of the finding.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a finding at the code's default severity.
+    pub fn new(code: LintCode, variant: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            variant: variant.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.variant.is_empty() {
+            write!(f, "{}[{}]: {}", self.severity, self.code, self.message)
+        } else {
+            write!(
+                f,
+                "{}[{}] {}: {}",
+                self.severity, self.code, self.variant, self.message
+            )
+        }
+    }
+}
+
+/// Per-code severity overrides: allow (suppress) a code entirely or remap
+/// its severity — the moral equivalent of `#[allow]` / `-D`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintConfig {
+    /// `None` suppresses the code; `Some(sev)` remaps it.
+    overrides: BTreeMap<LintCode, Option<Severity>>,
+}
+
+impl LintConfig {
+    /// A configuration with every code at its default severity.
+    pub fn new() -> Self {
+        LintConfig::default()
+    }
+
+    /// Builder-style: suppress a code entirely.
+    pub fn allow(mut self, code: LintCode) -> Self {
+        self.overrides.insert(code, None);
+        self
+    }
+
+    /// Builder-style: escalate a code to `Deny`.
+    pub fn deny(mut self, code: LintCode) -> Self {
+        self.overrides.insert(code, Some(Severity::Deny));
+        self
+    }
+
+    /// Builder-style: remap a code to `Warn`.
+    pub fn warn(mut self, code: LintCode) -> Self {
+        self.overrides.insert(code, Some(Severity::Warn));
+        self
+    }
+
+    /// Builder-style: demote a code to `Note`.
+    pub fn note(mut self, code: LintCode) -> Self {
+        self.overrides.insert(code, Some(Severity::Note));
+        self
+    }
+
+    /// The effective severity of a code; `None` means suppressed.
+    pub fn severity_of(&self, code: LintCode) -> Option<Severity> {
+        match self.overrides.get(&code) {
+            Some(o) => *o,
+            None => Some(code.default_severity()),
+        }
+    }
+
+    /// Applies the configuration: drops suppressed findings and remaps the
+    /// severity of the rest.
+    pub fn apply(&self, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        diags
+            .into_iter()
+            .filter_map(|mut d| {
+                let sev = self.severity_of(d.code)?;
+                d.severity = sev;
+                Some(d)
+            })
+            .collect()
+    }
+}
+
+/// Renders findings for a terminal, one per line, deny first.
+pub fn render_human(diags: &[Diagnostic]) -> String {
+    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
+    sorted.sort_by_key(|d| (std::cmp::Reverse(d.severity), d.code, d.variant.clone()));
+    let mut out = String::new();
+    for d in sorted {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a JSON array (hand-rolled; the workspace is
+/// dependency-free by design).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"variant\":\"{}\",\"message\":\"{}\"}}",
+            d.code,
+            d.severity,
+            json_escape(&d.variant),
+            json_escape(&d.message)
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_parseable() {
+        for c in LintCode::ALL {
+            assert_eq!(LintCode::parse(c.code()), Some(c));
+        }
+        assert_eq!(LintCode::parse("DV999"), None);
+        assert_eq!(LintCode::DisjointViolated.code(), "DV100");
+        assert_eq!(LintCode::IllegalModeOverride.code(), "DV400");
+    }
+
+    #[test]
+    fn config_allows_and_remaps() {
+        let cfg = LintConfig::new()
+            .allow(LintCode::OutputNeverStored)
+            .deny(LintCode::DisjointUnproven);
+        let diags = vec![
+            Diagnostic::new(LintCode::OutputNeverStored, "v", "never stored"),
+            Diagnostic::new(LintCode::DisjointUnproven, "v", "unproven"),
+        ];
+        let out = cfg.apply(diags);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, LintCode::DisjointUnproven);
+        assert_eq!(out[0].severity, Severity::Deny);
+    }
+
+    #[test]
+    fn human_rendering_sorts_deny_first() {
+        let diags = vec![
+            Diagnostic::new(LintCode::DisjointUnproven, "a", "note msg"),
+            Diagnostic::new(LintCode::DisjointViolated, "b", "deny msg"),
+        ];
+        let text = render_human(&diags);
+        let deny_at = text.find("DV100").unwrap();
+        let note_at = text.find("DV102").unwrap();
+        assert!(deny_at < note_at, "{text}");
+        assert!(text.contains("deny[DV100] b: deny msg"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let diags = vec![Diagnostic::new(
+            LintCode::UndeclaredStore,
+            "v\"1\"",
+            "line1\nline2",
+        )];
+        let json = render_json(&diags);
+        assert!(json.starts_with('['), "{json}");
+        assert!(json.contains("\\\"1\\\""), "{json}");
+        assert!(json.contains("\\n"), "{json}");
+        assert!(json.contains("\"code\":\"DV200\""), "{json}");
+    }
+
+    #[test]
+    fn severity_ordering_puts_deny_on_top() {
+        assert!(Severity::Deny > Severity::Warn);
+        assert!(Severity::Warn > Severity::Note);
+    }
+}

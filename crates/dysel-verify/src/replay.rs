@@ -1,0 +1,376 @@
+//! The dynamic sanitizer: trace-replay cross-check of the static verdict.
+//!
+//! Static analysis works on *declared* access sites; the kernel body may do
+//! something else entirely. This module closes the loop: it runs a few
+//! work-groups of a variant against a copy-on-write clone of the launch
+//! arguments with a [`FootprintSink`] attached, collects the byte-exact
+//! store footprint each group emits through its cost trace, and reports
+//! whether distinct groups *observably* wrote overlapping bytes. A variant
+//! that declares `output_disjoint` but shows cross-group write overlap has
+//! lied to the runtime — the caller feeds that into the quarantine ladder.
+
+use dysel_kernel::{Args, GroupCtx, KernelError, MemOp, TraceSink, UnitRange, Variant};
+
+/// Maximum work-groups the sanitizer executes per variant; two suffice to
+/// witness cross-group overlap, a third catches boundary-group asymmetry.
+const MAX_SANITIZE_GROUPS: u64 = 3;
+
+/// A set of byte ranges written by one work-group, kept merged and sorted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreFootprint {
+    /// Disjoint, sorted half-open byte ranges `[start, end)`.
+    ranges: Vec<(u64, u64)>,
+    dirty: bool,
+}
+
+impl StoreFootprint {
+    /// An empty footprint.
+    pub fn new() -> Self {
+        StoreFootprint::default()
+    }
+
+    /// Records a written byte range `[start, end)`.
+    pub fn add(&mut self, start: u64, end: u64) {
+        if end > start {
+            self.ranges.push((start, end));
+            self.dirty = true;
+        }
+    }
+
+    fn normalize(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.ranges.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.ranges.len());
+        for &(s, e) in &self.ranges {
+            match merged.last_mut() {
+                Some((_, le)) if s <= *le => *le = (*le).max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        self.ranges = merged;
+        self.dirty = false;
+    }
+
+    /// The merged, sorted byte ranges.
+    pub fn ranges(&mut self) -> &[(u64, u64)] {
+        self.normalize();
+        &self.ranges
+    }
+
+    /// Total bytes covered.
+    pub fn bytes(&mut self) -> u64 {
+        self.normalize();
+        self.ranges.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Byte ranges written by *both* footprints.
+    pub fn intersection(&mut self, other: &mut StoreFootprint) -> Vec<(u64, u64)> {
+        self.normalize();
+        other.normalize();
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < self.ranges.len() && j < other.ranges.len() {
+            let (as_, ae) = self.ranges[i];
+            let (bs, be) = other.ranges[j];
+            let s = as_.max(bs);
+            let e = ae.min(be);
+            if s < e {
+                out.push((s, e));
+            }
+            if ae <= be {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        out
+    }
+}
+
+/// A [`TraceSink`] that collects the byte-exact store footprint of a
+/// work-group from its memory-op descriptors. Loads, compute and barriers
+/// are ignored; scratchpad stores have no global address and are skipped.
+#[derive(Debug, Default)]
+pub struct FootprintSink {
+    footprint: StoreFootprint,
+}
+
+impl FootprintSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        FootprintSink::default()
+    }
+
+    /// Consumes the sink, yielding the collected footprint.
+    pub fn into_footprint(self) -> StoreFootprint {
+        self.footprint
+    }
+
+    fn add_elem(&mut self, addr: i128, elem: u32) {
+        if addr >= 0 {
+            let a = addr as u64;
+            self.footprint.add(a, a.saturating_add(u64::from(elem)));
+        }
+    }
+}
+
+impl TraceSink for FootprintSink {
+    fn mem(&mut self, op: &MemOp) {
+        if !op.is_store() {
+            return;
+        }
+        match *op {
+            MemOp::Warp {
+                base,
+                stride,
+                lanes,
+                elem,
+                ..
+            } => {
+                for l in 0..i128::from(lanes) {
+                    self.add_elem(i128::from(base) + l * i128::from(stride), elem);
+                }
+            }
+            MemOp::WarpSeq {
+                base,
+                stride,
+                lanes,
+                elem,
+                repeat,
+                step,
+                ..
+            } => {
+                for k in 0..i128::from(repeat) {
+                    let row = i128::from(base) + k * i128::from(step);
+                    for l in 0..i128::from(lanes) {
+                        self.add_elem(row + l * i128::from(stride), elem);
+                    }
+                }
+            }
+            MemOp::Gather {
+                ref addrs, elem, ..
+            } => {
+                for &a in addrs {
+                    self.add_elem(i128::from(a), elem);
+                }
+            }
+            MemOp::Stream {
+                base,
+                count,
+                stride,
+                elem,
+                ..
+            } => {
+                for i in 0..i128::from(count) {
+                    self.add_elem(i128::from(base) + i * i128::from(stride), elem);
+                }
+            }
+            MemOp::Atomic { base, distinct, .. } => {
+                // `distinct` nearby words starting at `base`, 4 bytes each.
+                self.footprint
+                    .add(base, base.saturating_add(u64::from(distinct) * 4));
+            }
+            MemOp::Scratchpad { .. } => {}
+        }
+    }
+
+    fn compute(&mut self, _ops: u64) {}
+}
+
+/// Result of sanitizing one variant; see [`sanitize_variant`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SanitizeOutcome {
+    /// Whether distinct work-groups observably wrote overlapping bytes.
+    pub observed_overlap: bool,
+    /// Argument indices whose buffers contain the overlapping bytes,
+    /// sorted and deduplicated. Overlap outside every argument (should not
+    /// happen) is still reported via `observed_overlap`.
+    pub overlap_args: Vec<usize>,
+    /// Number of work-groups actually executed.
+    pub groups_run: u64,
+}
+
+impl SanitizeOutcome {
+    /// Whether the observation *contradicts* a declared-disjoint variant.
+    pub fn contradicts_disjoint(&self) -> bool {
+        self.observed_overlap
+    }
+}
+
+/// Executes up to three leading work-groups of `variant` against a
+/// copy-on-write clone of `args` and cross-checks their observed store
+/// footprints for cross-group write overlap.
+///
+/// The execution is purely observational: all writes land in the clone,
+/// the caller's `args` are never touched. With fewer than two groups in
+/// the launch there is nothing to cross-check and the outcome reports no
+/// overlap.
+///
+/// # Errors
+///
+/// Propagates [`KernelError`] from argument access (e.g. a variant whose
+/// metadata indexes outside the argument list).
+pub fn sanitize_variant(
+    variant: &Variant,
+    args: &Args,
+    total_units: u64,
+) -> Result<SanitizeOutcome, KernelError> {
+    let meta = &variant.meta;
+    let wa = u64::from(meta.wa_factor.max(1));
+    let total_groups = total_units.div_ceil(wa);
+    let groups_run = total_groups.min(MAX_SANITIZE_GROUPS);
+    if groups_run < 2 {
+        return Ok(SanitizeOutcome {
+            observed_overlap: false,
+            overlap_args: Vec::new(),
+            groups_run,
+        });
+    }
+
+    // Copy-on-write clone: kernel writes stay private to the sanitizer.
+    let mut scratch = args.clone();
+    let mut footprints: Vec<StoreFootprint> = Vec::with_capacity(groups_run as usize);
+    for g in 0..groups_run {
+        let units = UnitRange::new(g * wa, ((g + 1) * wa).min(total_units));
+        let mut sink = FootprintSink::new();
+        let mut ctx = GroupCtx::new(
+            g,
+            units,
+            meta.group_size,
+            &scratch,
+            &meta.placements,
+            &mut sink,
+        );
+        variant.kernel.run_group(&mut ctx, &mut scratch);
+        footprints.push(sink.into_footprint());
+    }
+
+    let mut overlap_ranges: Vec<(u64, u64)> = Vec::new();
+    for i in 0..footprints.len() {
+        for j in (i + 1)..footprints.len() {
+            let (a, b) = footprints.split_at_mut(j);
+            overlap_ranges.extend(a[i].intersection(&mut b[0]));
+        }
+    }
+
+    let mut overlap_args: Vec<usize> = Vec::new();
+    for (i, buf) in scratch.iter().enumerate() {
+        let lo = buf.addr();
+        let hi = lo + buf.size_bytes();
+        if overlap_ranges.iter().any(|&(s, e)| s < hi && e > lo) {
+            overlap_args.push(i);
+        }
+    }
+
+    Ok(SanitizeOutcome {
+        observed_overlap: !overlap_ranges.is_empty(),
+        overlap_args,
+        groups_run,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysel_kernel::{Buffer, KernelIr, Space, VariantMeta};
+
+    fn one_output_args(n: usize) -> Args {
+        let mut a = Args::new();
+        a.push(Buffer::f32("out", vec![0.0; n], Space::Global));
+        a
+    }
+
+    #[test]
+    fn footprint_merges_and_intersects() {
+        let mut a = StoreFootprint::new();
+        a.add(0, 4);
+        a.add(4, 8);
+        a.add(16, 20);
+        assert_eq!(a.ranges(), &[(0, 8), (16, 20)]);
+        assert_eq!(a.bytes(), 12);
+        let mut b = StoreFootprint::new();
+        b.add(6, 18);
+        assert_eq!(a.intersection(&mut b), vec![(6, 8), (16, 18)]);
+        let mut c = StoreFootprint::new();
+        c.add(8, 16);
+        assert!(a.intersection(&mut c).is_empty());
+    }
+
+    #[test]
+    fn sink_collects_only_stores() {
+        let mut s = FootprintSink::new();
+        s.mem(&MemOp::Warp {
+            space: Space::Global,
+            base: 100,
+            stride: 4,
+            lanes: 2,
+            elem: 4,
+            store: false,
+        });
+        s.mem(&MemOp::Warp {
+            space: Space::Global,
+            base: 100,
+            stride: 4,
+            lanes: 2,
+            elem: 4,
+            store: true,
+        });
+        s.mem(&MemOp::Scratchpad {
+            lanes: 8,
+            conflict: 1,
+            store: true,
+        });
+        let mut fp = s.into_footprint();
+        assert_eq!(fp.ranges(), &[(100, 108)]);
+    }
+
+    #[test]
+    fn disjoint_groups_show_no_overlap() {
+        let ir = KernelIr::regular(vec![0]);
+        let meta = VariantMeta::new("disjoint", ir).with_wa_factor(4);
+        let v = Variant::from_fn(meta, |ctx, args| {
+            let u = ctx.units();
+            for i in u.iter() {
+                args.f32_mut(0).unwrap()[i as usize] = i as f32;
+            }
+            ctx.stream_store(0, u.iter().next().unwrap_or(0), u.len(), 1);
+        });
+        let args = one_output_args(64);
+        let out = sanitize_variant(&v, &args, 64).unwrap();
+        assert!(!out.observed_overlap);
+        assert_eq!(out.groups_run, 3);
+        // The caller's buffers were never written.
+        assert_eq!(args.f32(0).unwrap()[0], 0.0);
+    }
+
+    #[test]
+    fn racing_groups_are_caught_with_the_right_arg() {
+        // Every group writes element 0 of arg 0 — a textbook write race.
+        let ir = KernelIr::regular(vec![0]);
+        let meta = VariantMeta::new("racy", ir).with_wa_factor(4);
+        let v = Variant::from_fn(meta, |ctx, args| {
+            args.f32_mut(0).unwrap()[0] = ctx.group() as f32;
+            ctx.stream_store(0, 0, 1, 1);
+        });
+        let args = one_output_args(64);
+        let out = sanitize_variant(&v, &args, 64).unwrap();
+        assert!(out.observed_overlap);
+        assert_eq!(out.overlap_args, vec![0]);
+        assert!(out.contradicts_disjoint());
+    }
+
+    #[test]
+    fn single_group_launches_are_vacuously_clean() {
+        let ir = KernelIr::regular(vec![0]);
+        let meta = VariantMeta::new("small", ir).with_wa_factor(64);
+        let v = Variant::from_fn(meta, |ctx, _args| {
+            ctx.stream_store(0, 0, 1, 1);
+        });
+        let args = one_output_args(64);
+        let out = sanitize_variant(&v, &args, 64).unwrap();
+        assert!(!out.observed_overlap);
+        assert_eq!(out.groups_run, 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Randomized property tests for the write-disjointness solver.
+//!
+//! Gated behind the dep-less `proptest` cargo feature and driven by the
+//! in-tree [`XorShiftRng`]: `cargo test -p dysel-verify --features proptest`.
+#![cfg(feature = "proptest")]
+
+use dysel_kernel::{
+    AccessIr, Args, Buffer, KernelIr, LoopBound, LoopIr, LoopKind, Space, Variant, VariantMeta,
+    XorShiftRng,
+};
+use dysel_verify::{sanitize_variant, write_verdict, Verdict};
+
+const CASES: u64 = 256;
+
+/// Ground truth by exhaustive enumeration: map every index tuple of the
+/// (small, all-constant) loop nest to the affine store value, and report
+/// whether two *distinct work-item sub-tuples* ever produce the same value
+/// (for any kernel-loop indices) — the definition of a cross-work-item
+/// write race.
+fn brute_force_overlaps(extents: &[u64], wi_dims: &[bool], coeffs: &[i64]) -> bool {
+    let total: u64 = extents.iter().product();
+    let mut seen: Vec<(i64, Vec<u64>)> = Vec::with_capacity(total as usize);
+    for flat in 0..total {
+        let mut rest = flat;
+        let mut value = 0i64;
+        let mut wi_tuple = Vec::new();
+        for (d, &e) in extents.iter().enumerate() {
+            let idx = rest % e;
+            rest /= e;
+            value += coeffs[d] * idx as i64;
+            if wi_dims[d] {
+                wi_tuple.push(idx);
+            }
+        }
+        if seen.iter().any(|(v, wt)| *v == value && *wt != wi_tuple) {
+            return true;
+        }
+        seen.push((value, wi_tuple));
+    }
+    false
+}
+
+/// On small all-constant nests with a single store site the solver must be
+/// *decisive* (the bounded enumeration always fits the cap) and its verdict
+/// must agree exactly with brute-force footprint enumeration.
+#[test]
+fn single_site_verdict_matches_enumeration() {
+    for case in 0..CASES {
+        let mut rng = XorShiftRng::seed_from_u64(0xD15C_0000 + case);
+        let nloops = rng.gen_range_usize(1, 5);
+        // At least one work-item loop: a nest without one is a different
+        // (vacuous) regime the lints handle separately.
+        let wi_slot = rng.gen_range_usize(0, nloops);
+        let mut loops = Vec::new();
+        let mut extents = Vec::new();
+        let mut wi_dims = Vec::new();
+        for d in 0..nloops {
+            let wi = d == wi_slot || rng.gen_range_u32(0, 4) == 0;
+            let extent = rng.gen_range_u64(1, 6);
+            loops.push(LoopIr::new(
+                if wi {
+                    LoopKind::WorkItem((wi_dims.iter().filter(|w| **w).count() as u8).min(2))
+                } else {
+                    LoopKind::Kernel
+                },
+                LoopBound::Const(extent),
+            ));
+            extents.push(extent);
+            wi_dims.push(wi);
+        }
+        let coeffs: Vec<i64> = (0..nloops)
+            .map(|_| rng.gen_range_u64(0, 9) as i64 - 4)
+            .collect();
+
+        let ir = KernelIr::regular(vec![0])
+            .with_loops(loops)
+            .with_accesses(vec![AccessIr::affine_store(0, coeffs.clone())]);
+        let verdict = write_verdict(&ir).expect("one store site is present");
+        let overlaps = brute_force_overlaps(&extents, &wi_dims, &coeffs);
+        match verdict {
+            Verdict::Disjoint => assert!(
+                !overlaps,
+                "case {case}: solver proved disjoint but enumeration found a \
+                 race (extents {extents:?}, wi {wi_dims:?}, coeffs {coeffs:?})"
+            ),
+            Verdict::Overlap => assert!(
+                overlaps,
+                "case {case}: solver claimed overlap but enumeration found \
+                 none (extents {extents:?}, wi {wi_dims:?}, coeffs {coeffs:?})"
+            ),
+            Verdict::Unknown => panic!(
+                "case {case}: solver must be decisive on bounded nests \
+                 (extents {extents:?}, wi {wi_dims:?}, coeffs {coeffs:?})"
+            ),
+        }
+    }
+}
+
+/// With several store sites the solver may abstain, but never lies: a
+/// `Disjoint` verdict means the per-site enumerations find no race either.
+#[test]
+fn multi_site_verdicts_are_sound() {
+    for case in 0..CASES {
+        let mut rng = XorShiftRng::seed_from_u64(0x5171_E500 + case);
+        let nloops = rng.gen_range_usize(1, 4);
+        let mut loops = Vec::new();
+        let mut extents = Vec::new();
+        let mut wi_dims = Vec::new();
+        for d in 0..nloops {
+            let wi = d == 0 || rng.gen_range_u32(0, 3) == 0;
+            let extent = rng.gen_range_u64(1, 5);
+            loops.push(LoopIr::new(
+                if wi {
+                    LoopKind::WorkItem(0)
+                } else {
+                    LoopKind::Kernel
+                },
+                LoopBound::Const(extent),
+            ));
+            extents.push(extent);
+            wi_dims.push(wi);
+        }
+        let sites: Vec<Vec<i64>> = (0..rng.gen_range_usize(1, 4))
+            .map(|_| {
+                (0..nloops)
+                    .map(|_| rng.gen_range_u64(0, 7) as i64 - 3)
+                    .collect()
+            })
+            .collect();
+        let accesses = sites
+            .iter()
+            .map(|c| AccessIr::affine_store(0, c.clone()))
+            .collect();
+        let ir = KernelIr::regular(vec![0])
+            .with_loops(loops)
+            .with_accesses(accesses);
+        if write_verdict(&ir) == Some(Verdict::Disjoint) {
+            for coeffs in &sites {
+                assert!(
+                    !brute_force_overlaps(&extents, &wi_dims, coeffs),
+                    "case {case}: Disjoint verdict over a racy site \
+                     (extents {extents:?}, wi {wi_dims:?}, coeffs {coeffs:?})"
+                );
+            }
+        }
+    }
+}
+
+/// Trace-replay cross-check: a kernel whose body honestly materializes its
+/// declared affine store shows exactly the overlap the solver predicts —
+/// the static verdict and the dynamic sanitizer agree on every case.
+#[test]
+fn verdict_agrees_with_trace_replay() {
+    const UNITS: u64 = 48;
+    for case in 0..CASES {
+        let mut rng = XorShiftRng::seed_from_u64(0x7E51_A900 + case);
+        // Element stride 0 races across every group; stride >= 1 is
+        // disjoint. The body writes (and traces) element `u * stride`.
+        let stride = rng.gen_range_u64(0, 4);
+        let wa = rng.gen_range_u32(2, 6);
+        let ir = KernelIr::regular(vec![0])
+            .with_loops(vec![LoopIr::new(
+                LoopKind::WorkItem(0),
+                LoopBound::Const(UNITS),
+            )])
+            .with_accesses(vec![AccessIr::affine_store(0, vec![stride as i64])]);
+        let verdict = write_verdict(&ir).expect("one store site");
+        let meta = VariantMeta::new(format!("s{stride}"), ir).with_wa_factor(wa);
+        let variant = Variant::from_fn(meta, move |ctx, args| {
+            for u in ctx.units().iter() {
+                args.f32_mut(0).unwrap()[(u * stride) as usize] = u as f32;
+                ctx.stream_store(0, u * stride, 1, 1);
+            }
+        });
+        let mut args = Args::new();
+        args.push(Buffer::f32(
+            "out",
+            vec![0.0; (UNITS * stride.max(1)) as usize],
+            Space::Global,
+        ));
+        let outcome = sanitize_variant(&variant, &args, UNITS).unwrap();
+        assert!(outcome.groups_run >= 2, "case {case}: need a cross-check");
+        match verdict {
+            Verdict::Disjoint => assert!(
+                !outcome.observed_overlap,
+                "case {case}: stride {stride} declared disjoint but replay \
+                 observed overlap"
+            ),
+            Verdict::Overlap => assert!(
+                outcome.observed_overlap,
+                "case {case}: stride {stride} proven racy but replay saw \
+                 disjoint footprints"
+            ),
+            Verdict::Unknown => panic!("case {case}: bounded nest must be decisive"),
+        }
+    }
+}

@@ -56,7 +56,10 @@ fn ir() -> KernelIr {
         ])
         .with_accesses(vec![
             AccessIr::affine_load(arg::DATA, vec![0, 1]),
-            AccessIr::indirect_load(arg::HIST),
+            // Data-dependent read-modify-write of the bins: the histogram
+            // *stores* through an indirect pattern, which is what keeps the
+            // verifier from (wrongly) proving its writes disjoint.
+            AccessIr::indirect_store(arg::HIST),
         ])
         .with_atomics()
         .with_overlapping_outputs();

@@ -115,17 +115,20 @@ fn ir(shape: Shape, order: CpuOrder) -> KernelIr {
             LoopIr::new(kind, LoopBound::UniformRuntime)
         })
         .collect();
-    let (mut cp, mut cc) = (vec![], vec![]);
+    let (mut cp, mut cc, mut ca) = (vec![], vec![], vec![]);
     for &v in &order_chars {
         let (a, b) = coeff(v);
         cp.push(a);
         cc.push(b);
+        // assign[p]: unit stride in the work-item loop, invariant in c/d.
+        ca.push(i64::from(v == 'p'));
     }
     KernelIr::regular(vec![arg::ASSIGN])
         .with_loops(loops)
         .with_accesses(vec![
             AccessIr::affine_load(arg::POINTS, cp),
             AccessIr::affine_load(arg::CENTERS, cc),
+            AccessIr::affine_store(arg::ASSIGN, ca),
         ])
 }
 

@@ -222,7 +222,9 @@ fn schedule_ir(n: usize, s: Schedule) -> KernelIr {
                 'j' => LoopKind::WorkItem(0),
                 _ => LoopKind::Kernel,
             };
-            LoopIr::new(kind, LoopBound::UniformRuntime)
+            // All three loops trip n times; the constant bound is what lets
+            // the verifier prove the C store disjoint (n > n-1 dominance).
+            LoopIr::new(kind, LoopBound::Const(n as u64))
         })
         .collect();
     let (mut ca, mut cb, mut cc) = (vec![], vec![], vec![]);
@@ -315,11 +317,23 @@ const TILED_SMEM: u32 = 2 * (TILE * TILE * 4) as u32;
 
 /// GPU variants (Case III): naive and scratchpad-tiled.
 pub fn gpu_variants(n: usize) -> Vec<Variant> {
+    // Access sites in (tile, k) space: each work-group owns one output
+    // tile of C (unit stride in tile index, so stores are disjoint per
+    // tile), while A and B are streamed along the k loop.
+    let gpu_accesses = || {
+        vec![
+            AccessIr::affine_load(arg::A, vec![0, 1]),
+            AccessIr::affine_load(arg::B, vec![0, n as i64]),
+            AccessIr::affine_store(arg::C, vec![1, 0]),
+        ]
+    };
     let base = {
-        let ir = KernelIr::regular(vec![arg::C]).with_loops(vec![
-            LoopIr::new(LoopKind::WorkItem(0), LoopBound::UniformRuntime),
-            LoopIr::new(LoopKind::Kernel, LoopBound::UniformRuntime),
-        ]);
+        let ir = KernelIr::regular(vec![arg::C])
+            .with_loops(vec![
+                LoopIr::new(LoopKind::WorkItem(0), LoopBound::UniformRuntime),
+                LoopIr::new(LoopKind::Kernel, LoopBound::UniformRuntime),
+            ])
+            .with_accesses(gpu_accesses());
         let meta = VariantMeta::new("gpu-base", ir).with_group_size((TILE * TILE) as u32);
         Variant::from_fn(meta, move |ctx, args| {
             let n64 = n as u64;
@@ -344,6 +358,7 @@ pub fn gpu_variants(n: usize) -> Vec<Variant> {
                 LoopIr::new(LoopKind::WorkItem(0), LoopBound::UniformRuntime),
                 LoopIr::new(LoopKind::Kernel, LoopBound::UniformRuntime),
             ])
+            .with_accesses(gpu_accesses())
             .with_scratchpad(TILED_SMEM);
         // Tiling packs 2 base tiles per work-group: work assignment 2x.
         let meta = VariantMeta::new("gpu-tiled-smem", ir)

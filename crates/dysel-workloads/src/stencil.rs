@@ -223,11 +223,13 @@ fn cpu_ir(n: usize, order: CpuOrder) -> KernelIr {
         CpuOrder::Xyu => ('x', 'y', 'u'),
     };
     let coeffs = vec![stride(o1), stride(o2), stride(o3)];
+    // Constant bounds (the grid edge) let the verifier prove the output
+    // store disjoint by stride dominance: n*n > n*(n-1) + (n-1).
     KernelIr::regular(vec![arg::OUT])
         .with_loops(vec![
-            LoopIr::new(LoopKind::WorkItem(2), LoopBound::UniformRuntime),
-            LoopIr::new(LoopKind::WorkItem(1), LoopBound::UniformRuntime),
-            LoopIr::new(LoopKind::WorkItem(0), LoopBound::UniformRuntime),
+            LoopIr::new(LoopKind::WorkItem(2), LoopBound::Const(n as u64)),
+            LoopIr::new(LoopKind::WorkItem(1), LoopBound::Const(n as u64)),
+            LoopIr::new(LoopKind::WorkItem(0), LoopBound::Const(n as u64)),
         ])
         .with_accesses(vec![
             AccessIr::affine_load(arg::IN, coeffs.clone()),
@@ -280,10 +282,16 @@ pub fn gpu_variant(n: usize, flavor: GpuFlavor) -> Variant {
         GpuFlavor::ZCoarsen => ("gpu-zcoarsen8", 8, 0),
         GpuFlavor::ZCoarsenSmem => ("gpu-zcoarsen-smem", 16, (YB + 2) as u32 * 34 * 4),
     };
+    // In (unit, z-step) space each work-group owns its own pencil blocks:
+    // unit stride in the unit loop, invariant in the coarsening loop.
     let ir = KernelIr::regular(vec![arg::OUT])
         .with_loops(vec![
             LoopIr::new(LoopKind::WorkItem(0), LoopBound::UniformRuntime),
             LoopIr::new(LoopKind::Kernel, LoopBound::UniformRuntime),
+        ])
+        .with_accesses(vec![
+            AccessIr::affine_load(arg::IN, vec![1, 0]),
+            AccessIr::affine_store(arg::OUT, vec![1, 0]),
         ])
         .with_scratchpad(smem);
     let meta = VariantMeta::new(name, ir)

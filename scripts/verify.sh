@@ -34,6 +34,10 @@ cargo clippy --all-targets -- -D warnings
 echo "==> full test matrix (unit + integration + end-to-end)"
 cargo test --release --workspace -q
 
+echo "==> static lint audit of the workload suite (fail on any Deny)"
+cargo run --release -p dysel-bench --bin dysel-lint -q
+echo "    clean"
+
 echo "==> quickstart example smoke"
 cargo run --release --example quickstart -q | grep -q "output verified"
 echo "    verified"
@@ -77,7 +81,7 @@ echo "    cold-started with a warning"
 
 if [ "$run_proptest" = 1 ]; then
     echo "==> property suites (--features proptest)"
-    for crate in dysel-kernel dysel-device dysel-analysis dysel-core dysel-workloads; do
+    for crate in dysel-kernel dysel-device dysel-analysis dysel-verify dysel-core dysel-workloads; do
         cargo test --release -p "$crate" --features proptest -q
     done
 fi

@@ -28,6 +28,7 @@
 //! | [`core`] | the DySel runtime: productive profiling, sync/async flows |
 //! | [`workloads`] | sgemm, spmv, stencil, cutcp, kmeans, particle filter, histogram |
 //! | [`baselines`] | LC scheduling, PORPLE-like placement, heuristics, oracle |
+//! | [`verify`] | static kernel-variant verifier: disjointness solver, lints |
 //!
 //! ## Quickstart
 //!
@@ -66,4 +67,5 @@ pub use dysel_baselines as baselines;
 pub use dysel_core as core;
 pub use dysel_device as device;
 pub use dysel_kernel as kernel;
+pub use dysel_verify as verify;
 pub use dysel_workloads as workloads;

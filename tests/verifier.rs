@@ -1,0 +1,238 @@
+//! Static-verifier acceptance: an injected `output_disjoint` mis-declaration
+//! is caught statically with a stable lint code, rejected by a strict
+//! runtime, downgraded to swap-based profiling by a lenient one, and — when
+//! the lie is invisible to static analysis — confirmed dynamically by the
+//! trace-replay sanitizer and quarantined.
+
+use dysel::core::{
+    DyselError, LaunchOptions, QuarantineReason, Runtime, RuntimeConfig, VerifyLevel,
+};
+use dysel::device::{CpuConfig, CpuDevice};
+use dysel::kernel::{
+    AccessIr, Args, Buffer, KernelIr, LoopBound, LoopIr, LoopKind, ProfilingMode, Space, Variant,
+    VariantId, VariantMeta,
+};
+use dysel::verify::{has_deny, verify_variant, LintCode, Severity};
+
+const N: u64 = 4096;
+
+fn fresh_args() -> Args {
+    let mut a = Args::new();
+    a.push(Buffer::f32("out", vec![0.0; N as usize], Space::Global));
+    a.push(Buffer::f32(
+        "in",
+        (0..N).map(|i| i as f32).collect(),
+        Space::Global,
+    ));
+    a
+}
+
+/// `out[u] = 2*in[u] + 1` — honest disjoint per-unit writes, with the
+/// matching IR: one work-item loop, unit-stride store into arg 0.
+fn honest(name: &str, cost: u64) -> Variant {
+    let ir = KernelIr::regular(vec![0])
+        .with_loops(vec![LoopIr::new(
+            LoopKind::WorkItem(0),
+            LoopBound::Const(N),
+        )])
+        .with_accesses(vec![
+            AccessIr::affine_load(1, vec![1]),
+            AccessIr::affine_store(0, vec![1]),
+        ]);
+    Variant::from_fn(VariantMeta::new(name, ir), move |ctx, args| {
+        for u in ctx.units().iter() {
+            let x = args.f32(1).unwrap()[u as usize];
+            args.f32_mut(0).unwrap()[u as usize] = 2.0 * x + 1.0;
+            ctx.vector_compute(cost, 8, 8, 1);
+        }
+    })
+}
+
+/// The injected mis-declaration: `output_disjoint` claimed, but the store
+/// site's coefficient on the work-item loop is zero — every work-item (and
+/// so every work-group) hits the same element. The kernel body is honest;
+/// the *metadata* lies.
+fn misdeclared(name: &str) -> Variant {
+    let ir = KernelIr::regular(vec![0])
+        .with_loops(vec![LoopIr::new(
+            LoopKind::WorkItem(0),
+            LoopBound::Const(N),
+        )])
+        .with_accesses(vec![AccessIr::affine_store(0, vec![0])]);
+    Variant::from_fn(VariantMeta::new(name, ir), move |ctx, args| {
+        for u in ctx.units().iter() {
+            args.f32_mut(0).unwrap()[u as usize] = 1.0;
+            // Priced far out of contention: if this variant ever won
+            // selection its wrong body would corrupt the final output.
+            ctx.vector_compute(64, 8, 8, 1);
+        }
+    })
+}
+
+fn runtime(verify: VerifyLevel, sanitize: bool) -> Runtime {
+    Runtime::with_config(
+        Box::new(CpuDevice::new(CpuConfig::noiseless())),
+        RuntimeConfig {
+            profile_threshold_groups: 16,
+            verify,
+            sanitize_traces: sanitize,
+            ..RuntimeConfig::default()
+        },
+    )
+}
+
+/// (a) The mis-declaration is caught statically, with the stable code.
+#[test]
+fn misdeclaration_is_caught_statically() {
+    let diags = verify_variant(&misdeclared("liar").meta);
+    assert!(has_deny(&diags), "{diags:?}");
+    let dv100 = diags
+        .iter()
+        .find(|d| d.code == LintCode::DisjointViolated)
+        .expect("DV100 finding");
+    assert_eq!(dv100.code.code(), "DV100");
+    assert_eq!(dv100.severity, Severity::Deny);
+    assert_eq!(dv100.variant, "liar");
+
+    // The honest twin is clean — the finding is the lie, not the shape.
+    assert!(verify_variant(&honest("honest", 4).meta).is_empty());
+}
+
+/// (b) Strict mode refuses the launch with a typed error before touching
+/// any user buffer.
+#[test]
+fn strict_mode_rejects_the_launch() {
+    let mut rt = runtime(VerifyLevel::Strict, false);
+    rt.add_kernels("k", [honest("honest", 4), misdeclared("liar")]);
+    let mut args = fresh_args();
+    let err = rt
+        .launch("k", &mut args, N, &LaunchOptions::new())
+        .unwrap_err();
+    match err {
+        DyselError::Rejected {
+            signature,
+            diagnostics,
+        } => {
+            assert_eq!(signature, "k");
+            assert!(diagnostics
+                .iter()
+                .any(|d| d.code == LintCode::DisjointViolated));
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    // Nothing ran: the output is untouched.
+    assert!(args.f32(0).unwrap().iter().all(|&y| y == 0.0));
+}
+
+/// (b') Strict registration: `try_add_kernel` refuses the variant at the
+/// door, and leaves the pool unchanged.
+#[test]
+fn try_add_kernel_rejects_bad_metadata() {
+    let mut rt = runtime(VerifyLevel::Off, false);
+    assert!(matches!(
+        rt.try_add_kernel("k", misdeclared("liar")),
+        Err(DyselError::Rejected { .. })
+    ));
+    let id = rt.try_add_kernel("k", honest("honest", 4)).unwrap();
+    assert_eq!(id, VariantId(0), "rejected variant must not occupy a slot");
+}
+
+/// (b'') Lenient mode downgrades the launch to swap-based profiling and
+/// records the diagnostic instead of failing; the output stays exact.
+#[test]
+fn lenient_mode_downgrades_to_swap() {
+    let mut rt = runtime(VerifyLevel::Lenient, false);
+    rt.add_kernels(
+        "k",
+        [honest("fast", 4), honest("slow", 12), misdeclared("liar")],
+    );
+    let mut args = fresh_args();
+    let report = rt.launch("k", &mut args, N, &LaunchOptions::new()).unwrap();
+    // Without the verifier this regular set infers FullyProductive; the
+    // deny finding forces the always-safe mode instead.
+    assert_eq!(report.mode, Some(ProfilingMode::SwapPartial));
+    let diags = rt.diagnostics("k");
+    assert!(diags.iter().any(|d| d.code == LintCode::DisjointViolated));
+    // Swap profiling sandboxes every candidate, so even the mis-declared
+    // variant's profiling writes never reach the user buffers.
+    assert_ne!(report.selected_name, "liar");
+    for (i, y) in args.f32(0).unwrap().iter().enumerate() {
+        assert_eq!(*y, 2.0 * i as f32 + 1.0);
+    }
+}
+
+/// The arity check runs against the real argument list at launch time: an
+/// out-of-range sandbox index is a deny finding.
+#[test]
+fn launch_checks_indices_against_real_arity() {
+    let mut rt = runtime(VerifyLevel::Strict, false);
+    let mut v = honest("oob", 4);
+    v.meta.sandbox_args = vec![0, 7];
+    rt.add_kernels("k", [v, honest("honest", 8)]);
+    let err = rt
+        .launch("k", &mut fresh_args(), N, &LaunchOptions::new())
+        .unwrap_err();
+    match err {
+        DyselError::Rejected { diagnostics, .. } => {
+            assert!(diagnostics
+                .iter()
+                .any(|d| d.code == LintCode::SandboxOutOfRange));
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+}
+
+/// (c) A lie invisible to static analysis — no access sites declared, so
+/// the solver has nothing to refute — is confirmed dynamically: the
+/// trace-replay sanitizer observes cross-group write overlap and the
+/// variant is quarantined with `MetadataMismatch`.
+#[test]
+fn sanitizer_quarantines_a_dynamically_confirmed_liar() {
+    // Declares disjoint outputs, declares *no* access sites, and actually
+    // writes (and traces) element 0 from every work-group.
+    let silent_liar = Variant::from_fn(
+        VariantMeta::new("silent-liar", KernelIr::regular(vec![0])).with_wa_factor(4),
+        |ctx, args| {
+            args.f32_mut(0).unwrap()[0] = ctx.group() as f32;
+            ctx.stream_store(0, 0, 1, 1);
+        },
+    );
+    assert!(
+        verify_variant(&silent_liar.meta).is_empty(),
+        "the lie must be statically invisible for this test"
+    );
+
+    let mut rt = runtime(VerifyLevel::Lenient, true);
+    rt.add_kernels("k", [honest("honest", 4), silent_liar]);
+    let mut args = fresh_args();
+    let report = rt.launch("k", &mut args, N, &LaunchOptions::new()).unwrap();
+    assert_eq!(
+        rt.quarantined("k"),
+        &[(VariantId(1), QuarantineReason::MetadataMismatch)]
+    );
+    assert_eq!(report.selected, VariantId(0));
+    for (i, y) in args.f32(0).unwrap().iter().enumerate() {
+        assert_eq!(*y, 2.0 * i as f32 + 1.0);
+    }
+
+    // The sanitizer runs once per (signature, variant): a second launch
+    // neither re-runs it nor re-quarantines.
+    let report2 = rt.launch("k", &mut args, N, &LaunchOptions::new()).unwrap();
+    assert_eq!(report2.selected, VariantId(0));
+    assert_eq!(rt.quarantined("k").len(), 1);
+}
+
+/// The sanitizer leaves honest variants alone and costs nothing after the
+/// first launch.
+#[test]
+fn sanitizer_passes_honest_variants() {
+    let mut rt = runtime(VerifyLevel::Lenient, true);
+    rt.add_kernels("k", [honest("a", 4), honest("b", 8)]);
+    let mut args = fresh_args();
+    let report = rt.launch("k", &mut args, N, &LaunchOptions::new()).unwrap();
+    assert!(rt.quarantined("k").is_empty());
+    assert!(report.faults.is_clean());
+    for (i, y) in args.f32(0).unwrap().iter().enumerate() {
+        assert_eq!(*y, 2.0 * i as f32 + 1.0);
+    }
+}
