@@ -23,12 +23,23 @@
 //! end-of-run summary line reports `profiled=` and a selections digest so
 //! the two runs are easy to compare. A corrupt or version-skewed file is
 //! ignored with a warning (cold start), never a crash.
+//!
+//! `--trace-out PATH` records every DySel launch's lifecycle events
+//! (profile, eager chunk, retry, quarantine, selection, batch, ...) and
+//! writes them as Chrome `trace_event` JSON — open the file at
+//! `chrome://tracing` or <https://ui.perfetto.dev>. `--metrics-out PATH`
+//! writes the end-of-run counter/histogram snapshot as plain text. Both
+//! exports are deterministic: bit-identical at any `--threads` count.
+//! Without these flags nothing is observed and the runs are bit-identical
+//! to builds without the observability layer.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 use dysel_bench::{experiments, harness};
 use dysel_core::FaultPlan;
+use dysel_obs::EventSink;
 
 fn install_fault_plan(spec: &str) {
     match spec.parse::<FaultPlan>() {
@@ -44,6 +55,8 @@ fn install_fault_plan(spec: &str) {
 fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut list = false;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--list" {
@@ -73,6 +86,22 @@ fn main() {
             harness::set_state_file(Some(PathBuf::from(p)));
         } else if let Some(p) = a.strip_prefix("--state-file=") {
             harness::set_state_file(Some(PathBuf::from(p)));
+        } else if a == "--trace-out" {
+            let p = args.next().unwrap_or_else(|| {
+                eprintln!("--trace-out needs a path");
+                std::process::exit(2);
+            });
+            trace_out = Some(PathBuf::from(p));
+        } else if let Some(p) = a.strip_prefix("--trace-out=") {
+            trace_out = Some(PathBuf::from(p));
+        } else if a == "--metrics-out" {
+            let p = args.next().unwrap_or_else(|| {
+                eprintln!("--metrics-out needs a path");
+                std::process::exit(2);
+            });
+            metrics_out = Some(PathBuf::from(p));
+        } else if let Some(p) = a.strip_prefix("--metrics-out=") {
+            metrics_out = Some(PathBuf::from(p));
         } else if a == "--fault-plan" {
             let spec = args.next().unwrap_or_else(|| {
                 eprintln!("--fault-plan needs a plan spec");
@@ -99,6 +128,13 @@ fn main() {
     } else {
         ids
     };
+    let sink = if trace_out.is_some() || metrics_out.is_some() {
+        let sink = Arc::new(EventSink::new());
+        harness::set_observer(Some(sink.clone()));
+        Some(sink)
+    } else {
+        None
+    };
     println!("DySel experiment harness (deterministic; seeds fixed)\n");
     let t0 = Instant::now();
     for id in &ids {
@@ -112,5 +148,20 @@ fn main() {
         }
     }
     println!("{}", harness::run_summary().line());
+    if let Some(sink) = sink {
+        if let Some(path) = trace_out {
+            let events = sink.events();
+            match std::fs::write(&path, dysel_obs::chrome_trace(&events)) {
+                Ok(()) => println!("trace: {} events -> {}", events.len(), path.display()),
+                Err(e) => eprintln!("warning: trace not written to {}: {e}", path.display()),
+            }
+        }
+        if let Some(path) = metrics_out {
+            match std::fs::write(&path, sink.metrics_snapshot().render()) {
+                Ok(()) => println!("metrics -> {}", path.display()),
+                Err(e) => eprintln!("warning: metrics not written to {}: {e}", path.display()),
+            }
+        }
+    }
     println!("total: {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -4,7 +4,7 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use dysel_baselines::{exhaustive_sweep, SweepResult};
 use dysel_core::{
@@ -12,6 +12,7 @@ use dysel_core::{
 };
 use dysel_device::{CpuConfig, CpuDevice, Cycles, Device, GpuConfig, GpuDevice};
 use dysel_kernel::Orchestration;
+use dysel_obs::EventSink;
 use dysel_workloads::{Target, Workload};
 
 /// Worker threads the factories give each fresh device's functional
@@ -71,6 +72,24 @@ fn warn_state_once(msg: &str) {
     if !STATE_WARNED.swap(true, Ordering::Relaxed) {
         eprintln!("warning: {msg}");
     }
+}
+
+/// Event sink installed on every [`run_dysel`] runtime (the `--trace-out`
+/// / `--metrics-out` flags); `None` (the default) observes nothing — the
+/// runs are then bit-identical to an unobserved build.
+static OBSERVER: Mutex<Option<Arc<EventSink>>> = Mutex::new(None);
+
+/// Installs (or clears, with `None`) the shared event sink that every
+/// subsequent [`run_dysel`] runtime emits launch-lifecycle events and
+/// metrics into. One sink spans the whole run, so the exported trace holds
+/// every launch in execution order.
+pub fn set_observer(obs: Option<Arc<EventSink>>) {
+    *OBSERVER.lock().unwrap() = obs;
+}
+
+/// The currently installed event sink, if any.
+pub fn observer() -> Option<Arc<EventSink>> {
+    OBSERVER.lock().unwrap().clone()
 }
 
 /// Aggregate over every DySel launch a run performed via [`run_dysel`]:
@@ -268,6 +287,7 @@ pub fn run_dysel(
         factory(),
         RuntimeConfig {
             state_path: state_path.clone(),
+            observe: observer(),
             ..RuntimeConfig::default()
         },
     );

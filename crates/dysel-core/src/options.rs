@@ -197,6 +197,14 @@ pub struct RuntimeConfig {
     /// the sanitizer allocates scratch buffers and costs a few groups of
     /// execution per variant.
     pub sanitize_traces: bool,
+    /// When set, the runtime (and the device it drives) emit structured
+    /// launch-lifecycle events and metrics into this sink — see
+    /// `dysel_obs`. Events are ordered by the canonical serial-replay
+    /// timeline, so exports are bit-identical at any worker-thread count.
+    /// `None` (the default) emits nothing: the off path is a single
+    /// `Option` check per site and leaves timelines and selections
+    /// untouched. Sink equality is identity, so configs stay comparable.
+    pub observe: Option<std::sync::Arc<dysel_obs::EventSink>>,
 }
 
 impl Default for RuntimeConfig {
@@ -212,6 +220,7 @@ impl Default for RuntimeConfig {
             state_path: None,
             verify: VerifyLevel::Off,
             sanitize_traces: false,
+            observe: None,
         }
     }
 }

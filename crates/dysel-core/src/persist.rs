@@ -37,8 +37,10 @@ use crate::fault::QuarantineReason;
 
 /// File magic: identifies a DySel state file regardless of extension.
 const MAGIC: [u8; 8] = *b"DYSELST\n";
-/// Current format version.
-const VERSION: u32 = 1;
+/// Current format version. v2 added the per-signature variant counts used
+/// to detect stale warm restores; v1 files cold-start with a typed
+/// [`StateError::UnsupportedVersion`].
+const VERSION: u32 = 2;
 /// Fixed header: magic, version, payload length, payload checksum.
 const HEADER_LEN: usize = 8 + 4 + 8 + 8;
 
@@ -50,12 +52,17 @@ pub struct RuntimeState {
     pub selections: BTreeMap<String, VariantId>,
     /// Quarantined variants per kernel signature, in quarantine order.
     pub quarantine: BTreeMap<String, Vec<(VariantId, QuarantineReason)>>,
+    /// Number of registered variants per selected signature at save time
+    /// (zero when unknown). A warm restore whose signature re-registers
+    /// with a different variant count is stale: the persisted winner was
+    /// chosen against a different candidate set.
+    pub variant_counts: BTreeMap<String, u32>,
 }
 
 impl RuntimeState {
     /// True when there is nothing to persist.
     pub fn is_empty(&self) -> bool {
-        self.selections.is_empty() && self.quarantine.is_empty()
+        self.selections.is_empty() && self.quarantine.is_empty() && self.variant_counts.is_empty()
     }
 }
 
@@ -199,6 +206,11 @@ pub fn encode(state: &RuntimeState) -> Vec<u8> {
             payload.push(reason_code(*reason));
         }
     }
+    put_u32(&mut payload, state.variant_counts.len() as u32);
+    for (sig, count) in &state.variant_counts {
+        put_str(&mut payload, sig);
+        put_u32(&mut payload, *count);
+    }
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
@@ -326,6 +338,14 @@ pub fn decode(bytes: &[u8], path: &Path) -> Result<RuntimeState, StateError> {
             return Err(malformed("duplicate quarantine signature"));
         }
     }
+    let n_counts = cur.u32()?;
+    for _ in 0..n_counts {
+        let sig = cur.string()?;
+        let count = cur.u32()?;
+        if state.variant_counts.insert(sig, count).is_some() {
+            return Err(malformed("duplicate variant-count signature"));
+        }
+    }
     if cur.at != payload.len() {
         return Err(malformed("trailing bytes after payload"));
     }
@@ -384,6 +404,8 @@ mod tests {
                 (VariantId(3), QuarantineReason::WrongOutput),
             ],
         );
+        s.variant_counts.insert("spmv".to_owned(), 4);
+        s.variant_counts.insert("sgemm".to_owned(), 2);
         s
     }
 
@@ -433,18 +455,20 @@ mod tests {
     }
 
     #[test]
-    fn future_version_is_typed() {
-        let mut image = encode(&sample());
-        image[8..12].copy_from_slice(&2u32.to_le_bytes());
-        let err = decode(&image, Path::new("x")).unwrap_err();
-        assert_eq!(
-            err,
-            StateError::UnsupportedVersion {
-                path: PathBuf::from("x"),
-                found: 2,
-                supported: VERSION,
-            }
-        );
+    fn other_version_is_typed() {
+        for found in [1u32, 3] {
+            let mut image = encode(&sample());
+            image[8..12].copy_from_slice(&found.to_le_bytes());
+            let err = decode(&image, Path::new("x")).unwrap_err();
+            assert_eq!(
+                err,
+                StateError::UnsupportedVersion {
+                    path: PathBuf::from("x"),
+                    found,
+                    supported: VERSION,
+                }
+            );
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use dysel_kernel::{Args, KernelError, Variant, VariantId};
+use dysel_obs::{names, EventSink};
 
 use crate::DyselError;
 
@@ -111,6 +112,13 @@ impl SandboxPool {
     /// Leases a sandbox over `src`'s `sandbox_args` for variant `variant`
     /// of `signature`, reusing a previously returned set when possible.
     ///
+    /// A pooled set is reused only when it matches `src` buffer-for-buffer
+    /// — same arity, and the same element type and byte length per
+    /// argument. Arity alone is not enough: relaunching a signature at a
+    /// different problem size keeps the argument count but changes every
+    /// buffer length, and refreshing a short sandbox from longer live data
+    /// would hand the kernel stale bytes past the old length.
+    ///
     /// # Errors
     ///
     /// Fails if an index in `sandbox_args` is out of range.
@@ -120,17 +128,29 @@ impl SandboxPool {
         variant: usize,
         src: &Args,
         sandbox_args: &[usize],
+        obs: Option<&EventSink>,
     ) -> Result<Args, KernelError> {
         if let Some(mut sb) = self.free.remove(&(signature.to_owned(), variant)) {
-            if sb.len() == src.len() {
+            let compatible = sb.len() == src.len()
+                && sb.iter().zip(src.iter()).all(|(a, b)| {
+                    a.elem_type() == b.elem_type() && a.size_bytes() == b.size_bytes()
+                });
+            if compatible {
                 sb.refresh_from(src)?;
                 self.reuses += 1;
+                if let Some(sink) = obs {
+                    sink.count(names::SANDBOX_HITS, 1);
+                }
                 return Ok(sb);
             }
-            // The variant set changed shape under this signature; drop the
-            // stale sandbox and fall through to a fresh allocation.
+            // The signature came back with a different shape — changed
+            // arity or resized/retyped buffers; drop the stale sandbox and
+            // fall through to a fresh allocation.
         }
         self.allocations += 1;
+        if let Some(sink) = obs {
+            sink.count(names::SANDBOX_MISSES, 1);
+        }
         src.sandbox_view(sandbox_args)
     }
 
@@ -208,7 +228,7 @@ mod tests {
         let mut pool = SandboxPool::default();
         let src = src_args(1.0);
 
-        let mut sb = pool.lease("k", 0, &src, &[1]).unwrap();
+        let mut sb = pool.lease("k", 0, &src, &[1], None).unwrap();
         assert_eq!((pool.allocations(), pool.reuses()), (1, 0));
         let sandbox_addr = sb.buffer(1).unwrap().addr();
         assert_ne!(sandbox_addr, src.buffer(1).unwrap().addr());
@@ -220,7 +240,7 @@ mod tests {
         // The second lease recycles the set: same sandbox address, and the
         // stale write has been refreshed away.
         let src2 = src_args(2.0);
-        let sb2 = pool.lease("k", 0, &src2, &[1]).unwrap();
+        let sb2 = pool.lease("k", 0, &src2, &[1], None).unwrap();
         assert_eq!((pool.allocations(), pool.reuses()), (1, 1));
         assert_eq!(sb2.buffer(1).unwrap().addr(), sandbox_addr);
         assert_eq!(sb2.f32(1).unwrap()[3], 0.0);
@@ -231,14 +251,14 @@ mod tests {
     fn sandbox_leases_are_keyed_per_variant() {
         let mut pool = SandboxPool::default();
         let src = src_args(1.0);
-        let a = pool.lease("k", 0, &src, &[1]).unwrap();
-        let b = pool.lease("k", 1, &src, &[1]).unwrap();
+        let a = pool.lease("k", 0, &src, &[1], None).unwrap();
+        let b = pool.lease("k", 1, &src, &[1], None).unwrap();
         assert_ne!(a.buffer(1).unwrap().addr(), b.buffer(1).unwrap().addr());
         pool.give_back("k", 0, a);
         pool.give_back("k", 1, b);
         // Each key recycles its own set.
-        pool.lease("k", 0, &src, &[1]).unwrap();
-        pool.lease("k", 1, &src, &[1]).unwrap();
+        pool.lease("k", 0, &src, &[1], None).unwrap();
+        pool.lease("k", 1, &src, &[1], None).unwrap();
         assert_eq!((pool.allocations(), pool.reuses()), (2, 2));
     }
 
@@ -246,12 +266,66 @@ mod tests {
     fn arity_change_falls_back_to_a_fresh_allocation() {
         let mut pool = SandboxPool::default();
         let src = src_args(1.0);
-        let sb = pool.lease("k", 0, &src, &[1]).unwrap();
+        let sb = pool.lease("k", 0, &src, &[1], None).unwrap();
         pool.give_back("k", 0, sb);
         let mut bigger = src_args(1.0);
         bigger.push(Buffer::f32("extra", vec![0.0; 4], Space::Global));
-        let sb2 = pool.lease("k", 0, &bigger, &[1]).unwrap();
+        let sb2 = pool.lease("k", 0, &bigger, &[1], None).unwrap();
         assert_eq!(sb2.len(), 3);
         assert_eq!((pool.allocations(), pool.reuses()), (2, 0));
+    }
+
+    fn sized_args(n: usize, v: f32) -> Args {
+        let mut a = Args::new();
+        a.push(Buffer::f32("in", vec![v; n], Space::Global));
+        a.push(Buffer::f32("out", vec![0.0; n], Space::Global));
+        a
+    }
+
+    /// Regression: relaunching the same signature at a different problem
+    /// size keeps the arity, so the old arity-only check happily refreshed
+    /// a wrong-sized sandbox. Both directions must fall back to a fresh
+    /// allocation sized like the live data.
+    #[test]
+    fn resized_buffers_invalidate_the_pooled_sandbox() {
+        let mut pool = SandboxPool::default();
+
+        let small = sized_args(8, 1.0);
+        let sb = pool.lease("k", 0, &small, &[1], None).unwrap();
+        pool.give_back("k", 0, sb);
+
+        // Same signature, same arity, larger buffers: must reallocate.
+        let large = sized_args(32, 2.0);
+        let sb2 = pool.lease("k", 0, &large, &[1], None).unwrap();
+        assert_eq!((pool.allocations(), pool.reuses()), (2, 0));
+        assert_eq!(sb2.buffer(1).unwrap().len(), 32);
+        assert_eq!(sb2.f32(0).unwrap(), vec![2.0; 32].as_slice());
+        pool.give_back("k", 0, sb2);
+
+        // And shrinking back: a 32-element sandbox must not serve an
+        // 8-element launch either.
+        let small2 = sized_args(8, 3.0);
+        let sb3 = pool.lease("k", 0, &small2, &[1], None).unwrap();
+        assert_eq!((pool.allocations(), pool.reuses()), (3, 0));
+        assert_eq!(sb3.buffer(1).unwrap().len(), 8);
+        pool.give_back("k", 0, sb3);
+
+        // Matching shape still recycles.
+        let small3 = sized_args(8, 4.0);
+        pool.lease("k", 0, &small3, &[1], None).unwrap();
+        assert_eq!((pool.allocations(), pool.reuses()), (3, 1));
+    }
+
+    #[test]
+    fn lease_reports_pool_hits_and_misses() {
+        let sink = EventSink::new();
+        let mut pool = SandboxPool::default();
+        let src = src_args(1.0);
+        let sb = pool.lease("k", 0, &src, &[1], Some(&sink)).unwrap();
+        pool.give_back("k", 0, sb);
+        pool.lease("k", 0, &src, &[1], Some(&sink)).unwrap();
+        let m = sink.metrics_snapshot();
+        assert_eq!(m.counter(names::SANDBOX_MISSES), 1);
+        assert_eq!(m.counter(names::SANDBOX_HITS), 1);
     }
 }

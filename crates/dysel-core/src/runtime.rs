@@ -20,6 +20,7 @@ use dysel_device::{
 use dysel_kernel::{
     Args, Orchestration, ProfilingMode, UnitRange, Variant, VariantId, VariantMeta,
 };
+use dysel_obs::{names, Event, MetricsSnapshot, Stage};
 
 use dysel_verify::{has_deny, sanitize_variant, Diagnostic};
 
@@ -43,6 +44,20 @@ const VALIDATE_STREAM: StreamId = StreamId(u32::MAX);
 /// Sandbox-pool slot of the shared validation scratch space (outside the
 /// `0..K` variant range, so it never collides with a private output lease).
 const VALIDATE_SLOT: usize = usize::MAX;
+
+/// Cap on distinct verifier findings kept per signature. A lenient-verify
+/// runtime relaunching a bad signature forever must not grow its
+/// diagnostics without bound; findings past the cap are counted, not kept.
+const MAX_DIAGS_PER_SIGNATURE: usize = 32;
+
+/// Recorded verifier findings for one signature: the first
+/// [`MAX_DIAGS_PER_SIGNATURE`] distinct findings, plus how many distinct
+/// findings the cap dropped.
+#[derive(Debug, Default)]
+struct DiagSlot {
+    diags: Vec<Diagnostic>,
+    dropped: u64,
+}
 
 /// The DySel runtime, owning a device and the kernel pool.
 ///
@@ -80,15 +95,18 @@ pub struct Runtime {
     sandboxes: SandboxPool,
     timeline: Timeline,
     quarantine: HashMap<String, Vec<(VariantId, QuarantineReason)>>,
-    /// Signatures whose selection was loaded from the state file: these
+    /// Signatures whose selection was loaded from the state file, mapped
+    /// to the variant count persisted alongside (zero when unknown): these
     /// skip micro-profiling on launch (warm restart), independently of
-    /// [`RuntimeConfig::profile_once_per_signature`].
-    warm: HashSet<String>,
+    /// [`RuntimeConfig::profile_once_per_signature`] — unless the launch
+    /// path finds the restored selection stale and invalidates it.
+    warm: HashMap<String, u32>,
     /// What went wrong with the best-effort state load at construction,
     /// if anything; the runtime cold-started in that case.
     state_error: Option<StateError>,
-    /// Static-verifier findings recorded per signature (deduplicated).
-    diagnostics: HashMap<String, Vec<Diagnostic>>,
+    /// Static-verifier findings recorded per signature (deduplicated and
+    /// capped; see [`DiagSlot`]).
+    diagnostics: HashMap<String, DiagSlot>,
     /// `(signature, variant)` pairs the trace-replay sanitizer already
     /// cross-checked; the sanitizer runs once per pair, not per launch.
     sanitized: HashSet<(String, usize)>,
@@ -135,11 +153,14 @@ impl Runtime {
             sandboxes: SandboxPool::default(),
             timeline: Timeline::default(),
             quarantine: HashMap::new(),
-            warm: HashSet::new(),
+            warm: HashMap::new(),
             state_error: None,
             diagnostics: HashMap::new(),
             sanitized: HashSet::new(),
         };
+        if let Some(obs) = &rt.config.observe {
+            rt.device.set_observer(Some(obs.clone()));
+        }
         if let Some(path) = rt.config.state_path.clone() {
             if path.exists() {
                 match persist::load(&path) {
@@ -166,6 +187,22 @@ impl Runtime {
                 .filter(|(_, v)| !v.is_empty())
                 .map(|(s, v)| (s.clone(), v.clone()))
                 .collect(),
+            // Variant count at save time, so a later process can tell a
+            // re-registered candidate set from the one the winner beat.
+            // For signatures with no live registration (state saved again
+            // before re-registering), carry the loaded count forward.
+            variant_counts: self
+                .selection_cache
+                .keys()
+                .map(|s| {
+                    let count = self
+                        .pool
+                        .variants(s)
+                        .map(|v| v.len() as u32)
+                        .unwrap_or_else(|_| self.warm.get(s).copied().unwrap_or(0));
+                    (s.clone(), count)
+                })
+                .collect(),
         }
     }
 
@@ -174,7 +211,8 @@ impl Runtime {
     fn apply_state(&mut self, state: &RuntimeState) {
         for (sig, id) in &state.selections {
             self.selection_cache.insert(sig.clone(), *id);
-            self.warm.insert(sig.clone());
+            let count = state.variant_counts.get(sig).copied().unwrap_or(0);
+            self.warm.insert(sig.clone(), count);
         }
         for (sig, entries) in &state.quarantine {
             self.quarantine.insert(sig.clone(), entries.clone());
@@ -241,7 +279,7 @@ impl Runtime {
         let signature = signature.into();
         if self.config.verify != VerifyLevel::Off {
             let diags = dysel_verify::verify_variant(&variant.meta);
-            record_diags(&mut self.diagnostics, &signature, diags);
+            record_diags(&mut self.diagnostics, &self.config, &signature, diags);
         }
         self.pool.add_kernel(signature, variant)
     }
@@ -268,7 +306,7 @@ impl Runtime {
                 diagnostics: diags,
             });
         }
-        record_diags(&mut self.diagnostics, &signature, diags);
+        record_diags(&mut self.diagnostics, &self.config, &signature, diags);
         Ok(self.pool.add_kernel(signature, variant))
     }
 
@@ -287,12 +325,24 @@ impl Runtime {
     /// Static-verifier findings recorded for `signature` so far — from
     /// registration (with [`RuntimeConfig::verify`] enabled or via
     /// [`Runtime::try_add_kernel`]) and from verified launches. Duplicate
-    /// findings are recorded once. Empty for unverified signatures.
+    /// findings are recorded once, and at most the first 32 distinct
+    /// findings are kept per signature (see
+    /// [`Runtime::diagnostics_dropped`]). Empty for unverified signatures.
     pub fn diagnostics(&self, signature: &str) -> &[Diagnostic] {
         self.diagnostics
             .get(signature)
-            .map(Vec::as_slice)
+            .map(|slot| slot.diags.as_slice())
             .unwrap_or(&[])
+    }
+
+    /// How many distinct verifier findings for `signature` were dropped by
+    /// the per-signature diagnostics cap. Also exported as the
+    /// `dysel_diagnostics_dropped_total` metric when observation is on.
+    pub fn diagnostics_dropped(&self, signature: &str) -> u64 {
+        self.diagnostics
+            .get(signature)
+            .map(|slot| slot.dropped)
+            .unwrap_or(0)
     }
 
     /// The kernel pool.
@@ -359,6 +409,22 @@ impl Runtime {
         (self.sandboxes.allocations(), self.sandboxes.reuses())
     }
 
+    /// A point-in-time copy of every counter and histogram recorded into
+    /// the configured observation sink ([`RuntimeConfig::observe`]).
+    /// Empty when observation is off.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.config
+            .observe
+            .as_ref()
+            .map(|o| o.metrics_snapshot())
+            .unwrap_or_default()
+    }
+
+    /// The configured observation sink, if any.
+    pub fn observer(&self) -> Option<&std::sync::Arc<dysel_obs::EventSink>> {
+        self.config.observe.as_ref()
+    }
+
     /// Launches `signature` over `total_units` workload units
     /// (`DySelLaunchKernel`, Fig. 6(b)).
     ///
@@ -414,6 +480,47 @@ impl Runtime {
                 len: k,
             })?;
 
+        // ---- warm-restore staleness audit -------------------------------
+        // A warm-restored selection was chosen by a previous process
+        // against that process's candidate set; before letting it skip
+        // micro-profiling, cross-check it against *this* process. Stale
+        // when the signature re-registered with a different variant count,
+        // or the persisted winner is out of range or has since been
+        // quarantined. Invalidation drops the warm marker and the cached
+        // selection, so the launch falls through to live profiling.
+        if let Some(&warm_k) = self.warm.get(signature) {
+            let stale = match self.selection_cache.get(signature) {
+                None => Some("no cached selection".to_owned()),
+                Some(id) if id.0 >= k => {
+                    Some(format!("selected variant {} out of range (k={k})", id.0))
+                }
+                Some(_) if warm_k != 0 && warm_k as usize != k => {
+                    Some(format!("variant count changed ({warm_k} -> {k})"))
+                }
+                Some(id)
+                    if self
+                        .quarantine
+                        .get(signature)
+                        .is_some_and(|q| q.iter().any(|(v, _)| v == id)) =>
+                {
+                    Some(format!("selected variant {} quarantined", id.0))
+                }
+                Some(_) => None,
+            };
+            if let Some(why) = stale {
+                self.warm.remove(signature);
+                self.selection_cache.remove(signature);
+                if let Some(obs) = &self.config.observe {
+                    obs.emit(
+                        Event::new(Stage::WarmInvalidate)
+                            .signature(signature)
+                            .detail(why),
+                    );
+                    obs.count(names::WARM_INVALIDATIONS, 1);
+                }
+            }
+        }
+
         // Fallback rung of the degradation ladder: only non-quarantined
         // variants may run, win, or serve as the eager default.
         let quarantine = self.quarantine.entry(signature.to_owned()).or_default();
@@ -454,7 +561,7 @@ impl Runtime {
                     _ => force_swap = true,
                 }
             }
-            record_diags(&mut self.diagnostics, signature, diags);
+            record_diags(&mut self.diagnostics, &self.config, signature, diags);
         }
 
         self.stats.record(total_units);
@@ -468,12 +575,13 @@ impl Runtime {
         let initial = sanitize(&active, initial);
 
         // ---- skip paths -------------------------------------------------
+        let warm_hit = self.warm.contains_key(signature);
         let skip = if !opts.profiling {
             match self.selection_cache.get(signature) {
                 Some(&id) => Some((SkipReason::CachedSelection, sanitize(&active, id))),
                 None => Some((SkipReason::ProfilingDisabled, initial)),
             }
-        } else if (self.config.profile_once_per_signature || self.warm.contains(signature))
+        } else if (self.config.profile_once_per_signature || warm_hit)
             && self.selection_cache.contains_key(signature)
         {
             // Profile-once runtimes treat every later launch of a profiled
@@ -518,6 +626,9 @@ impl Runtime {
                 if let Ok(outcome) = sanitize_variant(&variants[vi], args, total_units) {
                     if outcome.contradicts_disjoint() {
                         quarantine_variant(
+                            &self.config,
+                            signature,
+                            variants[vi].name(),
                             &mut active,
                             quarantine,
                             &mut pre_faults,
@@ -557,6 +668,26 @@ impl Runtime {
         };
 
         if let Some((reason, mut selected)) = skip {
+            // Profiling was skipped: say why before the batch runs, so the
+            // event stream reads in lifecycle order. A cached selection is
+            // a warm skip when it came from the state file, a plain
+            // selection-cache hit otherwise.
+            if reason == SkipReason::CachedSelection {
+                if let Some(obs) = &self.config.observe {
+                    let (stage, counter) = if warm_hit {
+                        (Stage::WarmSkip, names::WARM_SKIPS)
+                    } else {
+                        (Stage::CacheHit, names::CACHE_HITS)
+                    };
+                    obs.emit(
+                        Event::new(stage)
+                            .signature(signature)
+                            .variant(variants[selected.0].name())
+                            .at(t_start.0),
+                    );
+                    obs.count(counter, 1);
+                }
+            }
             self.timeline.clear();
             let mut faults = FaultReport::default();
             let mut launches_issued = 0u64;
@@ -566,6 +697,7 @@ impl Runtime {
                 match launch_checked(
                     device,
                     &self.config,
+                    signature,
                     &variants[selected.0],
                     args,
                     UnitRange::new(start, end),
@@ -578,6 +710,9 @@ impl Runtime {
                     Ok(rec) => break rec,
                     Err(()) => {
                         quarantine_variant(
+                            &self.config,
+                            signature,
+                            variants[selected.0].name(),
                             &mut active,
                             quarantine,
                             &mut faults,
@@ -597,16 +732,22 @@ impl Runtime {
                     }
                 }
             };
-            self.timeline.push(TimelineEntry {
-                kind: LaunchKind::Batch,
-                variant: selected,
-                variant_name: variants[selected.0].name().to_owned(),
-                units: UnitRange::new(start, end),
-                start: rec.start,
-                end: rec.end,
-            });
+            record_entry(
+                &mut self.timeline,
+                &self.config,
+                signature,
+                COMPUTE_STREAM.0,
+                TimelineEntry {
+                    kind: LaunchKind::Batch,
+                    variant: selected,
+                    variant_name: variants[selected.0].name().to_owned(),
+                    units: UnitRange::new(start, end),
+                    start: rec.start,
+                    end: rec.end,
+                },
+            );
             self.stats.record_faults(&faults);
-            return Ok(LaunchReport {
+            let report = LaunchReport {
                 signature: signature.to_owned(),
                 selected,
                 selected_name: variants[selected.0].name().to_owned(),
@@ -622,7 +763,9 @@ impl Runtime {
                 eager_chunks: 0,
                 launches: launches_issued,
                 faults,
-            });
+            };
+            fold_report_metrics(&self.config, &report);
+            return Ok(report);
         }
         let plan = plan.expect("skip handled above");
 
@@ -656,16 +799,74 @@ impl Runtime {
         )?;
         self.selection_cache
             .insert(signature.to_owned(), report.selected);
+        fold_report_metrics(&self.config, &report);
         Ok(report)
     }
 }
 
+/// Pushes a timeline entry, mirroring it into the observation sink as a
+/// structured span event first — the timeline order IS the canonical event
+/// order for runtime-level spans.
+fn record_entry(
+    timeline: &mut Timeline,
+    config: &RuntimeConfig,
+    signature: &str,
+    stream: u32,
+    entry: TimelineEntry,
+) {
+    if let Some(obs) = &config.observe {
+        let stage = match entry.kind {
+            LaunchKind::Profile => Stage::Profile,
+            LaunchKind::EagerChunk => Stage::EagerChunk,
+            LaunchKind::Batch => Stage::Batch,
+            LaunchKind::Validate => Stage::Validate,
+            LaunchKind::Repair => Stage::Repair,
+        };
+        obs.emit(
+            Event::new(stage)
+                .signature(signature)
+                .variant(&entry.variant_name)
+                .stream(stream)
+                .span(entry.start.0, entry.end.0)
+                .units(entry.units.start, entry.units.end),
+        );
+    }
+    timeline.push(entry);
+}
+
+/// Folds one finished launch's report into the observation metrics. The
+/// per-launch fault counters land here (exactly once per report);
+/// quarantines are counted at the quarantine site instead, because
+/// sanitizer-path quarantines never reach a report.
+fn fold_report_metrics(config: &RuntimeConfig, report: &LaunchReport) {
+    let Some(obs) = &config.observe else {
+        return;
+    };
+    obs.count(names::LAUNCHES, 1);
+    obs.count(names::DEVICE_LAUNCHES, report.launches);
+    obs.count(names::LAUNCH_ERRORS, report.faults.launch_errors);
+    obs.count(names::RETRIES, report.faults.retries);
+    obs.count(names::PREEMPTIONS, report.faults.preemptions);
+    obs.count(names::DEADLINE_DISCARDS, report.faults.deadline_discards);
+    obs.count(
+        names::VALIDATION_FAILURES,
+        report.faults.validation_failures,
+    );
+    obs.count(names::REPAIRED_SLICES, report.faults.repaired_slices);
+}
+
 /// Records verifier findings for a signature, skipping exact duplicates —
-/// re-verifying the same metadata on every launch must not grow the list.
+/// re-verifying the same metadata on every launch must not grow the list —
+/// and capping the kept findings at [`MAX_DIAGS_PER_SIGNATURE`]: a lenient
+/// runtime relaunching a bad signature with ever-changing arguments must
+/// not grow its diagnostics store without bound either. Findings past the
+/// cap only bump the slot's drop counter (and the
+/// `dysel_diagnostics_dropped_total` metric when observation is on).
 /// A free function (not a method) so callers holding disjoint-field borrows
 /// of the runtime can still record.
 fn record_diags(
-    store: &mut HashMap<String, Vec<Diagnostic>>,
+    store: &mut HashMap<String, DiagSlot>,
+    config: &RuntimeConfig,
     signature: &str,
     diags: Vec<Diagnostic>,
 ) {
@@ -674,9 +875,17 @@ fn record_diags(
     }
     let slot = store.entry(signature.to_owned()).or_default();
     for d in diags {
-        if !slot.contains(&d) {
-            slot.push(d);
+        if slot.diags.contains(&d) {
+            continue;
         }
+        if slot.diags.len() >= MAX_DIAGS_PER_SIGNATURE {
+            slot.dropped += 1;
+            if let Some(obs) = &config.observe {
+                obs.count(names::DIAG_DROPPED, 1);
+            }
+            continue;
+        }
+        slot.diags.push(d);
     }
 }
 
@@ -700,8 +909,15 @@ fn outputs_of(meta: &VariantMeta, args: &Args) -> Vec<usize> {
 }
 
 /// Removes `vi` from the surviving candidates and records the quarantine in
-/// both the signature's persistent list and this launch's fault report.
+/// both the signature's persistent list and this launch's fault report —
+/// plus, when observation is on, the event stream and the quarantine
+/// counter (counted here rather than from the report, so sanitizer-path
+/// quarantines that never reach a report are still covered).
+#[allow(clippy::too_many_arguments)]
 fn quarantine_variant(
+    config: &RuntimeConfig,
+    signature: &str,
+    name: &str,
     alive: &mut Vec<usize>,
     quarantine: &mut Vec<(VariantId, QuarantineReason)>,
     faults: &mut FaultReport,
@@ -712,6 +928,15 @@ fn quarantine_variant(
         alive.remove(pos);
         quarantine.push((VariantId(vi), reason));
         faults.quarantined.push((VariantId(vi), reason));
+        if let Some(obs) = &config.observe {
+            obs.emit(
+                Event::new(Stage::Quarantine)
+                    .signature(signature)
+                    .variant(name)
+                    .detail(format!("{reason:?}")),
+            );
+            obs.count(names::QUARANTINES, 1);
+        }
     }
 }
 
@@ -725,6 +950,7 @@ fn quarantine_variant(
 fn launch_checked(
     device: &mut dyn Device,
     config: &RuntimeConfig,
+    signature: &str,
     variant: &Variant,
     args: &mut Args,
     units: UnitRange,
@@ -756,6 +982,16 @@ fn launch_checked(
                 faults.retries += 1;
                 not_before = failure.at + config.retry_backoff * (1u64 << attempt.min(16));
                 attempt += 1;
+                if let Some(obs) = &config.observe {
+                    obs.emit(
+                        Event::new(Stage::Retry)
+                            .signature(signature)
+                            .variant(variant.name())
+                            .stream(stream.0)
+                            .at(not_before.0)
+                            .detail(format!("attempt={attempt}")),
+                    );
+                }
             }
             LaunchOutcome::Preempted(_) => {
                 // No budget is attached here, so this arm is defensive: a
@@ -818,7 +1054,13 @@ fn profile_and_run(
             .and_then(|bytes| {
                 extra_space_bytes += bytes;
                 sandboxes
-                    .lease(signature, vi, args, &v.meta.sandbox_args)
+                    .lease(
+                        signature,
+                        vi,
+                        args,
+                        &v.meta.sandbox_args,
+                        config.observe.as_deref(),
+                    )
                     .map_err(DyselError::from)
             });
         match leased {
@@ -978,6 +1220,16 @@ fn profile_core(
                     while fail.transient && attempt < config.max_launch_retries {
                         faults.retries += 1;
                         let not_before = fail.at + config.retry_backoff * (1u64 << attempt.min(16));
+                        if let Some(obs) = &config.observe {
+                            obs.emit(
+                                Event::new(Stage::Retry)
+                                    .signature(signature)
+                                    .variant(&e.meta.name)
+                                    .stream(e.stream.0)
+                                    .at(not_before.0)
+                                    .detail(format!("attempt={}", attempt + 1)),
+                            );
+                        }
                         launches_issued += 1;
                         match device.launch(LaunchSpec {
                             kernel: e.kernel,
@@ -1004,6 +1256,9 @@ fn profile_core(
                     }
                     if recovered.is_none() {
                         quarantine_variant(
+                            config,
+                            signature,
+                            variants[vi].name(),
                             &mut alive,
                             quarantine,
                             faults,
@@ -1028,6 +1283,9 @@ fn profile_core(
                     faults.preempted_cycles += p.cycles_spent;
                     faults.deadline_discards += 1;
                     quarantine_variant(
+                        config,
+                        signature,
+                        variants[vi].name(),
                         &mut alive,
                         quarantine,
                         faults,
@@ -1041,14 +1299,34 @@ fn profile_core(
                 }
             };
             if let Some(record) = record {
-                timeline.push(TimelineEntry {
-                    kind: LaunchKind::Profile,
-                    variant: VariantId(vi),
-                    variant_name: variants[vi].name().to_owned(),
-                    units: e.units,
-                    start: record.start,
-                    end: record.end,
-                });
+                if let Some(obs) = &config.observe {
+                    obs.count(names::PROFILE_LAUNCHES, 1);
+                    if let Some(m) = record.measured {
+                        obs.record_hist(
+                            &format!(
+                                "{}/{}/{}",
+                                names::PROFILE_CYCLES,
+                                signature,
+                                variants[vi].name()
+                            ),
+                            m.0,
+                        );
+                    }
+                }
+                record_entry(
+                    timeline,
+                    config,
+                    signature,
+                    e.stream.0,
+                    TimelineEntry {
+                        kind: LaunchKind::Profile,
+                        variant: VariantId(vi),
+                        variant_name: variants[vi].name().to_owned(),
+                        units: e.units,
+                        start: record.start,
+                        end: record.end,
+                    },
+                );
                 profiled.push(ProfiledLaunch {
                     variant: vi,
                     record,
@@ -1109,6 +1387,9 @@ fn profile_core(
             for vi in over {
                 faults.deadline_discards += 1;
                 quarantine_variant(
+                    config,
+                    signature,
+                    variants[vi].name(),
                     &mut alive,
                     quarantine,
                     faults,
@@ -1166,6 +1447,9 @@ fn profile_core(
                 if !trusted.contains(&vi) {
                     faults.validation_failures += 1;
                     quarantine_variant(
+                        config,
+                        signature,
+                        variants[vi].name(),
                         &mut alive,
                         quarantine,
                         faults,
@@ -1247,6 +1531,7 @@ fn profile_core(
             match launch_checked(
                 device,
                 config,
+                signature,
                 v,
                 args,
                 UnitRange::new(next_unit, chunk_end),
@@ -1257,14 +1542,20 @@ fn profile_core(
                 &mut launches_issued,
             ) {
                 Ok(rec) => {
-                    timeline.push(TimelineEntry {
-                        kind: LaunchKind::EagerChunk,
-                        variant: current,
-                        variant_name: v.name().to_owned(),
-                        units: UnitRange::new(next_unit, chunk_end),
-                        start: rec.start,
-                        end: rec.end,
-                    });
+                    record_entry(
+                        timeline,
+                        config,
+                        signature,
+                        COMPUTE_STREAM.0,
+                        TimelineEntry {
+                            kind: LaunchKind::EagerChunk,
+                            variant: current,
+                            variant_name: v.name().to_owned(),
+                            units: UnitRange::new(next_unit, chunk_end),
+                            start: rec.start,
+                            end: rec.end,
+                        },
+                    );
                     eager_chunks += 1;
                     chunk_ends = chunk_ends.max(rec.end);
                     next_unit = chunk_end;
@@ -1276,6 +1567,9 @@ fn profile_core(
                     // A failed launch executed nothing: quarantine the
                     // variant and re-dispatch the same chunk with another.
                     quarantine_variant(
+                        config,
+                        signature,
+                        v.name(),
                         &mut alive,
                         quarantine,
                         faults,
@@ -1311,10 +1605,12 @@ fn profile_core(
             VALIDATE_SLOT,
             args,
             &variants[order[0]].meta.sandbox_args,
+            config.observe.as_deref(),
         )?;
         let vres = validate_fp(
             device,
             config,
+            signature,
             variants,
             active,
             reps,
@@ -1336,6 +1632,15 @@ fn profile_core(
     }
 
     let winner = VariantId(order[0]);
+    if let Some(obs) = &config.observe {
+        obs.emit(
+            Event::new(Stage::Select)
+                .signature(signature)
+                .variant(variants[winner.0].name())
+                .at(t_val.0)
+                .detail(format!("measured={}", measurements[winner.0].measured.0)),
+        );
+    }
 
     // Swap-based: adopt the winner's private outputs as the final output.
     if mode == ProfilingMode::SwapPartial {
@@ -1358,6 +1663,7 @@ fn profile_core(
         let rec = launch_checked(
             device,
             config,
+            signature,
             v,
             args,
             range,
@@ -1373,14 +1679,20 @@ fn profile_core(
         })?;
         faults.repaired_slices += 1;
         faults.repaired_units += range.len();
-        timeline.push(TimelineEntry {
-            kind: LaunchKind::Repair,
-            variant: winner,
-            variant_name: v.name().to_owned(),
-            units: range,
-            start: rec.start,
-            end: rec.end,
-        });
+        record_entry(
+            timeline,
+            config,
+            signature,
+            COMPUTE_STREAM.0,
+            TimelineEntry {
+                kind: LaunchKind::Repair,
+                variant: winner,
+                variant_name: v.name().to_owned(),
+                units: range,
+                start: rec.start,
+                end: rec.end,
+            },
+        );
         t_repair = t_repair.max(rec.end);
     }
 
@@ -1393,6 +1705,7 @@ fn profile_core(
         let rec = launch_checked(
             device,
             config,
+            signature,
             v,
             args,
             UnitRange::new(next_unit, end),
@@ -1406,14 +1719,20 @@ fn profile_core(
             signature: signature.to_owned(),
             variant: v.name().to_owned(),
         })?;
-        timeline.push(TimelineEntry {
-            kind: LaunchKind::Batch,
-            variant: winner,
-            variant_name: v.name().to_owned(),
-            units: UnitRange::new(next_unit, end),
-            start: rec.start,
-            end: rec.end,
-        });
+        record_entry(
+            timeline,
+            config,
+            signature,
+            COMPUTE_STREAM.0,
+            TimelineEntry {
+                kind: LaunchKind::Batch,
+                variant: winner,
+                variant_name: v.name().to_owned(),
+                units: UnitRange::new(next_unit, end),
+                start: rec.start,
+                end: rec.end,
+            },
+        );
         total_end = total_end.max(rec.end);
     }
 
@@ -1461,6 +1780,7 @@ fn profile_core(
 fn validate_fp(
     device: &mut dyn Device,
     config: &RuntimeConfig,
+    signature: &str,
     variants: &[Variant],
     active: &[usize],
     reps: u64,
@@ -1494,6 +1814,7 @@ fn validate_fp(
             match launch_checked(
                 device,
                 config,
+                signature,
                 v,
                 scratch,
                 range,
@@ -1504,19 +1825,25 @@ fn validate_fp(
                 launches_issued,
             ) {
                 Ok(rec) => {
-                    timeline.push(TimelineEntry {
-                        kind: LaunchKind::Validate,
-                        variant: VariantId(
-                            variants
-                                .iter()
-                                .position(|x| std::ptr::eq(x, v))
-                                .unwrap_or(0),
-                        ),
-                        variant_name: v.name().to_owned(),
-                        units: range,
-                        start: rec.start,
-                        end: rec.end,
-                    });
+                    record_entry(
+                        timeline,
+                        config,
+                        signature,
+                        VALIDATE_STREAM.0,
+                        TimelineEntry {
+                            kind: LaunchKind::Validate,
+                            variant: VariantId(
+                                variants
+                                    .iter()
+                                    .position(|x| std::ptr::eq(x, v))
+                                    .unwrap_or(0),
+                            ),
+                            variant_name: v.name().to_owned(),
+                            units: range,
+                            start: rec.start,
+                            end: rec.end,
+                        },
+                    );
                     *t_val = (*t_val).max(rec.end);
                     let outs = outputs_of(&v.meta, args);
                     Some(args.bits_differ(scratch, &outs)?)
@@ -1565,6 +1892,9 @@ fn validate_fp(
             // own productive slices were written successfully earlier and
             // stay valid — no repair needed.
             quarantine_variant(
+                config,
+                signature,
+                variants[winner].name(),
                 alive,
                 quarantine,
                 faults,
@@ -1600,6 +1930,9 @@ fn validate_fp(
             }
             if ref_broke {
                 quarantine_variant(
+                    config,
+                    signature,
+                    variants[rf].name(),
                     alive,
                     quarantine,
                     faults,
@@ -1617,6 +1950,9 @@ fn validate_fp(
         if winner_bad {
             faults.validation_failures += 1;
             quarantine_variant(
+                config,
+                signature,
+                variants[winner].name(),
                 alive,
                 quarantine,
                 faults,
@@ -1635,6 +1971,9 @@ fn validate_fp(
         for &cand in &suspects {
             faults.validation_failures += 1;
             quarantine_variant(
+                config,
+                signature,
+                variants[cand].name(),
                 alive,
                 quarantine,
                 faults,

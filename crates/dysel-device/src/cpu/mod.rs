@@ -11,7 +11,10 @@ mod cache;
 
 pub use cache::{CacheConfig, CacheHierarchy, SetAssocCache};
 
+use std::sync::Arc;
+
 use dysel_kernel::{Args, MemOp, RecordedTrace, Space, TraceSink, VariantMeta};
+use dysel_obs::EventSink;
 
 use crate::device::{
     BatchEntry, BudgetPolicy, Device, DeviceKind, LaunchOutcome, LaunchSpec, StreamId, StreamTable,
@@ -344,6 +347,7 @@ pub struct CpuDevice {
     exec: Executor,
     fault: Option<FaultPlan>,
     budget: Option<BudgetPolicy>,
+    obs: Option<Arc<EventSink>>,
 }
 
 impl CpuDevice {
@@ -361,6 +365,7 @@ impl CpuDevice {
             exec: Executor::new(cfg.threads),
             fault: None,
             budget: None,
+            obs: None,
             cfg,
         }
     }
@@ -456,6 +461,7 @@ impl Device for CpuDevice {
             &mut model,
             self.fault.as_mut(),
             self.budget,
+            self.obs.as_deref(),
         )
     }
 
@@ -473,6 +479,14 @@ impl Device for CpuDevice {
 
     fn budget_policy(&self) -> Option<BudgetPolicy> {
         self.budget
+    }
+
+    fn set_observer(&mut self, obs: Option<Arc<EventSink>>) {
+        self.obs = obs;
+    }
+
+    fn observer(&self) -> Option<&Arc<EventSink>> {
+        self.obs.as_ref()
     }
 
     fn stream_end(&self, stream: StreamId) -> Cycles {

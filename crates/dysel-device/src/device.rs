@@ -2,8 +2,10 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use dysel_kernel::{Args, Kernel, UnitRange, VariantMeta};
+use dysel_obs::EventSink;
 
 use crate::fault::FaultPlan;
 use crate::Cycles;
@@ -342,6 +344,18 @@ pub trait Device {
     /// injection log — the ground truth tests compare report counters
     /// against. `None` when fault injection is off (the default).
     fn fault_plan(&self) -> Option<&FaultPlan> {
+        None
+    }
+
+    /// Installs (or removes, with `None`) an observability sink. Observed
+    /// devices emit enqueue / launch-error / preempt events into it from
+    /// their serial pricing pass; the default device discards the sink
+    /// and emits nothing.
+    fn set_observer(&mut self, _obs: Option<Arc<EventSink>>) {}
+
+    /// The installed observability sink. `None` when observation is off
+    /// (the default).
+    fn observer(&self) -> Option<&Arc<EventSink>> {
         None
     }
 

@@ -48,6 +48,7 @@ use std::thread;
 use dysel_kernel::{
     span_bounds, Args, GroupCtx, Kernel, RecordedTrace, RecordingSink, UnitRange, VariantMeta,
 };
+use dysel_obs::{Event, EventSink, Stage};
 
 use crate::device::{
     BatchEntry, BudgetPolicy, LaunchFailure, LaunchOutcome, LaunchPreemption, LaunchRecord,
@@ -297,6 +298,7 @@ pub(crate) fn launch_batch_engine<M: PriceModel>(
     model: &mut M,
     faults: Option<&mut FaultPlan>,
     budget_policy: Option<BudgetPolicy>,
+    obs: Option<&EventSink>,
 ) -> Vec<LaunchOutcome> {
     // Fault decisions, one per entry in issue order (counters tick here).
     let decisions: Vec<Option<FaultKind>> = match faults {
@@ -427,9 +429,51 @@ pub(crate) fn launch_batch_engine<M: PriceModel>(
         {
             best_measured = Some(best_measured.map_or(m, |b| b.min(m)));
         }
+        // Emission happens here, in the serial pricing pass, so device
+        // events carry canonical sequence numbers at any worker count.
+        if let Some(sink) = obs {
+            emit_outcome(sink, e, &outcome);
+        }
         outcomes.push(outcome);
     }
     outcomes
+}
+
+/// Emits the device-level event for one priced launch outcome.
+fn emit_outcome(sink: &EventSink, e: &BatchEntry<'_>, outcome: &LaunchOutcome) {
+    let base = |stage: Stage| {
+        Event::new(stage)
+            .variant(&e.meta.name)
+            .stream(e.stream.0)
+            .units(e.units.start, e.units.end)
+    };
+    match outcome {
+        LaunchOutcome::Done(rec) => {
+            let mut detail = format!("groups={} busy={}", rec.groups, rec.busy.0);
+            if let Some(m) = rec.measured {
+                detail.push_str(&format!(" measured={}", m.0));
+            }
+            sink.emit(
+                base(Stage::Enqueue)
+                    .span(rec.start.0, rec.end.0)
+                    .detail(detail),
+            );
+        }
+        LaunchOutcome::Failed(f) => {
+            let detail = if f.transient {
+                "transient launch failure"
+            } else {
+                "permanent launch failure"
+            };
+            sink.emit(base(Stage::LaunchError).at(f.at.0).detail(detail));
+        }
+        LaunchOutcome::Preempted(p) => {
+            sink.emit(base(Stage::Preempt).at(p.at.0).detail(format!(
+                "groups_done={} cycles_spent={}",
+                p.groups_done, p.cycles_spent.0
+            )));
+        }
+    }
 }
 
 /// Executes one budget-eligible entry inline (see the budget section of

@@ -10,7 +10,10 @@ mod cost;
 
 pub use cost::{coalesced_segments, gather_segments, smem_conflict_degree};
 
+use std::sync::Arc;
+
 use dysel_kernel::{Args, RecordedTrace, VariantMeta};
+use dysel_obs::EventSink;
 
 use crate::cpu::{CacheConfig, SetAssocCache};
 use crate::device::{
@@ -249,6 +252,7 @@ pub struct GpuDevice {
     exec: Executor,
     fault: Option<FaultPlan>,
     budget: Option<BudgetPolicy>,
+    obs: Option<Arc<EventSink>>,
 }
 
 impl GpuDevice {
@@ -266,6 +270,7 @@ impl GpuDevice {
             exec: Executor::new(cfg.threads),
             fault: None,
             budget: None,
+            obs: None,
             cfg,
         }
     }
@@ -368,6 +373,7 @@ impl Device for GpuDevice {
             &mut model,
             self.fault.as_mut(),
             self.budget,
+            self.obs.as_deref(),
         )
     }
 
@@ -385,6 +391,14 @@ impl Device for GpuDevice {
 
     fn budget_policy(&self) -> Option<BudgetPolicy> {
         self.budget
+    }
+
+    fn set_observer(&mut self, obs: Option<Arc<EventSink>>) {
+        self.obs = obs;
+    }
+
+    fn observer(&self) -> Option<&Arc<EventSink>> {
+        self.obs.as_ref()
     }
 
     fn stream_end(&self, stream: StreamId) -> Cycles {

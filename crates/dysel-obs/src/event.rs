@@ -1,0 +1,344 @@
+//! Typed launch-lifecycle events and the shared sink that collects them.
+
+use std::sync::{Mutex, PoisonError};
+
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+
+/// Which lifecycle stage an [`Event`] records.
+///
+/// Device-level stages ([`Stage::Enqueue`], [`Stage::LaunchError`],
+/// [`Stage::Preempt`]) are emitted from the serial pricing phase of the
+/// batch launch engine; the rest are emitted by the runtime's
+/// orchestration pass. Span stages carry a `[start, end)` virtual-cycle
+/// interval; point stages carry a single instant (`start == end`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// A launch completed on the device: its virtual execution span.
+    Enqueue,
+    /// A launch failed on the device before executing anything.
+    LaunchError,
+    /// A launch blew its cycle budget and was cooperatively preempted.
+    Preempt,
+    /// A measured micro-profiling launch (runtime view).
+    Profile,
+    /// An eager chunk dispatched during asynchronous profiling.
+    EagerChunk,
+    /// The post-selection batch over the remaining workload.
+    Batch,
+    /// An output-validation cross-check launch.
+    Validate,
+    /// A dead productive slice re-executed with the winner.
+    Repair,
+    /// A transient launch failure was retried with backoff.
+    Retry,
+    /// A variant was quarantined for this signature.
+    Quarantine,
+    /// Micro-profiling was skipped: warm-restarted selection reused.
+    WarmSkip,
+    /// Micro-profiling was skipped: in-process cached selection reused.
+    CacheHit,
+    /// A warm-restarted selection was found stale and invalidated.
+    WarmInvalidate,
+    /// Selection completed: the winner for this launch.
+    Select,
+}
+
+impl Stage {
+    /// Stable lowercase identifier used by both exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Enqueue => "enqueue",
+            Stage::LaunchError => "launch-error",
+            Stage::Preempt => "preempt",
+            Stage::Profile => "profile",
+            Stage::EagerChunk => "eager-chunk",
+            Stage::Batch => "batch",
+            Stage::Validate => "validate",
+            Stage::Repair => "repair",
+            Stage::Retry => "retry",
+            Stage::Quarantine => "quarantine",
+            Stage::WarmSkip => "warm-skip",
+            Stage::CacheHit => "cache-hit",
+            Stage::WarmInvalidate => "warm-invalidate",
+            Stage::Select => "select",
+        }
+    }
+
+    /// Whether the stage carries a meaningful `[start, end)` span (a
+    /// Chrome complete event) rather than a single instant.
+    pub fn is_span(self) -> bool {
+        matches!(
+            self,
+            Stage::Enqueue
+                | Stage::Profile
+                | Stage::EagerChunk
+                | Stage::Batch
+                | Stage::Validate
+                | Stage::Repair
+        )
+    }
+
+    /// Whether the stage is emitted by the device models rather than the
+    /// runtime (exporters use this as the event category).
+    pub fn is_device(self) -> bool {
+        matches!(self, Stage::Enqueue | Stage::LaunchError | Stage::Preempt)
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured launch-lifecycle event, fully attributed.
+///
+/// All times are **virtual cycles** from the deterministic device models;
+/// nothing here ever reads a wall clock. Fields that do not apply to a
+/// stage stay at their neutral value (empty string, `None`, zero) so the
+/// serialized form is stable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Emission sequence number, assigned by the sink: the canonical
+    /// serial-replay order, bit-identical at any worker-thread count.
+    pub seq: u64,
+    /// Lifecycle stage.
+    pub stage: Stage,
+    /// Kernel signature (empty for device-level events, which see only
+    /// the variant).
+    pub signature: String,
+    /// Registered variant name (empty when no single variant applies).
+    pub variant: String,
+    /// Device stream the work ran on, if any.
+    pub stream: Option<u32>,
+    /// Span start (or the instant, for point stages), in virtual cycles.
+    pub start: u64,
+    /// Span end, in virtual cycles. Equals `start` for point stages.
+    pub end: u64,
+    /// First workload unit covered (zero when no units apply).
+    pub unit_lo: u64,
+    /// One past the last workload unit covered.
+    pub unit_hi: u64,
+    /// Free-form detail (counts, reasons); stable formatting only.
+    pub detail: String,
+}
+
+impl Event {
+    /// A blank event of the given stage; chain the builder methods to
+    /// attribute it. The sink assigns `seq` at emission.
+    pub fn new(stage: Stage) -> Self {
+        Event {
+            seq: 0,
+            stage,
+            signature: String::new(),
+            variant: String::new(),
+            stream: None,
+            start: 0,
+            end: 0,
+            unit_lo: 0,
+            unit_hi: 0,
+            detail: String::new(),
+        }
+    }
+
+    /// Sets the kernel signature.
+    pub fn signature(mut self, sig: &str) -> Self {
+        self.signature = sig.to_owned();
+        self
+    }
+
+    /// Sets the variant name.
+    pub fn variant(mut self, name: &str) -> Self {
+        self.variant = name.to_owned();
+        self
+    }
+
+    /// Sets the device stream.
+    pub fn stream(mut self, stream: u32) -> Self {
+        self.stream = Some(stream);
+        self
+    }
+
+    /// Sets a `[start, end)` virtual-cycle span.
+    pub fn span(mut self, start: u64, end: u64) -> Self {
+        self.start = start;
+        self.end = end;
+        self
+    }
+
+    /// Sets a single virtual-cycle instant.
+    pub fn at(mut self, t: u64) -> Self {
+        self.start = t;
+        self.end = t;
+        self
+    }
+
+    /// Sets the covered workload-unit range.
+    pub fn units(mut self, lo: u64, hi: u64) -> Self {
+        self.unit_lo = lo;
+        self.unit_hi = hi;
+        self
+    }
+
+    /// Sets the free-form detail string.
+    pub fn detail(mut self, detail: impl Into<String>) -> Self {
+        self.detail = detail.into();
+        self
+    }
+}
+
+/// Everything the sink guards behind one lock: the ordered event log and
+/// the metrics registry.
+#[derive(Debug, Default)]
+struct Inner {
+    events: Vec<Event>,
+    metrics: MetricsRegistry,
+}
+
+/// The shared event sink an observed runtime (and its device) emit into.
+///
+/// Install one via `RuntimeConfig::observe` (an `Arc<EventSink>`); the
+/// runtime forwards it to the device so device-level and runtime-level
+/// events interleave in one canonical sequence. Emission happens only on
+/// the serial orchestration/pricing path, so the lock is uncontended and
+/// sequence numbers are deterministic.
+///
+/// Equality is **identity** (pointer equality): two sinks are equal only
+/// if they are the same allocation. That keeps configuration types
+/// holding an `Option<Arc<EventSink>>` comparable without comparing logs.
+#[derive(Debug, Default)]
+pub struct EventSink {
+    inner: Mutex<Inner>,
+}
+
+impl EventSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        EventSink::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Appends an event, assigning it the next sequence number.
+    pub fn emit(&self, mut event: Event) {
+        let mut inner = self.lock();
+        event.seq = inner.events.len() as u64;
+        inner.events.push(event);
+    }
+
+    /// Adds `delta` to a monotonic counter (created at zero on first
+    /// touch, so a counter's presence is independent of its value).
+    pub fn count(&self, name: &str, delta: u64) {
+        self.lock().metrics.count(name, delta);
+    }
+
+    /// Records one observation into a fixed power-of-two-bucket histogram
+    /// (created on first touch).
+    pub fn record_hist(&self, name: &str, value: u64) {
+        self.lock().metrics.record(name, value);
+    }
+
+    /// A copy of the event log, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.lock().events.clone()
+    }
+
+    /// Number of events emitted so far.
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// Whether nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().events.is_empty()
+    }
+
+    /// A point-in-time copy of every counter and histogram.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.lock().metrics.snapshot()
+    }
+
+    /// Drops all events and metrics, restarting sequence numbers at zero
+    /// — pair with `Runtime::reset()` when replaying a run.
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.events.clear();
+        inner.metrics.clear();
+    }
+}
+
+impl PartialEq for EventSink {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_is_assigned_in_emission_order() {
+        let sink = EventSink::new();
+        sink.emit(Event::new(Stage::Profile).variant("a"));
+        sink.emit(Event::new(Stage::Batch).variant("b"));
+        let evs = sink.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!((evs[0].seq, evs[0].variant.as_str()), (0, "a"));
+        assert_eq!((evs[1].seq, evs[1].variant.as_str()), (1, "b"));
+    }
+
+    #[test]
+    fn clear_restarts_sequence_numbers() {
+        let sink = EventSink::new();
+        sink.emit(Event::new(Stage::Profile));
+        sink.count("c", 3);
+        sink.clear();
+        assert!(sink.is_empty());
+        assert_eq!(sink.metrics_snapshot().counter("c"), 0);
+        sink.emit(Event::new(Stage::Batch));
+        assert_eq!(sink.events()[0].seq, 0);
+    }
+
+    #[test]
+    fn equality_is_identity() {
+        let a = EventSink::new();
+        let b = EventSink::new();
+        assert_eq!(&a, &a);
+        assert_ne!(&a, &b);
+    }
+
+    #[test]
+    fn builder_attributes_land() {
+        let e = Event::new(Stage::Enqueue)
+            .signature("spmv")
+            .variant("coarse")
+            .stream(3)
+            .span(10, 20)
+            .units(0, 512)
+            .detail("groups=4");
+        assert!(e.stage.is_span());
+        assert!(e.stage.is_device());
+        assert_eq!(e.signature, "spmv");
+        assert_eq!(e.stream, Some(3));
+        assert_eq!((e.start, e.end, e.unit_lo, e.unit_hi), (10, 20, 0, 512));
+    }
+
+    #[test]
+    fn point_stages_are_not_spans() {
+        for s in [
+            Stage::LaunchError,
+            Stage::Preempt,
+            Stage::Retry,
+            Stage::Quarantine,
+            Stage::WarmSkip,
+            Stage::CacheHit,
+            Stage::WarmInvalidate,
+            Stage::Select,
+        ] {
+            assert!(!s.is_span(), "{s} should be a point stage");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Event-log exporters: Chrome `trace_event` JSON and JSONL.
+//!
+//! Both renderings are pure functions of the event list — same events,
+//! same bytes — so exported traces inherit the sink's determinism
+//! contract and can serve as golden test fixtures.
+
+use crate::event::Event;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The shared `"args"` object carrying the full attribution of an event.
+fn args_json(e: &Event) -> String {
+    format!(
+        "{{\"seq\":{},\"signature\":\"{}\",\"variant\":\"{}\",\"units\":[{},{}],\"detail\":\"{}\"}}",
+        e.seq,
+        esc(&e.signature),
+        esc(&e.variant),
+        e.unit_lo,
+        e.unit_hi,
+        esc(&e.detail),
+    )
+}
+
+/// Renders the event log in the Chrome `trace_event` JSON format
+/// (object form, `{"traceEvents":[...]}`) — loadable in
+/// `chrome://tracing` and Perfetto.
+///
+/// Span stages become `"ph":"X"` complete events with `ts`/`dur` in
+/// virtual cycles; point stages become `"ph":"i"` thread-scoped instants.
+/// `pid` is always 0 (one virtual device); `tid` is the device stream
+/// when known, else 0 — so per-stream activity lands on its own track.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        let name = if e.variant.is_empty() {
+            e.stage.as_str().to_owned()
+        } else {
+            format!("{} {}", e.stage.as_str(), esc(&e.variant))
+        };
+        let cat = if e.stage.is_device() {
+            "device"
+        } else {
+            "runtime"
+        };
+        let tid = e.stream.unwrap_or(0);
+        if e.stage.is_span() {
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{}}}",
+                name,
+                cat,
+                e.start,
+                e.end.saturating_sub(e.start),
+                tid,
+                args_json(e),
+            ));
+        } else {
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{}}}",
+                name,
+                cat,
+                e.start,
+                tid,
+                args_json(e),
+            ));
+        }
+        out.push_str(if i + 1 < events.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Renders the event log as JSONL: one JSON object per event, one per
+/// line, in emission order — the grep-friendly golden-fixture form.
+pub fn jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let stream = match e.stream {
+            Some(s) => s.to_string(),
+            None => "null".to_owned(),
+        };
+        out.push_str(&format!(
+            "{{\"seq\":{},\"stage\":\"{}\",\"signature\":\"{}\",\"variant\":\"{}\",\"stream\":{},\"start\":{},\"end\":{},\"units\":[{},{}],\"detail\":\"{}\"}}\n",
+            e.seq,
+            e.stage.as_str(),
+            esc(&e.signature),
+            esc(&e.variant),
+            stream,
+            e.start,
+            e.end,
+            e.unit_lo,
+            e.unit_hi,
+            esc(&e.detail),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventSink, Stage};
+
+    fn sample() -> Vec<Event> {
+        let sink = EventSink::new();
+        sink.emit(
+            Event::new(Stage::Enqueue)
+                .variant("coarse")
+                .stream(1)
+                .span(100, 250)
+                .units(0, 512)
+                .detail("groups=4"),
+        );
+        sink.emit(
+            Event::new(Stage::Quarantine)
+                .signature("spmv \"q\"")
+                .variant("fine")
+                .at(300)
+                .detail("LaunchFailed"),
+        );
+        sink.events()
+    }
+
+    #[test]
+    fn chrome_trace_has_spans_and_instants() {
+        let text = chrome_trace(&sample());
+        assert!(text.starts_with("{\"traceEvents\":[\n"));
+        assert!(text.ends_with("]}\n"));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"dur\":150"));
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"tid\":1"));
+        // Quotes in user strings are escaped.
+        assert!(text.contains("spmv \\\"q\\\""));
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let text = jsonl(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"seq\":0,\"stage\":\"enqueue\""));
+        assert!(lines[1].contains("\"stage\":\"quarantine\""));
+        assert!(lines[1].contains("\"stream\":null"));
+    }
+
+    #[test]
+    fn empty_log_renders_valid_shells() {
+        assert_eq!(chrome_trace(&[]), "{\"traceEvents\":[\n]}\n");
+        assert_eq!(jsonl(&[]), "");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let evs = sample();
+        assert_eq!(chrome_trace(&evs), chrome_trace(&evs));
+        assert_eq!(jsonl(&evs), jsonl(&evs));
+    }
+}

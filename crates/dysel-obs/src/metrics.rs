@@ -1,0 +1,241 @@
+//! Monotonic counters and fixed-bucket histograms — integer-only, so the
+//! hot path never touches floating point and snapshots render
+//! bit-identically across platforms.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Stable metric names. Exporters, docs and tests refer to metrics by
+/// these strings; treat them as a public contract (rename = new metric).
+pub mod names {
+    /// DySel launches performed (one per `launch`/`launch_region` call).
+    pub const LAUNCHES: &str = "dysel_launches_total";
+    /// Kernel launches issued to the device across all DySel launches.
+    pub const DEVICE_LAUNCHES: &str = "dysel_device_launches_total";
+    /// Measured micro-profiling launches that completed.
+    pub const PROFILE_LAUNCHES: &str = "dysel_profile_launches_total";
+    /// Launch failures observed (including failed retries).
+    pub const LAUNCH_ERRORS: &str = "dysel_launch_errors_total";
+    /// Retries issued for transient launch failures.
+    pub const RETRIES: &str = "dysel_retries_total";
+    /// Launches cooperatively preempted by the cycle-budget subsystem.
+    pub const PREEMPTIONS: &str = "dysel_preemptions_total";
+    /// Variants dropped for blowing the profiling deadline.
+    pub const DEADLINE_DISCARDS: &str = "dysel_deadline_discards_total";
+    /// Variants caught by output validation.
+    pub const VALIDATION_FAILURES: &str = "dysel_validation_failures_total";
+    /// Dead productive slices re-executed with the winner.
+    pub const REPAIRED_SLICES: &str = "dysel_repaired_slices_total";
+    /// Variants quarantined (all reasons, all signatures).
+    pub const QUARANTINES: &str = "dysel_quarantines_total";
+    /// Launches that reused an in-process cached selection.
+    pub const CACHE_HITS: &str = "dysel_selection_cache_hits_total";
+    /// Launches that reused a warm-restarted (persisted) selection.
+    pub const WARM_SKIPS: &str = "dysel_warm_skips_total";
+    /// Warm-restarted selections invalidated as stale.
+    pub const WARM_INVALIDATIONS: &str = "dysel_warm_invalidations_total";
+    /// Sandbox leases served by recycling a pooled allocation.
+    pub const SANDBOX_HITS: &str = "dysel_sandbox_pool_hits_total";
+    /// Sandbox leases that required a fresh allocation.
+    pub const SANDBOX_MISSES: &str = "dysel_sandbox_pool_misses_total";
+    /// Verifier diagnostics dropped by the per-signature cap.
+    pub const DIAG_DROPPED: &str = "dysel_diagnostics_dropped_total";
+    /// Prefix of the per-variant profiling-cycle histograms; full names
+    /// are `dysel_profile_cycles/<signature>/<variant>`.
+    pub const PROFILE_CYCLES: &str = "dysel_profile_cycles";
+}
+
+/// Bucket count: value `0` plus one bucket per possible bit length of a
+/// `u64` observation.
+const BUCKETS: usize = 65;
+
+/// A fixed power-of-two-bucket histogram over `u64` observations.
+///
+/// Bucket `0` holds the value zero; bucket `i >= 1` holds values whose
+/// bit length is `i`, i.e. `2^(i-1) <= v < 2^i`. Bounds are fixed at
+/// compile time, so recording is two integer ops and snapshots from
+/// different runs are always mergeable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = (64 - value.leading_zeros()) as usize;
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Non-empty buckets as `(exclusive upper bound, count)` pairs in
+    /// ascending bound order. The bound of bucket `i` is `2^i` (bucket 0,
+    /// holding only zeros, reports bound 1).
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << (i as u32).min(63), c))
+    }
+}
+
+/// The live registry behind an event sink: counters + histograms, keyed
+/// by stable names, `BTreeMap`-ordered so rendering is canonical.
+#[derive(Debug, Default)]
+pub(crate) struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub(crate) fn count(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    pub(crate) fn record(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
+}
+
+/// A point-in-time copy of the metrics registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters, by stable name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms, by stable name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// A counter's value; zero if it was never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram, if any observation was recorded under `name`.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Canonical text rendering: one `counter <name> <value>` line per
+    /// counter, then one `hist <name> count=<n> sum=<s> lt<bound>=<c>...`
+    /// line per histogram, in name order. Deterministic byte-for-byte.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "counter {name} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = write!(out, "hist {name} count={} sum={}", h.count(), h.sum());
+            for (bound, c) in h.buckets() {
+                let _ = write!(out, " lt{bound}={c}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut r = MetricsRegistry::default();
+        r.count("a", 0);
+        r.count("a", 2);
+        r.count("a", 3);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), 5);
+        assert_eq!(s.counter("missing"), 0);
+        assert!(s.counters.contains_key("a"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(7);
+        h.record(8);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 5);
+        let buckets: Vec<_> = h.buckets().collect();
+        // 0 -> bound 1; 1 -> bound 2; 7 -> bound 8; 8 -> bound 16;
+        // u64::MAX -> top bucket (clamped bound 2^63).
+        assert_eq!(
+            buckets,
+            vec![(1, 1), (2, 1), (8, 1), (16, 1), (1u64 << 63, 1)]
+        );
+    }
+
+    #[test]
+    fn render_is_canonical() {
+        let mut r = MetricsRegistry::default();
+        r.count("z_counter", 1);
+        r.count("a_counter", 2);
+        r.record("lat", 3);
+        r.record("lat", 100);
+        let text = r.snapshot().render();
+        assert_eq!(
+            text,
+            "counter a_counter 2\ncounter z_counter 1\nhist lat count=2 sum=103 lt4=1 lt128=1\n"
+        );
+        // Rendering twice is byte-identical.
+        assert_eq!(text, r.snapshot().render());
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut r = MetricsRegistry::default();
+        r.count("a", 1);
+        r.record("h", 9);
+        r.clear();
+        assert!(r.snapshot().is_empty());
+    }
+}

@@ -59,6 +59,33 @@ grep -q "fig11a" /tmp/dysel-verify-t1.txt  # guard against an empty run
 diff /tmp/dysel-verify-t1.txt /tmp/dysel-verify-t4.txt
 echo "    identical"
 
+echo "==> trace smoke: --trace-out must write non-empty, parseable JSON"
+trace=/tmp/dysel-verify-trace.json
+metrics=/tmp/dysel-verify-metrics.txt
+rm -f "$trace" "$metrics"
+"$bin" --threads 1 --trace-out "$trace" --metrics-out "$metrics" fig11a \
+    | strip_wallclock | grep -v "^trace: \|^metrics " > /tmp/dysel-verify-obs.txt
+test -s "$trace" && test -s "$metrics"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$trace" <<'PY'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+assert events, "trace must contain events"
+assert all("ph" in e and "ts" in e and "pid" in e for e in events)
+PY
+else
+    grep -q '"traceEvents"' "$trace" && grep -q '"ph"' "$trace"
+fi
+grep -q "^counter dysel_launches_total " "$metrics"
+echo "    $(grep -c '"ph"' "$trace") event line(s), metrics present"
+
+echo "==> overhead guard: observation must not change results"
+# The observed fig11a run's output (modulo wall-clock and the two export
+# notice lines) must equal the unobserved --threads 1 run byte for byte:
+# same figures, same selection digest, same fault counters.
+diff /tmp/dysel-verify-t1.txt /tmp/dysel-verify-obs.txt
+echo "    identical"
+
 echo "==> warm restart: second --state-file run must skip all profiling"
 state=/tmp/dysel-verify-state.bin
 rm -f "$state"

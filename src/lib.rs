@@ -29,6 +29,7 @@
 //! | [`workloads`] | sgemm, spmv, stencil, cutcp, kmeans, particle filter, histogram |
 //! | [`baselines`] | LC scheduling, PORPLE-like placement, heuristics, oracle |
 //! | [`verify`] | static kernel-variant verifier: disjointness solver, lints |
+//! | [`obs`] | deterministic observability: structured events, metrics, exporters |
 //!
 //! ## Quickstart
 //!
@@ -67,5 +68,6 @@ pub use dysel_baselines as baselines;
 pub use dysel_core as core;
 pub use dysel_device as device;
 pub use dysel_kernel as kernel;
+pub use dysel_obs as obs;
 pub use dysel_verify as verify;
 pub use dysel_workloads as workloads;
