@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use dysel_kernel::{Args, KernelError, Variant, VariantId};
+use dysel_kernel::{Args, DirtyRanges, KernelError, Variant, VariantId};
 use dysel_obs::{names, EventSink};
 
 use crate::DyselError;
@@ -136,10 +136,11 @@ impl SandboxPool {
                     a.elem_type() == b.elem_type() && a.size_bytes() == b.size_bytes()
                 });
             if compatible {
-                sb.refresh_from(src)?;
+                let restored = restore_leased(&mut sb, src)?;
                 self.reuses += 1;
                 if let Some(sink) = obs {
                     sink.count(names::SANDBOX_HITS, 1);
+                    sink.count(names::SANDBOX_RESTORE_BYTES, restored);
                 }
                 return Ok(sb);
             }
@@ -175,6 +176,53 @@ impl SandboxPool {
         self.allocations = 0;
         self.reuses = 0;
     }
+}
+
+/// Restores a recycled sandbox so it is data-wise indistinguishable from a
+/// fresh [`Args::sandbox_view`] of `src`, copying as little as possible.
+/// Returns the number of bytes copied in place.
+///
+/// Per buffer, one of two paths reaches bit-equality with `src`:
+///
+/// * The payload is exclusively ours (the previous lease's copy-on-write
+///   left a private allocation): patch it **in place**, copying only the
+///   dirty window where it differs from the live data. The window is
+///   *derived* by comparing against `src` now — never replayed from ranges
+///   recorded during the previous lease. The live buffer may have moved
+///   under the pool between leases (iterative solvers update their outputs
+///   every step), so lease-time ranges alone would leave stale bytes
+///   everywhere the live data changed outside them; a derived window
+///   cannot, by construction. The regression tests below pin this down.
+/// * The payload is shared with somebody else (typically still re-pointed
+///   at an older generation of the live data): re-share `src`'s payload
+///   copy-on-write, which is free and trivially exact.
+fn restore_leased(sb: &mut Args, src: &Args) -> Result<u64, KernelError> {
+    let mut restored = 0u64;
+    for i in 0..sb.len() {
+        let s = src.buffer(i)?;
+        let (shares, unique, same_shape) = {
+            let d = sb.buffer(i)?;
+            (
+                d.shares_payload_with(s),
+                !d.is_shared(),
+                d.len() == s.len() && d.elem_type() == s.elem_type(),
+            )
+        };
+        if shares {
+            continue; // already the live payload, bit-for-bit
+        }
+        if unique && same_shape {
+            if let Some((a, b)) = sb.buffer(i)?.dirty_window(s)? {
+                let mut ranges = DirtyRanges::new();
+                ranges.mark(a as u64, b as u64);
+                let copied = sb.buffer_mut(i)?.restore_ranges_from(s, &ranges)?;
+                restored += copied * s.elem_type().size_bytes();
+            }
+        } else {
+            sb.buffer_mut(i)?.share_payload_from(s);
+        }
+    }
+    Ok(restored)
 }
 
 #[cfg(test)]
@@ -314,6 +362,99 @@ mod tests {
         let small3 = sized_args(8, 4.0);
         pool.lease("k", 0, &small3, &[1], None).unwrap();
         assert_eq!((pool.allocations(), pool.reuses()), (3, 1));
+    }
+
+    /// Regression (dirty-range restore): a reused sandbox is patched in
+    /// place from a *derived* diff window, so bytes the previous lease
+    /// dirtied are healed even where the live data also moved between
+    /// leases — and bytes where only the live data moved are healed too.
+    /// Replaying the previous lease's write ranges alone would fail the
+    /// second half of this test.
+    #[test]
+    fn reused_sandbox_restore_leaves_no_stale_bytes() {
+        let mut pool = SandboxPool::default();
+        let mut src = sized_args(16, 1.0);
+
+        let mut sb = pool.lease("k", 0, &src, &[1], None).unwrap();
+        let sandbox_addr = sb.buffer(1).unwrap().addr();
+        // The lease dirties a couple of interleaved spans of the output.
+        sb.f32_mut(1).unwrap()[2..5].fill(9.0);
+        sb.f32_mut(1).unwrap()[10..12].fill(8.0);
+        pool.give_back("k", 0, sb);
+
+        // The live workload moves on: inside one dirtied span, and far
+        // outside every dirtied span.
+        src.f32_mut(1).unwrap()[3] = 0.5;
+        src.f32_mut(1).unwrap()[15] = 0.25;
+        src.f32_mut(0).unwrap()[0] = 2.0;
+
+        let sb2 = pool.lease("k", 0, &src, &[1], None).unwrap();
+        assert_eq!((pool.allocations(), pool.reuses()), (1, 1));
+        assert_eq!(sb2.buffer(1).unwrap().addr(), sandbox_addr);
+        // Byte-for-byte what a fresh sandbox_view would hold.
+        let fresh = src.sandbox_view(&[1]).unwrap();
+        for i in 0..src.len() {
+            assert_eq!(
+                sb2.f32(i).unwrap(),
+                fresh.f32(i).unwrap(),
+                "buffer {i} differs from a fresh sandbox view"
+            );
+        }
+    }
+
+    /// Regression: a pooled sandbox whose *input* still points at an older
+    /// generation of the live data (the solver COW-updated it between
+    /// leases) must come back re-pointed at the current payload.
+    #[test]
+    fn reused_sandbox_sees_current_input_generation() {
+        let mut pool = SandboxPool::default();
+        let mut src = sized_args(8, 1.0);
+        let sb = pool.lease("k", 0, &src, &[1], None).unwrap();
+        assert!(sb
+            .buffer(0)
+            .unwrap()
+            .shares_payload_with(src.buffer(0).unwrap()));
+        pool.give_back("k", 0, sb);
+
+        src.f32_mut(0).unwrap().fill(7.0); // new input generation
+        let sb2 = pool.lease("k", 0, &src, &[1], None).unwrap();
+        assert_eq!(sb2.f32(0).unwrap(), vec![7.0; 8].as_slice());
+    }
+
+    /// Property: N random lease cycles with random interleaved sandbox
+    /// writes and random live-data movement always restore to exactly a
+    /// fresh sandbox view (the full-snapshot reference).
+    #[cfg(feature = "proptest")]
+    #[test]
+    fn random_lease_cycles_restore_like_fresh_views() {
+        use dysel_kernel::XorShiftRng;
+        let mut rng = XorShiftRng::seed_from_u64(0x5A9D_B0C5);
+        for round in 0..100 {
+            let mut pool = SandboxPool::default();
+            let n = 1 + rng.gen_range_u32(0, 64) as usize;
+            let mut src = sized_args(n, 1.0);
+            let mut sb = pool.lease("k", 0, &src, &[1], None).unwrap();
+            for _ in 0..8 {
+                // Interleave sandbox-output writes (possibly overlapping,
+                // possibly empty) with live-data movement.
+                let a = rng.gen_range_u32(0, n as u32) as usize;
+                let b = (a + rng.gen_range_u32(0, 8) as usize).min(n);
+                sb.f32_mut(1).unwrap()[a..b].fill(rng.next_f64() as f32);
+                let arg = rng.gen_range_u32(0, 2) as usize;
+                let i = rng.gen_range_u32(0, n as u32) as usize;
+                src.f32_mut(arg).unwrap()[i] = rng.next_f64() as f32;
+            }
+            pool.give_back("k", 0, sb);
+            let sb2 = pool.lease("k", 0, &src, &[1], None).unwrap();
+            let fresh = src.sandbox_view(&[1]).unwrap();
+            for i in 0..src.len() {
+                assert_eq!(
+                    sb2.f32(i).unwrap(),
+                    fresh.f32(i).unwrap(),
+                    "round {round}: buffer {i} differs from the full-snapshot reference"
+                );
+            }
+        }
     }
 
     #[test]

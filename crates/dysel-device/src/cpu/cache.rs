@@ -46,13 +46,19 @@ impl CacheConfig {
 }
 
 /// An LRU set-associative cache over line tags.
+///
+/// Storage is a single flat tag array (`sets × ways`, front of each set =
+/// most recent) plus a per-set occupancy count, so the pricing hot loop
+/// walks contiguous memory instead of chasing one heap allocation per set.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     cfg: CacheConfig,
     line_shift: u32,
     set_mask: u64,
-    /// Per set: tags in LRU order (front = most recent).
-    sets: Vec<Vec<u64>>,
+    /// `ways`-strided tag slots; within a set, LRU order front-to-back.
+    tags: Vec<u64>,
+    /// Live tags per set (`<= ways`).
+    lens: Vec<u16>,
     hits: u64,
     misses: u64,
 }
@@ -66,7 +72,8 @@ impl SetAssocCache {
             cfg,
             line_shift: cfg.line.trailing_zeros(),
             set_mask: sets - 1,
-            sets: vec![Vec::with_capacity(cfg.ways as usize); sets as usize],
+            tags: vec![0; (sets * u64::from(cfg.ways)) as usize],
+            lens: vec![0; sets as usize],
             hits: 0,
             misses: 0,
         }
@@ -92,17 +99,21 @@ impl SetAssocCache {
         // Sets are indexed by the low line bits — not perfectly uniform for
         // power-of-two strides, which is exactly the conflict-miss
         // behaviour we want to model.
-        let set = &mut self.sets[(line & self.set_mask) as usize];
-        if let Some(pos) = set.iter().position(|&t| t == line) {
-            let tag = set.remove(pos);
-            set.insert(0, tag);
+        let set = (line & self.set_mask) as usize;
+        let ways = self.cfg.ways as usize;
+        let len = usize::from(self.lens[set]);
+        let slots = &mut self.tags[set * ways..set * ways + ways];
+        if let Some(pos) = slots[..len].iter().position(|&t| t == line) {
+            // Move the hit tag to the MRU front, shifting the rest down.
+            slots[..=pos].rotate_right(1);
             self.hits += 1;
             true
         } else {
-            if set.len() == self.cfg.ways as usize {
-                set.pop();
-            }
-            set.insert(0, line);
+            // Insert at the front; a full set implicitly drops its LRU tag.
+            let keep = len.min(ways - 1);
+            slots.copy_within(..keep, 1);
+            slots[0] = line;
+            self.lens[set] = (keep + 1) as u16;
             self.misses += 1;
             false
         }
@@ -125,9 +136,7 @@ impl SetAssocCache {
 
     /// Drops all contents and statistics.
     pub fn reset(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.lens.fill(0);
         self.hits = 0;
         self.misses = 0;
     }

@@ -13,9 +13,10 @@ pub use cache::{CacheConfig, CacheHierarchy, SetAssocCache};
 
 use std::sync::Arc;
 
-use dysel_kernel::{Args, MemOp, RecordedTrace, Space, TraceSink, VariantMeta};
+use dysel_kernel::{Args, MemOp, Space, TraceSink, TraceView, VariantMeta};
 use dysel_obs::EventSink;
 
+use crate::cycles::{lanes, path::PricingPath};
 use crate::device::{
     BatchEntry, BudgetPolicy, Device, DeviceKind, LaunchOutcome, LaunchSpec, StreamId, StreamTable,
 };
@@ -102,6 +103,9 @@ impl CpuConfig {
 struct CpuCostSink<'a> {
     cfg: &'a CpuConfig,
     cache: &'a mut CacheHierarchy,
+    /// Use the chunked fast path for lane address/line-id computation.
+    /// Both paths must produce identical cost streams (DESIGN.md §4.15).
+    batched: bool,
     mem_cycles: f64,
     compute_cycles: f64,
     /// Last line touched by recent vector accesses: the hardware
@@ -112,14 +116,63 @@ struct CpuCostSink<'a> {
 }
 
 impl<'a> CpuCostSink<'a> {
-    fn new(cfg: &'a CpuConfig, cache: &'a mut CacheHierarchy) -> Self {
+    fn new(cfg: &'a CpuConfig, cache: &'a mut CacheHierarchy, path: PricingPath) -> Self {
         CpuCostSink {
             cfg,
             cache,
+            batched: path == PricingPath::Batched,
             mem_cycles: 0.0,
             compute_cycles: 0.0,
             stream_tails: [i64::MIN; 4],
             next_tail: 0,
+        }
+    }
+
+    /// One vector load/store issue: a hierarchy access per distinct
+    /// consecutive line among the lanes.
+    fn warp_lanes(&mut self, base: i64, stride: i64, lanes_n: u32) {
+        if stride == 0 {
+            self.mem_cycles += self.cache.access(base as u64) as f64;
+            return;
+        }
+        if self.batched {
+            // Compute lane addresses and line ids a fixed-width chunk at a
+            // time (vectorizable), then walk the precomputed ids. The
+            // `vector_line_access` call sequence is identical to the
+            // scalar form, so the f64 accumulation is bit-exact.
+            const W: usize = lanes::LANES;
+            let line = i64::from(self.cache.line());
+            let mut prev_line = i64::MIN;
+            let n = lanes_n as usize;
+            let mut l = 0usize;
+            while l < n {
+                let c = (n - l).min(W);
+                let mut addrs = [0i64; W];
+                let mut lns = [0i64; W];
+                for k in 0..c {
+                    addrs[k] = base + (l + k) as i64 * stride;
+                    lns[k] = addrs[k] / line;
+                }
+                for k in 0..c {
+                    if lns[k] != prev_line {
+                        self.mem_cycles += self.vector_line_access(addrs[k] as u64);
+                        prev_line = lns[k];
+                    }
+                }
+                l += c;
+            }
+        } else {
+            // Reference form: one division and branch per lane.
+            let line = i64::from(self.cache.line());
+            let mut prev_line = i64::MIN;
+            for l in 0..lanes_n {
+                let addr = base + i64::from(l) * stride;
+                let ln = addr / line;
+                if ln != prev_line {
+                    self.mem_cycles += self.vector_line_access(addr as u64);
+                    prev_line = ln;
+                }
+            }
         }
     }
 
@@ -152,6 +205,26 @@ impl<'a> CpuCostSink<'a> {
 
     fn total(&self) -> Cycles {
         Cycles::from_f64(self.mem_cycles + self.compute_cycles)
+    }
+
+    /// Shared pricing for gathers, whether they arrive as an owned
+    /// [`MemOp::Gather`] or through the allocation-free slice entry point.
+    ///
+    /// No hardware gather (AVX1-class): each lane is a scalar load plus
+    /// register insert/extract traffic. Gathers wider than one 128-bit half
+    /// (4 lanes) pay extra cross-lane insertion work — the masking/packing
+    /// overhead that "gets larger with wider SIMD datapath width" (§1).
+    fn price_gather(&mut self, addrs: &[u64]) {
+        for &a in addrs {
+            self.mem_cycles += self.cache.access(a) as f64;
+        }
+        // A single-lane "gather" is just a scalar load with a computed
+        // address: no packing work.
+        if addrs.len() > 1 {
+            let lanes = addrs.len() as f64;
+            let widen = if addrs.len() > 4 { 3.0 } else { 1.0 };
+            self.mem_cycles += lanes * self.cfg.gather_pack_cycles * widen;
+        }
     }
 
     /// Walk a strided stream through the hierarchy, charging a full cache
@@ -226,20 +299,7 @@ impl TraceSink for CpuCostSink<'_> {
                 // A vector load/store: one hierarchy access per distinct
                 // line touched by the lanes, with prefetcher coverage when
                 // the op continues a tracked stream.
-                let line = i64::from(self.cache.line());
-                if *stride == 0 {
-                    self.mem_cycles += self.cache.access(*base) as f64;
-                } else {
-                    let mut prev_line = i64::MIN;
-                    for l in 0..*lanes {
-                        let addr = *base as i64 + i64::from(l) * stride;
-                        let ln = addr / line;
-                        if ln != prev_line {
-                            self.mem_cycles += self.vector_line_access(addr as u64);
-                            prev_line = ln;
-                        }
-                    }
-                }
+                self.warp_lanes(*base as i64, *stride, *lanes);
             }
             MemOp::WarpSeq {
                 base,
@@ -251,41 +311,11 @@ impl TraceSink for CpuCostSink<'_> {
             } => {
                 // Expand: each step is one vector access; the cache model
                 // needs the real addresses.
-                let line = i64::from(self.cache.line());
                 for k in 0..i64::from(*repeat) {
-                    let b = *base as i64 + k * step;
-                    if *stride == 0 {
-                        self.mem_cycles += self.cache.access(b as u64) as f64;
-                    } else {
-                        let mut prev_line = i64::MIN;
-                        for l in 0..*lanes {
-                            let addr = b + i64::from(l) * stride;
-                            let ln = addr / line;
-                            if ln != prev_line {
-                                self.mem_cycles += self.vector_line_access(addr as u64);
-                                prev_line = ln;
-                            }
-                        }
-                    }
+                    self.warp_lanes(*base as i64 + k * step, *stride, *lanes);
                 }
             }
-            MemOp::Gather { addrs, .. } => {
-                // No hardware gather (AVX1-class): each lane is a scalar
-                // load plus register insert/extract traffic. Gathers wider
-                // than one 128-bit half (4 lanes) pay extra cross-lane
-                // insertion work — the masking/packing overhead that "gets
-                // larger with wider SIMD datapath width" (§1).
-                for &a in addrs {
-                    self.mem_cycles += self.cache.access(a) as f64;
-                }
-                // A single-lane "gather" is just a scalar load with a
-                // computed address: no packing work.
-                if addrs.len() > 1 {
-                    let lanes = addrs.len() as f64;
-                    let widen = if addrs.len() > 4 { 3.0 } else { 1.0 };
-                    self.mem_cycles += lanes * self.cfg.gather_pack_cycles * widen;
-                }
-            }
+            MemOp::Gather { addrs, .. } => self.price_gather(addrs),
             MemOp::Stream {
                 base,
                 count,
@@ -305,6 +335,12 @@ impl TraceSink for CpuCostSink<'_> {
                 self.mem_cycles += f64::from(*lanes) * 1.0;
             }
         }
+    }
+
+    fn gather(&mut self, _space: Space, addrs: &[u64], _elem: u32, _store: bool) {
+        // CPU lowering ignores the space (see `mem` above); price straight
+        // off the borrowed slice so the hot path never allocates.
+        self.price_gather(addrs);
     }
 
     fn compute(&mut self, ops: u64) {
@@ -385,11 +421,13 @@ impl CpuDevice {
 struct CpuPriceModel<'a> {
     cfg: &'a CpuConfig,
     caches: &'a mut [CacheHierarchy],
+    /// Scalar reference vs batched fast path, pinned for the launch.
+    path: PricingPath,
 }
 
 impl PriceModel for CpuPriceModel<'_> {
-    fn group_cost(&mut self, unit: usize, _meta: &VariantMeta, trace: &RecordedTrace) -> Cycles {
-        let mut sink = CpuCostSink::new(self.cfg, &mut self.caches[unit]);
+    fn group_cost(&mut self, unit: usize, _meta: &VariantMeta, trace: TraceView<'_>) -> Cycles {
+        let mut sink = CpuCostSink::new(self.cfg, &mut self.caches[unit], self.path);
         trace.replay(&mut sink);
         sink.total()
     }
@@ -448,6 +486,7 @@ impl Device for CpuDevice {
         let mut model = CpuPriceModel {
             cfg: &self.cfg,
             caches: &mut self.caches,
+            path: crate::cycles::path::pricing_path(),
         };
         launch_batch_engine(
             &self.exec,

@@ -1,0 +1,186 @@
+//! Portable fixed-width integer-lane helpers for the batched pricing path.
+//!
+//! These are "u64x"-style chunked operations written as plain arrays of
+//! [`LANES`] elements so the compiler can keep them in vector registers on
+//! any target, with scalar tails for the remainder. Every helper is an
+//! exact drop-in for a scalar reduction in the device cost models: it must
+//! return the *same integer* the scalar code computes (the batched-pricing
+//! determinism contract, DESIGN.md §4.15), it is just allowed to get there
+//! without allocating or sorting when the structure of the address set
+//! permits.
+
+/// Fixed chunk width for lane-parallel loops (eight 64-bit lanes = one
+/// 512-bit vector, two 256-bit ops, or four 128-bit ops — all common).
+pub const LANES: usize = 8;
+
+/// Computes both memory-segment bounds `a / seg` and `(a + elem - 1) / seg`
+/// for every address, appending them to `out` (cleared first). Chunked
+/// counterpart of the `flat_map` in the scalar `gather_segments`; the
+/// caller still sorts/counts, but reuses `out` across calls so the hot
+/// path performs no allocation once warm.
+pub fn seg_bounds_u64(addrs: &[u64], elem: u32, seg: u64, out: &mut Vec<u64>) {
+    out.clear();
+    out.reserve(addrs.len() * 2);
+    let e = u64::from(elem);
+    let mut chunks = addrs.chunks_exact(LANES);
+    for c in &mut chunks {
+        let mut first = [0u64; LANES];
+        let mut last = [0u64; LANES];
+        for i in 0..LANES {
+            first[i] = c[i] / seg;
+            last[i] = (c[i] + e - 1) / seg;
+        }
+        for i in 0..LANES {
+            out.push(first[i]);
+            out.push(last[i]);
+        }
+    }
+    for &a in chunks.remainder() {
+        out.push(a / seg);
+        out.push((a + e - 1) / seg);
+    }
+}
+
+/// Sorts `vals` and returns the number of distinct values. Equivalent to
+/// `sort_unstable(); dedup(); len()` without the dedup compaction pass.
+pub fn distinct_sorted_u64(vals: &mut [u64]) -> u32 {
+    vals.sort_unstable();
+    let mut n = 0u32;
+    let mut last = None;
+    for &v in vals.iter() {
+        if last != Some(v) {
+            n += 1;
+            last = Some(v);
+        }
+    }
+    n
+}
+
+/// Number of distinct values in the multiset
+/// `{ (base + l*stride) / div, (base + l*stride + span) / div : 0 <= l < lanes }`
+/// using Rust's truncating `i64` division, without materializing it.
+///
+/// This is the affine special case behind `coalesced_segments`: because
+/// truncating division by a positive divisor is monotone non-decreasing in
+/// the dividend, both the `first` and `last` bound sequences are monotone
+/// in `l` (after flipping a negative stride), so a two-pointer merge counts
+/// distinct values in O(lanes) with no sort and no allocation. Requires
+/// `div > 0`; `span` may be any value (callers pass `elem - 1`).
+pub fn affine_distinct_i64(base: i64, stride: i64, lanes: u32, span: i64, div: i64) -> u32 {
+    debug_assert!(div > 0);
+    if lanes == 0 {
+        return 0;
+    }
+    // Normalize to a non-negative stride: the multiset of lane addresses is
+    // unchanged when walked from the other end.
+    let (base, stride) = if stride < 0 {
+        (base + i64::from(lanes - 1) * stride, -stride)
+    } else {
+        (base, stride)
+    };
+    let first = |l: i64| (base + l * stride) / div;
+    let last = |l: i64| (base + l * stride + span) / div;
+    let n = i64::from(lanes);
+    let (mut i, mut j) = (0i64, 0i64);
+    let mut count = 0u32;
+    let mut prev = None;
+    // Merge the two monotone sequences, counting distinct emitted values.
+    while i < n || j < n {
+        let v = if j >= n || (i < n && first(i) <= last(j)) {
+            i += 1;
+            first(i - 1)
+        } else {
+            j += 1;
+            last(j - 1)
+        };
+        if prev != Some(v) {
+            count += 1;
+            prev = Some(v);
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar reference: exactly what `coalesced_segments` does.
+    fn affine_reference(base: i64, stride: i64, lanes: u32, span: i64, div: i64) -> u32 {
+        let mut v: Vec<i64> = (0..lanes)
+            .flat_map(|l| {
+                let a = base + i64::from(l) * stride;
+                [a / div, (a + span) / div]
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v.len() as u32
+    }
+
+    #[test]
+    fn affine_matches_reference_across_shapes() {
+        let divs = [32i64, 128];
+        let strides = [-640i64, -128, -7, -1, 0, 1, 3, 4, 8, 127, 128, 129, 4096];
+        let bases = [0i64, 1, 63, 64, 1 << 20, (1 << 40) + 13];
+        let spans = [0i64, 3, 7, 127];
+        for &div in &divs {
+            for &stride in &strides {
+                for &base in &bases {
+                    for &span in &spans {
+                        for lanes in [0u32, 1, 2, 7, 32, 33] {
+                            assert_eq!(
+                                affine_distinct_i64(base, stride, lanes, span, div),
+                                affine_reference(base, stride, lanes, span, div),
+                                "base={base} stride={stride} lanes={lanes} span={span} div={div}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affine_handles_negative_addresses() {
+        // Truncating division differs from floor for negatives; the merge
+        // must still agree with the sort-based reference.
+        for &base in &[-1000i64, -129, -1] {
+            for &stride in &[-64i64, -3, 5, 96] {
+                assert_eq!(
+                    affine_distinct_i64(base, stride, 32, 3, 128),
+                    affine_reference(base, stride, 32, 3, 128),
+                    "base={base} stride={stride}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seg_bounds_match_flat_map() {
+        let addrs: Vec<u64> = (0..37)
+            .map(|i| 1_000_003u64.wrapping_mul(i) % 65536)
+            .collect();
+        let mut out = Vec::new();
+        seg_bounds_u64(&addrs, 4, 128, &mut out);
+        let mut expect: Vec<u64> = addrs
+            .iter()
+            .flat_map(|&a| [a / 128, (a + 3) / 128])
+            .collect();
+        let mut got = out.clone();
+        got.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+        // Reuse keeps capacity and clears old contents.
+        seg_bounds_u64(&addrs[..3], 4, 128, &mut out);
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn distinct_sorted_counts_like_dedup() {
+        let mut v = vec![5u64, 1, 5, 3, 3, 3, 9];
+        assert_eq!(distinct_sorted_u64(&mut v), 4);
+        let mut empty: Vec<u64> = vec![];
+        assert_eq!(distinct_sorted_u64(&mut empty), 0);
+    }
+}

@@ -1,4 +1,9 @@
-//! Virtual time, measured in device cycles.
+//! Virtual time, measured in device cycles, plus the batched pricing fast
+//! path that produces it: portable fixed-width lane helpers ([`lanes`]) and
+//! the runtime scalar/batched selection switch ([`path`]).
+
+pub mod lanes;
+pub mod path;
 
 use std::fmt;
 use std::iter::Sum;

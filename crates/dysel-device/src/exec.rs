@@ -43,10 +43,12 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 
 use dysel_kernel::{
-    span_bounds, Args, GroupCtx, Kernel, RecordedTrace, RecordingSink, UnitRange, VariantMeta,
+    span_bounds, Args, GroupCtx, Kernel, RecordedTrace, RecordingSink, TraceView, UnitRange,
+    VariantMeta,
 };
 use dysel_obs::{Event, EventSink, Stage};
 
@@ -64,14 +66,26 @@ use crate::Cycles;
 /// merge order and recorded traces — are identical at every thread count.
 const SPANS_PER_LAUNCH: usize = 16;
 
+/// Upper bound on recycled span traces kept by an [`Executor`]'s arena.
+/// One launch produces at most [`SPANS_PER_LAUNCH`] traces per entry, so a
+/// small multiple keeps the steady state allocation-free without letting a
+/// one-off giant batch pin memory forever.
+const MAX_POOLED_TRACES: usize = 64;
+
 /// A std-only work pool: `threads` workers executing indexed jobs pulled
 /// from a shared queue, with results reduced in index order.
 ///
 /// `threads == 0` resolves to [`std::thread::available_parallelism`];
 /// `threads == 1` runs jobs inline on the caller thread (no spawning).
+///
+/// The executor also owns the launch engine's *trace arena*: recorded span
+/// traces are returned here after pricing and handed back to the next
+/// launch's span jobs, so the profile→price→discard cycle stops hitting
+/// the allocator once the pool is warm.
 #[derive(Debug, Clone)]
 pub struct Executor {
     threads: usize,
+    arena: Arc<Mutex<Vec<RecordedTrace>>>,
 }
 
 impl Executor {
@@ -82,7 +96,29 @@ impl Executor {
         } else {
             threads
         };
-        Executor { threads }
+        Executor {
+            threads,
+            arena: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Pops a recycled trace from the arena (empty if none is available).
+    fn take_trace(&self) -> RecordedTrace {
+        self.arena
+            .lock()
+            .map(|mut pool| pool.pop())
+            .unwrap_or_default()
+            .unwrap_or_default()
+    }
+
+    /// Returns a trace's buffers to the arena for reuse.
+    fn recycle_trace(&self, mut trace: RecordedTrace) {
+        if let Ok(mut pool) = self.arena.lock() {
+            if pool.len() < MAX_POOLED_TRACES {
+                trace.clear();
+                pool.push(trace);
+            }
+        }
     }
 
     /// The resolved worker count.
@@ -140,16 +176,12 @@ impl Default for Executor {
     }
 }
 
-/// One functionally executed work-group: its identity plus recorded trace.
-pub(crate) struct GroupRun {
-    pub(crate) trace: RecordedTrace,
-}
-
 /// One span's worth of functional execution: the mutated snapshot and the
-/// per-group traces, in group order.
+/// span's recorded trace, with one closed group per executed work-group
+/// (walk them in order with [`RecordedTrace::groups`]).
 pub(crate) struct SpanRun {
     pub(crate) args: Args,
-    pub(crate) groups: Vec<GroupRun>,
+    pub(crate) trace: RecordedTrace,
 }
 
 /// One launch to execute functionally.
@@ -182,9 +214,10 @@ pub(crate) fn run_functional(exec: &Executor, items: &[FunctionalItem<'_>]) -> V
         let (i, lo, hi) = jobs[j];
         let item = &items[i];
         let mut args = item.pristine.clone();
-        let mut runs = Vec::with_capacity(hi - lo);
+        // One recycled trace records the whole span, group boundaries mark
+        // the per-group slices for the serial pricing pass.
+        let mut sink = RecordingSink::reusing(exec.take_trace());
         for &(g, gu) in &groups[i][lo..hi] {
-            let mut sink = RecordingSink::new();
             let mut ctx = GroupCtx::new(
                 g,
                 gu,
@@ -194,11 +227,13 @@ pub(crate) fn run_functional(exec: &Executor, items: &[FunctionalItem<'_>]) -> V
                 &mut sink,
             );
             item.kernel.run_group(&mut ctx, &mut args);
-            runs.push(GroupRun {
-                trace: sink.into_trace(),
-            });
+            drop(ctx);
+            sink.end_group();
         }
-        SpanRun { args, groups: runs }
+        SpanRun {
+            args,
+            trace: sink.into_trace(),
+        }
     });
     // Regroup the flat span list per item (jobs were built item-major).
     let mut out: Vec<Vec<SpanRun>> = items.iter().map(|_| Vec::new()).collect();
@@ -238,7 +273,7 @@ pub(crate) fn merge_spans(
 /// the stateful cost model of execution unit `unit`.
 pub(crate) trait PriceModel {
     /// The group's execution cost on `unit`.
-    fn group_cost(&mut self, unit: usize, meta: &VariantMeta, trace: &RecordedTrace) -> Cycles;
+    fn group_cost(&mut self, unit: usize, meta: &VariantMeta, trace: TraceView<'_>) -> Cycles;
 }
 
 /// How phase 2 will handle one batch entry.
@@ -377,10 +412,9 @@ pub(crate) fn launch_batch_engine<M: PriceModel>(
                 let mut busy = Cycles::ZERO;
                 let mut groups = 0u64;
                 for span in spans {
-                    for g in &span.groups {
+                    for view in span.trace.groups() {
                         let unit = pool.earliest_unit();
-                        let cost =
-                            exec_noise.perturb(model.group_cost(unit, e.meta, &g.trace)) * slow;
+                        let cost = exec_noise.perturb(model.group_cost(unit, e.meta, view)) * slow;
                         let p = pool.assign_to(unit, cost, gate);
                         first_start = first_start.min(p.start);
                         last_end = last_end.max(p.end);
@@ -408,6 +442,7 @@ pub(crate) fn launch_batch_engine<M: PriceModel>(
                     _ => None,
                 });
                 run_budgeted_entry(
+                    exec,
                     e,
                     targets,
                     &pristine,
@@ -435,6 +470,13 @@ pub(crate) fn launch_batch_engine<M: PriceModel>(
             emit_outcome(sink, e, &outcome);
         }
         outcomes.push(outcome);
+    }
+    // Priced traces go back to the arena: the next launch's span jobs
+    // record into these buffers instead of allocating fresh ones.
+    for item_runs in runs {
+        for span in item_runs {
+            exec.recycle_trace(span.trace);
+        }
     }
     outcomes
 }
@@ -482,6 +524,7 @@ fn emit_outcome(sink: &EventSink, e: &BatchEntry<'_>, outcome: &LaunchOutcome) {
 /// committed only if the accumulated spend stays within `budget`.
 #[allow(clippy::too_many_arguments)]
 fn run_budgeted_entry<M: PriceModel>(
+    exec: &Executor,
     e: &BatchEntry<'_>,
     targets: &mut [&mut Args],
     pristine: &[Args],
@@ -503,9 +546,11 @@ fn run_budgeted_entry<M: PriceModel>(
     let mut busy = Cycles::ZERO;
     let mut groups_done = 0u64;
     let mut preempted = false;
+    // One recycled trace, cleared per group: record → price → reuse.
+    let mut trace = exec.take_trace();
     'spans: for (lo, hi) in span_bounds(groups.len(), SPANS_PER_LAUNCH) {
         for &(g, gu) in &groups[lo..hi] {
-            let mut sink = RecordingSink::new();
+            let mut sink = RecordingSink::reusing(std::mem::take(&mut trace));
             let mut ctx = GroupCtx::new(
                 g,
                 gu,
@@ -515,9 +560,10 @@ fn run_budgeted_entry<M: PriceModel>(
                 &mut sink,
             );
             e.kernel.run_group(&mut ctx, &mut work);
-            let trace = sink.into_trace();
+            drop(ctx);
+            trace = sink.into_trace();
             let unit = pool.earliest_unit();
-            let cost = exec_noise.perturb(model.group_cost(unit, e.meta, &trace)) * slow;
+            let cost = exec_noise.perturb(model.group_cost(unit, e.meta, trace.view())) * slow;
             if let Some(b) = budget {
                 if busy + cost > b {
                     // Committing this group would blow the budget: preempt
@@ -533,6 +579,7 @@ fn run_budgeted_entry<M: PriceModel>(
             groups_done += 1;
         }
     }
+    exec.recycle_trace(trace);
     if preempted {
         // The snapshot (and with it every partial write) is discarded; the
         // stream does not advance, exactly like a failed launch.

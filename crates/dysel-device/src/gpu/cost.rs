@@ -3,6 +3,7 @@
 use dysel_kernel::{MemOp, Space, TraceSink};
 
 use crate::cpu::SetAssocCache;
+use crate::cycles::{lanes, path::PricingPath};
 use crate::Cycles;
 
 use super::GpuConfig;
@@ -31,6 +32,27 @@ pub fn coalesced_segments(
     segments.sort_unstable();
     segments.dedup();
     segments.len() as u32
+}
+
+/// Batched twin of [`coalesced_segments`]: the lane addresses are affine
+/// in the lane index, so the distinct-segment count falls out of a
+/// two-pointer merge with no sort and no allocation. Must return exactly
+/// the scalar function's count (enforced by tests and the `pricing_diff`
+/// differential suite).
+pub fn coalesced_segments_batched(
+    base: u64,
+    stride: i64,
+    lanes_n: u32,
+    elem: u32,
+    segment_bytes: u32,
+) -> u32 {
+    lanes::affine_distinct_i64(
+        base as i64,
+        stride,
+        lanes_n,
+        i64::from(elem) - 1,
+        i64::from(segment_bytes),
+    )
 }
 
 /// Number of segments touched by a gather over arbitrary addresses.
@@ -66,17 +88,40 @@ pub fn smem_conflict_degree(stride_words: i64, lanes: u32) -> u32 {
 pub(super) struct GpuCostSink<'a> {
     cfg: &'a GpuConfig,
     tex: &'a mut SetAssocCache,
+    /// Use the chunked fast path for integer-count trace reductions. Both
+    /// paths must produce identical counts (DESIGN.md §4.15).
+    batched: bool,
+    /// Launch-lifetime segment-id buffer lent by the price model, so the
+    /// batched path sorts in place instead of allocating per gather.
+    scratch: &'a mut Vec<u64>,
     mem_cycles: f64,
     compute_cycles: f64,
 }
 
 impl<'a> GpuCostSink<'a> {
-    pub(super) fn new(cfg: &'a GpuConfig, tex: &'a mut SetAssocCache) -> Self {
+    pub(super) fn new(
+        cfg: &'a GpuConfig,
+        tex: &'a mut SetAssocCache,
+        path: PricingPath,
+        scratch: &'a mut Vec<u64>,
+    ) -> Self {
         GpuCostSink {
             cfg,
             tex,
+            batched: path == PricingPath::Batched,
+            scratch,
             mem_cycles: 0.0,
             compute_cycles: 0.0,
+        }
+    }
+
+    /// Distinct-segment count for a warp access, via whichever path is
+    /// active.
+    fn warp_segments(&self, base: u64, stride: i64, lanes_n: u32, elem: u32) -> u32 {
+        if self.batched {
+            coalesced_segments_batched(base, stride, lanes_n, elem, self.cfg.segment_bytes)
+        } else {
+            coalesced_segments(base, stride, lanes_n, elem, self.cfg.segment_bytes)
         }
     }
 
@@ -102,15 +147,37 @@ impl<'a> GpuCostSink<'a> {
         // Texture path: per 32-byte texture line, hit in the per-SM cache
         // or pay a global segment fetch.
         let line = u64::from(self.tex.config().line);
-        let mut lines: Vec<u64> = addrs.into_iter().map(|a| a / line).collect();
-        lines.dedup();
         let mut hits = 0u32;
         let mut misses = 0u32;
-        for l in lines {
-            if self.tex.access_line(l) {
-                hits += 1;
-            } else {
-                misses += 1;
+        if self.batched {
+            // Suppressing *consecutive* duplicate lines needs no buffer:
+            // stream the addresses and track the previous line only. The
+            // `access_line` call sequence — and thus the cache state and
+            // hit/miss counts — is identical to the reference form.
+            let mut prev = None;
+            for a in addrs {
+                let l = a / line;
+                if prev == Some(l) {
+                    continue;
+                }
+                prev = Some(l);
+                if self.tex.access_line(l) {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+            }
+        } else {
+            // Reference form: materialize line ids, drop consecutive
+            // duplicates, then probe the cache.
+            let mut lines: Vec<u64> = addrs.into_iter().map(|a| a / line).collect();
+            lines.dedup();
+            for l in lines {
+                if self.tex.access_line(l) {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
             }
         }
         // A texture miss fetches a 32-byte line: cheaper than a full
@@ -122,6 +189,55 @@ impl<'a> GpuCostSink<'a> {
     fn price_constant(&mut self, distinct_words: u32) {
         self.mem_cycles += self.cfg.const_broadcast_cycles
             + f64::from(distinct_words.saturating_sub(1)) * self.cfg.const_serialize_cycles;
+    }
+
+    /// Shared pricing for gathers, whether they arrive as an owned
+    /// [`MemOp::Gather`] or through the allocation-free slice entry point.
+    fn price_gather(&mut self, space: Space, addrs: &[u64], elem: u32) {
+        match space {
+            Space::Global => {
+                let segs = if self.batched {
+                    // Chunked segment-bound computation into the reused
+                    // scratch, then a sort-free distinct count is not
+                    // possible for arbitrary addresses — sort in place.
+                    lanes::seg_bounds_u64(
+                        addrs,
+                        elem,
+                        u64::from(self.cfg.segment_bytes),
+                        self.scratch,
+                    );
+                    lanes::distinct_sorted_u64(self.scratch)
+                } else {
+                    gather_segments(addrs, elem, self.cfg.segment_bytes)
+                };
+                self.price_global_segments(segs, false);
+            }
+            Space::Texture => {
+                self.price_texture(addrs.iter().copied());
+            }
+            Space::Constant => {
+                let distinct = if self.batched {
+                    self.scratch.clear();
+                    self.scratch.extend_from_slice(addrs);
+                    lanes::distinct_sorted_u64(self.scratch)
+                } else {
+                    let mut d = addrs.to_vec();
+                    d.sort_unstable();
+                    d.dedup();
+                    d.len() as u32
+                };
+                self.price_constant(distinct);
+            }
+            Space::Scratchpad => {
+                // Banked: compute conflict degree from the word addresses.
+                let mut banks = [0u32; 32];
+                for &a in addrs {
+                    banks[((a / 4) % 32) as usize] += 1;
+                }
+                let conflict = banks.iter().copied().max().unwrap_or(1).max(1);
+                self.mem_cycles += self.cfg.smem_cycles * f64::from(conflict);
+            }
+        }
     }
 }
 
@@ -137,8 +253,7 @@ impl TraceSink for GpuCostSink<'_> {
                 store,
             } => match space {
                 Space::Global => {
-                    let segs =
-                        coalesced_segments(*base, *stride, *lanes, *elem, self.cfg.segment_bytes);
+                    let segs = self.warp_segments(*base, *stride, *lanes, *elem);
                     self.price_global_segments(segs, false);
                     let _ = store;
                 }
@@ -169,14 +284,12 @@ impl TraceSink for GpuCostSink<'_> {
                 Space::Global => {
                     // Lane shape is constant: sample the segment count at
                     // two alignments and scale by the repeat count.
-                    let s0 =
-                        coalesced_segments(*base, *stride, *lanes, *elem, self.cfg.segment_bytes);
-                    let s1 = coalesced_segments(
+                    let s0 = self.warp_segments(*base, *stride, *lanes, *elem);
+                    let s1 = self.warp_segments(
                         (*base as i64 + step).max(0) as u64,
                         *stride,
                         *lanes,
                         *elem,
-                        self.cfg.segment_bytes,
                     );
                     let per = f64::from(s0 + s1) / 2.0;
                     self.mem_cycles += per * f64::from(*repeat) * self.cfg.gmem_segment_cycles;
@@ -202,30 +315,7 @@ impl TraceSink for GpuCostSink<'_> {
             },
             MemOp::Gather {
                 space, addrs, elem, ..
-            } => match space {
-                Space::Global => {
-                    let segs = gather_segments(addrs, *elem, self.cfg.segment_bytes);
-                    self.price_global_segments(segs, false);
-                }
-                Space::Texture => {
-                    self.price_texture(addrs.iter().copied());
-                }
-                Space::Constant => {
-                    let mut d = addrs.clone();
-                    d.sort_unstable();
-                    d.dedup();
-                    self.price_constant(d.len() as u32);
-                }
-                Space::Scratchpad => {
-                    // Banked: compute conflict degree from the word addresses.
-                    let mut banks = [0u32; 32];
-                    for &a in addrs {
-                        banks[((a / 4) % 32) as usize] += 1;
-                    }
-                    let conflict = banks.iter().copied().max().unwrap_or(1).max(1);
-                    self.mem_cycles += self.cfg.smem_cycles * f64::from(conflict);
-                }
-            },
+            } => self.price_gather(*space, addrs, *elem),
             MemOp::Stream {
                 space,
                 base,
@@ -277,6 +367,10 @@ impl TraceSink for GpuCostSink<'_> {
         }
     }
 
+    fn gather(&mut self, space: Space, addrs: &[u64], elem: u32, _store: bool) {
+        self.price_gather(space, addrs, elem);
+    }
+
     fn compute(&mut self, ops: u64) {
         // Scalar ops aggregate into warp instructions.
         let warp_ops = ops.div_ceil(32);
@@ -319,6 +413,23 @@ mod tests {
         assert_eq!(gather_segments(&addrs, 4, 128), 1);
         let scattered: Vec<u64> = (0..32).map(|l| l * 4096).collect();
         assert_eq!(gather_segments(&scattered, 4, 128), 32);
+    }
+
+    #[test]
+    fn batched_coalesced_matches_scalar() {
+        for &stride in &[-640i64, -128, -4, 0, 3, 4, 12, 127, 128, 640] {
+            for &base in &[0u64, 4, 100, (1 << 30) + 36] {
+                for &elem in &[4u32, 8] {
+                    for &lanes_n in &[0u32, 1, 7, 32] {
+                        assert_eq!(
+                            coalesced_segments_batched(base, stride, lanes_n, elem, 128),
+                            coalesced_segments(base, stride, lanes_n, elem, 128),
+                            "base={base} stride={stride} lanes={lanes_n} elem={elem}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

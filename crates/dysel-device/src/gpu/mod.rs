@@ -12,7 +12,9 @@ pub use cost::{coalesced_segments, gather_segments, smem_conflict_degree};
 
 use std::sync::Arc;
 
-use dysel_kernel::{Args, RecordedTrace, VariantMeta};
+use dysel_kernel::{Args, TraceView, VariantMeta};
+
+use crate::cycles::path::PricingPath;
 use dysel_obs::EventSink;
 
 use crate::cpu::{CacheConfig, SetAssocCache};
@@ -290,15 +292,25 @@ impl GpuDevice {
 struct GpuPriceModel<'a> {
     cfg: &'a GpuConfig,
     tex_caches: &'a mut [SetAssocCache],
+    /// Scalar reference vs batched fast path, pinned for the launch.
+    path: PricingPath,
+    /// Segment-id scratch lent to the cost sinks (lives for the launch, so
+    /// the batched path allocates at most once per launch batch).
+    scratch: Vec<u64>,
 }
 
 impl PriceModel for GpuPriceModel<'_> {
-    fn group_cost(&mut self, sm: usize, meta: &VariantMeta, trace: &RecordedTrace) -> Cycles {
+    fn group_cost(&mut self, sm: usize, meta: &VariantMeta, trace: TraceView<'_>) -> Cycles {
         let occ = self
             .cfg
             .occupancy(meta.group_size, meta.ir.scratchpad_bytes);
         let lat_factor = self.cfg.latency_factor(occ);
-        let mut sink = cost::GpuCostSink::new(self.cfg, &mut self.tex_caches[sm]);
+        let mut sink = cost::GpuCostSink::new(
+            self.cfg,
+            &mut self.tex_caches[sm],
+            self.path,
+            &mut self.scratch,
+        );
         trace.replay(&mut sink);
         sink.total(lat_factor)
     }
@@ -360,6 +372,8 @@ impl Device for GpuDevice {
         let mut model = GpuPriceModel {
             cfg: &self.cfg,
             tex_caches: &mut self.tex_caches,
+            path: crate::cycles::path::pricing_path(),
+            scratch: Vec::new(),
         };
         launch_batch_engine(
             &self.exec,

@@ -38,7 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod cpu;
-mod cycles;
+pub mod cycles;
 mod device;
 mod exec;
 mod fault;
@@ -47,6 +47,7 @@ mod noise;
 mod sched;
 
 pub use cpu::{CacheConfig, CacheHierarchy, CpuConfig, CpuDevice, SetAssocCache};
+pub use cycles::path::{pricing_path, set_pricing_path, PricingPath};
 pub use cycles::Cycles;
 pub use device::{
     BatchEntry, BudgetPolicy, Device, DeviceKind, LaunchFailure, LaunchOutcome, LaunchPreemption,

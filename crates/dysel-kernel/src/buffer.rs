@@ -11,6 +11,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::dirty::DirtyRanges;
 use crate::{KernelError, Space};
 
 /// Virtual-address bump allocator. Buffers never share cache lines.
@@ -271,6 +272,12 @@ impl Buffer {
         if executed.shares_payload_with(pristine) {
             return Ok(()); // copy-on-write never triggered: no writes.
         }
+        // Dirty-range narrowing: locate the changed window once with the
+        // chunked scan, then run the per-element merge over it alone — a
+        // span that wrote 32 rows of a megabyte buffer merges 32 rows.
+        let Some((w0, w1)) = executed.dirty_window(pristine)? else {
+            return Ok(()); // written, but with bit-identical values
+        };
         let mismatch = |index| KernelError::TypeMismatch {
             index,
             expected: pristine.elem_type(),
@@ -282,16 +289,34 @@ impl Buffer {
             pristine.data(),
         ) {
             (BufferData::F32(t), BufferData::F32(e), BufferData::F32(p)) => {
-                merge_float(t, e, p, additive, |a, b| a + b, |a, b| a - b)
+                let (lo, hi) = clamp_window(w0, w1, t.len());
+                merge_float(
+                    &mut t[lo..hi],
+                    &e[lo..hi],
+                    &p[lo..hi],
+                    additive,
+                    |a, b| a + b,
+                    |a, b| a - b,
+                )
             }
             (BufferData::F64(t), BufferData::F64(e), BufferData::F64(p)) => {
-                merge_float(t, e, p, additive, |a, b| a + b, |a, b| a - b)
+                let (lo, hi) = clamp_window(w0, w1, t.len());
+                merge_float(
+                    &mut t[lo..hi],
+                    &e[lo..hi],
+                    &p[lo..hi],
+                    additive,
+                    |a, b| a + b,
+                    |a, b| a - b,
+                )
             }
             (BufferData::U32(t), BufferData::U32(e), BufferData::U32(p)) => {
-                merge_int(t, e, p, additive)
+                let (lo, hi) = clamp_window(w0, w1, t.len());
+                merge_int(&mut t[lo..hi], &e[lo..hi], &p[lo..hi], additive)
             }
             (BufferData::I32(t), BufferData::I32(e), BufferData::I32(p)) => {
-                merge_int(t, e, p, additive)
+                let (lo, hi) = clamp_window(w0, w1, t.len());
+                merge_int(&mut t[lo..hi], &e[lo..hi], &p[lo..hi], additive)
             }
             _ => return Err(mismatch(0)),
         }
@@ -320,6 +345,11 @@ impl Buffer {
         if executed.shares_payload_with(pristine) {
             return Ok(0); // copy-on-write never triggered: no writes.
         }
+        // Same dirty-range narrowing as `merge_span`: only the changed
+        // window can hold written elements.
+        let Some((w0, w1)) = executed.dirty_window(pristine)? else {
+            return Ok(0);
+        };
         let mismatch = |index| KernelError::TypeMismatch {
             index,
             expected: pristine.elem_type(),
@@ -332,7 +362,8 @@ impl Buffer {
             pristine.data(),
         ) {
             (BufferData::F32(t), BufferData::F32(e), BufferData::F32(p)) => {
-                for ((t, &e), &p) in t.iter_mut().zip(e).zip(p) {
+                let (lo, hi) = clamp_window(w0, w1, t.len());
+                for ((t, &e), &p) in t[lo..hi].iter_mut().zip(&e[lo..hi]).zip(&p[lo..hi]) {
                     if e.to_bits() != p.to_bits() {
                         *t = if poison {
                             f32::NAN
@@ -344,7 +375,8 @@ impl Buffer {
                 }
             }
             (BufferData::F64(t), BufferData::F64(e), BufferData::F64(p)) => {
-                for ((t, &e), &p) in t.iter_mut().zip(e).zip(p) {
+                let (lo, hi) = clamp_window(w0, w1, t.len());
+                for ((t, &e), &p) in t[lo..hi].iter_mut().zip(&e[lo..hi]).zip(&p[lo..hi]) {
                     if e.to_bits() != p.to_bits() {
                         *t = if poison {
                             f64::NAN
@@ -356,7 +388,8 @@ impl Buffer {
                 }
             }
             (BufferData::U32(t), BufferData::U32(e), BufferData::U32(p)) => {
-                for ((t, &e), &p) in t.iter_mut().zip(e).zip(p) {
+                let (lo, hi) = clamp_window(w0, w1, t.len());
+                for ((t, &e), &p) in t[lo..hi].iter_mut().zip(&e[lo..hi]).zip(&p[lo..hi]) {
                     if e != p {
                         *t = if poison { u32::MAX } else { e ^ 0xDEAD_BEEF };
                         tampered += 1;
@@ -364,7 +397,8 @@ impl Buffer {
                 }
             }
             (BufferData::I32(t), BufferData::I32(e), BufferData::I32(p)) => {
-                for ((t, &e), &p) in t.iter_mut().zip(e).zip(p) {
+                let (lo, hi) = clamp_window(w0, w1, t.len());
+                for ((t, &e), &p) in t[lo..hi].iter_mut().zip(&e[lo..hi]).zip(&p[lo..hi]) {
                     if e != p {
                         *t = if poison { i32::MIN } else { e ^ 0x5EED_0BAD };
                         tampered += 1;
@@ -390,10 +424,10 @@ impl Buffer {
         if self.shares_payload_with(pristine) {
             return Ok(OFFSET); // no writes: digest of the empty change set.
         }
-        let mismatch = |index| KernelError::TypeMismatch {
-            index,
-            expected: pristine.elem_type(),
-            actual: self.elem_type(),
+        // Dirty-range narrowing: the fold only visits the changed window,
+        // with indices kept global so the digest value is unchanged.
+        let Some((w0, w1)) = self.dirty_window(pristine)? else {
+            return Ok(OFFSET);
         };
         let mut h = OFFSET;
         let mut fold = |i: u64, bits: u64| {
@@ -403,34 +437,34 @@ impl Buffer {
         };
         match (self.data(), pristine.data()) {
             (BufferData::F32(a), BufferData::F32(p)) => {
-                for (i, (&a, &p)) in a.iter().zip(p).enumerate() {
+                for (i, (&a, &p)) in a[w0..w1].iter().zip(&p[w0..w1]).enumerate() {
                     if a.to_bits() != p.to_bits() {
-                        fold(i as u64, u64::from(a.to_bits()));
+                        fold((w0 + i) as u64, u64::from(a.to_bits()));
                     }
                 }
             }
             (BufferData::F64(a), BufferData::F64(p)) => {
-                for (i, (&a, &p)) in a.iter().zip(p).enumerate() {
+                for (i, (&a, &p)) in a[w0..w1].iter().zip(&p[w0..w1]).enumerate() {
                     if a.to_bits() != p.to_bits() {
-                        fold(i as u64, a.to_bits());
+                        fold((w0 + i) as u64, a.to_bits());
                     }
                 }
             }
             (BufferData::U32(a), BufferData::U32(p)) => {
-                for (i, (&a, &p)) in a.iter().zip(p).enumerate() {
+                for (i, (&a, &p)) in a[w0..w1].iter().zip(&p[w0..w1]).enumerate() {
                     if a != p {
-                        fold(i as u64, u64::from(a));
+                        fold((w0 + i) as u64, u64::from(a));
                     }
                 }
             }
             (BufferData::I32(a), BufferData::I32(p)) => {
-                for (i, (&a, &p)) in a.iter().zip(p).enumerate() {
+                for (i, (&a, &p)) in a[w0..w1].iter().zip(&p[w0..w1]).enumerate() {
                     if a != p {
-                        fold(i as u64, u64::from(a as u32));
+                        fold((w0 + i) as u64, u64::from(a as u32));
                     }
                 }
             }
-            _ => return Err(mismatch(0)),
+            _ => unreachable!("dirty_window checked element types"),
         }
         Ok(h)
     }
@@ -449,18 +483,186 @@ impl Buffer {
             expected: other.elem_type(),
             actual: self.elem_type(),
         };
-        match (self.data(), other.data()) {
-            (BufferData::F32(a), BufferData::F32(b)) => {
-                Ok(a.len() != b.len() || a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits()))
-            }
-            (BufferData::F64(a), BufferData::F64(b)) => {
-                Ok(a.len() != b.len() || a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits()))
-            }
-            (BufferData::U32(a), BufferData::U32(b)) => Ok(a != b),
-            (BufferData::I32(a), BufferData::I32(b)) => Ok(a != b),
-            _ => Err(mismatch(0)),
+        match data_first_diff(self.data(), other.data()) {
+            Some(d) => Ok(self.len() != other.len() || d.is_some()),
+            None => Err(mismatch(0)),
         }
     }
+
+    /// Half-open element window `[first, last+1)` outside which `self` and
+    /// `pristine` are bit-identical, or `None` when they agree everywhere.
+    /// Found by a chunked OR-of-XOR scan from both ends; the expensive
+    /// per-element paths (merge, digest, corruption) only walk this window
+    /// — i.e. the bytes a span actually touched.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the buffers disagree on element type.
+    pub fn dirty_window(&self, pristine: &Buffer) -> Result<Option<(usize, usize)>, KernelError> {
+        if self.shares_payload_with(pristine) {
+            return Ok(None);
+        }
+        data_diff_window(self.data(), pristine.data()).ok_or(KernelError::TypeMismatch {
+            index: 0,
+            expected: pristine.elem_type(),
+            actual: self.elem_type(),
+        })
+    }
+
+    /// Copies `src`'s elements into `self` over exactly the given dirty
+    /// ranges (clamped to both payload lengths); everything outside stays
+    /// untouched. Returns the number of elements copied.
+    ///
+    /// This is the dirty-range restore primitive: instead of dropping a
+    /// reused allocation and duplicating the whole payload, a restore
+    /// replays only the ranges that are known (or were measured via
+    /// [`Buffer::dirty_window`]) to differ.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the buffers disagree on element type.
+    pub fn restore_ranges_from(
+        &mut self,
+        src: &Buffer,
+        dirty: &DirtyRanges,
+    ) -> Result<u64, KernelError> {
+        if self.shares_payload_with(src) || dirty.is_empty() {
+            return Ok(0);
+        }
+        fn copy<T: Copy>(t: &mut [T], s: &[T], dirty: &DirtyRanges) -> u64 {
+            let n = t.len().min(s.len());
+            let mut copied = 0;
+            for (a, b) in dirty.iter() {
+                let a = (a as usize).min(n);
+                let b = (b as usize).min(n);
+                if a < b {
+                    t[a..b].copy_from_slice(&s[a..b]);
+                    copied += (b - a) as u64;
+                }
+            }
+            copied
+        }
+        let mismatch = KernelError::TypeMismatch {
+            index: 0,
+            expected: src.elem_type(),
+            actual: self.elem_type(),
+        };
+        let copied = match (Arc::make_mut(&mut self.data), src.data()) {
+            (BufferData::F32(t), BufferData::F32(s)) => copy(t, s, dirty),
+            (BufferData::F64(t), BufferData::F64(s)) => copy(t, s, dirty),
+            (BufferData::U32(t), BufferData::U32(s)) => copy(t, s, dirty),
+            (BufferData::I32(t), BufferData::I32(s)) => copy(t, s, dirty),
+            _ => return Err(mismatch),
+        };
+        Ok(copied)
+    }
+}
+
+/// Clamps a dirty window to a target length, keeping `lo <= hi` so empty
+/// windows slice safely.
+fn clamp_window(w0: usize, w1: usize, len: usize) -> (usize, usize) {
+    let hi = w1.min(len);
+    (w0.min(hi), hi)
+}
+
+/// Width of the chunked bit-compare used to locate dirty windows. Eight
+/// 32-bit lanes fill one AVX2 register; the OR-of-XOR reduction per chunk
+/// compiles to branch-free vector code.
+const DIFF_LANES: usize = 8;
+
+/// Index of the first element whose bits differ, scanning forward one
+/// `DIFF_LANES` chunk at a time.
+#[inline]
+fn first_diff<T, B>(a: &[T], b: &[T], bits: impl Fn(T) -> B + Copy) -> Option<usize>
+where
+    T: Copy,
+    B: Copy + Eq + Default + std::ops::BitXor<Output = B> + std::ops::BitOr<Output = B>,
+{
+    let n = a.len().min(b.len());
+    let zero = B::default();
+    let mut i = 0;
+    while i + DIFF_LANES <= n {
+        let mut acc = zero;
+        for k in 0..DIFF_LANES {
+            acc = acc | (bits(a[i + k]) ^ bits(b[i + k]));
+        }
+        if acc != zero {
+            return (i..i + DIFF_LANES).find(|&j| bits(a[j]) != bits(b[j]));
+        }
+        i += DIFF_LANES;
+    }
+    (i..n).find(|&j| bits(a[j]) != bits(b[j]))
+}
+
+/// Index one past the last differing element, scanning backward in
+/// `DIFF_LANES` chunks; `first` is a known differing index (scan floor).
+#[inline]
+fn after_last_diff<T, B>(a: &[T], b: &[T], bits: impl Fn(T) -> B + Copy, first: usize) -> usize
+where
+    T: Copy,
+    B: Copy + Eq + Default + std::ops::BitXor<Output = B> + std::ops::BitOr<Output = B>,
+{
+    let n = a.len().min(b.len());
+    let zero = B::default();
+    let mut j = n;
+    // Chunks that lie entirely above `first` can be skipped when clean.
+    while j > first + DIFF_LANES {
+        let s = j - DIFF_LANES;
+        let mut acc = zero;
+        for k in 0..DIFF_LANES {
+            acc = acc | (bits(a[s + k]) ^ bits(b[s + k]));
+        }
+        if acc != zero {
+            let last = (s..j)
+                .rev()
+                .find(|&x| bits(a[x]) != bits(b[x]))
+                .expect("chunk contains a diff");
+            return last + 1;
+        }
+        j = s;
+    }
+    let last = (first..j)
+        .rev()
+        .find(|&x| bits(a[x]) != bits(b[x]))
+        .unwrap_or(first);
+    last + 1
+}
+
+/// Half-open window `[first, last+1)` outside which the slices are
+/// bit-identical, or `None` when they agree everywhere.
+fn diff_window<T, B>(a: &[T], b: &[T], bits: impl Fn(T) -> B + Copy) -> Option<(usize, usize)>
+where
+    T: Copy,
+    B: Copy + Eq + Default + std::ops::BitXor<Output = B> + std::ops::BitOr<Output = B>,
+{
+    let first = first_diff(a, b, bits)?;
+    Some((first, after_last_diff(a, b, bits, first)))
+}
+
+/// Typed dispatch for [`diff_window`]. Outer `None` means the payloads
+/// disagree on element type.
+fn data_diff_window(a: &BufferData, b: &BufferData) -> Option<Option<(usize, usize)>> {
+    let w = match (a, b) {
+        (BufferData::F32(x), BufferData::F32(y)) => diff_window(x, y, f32::to_bits),
+        (BufferData::F64(x), BufferData::F64(y)) => diff_window(x, y, f64::to_bits),
+        (BufferData::U32(x), BufferData::U32(y)) => diff_window(x, y, |v: u32| v),
+        (BufferData::I32(x), BufferData::I32(y)) => diff_window(x, y, |v: i32| v as u32),
+        _ => return None,
+    };
+    Some(w)
+}
+
+/// Typed dispatch for [`first_diff`]. Outer `None` means the payloads
+/// disagree on element type.
+fn data_first_diff(a: &BufferData, b: &BufferData) -> Option<Option<usize>> {
+    let d = match (a, b) {
+        (BufferData::F32(x), BufferData::F32(y)) => first_diff(x, y, f32::to_bits),
+        (BufferData::F64(x), BufferData::F64(y)) => first_diff(x, y, f64::to_bits),
+        (BufferData::U32(x), BufferData::U32(y)) => first_diff(x, y, |v: u32| v),
+        (BufferData::I32(x), BufferData::I32(y)) => first_diff(x, y, |v: i32| v as u32),
+        _ => return None,
+    };
+    Some(d)
 }
 
 /// Bitwise change detection for floats: `to_bits` comparison catches NaN
@@ -1083,6 +1285,103 @@ mod tests {
         nan.f32_mut(0).unwrap()[2] = f32::NAN;
         assert!(a.bits_differ(&nan, &[0]).unwrap());
         assert!(!a.bits_differ(&a.clone(), &[0, 1]).unwrap());
+    }
+
+    #[test]
+    fn dirty_window_finds_exact_bounds() {
+        let pristine = Buffer::f32("out", vec![0.0; 100], Space::Global);
+        // Shared payload: no window without scanning.
+        assert_eq!(pristine.clone().dirty_window(&pristine).unwrap(), None);
+        // Written but bit-identical: no window either.
+        let mut same = pristine.clone();
+        same.data_mut().unwrap(); // force a private payload
+        assert_eq!(same.dirty_window(&pristine).unwrap(), None);
+        // A single mid-buffer diff.
+        let mut one = pristine.clone();
+        if let BufferData::F32(v) = one.data_mut().unwrap() {
+            v[37] = 1.0;
+        }
+        assert_eq!(one.dirty_window(&pristine).unwrap(), Some((37, 38)));
+        // Diffs at both ends span the whole buffer.
+        let mut ends = pristine.clone();
+        if let BufferData::F32(v) = ends.data_mut().unwrap() {
+            v[0] = 1.0;
+            v[99] = 1.0;
+        }
+        assert_eq!(ends.dirty_window(&pristine).unwrap(), Some((0, 100)));
+        // Bit-level float changes (-0.0, NaN) count as dirty.
+        let mut bits = pristine.clone();
+        if let BufferData::F32(v) = bits.data_mut().unwrap() {
+            v[5] = -0.0;
+            v[9] = f32::NAN;
+        }
+        assert_eq!(bits.dirty_window(&pristine).unwrap(), Some((5, 10)));
+    }
+
+    #[test]
+    fn restore_ranges_copies_exactly_the_marked_ranges() {
+        let src = Buffer::f32("live", (0..32).map(|i| i as f32).collect(), Space::Global);
+        let mut sb = Buffer::f32("sandbox", vec![-1.0; 32], Space::Global);
+        let mut dirty = crate::DirtyRanges::new();
+        dirty.mark(4, 8);
+        dirty.mark(6, 12); // overlaps the first
+        dirty.mark(20, 20); // empty: ignored
+        dirty.mark(30, 40); // clamped to the payload length
+        let copied = sb.restore_ranges_from(&src, &dirty).unwrap();
+        assert_eq!(copied, 8 + 2);
+        let v = match sb.data() {
+            BufferData::F32(v) => v,
+            _ => unreachable!(),
+        };
+        for i in 0..32 {
+            let expect = if (4..12).contains(&i) || (30..32).contains(&i) {
+                i as f32
+            } else {
+                -1.0
+            };
+            assert_eq!(v[i], expect, "element {i}");
+        }
+    }
+
+    /// Property: track every random span write (overlapping and empty
+    /// ranges included) in a `DirtyRanges`, then a ranged restore must be
+    /// byte-for-byte what a full-snapshot restore would produce — and the
+    /// derived `dirty_window` must bound every diff even for untracked
+    /// writes.
+    #[cfg(feature = "proptest")]
+    #[test]
+    fn random_span_writes_restore_like_full_snapshot() {
+        use crate::{DirtyRanges, XorShiftRng};
+        let mut rng = XorShiftRng::seed_from_u64(0xD1FF_5EED);
+        for round in 0..200 {
+            let n = 1 + rng.gen_range_u32(0, 200) as usize;
+            let live: Vec<u32> = (0..n).map(|_| rng.gen_range_u32(0, 1 << 30)).collect();
+            let src = Buffer::u32("live", live.clone(), Space::Global);
+            let mut sb = Buffer::u32("sandbox", live.clone(), Space::Global);
+            let mut dirty = DirtyRanges::new();
+            for _ in 0..rng.gen_range_u32(0, 12) {
+                let a = rng.gen_range_u32(0, n as u32) as usize;
+                let b = (a + rng.gen_range_u32(0, 16) as usize).min(n);
+                if let BufferData::U32(v) = sb.data_mut().unwrap() {
+                    for x in &mut v[a..b] {
+                        *x = rng.gen_range_u32(0, 1 << 30);
+                    }
+                }
+                dirty.mark(a as u64, b as u64);
+            }
+            // The derived window bounds every tracked write's effect.
+            if let Some((w0, w1)) = sb.dirty_window(&src).unwrap() {
+                let lo = dirty.iter().next().unwrap().0 as usize;
+                let hi = dirty.iter().last().unwrap().1 as usize;
+                assert!(lo <= w0 && w1 <= hi, "round {round}: window escapes marks");
+            }
+            // Ranged restore == full-snapshot restore, byte-for-byte.
+            sb.restore_ranges_from(&src, &dirty).unwrap();
+            assert!(
+                !sb.bits_differ(&src).unwrap(),
+                "round {round}: ranged restore diverged from full restore"
+            );
+        }
     }
 
     #[test]

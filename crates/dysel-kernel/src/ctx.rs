@@ -22,6 +22,10 @@ pub struct GroupCtx<'a> {
     units: UnitRange,
     group_size: u32,
     layouts: Vec<ArgLayout>,
+    /// Reusable address-translation buffer for gathers/scatters: filled per
+    /// call and handed to the sink as a slice, so the hot gather path costs
+    /// no allocation after the first call.
+    scratch: Vec<u64>,
     sink: &'a mut dyn TraceSink,
 }
 
@@ -62,6 +66,7 @@ impl<'a> GroupCtx<'a> {
             units,
             group_size,
             layouts,
+            scratch: Vec::new(),
             sink,
         }
     }
@@ -160,31 +165,19 @@ impl<'a> GroupCtx<'a> {
     /// Data-dependent gather: each active lane reads its own element index.
     pub fn gather(&mut self, arg: usize, elem_indices: &[u64]) {
         let l = self.layout(arg);
-        let addrs = elem_indices
-            .iter()
-            .map(|&i| l.addr + i * u64::from(l.elem))
-            .collect();
-        self.sink.mem(&MemOp::Gather {
-            space: l.space,
-            addrs,
-            elem: l.elem,
-            store: false,
-        });
+        self.scratch.clear();
+        self.scratch
+            .extend(elem_indices.iter().map(|&i| l.addr + i * u64::from(l.elem)));
+        self.sink.gather(l.space, &self.scratch, l.elem, false);
     }
 
     /// Data-dependent scatter: each active lane writes its own element index.
     pub fn scatter(&mut self, arg: usize, elem_indices: &[u64]) {
         let l = self.layout(arg);
-        let addrs = elem_indices
-            .iter()
-            .map(|&i| l.addr + i * u64::from(l.elem))
-            .collect();
-        self.sink.mem(&MemOp::Gather {
-            space: l.space,
-            addrs,
-            elem: l.elem,
-            store: true,
-        });
+        self.scratch.clear();
+        self.scratch
+            .extend(elem_indices.iter().map(|&i| l.addr + i * u64::from(l.elem)));
+        self.sink.gather(l.space, &self.scratch, l.elem, true);
     }
 
     /// Sequential load loop: `count` elements from element `base`, advancing

@@ -59,6 +59,7 @@
 
 mod buffer;
 mod ctx;
+mod dirty;
 mod error;
 mod ir;
 mod kernel;
@@ -70,6 +71,7 @@ mod trace;
 
 pub use buffer::{Args, Buffer, BufferData, ElemType};
 pub use ctx::GroupCtx;
+pub use dirty::DirtyRanges;
 pub use error::KernelError;
 pub use ir::{AccessIr, AccessPattern, KernelIr, LoopBound, LoopIr, LoopKind};
 pub use kernel::{Kernel, Variant, VariantId, VariantMeta};
@@ -78,5 +80,5 @@ pub use range::{span_bounds, UnitRange};
 pub use rng::XorShiftRng;
 pub use space::Space;
 pub use trace::{
-    CountingSink, MemOp, NullSink, RecordedTrace, RecordingSink, TraceEvent, TraceSink,
+    CountingSink, MemOp, NullSink, RecordedTrace, RecordingSink, TraceEvent, TraceSink, TraceView,
 };

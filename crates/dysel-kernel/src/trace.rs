@@ -3,7 +3,24 @@
 //! Kernels compute real results through [`crate::Args`] and, in parallel,
 //! describe *what the hardware would have done* through batched memory-op
 //! descriptors. Device timing models implement [`TraceSink`] and price the
-//! descriptors as they arrive, so no trace is ever materialized.
+//! descriptors as they arrive, so no trace is ever materialized — except
+//! by [`RecordingSink`], which captures a replayable [`RecordedTrace`] for
+//! the two-phase launch engine.
+//!
+//! ## Allocation discipline
+//!
+//! The recording path is the launch engine's hottest loop (a gather-heavy
+//! workload emits one descriptor per non-zero), so the trace layer is
+//! designed to stay off the allocator:
+//!
+//! * [`TraceSink::gather`] passes per-lane addresses as a borrowed slice;
+//!   sinks price or copy it without ever building an owned [`MemOp`];
+//! * [`TraceEvent`] is a compact `Copy` record — gathers store an
+//!   `(offset, len)` window into the trace's shared address pool instead
+//!   of a per-event `Vec`;
+//! * [`RecordedTrace`] is reusable: [`RecordedTrace::clear`] keeps the
+//!   event and address capacity, so the engine can recycle span traces
+//!   across launches through an arena instead of reallocating them.
 
 use crate::Space;
 
@@ -155,6 +172,23 @@ pub trait TraceSink {
     /// A batched memory operation was issued.
     fn mem(&mut self, op: &MemOp);
 
+    /// A data-dependent gather (`store == false`) or scatter
+    /// (`store == true`): each active lane accesses its own byte address.
+    ///
+    /// This is the allocation-free twin of [`MemOp::Gather`]: the emitter
+    /// keeps ownership of the address slice, so hot sinks (recorders, cost
+    /// models) can consume it without an owned `Vec` ever being built. The
+    /// default forwards to [`TraceSink::mem`] for sinks that only pattern
+    /// match on `MemOp`.
+    fn gather(&mut self, space: Space, addrs: &[u64], elem: u32, store: bool) {
+        self.mem(&MemOp::Gather {
+            space,
+            addrs: addrs.to_vec(),
+            elem,
+            store,
+        });
+    }
+
     /// `ops` scalar arithmetic operations were executed.
     fn compute(&mut self, ops: u64);
 
@@ -171,11 +205,95 @@ pub trait TraceSink {
     fn barrier(&mut self) {}
 }
 
-/// One recorded trace event, replayable into any [`TraceSink`].
-#[derive(Debug, Clone, PartialEq)]
+/// One recorded trace event: a compact, `Copy` mirror of the sink calls.
+///
+/// Gather address lists live in the owning [`RecordedTrace`]'s shared
+/// address pool; the event stores only an `(offset, len)` window into it.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TraceEvent {
-    /// A batched memory operation.
-    Mem(MemOp),
+    /// A strided warp access; see [`MemOp::Warp`].
+    Warp {
+        /// Memory space being accessed.
+        space: Space,
+        /// Byte address touched by lane 0.
+        base: u64,
+        /// Byte distance between consecutive lanes.
+        stride: i64,
+        /// Number of active lanes.
+        lanes: u32,
+        /// Element size in bytes.
+        elem: u32,
+        /// Whether this is a store.
+        store: bool,
+    },
+    /// A gather/scatter; addresses are `addrs[offset..offset + len]` of the
+    /// owning trace's address pool.
+    Gather {
+        /// Memory space being accessed.
+        space: Space,
+        /// Start of the address window in the trace's pool.
+        offset: u32,
+        /// Number of active lanes.
+        len: u32,
+        /// Element size in bytes.
+        elem: u32,
+        /// Whether this is a store (scatter).
+        store: bool,
+    },
+    /// A repeated warp access sequence; see [`MemOp::WarpSeq`].
+    WarpSeq {
+        /// Memory space being accessed.
+        space: Space,
+        /// Byte address touched by lane 0 of the first access.
+        base: u64,
+        /// Byte distance between consecutive lanes.
+        stride: i64,
+        /// Number of active lanes.
+        lanes: u32,
+        /// Element size in bytes.
+        elem: u32,
+        /// Whether this is a store.
+        store: bool,
+        /// Number of accesses in the sequence.
+        repeat: u32,
+        /// Byte advance of lane 0 between consecutive accesses.
+        step: i64,
+    },
+    /// A sequential stream; see [`MemOp::Stream`].
+    Stream {
+        /// Memory space being accessed.
+        space: Space,
+        /// Starting byte address.
+        base: u64,
+        /// Number of elements accessed.
+        count: u64,
+        /// Byte distance between consecutive accesses.
+        stride: i64,
+        /// Element size in bytes.
+        elem: u32,
+        /// Whether this is a store.
+        store: bool,
+    },
+    /// An atomic RMW; see [`MemOp::Atomic`].
+    Atomic {
+        /// Memory space being accessed.
+        space: Space,
+        /// Byte address of the contended word.
+        base: u64,
+        /// Number of participating lanes.
+        lanes: u32,
+        /// Number of *distinct* words touched.
+        distinct: u32,
+    },
+    /// A scratchpad access; see [`MemOp::Scratchpad`].
+    Scratchpad {
+        /// Number of active lanes.
+        lanes: u32,
+        /// Max number of lanes hitting the same bank.
+        conflict: u32,
+        /// Whether this is a store.
+        store: bool,
+    },
     /// Scalar compute ops.
     Compute(u64),
     /// A SIMD/vector loop: `(iters, width, active, ops_per_iter)`.
@@ -184,20 +302,148 @@ pub enum TraceEvent {
     Barrier,
 }
 
-/// The full cost trace of one work-group, captured by a [`RecordingSink`].
+/// A borrowed view of one work-group's slice of a [`RecordedTrace`]: the
+/// group's events plus the trace-wide address pool its gathers index into.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceView<'a> {
+    events: &'a [TraceEvent],
+    addrs: &'a [u64],
+}
+
+impl<'a> TraceView<'a> {
+    /// Number of events in the view.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the view holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The address window of a gather event.
+    pub fn gather_addrs(&self, offset: u32, len: u32) -> &'a [u64] {
+        &self.addrs[offset as usize..offset as usize + len as usize]
+    }
+
+    /// Feeds every event of the view into `sink`, in recording order.
+    ///
+    /// Gathers replay through [`TraceSink::gather`] with a pool slice, so a
+    /// replay allocates nothing regardless of how the sink consumes it.
+    pub fn replay(&self, sink: &mut dyn TraceSink) {
+        for ev in self.events {
+            match *ev {
+                TraceEvent::Warp {
+                    space,
+                    base,
+                    stride,
+                    lanes,
+                    elem,
+                    store,
+                } => sink.mem(&MemOp::Warp {
+                    space,
+                    base,
+                    stride,
+                    lanes,
+                    elem,
+                    store,
+                }),
+                TraceEvent::Gather {
+                    space,
+                    offset,
+                    len,
+                    elem,
+                    store,
+                } => sink.gather(space, self.gather_addrs(offset, len), elem, store),
+                TraceEvent::WarpSeq {
+                    space,
+                    base,
+                    stride,
+                    lanes,
+                    elem,
+                    store,
+                    repeat,
+                    step,
+                } => sink.mem(&MemOp::WarpSeq {
+                    space,
+                    base,
+                    stride,
+                    lanes,
+                    elem,
+                    store,
+                    repeat,
+                    step,
+                }),
+                TraceEvent::Stream {
+                    space,
+                    base,
+                    count,
+                    stride,
+                    elem,
+                    store,
+                } => sink.mem(&MemOp::Stream {
+                    space,
+                    base,
+                    count,
+                    stride,
+                    elem,
+                    store,
+                }),
+                TraceEvent::Atomic {
+                    space,
+                    base,
+                    lanes,
+                    distinct,
+                } => sink.mem(&MemOp::Atomic {
+                    space,
+                    base,
+                    lanes,
+                    distinct,
+                }),
+                TraceEvent::Scratchpad {
+                    lanes,
+                    conflict,
+                    store,
+                } => sink.mem(&MemOp::Scratchpad {
+                    lanes,
+                    conflict,
+                    store,
+                }),
+                TraceEvent::Compute(ops) => sink.compute(ops),
+                TraceEvent::VectorCompute(iters, width, active, ops) => {
+                    sink.vector_compute(iters, width, active, ops)
+                }
+                TraceEvent::Barrier => sink.barrier(),
+            }
+        }
+    }
+}
+
+/// The cost trace of one or more work-groups, captured by a
+/// [`RecordingSink`].
 ///
 /// Recorded traces are what lets the parallel executor split a launch into
 /// two phases: worker threads run the kernels functionally and *record*
 /// their traces, then a single serial pass replays every trace in canonical
 /// work-group order against the stateful device cost models — so the priced
 /// timeline is bit-identical no matter how many workers executed phase one.
+///
+/// A trace can hold several groups back to back (one span's worth): the
+/// recorder marks group boundaries with [`RecordingSink::end_group`] and
+/// the pricing pass walks them with [`RecordedTrace::groups`]. Events live
+/// in one flat buffer and gather addresses in one shared pool, so a span's
+/// recording costs two amortized allocations total — and zero once the
+/// trace is recycled through [`RecordedTrace::clear`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RecordedTrace {
     events: Vec<TraceEvent>,
+    addrs: Vec<u64>,
+    /// End offset (exclusive) of each closed group in `events`.
+    group_ends: Vec<u32>,
 }
 
 impl RecordedTrace {
-    /// Number of recorded events.
+    /// Number of recorded events (all groups).
     pub fn len(&self) -> usize {
         self.events.len()
     }
@@ -207,18 +453,43 @@ impl RecordedTrace {
         self.events.is_empty()
     }
 
+    /// Number of closed groups ([`RecordingSink::end_group`] calls).
+    pub fn group_count(&self) -> usize {
+        self.group_ends.len()
+    }
+
+    /// Drops all recorded content but keeps the allocated capacity, so the
+    /// trace can be reused for another span without touching the allocator.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.addrs.clear();
+        self.group_ends.clear();
+    }
+
+    /// A view over the whole trace (all groups plus any open tail).
+    pub fn view(&self) -> TraceView<'_> {
+        TraceView {
+            events: &self.events,
+            addrs: &self.addrs,
+        }
+    }
+
+    /// Views over the closed groups, in recording order.
+    pub fn groups(&self) -> impl Iterator<Item = TraceView<'_>> + '_ {
+        let mut start = 0usize;
+        self.group_ends.iter().map(move |&end| {
+            let v = TraceView {
+                events: &self.events[start..end as usize],
+                addrs: &self.addrs,
+            };
+            start = end as usize;
+            v
+        })
+    }
+
     /// Feeds every recorded event into `sink`, in recording order.
     pub fn replay(&self, sink: &mut dyn TraceSink) {
-        for ev in &self.events {
-            match ev {
-                TraceEvent::Mem(op) => sink.mem(op),
-                TraceEvent::Compute(ops) => sink.compute(*ops),
-                TraceEvent::VectorCompute(iters, width, active, ops) => {
-                    sink.vector_compute(*iters, *width, *active, *ops)
-                }
-                TraceEvent::Barrier => sink.barrier(),
-            }
-        }
+        self.view().replay(sink);
     }
 }
 
@@ -234,6 +505,20 @@ impl RecordingSink {
         RecordingSink::default()
     }
 
+    /// Creates a recorder that records into `trace`'s existing buffers
+    /// (cleared first) — the arena path: a recycled trace records a fresh
+    /// span without new allocations.
+    pub fn reusing(mut trace: RecordedTrace) -> Self {
+        trace.clear();
+        RecordingSink { trace }
+    }
+
+    /// Closes the current group: events recorded since the last boundary
+    /// form one work-group's trace in [`RecordedTrace::groups`] order.
+    pub fn end_group(&mut self) {
+        self.trace.group_ends.push(self.trace.events.len() as u32);
+    }
+
     /// Consumes the recorder, yielding the captured trace.
     pub fn into_trace(self) -> RecordedTrace {
         self.trace
@@ -242,7 +527,99 @@ impl RecordingSink {
 
 impl TraceSink for RecordingSink {
     fn mem(&mut self, op: &MemOp) {
-        self.trace.events.push(TraceEvent::Mem(op.clone()));
+        let ev = match *op {
+            MemOp::Warp {
+                space,
+                base,
+                stride,
+                lanes,
+                elem,
+                store,
+            } => TraceEvent::Warp {
+                space,
+                base,
+                stride,
+                lanes,
+                elem,
+                store,
+            },
+            MemOp::Gather {
+                space,
+                ref addrs,
+                elem,
+                store,
+            } => {
+                self.gather(space, addrs, elem, store);
+                return;
+            }
+            MemOp::WarpSeq {
+                space,
+                base,
+                stride,
+                lanes,
+                elem,
+                store,
+                repeat,
+                step,
+            } => TraceEvent::WarpSeq {
+                space,
+                base,
+                stride,
+                lanes,
+                elem,
+                store,
+                repeat,
+                step,
+            },
+            MemOp::Stream {
+                space,
+                base,
+                count,
+                stride,
+                elem,
+                store,
+            } => TraceEvent::Stream {
+                space,
+                base,
+                count,
+                stride,
+                elem,
+                store,
+            },
+            MemOp::Atomic {
+                space,
+                base,
+                lanes,
+                distinct,
+            } => TraceEvent::Atomic {
+                space,
+                base,
+                lanes,
+                distinct,
+            },
+            MemOp::Scratchpad {
+                lanes,
+                conflict,
+                store,
+            } => TraceEvent::Scratchpad {
+                lanes,
+                conflict,
+                store,
+            },
+        };
+        self.trace.events.push(ev);
+    }
+
+    fn gather(&mut self, space: Space, addrs: &[u64], elem: u32, store: bool) {
+        let offset = self.trace.addrs.len() as u32;
+        self.trace.addrs.extend_from_slice(addrs);
+        self.trace.events.push(TraceEvent::Gather {
+            space,
+            offset,
+            len: addrs.len() as u32,
+            elem,
+            store,
+        });
     }
 
     fn compute(&mut self, ops: u64) {
@@ -269,6 +646,7 @@ pub struct NullSink;
 
 impl TraceSink for NullSink {
     fn mem(&mut self, _op: &MemOp) {}
+    fn gather(&mut self, _space: Space, _addrs: &[u64], _elem: u32, _store: bool) {}
     fn compute(&mut self, _ops: u64) {}
 }
 
@@ -296,6 +674,15 @@ impl TraceSink for CountingSink {
         self.accesses += op.accesses();
         self.bytes += op.bytes();
         if op.is_store() {
+            self.stores += 1;
+        }
+    }
+
+    fn gather(&mut self, _space: Space, addrs: &[u64], elem: u32, store: bool) {
+        self.mem_ops += 1;
+        self.accesses += addrs.len() as u64;
+        self.bytes += addrs.len() as u64 * u64::from(elem);
+        if store {
             self.stores += 1;
         }
     }
@@ -366,6 +753,7 @@ mod tests {
                 elem: 4,
                 store: false,
             });
+            sink.gather(Space::Texture, &[0, 64, 4096], 4, false);
             sink.compute(17);
             sink.vector_compute(4, 8, 6, 3);
             sink.barrier();
@@ -375,10 +763,66 @@ mod tests {
         let mut rec = RecordingSink::new();
         emit(&mut rec);
         let trace = rec.into_trace();
-        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.len(), 5);
         let mut replayed = CountingSink::default();
         trace.replay(&mut replayed);
         assert_eq!(direct, replayed);
+    }
+
+    #[test]
+    fn gather_via_mem_and_via_slice_record_identically() {
+        let mut a = RecordingSink::new();
+        a.mem(&MemOp::Gather {
+            space: Space::Global,
+            addrs: vec![8, 16, 1024],
+            elem: 4,
+            store: true,
+        });
+        let mut b = RecordingSink::new();
+        b.gather(Space::Global, &[8, 16, 1024], 4, true);
+        assert_eq!(a.into_trace(), b.into_trace());
+    }
+
+    #[test]
+    fn group_boundaries_partition_the_trace() {
+        let mut rec = RecordingSink::new();
+        rec.compute(1);
+        rec.gather(Space::Global, &[0, 4], 4, false);
+        rec.end_group();
+        rec.compute(2);
+        rec.end_group();
+        let trace = rec.into_trace();
+        assert_eq!(trace.group_count(), 2);
+        let views: Vec<_> = trace.groups().collect();
+        assert_eq!(views[0].len(), 2);
+        assert_eq!(views[1].len(), 1);
+        let mut g0 = CountingSink::default();
+        views[0].replay(&mut g0);
+        assert_eq!(g0.accesses, 2);
+        assert_eq!(g0.compute_ops, 1);
+        let mut g1 = CountingSink::default();
+        views[1].replay(&mut g1);
+        assert_eq!(g1.compute_ops, 2);
+        assert_eq!(g1.mem_ops, 0);
+    }
+
+    #[test]
+    fn cleared_trace_reuses_capacity() {
+        let mut rec = RecordingSink::new();
+        rec.gather(Space::Global, &[0; 64], 4, false);
+        rec.end_group();
+        let mut trace = rec.into_trace();
+        let cap = (trace.events.capacity(), trace.addrs.capacity());
+        trace.clear();
+        assert!(trace.is_empty());
+        assert_eq!(trace.group_count(), 0);
+        assert_eq!((trace.events.capacity(), trace.addrs.capacity()), cap);
+        let mut rec = RecordingSink::reusing(trace);
+        rec.compute(3);
+        rec.end_group();
+        let trace = rec.into_trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.group_count(), 1);
     }
 
     #[test]

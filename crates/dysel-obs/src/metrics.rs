@@ -38,6 +38,8 @@ pub mod names {
     pub const SANDBOX_HITS: &str = "dysel_sandbox_pool_hits_total";
     /// Sandbox leases that required a fresh allocation.
     pub const SANDBOX_MISSES: &str = "dysel_sandbox_pool_misses_total";
+    /// Bytes copied by dirty-range restores of reused sandboxes.
+    pub const SANDBOX_RESTORE_BYTES: &str = "dysel_sandbox_restore_bytes_total";
     /// Verifier diagnostics dropped by the per-signature cap.
     pub const DIAG_DROPPED: &str = "dysel_diagnostics_dropped_total";
     /// Prefix of the per-variant profiling-cycle histograms; full names

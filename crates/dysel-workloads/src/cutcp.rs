@@ -370,16 +370,22 @@ pub fn cpu_variant(shape: Shape, sched: [Lp; 5]) -> Variant {
     )
     .with_group_size((BRICK * BRICK * BRICK) as u32);
     Variant::from_fn(meta, move |ctx, args| {
+        // Functional phase first: `bin_start` is read-only, so the walkers
+        // below borrow it once for the whole span instead of cloning per
+        // brick. `compute_brick` emits no trace events, so the recorded
+        // event stream is unchanged.
         for u in ctx.units().iter() {
             compute_brick(args, shape, u);
+        }
+        let bin_start = args.u32(arg::BIN_START).expect("bin_start");
+        for u in ctx.units().iter() {
             let bins = neighbour_bins(shape.n, u);
-            let bin_start = args.u32(arg::BIN_START).expect("bin_start").to_vec();
             let mut w = Walker {
-                ctx,
+                ctx: &mut *ctx,
                 n: shape.n,
                 brick: brick_coords(shape.n, u),
                 bins: &bins,
-                bin_start: &bin_start,
+                bin_start,
                 sched,
             };
             w.run();

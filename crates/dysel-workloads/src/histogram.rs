@@ -105,15 +105,19 @@ fn warp_distinct(data: &[u32], lo: usize, hi: usize) -> (u32, u32) {
 pub fn atomic_variant(n: usize) -> Variant {
     let meta = VariantMeta::new("atomic-global", ir()).with_group_size(256);
     Variant::from_fn(meta, move |ctx, args| {
+        // Functional phase first: `data` is never written, so the emission
+        // loop borrows it once for the whole span instead of cloning per unit.
         for u in ctx.units().iter() {
             accumulate(args, u, n);
+        }
+        let data = args.u32(arg::DATA).expect("data");
+        for u in ctx.units().iter() {
             let lo = u as usize * ELEMS_PER_UNIT;
             let hi = (lo + ELEMS_PER_UNIT).min(n);
-            let data = args.u32(arg::DATA).expect("data").to_vec();
             for w in (lo..hi).step_by(32) {
                 let we = (w + 32).min(hi);
                 ctx.warp_load(arg::DATA, w as u64, 1, (we - w) as u32);
-                let (lanes, distinct) = warp_distinct(&data, w, we);
+                let (lanes, distinct) = warp_distinct(data, w, we);
                 // Contended lanes serialize on the same bin.
                 ctx.atomic(arg::HIST, 0, lanes, distinct);
                 ctx.vector_compute(1, 32, lanes, 2);
@@ -127,15 +131,18 @@ pub fn privatized_variant(n: usize) -> Variant {
     let meta =
         VariantMeta::new("privatized", ir().with_scratchpad(BINS as u32 * 4)).with_group_size(256);
     Variant::from_fn(meta, move |ctx, args| {
+        // Same hoist as `atomic_variant`: compute first, then borrow `data`.
         for u in ctx.units().iter() {
             accumulate(args, u, n);
+        }
+        let data = args.u32(arg::DATA).expect("data");
+        for u in ctx.units().iter() {
             let lo = u as usize * ELEMS_PER_UNIT;
             let hi = (lo + ELEMS_PER_UNIT).min(n);
-            let data = args.u32(arg::DATA).expect("data").to_vec();
             for w in (lo..hi).step_by(32) {
                 let we = (w + 32).min(hi);
                 ctx.warp_load(arg::DATA, w as u64, 1, (we - w) as u32);
-                let (lanes, distinct) = warp_distinct(&data, w, we);
+                let (lanes, distinct) = warp_distinct(data, w, we);
                 // Scratchpad atomics: bank conflicts instead of global
                 // serialization.
                 let conflict = (lanes / distinct).max(1);

@@ -97,14 +97,19 @@ pub fn gpu_variant(shape: Shape, name: &str, image: Space, objxy: Space) -> Vari
         .with_group_size(PARTICLE_BLOCK as u32)
         .with_placements(placements);
     Variant::from_fn(meta, move |ctx, args| {
+        // Functional phase first: `pos`/`objxy` are read-only, so the
+        // emission loop borrows them once for the whole span instead of
+        // cloning `pos` per block.
         for u in ctx.units().iter() {
             compute_block(args, shape, u);
+        }
+        let pos = args.u32(arg::POS).expect("pos");
+        let objxy = args.u32(arg::OBJXY).expect("objxy");
+        for u in ctx.units().iter() {
             let lo = u as usize * PARTICLE_BLOCK;
             let hi = (lo + PARTICLE_BLOCK).min(shape.particles);
             let n = (hi - lo) as u32;
             ctx.warp_load(arg::POS, lo as u64, 1, n);
-            let pos = args.u32(arg::POS).expect("pos").to_vec();
-            let objxy = args.u32(arg::OBJXY).expect("objxy");
             let mut addrs = [0u64; 32];
             for (f, &off) in objxy.iter().take(shape.window).enumerate() {
                 // All lanes read the same template offset (broadcast) ...

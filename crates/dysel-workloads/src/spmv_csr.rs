@@ -142,15 +142,19 @@ pub fn cpu_variant(rows: usize, schedule: CpuSchedule, vector_width: u32) -> Var
     let meta = VariantMeta::new(name, ir).with_group_size(ROW_BLOCK as u32);
     Variant::from_fn(meta, move |ctx, args| {
         let w = vector_width.max(1) as usize;
+        // Run the functional phase for every unit first so the trace-emission
+        // loop below can borrow row_ptr/col_idx for the whole span instead of
+        // re-materialising them per unit. `compute_block` emits no trace
+        // events, so the recorded event stream is unchanged.
         for u in ctx.units().iter() {
             compute_block(args, rows, u);
+        }
+        let p = args.u32(arg::ROW_PTR).expect("row_ptr");
+        let col = args.u32(arg::COL_IDX).expect("col_idx");
+        for u in ctx.units().iter() {
             let lo = u as usize * ROW_BLOCK;
             let hi = (lo + ROW_BLOCK).min(rows);
-            let ptr: Vec<usize> = {
-                let p = args.u32(arg::ROW_PTR).expect("row_ptr");
-                (lo..=hi).map(|r| p[r] as usize).collect()
-            };
-            let col = args.u32(arg::COL_IDX).expect("col_idx").to_vec();
+            let ptr: Vec<usize> = (lo..=hi).map(|r| p[r] as usize).collect();
             match schedule {
                 CpuSchedule::Dfo => {
                     for r in 0..hi - lo {
@@ -159,7 +163,7 @@ pub fn cpu_variant(rows: usize, schedule: CpuSchedule, vector_width: u32) -> Var
                         if w == 1 {
                             ctx.stream_load(arg::VALS, a as u64, len, 1);
                             ctx.stream_load(arg::COL_IDX, a as u64, len, 1);
-                            gather_x(ctx, &col, a, b, 1);
+                            gather_x(ctx, col, a, b, 1);
                             // Per-work-item preamble (bounds, row-pointer
                             // loads, accumulator) + one FMA per non-zero.
                             ctx.compute(12 + 2 * len);
@@ -173,7 +177,7 @@ pub fn cpu_variant(rows: usize, schedule: CpuSchedule, vector_width: u32) -> Var
                                 ctx.warp_load(arg::VALS, (a + c0) as u64, 1, cl);
                                 ctx.warp_load(arg::COL_IDX, (a + c0) as u64, 1, cl);
                             }
-                            gather_x(ctx, &col, a, b, w);
+                            gather_x(ctx, col, a, b, w);
                             ctx.vector_compute(chunks, vector_width, vector_width, 2);
                             // SHOC's vector kernel reduces partial sums
                             // through local memory: log2(w) rounds of

@@ -106,6 +106,11 @@ grep "^run summary" /tmp/dysel-verify-corrupt.txt | grep -vq " profiled=0 "
 rm -f "$state"
 echo "    cold-started with a warning"
 
+echo "==> perf trajectory: full experiments suite vs BENCH_baseline.json"
+# Hard gate: digest drift fails immediately; a >10% wall-clock overrun is
+# re-measured once (shared-VM noise) and fails only if it reproduces.
+scripts/bench.sh --check
+
 if [ "$run_proptest" = 1 ]; then
     echo "==> property suites (--features proptest)"
     for crate in dysel-kernel dysel-device dysel-analysis dysel-verify dysel-core dysel-workloads; do
