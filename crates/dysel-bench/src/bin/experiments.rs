@@ -32,6 +32,14 @@
 //! exports are deterministic: bit-identical at any `--threads` count.
 //! Without these flags nothing is observed and the runs are bit-identical
 //! to builds without the observability layer.
+//!
+//! `--clients N [--tenants M]` runs the multi-tenant service stress
+//! driver instead of the figures: `N` client threads submit the scaled
+//! workload suite for `M` tenants (default 2) through one shared
+//! `LaunchService` with bounded queues, verifying every output. The
+//! printed `service summary:` line ends in a canonical selection digest
+//! that is identical for every `N` — the concurrency smoke in
+//! `scripts/verify.sh` diffs `--clients 8` against `--clients 1`.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -57,10 +65,26 @@ fn main() {
     let mut list = false;
     let mut trace_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut clients: Option<usize> = None;
+    let mut tenants: u32 = 2;
+    let parse_count = |flag: &str, v: Option<String>| -> usize {
+        v.and_then(|v| v.parse::<usize>().ok()).unwrap_or_else(|| {
+            eprintln!("{flag} needs a positive number");
+            std::process::exit(2);
+        })
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--list" {
             list = true;
+        } else if a == "--clients" {
+            clients = Some(parse_count("--clients", args.next()));
+        } else if let Some(v) = a.strip_prefix("--clients=") {
+            clients = Some(parse_count("--clients", Some(v.to_owned())));
+        } else if a == "--tenants" {
+            tenants = parse_count("--tenants", args.next()) as u32;
+        } else if let Some(v) = a.strip_prefix("--tenants=") {
+            tenants = parse_count("--tenants", Some(v.to_owned())) as u32;
         } else if a == "--threads" {
             let n = args
                 .next()
@@ -118,6 +142,14 @@ fn main() {
         for (id, _) in experiments::all() {
             println!("{id}");
         }
+        return;
+    }
+    if let Some(clients) = clients {
+        println!("DySel service stress (deterministic; seeds fixed)\n");
+        let t0 = Instant::now();
+        let outcome = dysel_bench::run_service_stress(clients, tenants);
+        println!("{}", outcome.line());
+        println!("total: {:.1}s", t0.elapsed().as_secs_f64());
         return;
     }
     let ids: Vec<String> = if ids.is_empty() || ids.iter().any(|a| a == "all") {

@@ -16,6 +16,8 @@
 pub mod experiments;
 mod figure;
 pub mod harness;
+pub mod stress;
 
 pub use figure::{Bar, Figure, FigureRow};
 pub use harness::{cpu_factory, gpu_factory, run_case, suite, CaseResult, DyselTimes};
+pub use stress::{run_service_stress, StressOutcome};

@@ -1,0 +1,244 @@
+//! Multi-client service stress driver (`experiments --clients N
+//! --tenants M`).
+//!
+//! Spins up a [`LaunchService`], registers a scaled copy of the full
+//! 18-workload suite, and hammers it from `N` client threads submitting
+//! on behalf of `M` tenants. Every stream (one `(tenant, workload)` pair)
+//! is owned by exactly one client thread, so its submission order is
+//! well-defined; the service serializes each stream on its shard, so the
+//! canonical selection digest the run prints is **independent of the
+//! client count** — `scripts/verify.sh` compares `--clients 8` against
+//! `--clients 1` byte for byte. Outputs are verified against the host
+//! reference on every launch; [`SubmitError::Busy`] backpressure is
+//! absorbed with a retry loop (and counted).
+//!
+//! The driver composes with the harness knobs: `--threads` sizes each
+//! lane device's functional executor and `--fault-plan` injects the same
+//! deterministic fault plan into every lane device.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dysel_core::{LaunchOptions, LaunchService, ServiceConfig, SubmitError, TenantId};
+use dysel_workloads::{
+    cutcp, histogram, kmeans, particlefilter, sgemm, spmv_csr, spmv_ell, spmv_jds, stencil,
+    CsrMatrix, JdsMatrix, Target, Workload,
+};
+
+use crate::harness::cpu_factory;
+
+/// Input seed of the stress suite (same as the pricing differential's).
+pub const SEED: u64 = 7;
+
+/// How often every stream is launched: round 1 micro-profiles, later
+/// rounds exercise the cached-selection path.
+pub const ROUNDS: usize = 2;
+
+/// The full workload suite at differential-test scale — every family
+/// represented, sizes small enough that a multi-round multi-tenant sweep
+/// stays in seconds.
+pub fn scaled_suite() -> Vec<Workload> {
+    let random = CsrMatrix::random(2048, 2048, 0.01, SEED);
+    let diagonal = CsrMatrix::diagonal(4096);
+    let jds = JdsMatrix::from_csr(&random);
+    let shape = cutcp::Shape { n: 32, atoms: 1000 };
+    vec![
+        sgemm::schedules_workload(64, SEED),
+        sgemm::mixed_workload(64, SEED),
+        sgemm::vector_workload(64, SEED),
+        spmv_csr::case4_workload("spmv-csr(random)", &random, SEED),
+        spmv_csr::case4_workload("spmv-csr(diagonal)", &diagonal, SEED),
+        spmv_csr::workload(
+            "spmv-csr(sched-random)",
+            &random,
+            SEED,
+            spmv_csr::cpu_schedule_variants(random.rows),
+            spmv_csr::gpu_case4_variants(random.rows),
+        ),
+        spmv_csr::workload(
+            "spmv-csr(sched-diagonal)",
+            &diagonal,
+            SEED,
+            spmv_csr::cpu_schedule_variants(diagonal.rows),
+            spmv_csr::gpu_case4_variants(diagonal.rows),
+        ),
+        spmv_csr::placement_workload("spmv-csr(placements)", &random, SEED),
+        spmv_ell::workload("spmv-ell", &random, SEED),
+        spmv_jds::workload(&jds, SEED),
+        spmv_jds::vector_workload(&jds, SEED),
+        stencil::workload(32, SEED),
+        cutcp::workload(shape, SEED),
+        cutcp::mixed_workload(shape, SEED),
+        kmeans::workload(
+            kmeans::Shape {
+                n: 2048,
+                d: 8,
+                k: 4,
+            },
+            SEED,
+        ),
+        particlefilter::workload(
+            particlefilter::Shape {
+                particles: 2048,
+                window: 16,
+                frame: 1 << 14,
+            },
+            SEED,
+        ),
+        histogram::workload(
+            64 * histogram::ELEMS_PER_UNIT,
+            histogram::Distribution::Uniform,
+            SEED,
+        ),
+        histogram::workload(
+            64 * histogram::ELEMS_PER_UNIT,
+            histogram::Distribution::Skewed,
+            SEED,
+        ),
+    ]
+}
+
+/// What one stress run did and selected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StressOutcome {
+    /// Client threads used.
+    pub clients: usize,
+    /// Tenants exercised.
+    pub tenants: u32,
+    /// Streams launched (`tenants x workloads`).
+    pub streams: usize,
+    /// Launches completed.
+    pub launches: u64,
+    /// Launches that failed (non-zero only under aggressive fault plans).
+    pub errors: u64,
+    /// `Busy` backpressure responses absorbed by the retry loop.
+    pub busy: u64,
+    /// The service's canonical selection digest (per-stream digests folded
+    /// in `(tenant, signature)` order) — equal across client counts.
+    pub digest: u64,
+}
+
+impl StressOutcome {
+    /// The one-line end-of-run rendering (digest last, like the run
+    /// summary, so scripts can `grep -o 'digest=.*'`).
+    pub fn line(&self) -> String {
+        format!(
+            "service summary: clients={} tenants={} streams={} launches={} \
+             errors={} busy={} digest={:016x}",
+            self.clients,
+            self.tenants,
+            self.streams,
+            self.launches,
+            self.errors,
+            self.busy,
+            self.digest,
+        )
+    }
+}
+
+/// Runs the stress matrix: `clients` threads submit `ROUNDS` launches for
+/// each of `tenants x workloads` streams through one shared service, with
+/// bounded queues (so Busy backpressure actually fires under load).
+/// Panics on a wrong output — bit-identity is the point of the exercise.
+pub fn run_service_stress(clients: usize, tenants: u32) -> StressOutcome {
+    let clients = clients.max(1);
+    let tenants = tenants.max(1);
+    let suite = scaled_suite();
+    let service = Arc::new(LaunchService::new(
+        Arc::new(cpu_factory),
+        ServiceConfig {
+            shards: 4,
+            queue_capacity: 8,
+            ..ServiceConfig::default()
+        },
+    ));
+    // Workload names collide across variant families (three "sgemm"s), and
+    // the service registry is shared — key each workload by index.
+    let signatures: Vec<String> = suite
+        .iter()
+        .enumerate()
+        .map(|(i, w)| format!("{}#{i}", w.signature))
+        .collect();
+    for (sig, w) in signatures.iter().zip(&suite) {
+        service.register(sig, w.variants(Target::Cpu).to_vec());
+    }
+    // Stream i belongs to client i % clients: per-stream submission order
+    // stays well-defined no matter how threads interleave.
+    let streams: Vec<(TenantId, usize)> = (0..tenants)
+        .flat_map(|t| (0..suite.len()).map(move |wi| (TenantId(t), wi)))
+        .collect();
+    let busy = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let service = service.clone();
+            let (suite, signatures, streams) = (&suite, &signatures, &streams);
+            let (busy, errors) = (&busy, &errors);
+            scope.spawn(move || {
+                let opts = LaunchOptions::new();
+                for (tenant, wi) in streams
+                    .iter()
+                    .skip(client)
+                    .step_by(clients)
+                    .copied()
+                    .collect::<Vec<_>>()
+                {
+                    let w = &suite[wi];
+                    for _round in 0..ROUNDS {
+                        let mut args = w.fresh_args();
+                        let (out, result) = loop {
+                            match service.submit(
+                                tenant,
+                                &signatures[wi],
+                                args,
+                                w.total_units,
+                                &opts,
+                            ) {
+                                Ok(ticket) => break ticket.wait(),
+                                Err(SubmitError::Busy { args: returned, .. }) => {
+                                    busy.fetch_add(1, Ordering::Relaxed);
+                                    args = returned;
+                                    std::thread::yield_now();
+                                }
+                                Err(rejected) => panic!("submission rejected: {rejected}"),
+                            }
+                        };
+                        match result {
+                            Ok(_) => w.verify(&out).unwrap_or_else(|e| {
+                                panic!("{} output wrong for {tenant}: {e}", w.name)
+                            }),
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    StressOutcome {
+        clients,
+        tenants,
+        streams: streams.len(),
+        launches: service.launches(),
+        errors: errors.into_inner(),
+        busy: busy.into_inner(),
+        digest: service.digest(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_client_count_invariant() {
+        // The conformance suite covers the full matrix; this keeps the
+        // driver itself honest at a reduced tenant count.
+        let serial = run_service_stress(1, 1);
+        let parallel = run_service_stress(4, 1);
+        assert_eq!(serial.digest, parallel.digest);
+        assert_eq!(serial.launches, parallel.launches);
+        assert_eq!(serial.errors, 0);
+    }
+}

@@ -35,6 +35,7 @@ mod persist;
 mod pool;
 mod report;
 mod runtime;
+mod service;
 mod stats;
 mod timeline;
 
@@ -44,10 +45,14 @@ pub use fault::{
     QuarantineReason, DEFAULT_HANG_FACTOR,
 };
 pub use mixed::MixedReport;
-pub use options::{InitialSelection, LaunchOptions, RuntimeConfig, VerifyLevel};
-pub use persist::{RuntimeState, StateError};
+pub use options::{InitialSelection, LaunchOptions, RuntimeConfig, TenantId, VerifyLevel};
+pub use persist::{RuntimeState, StateError, TenantState};
 pub use pool::KernelPool;
 pub use report::{LaunchReport, Measurement, SkipReason};
 pub use runtime::Runtime;
+pub use service::{
+    CacheEntry, DeviceFactory, LaunchOutcome, LaunchService, RejectReason, ServiceConfig,
+    ShardedCache, StreamKey, SubmitError, Ticket,
+};
 pub use stats::LaunchStats;
 pub use timeline::{LaunchKind, Timeline, TimelineEntry};

@@ -4,6 +4,21 @@
 use dysel_device::Cycles;
 use dysel_kernel::{Orchestration, ProfilingMode, VariantId};
 
+/// Identifies the tenant a runtime (or a launch-service stream) belongs
+/// to. Tenant `0` is the default single-tenant world: every existing
+/// runtime keeps working unchanged. A multi-tenant [`crate::LaunchService`]
+/// isolates selection, quarantine and diagnostics state per tenant and
+/// threads the id through [`crate::LaunchReport`], the persisted state
+/// format and `dysel-obs` event attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
 /// How the asynchronous flow picks its initial default variant (§2.4: "we
 /// require that the compiler or programmer suggest an initial version").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -205,6 +220,22 @@ pub struct RuntimeConfig {
     /// `Option` check per site and leaves timelines and selections
     /// untouched. Sink equality is identity, so configs stay comparable.
     pub observe: Option<std::sync::Arc<dysel_obs::EventSink>>,
+    /// The tenant this runtime's launches belong to. [`TenantId`] `0` (the
+    /// default) is the single-tenant world; a [`crate::LaunchService`] sets
+    /// it per lane so every [`crate::LaunchReport`] carries its tenant.
+    pub tenant: TenantId,
+    /// When `true`, the runtime re-addresses every launch's buffers — and
+    /// allocates sandbox copies — from its own private
+    /// [`dysel_kernel::AddrSpace`] instead of the process-global virtual
+    /// allocator. The device cache models hash buffer addresses into
+    /// lines and sets, so with the global allocator a runtime's virtual
+    /// timeline is (weakly) sensitive to unrelated concurrent
+    /// allocations; with private addresses it is a pure function of the
+    /// runtime's own launch history. A [`crate::LaunchService`] lane sets
+    /// this so every stream replays bit-identically to a serial run at
+    /// any client count. Off by default: a single-runtime process keeps
+    /// the allocator behaviour (and timings) it always had.
+    pub private_addrs: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -221,6 +252,8 @@ impl Default for RuntimeConfig {
             verify: VerifyLevel::Off,
             sanitize_traces: false,
             observe: None,
+            tenant: TenantId(0),
+            private_addrs: false,
         }
     }
 }

@@ -38,31 +38,63 @@ use crate::fault::QuarantineReason;
 /// File magic: identifies a DySel state file regardless of extension.
 const MAGIC: [u8; 8] = *b"DYSELST\n";
 /// Current format version. v2 added the per-signature variant counts used
-/// to detect stale warm restores; v1 files cold-start with a typed
-/// [`StateError::UnsupportedVersion`].
-const VERSION: u32 = 2;
+/// to detect stale warm restores; v3 added the per-tenant section a
+/// multi-tenant [`crate::LaunchService`] persists. Older files cold-start
+/// with a typed [`StateError::UnsupportedVersion`].
+const VERSION: u32 = 3;
 /// Fixed header: magic, version, payload length, payload checksum.
 const HEADER_LEN: usize = 8 + 4 + 8 + 8;
 
-/// The persisted slice of a runtime's learned state: per-signature
-/// selections and quarantine entries.
+/// One tenant's learned state inside a multi-tenant state file: the same
+/// three per-signature maps a plain runtime persists.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct RuntimeState {
+pub struct TenantState {
     /// Selected winner per kernel signature.
     pub selections: BTreeMap<String, VariantId>,
     /// Quarantined variants per kernel signature, in quarantine order.
     pub quarantine: BTreeMap<String, Vec<(VariantId, QuarantineReason)>>,
     /// Number of registered variants per selected signature at save time
+    /// (zero when unknown).
+    pub variant_counts: BTreeMap<String, u32>,
+}
+
+impl TenantState {
+    /// True when there is nothing to persist for this tenant.
+    pub fn is_empty(&self) -> bool {
+        self.selections.is_empty() && self.quarantine.is_empty() && self.variant_counts.is_empty()
+    }
+}
+
+/// The persisted slice of a runtime's learned state: per-signature
+/// selections and quarantine entries. The three flat maps are tenant 0's
+/// state (every single-tenant runtime reads and writes only those); a
+/// multi-tenant [`crate::LaunchService`] additionally nests the state of
+/// every other tenant under [`RuntimeState::tenants`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeState {
+    /// Selected winner per kernel signature (tenant 0).
+    pub selections: BTreeMap<String, VariantId>,
+    /// Quarantined variants per kernel signature, in quarantine order
+    /// (tenant 0).
+    pub quarantine: BTreeMap<String, Vec<(VariantId, QuarantineReason)>>,
+    /// Number of registered variants per selected signature at save time
     /// (zero when unknown). A warm restore whose signature re-registers
     /// with a different variant count is stale: the persisted winner was
-    /// chosen against a different candidate set.
+    /// chosen against a different candidate set. (Tenant 0.)
     pub variant_counts: BTreeMap<String, u32>,
+    /// Per-tenant state for tenants other than 0 (v3). Tenant 0 must stay
+    /// in the flat maps; encoding rejects nothing, but a well-formed file
+    /// never carries an empty or zero-keyed entry here.
+    pub tenants: BTreeMap<u32, TenantState>,
 }
 
 impl RuntimeState {
     /// True when there is nothing to persist.
     pub fn is_empty(&self) -> bool {
-        self.selections.is_empty() && self.quarantine.is_empty() && self.variant_counts.is_empty()
+        self.selections.is_empty()
+            && self.quarantine.is_empty()
+            && self.variant_counts.is_empty()
+            && self.tenants.values().all(TenantState::is_empty)
     }
 }
 
@@ -189,27 +221,52 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
-/// Serializes a state to the full on-disk byte image (header + payload).
-pub fn encode(state: &RuntimeState) -> Vec<u8> {
-    let mut payload = Vec::new();
-    put_u32(&mut payload, state.selections.len() as u32);
-    for (sig, id) in &state.selections {
-        put_str(&mut payload, sig);
-        put_u32(&mut payload, id.0 as u32);
+/// Appends one tenant's three per-signature sections to the payload.
+fn put_sections(
+    payload: &mut Vec<u8>,
+    selections: &BTreeMap<String, VariantId>,
+    quarantine: &BTreeMap<String, Vec<(VariantId, QuarantineReason)>>,
+    variant_counts: &BTreeMap<String, u32>,
+) {
+    put_u32(payload, selections.len() as u32);
+    for (sig, id) in selections {
+        put_str(payload, sig);
+        put_u32(payload, id.0 as u32);
     }
-    put_u32(&mut payload, state.quarantine.len() as u32);
-    for (sig, entries) in &state.quarantine {
-        put_str(&mut payload, sig);
-        put_u32(&mut payload, entries.len() as u32);
+    put_u32(payload, quarantine.len() as u32);
+    for (sig, entries) in quarantine {
+        put_str(payload, sig);
+        put_u32(payload, entries.len() as u32);
         for (id, reason) in entries {
-            put_u32(&mut payload, id.0 as u32);
+            put_u32(payload, id.0 as u32);
             payload.push(reason_code(*reason));
         }
     }
-    put_u32(&mut payload, state.variant_counts.len() as u32);
-    for (sig, count) in &state.variant_counts {
-        put_str(&mut payload, sig);
-        put_u32(&mut payload, *count);
+    put_u32(payload, variant_counts.len() as u32);
+    for (sig, count) in variant_counts {
+        put_str(payload, sig);
+        put_u32(payload, *count);
+    }
+}
+
+/// Serializes a state to the full on-disk byte image (header + payload).
+pub fn encode(state: &RuntimeState) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_sections(
+        &mut payload,
+        &state.selections,
+        &state.quarantine,
+        &state.variant_counts,
+    );
+    put_u32(&mut payload, state.tenants.len() as u32);
+    for (tenant, ts) in &state.tenants {
+        put_u32(&mut payload, *tenant);
+        put_sections(
+            &mut payload,
+            &ts.selections,
+            &ts.quarantine,
+            &ts.variant_counts,
+        );
     }
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
@@ -315,12 +372,40 @@ pub fn decode(bytes: &[u8], path: &Path) -> Result<RuntimeState, StateError> {
         path,
     };
     let mut state = RuntimeState::default();
+    let t0 = read_sections(&mut cur)?;
+    state.selections = t0.selections;
+    state.quarantine = t0.quarantine;
+    state.variant_counts = t0.variant_counts;
+    let n_tenants = cur.u32()?;
+    for _ in 0..n_tenants {
+        let tenant = cur.u32()?;
+        if tenant == 0 {
+            return Err(malformed("tenant 0 nested in the tenant section"));
+        }
+        let ts = read_sections(&mut cur)?;
+        if state.tenants.insert(tenant, ts).is_some() {
+            return Err(malformed("duplicate tenant id"));
+        }
+    }
+    if cur.at != payload.len() {
+        return Err(malformed("trailing bytes after payload"));
+    }
+    Ok(state)
+}
+
+/// Parses one tenant's three per-signature sections.
+fn read_sections(cur: &mut Cursor<'_>) -> Result<TenantState, StateError> {
+    let malformed = |cur: &Cursor<'_>, detail: &str| StateError::Malformed {
+        path: cur.path.to_path_buf(),
+        detail: detail.to_owned(),
+    };
+    let mut ts = TenantState::default();
     let n_sel = cur.u32()?;
     for _ in 0..n_sel {
         let sig = cur.string()?;
         let id = VariantId(cur.u32()? as usize);
-        if state.selections.insert(sig, id).is_some() {
-            return Err(malformed("duplicate selection signature"));
+        if ts.selections.insert(sig, id).is_some() {
+            return Err(malformed(cur, "duplicate selection signature"));
         }
     }
     let n_quar = cur.u32()?;
@@ -331,25 +416,22 @@ pub fn decode(bytes: &[u8], path: &Path) -> Result<RuntimeState, StateError> {
         for _ in 0..n {
             let id = VariantId(cur.u32()? as usize);
             let reason = reason_from_code(cur.u8()?)
-                .ok_or_else(|| malformed("unknown quarantine reason code"))?;
+                .ok_or_else(|| malformed(cur, "unknown quarantine reason code"))?;
             entries.push((id, reason));
         }
-        if state.quarantine.insert(sig, entries).is_some() {
-            return Err(malformed("duplicate quarantine signature"));
+        if ts.quarantine.insert(sig, entries).is_some() {
+            return Err(malformed(cur, "duplicate quarantine signature"));
         }
     }
     let n_counts = cur.u32()?;
     for _ in 0..n_counts {
         let sig = cur.string()?;
         let count = cur.u32()?;
-        if state.variant_counts.insert(sig, count).is_some() {
-            return Err(malformed("duplicate variant-count signature"));
+        if ts.variant_counts.insert(sig, count).is_some() {
+            return Err(malformed(cur, "duplicate variant-count signature"));
         }
     }
-    if cur.at != payload.len() {
-        return Err(malformed("trailing bytes after payload"));
-    }
-    Ok(state)
+    Ok(ts)
 }
 
 /// Loads a state file. Every failure mode — missing file, wrong magic,
@@ -406,6 +488,14 @@ mod tests {
         );
         s.variant_counts.insert("spmv".to_owned(), 4);
         s.variant_counts.insert("sgemm".to_owned(), 2);
+        let mut t7 = TenantState::default();
+        t7.selections.insert("spmv".to_owned(), VariantId(1));
+        t7.quarantine.insert(
+            "spmv".to_owned(),
+            vec![(VariantId(0), QuarantineReason::LaunchFailed)],
+        );
+        t7.variant_counts.insert("spmv".to_owned(), 4);
+        s.tenants.insert(7, t7);
         s
     }
 
@@ -455,8 +545,23 @@ mod tests {
     }
 
     #[test]
+    fn nested_tenant_zero_is_malformed() {
+        let mut s = RuntimeState::default();
+        s.tenants.insert(1, TenantState::default());
+        let mut image = encode(&s);
+        // Rewrite the tenant id (last 13 payload bytes are: id + three
+        // empty section counts) from 1 to 0 and re-stamp the checksum.
+        let at = image.len() - 16;
+        image[at..at + 4].copy_from_slice(&0u32.to_le_bytes());
+        let sum = fnv1a(&image[HEADER_LEN..]);
+        image[20..28].copy_from_slice(&sum.to_le_bytes());
+        let err = decode(&image, Path::new("x")).unwrap_err();
+        assert!(matches!(err, StateError::Malformed { .. }), "{err}");
+    }
+
+    #[test]
     fn other_version_is_typed() {
-        for found in [1u32, 3] {
+        for found in [1u32, 2, 4] {
             let mut image = encode(&sample());
             image[8..12].copy_from_slice(&found.to_le_bytes());
             let err = decode(&image, Path::new("x")).unwrap_err();

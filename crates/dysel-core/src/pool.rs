@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use dysel_kernel::{Args, DirtyRanges, KernelError, Variant, VariantId};
+use dysel_kernel::{AddrSpace, Args, DirtyRanges, KernelError, Variant, VariantId};
 use dysel_obs::{names, EventSink};
 
 use crate::DyselError;
@@ -79,6 +79,13 @@ impl KernelPool {
         self.sets.keys().map(String::as_str)
     }
 
+    /// Whether a signature is registered with at least one variant — the
+    /// [`crate::LaunchService`] admission check: submissions for unknown
+    /// signatures are rejected at the door instead of failing on a shard.
+    pub fn contains(&self, signature: &str) -> bool {
+        self.sets.get(signature).is_some_and(|set| !set.is_empty())
+    }
+
     /// Number of signatures.
     pub fn len(&self) -> usize {
         self.sets.len()
@@ -106,9 +113,30 @@ pub(crate) struct SandboxPool {
     free: HashMap<(String, usize), Args>,
     allocations: u64,
     reuses: u64,
+    /// With [`RuntimeConfig::private_addrs`] set, the runtime's private
+    /// address space: incoming launch arguments are rebased through it and
+    /// fresh sandbox copies allocate from it, so every address the device
+    /// prices is a pure function of this runtime's own launch history.
+    addrs: Option<AddrSpace>,
 }
 
 impl SandboxPool {
+    /// A pool whose sandbox addresses come from a private address space
+    /// (see [`crate::RuntimeConfig::private_addrs`]).
+    pub(crate) fn with_private_addrs() -> Self {
+        SandboxPool {
+            addrs: Some(AddrSpace::new()),
+            ..SandboxPool::default()
+        }
+    }
+
+    /// Re-addresses `args` from the private address space; a no-op when
+    /// the pool allocates from the process-global allocator.
+    pub(crate) fn rebase(&mut self, args: &mut Args) {
+        if let Some(space) = &mut self.addrs {
+            args.rebase_in(space);
+        }
+    }
     /// Leases a sandbox over `src`'s `sandbox_args` for variant `variant`
     /// of `signature`, reusing a previously returned set when possible.
     ///
@@ -152,7 +180,10 @@ impl SandboxPool {
         if let Some(sink) = obs {
             sink.count(names::SANDBOX_MISSES, 1);
         }
-        src.sandbox_view(sandbox_args)
+        match &mut self.addrs {
+            Some(space) => src.sandbox_view_in(sandbox_args, space),
+            None => src.sandbox_view(sandbox_args),
+        }
     }
 
     /// Returns a leased sandbox for later reuse.

@@ -3,7 +3,7 @@
 use dysel_device::Cycles;
 use dysel_kernel::{Orchestration, ProfilingMode, VariantId};
 
-use crate::FaultReport;
+use crate::{FaultReport, TenantId};
 
 /// One variant's profiling measurement (best of the repetitions).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +36,9 @@ pub enum SkipReason {
 pub struct LaunchReport {
     /// Kernel signature launched.
     pub signature: String,
+    /// Tenant the launch belongs to ([`TenantId`] `0` outside a
+    /// multi-tenant [`crate::LaunchService`]).
+    pub tenant: TenantId,
     /// The selected variant.
     pub selected: VariantId,
     /// Its registered name.
@@ -127,6 +130,7 @@ mod tests {
     fn report() -> LaunchReport {
         LaunchReport {
             signature: "k".into(),
+            tenant: TenantId(0),
             selected: VariantId(1),
             selected_name: "b".into(),
             mode: Some(ProfilingMode::FullyProductive),

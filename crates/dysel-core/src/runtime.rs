@@ -144,13 +144,18 @@ impl Runtime {
     /// the typed error in [`Runtime::state_load_error`]. A missing file is
     /// a plain cold start, not an error.
     pub fn with_config(device: Box<dyn Device>, config: RuntimeConfig) -> Self {
+        let sandboxes = if config.private_addrs {
+            SandboxPool::with_private_addrs()
+        } else {
+            SandboxPool::default()
+        };
         let mut rt = Runtime {
             device,
             pool: KernelPool::new(),
             stats: LaunchStats::new(),
             config,
             selection_cache: HashMap::new(),
-            sandboxes: SandboxPool::default(),
+            sandboxes,
             timeline: Timeline::default(),
             quarantine: HashMap::new(),
             warm: HashMap::new(),
@@ -203,6 +208,9 @@ impl Runtime {
                     (s.clone(), count)
                 })
                 .collect(),
+            // A lane runtime is single-tenant; nested tenant sections are
+            // the service's aggregation concern.
+            tenants: std::collections::BTreeMap::new(),
         }
     }
 
@@ -266,6 +274,23 @@ impl Runtime {
     /// after a successful or skipped load.
     pub fn state_load_error(&self) -> Option<&StateError> {
         self.state_error.as_ref()
+    }
+
+    /// The learned state — cached selections, quarantine entries, variant
+    /// counts — as a value, without touching any file. This is what
+    /// [`Runtime::save_state`] persists; a [`crate::LaunchService`] calls
+    /// it per lane (between launches, under the shard lock) to aggregate a
+    /// torn-free multi-tenant snapshot.
+    pub fn export_state(&self) -> RuntimeState {
+        self.snapshot_state()
+    }
+
+    /// Installs a state value as if it had been loaded from disk:
+    /// selections become warm cached selections (skipping micro-profiling
+    /// unless found stale), quarantine entries are restored. Signatures
+    /// the state does not name are left untouched.
+    pub fn import_state(&mut self, state: &RuntimeState) {
+        self.apply_state(state);
     }
 
     /// Registers a kernel variant (`DySelAddKernel`).
@@ -464,6 +489,12 @@ impl Runtime {
         end: u64,
         opts: &LaunchOptions,
     ) -> Result<LaunchReport, DyselError> {
+        // Private-address mode: re-address the incoming buffers from this
+        // runtime's own address space before anything observes them, so
+        // the priced timeline is independent of where concurrent threads
+        // happened to push the global allocator (see
+        // [`RuntimeConfig::private_addrs`]).
+        self.sandboxes.rebase(args);
         let total_units = end.saturating_sub(start);
         let variants = self.pool.variants(signature)?;
         let k = variants.len();
@@ -749,6 +780,7 @@ impl Runtime {
             self.stats.record_faults(&faults);
             let report = LaunchReport {
                 signature: signature.to_owned(),
+                tenant: self.config.tenant,
                 selected,
                 selected_name: variants[selected.0].name().to_owned(),
                 mode: None,
@@ -1745,6 +1777,7 @@ fn profile_core(
 
     Ok(LaunchReport {
         signature: signature.to_owned(),
+        tenant: config.tenant,
         selected: winner,
         selected_name: variants[winner.0].name().to_owned(),
         mode: Some(mode),

@@ -1,0 +1,1032 @@
+//! A shared, multi-tenant launch service over the single-owner [`Runtime`].
+//!
+//! The runtime is deliberately a synchronous `&mut self` object: one
+//! signature profiled at a time, deterministic by construction. Production
+//! selection services face the opposite shape — many client threads
+//! submitting launches for thousands of signatures concurrently, with
+//! long-lived learned state shared across all of them. [`LaunchService`]
+//! bridges the two without giving up determinism:
+//!
+//! * **Sharded execution.** Every `(tenant, signature)` pair is a
+//!   *stream*. A stream hashes to one of N shards; each shard owns one
+//!   worker thread and a FIFO queue, so all launches of one stream are
+//!   serialized in submission order while distinct streams proceed in
+//!   parallel. Per-shard locks replace the global `&mut`.
+//! * **Per-stream lanes.** The first launch of a stream materializes a
+//!   *lane*: a private [`Runtime`] on a private device (from the service's
+//!   device factory) with a private event sink and a private virtual
+//!   address space ([`crate::RuntimeConfig::private_addrs`] — the device
+//!   cache models price buffer addresses, so lanes must not share the
+//!   process-global allocator). Virtual clocks, fault-plan counters,
+//!   event sequence numbers and buffer addresses are therefore never
+//!   shared across streams — each stream's reports, selection digest and
+//!   exported trace bytes are bit-identical to the same submissions
+//!   replayed serially on a plain `Runtime` with the same per-lane
+//!   config. That is the **shard determinism contract**, and
+//!   `tests/service.rs` enforces it at 1, 2 and 8 client threads.
+//! * **Admission control.** Queues are bounded. A full shard pushes back
+//!   with a typed [`SubmitError::Busy`] (the caller gets its buffers back
+//!   and decides when to retry); an unknown signature or a shutdown in
+//!   progress is a typed [`SubmitError::Rejected`]. Nothing blocks
+//!   unboundedly.
+//! * **Tenant isolation.** Lanes are keyed by tenant: selection,
+//!   quarantine and diagnostics state never leak between tenants even for
+//!   the same signature. [`crate::TenantId`] is threaded through
+//!   [`LaunchReport`], event attribution (the lane sink stamps it on every
+//!   event; Chrome traces group by it as the `pid`) and the v3 persist
+//!   format.
+//! * **Torn-free persistence.** The authoritative selection/quarantine
+//!   view lives in a [`ShardedCache`] updated under its shard lock *after*
+//!   each launch completes, so [`LaunchService::save_state`] — unlike
+//!   calling [`Runtime::save_state`] on a shared runtime — can never
+//!   observe a half-applied launch. `tests/persistence.rs` storms the
+//!   service while saving concurrently to prove it.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+use dysel_device::Device;
+use dysel_kernel::{Args, Variant, VariantId};
+use dysel_obs::{names, Event, EventSink, MetricsSnapshot};
+
+use crate::fault::QuarantineReason;
+use crate::options::{RuntimeConfig, TenantId};
+use crate::persist::{self, RuntimeState, StateError, TenantState};
+use crate::pool::KernelPool;
+use crate::report::LaunchReport;
+use crate::runtime::Runtime;
+use crate::{DyselError, LaunchOptions};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(digest: &mut u64, bytes: &[u8]) {
+    for b in bytes.iter().chain(&[0u8]) {
+        *digest ^= u64::from(*b);
+        *digest = digest.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Ignores mutex poisoning: a panicking worker must not cascade into every
+/// thread that later touches shared state (same policy as `EventSink`).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Identifies one launch stream: a `(tenant, signature)` pair. All
+/// launches of a stream are serialized in submission order; distinct
+/// streams are independent.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamKey {
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Kernel signature.
+    pub signature: String,
+}
+
+impl StreamKey {
+    /// A stream key.
+    pub fn new(tenant: TenantId, signature: impl Into<String>) -> Self {
+        StreamKey {
+            tenant,
+            signature: signature.into(),
+        }
+    }
+
+    /// The stable hash both the service and the cache shard by.
+    fn hash64(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        fnv_fold(&mut h, &self.tenant.0.to_le_bytes());
+        fnv_fold(&mut h, self.signature.as_bytes());
+        h
+    }
+}
+
+/// One stream's entry in the [`ShardedCache`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// The selected winner, if any launch (or warm restore) picked one.
+    pub selection: Option<VariantId>,
+    /// Variant-pool size the selection was made against (zero if unknown).
+    pub variants: u32,
+    /// Quarantined variants, in quarantine order. Quarantine survives
+    /// [`ShardedCache::invalidate`] and is never undone by
+    /// [`ShardedCache::warm_restore`].
+    pub quarantine: Vec<(VariantId, QuarantineReason)>,
+}
+
+/// A sharded selection/quarantine cache keyed by stream: per-shard locks,
+/// no global `&mut`, safe to hit from any number of threads.
+///
+/// Invariants (property-tested against a single-map model in
+/// `crates/dysel-core/tests/shard_prop.rs`):
+///
+/// * entries are never lost — every key ever touched stays present;
+/// * a quarantined variant is never resurrected — [`Self::warm_restore`]
+///   refuses to select it and [`Self::quarantine`] drops a selection that
+///   names it;
+/// * every operation is atomic under its shard lock, so a
+///   [`Self::snapshot`] never observes a half-applied update.
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Box<[Mutex<HashMap<StreamKey, CacheEntry>>]>,
+}
+
+impl ShardedCache {
+    /// A cache with `shards` independent lock domains (min 1).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1);
+        ShardedCache {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a key lives on.
+    pub fn shard_of(&self, key: &StreamKey) -> usize {
+        (key.hash64() % self.shards.len() as u64) as usize
+    }
+
+    fn with_entry<R>(&self, key: &StreamKey, f: impl FnOnce(&mut CacheEntry) -> R) -> R {
+        let mut shard = lock(&self.shards[self.shard_of(key)]);
+        f(shard.entry(key.clone()).or_default())
+    }
+
+    /// Records a fresh selection for the stream (a completed launch). A
+    /// selection naming a variant already quarantined for the stream is
+    /// ignored — quarantine always wins, whatever the operation order.
+    pub fn insert(&self, key: &StreamKey, selected: VariantId, variants: u32) {
+        self.with_entry(key, |e| {
+            if e.quarantine.iter().any(|(q, _)| *q == selected) {
+                return;
+            }
+            e.selection = Some(selected);
+            e.variants = variants;
+        });
+    }
+
+    /// Quarantines a variant for the stream. Idempotent per variant (the
+    /// first reason wins); a selection naming the variant is dropped —
+    /// quarantine always beats selection.
+    pub fn quarantine(&self, key: &StreamKey, id: VariantId, reason: QuarantineReason) {
+        self.with_entry(key, |e| {
+            if !e.quarantine.iter().any(|(q, _)| *q == id) {
+                e.quarantine.push((id, reason));
+            }
+            if e.selection == Some(id) {
+                e.selection = None;
+            }
+        });
+    }
+
+    /// Restores a persisted selection, unless the variant is quarantined
+    /// for this stream — a quarantined variant is never resurrected.
+    /// Returns whether the restore was applied.
+    pub fn warm_restore(&self, key: &StreamKey, selected: VariantId, variants: u32) -> bool {
+        self.with_entry(key, |e| {
+            if e.quarantine.iter().any(|(q, _)| *q == selected) {
+                return false;
+            }
+            e.selection = Some(selected);
+            e.variants = variants;
+            true
+        })
+    }
+
+    /// Drops the stream's selection (stale winner). Quarantine entries are
+    /// kept — staleness never rehabilitates a faulty variant.
+    pub fn invalidate(&self, key: &StreamKey) {
+        self.with_entry(key, |e| {
+            e.selection = None;
+            e.variants = 0;
+        });
+    }
+
+    /// The stream's entry, if any operation ever touched it.
+    pub fn get(&self, key: &StreamKey) -> Option<CacheEntry> {
+        lock(&self.shards[self.shard_of(key)]).get(key).cloned()
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).len()).sum()
+    }
+
+    /// Whether no entry exists.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A canonical point-in-time copy: shards are locked one at a time (an
+    /// entry is updated atomically under its shard lock, so no torn entry
+    /// can be observed), results are key-ordered.
+    pub fn snapshot(&self) -> BTreeMap<StreamKey, CacheEntry> {
+        let mut out = BTreeMap::new();
+        for shard in self.shards.iter() {
+            for (k, v) in lock(shard).iter() {
+                out.insert(k.clone(), v.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Why a submission was refused outright (no queue slot was consumed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// No kernel variants are registered under the signature.
+    UnknownSignature,
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+/// Typed submission backpressure. Both variants hand the argument buffers
+/// back (`args`) so the caller can retry without re-building them.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The stream's shard queue is full — admission control. Retry later;
+    /// nothing was enqueued.
+    Busy {
+        /// Stream that was refused.
+        key: StreamKey,
+        /// Shard whose queue is full.
+        shard: usize,
+        /// The configured per-shard queue capacity.
+        capacity: usize,
+        /// The submission's buffers, returned untouched.
+        args: Args,
+    },
+    /// The submission is not admissible at all (unknown signature or
+    /// shutdown); retrying without fixing the cause will fail again.
+    Rejected {
+        /// Stream that was refused.
+        key: StreamKey,
+        /// Why.
+        reason: RejectReason,
+        /// The submission's buffers, returned untouched.
+        args: Args,
+    },
+}
+
+impl SubmitError {
+    /// Recovers the argument buffers for a retry.
+    pub fn into_args(self) -> Args {
+        match self {
+            SubmitError::Busy { args, .. } | SubmitError::Rejected { args, .. } => args,
+        }
+    }
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Busy {
+                key,
+                shard,
+                capacity,
+                ..
+            } => write!(
+                f,
+                "shard {shard} queue full ({capacity}) for {} {:?}",
+                key.tenant, key.signature
+            ),
+            SubmitError::Rejected { key, reason, .. } => write!(
+                f,
+                "submission for {} {:?} rejected: {}",
+                key.tenant,
+                key.signature,
+                match reason {
+                    RejectReason::UnknownSignature => "unknown signature",
+                    RejectReason::ShuttingDown => "service shutting down",
+                }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// What one submission resolves to: the buffers come back in either case
+/// (on error they are untouched — the runtime's buffer guarantee).
+pub type LaunchOutcome = (Args, Result<LaunchReport, DyselError>);
+
+#[derive(Debug)]
+struct TicketState {
+    slot: Mutex<Option<LaunchOutcome>>,
+    cv: Condvar,
+}
+
+/// A handle to one accepted submission. [`Ticket::wait`] blocks until the
+/// stream's shard worker has executed the launch.
+#[derive(Debug)]
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// Blocks until the launch completed and returns its buffers and
+    /// report (or typed error).
+    pub fn wait(self) -> LaunchOutcome {
+        let mut slot = lock(&self.state.slot);
+        loop {
+            if let Some(out) = slot.take() {
+                return out;
+            }
+            slot = self
+                .state
+                .cv
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Returns the outcome if the launch already completed, the ticket
+    /// otherwise.
+    pub fn try_wait(self) -> Result<LaunchOutcome, Ticket> {
+        let taken = lock(&self.state.slot).take();
+        match taken {
+            Some(out) => Ok(out),
+            None => Err(self),
+        }
+    }
+}
+
+/// Builds a fresh device for one lane. Lanes never share a device — that
+/// is what keeps per-stream virtual time (and thus determinism)
+/// independent of how streams interleave across the service.
+pub type DeviceFactory = Arc<dyn Fn() -> Box<dyn Device> + Send + Sync>;
+
+/// Configuration of a [`LaunchService`].
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Shard (worker thread) count, min 1.
+    pub shards: usize,
+    /// Bounded per-shard queue capacity, min 1; a full queue answers
+    /// [`SubmitError::Busy`].
+    pub queue_capacity: usize,
+    /// Template for every lane's [`RuntimeConfig`]. The service overrides
+    /// `tenant` (per lane), `observe` (per-lane sinks, see
+    /// [`ServiceConfig::observe`]) and `state_path` (lanes never touch
+    /// disk; the service persists through [`LaunchService::save_state`]).
+    pub runtime: RuntimeConfig,
+    /// When `true`, every lane gets its own tenant-stamped event sink and
+    /// [`LaunchService::stream_events`] returns per-stream traces. Off by
+    /// default — the unobserved path allocates nothing.
+    pub observe: bool,
+    /// When set, [`LaunchService::save_state`] persists the multi-tenant
+    /// state (v3 format) here, and construction warm-restores from it.
+    pub state_path: Option<PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 4,
+            queue_capacity: 64,
+            runtime: RuntimeConfig::default(),
+            observe: false,
+            state_path: None,
+        }
+    }
+}
+
+struct Job {
+    key: StreamKey,
+    args: Args,
+    total_units: u64,
+    opts: LaunchOptions,
+    ticket: Arc<TicketState>,
+}
+
+struct Shard {
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    lanes: Mutex<HashMap<StreamKey, Lane>>,
+}
+
+/// One stream's private execution state: its own runtime on its own
+/// device, its own event sink, its own selection digest.
+struct Lane {
+    runtime: Runtime,
+    sink: Option<Arc<EventSink>>,
+    launches: u64,
+    digest: u64,
+}
+
+struct Inner {
+    factory: DeviceFactory,
+    config: ServiceConfig,
+    registry: Mutex<KernelPool>,
+    shards: Box<[Shard]>,
+    cache: ShardedCache,
+    /// State loaded from `config.state_path` at construction; new lanes
+    /// warm-restore their stream's slice of it.
+    restored: Mutex<RuntimeState>,
+    state_error: Mutex<Option<StateError>>,
+    shutdown: AtomicBool,
+    /// Service-level admission counters (always on; counters only).
+    sink: EventSink,
+}
+
+/// An `Arc`-shareable, multi-tenant launch service. See the module docs
+/// for the architecture; `DESIGN.md` §4.16 for the determinism contract.
+///
+/// ```
+/// use std::sync::Arc;
+/// use dysel_core::{LaunchOptions, LaunchService, ServiceConfig, TenantId};
+/// use dysel_device::{CpuConfig, CpuDevice};
+/// use dysel_kernel::{Args, Buffer, KernelIr, Space, Variant, VariantMeta};
+///
+/// let svc = Arc::new(LaunchService::with_factory(
+///     || Box::new(CpuDevice::new(CpuConfig::noiseless())),
+///     ServiceConfig::default(),
+/// ));
+/// svc.register(
+///     "double",
+///     [Variant::from_fn(
+///         VariantMeta::new("v0", KernelIr::regular(vec![0])),
+///         |ctx, args| {
+///             for u in ctx.units().iter() {
+///                 args.f32_mut(0).unwrap()[u as usize] = 2.0 * u as f32;
+///             }
+///         },
+///     )],
+/// );
+/// let mut args = Args::new();
+/// args.push(Buffer::f32("out", vec![0.0; 256], Space::Global));
+/// let ticket = svc
+///     .submit(TenantId(1), "double", args, 256, &LaunchOptions::new())
+///     .unwrap();
+/// let (args, report) = ticket.wait();
+/// assert_eq!(report.unwrap().tenant, TenantId(1));
+/// assert_eq!(args.f32(0).unwrap()[3], 6.0);
+/// ```
+pub struct LaunchService {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for LaunchService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LaunchService")
+            .field("shards", &self.inner.shards.len())
+            .field("queue_capacity", &self.inner.config.queue_capacity)
+            .field("streams", &self.inner.cache.len())
+            .finish()
+    }
+}
+
+impl LaunchService {
+    /// A service whose lanes draw devices from `factory`.
+    pub fn new(factory: DeviceFactory, config: ServiceConfig) -> Self {
+        let shards = config.shards.max(1);
+        let mut restored = RuntimeState::default();
+        let mut state_error = None;
+        if let Some(path) = &config.state_path {
+            if path.exists() {
+                match persist::load(path) {
+                    Ok(state) => restored = state,
+                    Err(e) => state_error = Some(e),
+                }
+            }
+        }
+        let cache = ShardedCache::new(shards);
+        seed_cache(&cache, &restored);
+        let inner = Arc::new(Inner {
+            factory,
+            config,
+            registry: Mutex::new(KernelPool::new()),
+            shards: (0..shards)
+                .map(|_| Shard {
+                    queue: Mutex::new(VecDeque::new()),
+                    cv: Condvar::new(),
+                    lanes: Mutex::new(HashMap::new()),
+                })
+                .collect(),
+            cache,
+            restored: Mutex::new(restored),
+            state_error: Mutex::new(state_error),
+            shutdown: AtomicBool::new(false),
+            sink: EventSink::new(),
+        });
+        let workers = (0..shards)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("dysel-shard-{i}"))
+                    .spawn(move || worker_loop(&inner, i))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        LaunchService { inner, workers }
+    }
+
+    /// Convenience constructor taking a plain closure factory.
+    pub fn with_factory(
+        factory: impl Fn() -> Box<dyn Device> + Send + Sync + 'static,
+        config: ServiceConfig,
+    ) -> Self {
+        LaunchService::new(Arc::new(factory), config)
+    }
+
+    /// Registers a candidate variant set, shared by every tenant. Lanes
+    /// clone the set when their stream first launches; register before
+    /// submitting — later additions only affect streams not yet started.
+    pub fn register(
+        &self,
+        signature: impl Into<String>,
+        variants: impl IntoIterator<Item = Variant>,
+    ) {
+        lock(&self.inner.registry).add_kernels(signature, variants)
+    }
+
+    /// Submits one launch for the `(tenant, signature)` stream.
+    ///
+    /// Accepted submissions return a [`Ticket`]; the launch executes on
+    /// the stream's shard in submission order. A full shard queue returns
+    /// [`SubmitError::Busy`] (nothing enqueued, buffers returned); an
+    /// unregistered signature or a shutdown returns
+    /// [`SubmitError::Rejected`].
+    pub fn submit(
+        &self,
+        tenant: TenantId,
+        signature: &str,
+        args: Args,
+        total_units: u64,
+        opts: &LaunchOptions,
+    ) -> Result<Ticket, SubmitError> {
+        let key = StreamKey::new(tenant, signature);
+        let inner = &self.inner;
+        if inner.shutdown.load(Ordering::SeqCst) {
+            inner.sink.count(names::SERVICE_REJECTS, 1);
+            return Err(SubmitError::Rejected {
+                key,
+                reason: RejectReason::ShuttingDown,
+                args,
+            });
+        }
+        if !lock(&inner.registry).contains(signature) {
+            inner.sink.count(names::SERVICE_REJECTS, 1);
+            return Err(SubmitError::Rejected {
+                key,
+                reason: RejectReason::UnknownSignature,
+                args,
+            });
+        }
+        let shard_idx = (key.hash64() % inner.shards.len() as u64) as usize;
+        let shard = &inner.shards[shard_idx];
+        let capacity = inner.config.queue_capacity.max(1);
+        let state = Arc::new(TicketState {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        {
+            let mut queue = lock(&shard.queue);
+            if queue.len() >= capacity {
+                drop(queue);
+                inner.sink.count(names::SERVICE_BUSY, 1);
+                return Err(SubmitError::Busy {
+                    key,
+                    shard: shard_idx,
+                    capacity,
+                    args,
+                });
+            }
+            queue.push_back(Job {
+                key,
+                args,
+                total_units,
+                opts: opts.clone(),
+                ticket: state.clone(),
+            });
+        }
+        inner.sink.count(names::SERVICE_SUBMITS, 1);
+        shard.cv.notify_one();
+        Ok(Ticket { state })
+    }
+
+    /// Stops admitting work. Already-queued launches still execute;
+    /// workers exit once their queue drains (joined on drop). Subsequent
+    /// submissions answer [`SubmitError::Rejected`].
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        for shard in self.inner.shards.iter() {
+            shard.cv.notify_all();
+        }
+    }
+
+    /// The authoritative selection/quarantine cache.
+    pub fn cache(&self) -> &ShardedCache {
+        &self.inner.cache
+    }
+
+    /// Per-stream FNV-1a digest over the `(signature, selected name)`
+    /// sequence of the stream's completed launches, in execution order —
+    /// directly comparable to a serial replay's digest. `None` if the
+    /// stream never launched.
+    pub fn stream_digest(&self, tenant: TenantId, signature: &str) -> Option<u64> {
+        let key = StreamKey::new(tenant, signature);
+        let shard = &self.inner.shards[(key.hash64() % self.inner.shards.len() as u64) as usize];
+        lock(&shard.lanes).get(&key).map(|lane| lane.digest)
+    }
+
+    /// The stream's event log (empty unless [`ServiceConfig::observe`]).
+    /// Sequence numbers and virtual times are the stream's own — identical
+    /// to a serial replay of the same submissions on a plain runtime.
+    pub fn stream_events(&self, tenant: TenantId, signature: &str) -> Vec<Event> {
+        let key = StreamKey::new(tenant, signature);
+        let shard = &self.inner.shards[(key.hash64() % self.inner.shards.len() as u64) as usize];
+        lock(&shard.lanes)
+            .get(&key)
+            .and_then(|lane| lane.sink.as_ref().map(|s| s.events()))
+            .unwrap_or_default()
+    }
+
+    /// The global selection digest: every stream's digest folded in
+    /// canonical `(tenant, signature)` order. Independent of client-thread
+    /// count and shard interleaving — the value `experiments --clients N`
+    /// prints, equal for every N.
+    pub fn digest(&self) -> u64 {
+        let mut streams: BTreeMap<StreamKey, u64> = BTreeMap::new();
+        for shard in self.inner.shards.iter() {
+            for (key, lane) in lock(&shard.lanes).iter() {
+                streams.insert(key.clone(), lane.digest);
+            }
+        }
+        let mut digest = FNV_OFFSET;
+        for (key, lane_digest) in streams {
+            fnv_fold(&mut digest, &key.tenant.0.to_le_bytes());
+            fnv_fold(&mut digest, key.signature.as_bytes());
+            fnv_fold(&mut digest, &lane_digest.to_le_bytes());
+        }
+        digest
+    }
+
+    /// Total launches completed across all streams.
+    pub fn launches(&self) -> u64 {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| lock(&s.lanes).values().map(|l| l.launches).sum::<u64>())
+            .sum()
+    }
+
+    /// Service-level admission metrics (submits, busy, rejects,
+    /// completed launches).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.sink.metrics_snapshot()
+    }
+
+    /// The typed error of the best-effort state load at construction, if
+    /// it failed (the service cold-started).
+    pub fn state_load_error(&self) -> Option<StateError> {
+        lock(&self.inner.state_error).clone()
+    }
+
+    /// The multi-tenant learned state as a value: tenant 0 in the flat
+    /// maps, every other tenant nested — snapshotted through the cache's
+    /// shard locks, so no half-applied launch can be observed.
+    pub fn export_state(&self) -> RuntimeState {
+        let mut state = RuntimeState::default();
+        for (key, entry) in self.inner.cache.snapshot() {
+            let (selections, quarantine, variant_counts) = if key.tenant.0 == 0 {
+                (
+                    &mut state.selections,
+                    &mut state.quarantine,
+                    &mut state.variant_counts,
+                )
+            } else {
+                let ts = state.tenants.entry(key.tenant.0).or_default();
+                (
+                    &mut ts.selections,
+                    &mut ts.quarantine,
+                    &mut ts.variant_counts,
+                )
+            };
+            if let Some(id) = entry.selection {
+                selections.insert(key.signature.clone(), id);
+                variant_counts.insert(key.signature.clone(), entry.variants);
+            }
+            if !entry.quarantine.is_empty() {
+                quarantine.insert(key.signature.clone(), entry.quarantine);
+            }
+        }
+        state.tenants.retain(|_, ts| !ts.is_empty());
+        state
+    }
+
+    /// Atomically persists [`LaunchService::export_state`] to the
+    /// configured [`ServiceConfig::state_path`]. Safe to call from any
+    /// thread while launches are in flight: the snapshot is taken through
+    /// the shard locks, between launches, never mid-launch.
+    ///
+    /// # Errors
+    ///
+    /// [`DyselError::State`] if no state path is configured or the write
+    /// fails.
+    pub fn save_state(&self) -> Result<(), DyselError> {
+        let path = self
+            .inner
+            .config
+            .state_path
+            .as_deref()
+            .ok_or(StateError::NoStatePath)?;
+        persist::save(&self.export_state(), path)?;
+        Ok(())
+    }
+}
+
+impl Drop for LaunchService {
+    fn drop(&mut self) {
+        self.shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Seeds the cache from a loaded state file: quarantine first, then warm
+/// restores (which therefore cannot resurrect a quarantined winner).
+fn seed_cache(cache: &ShardedCache, state: &RuntimeState) {
+    let seed_tenant = |tenant: u32, ts: &TenantState| {
+        for (sig, entries) in &ts.quarantine {
+            let key = StreamKey::new(TenantId(tenant), sig.clone());
+            for (id, reason) in entries {
+                cache.quarantine(&key, *id, *reason);
+            }
+        }
+        for (sig, id) in &ts.selections {
+            let key = StreamKey::new(TenantId(tenant), sig.clone());
+            let count = ts.variant_counts.get(sig).copied().unwrap_or(0);
+            cache.warm_restore(&key, *id, count);
+        }
+    };
+    seed_tenant(
+        0,
+        &TenantState {
+            selections: state.selections.clone(),
+            quarantine: state.quarantine.clone(),
+            variant_counts: state.variant_counts.clone(),
+        },
+    );
+    for (tenant, ts) in &state.tenants {
+        seed_tenant(*tenant, ts);
+    }
+}
+
+fn worker_loop(inner: &Inner, shard_idx: usize) {
+    let shard = &inner.shards[shard_idx];
+    loop {
+        let job = {
+            let mut queue = lock(&shard.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shard.cv.wait(queue).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        match job {
+            Some(job) => process(inner, shard, job),
+            None => return,
+        }
+    }
+}
+
+/// Executes one launch on its stream's lane. The lanes lock is held for
+/// the whole launch: this is the serialization point that keeps one
+/// stream's profiling, pricing and event emission in order, and the lock
+/// `save_state`-style introspection synchronizes with.
+fn process(inner: &Inner, shard: &Shard, job: Job) {
+    let Job {
+        key,
+        mut args,
+        total_units,
+        opts,
+        ticket,
+    } = job;
+    let mut lanes = lock(&shard.lanes);
+    let lane = match lanes.entry(key.clone()) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(e) => e.insert(new_lane(inner, &key)),
+    };
+    let result = lane
+        .runtime
+        .launch(&key.signature, &mut args, total_units, &opts);
+    lane.launches += 1;
+    if let Ok(report) = &result {
+        fnv_fold(&mut lane.digest, report.signature.as_bytes());
+        fnv_fold(&mut lane.digest, report.selected_name.as_bytes());
+        let variants = lock(&inner.registry)
+            .variants(&key.signature)
+            .map(|v| v.len() as u32)
+            .unwrap_or(0);
+        inner.cache.insert(&key, report.selected, variants);
+    }
+    // Sync quarantine on every outcome — a failed launch may be exactly
+    // the one that exhausted the pool.
+    for (id, reason) in lane.runtime.quarantined(&key.signature).to_vec() {
+        inner.cache.quarantine(&key, id, reason);
+    }
+    drop(lanes);
+    inner.sink.count(names::SERVICE_COMPLETED, 1);
+    let mut slot = lock(&ticket.slot);
+    *slot = Some((args, result));
+    ticket.cv.notify_all();
+}
+
+/// Materializes a stream's lane: private device, private runtime (tenant
+/// stamped into its config), private tenant-stamped sink, variants cloned
+/// from the shared registry, learned state warm-restored from the
+/// service's loaded snapshot.
+fn new_lane(inner: &Inner, key: &StreamKey) -> Lane {
+    let sink = inner
+        .config
+        .observe
+        .then(|| Arc::new(EventSink::with_tenant(key.tenant.0)));
+    let mut config = inner.config.runtime.clone();
+    config.tenant = key.tenant;
+    config.state_path = None;
+    config.observe = sink.clone();
+    // Lane determinism: buffer addresses must be a pure function of this
+    // stream's own launch history, not of which other lanes allocated
+    // concurrently (the device cache models price addresses).
+    config.private_addrs = true;
+    let mut runtime = Runtime::with_config((inner.factory)(), config);
+    if let Ok(variants) = lock(&inner.registry).variants(&key.signature) {
+        runtime.add_kernels(&key.signature, variants.to_vec());
+    }
+    let restored = lock(&inner.restored);
+    let slice = stream_slice(&restored, key);
+    drop(restored);
+    if !slice.is_empty() {
+        runtime.import_state(&slice);
+    }
+    Lane {
+        runtime,
+        sink,
+        launches: 0,
+        digest: FNV_OFFSET,
+    }
+}
+
+/// The single-stream slice of a loaded multi-tenant state, as the flat
+/// (tenant-0-shaped) state a lane runtime imports.
+fn stream_slice(state: &RuntimeState, key: &StreamKey) -> RuntimeState {
+    let (selections, quarantine, variant_counts) = if key.tenant.0 == 0 {
+        (&state.selections, &state.quarantine, &state.variant_counts)
+    } else {
+        match state.tenants.get(&key.tenant.0) {
+            Some(ts) => (&ts.selections, &ts.quarantine, &ts.variant_counts),
+            None => return RuntimeState::default(),
+        }
+    };
+    let mut out = RuntimeState::default();
+    if let Some(id) = selections.get(&key.signature) {
+        out.selections.insert(key.signature.clone(), *id);
+    }
+    if let Some(entries) = quarantine.get(&key.signature) {
+        out.quarantine
+            .insert(key.signature.clone(), entries.clone());
+    }
+    if let Some(count) = variant_counts.get(&key.signature) {
+        out.variant_counts.insert(key.signature.clone(), *count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysel_device::{CpuConfig, CpuDevice};
+    use dysel_kernel::{Buffer, KernelIr, Space, VariantMeta};
+
+    fn writer(name: &str, cost: u64) -> Variant {
+        Variant::from_fn(
+            VariantMeta::new(name, KernelIr::regular(vec![0])),
+            move |ctx, args| {
+                for u in ctx.units().iter() {
+                    args.f32_mut(0).unwrap()[u as usize] = u as f32 + 1.0;
+                    ctx.vector_compute(cost, 8, 8, 1);
+                }
+            },
+        )
+    }
+
+    fn fresh_args(n: usize) -> Args {
+        let mut a = Args::new();
+        a.push(Buffer::f32("out", vec![0.0; n], Space::Global));
+        a
+    }
+
+    fn service(config: ServiceConfig) -> LaunchService {
+        let svc = LaunchService::with_factory(
+            || Box::new(CpuDevice::new(CpuConfig::noiseless())),
+            config,
+        );
+        svc.register("pair", [writer("slow", 9), writer("fast", 3)]);
+        svc
+    }
+
+    #[test]
+    fn submit_executes_and_reports_tenant() {
+        let svc = service(ServiceConfig::default());
+        let opts = LaunchOptions::new();
+        let t = svc
+            .submit(TenantId(3), "pair", fresh_args(4096), 4096, &opts)
+            .unwrap();
+        let (args, report) = t.wait();
+        let report = report.unwrap();
+        assert_eq!(report.tenant, TenantId(3));
+        assert_eq!(args.f32(0).unwrap()[7], 8.0);
+        assert_eq!(svc.launches(), 1);
+        let entry = svc
+            .cache()
+            .get(&StreamKey::new(TenantId(3), "pair"))
+            .unwrap();
+        assert_eq!(entry.selection, Some(report.selected));
+        assert_eq!(entry.variants, 2);
+        assert_eq!(svc.metrics().counter(names::SERVICE_SUBMITS), 1);
+        assert_eq!(svc.metrics().counter(names::SERVICE_COMPLETED), 1);
+    }
+
+    #[test]
+    fn unknown_signature_is_rejected_with_args_back() {
+        let svc = service(ServiceConfig::default());
+        let err = svc
+            .submit(TenantId(0), "nope", fresh_args(8), 8, &LaunchOptions::new())
+            .unwrap_err();
+        match &err {
+            SubmitError::Rejected { reason, .. } => {
+                assert_eq!(*reason, RejectReason::UnknownSignature)
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        assert_eq!(err.into_args().len(), 1);
+        assert_eq!(svc.metrics().counter(names::SERVICE_REJECTS), 1);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submissions() {
+        let svc = service(ServiceConfig::default());
+        svc.shutdown();
+        let err = svc
+            .submit(TenantId(0), "pair", fresh_args(8), 8, &LaunchOptions::new())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SubmitError::Rejected {
+                reason: RejectReason::ShuttingDown,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn tenants_are_isolated_in_the_cache() {
+        let svc = service(ServiceConfig::default());
+        let opts = LaunchOptions::new();
+        for t in [0u32, 1] {
+            svc.submit(TenantId(t), "pair", fresh_args(4096), 4096, &opts)
+                .unwrap()
+                .wait()
+                .1
+                .unwrap();
+        }
+        let a = StreamKey::new(TenantId(0), "pair");
+        let b = StreamKey::new(TenantId(1), "pair");
+        svc.cache()
+            .quarantine(&a, VariantId(0), QuarantineReason::LaunchFailed);
+        assert_eq!(svc.cache().get(&b).unwrap().quarantine, vec![]);
+        let state = svc.export_state();
+        assert!(state.selections.contains_key("pair"));
+        assert!(state.tenants[&1].selections.contains_key("pair"));
+    }
+
+    #[test]
+    fn cache_never_resurrects_quarantined_variants() {
+        let cache = ShardedCache::new(3);
+        let key = StreamKey::new(TenantId(2), "k");
+        cache.insert(&key, VariantId(1), 3);
+        cache.quarantine(&key, VariantId(1), QuarantineReason::WrongOutput);
+        let e = cache.get(&key).unwrap();
+        assert_eq!(e.selection, None, "quarantine must drop the selection");
+        assert!(!cache.warm_restore(&key, VariantId(1), 3));
+        assert_eq!(cache.get(&key).unwrap().selection, None);
+        assert!(cache.warm_restore(&key, VariantId(0), 3));
+        cache.invalidate(&key);
+        let e = cache.get(&key).unwrap();
+        assert_eq!(e.selection, None);
+        assert_eq!(e.quarantine.len(), 1, "invalidate must keep quarantine");
+    }
+}

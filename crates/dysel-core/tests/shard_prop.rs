@@ -1,0 +1,239 @@
+//! Randomized tests of the [`ShardedCache`] invariants against a
+//! single-map sequential model.
+//!
+//! The cache is the service's authoritative selection/quarantine view,
+//! updated concurrently from every shard worker. These tests drive random
+//! operation sequences — sequentially against a plain-`BTreeMap` model,
+//! and as random multi-threaded interleavings — and check the invariants
+//! the service relies on: no entry is ever lost, a quarantined variant is
+//! never resurrected, and per-key results agree with the model whenever
+//! an order is defined.
+//!
+//! Gated behind the dep-less `proptest` cargo feature and driven by the
+//! in-tree [`XorShiftRng`]: `cargo test -p dysel-core --features proptest`.
+#![cfg(feature = "proptest")]
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dysel_core::{CacheEntry, QuarantineReason, ShardedCache, StreamKey, TenantId};
+use dysel_kernel::{VariantId, XorShiftRng};
+
+const REASONS: [QuarantineReason; 4] = [
+    QuarantineReason::LaunchFailed,
+    QuarantineReason::DeadlineExceeded,
+    QuarantineReason::WrongOutput,
+    QuarantineReason::MetadataMismatch,
+];
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Op {
+    Insert(VariantId, u32),
+    Quarantine(VariantId, QuarantineReason),
+    WarmRestore(VariantId, u32),
+    Invalidate,
+}
+
+fn random_op(rng: &mut XorShiftRng) -> Op {
+    let id = VariantId(rng.gen_range_usize(0, 4));
+    match rng.gen_range_usize(0, 8) {
+        0 | 1 | 2 => Op::Insert(id, rng.gen_range_u64(1, 8) as u32),
+        3 | 4 => Op::Quarantine(id, REASONS[rng.gen_range_usize(0, REASONS.len())]),
+        5 | 6 => Op::WarmRestore(id, rng.gen_range_u64(1, 8) as u32),
+        _ => Op::Invalidate,
+    }
+}
+
+fn random_key(rng: &mut XorShiftRng) -> StreamKey {
+    StreamKey::new(
+        TenantId(rng.gen_range_u64(0, 3) as u32),
+        format!("sig-{}", rng.gen_range_usize(0, 5)),
+    )
+}
+
+fn apply_cache(cache: &ShardedCache, key: &StreamKey, op: Op) {
+    match op {
+        Op::Insert(id, n) => cache.insert(key, id, n),
+        Op::Quarantine(id, reason) => cache.quarantine(key, id, reason),
+        Op::WarmRestore(id, n) => {
+            cache.warm_restore(key, id, n);
+        }
+        Op::Invalidate => cache.invalidate(key),
+    }
+}
+
+/// The sequential model: one plain map, the documented semantics applied
+/// literally.
+fn apply_model(model: &mut BTreeMap<StreamKey, CacheEntry>, key: &StreamKey, op: Op) {
+    let e = model.entry(key.clone()).or_default();
+    match op {
+        Op::Insert(id, n) => {
+            if !e.quarantine.iter().any(|(q, _)| *q == id) {
+                e.selection = Some(id);
+                e.variants = n;
+            }
+        }
+        Op::Quarantine(id, reason) => {
+            if !e.quarantine.iter().any(|(q, _)| *q == id) {
+                e.quarantine.push((id, reason));
+            }
+            if e.selection == Some(id) {
+                e.selection = None;
+            }
+        }
+        Op::WarmRestore(id, n) => {
+            if !e.quarantine.iter().any(|(q, _)| *q == id) {
+                e.selection = Some(id);
+                e.variants = n;
+            }
+        }
+        Op::Invalidate => {
+            e.selection = None;
+            e.variants = 0;
+        }
+    }
+}
+
+/// For ANY sequential operation sequence over random keys spanning every
+/// shard: the cache agrees exactly with the single-map model.
+#[test]
+fn sequential_operations_agree_with_the_model() {
+    for case in 0..32 {
+        let mut rng = XorShiftRng::seed_from_u64(0x5A4D_0000 + case);
+        let cache = ShardedCache::new(rng.gen_range_usize(1, 6));
+        let mut model: BTreeMap<StreamKey, CacheEntry> = BTreeMap::new();
+        for _ in 0..rng.gen_range_usize(20, 200) {
+            let key = random_key(&mut rng);
+            let op = random_op(&mut rng);
+            apply_cache(&cache, &key, op);
+            apply_model(&mut model, &key, op);
+        }
+        assert_eq!(cache.snapshot(), model, "case {case}");
+        assert_eq!(cache.len(), model.len(), "case {case}");
+    }
+}
+
+/// For ANY random multi-threaded interleaving of operations: no entry is
+/// ever lost, no quarantined variant is ever resurrected, quarantine sets
+/// are exactly the union of what was requested, and per-key state matches
+/// a sequential replay wherever only one thread touched the key.
+#[test]
+fn concurrent_interleavings_preserve_invariants() {
+    for case in 0..12 {
+        let mut rng = XorShiftRng::seed_from_u64(0xC0_4CACE + case);
+        let threads = rng.gen_range_usize(2, 5);
+        let cache = Arc::new(ShardedCache::new(rng.gen_range_usize(1, 5)));
+        // Pre-generate each thread's private schedule so the run itself
+        // does no locking beyond the cache's own.
+        let schedules: Vec<Vec<(StreamKey, Op)>> = (0..threads)
+            .map(|_| {
+                (0..rng.gen_range_usize(30, 120))
+                    .map(|_| (random_key(&mut rng), random_op(&mut rng)))
+                    .collect()
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for schedule in &schedules {
+                let cache = cache.clone();
+                scope.spawn(move || {
+                    for (key, op) in schedule {
+                        apply_cache(&cache, key, *op);
+                    }
+                });
+            }
+        });
+        let snapshot = cache.snapshot();
+
+        // Invariant: no lost entries — every key any thread touched is
+        // present in the final snapshot.
+        let mut touched: BTreeMap<StreamKey, Vec<Op>> = BTreeMap::new();
+        for (key, op) in schedules.iter().flatten() {
+            touched.entry(key.clone()).or_default().push(*op);
+        }
+        for key in touched.keys() {
+            assert!(snapshot.contains_key(key), "case {case}: lost {key:?}");
+        }
+        assert_eq!(snapshot.len(), touched.len(), "case {case}");
+
+        for (key, ops) in &touched {
+            let entry = &snapshot[key];
+            // Invariant: quarantine is exactly the requested set (first
+            // reason per variant wins under *some* order), and a
+            // quarantined variant is never the selection.
+            let mut requested: Vec<VariantId> = ops
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Quarantine(id, _) => Some(*id),
+                    _ => None,
+                })
+                .collect();
+            requested.sort();
+            requested.dedup();
+            let mut got: Vec<VariantId> = entry.quarantine.iter().map(|(id, _)| *id).collect();
+            got.sort();
+            assert_eq!(got, requested, "case {case}: quarantine set on {key:?}");
+            if let Some(sel) = entry.selection {
+                assert!(
+                    !requested.contains(&sel),
+                    "case {case}: quarantined {sel} resurrected as selection on {key:?}"
+                );
+                // The selection must be one some op actually proposed.
+                assert!(
+                    ops.iter().any(|op| matches!(op,
+                        Op::Insert(id, _) | Op::WarmRestore(id, _) if *id == sel)),
+                    "case {case}: phantom selection {sel} on {key:?}"
+                );
+            }
+            // Single-writer keys have a defined order: replay them on the
+            // model and demand exact agreement.
+            let writers = schedules
+                .iter()
+                .filter(|s| s.iter().any(|(k, _)| k == key))
+                .count();
+            if writers == 1 {
+                let mut model = BTreeMap::new();
+                for op in ops {
+                    apply_model(&mut model, key, *op);
+                }
+                assert_eq!(entry, &model[key], "case {case}: single-writer {key:?}");
+            }
+        }
+    }
+}
+
+/// Quarantine is permanent under ANY later operation mix: once a variant
+/// is quarantined for a key, no insert-free sequence (warm restores and
+/// invalidates, from any number of threads) ever re-selects it.
+#[test]
+fn quarantine_survives_restore_storms() {
+    for case in 0..8 {
+        let mut rng = XorShiftRng::seed_from_u64(0xBAD_CAFE + case);
+        let cache = Arc::new(ShardedCache::new(rng.gen_range_usize(1, 4)));
+        let key = StreamKey::new(TenantId(1), "victim");
+        let banned = VariantId(rng.gen_range_usize(0, 3));
+        cache.quarantine(&key, banned, QuarantineReason::WrongOutput);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cache = cache.clone();
+                let key = key.clone();
+                scope.spawn(move || {
+                    let mut rng = XorShiftRng::seed_from_u64((case << 8) | t);
+                    for _ in 0..200 {
+                        if rng.gen_range_usize(0, 4) == 0 {
+                            cache.invalidate(&key);
+                        } else {
+                            cache.warm_restore(&key, banned, 3);
+                        }
+                    }
+                });
+            }
+        });
+        let entry = cache.get(&key).expect("entry present");
+        assert_ne!(entry.selection, Some(banned), "case {case}");
+        assert_eq!(
+            entry.quarantine,
+            vec![(banned, QuarantineReason::WrongOutput)],
+            "case {case}"
+        );
+    }
+}

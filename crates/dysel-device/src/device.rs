@@ -270,7 +270,11 @@ impl BudgetPolicy {
 /// work-groups immediately (producing real output in `args`) and returns
 /// when, in virtual device time, the work would have started and finished.
 /// Streams are in-order; distinct streams share execution units.
-pub trait Device {
+///
+/// Devices are `Send`: the `LaunchService` moves each lane's device onto
+/// its shard worker thread. (They are deliberately not `Sync` — a device
+/// is always driven by exactly one runtime at a time.)
+pub trait Device: Send {
     /// Device family.
     fn kind(&self) -> DeviceKind;
 

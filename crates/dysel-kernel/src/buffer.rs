@@ -17,11 +17,52 @@ use crate::{KernelError, Space};
 /// Virtual-address bump allocator. Buffers never share cache lines.
 static NEXT_ADDR: AtomicU64 = AtomicU64::new(0x1000);
 
+// 256-byte alignment mirrors typical device allocator granularity and
+// keeps distinct buffers in distinct 128-byte coalescing segments.
+fn aligned_size(bytes: u64) -> u64 {
+    bytes.div_ceil(256).max(1) * 256
+}
+
 fn alloc_addr(bytes: u64) -> u64 {
-    // 256-byte alignment mirrors typical device allocator granularity and
-    // keeps distinct buffers in distinct 128-byte coalescing segments.
-    let sz = bytes.div_ceil(256).max(1) * 256;
-    NEXT_ADDR.fetch_add(sz, Ordering::Relaxed)
+    NEXT_ADDR.fetch_add(aligned_size(bytes), Ordering::Relaxed)
+}
+
+/// A private virtual-address space: the same bump allocation the global
+/// allocator performs, but owned by one caller instead of the process.
+///
+/// The device cache models hash buffer base addresses into lines and
+/// sets, so a launch's priced cost depends on where its buffers sit.
+/// With the process-global allocator, those addresses are a function of
+/// every allocation any thread has performed so far — harmless for a
+/// single-threaded run, but it makes one runtime's virtual timeline
+/// sensitive to unrelated concurrent allocations. Re-addressing a
+/// launch's buffers from a private `AddrSpace` (see
+/// [`Args::rebase_in`]) makes the timeline a pure function of that
+/// space's own allocation history, which is what lets a shared launch
+/// service replay bit-identically to a serial run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddrSpace {
+    next: u64,
+}
+
+impl AddrSpace {
+    /// A fresh address space, starting where the global allocator starts.
+    pub fn new() -> Self {
+        AddrSpace { next: 0x1000 }
+    }
+
+    /// Allocates `bytes` (256-byte aligned) and returns the base address.
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let addr = self.next;
+        self.next += aligned_size(bytes);
+        addr
+    }
+}
+
+impl Default for AddrSpace {
+    fn default() -> Self {
+        AddrSpace::new()
+    }
 }
 
 /// Element type tag of a [`Buffer`].
@@ -228,6 +269,21 @@ impl Buffer {
         b.addr = alloc_addr(b.size_bytes());
         b.name = format!("{}#sandbox", self.name);
         b
+    }
+
+    /// [`Buffer::sandbox_clone`], allocating from a private [`AddrSpace`]
+    /// instead of the process-global allocator.
+    pub fn sandbox_clone_in(&self, space: &mut AddrSpace) -> Buffer {
+        let mut b = self.clone();
+        b.addr = space.alloc(b.size_bytes());
+        b.name = format!("{}#sandbox", self.name);
+        b
+    }
+
+    /// Re-addresses this buffer from a private [`AddrSpace`]. Payload,
+    /// name and space binding are untouched.
+    pub fn rebase_in(&mut self, space: &mut AddrSpace) {
+        self.addr = space.alloc(self.size_bytes());
     }
 
     /// Swaps payload and address with another buffer (swap-based profiling).
@@ -946,6 +1002,33 @@ impl Args {
             out.bufs[i] = fresh;
         }
         Ok(out)
+    }
+
+    /// [`Args::sandbox_view`], drawing the sandbox copies' addresses from
+    /// a private [`AddrSpace`] instead of the process-global allocator.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an index in `sandbox_args` is out of range.
+    pub fn sandbox_view_in(
+        &self,
+        sandbox_args: &[usize],
+        space: &mut AddrSpace,
+    ) -> Result<Args, KernelError> {
+        let mut out = self.clone();
+        for &i in sandbox_args {
+            let fresh = out.buffer(i)?.sandbox_clone_in(space);
+            out.bufs[i] = fresh;
+        }
+        Ok(out)
+    }
+
+    /// Re-addresses every buffer, in argument order, from a private
+    /// [`AddrSpace`] (see [`AddrSpace`] for why). Payloads are untouched.
+    pub fn rebase_in(&mut self, space: &mut AddrSpace) {
+        for b in &mut self.bufs {
+            b.rebase_in(space);
+        }
     }
 
     /// Bytes of extra space a sandbox over `sandbox_args` would pin once

@@ -69,7 +69,7 @@ mod rng;
 mod space;
 mod trace;
 
-pub use buffer::{Args, Buffer, BufferData, ElemType};
+pub use buffer::{AddrSpace, Args, Buffer, BufferData, ElemType};
 pub use ctx::GroupCtx;
 pub use dirty::DirtyRanges;
 pub use error::KernelError;

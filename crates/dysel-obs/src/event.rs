@@ -111,6 +111,10 @@ pub struct Event {
     pub variant: String,
     /// Device stream the work ran on, if any.
     pub stream: Option<u32>,
+    /// Tenant the launch belongs to (`0` for single-tenant runtimes).
+    /// Usually stamped by the sink ([`EventSink::with_tenant`]) so every
+    /// emission site — runtime and device alike — attributes uniformly.
+    pub tenant: u32,
     /// Span start (or the instant, for point stages), in virtual cycles.
     pub start: u64,
     /// Span end, in virtual cycles. Equals `start` for point stages.
@@ -133,6 +137,7 @@ impl Event {
             signature: String::new(),
             variant: String::new(),
             stream: None,
+            tenant: 0,
             start: 0,
             end: 0,
             unit_lo: 0,
@@ -156,6 +161,13 @@ impl Event {
     /// Sets the device stream.
     pub fn stream(mut self, stream: u32) -> Self {
         self.stream = Some(stream);
+        self
+    }
+
+    /// Sets the tenant explicitly (sinks created via
+    /// [`EventSink::with_tenant`] stamp their default instead).
+    pub fn tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
         self
     }
 
@@ -209,12 +221,30 @@ struct Inner {
 #[derive(Debug, Default)]
 pub struct EventSink {
     inner: Mutex<Inner>,
+    /// Default tenant stamped onto every emitted event whose tenant is
+    /// still `0` — so multi-tenant services attribute device- and
+    /// runtime-level events without touching any emission site.
+    tenant: u32,
 }
 
 impl EventSink {
     /// An empty sink.
     pub fn new() -> Self {
         EventSink::default()
+    }
+
+    /// An empty sink that stamps `tenant` onto every emitted event (unless
+    /// the event already carries an explicit non-zero tenant).
+    pub fn with_tenant(tenant: u32) -> Self {
+        EventSink {
+            inner: Mutex::default(),
+            tenant,
+        }
+    }
+
+    /// The default tenant this sink stamps (zero for plain sinks).
+    pub fn tenant(&self) -> u32 {
+        self.tenant
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -225,6 +255,9 @@ impl EventSink {
     pub fn emit(&self, mut event: Event) {
         let mut inner = self.lock();
         event.seq = inner.events.len() as u64;
+        if event.tenant == 0 {
+            event.tenant = self.tenant;
+        }
         inner.events.push(event);
     }
 
@@ -300,6 +333,21 @@ mod tests {
         assert_eq!(sink.metrics_snapshot().counter("c"), 0);
         sink.emit(Event::new(Stage::Batch));
         assert_eq!(sink.events()[0].seq, 0);
+    }
+
+    #[test]
+    fn sink_stamps_its_default_tenant() {
+        let sink = EventSink::with_tenant(7);
+        assert_eq!(sink.tenant(), 7);
+        sink.emit(Event::new(Stage::Profile));
+        sink.emit(Event::new(Stage::Batch).tenant(3)); // explicit wins
+        let evs = sink.events();
+        assert_eq!(evs[0].tenant, 7);
+        assert_eq!(evs[1].tenant, 3);
+        // A plain sink leaves tenants at zero.
+        let plain = EventSink::new();
+        plain.emit(Event::new(Stage::Profile));
+        assert_eq!(plain.events()[0].tenant, 0);
     }
 
     #[test]

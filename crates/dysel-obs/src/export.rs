@@ -42,8 +42,9 @@ fn args_json(e: &Event) -> String {
 ///
 /// Span stages become `"ph":"X"` complete events with `ts`/`dur` in
 /// virtual cycles; point stages become `"ph":"i"` thread-scoped instants.
-/// `pid` is always 0 (one virtual device); `tid` is the device stream
-/// when known, else 0 — so per-stream activity lands on its own track.
+/// `pid` is the event's tenant (0 for single-tenant runtimes), so each
+/// tenant's activity lands in its own process group; `tid` is the device
+/// stream when known, else 0 — per-stream activity gets its own track.
 pub fn chrome_trace(events: &[Event]) -> String {
     let mut out = String::from("{\"traceEvents\":[\n");
     for (i, e) in events.iter().enumerate() {
@@ -60,20 +61,22 @@ pub fn chrome_trace(events: &[Event]) -> String {
         let tid = e.stream.unwrap_or(0);
         if e.stage.is_span() {
             out.push_str(&format!(
-                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{}}}",
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{}}}",
                 name,
                 cat,
                 e.start,
                 e.end.saturating_sub(e.start),
+                e.tenant,
                 tid,
                 args_json(e),
             ));
         } else {
             out.push_str(&format!(
-                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{}}}",
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{},\"tid\":{},\"args\":{}}}",
                 name,
                 cat,
                 e.start,
+                e.tenant,
                 tid,
                 args_json(e),
             ));
@@ -94,11 +97,12 @@ pub fn jsonl(events: &[Event]) -> String {
             None => "null".to_owned(),
         };
         out.push_str(&format!(
-            "{{\"seq\":{},\"stage\":\"{}\",\"signature\":\"{}\",\"variant\":\"{}\",\"stream\":{},\"start\":{},\"end\":{},\"units\":[{},{}],\"detail\":\"{}\"}}\n",
+            "{{\"seq\":{},\"stage\":\"{}\",\"signature\":\"{}\",\"variant\":\"{}\",\"tenant\":{},\"stream\":{},\"start\":{},\"end\":{},\"units\":[{},{}],\"detail\":\"{}\"}}\n",
             e.seq,
             e.stage.as_str(),
             esc(&e.signature),
             esc(&e.variant),
+            e.tenant,
             stream,
             e.start,
             e.end,
@@ -162,6 +166,15 @@ mod tests {
     fn empty_log_renders_valid_shells() {
         assert_eq!(chrome_trace(&[]), "{\"traceEvents\":[\n]}\n");
         assert_eq!(jsonl(&[]), "");
+    }
+
+    #[test]
+    fn tenant_becomes_pid_and_jsonl_field() {
+        let sink = EventSink::with_tenant(5);
+        sink.emit(Event::new(Stage::Profile).variant("v"));
+        let evs = sink.events();
+        assert!(chrome_trace(&evs).contains("\"pid\":5"));
+        assert!(jsonl(&evs).contains("\"tenant\":5"));
     }
 
     #[test]

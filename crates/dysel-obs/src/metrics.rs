@@ -45,6 +45,15 @@ pub mod names {
     /// Prefix of the per-variant profiling-cycle histograms; full names
     /// are `dysel_profile_cycles/<signature>/<variant>`.
     pub const PROFILE_CYCLES: &str = "dysel_profile_cycles";
+    /// Launch submissions accepted by a `LaunchService` shard queue.
+    pub const SERVICE_SUBMITS: &str = "dysel_service_submits_total";
+    /// Submissions pushed back with typed `Busy` (shard queue full).
+    pub const SERVICE_BUSY: &str = "dysel_service_busy_total";
+    /// Submissions refused with typed `Rejected` (unknown signature or
+    /// shutdown in progress).
+    pub const SERVICE_REJECTS: &str = "dysel_service_rejects_total";
+    /// Launches a `LaunchService` shard worker completed (ok or error).
+    pub const SERVICE_COMPLETED: &str = "dysel_service_completed_total";
 }
 
 /// Bucket count: value `0` plus one bucket per possible bit length of a

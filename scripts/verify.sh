@@ -106,6 +106,16 @@ grep "^run summary" /tmp/dysel-verify-corrupt.txt | grep -vq " profiled=0 "
 rm -f "$state"
 echo "    cold-started with a warning"
 
+echo "==> service stress: --clients 8 digest must equal --clients 1"
+"$bin" --clients 1 --tenants 2 | grep "^service summary" > /tmp/dysel-verify-svc1.txt
+"$bin" --clients 8 --tenants 2 | grep "^service summary" > /tmp/dysel-verify-svc8.txt
+svc1=$(grep -o "digest=[0-9a-f]*" /tmp/dysel-verify-svc1.txt)
+svc8=$(grep -o "digest=[0-9a-f]*" /tmp/dysel-verify-svc8.txt)
+grep -q " errors=0 " /tmp/dysel-verify-svc1.txt
+grep -q " errors=0 " /tmp/dysel-verify-svc8.txt
+test -n "$svc1" && test "$svc1" = "$svc8"
+echo "    concurrent selections identical ($svc8)"
+
 echo "==> perf trajectory: full experiments suite vs BENCH_baseline.json"
 # Hard gate: digest drift fails immediately; a >10% wall-clock overrun is
 # re-measured once (shared-VM noise) and fails only if it reproduces.

@@ -25,7 +25,7 @@
 //! | [`kernel`] | programming-model substrate: buffers, kernels, traces, IR |
 //! | [`device`] | deterministic CPU & GPU timing models (virtual time) |
 //! | [`analysis`] | safe point / uniform workload / side effect analyses |
-//! | [`core`] | the DySel runtime: productive profiling, sync/async flows |
+//! | [`core`] | the DySel runtime: productive profiling, sync/async flows, multi-tenant launch service |
 //! | [`workloads`] | sgemm, spmv, stencil, cutcp, kmeans, particle filter, histogram |
 //! | [`baselines`] | LC scheduling, PORPLE-like placement, heuristics, oracle |
 //! | [`verify`] | static kernel-variant verifier: disjointness solver, lints |

@@ -5,10 +5,12 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use dysel::core::{
-    DyselError, LaunchOptions, LaunchReport, QuarantineReason, Runtime, RuntimeConfig, SkipReason,
-    StateError,
+    DyselError, LaunchOptions, LaunchReport, LaunchService, QuarantineReason, Runtime,
+    RuntimeConfig, ServiceConfig, SkipReason, StateError, TenantId,
 };
 use dysel::device::{CpuConfig, CpuDevice, Device, FaultKind, FaultPlan, FaultRule};
 use dysel::kernel::{
@@ -262,4 +264,153 @@ fn missing_file_is_a_plain_cold_start() {
     let rt = runtime(None, config(&path));
     assert!(rt.state_load_error().is_none());
     assert!(!path.exists());
+}
+
+fn storm_service(path: &Path) -> LaunchService {
+    let service = LaunchService::with_factory(
+        || Box::new(CpuDevice::new(CpuConfig::noiseless())),
+        ServiceConfig {
+            shards: 2,
+            runtime: RuntimeConfig {
+                profile_threshold_groups: 16,
+                ..RuntimeConfig::default()
+            },
+            state_path: Some(path.to_path_buf()),
+            ..ServiceConfig::default()
+        },
+    );
+    service.register(
+        "triple",
+        [
+            writer("a-slow", 12),
+            writer("b-mid", 8),
+            writer("c-fast", 4),
+        ],
+    );
+    service
+}
+
+/// The save-during-storm regression: a shared handle used to race
+/// `save_state` against in-flight launches. The service snapshots through
+/// its shard locks and writes atomically, so every intermediate file —
+/// sampled continuously while three tenants submit from three threads —
+/// must decode cleanly, and the final file must hold every tenant's
+/// learned selection.
+#[test]
+fn service_save_during_submission_storm_never_tears() {
+    let path = temp_path("storm");
+    let service = Arc::new(storm_service(&path));
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let saver = {
+            let service = service.clone();
+            let (stop, path) = (&stop, path.as_path());
+            scope.spawn(move || {
+                // A throwaway runtime is the decoder: `load_state` fails
+                // typed on any torn or corrupt file.
+                let mut rt = runtime(None, config(path));
+                let mut decoded = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    service.save_state().expect("mid-storm save failed");
+                    rt.load_state().expect("mid-storm state file is torn");
+                    decoded += 1;
+                }
+                decoded
+            })
+        };
+        for tenant in [0u32, 1, 2] {
+            let service = service.clone();
+            scope.spawn(move || {
+                let opts = LaunchOptions::new();
+                for _ in 0..8 {
+                    let mut args = fresh_args();
+                    let ticket = loop {
+                        match service.submit(TenantId(tenant), "triple", args, N, &opts) {
+                            Ok(t) => break t,
+                            Err(e) => {
+                                args = e.into_args();
+                                std::thread::yield_now();
+                            }
+                        }
+                    };
+                    let (out, report) = ticket.wait();
+                    let report = report.expect("storm launch failed");
+                    assert_eq!(report.tenant, TenantId(tenant));
+                    assert_eq!(out_bits(&out)[7], (2.0f32 * 7.0 + 1.0).to_bits());
+                }
+            });
+        }
+        // Let the clients finish first, then stop the saver; the scope
+        // joins the rest.
+        while service.launches() < 24 {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::SeqCst);
+        assert!(saver.join().unwrap() > 0, "the saver never ran");
+    });
+    // The final save reflects every tenant: tenant 0 in the flat maps,
+    // tenants 1 and 2 in the v3 nested section — and re-saving is a
+    // fixed point (the encoding is canonical).
+    service.save_state().unwrap();
+    let bytes = fs::read(&path).unwrap();
+    let mut rt = runtime(None, config(&path));
+    let state = rt.load_state().unwrap();
+    let winner = service
+        .cache()
+        .get(&dysel::core::StreamKey::new(TenantId(0), "triple"))
+        .unwrap()
+        .selection
+        .unwrap();
+    assert_eq!(state.selections.get("triple"), Some(&winner));
+    for tenant in [1u32, 2] {
+        assert_eq!(
+            state.tenants[&tenant].selections.get("triple"),
+            Some(&winner),
+            "tenant {tenant} selection missing from the nested section"
+        );
+    }
+    service.save_state().unwrap();
+    assert_eq!(fs::read(&path).unwrap(), bytes, "re-save diverged");
+    let _ = fs::remove_file(&path);
+}
+
+/// A fresh service warm-restores every tenant's stream from the v3 file:
+/// no launch micro-profiles again, winners match, and tenant isolation
+/// survives the round trip.
+#[test]
+fn service_state_round_trips_all_tenants_warm() {
+    let path = temp_path("service-warm");
+    let opts = LaunchOptions::new();
+    {
+        let service = storm_service(&path);
+        for tenant in [0u32, 5] {
+            let (_, report) = service
+                .submit(TenantId(tenant), "triple", fresh_args(), N, &opts)
+                .unwrap()
+                .wait();
+            assert!(report.unwrap().profiled(), "cold launches micro-profile");
+        }
+        service.save_state().unwrap();
+    }
+    let service = storm_service(&path);
+    assert!(service.state_load_error().is_none());
+    for tenant in [0u32, 5] {
+        let (_, report) = service
+            .submit(TenantId(tenant), "triple", fresh_args(), N, &opts)
+            .unwrap()
+            .wait();
+        let report = report.unwrap();
+        assert!(
+            !report.profiled(),
+            "tenant {tenant} must warm-restore, not re-profile"
+        );
+        assert_eq!(report.skipped, Some(SkipReason::CachedSelection));
+    }
+    // A tenant the file never saw still cold-starts and profiles.
+    let (_, report) = service
+        .submit(TenantId(9), "triple", fresh_args(), N, &opts)
+        .unwrap()
+        .wait();
+    assert!(report.unwrap().profiled());
+    let _ = fs::remove_file(&path);
 }
