@@ -17,6 +17,13 @@
 //! runtime's graceful-degradation machinery (retries, quarantine, repair)
 //! under the full workload suite. Off by default.
 //!
+//! `--chaos-plan SPEC` (service stress only; requires `--clients N`)
+//! installs a deterministic *service-layer* chaos schedule, e.g.
+//! `--chaos-plan "seed=1;sgemm#0@0+1=panic;journal@5=kill"`: injected
+//! lane panics, worker kills and journal kill-points exercise lane
+//! supervision, circuit breakers and crash recovery. Typed per-stream
+//! failures are counted in `errors=` instead of aborting the run.
+//!
 //! `--state-file PATH` persists per-signature selections (and quarantine)
 //! across invocations: the first run micro-profiles and writes PATH, a
 //! re-run warm-starts from it and performs zero profiling launches. The
@@ -45,8 +52,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
-use dysel_bench::{experiments, harness};
-use dysel_core::FaultPlan;
+use dysel_bench::{experiments, harness, StressOpts};
+use dysel_core::{ChaosPlan, FaultPlan};
 use dysel_obs::EventSink;
 
 fn install_fault_plan(spec: &str) {
@@ -60,6 +67,17 @@ fn install_fault_plan(spec: &str) {
     }
 }
 
+fn parse_chaos_plan(spec: &str) -> ChaosPlan {
+    match spec.parse::<ChaosPlan>() {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("--chaos-plan could not parse {spec:?}: {e}");
+            eprintln!("expected: seed=N;SIG[@FROM[+COUNT]]=panic|kill[?PROB];journal@N=kill;...");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut list = false;
@@ -67,6 +85,7 @@ fn main() {
     let mut metrics_out: Option<PathBuf> = None;
     let mut clients: Option<usize> = None;
     let mut tenants: u32 = 2;
+    let mut chaos: Option<ChaosPlan> = None;
     let parse_count = |flag: &str, v: Option<String>| -> usize {
         v.and_then(|v| v.parse::<usize>().ok()).unwrap_or_else(|| {
             eprintln!("{flag} needs a positive number");
@@ -134,6 +153,14 @@ fn main() {
             install_fault_plan(&spec);
         } else if let Some(spec) = a.strip_prefix("--fault-plan=") {
             install_fault_plan(spec);
+        } else if a == "--chaos-plan" {
+            let spec = args.next().unwrap_or_else(|| {
+                eprintln!("--chaos-plan needs a plan spec");
+                std::process::exit(2);
+            });
+            chaos = Some(parse_chaos_plan(&spec));
+        } else if let Some(spec) = a.strip_prefix("--chaos-plan=") {
+            chaos = Some(parse_chaos_plan(spec));
         } else {
             ids.push(a);
         }
@@ -146,11 +173,22 @@ fn main() {
     }
     if let Some(clients) = clients {
         println!("DySel service stress (deterministic; seeds fixed)\n");
+        if let Some(plan) = &chaos {
+            println!("chaos: {plan}");
+        }
         let t0 = Instant::now();
-        let outcome = dysel_bench::run_service_stress(clients, tenants);
+        let opts = StressOpts {
+            chaos,
+            state_file: harness::state_file(),
+        };
+        let outcome = dysel_bench::run_service_stress_with(clients, tenants, opts);
         println!("{}", outcome.line());
         println!("total: {:.1}s", t0.elapsed().as_secs_f64());
         return;
+    }
+    if chaos.is_some() {
+        eprintln!("--chaos-plan targets the service stress driver; add --clients N");
+        std::process::exit(2);
     }
     let ids: Vec<String> = if ids.is_empty() || ids.iter().any(|a| a == "all") {
         experiments::all()

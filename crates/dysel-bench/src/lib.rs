@@ -20,4 +20,4 @@ pub mod stress;
 
 pub use figure::{Bar, Figure, FigureRow};
 pub use harness::{cpu_factory, gpu_factory, run_case, suite, CaseResult, DyselTimes};
-pub use stress::{run_service_stress, StressOutcome};
+pub use stress::{run_service_stress, run_service_stress_with, Backoff, StressOpts, StressOutcome};

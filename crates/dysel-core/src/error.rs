@@ -53,6 +53,39 @@ pub enum DyselError {
         /// The findings, at their post-configuration severities.
         diagnostics: Vec<dysel_verify::Diagnostic>,
     },
+    /// A kernel panicked mid-launch and the panic was contained by lane
+    /// supervision: the `(tenant, signature)` lane was discarded and its
+    /// circuit breaker tripped, but the service (and every other lane)
+    /// keeps running. The buffers are handed back, **contents
+    /// unspecified** — the panicking kernel may have partially written
+    /// them.
+    LanePanicked {
+        /// Signature whose launch panicked.
+        signature: String,
+        /// The panic payload, stringified (best effort).
+        detail: String,
+    },
+    /// The shard worker owning this submission died before (or while)
+    /// executing it, and the supervisor resolved the orphaned ticket so
+    /// no waiter hangs. The buffers are handed back; if the launch never
+    /// started they are untouched.
+    WorkerDied {
+        /// Signature of the orphaned submission.
+        signature: String,
+    },
+    /// The submission's deadline expired before its launch started; the
+    /// launch was skipped entirely and the buffers are untouched.
+    DeadlineExpired {
+        /// Signature of the expired submission.
+        signature: String,
+    },
+    /// The stream's circuit breaker was open when the queued submission
+    /// reached its worker: the launch was skipped (fail fast) and the
+    /// buffers are untouched. Retry after the cool-down.
+    CircuitOpen {
+        /// Signature whose breaker is open.
+        signature: String,
+    },
 }
 
 impl fmt::Display for DyselError {
@@ -97,6 +130,21 @@ impl fmt::Display for DyselError {
                      verifier ({denies} deny finding(s), {} total)",
                     diagnostics.len()
                 )
+            }
+            DyselError::LanePanicked { signature, detail } => write!(
+                f,
+                "launch of {signature:?} panicked (lane discarded): {detail}"
+            ),
+            DyselError::WorkerDied { signature } => write!(
+                f,
+                "shard worker died before completing the {signature:?} launch"
+            ),
+            DyselError::DeadlineExpired { signature } => write!(
+                f,
+                "deadline expired before the {signature:?} launch started"
+            ),
+            DyselError::CircuitOpen { signature } => {
+                write!(f, "circuit breaker open for {signature:?}; launch skipped")
             }
         }
     }

@@ -1,0 +1,664 @@
+//! Write-ahead journaling of selection/quarantine decisions.
+//!
+//! A checkpoint ([`crate::persist`], format v4) is a full snapshot written
+//! atomically — but only when someone calls `save_state` or the service
+//! compacts. Everything learned *since* the last checkpoint would die with
+//! the process. This module closes that window: a journaling
+//! [`crate::LaunchService`] appends one small checksummed record per
+//! selection/quarantine decision to `<state_path>.journal` as it happens,
+//! and recovery replays `checkpoint + journal` to reconstruct the exact
+//! pre-crash cache. The design constraints, in order:
+//!
+//! * **off the hot path** — a record is a few dozen bytes, appended and
+//!   flushed outside every lane and shard lock; without a configured
+//!   state path the journal is `None` and launches pay a single `Option`
+//!   check;
+//! * **torn-tail tolerant** — a crash (or `SIGKILL`) mid-append leaves a
+//!   partial final record. Each record is length-prefixed and FNV-1a
+//!   checksummed, so [`replay`] keeps the valid prefix, flags the tail as
+//!   torn, and never panics on file content;
+//! * **idempotent replay** — records are applied with the same semantics
+//!   the [`crate::ShardedCache`] enforces (last selection wins, quarantine
+//!   always beats selection, the first quarantine reason is sticky), so
+//!   replaying a journal over a checkpoint that already contains some of
+//!   its records converges to the same state. A crash between "checkpoint
+//!   renamed" and "journal truncated" is therefore safe;
+//! * **compactable** — once a checkpoint absorbs the journal (stamping
+//!   [`crate::RuntimeState::journal_seq`] with the cumulative record
+//!   count), the journal is truncated back to its header.
+
+use std::fs;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use dysel_kernel::VariantId;
+
+use crate::fault::QuarantineReason;
+use crate::persist::{RuntimeState, StateError, TenantState};
+
+/// File magic: identifies a DySel selection journal.
+const MAGIC: [u8; 8] = *b"DYSELJL\n";
+/// Journal format version.
+const VERSION: u32 = 1;
+/// Fixed file header: magic + version.
+const HEADER_LEN: usize = 8 + 4;
+/// Per-record frame: body length + body checksum.
+const FRAME_LEN: usize = 4 + 8;
+/// Upper bound on a single record body; a length field beyond this is
+/// corruption, not a real record.
+const MAX_BODY: u32 = 1 << 20;
+
+/// 64-bit FNV-1a over a byte slice (same function the checkpoint uses).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn reason_code(r: QuarantineReason) -> u8 {
+    match r {
+        QuarantineReason::LaunchFailed => 0,
+        QuarantineReason::DeadlineExceeded => 1,
+        QuarantineReason::WrongOutput => 2,
+        QuarantineReason::MetadataMismatch => 3,
+    }
+}
+
+fn reason_from_code(c: u8) -> Option<QuarantineReason> {
+    match c {
+        0 => Some(QuarantineReason::LaunchFailed),
+        1 => Some(QuarantineReason::DeadlineExceeded),
+        2 => Some(QuarantineReason::WrongOutput),
+        3 => Some(QuarantineReason::MetadataMismatch),
+        _ => None,
+    }
+}
+
+/// The journal path derived from a checkpoint path: the same file name
+/// with `.journal` appended, so the pair travels together.
+pub fn journal_path(state_path: &Path) -> PathBuf {
+    let mut os = state_path.as_os_str().to_owned();
+    os.push(".journal");
+    PathBuf::from(os)
+}
+
+/// One logged selection/quarantine decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// A completed launch selected `variant` for the stream.
+    Select {
+        /// Owning tenant.
+        tenant: u32,
+        /// Kernel signature.
+        signature: String,
+        /// The winner.
+        variant: VariantId,
+        /// Variant-pool size the selection was made against.
+        variants: u32,
+    },
+    /// A variant was quarantined for the stream.
+    Quarantine {
+        /// Owning tenant.
+        tenant: u32,
+        /// Kernel signature.
+        signature: String,
+        /// The quarantined variant.
+        variant: VariantId,
+        /// Why.
+        reason: QuarantineReason,
+    },
+    /// The stream's selection was dropped (stale winner).
+    Invalidate {
+        /// Owning tenant.
+        tenant: u32,
+        /// Kernel signature.
+        signature: String,
+    },
+}
+
+impl JournalRecord {
+    /// Applies the record to a state value with the cache's semantics:
+    /// last selection wins unless the variant is quarantined, quarantine
+    /// beats selection and is idempotent (first reason sticks), invalidate
+    /// keeps quarantine. Applying the same record twice is a no-op, which
+    /// is what makes replay-over-checkpoint safe.
+    pub fn apply(&self, state: &mut RuntimeState) {
+        type Sections<'a> = (
+            &'a mut std::collections::BTreeMap<String, VariantId>,
+            &'a mut std::collections::BTreeMap<String, Vec<(VariantId, QuarantineReason)>>,
+            &'a mut std::collections::BTreeMap<String, u32>,
+        );
+        fn sections(state: &mut RuntimeState, tenant: u32) -> Sections<'_> {
+            if tenant == 0 {
+                (
+                    &mut state.selections,
+                    &mut state.quarantine,
+                    &mut state.variant_counts,
+                )
+            } else {
+                let ts: &mut TenantState = state.tenants.entry(tenant).or_default();
+                (
+                    &mut ts.selections,
+                    &mut ts.quarantine,
+                    &mut ts.variant_counts,
+                )
+            }
+        }
+        match self {
+            JournalRecord::Select {
+                tenant,
+                signature,
+                variant,
+                variants,
+            } => {
+                let (selections, quarantine, counts) = sections(state, *tenant);
+                let quarantined = quarantine
+                    .get(signature)
+                    .is_some_and(|q| q.iter().any(|(v, _)| v == variant));
+                if !quarantined {
+                    selections.insert(signature.clone(), *variant);
+                    counts.insert(signature.clone(), *variants);
+                }
+            }
+            JournalRecord::Quarantine {
+                tenant,
+                signature,
+                variant,
+                reason,
+            } => {
+                let (selections, quarantine, _) = sections(state, *tenant);
+                let entries = quarantine.entry(signature.clone()).or_default();
+                if !entries.iter().any(|(v, _)| v == variant) {
+                    entries.push((*variant, *reason));
+                }
+                if selections.get(signature) == Some(variant) {
+                    selections.remove(signature);
+                }
+            }
+            JournalRecord::Invalidate { tenant, signature } => {
+                let (selections, _, counts) = sections(state, *tenant);
+                selections.remove(signature);
+                counts.remove(signature);
+            }
+        }
+    }
+
+    /// Serializes the record body (tag + fields, little-endian,
+    /// length-prefixed strings — the checkpoint encoding's dialect).
+    fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let put_head = |out: &mut Vec<u8>, tag: u8, tenant: u32, sig: &str| {
+            out.push(tag);
+            out.extend_from_slice(&tenant.to_le_bytes());
+            out.extend_from_slice(&(sig.len() as u32).to_le_bytes());
+            out.extend_from_slice(sig.as_bytes());
+        };
+        match self {
+            JournalRecord::Select {
+                tenant,
+                signature,
+                variant,
+                variants,
+            } => {
+                put_head(&mut out, 0, *tenant, signature);
+                out.extend_from_slice(&(variant.0 as u32).to_le_bytes());
+                out.extend_from_slice(&variants.to_le_bytes());
+            }
+            JournalRecord::Quarantine {
+                tenant,
+                signature,
+                variant,
+                reason,
+            } => {
+                put_head(&mut out, 1, *tenant, signature);
+                out.extend_from_slice(&(variant.0 as u32).to_le_bytes());
+                out.push(reason_code(*reason));
+            }
+            JournalRecord::Invalidate { tenant, signature } => {
+                put_head(&mut out, 2, *tenant, signature);
+            }
+        }
+        out
+    }
+
+    /// Parses a record body; `None` on any structural problem (the caller
+    /// treats it as a torn tail).
+    fn decode_body(body: &[u8]) -> Option<JournalRecord> {
+        let mut at = 0usize;
+        let mut take = |n: usize| {
+            let end = at.checked_add(n).filter(|&e| e <= body.len())?;
+            let s = &body[at..end];
+            at = end;
+            Some(s)
+        };
+        let tag = take(1)?[0];
+        let tenant = u32::from_le_bytes(take(4)?.try_into().ok()?);
+        let sig_len = u32::from_le_bytes(take(4)?.try_into().ok()?) as usize;
+        let signature = String::from_utf8(take(sig_len)?.to_vec()).ok()?;
+        let rec = match tag {
+            0 => {
+                let variant = VariantId(u32::from_le_bytes(take(4)?.try_into().ok()?) as usize);
+                let variants = u32::from_le_bytes(take(4)?.try_into().ok()?);
+                JournalRecord::Select {
+                    tenant,
+                    signature,
+                    variant,
+                    variants,
+                }
+            }
+            1 => {
+                let variant = VariantId(u32::from_le_bytes(take(4)?.try_into().ok()?) as usize);
+                let reason = reason_from_code(take(1)?[0])?;
+                JournalRecord::Quarantine {
+                    tenant,
+                    signature,
+                    variant,
+                    reason,
+                }
+            }
+            2 => JournalRecord::Invalidate { tenant, signature },
+            _ => return None,
+        };
+        (at == body.len()).then_some(rec)
+    }
+
+    /// Serializes the full framed record: length, checksum, body.
+    pub fn encode(&self) -> Vec<u8> {
+        let body = self.encode_body();
+        let mut out = Vec::with_capacity(FRAME_LEN + body.len());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+}
+
+/// What [`replay`] recovered from a journal file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Replay {
+    /// The valid record prefix, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Whether the file ended in a torn/corrupt record (the tail was
+    /// dropped; everything in [`Replay::records`] is still good).
+    pub torn: bool,
+}
+
+impl Replay {
+    /// Applies every recovered record, in order, to a state value.
+    pub fn apply(&self, state: &mut RuntimeState) {
+        for rec in &self.records {
+            rec.apply(state);
+        }
+    }
+}
+
+/// Replays a journal file. A missing file is an empty replay (nothing was
+/// journaled — not an error); an unreadable file or a foreign/unsupported
+/// header is a typed [`StateError`]; a torn or corrupt record tail is
+/// *tolerated*: the valid prefix is returned with [`Replay::torn`] set.
+/// Nothing in here panics on file content.
+pub fn replay(path: &Path) -> Result<Replay, StateError> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Replay::default()),
+        Err(e) => {
+            return Err(StateError::Io {
+                path: path.to_path_buf(),
+                detail: e.to_string(),
+            })
+        }
+    };
+    if bytes.len() < 8 || bytes[..8] != MAGIC {
+        if !bytes.is_empty() && !MAGIC.starts_with(&bytes[..bytes.len().min(8)]) {
+            return Err(StateError::BadMagic {
+                path: path.to_path_buf(),
+            });
+        }
+        // Empty or magic-prefix-only file: a crash during header creation.
+        return Ok(Replay {
+            records: Vec::new(),
+            torn: !bytes.is_empty(),
+        });
+    }
+    if bytes.len() < HEADER_LEN {
+        return Ok(Replay {
+            records: Vec::new(),
+            torn: true,
+        });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(StateError::UnsupportedVersion {
+            path: path.to_path_buf(),
+            found: version,
+            supported: VERSION,
+        });
+    }
+    let mut out = Replay::default();
+    let mut at = HEADER_LEN;
+    while at < bytes.len() {
+        if bytes.len() - at < FRAME_LEN {
+            out.torn = true;
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+        let checksum = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().expect("8 bytes"));
+        let body_at = at + FRAME_LEN;
+        if len > MAX_BODY || bytes.len() - body_at < len as usize {
+            out.torn = true;
+            break;
+        }
+        let body = &bytes[body_at..body_at + len as usize];
+        if fnv1a(body) != checksum {
+            out.torn = true;
+            break;
+        }
+        match JournalRecord::decode_body(body) {
+            Some(rec) => out.records.push(rec),
+            None => {
+                out.torn = true;
+                break;
+            }
+        }
+        at = body_at + len as usize;
+    }
+    Ok(out)
+}
+
+/// An open journal writer. Appends are flushed (not fsynced: surviving
+/// process death is the goal; surviving power loss is the checkpoint's
+/// job) so a `SIGKILL`ed process loses at most the record being written —
+/// which replay then drops as a torn tail.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: fs::File,
+    /// Records appended since the last compaction.
+    appended: u64,
+    /// Cumulative record count across compactions: what a checkpoint
+    /// stamps into [`RuntimeState::journal_seq`].
+    seq: u64,
+    /// Chaos kill-point: when `false`, appends are silently dropped,
+    /// simulating a persistence-layer crash mid-run.
+    alive: bool,
+}
+
+impl Journal {
+    /// Creates (truncating) the journal at `path` and writes its header.
+    /// `seq` seeds the cumulative record counter — pass the checkpoint's
+    /// [`RuntimeState::journal_seq`] plus any records just replayed.
+    pub fn create(path: &Path, seq: u64) -> Result<Journal, StateError> {
+        let io_err = |e: std::io::Error| StateError::Io {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        };
+        let mut file = fs::File::create(path).map_err(io_err)?;
+        file.write_all(&MAGIC).map_err(io_err)?;
+        file.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
+        file.flush().map_err(io_err)?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file,
+            appended: 0,
+            seq,
+            alive: true,
+        })
+    }
+
+    /// Appends one record and flushes it to the OS. Returns whether the
+    /// record was written (`false` after [`Journal::kill`]).
+    pub fn append(&mut self, rec: &JournalRecord) -> Result<bool, StateError> {
+        if !self.alive {
+            return Ok(false);
+        }
+        let io_err = |path: &Path, e: std::io::Error| StateError::Io {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        };
+        self.file
+            .write_all(&rec.encode())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| io_err(&self.path, e))?;
+        self.appended += 1;
+        self.seq += 1;
+        Ok(true)
+    }
+
+    /// Records appended since the last [`Journal::compacted`].
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Cumulative record count (survives compactions).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Truncates the journal back to its header after a checkpoint
+    /// absorbed it. The cumulative sequence keeps counting.
+    pub fn compacted(&mut self) -> Result<(), StateError> {
+        if !self.alive {
+            return Ok(());
+        }
+        let io_err = |path: &Path, e: std::io::Error| StateError::Io {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        };
+        // Rewind the cursor too: `set_len` alone leaves it past the new
+        // end, and a later append would write across a zero-filled hole.
+        self.file
+            .set_len(HEADER_LEN as u64)
+            .and_then(|()| self.file.seek(SeekFrom::Start(HEADER_LEN as u64)))
+            .map_err(|e| io_err(&self.path, e))?;
+        self.appended = 0;
+        Ok(())
+    }
+
+    /// Chaos kill-point: stop persisting (appends become no-ops), as if
+    /// the process had died at this point in the journal. Deterministic
+    /// chaos schedules use this to prove recovery equals the journaled
+    /// prefix.
+    pub fn kill(&mut self) {
+        self.alive = false;
+    }
+
+    /// Whether the journal is still persisting (not chaos-killed).
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "dysel-journal-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Select {
+                tenant: 0,
+                signature: "spmv".into(),
+                variant: VariantId(1),
+                variants: 3,
+            },
+            JournalRecord::Quarantine {
+                tenant: 2,
+                signature: "sgemm".into(),
+                variant: VariantId(0),
+                reason: QuarantineReason::WrongOutput,
+            },
+            JournalRecord::Select {
+                tenant: 2,
+                signature: "sgemm".into(),
+                variant: VariantId(1),
+                variants: 2,
+            },
+            JournalRecord::Invalidate {
+                tenant: 0,
+                signature: "spmv".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let path = dir().join("rt.journal");
+        let mut j = Journal::create(&path, 5).unwrap();
+        for rec in sample_records() {
+            assert!(j.append(&rec).unwrap());
+        }
+        assert_eq!(j.appended(), 4);
+        assert_eq!(j.seq(), 9);
+        let back = replay(&path).unwrap();
+        assert!(!back.torn);
+        assert_eq!(back.records, sample_records());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_keeps_valid_prefix() {
+        let path = dir().join("torn.journal");
+        let mut j = Journal::create(&path, 0).unwrap();
+        for rec in sample_records() {
+            j.append(&rec).unwrap();
+        }
+        drop(j);
+        let full = fs::read(&path).unwrap();
+        // Cut anywhere strictly inside the last record: the first three
+        // records must survive, the tail must be flagged torn.
+        let third = replay(&path).unwrap();
+        assert_eq!(third.records.len(), 4);
+        for cut in [full.len() - 1, full.len() - 5, full.len() - 10] {
+            fs::write(&path, &full[..cut]).unwrap();
+            let back = replay(&path).unwrap();
+            assert!(back.torn, "cut at {cut} not flagged torn");
+            assert_eq!(back.records, sample_records()[..3].to_vec());
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_record_stops_replay_without_panic() {
+        let path = dir().join("corrupt.journal");
+        let mut j = Journal::create(&path, 0).unwrap();
+        for rec in sample_records() {
+            j.append(&rec).unwrap();
+        }
+        drop(j);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a bit inside the second record's body.
+        let second_at = HEADER_LEN + FRAME_LEN + sample_records()[0].encode_body().len();
+        let target = second_at + FRAME_LEN + 2;
+        bytes[target] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let back = replay(&path).unwrap();
+        assert!(back.torn);
+        assert_eq!(back.records, sample_records()[..1].to_vec());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_empty_replay() {
+        let back = replay(Path::new("/nonexistent/dysel/x.journal")).unwrap();
+        assert_eq!(back, Replay::default());
+    }
+
+    #[test]
+    fn foreign_and_future_headers_are_typed() {
+        let path = dir().join("foreign.journal");
+        fs::write(&path, b"garbage-bytes-here").unwrap();
+        assert!(matches!(
+            replay(&path).unwrap_err(),
+            StateError::BadMagic { .. }
+        ));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&9u32.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            replay(&path).unwrap_err(),
+            StateError::UnsupportedVersion { found: 9, .. }
+        ));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn apply_matches_cache_semantics() {
+        let mut state = RuntimeState::default();
+        for rec in sample_records() {
+            rec.apply(&mut state);
+        }
+        // Tenant 0: spmv selected then invalidated.
+        assert!(state.selections.is_empty());
+        // Tenant 2: sgemm v0 quarantined, v1 selected.
+        let t2 = &state.tenants[&2];
+        assert_eq!(t2.selections["sgemm"], VariantId(1));
+        assert_eq!(
+            t2.quarantine["sgemm"],
+            vec![(VariantId(0), QuarantineReason::WrongOutput)]
+        );
+        // Selecting a quarantined variant is refused; quarantining the
+        // current winner drops it. Double-apply is a no-op.
+        let select_bad = JournalRecord::Select {
+            tenant: 2,
+            signature: "sgemm".into(),
+            variant: VariantId(0),
+            variants: 2,
+        };
+        select_bad.apply(&mut state);
+        assert_eq!(state.tenants[&2].selections["sgemm"], VariantId(1));
+        let quarantine_winner = JournalRecord::Quarantine {
+            tenant: 2,
+            signature: "sgemm".into(),
+            variant: VariantId(1),
+            reason: QuarantineReason::LaunchFailed,
+        };
+        quarantine_winner.apply(&mut state);
+        quarantine_winner.apply(&mut state);
+        let t2 = &state.tenants[&2];
+        assert!(!t2.selections.contains_key("sgemm"));
+        assert_eq!(t2.quarantine["sgemm"].len(), 2);
+    }
+
+    #[test]
+    fn compaction_truncates_but_keeps_counting() {
+        let path = dir().join("compact.journal");
+        let mut j = Journal::create(&path, 0).unwrap();
+        for rec in sample_records() {
+            j.append(&rec).unwrap();
+        }
+        j.compacted().unwrap();
+        assert_eq!(j.appended(), 0);
+        assert_eq!(j.seq(), 4);
+        assert!(replay(&path).unwrap().records.is_empty());
+        // Appends after compaction land cleanly.
+        j.append(&sample_records()[0]).unwrap();
+        assert_eq!(j.seq(), 5);
+        assert_eq!(replay(&path).unwrap().records.len(), 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn killed_journal_drops_appends_silently() {
+        let path = dir().join("killed.journal");
+        let mut j = Journal::create(&path, 0).unwrap();
+        j.append(&sample_records()[0]).unwrap();
+        j.kill();
+        assert!(!j.is_alive());
+        assert!(!j.append(&sample_records()[1]).unwrap());
+        assert_eq!(replay(&path).unwrap().records.len(), 1);
+        let _ = fs::remove_file(&path);
+    }
+}

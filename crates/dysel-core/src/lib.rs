@@ -27,8 +27,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod error;
 mod fault;
+mod journal;
 mod mixed;
 mod options;
 mod persist;
@@ -39,11 +41,13 @@ mod service;
 mod stats;
 mod timeline;
 
+pub use chaos::{ChaosAction, ChaosPlan, ChaosPlanParseError, ChaosRule};
 pub use error::DyselError;
 pub use fault::{
     FaultKind, FaultPlan, FaultPlanParseError, FaultReport, FaultRule, InjectedFault,
     QuarantineReason, DEFAULT_HANG_FACTOR,
 };
+pub use journal::{journal_path, Journal, JournalRecord, Replay};
 pub use mixed::MixedReport;
 pub use options::{InitialSelection, LaunchOptions, RuntimeConfig, TenantId, VerifyLevel};
 pub use persist::{RuntimeState, StateError, TenantState};
@@ -51,8 +55,8 @@ pub use pool::KernelPool;
 pub use report::{LaunchReport, Measurement, SkipReason};
 pub use runtime::Runtime;
 pub use service::{
-    CacheEntry, DeviceFactory, LaunchOutcome, LaunchService, RejectReason, ServiceConfig,
-    ShardedCache, StreamKey, SubmitError, Ticket,
+    BreakerConfig, CacheEntry, DeviceFactory, LaunchOutcome, LaunchService, RecoveryInfo,
+    RejectReason, ServiceConfig, ShardedCache, StreamKey, SubmitError, Ticket,
 };
 pub use stats::LaunchStats;
 pub use timeline::{LaunchKind, Timeline, TimelineEntry};

@@ -39,9 +39,12 @@ use crate::fault::QuarantineReason;
 const MAGIC: [u8; 8] = *b"DYSELST\n";
 /// Current format version. v2 added the per-signature variant counts used
 /// to detect stale warm restores; v3 added the per-tenant section a
-/// multi-tenant [`crate::LaunchService`] persists. Older files cold-start
-/// with a typed [`StateError::UnsupportedVersion`].
-const VERSION: u32 = 3;
+/// multi-tenant [`crate::LaunchService`] persists; v4 added the trailing
+/// journal sequence number a journaling service stamps at checkpoint time
+/// (see [`crate::journal`]). Older files — v1 through v3 included —
+/// cold-start with a typed [`StateError::UnsupportedVersion`], never a
+/// panic.
+const VERSION: u32 = 4;
 /// Fixed header: magic, version, payload length, payload checksum.
 const HEADER_LEN: usize = 8 + 4 + 8 + 8;
 
@@ -86,10 +89,16 @@ pub struct RuntimeState {
     /// in the flat maps; encoding rejects nothing, but a well-formed file
     /// never carries an empty or zero-keyed entry here.
     pub tenants: BTreeMap<u32, TenantState>,
+    /// Cumulative count of write-ahead-journal records folded into this
+    /// checkpoint (v4; see [`crate::journal`]). Zero for plain runtimes,
+    /// which never journal — the field is bookkeeping, not learned state,
+    /// so [`RuntimeState::is_empty`] ignores it.
+    pub journal_seq: u64,
 }
 
 impl RuntimeState {
-    /// True when there is nothing to persist.
+    /// True when there is nothing to persist. [`RuntimeState::journal_seq`]
+    /// is bookkeeping, not learned state, and is ignored here.
     pub fn is_empty(&self) -> bool {
         self.selections.is_empty()
             && self.quarantine.is_empty()
@@ -268,6 +277,7 @@ pub fn encode(state: &RuntimeState) -> Vec<u8> {
             &ts.variant_counts,
         );
     }
+    payload.extend_from_slice(&state.journal_seq.to_le_bytes());
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
@@ -387,6 +397,8 @@ pub fn decode(bytes: &[u8], path: &Path) -> Result<RuntimeState, StateError> {
             return Err(malformed("duplicate tenant id"));
         }
     }
+    let seq = cur.take(8)?;
+    state.journal_seq = u64::from_le_bytes(seq.try_into().expect("8 bytes"));
     if cur.at != payload.len() {
         return Err(malformed("trailing bytes after payload"));
     }
@@ -496,6 +508,7 @@ mod tests {
         );
         t7.variant_counts.insert("spmv".to_owned(), 4);
         s.tenants.insert(7, t7);
+        s.journal_seq = 42;
         s
     }
 
@@ -549,9 +562,10 @@ mod tests {
         let mut s = RuntimeState::default();
         s.tenants.insert(1, TenantState::default());
         let mut image = encode(&s);
-        // Rewrite the tenant id (last 13 payload bytes are: id + three
-        // empty section counts) from 1 to 0 and re-stamp the checksum.
-        let at = image.len() - 16;
+        // Rewrite the tenant id (the payload tail is: id + three empty
+        // section counts + the 8-byte journal seq) from 1 to 0 and
+        // re-stamp the checksum.
+        let at = image.len() - 24;
         image[at..at + 4].copy_from_slice(&0u32.to_le_bytes());
         let sum = fnv1a(&image[HEADER_LEN..]);
         image[20..28].copy_from_slice(&sum.to_le_bytes());
@@ -561,7 +575,9 @@ mod tests {
 
     #[test]
     fn other_version_is_typed() {
-        for found in [1u32, 2, 4] {
+        // v1-v3 are real historical formats; every one must cold-start
+        // with a typed error, never a panic. v5 is the future.
+        for found in [1u32, 2, 3, 5] {
             let mut image = encode(&sample());
             image[8..12].copy_from_slice(&found.to_le_bytes());
             let err = decode(&image, Path::new("x")).unwrap_err();

@@ -1,5 +1,14 @@
 //! The kernel pool: multiple implementations per kernel signature — and the
 //! sandbox pool that recycles private profiling outputs across launches.
+//!
+//! # Locking policy
+//!
+//! This module deliberately holds **no** `Mutex`/`Condvar`/`RwLock`: both
+//! pools are plain owned data, guarded by whoever embeds them (a pool
+//! inside a [`crate::Runtime`] is single-owner; the service's shared
+//! registry wraps its pool in the service's own lock). The uniform
+//! poison-recovery policy for every lock in the crate lives in the
+//! `service` module docs ("Locking policy").
 
 use std::collections::HashMap;
 

@@ -211,6 +211,9 @@ impl Runtime {
             // A lane runtime is single-tenant; nested tenant sections are
             // the service's aggregation concern.
             tenants: std::collections::BTreeMap::new(),
+            // Journal sequence numbers are service-level bookkeeping; a
+            // plain runtime always writes 0.
+            journal_seq: 0,
         }
     }
 

@@ -41,6 +41,20 @@ pub enum Stage {
     WarmInvalidate,
     /// Selection completed: the winner for this launch.
     Select,
+    /// A kernel panic was contained by lane supervision (service level).
+    LanePanic,
+    /// A crashed shard worker was restarted by the supervisor.
+    WorkerRestart,
+    /// A stream's circuit breaker tripped open.
+    BreakerOpen,
+    /// A stream's circuit breaker moved to half-open (probe admitted).
+    BreakerHalfOpen,
+    /// A stream's circuit breaker closed after a successful probe.
+    BreakerClose,
+    /// A submission's deadline expired before its launch started.
+    DeadlineExpire,
+    /// The selection journal was compacted into a checkpoint.
+    JournalCompact,
 }
 
 impl Stage {
@@ -61,6 +75,13 @@ impl Stage {
             Stage::CacheHit => "cache-hit",
             Stage::WarmInvalidate => "warm-invalidate",
             Stage::Select => "select",
+            Stage::LanePanic => "lane-panic",
+            Stage::WorkerRestart => "worker-restart",
+            Stage::BreakerOpen => "breaker-open",
+            Stage::BreakerHalfOpen => "breaker-half-open",
+            Stage::BreakerClose => "breaker-close",
+            Stage::DeadlineExpire => "deadline-expire",
+            Stage::JournalCompact => "journal-compact",
         }
     }
 
@@ -385,6 +406,13 @@ mod tests {
             Stage::CacheHit,
             Stage::WarmInvalidate,
             Stage::Select,
+            Stage::LanePanic,
+            Stage::WorkerRestart,
+            Stage::BreakerOpen,
+            Stage::BreakerHalfOpen,
+            Stage::BreakerClose,
+            Stage::DeadlineExpire,
+            Stage::JournalCompact,
         ] {
             assert!(!s.is_span(), "{s} should be a point stage");
         }

@@ -54,6 +54,29 @@ pub mod names {
     pub const SERVICE_REJECTS: &str = "dysel_service_rejects_total";
     /// Launches a `LaunchService` shard worker completed (ok or error).
     pub const SERVICE_COMPLETED: &str = "dysel_service_completed_total";
+    /// Kernel panics contained by lane supervision (`catch_unwind`); each
+    /// one discarded the panicking stream's lane and tripped its breaker.
+    pub const SERVICE_LANE_PANICS: &str = "dysel_service_lane_panics_total";
+    /// Crashed shard workers restarted by the supervisor.
+    pub const SERVICE_WORKER_RESTARTS: &str = "dysel_service_worker_restarts_total";
+    /// Circuit breakers tripped open (consecutive failures or a panic).
+    pub const SERVICE_BREAKER_OPENS: &str = "dysel_service_breaker_opens_total";
+    /// Breakers moved to half-open (cool-down elapsed; one probe admitted).
+    pub const SERVICE_BREAKER_HALF_OPENS: &str = "dysel_service_breaker_half_opens_total";
+    /// Breakers closed again (a probe or launch succeeded).
+    pub const SERVICE_BREAKER_CLOSES: &str = "dysel_service_breaker_closes_total";
+    /// Submissions fast-failed because their stream's breaker was open.
+    pub const SERVICE_BREAKER_REJECTS: &str = "dysel_service_breaker_rejects_total";
+    /// Submissions whose deadline expired before their launch started.
+    pub const SERVICE_DEADLINE_EXPIRIES: &str = "dysel_service_deadline_expiries_total";
+    /// Stuck lanes detected by the watchdog (escalated into the breaker).
+    pub const SERVICE_LANE_STUCK: &str = "dysel_service_lane_stuck_total";
+    /// Records appended to the selection/quarantine write-ahead journal.
+    pub const SERVICE_JOURNAL_APPENDS: &str = "dysel_service_journal_appends_total";
+    /// Journal compactions (checkpoint written, journal truncated).
+    pub const SERVICE_JOURNAL_COMPACTIONS: &str = "dysel_service_journal_compactions_total";
+    /// Journal records replayed during crash recovery at construction.
+    pub const SERVICE_JOURNAL_REPLAYS: &str = "dysel_service_journal_replays_total";
 }
 
 /// Bucket count: value `0` plus one bucket per possible bit length of a

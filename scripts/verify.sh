@@ -116,6 +116,48 @@ grep -q " errors=0 " /tmp/dysel-verify-svc8.txt
 test -n "$svc1" && test "$svc1" = "$svc8"
 echo "    concurrent selections identical ($svc8)"
 
+echo "==> chaos containment: injected faults stay typed, bad spec rejected"
+if "$bin" --clients 1 --chaos-plan "bogus spec" >/dev/null 2>&1; then
+    echo "    --chaos-plan accepted a bogus spec" >&2
+    exit 1
+fi
+"$bin" --clients 8 --tenants 2 --chaos-plan "seed=7;sgemm#0@0+1=panic;spmv-ell#8@0+1=kill" \
+    | grep "^service summary" > /tmp/dysel-verify-chaos.txt
+# The plan must actually bite (typed failures counted, run completes).
+if grep -q " errors=0 " /tmp/dysel-verify-chaos.txt; then
+    echo "    chaos plan injected nothing" >&2
+    exit 1
+fi
+echo "    $(grep -o 'errors=[0-9]*' /tmp/dysel-verify-chaos.txt) typed, run completed"
+
+echo "==> crash recovery: SIGKILL mid-journal, warm rerun must match clean"
+svc_state=/tmp/dysel-verify-svc-state.bin
+rm -f "$svc_state" "$svc_state.journal"
+"$bin" --clients 2 --tenants 2 --state-file "$svc_state" \
+    | grep "^service summary" > /tmp/dysel-verify-crash-ref.txt
+rm -f "$svc_state" "$svc_state.journal"
+# Start a journaling run, SIGKILL it once the write-ahead journal holds
+# records (header is 12 bytes), then rerun to completion: recovery must
+# replay the journaled prefix and converge on the clean digest.
+"$bin" --clients 2 --tenants 2 --state-file "$svc_state" >/dev/null 2>&1 &
+crash_pid=$!
+for _ in $(seq 1 200); do
+    size=$(stat -c %s "$svc_state.journal" 2>/dev/null || echo 0)
+    [ "$size" -gt 12 ] && break
+    sleep 0.05
+done
+kill -9 "$crash_pid" 2>/dev/null || true
+wait "$crash_pid" 2>/dev/null || true
+test "$(stat -c %s "$svc_state.journal")" -gt 12  # killed with records on disk
+"$bin" --clients 2 --tenants 2 --state-file "$svc_state" \
+    | grep "^service summary" > /tmp/dysel-verify-crash-warm.txt
+grep -q " errors=0 " /tmp/dysel-verify-crash-warm.txt
+crash_ref=$(grep -o "digest=[0-9a-f]*" /tmp/dysel-verify-crash-ref.txt)
+crash_warm=$(grep -o "digest=[0-9a-f]*" /tmp/dysel-verify-crash-warm.txt)
+test -n "$crash_ref" && test "$crash_ref" = "$crash_warm"
+rm -f "$svc_state" "$svc_state.journal"
+echo "    recovered cleanly, same selections ($crash_warm)"
+
 echo "==> perf trajectory: full experiments suite vs BENCH_baseline.json"
 # Hard gate: digest drift fails immediately; a >10% wall-clock overrun is
 # re-measured once (shared-VM noise) and fails only if it reproduces.

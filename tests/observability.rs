@@ -429,3 +429,131 @@ fn healthy_warm_restart_still_skips_and_emits_warm_skip() {
     assert_eq!(skip.variant, cold.selected_name);
     let _ = fs::remove_file(&path);
 }
+
+// ---- service fault-containment observability ----------------------------
+
+/// Every containment mechanism leaves a deterministic trail: lane panics,
+/// breaker open → half-open → close, deadline expiries, worker restarts
+/// and journal compactions each bump their counter *and* emit a
+/// service-level event (kept apart from lane traces, which must stay
+/// bit-identical to serial replay).
+#[test]
+fn service_containment_counters_and_events_are_complete() {
+    use std::sync::atomic::AtomicBool;
+    use std::time::{Duration, Instant};
+
+    use dysel::core::{
+        BreakerConfig, ChaosAction, ChaosPlan, ChaosRule, DyselError, LaunchService, ServiceConfig,
+        TenantId,
+    };
+
+    let state = temp_state("containment");
+    // Panics once, then behaves: drives open -> half-open -> close.
+    let armed = Arc::new(AtomicBool::new(true));
+    let flaky = {
+        let armed = armed.clone();
+        Variant::from_fn(
+            VariantMeta::new("flaky", KernelIr::regular(vec![0])),
+            move |ctx, args| {
+                if armed.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                    panic!("observability kaboom");
+                }
+                for u in ctx.units().iter() {
+                    let x = args.f32(1).unwrap()[u as usize];
+                    args.f32_mut(0).unwrap()[u as usize] = 2.0 * x + 1.0;
+                    ctx.vector_compute(4, 8, 8, 1);
+                }
+            },
+        )
+    };
+    let service = LaunchService::with_factory(
+        || {
+            Box::new(CpuDevice::new(CpuConfig {
+                threads: 1,
+                ..CpuConfig::noiseless()
+            }))
+        },
+        ServiceConfig {
+            shards: 1,
+            observe: true,
+            state_path: Some(state.clone()),
+            breaker: BreakerConfig {
+                cooldown: Duration::ZERO,
+                ..BreakerConfig::default()
+            },
+            restart_backoff: Duration::from_millis(1),
+            chaos: Some(
+                ChaosPlan::new(9).with(ChaosRule::new("doomed", ChaosAction::Kill).window(0, 1)),
+            ),
+            ..ServiceConfig::default()
+        },
+    );
+    service.register("flaky", [flaky]);
+    service.register("steady", grid());
+    service.register("doomed", grid());
+    let opts = LaunchOptions::new();
+    let tenant = TenantId(3);
+    // Lane panic: contained, typed, breaker tripped.
+    let (_, r) = service
+        .submit(tenant, "flaky", fresh_args(), N, &opts)
+        .unwrap()
+        .wait();
+    assert!(matches!(r, Err(DyselError::LanePanicked { .. })));
+    // Zero cooldown: the next submission is the half-open probe; the
+    // now-disarmed variant succeeds and the breaker closes.
+    let (_, r) = service
+        .submit(tenant, "flaky", fresh_args(), N, &opts)
+        .unwrap()
+        .wait();
+    assert!(r.is_ok(), "half-open probe must be admitted and succeed");
+    // An already-expired deadline resolves typed without launching.
+    let (_, r) = service
+        .submit_with_deadline(tenant, "steady", fresh_args(), N, &opts, Instant::now())
+        .unwrap()
+        .wait();
+    assert!(matches!(r, Err(DyselError::DeadlineExpired { .. })));
+    // The chaos kill fells the shard worker mid-job; the ticket resolves
+    // typed and the supervisor restarts the worker for the retry.
+    let (_, r) = service
+        .submit(tenant, "doomed", fresh_args(), N, &opts)
+        .unwrap()
+        .wait();
+    assert!(matches!(r, Err(DyselError::WorkerDied { .. })));
+    let (_, r) = service
+        .submit(tenant, "doomed", fresh_args(), N, &opts)
+        .unwrap()
+        .wait();
+    assert!(r.is_ok(), "the restarted worker serves the stream");
+    // Checkpoint: journal absorbed into the v4 state file.
+    service.save_state().unwrap();
+    let m = service.metrics();
+    assert_eq!(m.counter(names::SERVICE_LANE_PANICS), 1);
+    assert_eq!(m.counter(names::SERVICE_BREAKER_OPENS), 1);
+    assert_eq!(m.counter(names::SERVICE_BREAKER_HALF_OPENS), 1);
+    assert_eq!(m.counter(names::SERVICE_BREAKER_CLOSES), 1);
+    assert_eq!(m.counter(names::SERVICE_DEADLINE_EXPIRIES), 1);
+    assert!(m.counter(names::SERVICE_WORKER_RESTARTS) >= 1);
+    assert!(
+        m.counter(names::SERVICE_JOURNAL_APPENDS) >= 2,
+        "flaky and doomed selections must hit the journal"
+    );
+    assert_eq!(m.counter(names::SERVICE_JOURNAL_COMPACTIONS), 1);
+    let stages: Vec<Stage> = service.service_events().iter().map(|e| e.stage).collect();
+    for want in [
+        Stage::LanePanic,
+        Stage::BreakerOpen,
+        Stage::BreakerHalfOpen,
+        Stage::BreakerClose,
+        Stage::DeadlineExpire,
+        Stage::WorkerRestart,
+        Stage::JournalCompact,
+    ] {
+        assert!(
+            stages.contains(&want),
+            "missing service event stage {want:?} in {stages:?}"
+        );
+    }
+    drop(service);
+    let _ = fs::remove_file(&state);
+    let _ = fs::remove_file(dysel::core::journal_path(&state));
+}

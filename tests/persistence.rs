@@ -414,3 +414,94 @@ fn service_state_round_trips_all_tenants_warm() {
     assert!(report.unwrap().profiled());
     let _ = fs::remove_file(&path);
 }
+
+/// Pre-v4 state files (v1 selections-only through v3 multi-tenant) come
+/// from builds without the write-ahead journal; this build refuses them
+/// with a typed `UnsupportedVersion` — the runtime and the service
+/// cold-start cleanly, never panic, and simply re-learn.
+#[test]
+fn v1_through_v3_state_files_cold_start_cleanly() {
+    for old in [1u32, 2, 3] {
+        let path = temp_path(&format!("old-v{old}"));
+        let (bytes, ..) = seeded_state(&path);
+        let mut forged = bytes.clone();
+        forged[8..12].copy_from_slice(&old.to_le_bytes());
+        fs::write(&path, &forged).unwrap();
+        // Plain runtime: typed error, memory untouched.
+        let mut rt = runtime(None, config(&path));
+        match rt.load_state() {
+            Err(DyselError::State(StateError::UnsupportedVersion { found, .. })) => {
+                assert_eq!(found, old)
+            }
+            other => panic!("v{old}: expected UnsupportedVersion, got {other:?}"),
+        }
+        // Service: records the typed error and still serves (cold)
+        // launches.
+        let service = storm_service(&path);
+        assert!(
+            matches!(
+                service.state_load_error(),
+                Some(StateError::UnsupportedVersion { found, .. }) if found == old
+            ),
+            "v{old}: service must surface the typed load error"
+        );
+        let (_, report) = service
+            .submit(
+                TenantId(0),
+                "triple",
+                fresh_args(),
+                N,
+                &LaunchOptions::new(),
+            )
+            .unwrap()
+            .wait();
+        assert!(
+            report.unwrap().profiled(),
+            "v{old}: a cold start micro-profiles again"
+        );
+        drop(service);
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(dysel::core::journal_path(&path));
+    }
+}
+
+/// `save_state` on a journaling service stamps the absorbed record count
+/// into the v4 checkpoint and truncates the journal, so the next start
+/// replays nothing — while an *unclean* stop before any save leaves the
+/// selections recoverable from the journal alone.
+#[test]
+fn save_state_stamps_journal_seq_and_truncates_the_journal() {
+    let path = temp_path("journal-seq");
+    {
+        let service = storm_service(&path);
+        let opts = LaunchOptions::new();
+        for tenant in [0u32, 1, 2] {
+            let (_, report) = service
+                .submit(TenantId(tenant), "triple", fresh_args(), N, &opts)
+                .unwrap()
+                .wait();
+            report.expect("healthy launch");
+        }
+        service.save_state().unwrap();
+    }
+    let mut rt = runtime(None, config(&path));
+    let state = rt.load_state().unwrap();
+    assert_eq!(
+        state.journal_seq, 3,
+        "the checkpoint records the three absorbed journal appends"
+    );
+    // The journal was truncated with the save: a re-open replays nothing
+    // and warm-restores from the checkpoint alone.
+    let service = storm_service(&path);
+    assert_eq!(
+        service.recovery(),
+        Some(dysel::core::RecoveryInfo {
+            replayed: 0,
+            torn: false
+        })
+    );
+    assert!(service.state_load_error().is_none());
+    drop(service);
+    let _ = fs::remove_file(&path);
+    let _ = fs::remove_file(dysel::core::journal_path(&path));
+}
