@@ -1,0 +1,439 @@
+//! Deterministic static feature extraction per kernel variant.
+//!
+//! Micro-profiling pays a launch for every registered variant, yet much of
+//! what it discovers is statically knowable from the IR. This module
+//! distills a [`dysel_kernel::VariantMeta`] into a small, **integer-only**
+//! feature vector ([`VariantFeatures`]) — the substrate for the dominance
+//! pruning pass in `dysel-core` and the training corpus of a future
+//! predictor crate. Everything here is a pure function of the declarative
+//! IR: no floats, no hashing of pointers, no ambient state, so the same
+//! variant always extracts to the same bytes on every platform.
+//!
+//! Two derived notions matter downstream:
+//!
+//! * the **canonical byte encoding** ([`VariantFeatures::encode`]) — a
+//!   fixed-width big-endian layout with a leading version byte, stable
+//!   across runs and platforms, suitable for hashing or corpus files;
+//! * **Pareto dominance** ([`VariantFeatures::dominates`]) — variant A
+//!   dominates B when both describe the same launch context (equal flags,
+//!   group size, work-assignment factor, scratchpad budget and footprint)
+//!   and A is at least as good on every performance axis (coalescing,
+//!   striding, indirection, arithmetic intensity) and strictly better on
+//!   at least one. Dominated variants are candidates for exclusion from
+//!   micro-profiling; the runtime's Audit mode keeps the rule falsifiable.
+
+use dysel_kernel::{AccessIr, AccessPattern, KernelIr, LoopBound, LoopKind, VariantMeta};
+
+use crate::uniform_workload;
+
+/// Version byte leading every [`VariantFeatures::encode`] output.
+pub const FEATURES_ENCODING_VERSION: u8 = 1;
+
+/// Byte length of [`VariantFeatures::encode`]'s fixed-width output.
+pub const FEATURES_ENCODED_LEN: usize = 63;
+
+/// Integer-only static features of one kernel variant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VariantFeatures {
+    /// Total access sites in the IR.
+    pub sites: u32,
+    /// Access sites that store.
+    pub stores: u32,
+    /// Work-item loops in the nest.
+    pub wi_loops: u32,
+    /// Kernel (in-kernel) loops in the nest.
+    pub kernel_loops: u32,
+    /// Lower bound on elements touched per work item: per site, the
+    /// product of compile-time-constant kernel-loop extents the site's
+    /// address actually varies with.
+    pub footprint_lo: u64,
+    /// Upper bound on the same (saturating; a runtime-bounded kernel loop
+    /// the address varies with makes it `u64::MAX`).
+    pub footprint_hi: u64,
+    /// Sites whose innermost-loop stride is 0 or ±1 (or lane-uniform
+    /// broadcasts): consecutive work of one work item touches consecutive
+    /// or identical elements.
+    pub coalesced_sites: u32,
+    /// Sites whose innermost-loop stride has magnitude > 1.
+    pub strided_sites: u32,
+    /// Data-dependent (indirect) sites.
+    pub indirect_sites: u32,
+    /// Estimated reuse-distance class: 0 = streaming (no static reuse),
+    /// 1 = loop reuse (some load is invariant in a kernel loop, so a value
+    /// is re-read across iterations), 2 = windowed reuse (some load
+    /// declares a bounded reuse window).
+    pub reuse_class: u8,
+    /// Structural arithmetic-intensity proxy, fixed-point ×16: loop-nest
+    /// depth per access site (deeper nests amortize each site over more
+    /// iterations).
+    pub intensity_x16: u32,
+    /// Divergence flag from uniform-workload analysis: data-dependent loop
+    /// bounds or early exits.
+    pub divergent: bool,
+    /// Irregularity flag: a divergent workload, or an indirect *store*
+    /// without a declared [`AccessIr::index_range`] (the shape no static
+    /// tier can bound).
+    pub irregular: bool,
+    /// Scratchpad bytes per work-group (occupancy pressure).
+    pub scratchpad_bytes: u32,
+    /// Work-items per work-group.
+    pub group_size: u32,
+    /// Work-assignment factor (workload units per work-group).
+    pub wa_factor: u32,
+}
+
+/// Whether a site's address varies with loop `d` of the nest.
+fn varies_with(site: &AccessIr, d: usize) -> bool {
+    match &site.pattern {
+        AccessPattern::Affine(coeffs) => coeffs.get(d).copied().unwrap_or(0) != 0,
+        // An indirect address may vary with anything.
+        AccessPattern::Indirect => true,
+    }
+}
+
+/// Per-site footprint bounds (elements per work item), over kernel loops
+/// only — work-item loops partition work rather than multiply it.
+fn site_footprint(ir: &KernelIr, site: &AccessIr) -> (u64, u64) {
+    let (mut lo, mut hi) = (1u64, 1u64);
+    for (d, l) in ir.loops.iter().enumerate() {
+        if matches!(l.kind, LoopKind::WorkItem(_)) || !varies_with(site, d) {
+            continue;
+        }
+        match l.bound {
+            LoopBound::Const(e) => {
+                lo = lo.saturating_mul(e);
+                hi = hi.saturating_mul(e);
+            }
+            LoopBound::UniformRuntime | LoopBound::DataDependent => {
+                hi = u64::MAX;
+            }
+        }
+    }
+    if let Some((rlo, rhi)) = site.index_range {
+        if rhi > rlo {
+            // A data-dependent offset window widens the reachable set.
+            hi = hi.saturating_add(rhi.abs_diff(rlo));
+        }
+    }
+    (lo, hi)
+}
+
+/// The site's stride along the innermost loop of the nest (0 when the
+/// address ignores it; `None` for indirect sites).
+fn innermost_stride(ir: &KernelIr, site: &AccessIr) -> Option<i64> {
+    let last = ir.loops.len().checked_sub(1)?;
+    match &site.pattern {
+        AccessPattern::Affine(coeffs) => Some(coeffs.get(last).copied().unwrap_or(0)),
+        AccessPattern::Indirect => None,
+    }
+}
+
+/// Extracts the deterministic feature vector of one variant.
+pub fn extract_features(meta: &VariantMeta) -> VariantFeatures {
+    let ir = &meta.ir;
+    let uniformity = uniform_workload(ir);
+    let sites = ir.accesses.len() as u32;
+    let stores = ir.accesses.iter().filter(|a| a.store).count() as u32;
+    let wi_loops = ir
+        .loops
+        .iter()
+        .filter(|l| matches!(l.kind, LoopKind::WorkItem(_)))
+        .count() as u32;
+    let kernel_loops = ir.loops.len() as u32 - wi_loops;
+
+    let (mut footprint_lo, mut footprint_hi) = (0u64, 0u64);
+    let (mut coalesced_sites, mut strided_sites, mut indirect_sites) = (0u32, 0u32, 0u32);
+    let mut reuse_class = 0u8;
+    let mut unbounded_indirect_store = false;
+    for site in &ir.accesses {
+        let (lo, hi) = site_footprint(ir, site);
+        footprint_lo = footprint_lo.saturating_add(lo);
+        footprint_hi = footprint_hi.saturating_add(hi);
+        match innermost_stride(ir, site) {
+            Some(s) if s.abs() <= 1 => coalesced_sites += 1,
+            Some(_) if site.lane_uniform => coalesced_sites += 1,
+            Some(_) => strided_sites += 1,
+            None => {
+                indirect_sites += 1;
+                if site.store && site.index_range.is_none() {
+                    unbounded_indirect_store = true;
+                }
+            }
+        }
+        if !site.store {
+            if site.reuse_window_bytes.is_some() {
+                reuse_class = reuse_class.max(2);
+            } else if ir.loops.iter().enumerate().any(|(d, l)| {
+                !matches!(l.kind, LoopKind::WorkItem(_))
+                    && !matches!(l.bound, LoopBound::Const(0) | LoopBound::Const(1))
+                    && !varies_with(site, d)
+            }) {
+                // Invariant in a kernel loop that iterates: the loaded
+                // value is reused across its iterations.
+                reuse_class = reuse_class.max(1);
+            }
+        }
+    }
+
+    let depth = ir.loops.len() as u32;
+    let intensity_x16 = (16 * depth) / sites.max(1);
+    let divergent = !uniformity.is_uniform;
+    VariantFeatures {
+        sites,
+        stores,
+        wi_loops,
+        kernel_loops,
+        footprint_lo,
+        footprint_hi,
+        coalesced_sites,
+        strided_sites,
+        indirect_sites,
+        reuse_class,
+        intensity_x16,
+        divergent,
+        irregular: divergent || unbounded_indirect_store,
+        scratchpad_bytes: ir.scratchpad_bytes,
+        group_size: meta.group_size,
+        wa_factor: meta.wa_factor,
+    }
+}
+
+impl VariantFeatures {
+    /// Canonical fixed-width byte encoding: version byte, then every field
+    /// big-endian in declaration order, flags packed last
+    /// (bit 0 = divergent, bit 1 = irregular). Always
+    /// [`FEATURES_ENCODED_LEN`] bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(FEATURES_ENCODED_LEN);
+        out.push(FEATURES_ENCODING_VERSION);
+        for v in [self.sites, self.stores, self.wi_loops, self.kernel_loops] {
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        out.extend_from_slice(&self.footprint_lo.to_be_bytes());
+        out.extend_from_slice(&self.footprint_hi.to_be_bytes());
+        for v in [
+            self.coalesced_sites,
+            self.strided_sites,
+            self.indirect_sites,
+            self.intensity_x16,
+            self.scratchpad_bytes,
+            self.group_size,
+            self.wa_factor,
+        ] {
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        out.push(self.reuse_class);
+        out.push(u8::from(self.divergent) | (u8::from(self.irregular) << 1));
+        debug_assert_eq!(out.len(), FEATURES_ENCODED_LEN);
+        out
+    }
+
+    /// Whether the two variants describe the same launch context — the
+    /// precondition for comparing their performance axes at all.
+    fn same_context(&self, other: &VariantFeatures) -> bool {
+        self.divergent == other.divergent
+            && self.irregular == other.irregular
+            && self.reuse_class == other.reuse_class
+            && self.group_size == other.group_size
+            && self.wa_factor == other.wa_factor
+            && self.scratchpad_bytes == other.scratchpad_bytes
+            && self.footprint_lo == other.footprint_lo
+            && self.footprint_hi == other.footprint_hi
+            && self.sites == other.sites
+            && self.stores == other.stores
+    }
+
+    /// Pareto dominance: same context, at least as good on every
+    /// performance axis (coalescing ↑, striding ↓, indirection ↓,
+    /// intensity ↑), strictly better on at least one. A dominated variant
+    /// is a pruning candidate — under `prune=On` it is never profiled.
+    ///
+    /// Dominance abstains entirely on divergent or irregular variants:
+    /// data-dependent loop bounds and early exits make the *amount* of
+    /// work input-dependent, so static access shape cannot rank such
+    /// variants (a breadth-first spmv schedule loses on random matrices
+    /// yet wins on diagonal ones — exactly what micro-profiling is for).
+    pub fn dominates(&self, other: &VariantFeatures) -> bool {
+        if self.divergent || self.irregular {
+            return false;
+        }
+        if !self.same_context(other) {
+            return false;
+        }
+        let geq = self.coalesced_sites >= other.coalesced_sites
+            && self.strided_sites <= other.strided_sites
+            && self.indirect_sites <= other.indirect_sites
+            && self.intensity_x16 >= other.intensity_x16;
+        let strict = self.coalesced_sites > other.coalesced_sites
+            || self.strided_sites < other.strided_sites
+            || self.indirect_sites < other.indirect_sites
+            || self.intensity_x16 > other.intensity_x16;
+        geq && strict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dysel_kernel::{AccessIr, KernelIr, LoopBound, LoopIr, LoopKind};
+
+    fn meta(ir: KernelIr) -> VariantMeta {
+        VariantMeta::new("m", ir)
+    }
+
+    fn wi(bound: LoopBound) -> LoopIr {
+        LoopIr::new(LoopKind::WorkItem(0), bound)
+    }
+
+    fn kl(bound: LoopBound) -> LoopIr {
+        LoopIr::new(LoopKind::Kernel, bound)
+    }
+
+    #[test]
+    fn counts_and_footprints() {
+        let ir = KernelIr::regular(vec![0])
+            .with_loops(vec![wi(LoopBound::UniformRuntime), kl(LoopBound::Const(8))])
+            .with_accesses(vec![
+                AccessIr::affine_load(1, vec![0, 1]),
+                AccessIr::affine_store(0, vec![1, 0]),
+            ]);
+        let f = extract_features(&meta(ir));
+        assert_eq!((f.sites, f.stores), (2, 1));
+        assert_eq!((f.wi_loops, f.kernel_loops), (1, 1));
+        // Load walks the const-8 kernel loop; store ignores it.
+        assert_eq!((f.footprint_lo, f.footprint_hi), (9, 9));
+        assert_eq!(f.coalesced_sites, 2);
+        assert!(!f.divergent && !f.irregular);
+    }
+
+    #[test]
+    fn runtime_kernel_loop_saturates_upper_bound() {
+        let ir = KernelIr::regular(vec![0])
+            .with_loops(vec![
+                wi(LoopBound::UniformRuntime),
+                kl(LoopBound::UniformRuntime),
+            ])
+            .with_accesses(vec![AccessIr::affine_store(0, vec![1, 1])]);
+        let f = extract_features(&meta(ir));
+        assert_eq!(f.footprint_lo, 1);
+        assert_eq!(f.footprint_hi, u64::MAX);
+    }
+
+    #[test]
+    fn stride_classes() {
+        let ir = KernelIr::regular(vec![0])
+            .with_loops(vec![
+                wi(LoopBound::UniformRuntime),
+                kl(LoopBound::Const(16)),
+            ])
+            .with_accesses(vec![
+                AccessIr::affine_load(1, vec![0, 16]),           // strided
+                AccessIr::affine_load(2, vec![0, 16]).uniform(), // broadcast
+                AccessIr::affine_store(0, vec![16, 1]),          // unit
+                AccessIr::indirect_load(3),                      // indirect
+            ]);
+        let f = extract_features(&meta(ir));
+        assert_eq!(f.coalesced_sites, 2);
+        assert_eq!(f.strided_sites, 1);
+        assert_eq!(f.indirect_sites, 1);
+    }
+
+    #[test]
+    fn unannotated_indirect_store_is_irregular() {
+        let ir = KernelIr::regular(vec![0])
+            .with_loops(vec![wi(LoopBound::UniformRuntime)])
+            .with_accesses(vec![AccessIr::indirect_store(0)]);
+        let f = extract_features(&meta(ir));
+        assert!(f.irregular && !f.divergent);
+        let annotated = KernelIr::regular(vec![0])
+            .with_loops(vec![wi(LoopBound::UniformRuntime)])
+            .with_accesses(vec![AccessIr::indirect_store(0).with_index_range(0, 255)]);
+        assert!(!extract_features(&meta(annotated)).irregular);
+    }
+
+    #[test]
+    fn reuse_classes() {
+        let streaming = KernelIr::regular(vec![0])
+            .with_loops(vec![wi(LoopBound::UniformRuntime)])
+            .with_accesses(vec![AccessIr::affine_load(1, vec![1])]);
+        assert_eq!(extract_features(&meta(streaming)).reuse_class, 0);
+        let loop_reuse = KernelIr::regular(vec![0])
+            .with_loops(vec![wi(LoopBound::UniformRuntime), kl(LoopBound::Const(8))])
+            .with_accesses(vec![AccessIr::affine_load(1, vec![1, 0])]);
+        assert_eq!(extract_features(&meta(loop_reuse)).reuse_class, 1);
+        let windowed = KernelIr::regular(vec![0])
+            .with_loops(vec![wi(LoopBound::UniformRuntime)])
+            .with_accesses(vec![AccessIr::indirect_load(1).with_reuse_window(4096)]);
+        assert_eq!(extract_features(&meta(windowed)).reuse_class, 2);
+    }
+
+    #[test]
+    fn encoding_is_fixed_width_and_deterministic() {
+        let ir = KernelIr::regular(vec![0])
+            .with_loops(vec![wi(LoopBound::UniformRuntime), kl(LoopBound::Const(8))])
+            .with_accesses(vec![AccessIr::affine_store(0, vec![1, 0])]);
+        let f = extract_features(&meta(ir.clone()));
+        let enc = f.encode();
+        assert_eq!(enc.len(), FEATURES_ENCODED_LEN);
+        assert_eq!(enc[0], FEATURES_ENCODING_VERSION);
+        assert_eq!(enc, extract_features(&meta(ir)).encode());
+        // A differing field changes the bytes.
+        let mut g = f.clone();
+        g.coalesced_sites += 1;
+        assert_ne!(enc, g.encode());
+    }
+
+    #[test]
+    fn dominance_requires_same_context_and_strict_gain() {
+        let ir = |center_coeffs: Vec<i64>| {
+            KernelIr::regular(vec![0])
+                .with_loops(vec![
+                    wi(LoopBound::UniformRuntime),
+                    kl(LoopBound::UniformRuntime),
+                    kl(LoopBound::UniformRuntime),
+                ])
+                .with_accesses(vec![
+                    AccessIr::affine_load(1, vec![32, 0, 1]),
+                    AccessIr::affine_load(2, center_coeffs),
+                    AccessIr::affine_store(0, vec![2, 0, 0]),
+                ])
+        };
+        // Unit-stride innermost centers walk vs a strided one (the
+        // kmeans pcd-vs-pdc shape).
+        let good = extract_features(&meta(ir(vec![0, 16, 1])));
+        let bad = extract_features(&meta(ir(vec![0, 1, 16])));
+        assert!(good.dominates(&bad));
+        assert!(!bad.dominates(&good));
+        // Equal vectors never dominate each other.
+        assert!(!good.dominates(&good.clone()));
+        // A context difference (scratchpad) blocks dominance entirely.
+        let scratch = extract_features(&meta(ir(vec![0, 1, 16]).with_scratchpad(1024)));
+        assert!(!good.dominates(&scratch));
+    }
+
+    #[test]
+    fn dominance_abstains_on_divergent_variants() {
+        // Same shapes as the dominance test above, but with a
+        // data-dependent kernel loop: the amount of work per item is now
+        // input-dependent, so static ranking must abstain even though the
+        // access-shape axes would rank one variant strictly better.
+        let ir = |center_coeffs: Vec<i64>| {
+            KernelIr::regular(vec![0])
+                .with_loops(vec![
+                    wi(LoopBound::UniformRuntime),
+                    kl(LoopBound::DataDependent),
+                    kl(LoopBound::UniformRuntime),
+                ])
+                .with_accesses(vec![
+                    AccessIr::affine_load(1, vec![32, 0, 1]),
+                    AccessIr::affine_load(2, center_coeffs),
+                    AccessIr::affine_store(0, vec![2, 0, 0]),
+                ])
+        };
+        let good = extract_features(&meta(ir(vec![0, 16, 1])));
+        let bad = extract_features(&meta(ir(vec![0, 1, 16])));
+        assert!(good.divergent && bad.divergent);
+        assert!(!good.dominates(&bad));
+        assert!(!bad.dominates(&good));
+    }
+}

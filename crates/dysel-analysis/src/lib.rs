@@ -8,6 +8,11 @@
 //!   early exits, which make fully-productive profiling unfair.
 //! * [`side_effect`] — detects global atomics / overlapping outputs, which
 //!   force swap-based profiling for correctness.
+//! * [`extract_features`] — distills a variant into the deterministic
+//!   integer-only [`VariantFeatures`] vector (footprint bounds, coalescing
+//!   degree, reuse class, divergence flags) that drives dominance pruning
+//!   of the profiling pool and serves as the training corpus for future
+//!   learned selection.
 //! * [`infer_mode`] — combines the two into a conservative
 //!   [`ProfilingMode`] recommendation; the runtime lets programmers
 //!   override it, exactly as the paper's interface does.
@@ -15,10 +20,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod features;
 mod safe_point;
 mod side_effect;
 mod uniform;
 
+pub use features::{
+    extract_features, VariantFeatures, FEATURES_ENCODED_LEN, FEATURES_ENCODING_VERSION,
+};
 pub use safe_point::{safe_point, SafePointPlan};
 pub use side_effect::{side_effect, SideEffectReport};
 pub use uniform::{uniform_workload, UniformityReport};

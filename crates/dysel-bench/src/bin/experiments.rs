@@ -40,6 +40,20 @@
 //! Without these flags nothing is observed and the runs are bit-identical
 //! to builds without the observability layer.
 //!
+//! `--prune LEVEL` (`off` | `audit` | `on`) sets the runtime's static
+//! dominance-pruning level for every launch (see `dysel_analysis`).
+//! `audit` still profiles everything but flags would-be prunes and records
+//! a `DV502` disagreement whenever a flagged variant wins; `on` actually
+//! excludes dominated variants from micro-profiling. The summary line
+//! reports `pruned=` / `prune-disagreements=` so `scripts/verify.sh` can
+//! assert the digest is prune-invariant while profiled launches shrink.
+//!
+//! `--features-out PATH` writes the static feature vector of every suite
+//! variant (both targets) as JSON Lines — one record per variant with the
+//! raw `VariantFeatures` integers plus the canonical encoding in hex.
+//! Given without experiment ids and without `--clients`, it writes the
+//! file and exits without running anything.
+//!
 //! `--clients N [--tenants M]` runs the multi-tenant service stress
 //! driver instead of the figures: `N` client threads submit the scaled
 //! workload suite for `M` tenants (default 2) through one shared
@@ -53,8 +67,20 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dysel_bench::{experiments, harness, StressOpts};
-use dysel_core::{ChaosPlan, FaultPlan};
+use dysel_core::{ChaosPlan, FaultPlan, PruneLevel};
 use dysel_obs::EventSink;
+
+fn parse_prune(spec: &str) -> PruneLevel {
+    match spec {
+        "off" => PruneLevel::Off,
+        "audit" => PruneLevel::Audit,
+        "on" => PruneLevel::On,
+        other => {
+            eprintln!("--prune needs off|audit|on, got {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn install_fault_plan(spec: &str) {
     match spec.parse::<FaultPlan>() {
@@ -83,6 +109,7 @@ fn main() {
     let mut list = false;
     let mut trace_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut features_out: Option<PathBuf> = None;
     let mut clients: Option<usize> = None;
     let mut tenants: u32 = 2;
     let mut chaos: Option<ChaosPlan> = None;
@@ -145,6 +172,22 @@ fn main() {
             metrics_out = Some(PathBuf::from(p));
         } else if let Some(p) = a.strip_prefix("--metrics-out=") {
             metrics_out = Some(PathBuf::from(p));
+        } else if a == "--prune" {
+            let spec = args.next().unwrap_or_else(|| {
+                eprintln!("--prune needs a level (off|audit|on)");
+                std::process::exit(2);
+            });
+            harness::set_prune(parse_prune(&spec));
+        } else if let Some(spec) = a.strip_prefix("--prune=") {
+            harness::set_prune(parse_prune(spec));
+        } else if a == "--features-out" {
+            let p = args.next().unwrap_or_else(|| {
+                eprintln!("--features-out needs a path");
+                std::process::exit(2);
+            });
+            features_out = Some(PathBuf::from(p));
+        } else if let Some(p) = a.strip_prefix("--features-out=") {
+            features_out = Some(PathBuf::from(p));
         } else if a == "--fault-plan" {
             let spec = args.next().unwrap_or_else(|| {
                 eprintln!("--fault-plan needs a plan spec");
@@ -170,6 +213,26 @@ fn main() {
             println!("{id}");
         }
         return;
+    }
+    if let Some(path) = &features_out {
+        let mut buf = Vec::new();
+        let records = match dysel_bench::write_features_jsonl(&mut buf) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("--features-out failed to build records: {e}");
+                std::process::exit(2);
+            }
+        };
+        match std::fs::write(path, buf) {
+            Ok(()) => println!("features: {} records -> {}", records, path.display()),
+            Err(e) => {
+                eprintln!("--features-out could not write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+        if ids.is_empty() && clients.is_none() {
+            return;
+        }
     }
     if let Some(clients) = clients {
         println!("DySel service stress (deterministic; seeds fixed)\n");

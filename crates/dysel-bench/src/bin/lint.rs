@@ -18,43 +18,12 @@
 
 use std::process::ExitCode;
 
-use dysel_bench::harness::suite;
+use dysel_bench::harness::suite::audit_suite;
 use dysel_verify::{
     render_human, render_json, verify_arity, verify_variant, Diagnostic, LintCode, LintConfig,
     Severity,
 };
-use dysel_workloads::{histogram, Target, Workload};
-
-/// The audited suite: every harness workload plus the histogram patterns
-/// (atomics vs privatization), which the figure harness drives separately.
-fn audit_suite() -> Vec<(&'static str, Workload)> {
-    vec![
-        ("spmv-csr-random", suite::spmv_csr_random()),
-        ("spmv-csr-diagonal", suite::spmv_csr_diagonal()),
-        ("spmv-csr-sched-random", suite::spmv_csr_sched_random()),
-        ("spmv-csr-sched-diagonal", suite::spmv_csr_sched_diagonal()),
-        ("spmv-csr-placements", suite::spmv_csr_placements()),
-        ("spmv-jds", suite::spmv_jds_std()),
-        ("spmv-jds-vec", suite::spmv_jds_vec()),
-        ("sgemm-schedules", suite::sgemm_schedules()),
-        ("sgemm-mixed", suite::sgemm_mixed()),
-        ("sgemm-mixed-gpu", suite::sgemm_mixed_gpu()),
-        ("sgemm-vec", suite::sgemm_vec()),
-        ("stencil", suite::stencil_std()),
-        ("cutcp-schedules", suite::cutcp_schedules()),
-        ("cutcp-mixed", suite::cutcp_mixed()),
-        ("kmeans", suite::kmeans_std()),
-        ("particlefilter", suite::particlefilter_std()),
-        (
-            "histogram-uniform",
-            histogram::workload(1 << 16, histogram::Distribution::Uniform, suite::SEED),
-        ),
-        (
-            "histogram-skewed",
-            histogram::workload(1 << 16, histogram::Distribution::Skewed, suite::SEED),
-        ),
-    ]
-}
+use dysel_workloads::{Target, Workload};
 
 /// Lints one workload on one target, qualifying each finding's variant
 /// name with its workload/target so the flat report stays readable.

@@ -1,0 +1,102 @@
+//! `--features-out`: streams the static feature vector of every suite
+//! variant as JSON Lines, one record per (workload, target, variant).
+//!
+//! The records are the training-corpus view of the suite: the same
+//! deterministic [`dysel_analysis::VariantFeatures`] integers the runtime's
+//! dominance pruning consumes, plus the canonical byte encoding in hex so
+//! downstream tooling can detect encoding drift. Hand-rolled JSON — the
+//! workspace is dependency-free by design.
+
+use std::io::{self, Write};
+
+use dysel_analysis::extract_features;
+use dysel_workloads::Target;
+
+use crate::harness::suite::audit_suite;
+
+fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Writes one JSONL record per suite variant into `w`, returning the
+/// record count. Record order is deterministic: audit-suite order, CPU
+/// variants before GPU, variant registration order within a target.
+pub fn write_features_jsonl(w: &mut dyn Write) -> io::Result<usize> {
+    let mut records = 0;
+    for (name, workload) in audit_suite() {
+        for (target, tag) in [(Target::Cpu, "cpu"), (Target::Gpu, "gpu")] {
+            for v in workload.variants(target) {
+                let f = extract_features(&v.meta);
+                writeln!(
+                    w,
+                    "{{\"workload\":\"{name}\",\"target\":\"{tag}\",\
+                     \"variant\":\"{}\",\"sites\":{},\"stores\":{},\
+                     \"wi_loops\":{},\"kernel_loops\":{},\
+                     \"footprint_lo\":{},\"footprint_hi\":{},\
+                     \"coalesced_sites\":{},\"strided_sites\":{},\
+                     \"indirect_sites\":{},\"reuse_class\":{},\
+                     \"intensity_x16\":{},\"divergent\":{},\"irregular\":{},\
+                     \"scratchpad_bytes\":{},\"group_size\":{},\
+                     \"wa_factor\":{},\"encoded\":\"{}\"}}",
+                    v.name(),
+                    f.sites,
+                    f.stores,
+                    f.wi_loops,
+                    f.kernel_loops,
+                    f.footprint_lo,
+                    f.footprint_hi,
+                    f.coalesced_sites,
+                    f.strided_sites,
+                    f.indirect_sites,
+                    f.reuse_class,
+                    f.intensity_x16,
+                    f.divergent,
+                    f.irregular,
+                    f.scratchpad_bytes,
+                    f.group_size,
+                    f.wa_factor,
+                    hex(&f.encode()),
+                )?;
+                records += 1;
+            }
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_suite_variant_gets_one_record() {
+        let mut buf = Vec::new();
+        let n = write_features_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), n);
+        // One record per suite variant over both targets.
+        let expected: usize = audit_suite()
+            .iter()
+            .map(|(_, w)| w.variants(Target::Cpu).len() + w.variants(Target::Gpu).len())
+            .sum();
+        assert_eq!(n, expected);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"encoded\":\""), "{line}");
+        }
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_features_jsonl(&mut a).unwrap();
+        write_features_jsonl(&mut b).unwrap();
+        assert_eq!(a, b);
+    }
+}

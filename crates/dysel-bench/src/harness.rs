@@ -8,7 +8,8 @@ use std::sync::{Arc, Mutex};
 
 use dysel_baselines::{exhaustive_sweep, SweepResult};
 use dysel_core::{
-    FaultPlan, InitialSelection, LaunchOptions, LaunchReport, Runtime, RuntimeConfig, SkipReason,
+    FaultPlan, InitialSelection, LaunchOptions, LaunchReport, PruneLevel, Runtime, RuntimeConfig,
+    SkipReason,
 };
 use dysel_device::{CpuConfig, CpuDevice, Cycles, Device, GpuConfig, GpuDevice};
 use dysel_kernel::Orchestration;
@@ -74,6 +75,20 @@ fn warn_state_once(msg: &str) {
     }
 }
 
+/// Dominance-pruning level installed on every [`run_dysel`] runtime (the
+/// `--prune` flag); [`PruneLevel::Off`] by default.
+static PRUNE: Mutex<PruneLevel> = Mutex::new(PruneLevel::Off);
+
+/// Sets the dominance-pruning level used by [`run_dysel`].
+pub fn set_prune(level: PruneLevel) {
+    *PRUNE.lock().unwrap() = level;
+}
+
+/// The currently installed pruning level.
+pub fn prune() -> PruneLevel {
+    *PRUNE.lock().unwrap()
+}
+
 /// Event sink installed on every [`run_dysel`] runtime (the `--trace-out`
 /// / `--metrics-out` flags); `None` (the default) observes nothing — the
 /// runs are then bit-identical to an unobserved build.
@@ -100,6 +115,10 @@ pub struct RunSummary {
     pub launches: u64,
     /// Launches that ran micro-profiling (zero on a warm restart).
     pub profiled: u64,
+    /// Variants actually micro-profiled across all launches (pruned and
+    /// quarantined variants carry sentinel measurements and are not
+    /// counted) — the number that must shrink under `PruneLevel::On`.
+    pub profiled_variants: u64,
     /// Launches that reused a cached/persisted selection instead.
     pub warm_skips: u64,
     /// Launch failures observed (including failed retries).
@@ -116,6 +135,12 @@ pub struct RunSummary {
     pub repaired_slices: u64,
     /// Variants quarantined across all launches.
     pub quarantined: u64,
+    /// Variants excluded (or, in audit mode, flagged for exclusion) from
+    /// micro-profiling by static dominance pruning.
+    pub pruned: u64,
+    /// Audit-mode pruning disagreements: launches whose winner the
+    /// dominance rule would have pruned.
+    pub prune_disagreements: u64,
     /// FNV-1a digest over the `(signature, selected name)` sequence, in
     /// launch order. Deterministic run order makes equal digests mean
     /// "every launch selected the same winner" — what the warm-restart
@@ -131,6 +156,7 @@ impl RunSummary {
         RunSummary {
             launches: 0,
             profiled: 0,
+            profiled_variants: 0,
             warm_skips: 0,
             launch_errors: 0,
             retries: 0,
@@ -139,6 +165,8 @@ impl RunSummary {
             validation_failures: 0,
             repaired_slices: 0,
             quarantined: 0,
+            pruned: 0,
+            prune_disagreements: 0,
             selections_digest: Self::FNV_OFFSET,
         }
     }
@@ -155,6 +183,11 @@ impl RunSummary {
         if report.profiled() {
             self.profiled += 1;
         }
+        self.profiled_variants += report
+            .measurements
+            .iter()
+            .filter(|m| m.measured < dysel_device::Cycles::MAX)
+            .count() as u64;
         if report.skipped == Some(SkipReason::CachedSelection) {
             self.warm_skips += 1;
         }
@@ -165,6 +198,8 @@ impl RunSummary {
         self.validation_failures += report.faults.validation_failures;
         self.repaired_slices += report.faults.repaired_slices;
         self.quarantined += report.faults.quarantined.len() as u64;
+        self.pruned += report.pruned_variants;
+        self.prune_disagreements += u64::from(report.prune_disagreement);
         self.fold(report.signature.as_bytes());
         self.fold(report.selected_name.as_bytes());
     }
@@ -172,11 +207,14 @@ impl RunSummary {
     /// The one-line end-of-run rendering.
     pub fn line(&self) -> String {
         format!(
-            "run summary: launches={} profiled={} warm-skips={} \
+            "run summary: launches={} profiled={} profiled-variants={} \
+             warm-skips={} \
              faults[errors={} retries={} deadline={} preempted={} \
-             wrong-output={} repaired={}] quarantined={} selections={:016x}",
+             wrong-output={} repaired={}] quarantined={} pruned={} \
+             prune-disagreements={} selections={:016x}",
             self.launches,
             self.profiled,
+            self.profiled_variants,
             self.warm_skips,
             self.launch_errors,
             self.retries,
@@ -185,6 +223,8 @@ impl RunSummary {
             self.validation_failures,
             self.repaired_slices,
             self.quarantined,
+            self.pruned,
+            self.prune_disagreements,
             self.selections_digest,
         )
     }
@@ -288,6 +328,7 @@ pub fn run_dysel(
         RuntimeConfig {
             state_path: state_path.clone(),
             observe: observer(),
+            prune: prune(),
             ..RuntimeConfig::default()
         },
     );
@@ -494,6 +535,39 @@ pub mod suite {
             },
             SEED,
         )
+    }
+
+    /// Every suite workload plus the histogram patterns (which the figure
+    /// harness drives separately), under stable names — the set the lint
+    /// binary audits and the `--features-out` export walks.
+    pub fn audit_suite() -> Vec<(&'static str, Workload)> {
+        use dysel_workloads::histogram;
+        vec![
+            ("spmv-csr-random", spmv_csr_random()),
+            ("spmv-csr-diagonal", spmv_csr_diagonal()),
+            ("spmv-csr-sched-random", spmv_csr_sched_random()),
+            ("spmv-csr-sched-diagonal", spmv_csr_sched_diagonal()),
+            ("spmv-csr-placements", spmv_csr_placements()),
+            ("spmv-jds", spmv_jds_std()),
+            ("spmv-jds-vec", spmv_jds_vec()),
+            ("sgemm-schedules", sgemm_schedules()),
+            ("sgemm-mixed", sgemm_mixed()),
+            ("sgemm-mixed-gpu", sgemm_mixed_gpu()),
+            ("sgemm-vec", sgemm_vec()),
+            ("stencil", stencil_std()),
+            ("cutcp-schedules", cutcp_schedules()),
+            ("cutcp-mixed", cutcp_mixed()),
+            ("kmeans", kmeans_std()),
+            ("particlefilter", particlefilter_std()),
+            (
+                "histogram-uniform",
+                histogram::workload(1 << 16, histogram::Distribution::Uniform, SEED),
+            ),
+            (
+                "histogram-skewed",
+                histogram::workload(1 << 16, histogram::Distribution::Skewed, SEED),
+            ),
+        ]
     }
 }
 

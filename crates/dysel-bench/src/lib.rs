@@ -14,10 +14,12 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod features_export;
 mod figure;
 pub mod harness;
 pub mod stress;
 
+pub use features_export::write_features_jsonl;
 pub use figure::{Bar, Figure, FigureRow};
 pub use harness::{cpu_factory, gpu_factory, run_case, suite, CaseResult, DyselTimes};
 pub use stress::{run_service_stress, run_service_stress_with, Backoff, StressOpts, StressOutcome};

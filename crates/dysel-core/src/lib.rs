@@ -49,7 +49,9 @@ pub use fault::{
 };
 pub use journal::{journal_path, Journal, JournalRecord, Replay};
 pub use mixed::MixedReport;
-pub use options::{InitialSelection, LaunchOptions, RuntimeConfig, TenantId, VerifyLevel};
+pub use options::{
+    InitialSelection, LaunchOptions, PruneLevel, RuntimeConfig, TenantId, VerifyLevel,
+};
 pub use persist::{RuntimeState, StateError, TenantState};
 pub use pool::KernelPool;
 pub use report::{LaunchReport, Measurement, SkipReason};

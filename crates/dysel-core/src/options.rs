@@ -158,6 +158,33 @@ pub enum VerifyLevel {
     Strict,
 }
 
+/// How the runtime applies static dominance pruning to the
+/// micro-profiling pool (see `dysel_analysis::VariantFeatures`).
+///
+/// A variant is *dominated* when a same-context sibling is at least as
+/// good on every static access-shape axis (coalescing, striding,
+/// indirection, arithmetic intensity) and strictly better on one.
+/// Dominance abstains on divergent or irregular variants — their work is
+/// input-dependent, which is exactly what micro-profiling is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PruneLevel {
+    /// No pruning; every active variant is micro-profiled. The default:
+    /// existing behaviour is bit-identical.
+    #[default]
+    Off,
+    /// Compute the dominated set but still profile everything; when a
+    /// would-be-pruned variant *wins*, record a `DV502` pruning
+    /// disagreement on the runtime diagnostics and bump
+    /// `dysel_prune_disagreements_total`. The falsifiability mode: run
+    /// the full suite under `Audit` and a zero disagreement count is
+    /// evidence the rule never prunes a winner.
+    Audit,
+    /// Exclude dominated variants from micro-profiling (they remain
+    /// registered and selectable by cached/warm selections from earlier
+    /// runs). The pool never shrinks below one variant.
+    On,
+}
+
 /// Runtime-wide configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeConfig {
@@ -224,6 +251,10 @@ pub struct RuntimeConfig {
     /// default) is the single-tenant world; a [`crate::LaunchService`] sets
     /// it per lane so every [`crate::LaunchReport`] carries its tenant.
     pub tenant: TenantId,
+    /// Static dominance pruning of the micro-profiling pool.
+    /// [`PruneLevel::Off`] by default — pruning is opt-in and the healthy
+    /// path pays nothing for it.
+    pub prune: PruneLevel,
     /// When `true`, the runtime re-addresses every launch's buffers — and
     /// allocates sandbox copies — from its own private
     /// [`dysel_kernel::AddrSpace`] instead of the process-global virtual
@@ -253,6 +284,7 @@ impl Default for RuntimeConfig {
             sanitize_traces: false,
             observe: None,
             tenant: TenantId(0),
+            prune: PruneLevel::Off,
             private_addrs: false,
         }
     }

@@ -68,6 +68,14 @@ pub struct LaunchReport {
     /// Total kernel launches issued (profiling + eager + batch, plus any
     /// retries, validation launches and repairs).
     pub launches: u64,
+    /// Variants excluded from micro-profiling (`PruneLevel::On`) or
+    /// flagged for exclusion (`PruneLevel::Audit`) by static dominance
+    /// pruning on this launch.
+    pub pruned_variants: u64,
+    /// Audit-mode falsification: the profiling winner was a variant the
+    /// dominance rule would have pruned (also recorded as a `DV502`
+    /// diagnostic on the runtime).
+    pub prune_disagreement: bool,
     /// What the graceful-degradation machinery saw and did (retries,
     /// deadline discards, quarantines, repairs). Empty on the healthy path.
     pub faults: FaultReport,
@@ -153,6 +161,8 @@ mod tests {
             productive_units: 10,
             wasted_units: 0,
             extra_space_bytes: 0,
+            pruned_variants: 0,
+            prune_disagreement: false,
             eager_chunks: 0,
             launches: 3,
             faults: FaultReport::default(),

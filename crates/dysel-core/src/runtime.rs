@@ -22,15 +22,15 @@ use dysel_kernel::{
 };
 use dysel_obs::{names, Event, MetricsSnapshot, Stage};
 
-use dysel_verify::{has_deny, sanitize_variant, Diagnostic};
+use dysel_verify::{has_deny, sanitize_variant, Diagnostic, LintCode};
 
 use crate::fault::{FaultReport, QuarantineReason};
 use crate::persist::{self, RuntimeState, StateError};
 use crate::pool::SandboxPool;
 use crate::timeline::{LaunchKind, Timeline, TimelineEntry};
 use crate::{
-    DyselError, KernelPool, LaunchOptions, LaunchReport, LaunchStats, Measurement, RuntimeConfig,
-    SkipReason, VerifyLevel,
+    DyselError, KernelPool, LaunchOptions, LaunchReport, LaunchStats, Measurement, PruneLevel,
+    RuntimeConfig, SkipReason, VerifyLevel,
 };
 
 /// The compute stream used for eager chunks and the final batch; profiling
@@ -681,6 +681,52 @@ impl Runtime {
             }
         }
 
+        // ---- static dominance pruning (see `dysel_analysis::features`) --
+        // A variant Pareto-dominated on every static access-shape axis by
+        // a same-context sibling is excluded from the micro-profiling pool
+        // (`PruneLevel::On`) or profiled anyway and cross-checked against
+        // the winner (`PruneLevel::Audit`). Pareto maximality guarantees at
+        // least one variant always survives. Runs only when this launch
+        // will actually profile — skip paths never consult the pool.
+        let mut would_prune: Vec<usize> = Vec::new();
+        if self.config.prune != PruneLevel::Off && skip.is_none() && active.len() > 1 {
+            let feats: Vec<_> = active
+                .iter()
+                .map(|&i| dysel_analysis::extract_features(&variants[i].meta))
+                .collect();
+            for (ai, &vi) in active.iter().enumerate() {
+                let dominated = feats
+                    .iter()
+                    .enumerate()
+                    .any(|(aj, fj)| aj != ai && fj.dominates(&feats[ai]));
+                if dominated {
+                    would_prune.push(vi);
+                }
+            }
+            if !would_prune.is_empty() {
+                if let Some(obs) = &self.config.observe {
+                    let detail = match self.config.prune {
+                        PruneLevel::On => "pruned",
+                        _ => "audit",
+                    };
+                    for &vi in &would_prune {
+                        obs.emit(
+                            Event::new(Stage::Prune)
+                                .signature(signature)
+                                .variant(variants[vi].name())
+                                .at(t_start.0)
+                                .detail(detail),
+                        );
+                    }
+                    obs.count(names::PRUNED, would_prune.len() as u64);
+                }
+                if self.config.prune == PruneLevel::On {
+                    active.retain(|vi| !would_prune.contains(vi));
+                }
+            }
+        }
+        let initial = sanitize(&active, initial);
+
         let active_metas: Vec<_> = active.iter().map(|&i| variants[i].meta.clone()).collect();
         let mode = if force_swap {
             ProfilingMode::SwapPartial
@@ -797,6 +843,8 @@ impl Runtime {
                 extra_space_bytes: 0,
                 eager_chunks: 0,
                 launches: launches_issued,
+                pruned_variants: 0,
+                prune_disagreement: false,
                 faults,
             };
             fold_report_metrics(&self.config, &report);
@@ -812,7 +860,7 @@ impl Runtime {
         };
 
         self.timeline.clear();
-        let report = profile_and_run(
+        let mut report = profile_and_run(
             device,
             &self.config,
             signature,
@@ -832,6 +880,27 @@ impl Runtime {
             &mut self.timeline,
             &mut self.stats,
         )?;
+        report.pruned_variants = would_prune.len() as u64;
+        // Audit-mode falsification: every variant was profiled anyway, so
+        // if the winner is one the dominance rule would have pruned, the
+        // rule is wrong for this signature — record the disagreement.
+        if self.config.prune == PruneLevel::Audit && would_prune.contains(&report.selected.0) {
+            report.prune_disagreement = true;
+            if let Some(obs) = &self.config.observe {
+                obs.count(names::PRUNE_DISAGREEMENTS, 1);
+            }
+            record_diags(
+                &mut self.diagnostics,
+                &self.config,
+                signature,
+                vec![Diagnostic::new(
+                    LintCode::PruningDisagreement,
+                    variants[report.selected.0].name(),
+                    "dominance pruning would have excluded the micro-profiling \
+                     winner; the static rule is falsified for this signature",
+                )],
+            );
+        }
         self.selection_cache
             .insert(signature.to_owned(), report.selected);
         fold_report_metrics(&self.config, &report);
@@ -1794,6 +1863,8 @@ fn profile_core(
         extra_space_bytes,
         eager_chunks,
         launches: launches_issued,
+        pruned_variants: 0,
+        prune_disagreement: false,
         faults: faults.clone(),
     })
 }

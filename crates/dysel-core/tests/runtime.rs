@@ -423,3 +423,153 @@ fn profile_reps_multiply_measurement_launches() {
     assert_eq!(report.selected_name, "fast");
     assert_output_complete(&args, N);
 }
+
+// ---- static dominance pruning --------------------------------------------
+
+/// A doubling variant whose IR carries an access shape the feature
+/// extractor can rank: `stride` is the innermost coefficient of the input
+/// walk (1 = coalesced, 16 = strided), everything else identical.
+fn shaped_variant(name: &str, cost_factor: u64, stride: i64) -> Variant {
+    use dysel_kernel::{AccessIr, LoopBound, LoopIr, LoopKind};
+    let ir = KernelIr::regular(vec![0])
+        .with_loops(vec![
+            LoopIr::new(LoopKind::WorkItem(0), LoopBound::UniformRuntime),
+            LoopIr::new(LoopKind::Kernel, LoopBound::Const(16)),
+        ])
+        .with_accesses(vec![
+            AccessIr::affine_load(1, vec![16, stride]),
+            AccessIr::affine_store(0, vec![1, 0]),
+        ]);
+    Variant::from_fn(VariantMeta::new(name, ir), move |ctx, args| {
+        let u = ctx.units();
+        for i in u.iter() {
+            let v = args.f32(1).unwrap()[i as usize];
+            args.f32_mut(0).unwrap()[i as usize] = 2.0 * v;
+        }
+        ctx.stream_load(1, u.start, u.len(), 1);
+        ctx.stream_store(0, u.start, u.len(), 1);
+        ctx.compute(u.len() * cost_factor);
+    })
+}
+
+fn pruned_runtime(prune: dysel_core::PruneLevel, variants: Vec<Variant>) -> Runtime {
+    let config = RuntimeConfig {
+        prune,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = Runtime::with_config(Box::new(CpuDevice::new(CpuConfig::noiseless())), config);
+    rt.add_kernels("double", variants);
+    rt
+}
+
+#[test]
+fn prune_on_excludes_dominated_variants_from_profiling() {
+    use dysel_core::PruneLevel;
+    // "coalesced" dominates "strided" statically AND is cheaper: pruning
+    // is both safe and effective here.
+    let variants = || {
+        vec![
+            shaped_variant("coalesced", 200, 1),
+            shaped_variant("strided", 40_000, 16),
+        ]
+    };
+    let opts = LaunchOptions::new()
+        .with_mode(ProfilingMode::HybridPartial)
+        .with_orchestration(Orchestration::Sync);
+
+    // Unprofiled variants surface as `Cycles::MAX` sentinels in the
+    // measurement vector (same convention as quarantined variants).
+    let profiled = |r: &dysel_core::LaunchReport| {
+        r.measurements
+            .iter()
+            .filter(|m| m.measured < dysel_device::Cycles::MAX)
+            .count()
+    };
+
+    let mut off = pruned_runtime(PruneLevel::Off, variants());
+    let mut args = fresh_args(N);
+    let base = off.launch("double", &mut args, N, &opts).unwrap();
+    assert_eq!(profiled(&base), 2);
+
+    let mut on = pruned_runtime(PruneLevel::On, variants());
+    let mut args = fresh_args(N);
+    let report = on.launch("double", &mut args, N, &opts).unwrap();
+    assert_eq!(report.selected_name, "coalesced");
+    assert_eq!(
+        profiled(&report),
+        1,
+        "dominated variant must not be micro-profiled under prune=On"
+    );
+    assert!(report.launches < base.launches);
+    assert_output_complete(&args, N);
+}
+
+#[test]
+fn prune_audit_profiles_everything_and_records_disagreement() {
+    use dysel_core::PruneLevel;
+    use dysel_verify::LintCode;
+    // The statically dominated variant is actually *faster*: audit mode
+    // must still profile it, let it win, and record the falsification.
+    let variants = vec![
+        shaped_variant("coalesced", 40_000, 1),
+        shaped_variant("strided", 200, 16),
+    ];
+    let mut rt = pruned_runtime(PruneLevel::Audit, variants);
+    let mut args = fresh_args(N);
+    let opts = LaunchOptions::new()
+        .with_mode(ProfilingMode::HybridPartial)
+        .with_orchestration(Orchestration::Sync);
+    let report = rt.launch("double", &mut args, N, &opts).unwrap();
+    assert_eq!(
+        report.measurements.len(),
+        2,
+        "audit mode profiles the full pool"
+    );
+    assert_eq!(report.selected_name, "strided");
+    let diags = rt.diagnostics("double");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == LintCode::PruningDisagreement && d.variant == "strided"),
+        "DV502 must be recorded when a would-be-pruned variant wins: {diags:?}"
+    );
+    assert_output_complete(&args, N);
+}
+
+#[test]
+fn prune_audit_stays_silent_when_the_rule_holds() {
+    use dysel_core::PruneLevel;
+    let variants = vec![
+        shaped_variant("coalesced", 200, 1),
+        shaped_variant("strided", 40_000, 16),
+    ];
+    let mut rt = pruned_runtime(PruneLevel::Audit, variants);
+    let mut args = fresh_args(N);
+    let opts = LaunchOptions::new()
+        .with_mode(ProfilingMode::HybridPartial)
+        .with_orchestration(Orchestration::Sync);
+    let report = rt.launch("double", &mut args, N, &opts).unwrap();
+    assert_eq!(report.selected_name, "coalesced");
+    assert!(rt.diagnostics("double").is_empty());
+}
+
+#[test]
+fn prune_never_empties_the_pool() {
+    use dysel_core::PruneLevel;
+    // Identical shapes: nobody dominates anybody; all profiled. Costs are
+    // widely separated so cache warming across the sequential profiling
+    // launches cannot flip the ranking.
+    let variants = vec![
+        shaped_variant("a", 200, 1),
+        shaped_variant("b", 10_000, 1),
+        shaped_variant("c", 40_000, 1),
+    ];
+    let mut rt = pruned_runtime(PruneLevel::On, variants);
+    let mut args = fresh_args(N);
+    let opts = LaunchOptions::new()
+        .with_mode(ProfilingMode::HybridPartial)
+        .with_orchestration(Orchestration::Sync);
+    let report = rt.launch("double", &mut args, N, &opts).unwrap();
+    assert_eq!(report.measurements.len(), 3);
+    assert_eq!(report.selected_name, "a");
+}

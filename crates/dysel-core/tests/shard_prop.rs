@@ -53,8 +53,12 @@ fn random_key(rng: &mut XorShiftRng) -> StreamKey {
 
 fn apply_cache(cache: &ShardedCache, key: &StreamKey, op: Op) {
     match op {
-        Op::Insert(id, n) => cache.insert(key, id, n),
-        Op::Quarantine(id, reason) => cache.quarantine(key, id, reason),
+        Op::Insert(id, n) => {
+            cache.insert(key, id, n);
+        }
+        Op::Quarantine(id, reason) => {
+            cache.quarantine(key, id, reason);
+        }
         Op::WarmRestore(id, n) => {
             cache.warm_restore(key, id, n);
         }

@@ -91,6 +91,22 @@ pub struct AccessIr {
     /// with a bounded template). Placement models use it to estimate
     /// cache residency.
     pub reuse_window_bytes: Option<u64>,
+    /// Declared value range `(lo, hi)` — inclusive, in elements — of the
+    /// site's data-dependent index offset. On an [`AccessPattern::Affine`]
+    /// site the offset adds to the affine base (`Σ coeff_d·i_d + offset`,
+    /// a *strided indirect* access); on an [`AccessPattern::Indirect`]
+    /// site it is the absolute index window.
+    ///
+    /// Contract (what the disjointness solver assumes): the range both
+    /// **covers** the offsets (every offset the site produces lies in
+    /// `[lo, hi]`, on every input — this makes `Disjoint` proofs sound)
+    /// and is **jointly attainable** (for any two distinct work items and
+    /// any pair of in-range values, some input and iteration realize those
+    /// offsets simultaneously — this makes `Overlap` verdicts honest).
+    /// Sites whose indices are correlated across work items (e.g. a
+    /// scatter through a permutation array) satisfy only the first half
+    /// and must *not* declare a range.
+    pub index_range: Option<(i64, i64)>,
 }
 
 impl AccessIr {
@@ -103,6 +119,7 @@ impl AccessIr {
             store: false,
             lane_uniform: false,
             reuse_window_bytes: None,
+            index_range: None,
         }
     }
 
@@ -115,6 +132,7 @@ impl AccessIr {
             store: true,
             lane_uniform: false,
             reuse_window_bytes: None,
+            index_range: None,
         }
     }
 
@@ -127,6 +145,7 @@ impl AccessIr {
             store: false,
             lane_uniform: false,
             reuse_window_bytes: None,
+            index_range: None,
         }
     }
 
@@ -140,6 +159,7 @@ impl AccessIr {
             store: true,
             lane_uniform: false,
             reuse_window_bytes: None,
+            index_range: None,
         }
     }
 
@@ -152,6 +172,14 @@ impl AccessIr {
     /// Builder-style: bound the indirect reuse window.
     pub fn with_reuse_window(mut self, bytes: u64) -> Self {
         self.reuse_window_bytes = Some(bytes);
+        self
+    }
+
+    /// Builder-style: declare the inclusive value range of the site's
+    /// data-dependent index offset (see [`AccessIr::index_range`] for the
+    /// covering/attainability contract the declaration promises).
+    pub fn with_index_range(mut self, lo: i64, hi: i64) -> Self {
+        self.index_range = Some((lo, hi));
         self
     }
 }
@@ -264,6 +292,15 @@ mod tests {
             LoopBound::DataDependent,
         )]);
         assert!(ir.has_nonuniform_loops());
+    }
+
+    #[test]
+    fn index_range_builder_annotates() {
+        let a = AccessIr::indirect_store(0).with_index_range(0, 255);
+        assert_eq!(a.index_range, Some((0, 255)));
+        let b = AccessIr::affine_store(0, vec![32]).with_index_range(0, 31);
+        assert_eq!(b.index_range, Some((0, 31)));
+        assert_eq!(AccessIr::affine_load(1, vec![1]).index_range, None);
     }
 
     #[test]

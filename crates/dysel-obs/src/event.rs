@@ -55,6 +55,9 @@ pub enum Stage {
     DeadlineExpire,
     /// The selection journal was compacted into a checkpoint.
     JournalCompact,
+    /// A statically dominated variant was pruned from (or, in audit
+    /// mode, flagged for pruning in) the micro-profiling pool.
+    Prune,
 }
 
 impl Stage {
@@ -82,6 +85,7 @@ impl Stage {
             Stage::BreakerClose => "breaker-close",
             Stage::DeadlineExpire => "deadline-expire",
             Stage::JournalCompact => "journal-compact",
+            Stage::Prune => "prune",
         }
     }
 
@@ -413,6 +417,7 @@ mod tests {
             Stage::BreakerClose,
             Stage::DeadlineExpire,
             Stage::JournalCompact,
+            Stage::Prune,
         ] {
             assert!(!s.is_span(), "{s} should be a point stage");
         }

@@ -42,6 +42,11 @@ pub mod names {
     pub const SANDBOX_RESTORE_BYTES: &str = "dysel_sandbox_restore_bytes_total";
     /// Verifier diagnostics dropped by the per-signature cap.
     pub const DIAG_DROPPED: &str = "dysel_diagnostics_dropped_total";
+    /// Variants excluded from (or, in audit mode, flagged for exclusion
+    /// from) micro-profiling by static dominance pruning.
+    pub const PRUNED: &str = "dysel_pruned_variants_total";
+    /// Audit-mode disagreements: a would-be-pruned variant won profiling.
+    pub const PRUNE_DISAGREEMENTS: &str = "dysel_prune_disagreements_total";
     /// Prefix of the per-variant profiling-cycle histograms; full names
     /// are `dysel_profile_cycles/<signature>/<variant>`.
     pub const PROFILE_CYCLES: &str = "dysel_profile_cycles";

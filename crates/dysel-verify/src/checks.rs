@@ -84,6 +84,42 @@ pub fn verify_variant(meta: &VariantMeta) -> Vec<Diagnostic> {
         }
     }
 
+    // DV5xx — annotation hygiene for the static feature vector that
+    // drives dominance pruning (see `dysel_analysis::extract_features`).
+    for a in &ir.accesses {
+        if let Some((lo, hi)) = a.index_range {
+            if lo > hi {
+                diags.push(Diagnostic::new(
+                    LintCode::InvalidIndexRange,
+                    &meta.name,
+                    format!(
+                        "access site on arg {} declares index_range ({lo}, {hi}) \
+                         with lo > hi; the window is meaningless and the solver \
+                         ignores it",
+                        a.arg
+                    ),
+                ));
+            }
+        }
+    }
+    if uniform_workload(ir).is_uniform {
+        for a in &ir.accesses {
+            if a.store && a.pattern == AccessPattern::Indirect && a.index_range.is_none() {
+                diags.push(Diagnostic::new(
+                    LintCode::FeatureDivergence,
+                    &meta.name,
+                    format!(
+                        "regular variant stores indirectly through arg {} without \
+                         an index_range annotation; the feature extractor flags it \
+                         irregular and dominance pruning abstains for want of a \
+                         cheap bound",
+                        a.arg
+                    ),
+                ));
+            }
+        }
+    }
+
     // DV301/DV302 — internal index consistency against the arity the
     // placement list declares (when one is declared at all). The true
     // argument count is only known at launch; see [`verify_arity`].
@@ -351,6 +387,42 @@ mod tests {
         let diags = verify_mode_override(&set, ProfilingMode::FullyProductive);
         assert!(diags.iter().any(|d| d.code == LintCode::RiskyModeOverride));
         assert!(!has_deny(&diags));
+    }
+
+    #[test]
+    fn unannotated_indirect_store_on_regular_variant_is_dv500() {
+        let ir = KernelIr::regular(vec![0])
+            .with_loops(vec![wi(64)])
+            .with_accesses(vec![AccessIr::indirect_store(0)]);
+        let diags = verify_variant(&meta(ir.clone()));
+        assert!(diags.iter().any(|d| d.code == LintCode::FeatureDivergence));
+        // The annotation silences it.
+        let annotated = KernelIr::regular(vec![0])
+            .with_loops(vec![wi(64)])
+            .with_accesses(vec![AccessIr::indirect_store(0).with_index_range(0, 255)]);
+        assert!(!verify_variant(&meta(annotated))
+            .iter()
+            .any(|d| d.code == LintCode::FeatureDivergence));
+        // An irregular variant is exempt: pruning abstains anyway.
+        let irregular = ir.with_loops(vec![LoopIr::new(
+            LoopKind::WorkItem(0),
+            LoopBound::DataDependent,
+        )]);
+        assert!(!verify_variant(&meta(irregular))
+            .iter()
+            .any(|d| d.code == LintCode::FeatureDivergence));
+    }
+
+    #[test]
+    fn inverted_index_range_is_dv501() {
+        let ir = KernelIr::regular(vec![0])
+            .with_loops(vec![wi(64)])
+            .with_accesses(vec![
+                AccessIr::affine_store(0, vec![1]).with_index_range(5, -5)
+            ]);
+        let diags = verify_variant(&meta(ir));
+        assert!(diags.iter().any(|d| d.code == LintCode::InvalidIndexRange));
+        assert!(has_deny(&diags));
     }
 
     #[test]

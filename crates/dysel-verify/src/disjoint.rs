@@ -72,14 +72,15 @@ pub struct ArgVerdict {
 
 /// One difference variable of the feasibility system: contribution
 /// `coeff · m` with the multiplier `m` ranging over `[lo, hi]` (bounded) or
-/// all of ℤ (unbounded).
+/// all of ℤ (unbounded). Shared with the abstract-interpretation tier
+/// ([`crate::absint`]), which refines what the affine machinery abstains on.
 #[derive(Debug, Clone, Copy)]
-struct Term {
-    coeff: i64,
-    lo: i64,
-    hi: i64,
-    bounded: bool,
-    work_item: bool,
+pub(crate) struct Term {
+    pub(crate) coeff: i64,
+    pub(crate) lo: i64,
+    pub(crate) hi: i64,
+    pub(crate) bounded: bool,
+    pub(crate) work_item: bool,
 }
 
 impl Term {
@@ -120,42 +121,84 @@ fn extent_of(bound: LoopBound) -> Option<u64> {
     }
 }
 
+/// One loop level with its bound resolved, computed once per kernel and
+/// shared by every site and site pair (the bounds used to be re-derived
+/// from the raw IR for each pair).
+#[derive(Debug, Clone, Copy)]
+struct ResolvedLoop {
+    work_item: bool,
+    extent: Option<u64>,
+}
+
+fn resolve_loops(ir: &KernelIr) -> Vec<ResolvedLoop> {
+    ir.loops
+        .iter()
+        .map(|l| ResolvedLoop {
+            work_item: matches!(l.kind, LoopKind::WorkItem(_)),
+            extent: extent_of(l.bound),
+        })
+        .collect()
+}
+
+/// The declared offset range of a site, normalized: `None` when absent or
+/// malformed (`lo > hi` — surfaced as a lint, ignored here).
+fn offset_range(site: &AccessIr) -> Option<(i64, i64)> {
+    site.index_range.filter(|&(lo, hi)| lo <= hi)
+}
+
 /// Builds the difference-variable terms for a single store site.
 /// `Err(Overlap)` short-circuits: a zero coefficient on a work-item
 /// dimension that can vary means two distinct work items write identically.
-fn site_terms(ir: &KernelIr, coeffs: &[i64]) -> Result<Vec<Term>, Verdict> {
+/// A declared offset range `[lo, hi]` contributes the bounded difference
+/// term `1 · [lo − hi, hi − lo]` (two work items' offsets are independent
+/// under the [`AccessIr::index_range`] contract).
+fn site_terms(
+    loops: &[ResolvedLoop],
+    coeffs: &[i64],
+    range: Option<(i64, i64)>,
+) -> Result<Vec<Term>, Verdict> {
     let mut terms = Vec::new();
     let mut any_work_item_loop = false;
-    for (d, l) in ir.loops.iter().enumerate() {
+    for (d, l) in loops.iter().enumerate() {
         let c = coeffs.get(d).copied().unwrap_or(0);
-        let work_item = matches!(l.kind, LoopKind::WorkItem(_));
-        any_work_item_loop |= work_item;
-        let extent = extent_of(l.bound);
+        any_work_item_loop |= l.work_item;
         // A dimension that cannot take two values cannot distinguish
         // anything: drop it.
-        if matches!(extent, Some(e) if e <= 1) {
+        if matches!(l.extent, Some(e) if e <= 1) {
             continue;
         }
         if c == 0 {
-            if work_item {
+            if l.work_item {
                 // Two work items differing only in this dimension write
                 // the same addresses.
                 return Err(Verdict::Overlap);
             }
             continue; // a kernel loop the address ignores
         }
-        terms.push(Term::symmetric(c, extent, work_item));
+        terms.push(Term::symmetric(c, l.extent, l.work_item));
     }
     if !any_work_item_loop {
         // The nest never enumerates work items: every work item replays the
         // same store addresses.
         return Err(Verdict::Overlap);
     }
+    if let Some((lo, hi)) = range {
+        if hi > lo {
+            let spread = hi.saturating_sub(lo);
+            terms.push(Term {
+                coeff: 1,
+                lo: -spread,
+                hi: spread,
+                bounded: true,
+                work_item: false,
+            });
+        }
+    }
     Ok(terms)
 }
 
 /// Greatest common divisor (non-negative).
-fn gcd(a: i64, b: i64) -> i64 {
+pub(crate) fn gcd(a: i64, b: i64) -> i64 {
     let (mut a, mut b) = (a.abs(), b.abs());
     while b != 0 {
         let t = a % b;
@@ -187,7 +230,7 @@ fn chain_dominates(terms: &[Term]) -> bool {
 
 /// Exact sum-set of the bounded terms, tagged by whether any work-item
 /// multiplier is nonzero. Returns `None` if the set would exceed the cap.
-fn bounded_sumset(terms: &[Term]) -> Option<HashSet<(i64, bool)>> {
+pub(crate) fn bounded_sumset(terms: &[Term]) -> Option<HashSet<(i64, bool)>> {
     let mut set: HashSet<(i64, bool)> = HashSet::new();
     set.insert((0, false));
     for t in terms {
@@ -335,11 +378,40 @@ fn analyze_terms(terms: &[Term]) -> Verdict {
     }
 }
 
+/// How far the solver escalates before abstaining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalysisTier {
+    /// The affine machinery only: fast paths, exact sum-set enumeration up
+    /// to the cap, clamped witness probes.
+    Affine,
+    /// Affine machinery first, then the [`crate::absint`]
+    /// interval/congruence tier on whatever stayed [`Verdict::Unknown`].
+    /// The extra tier only resolves abstentions — it never flips a
+    /// `Disjoint`/`Overlap` the affine tier already proved.
+    #[default]
+    Full,
+}
+
+/// Runs the affine analysis and, at [`AnalysisTier::Full`], lets the
+/// abstract-interpretation tier refine an `Unknown`.
+fn analyze_terms_tiered(terms: &[Term], tier: AnalysisTier) -> Verdict {
+    let v = analyze_terms(terms);
+    if v == Verdict::Unknown && tier == AnalysisTier::Full {
+        return crate::absint::refine(terms);
+    }
+    v
+}
+
 /// Single-site verdict: can two distinct work items write the same element
 /// through this affine store?
-fn site_verdict(ir: &KernelIr, coeffs: &[i64]) -> Verdict {
-    match site_terms(ir, coeffs) {
-        Ok(terms) => analyze_terms(&terms),
+fn site_verdict(
+    loops: &[ResolvedLoop],
+    coeffs: &[i64],
+    range: Option<(i64, i64)>,
+    tier: AnalysisTier,
+) -> Verdict {
+    match site_terms(loops, coeffs, range) {
+        Ok(terms) => analyze_terms_tiered(&terms, tier),
         Err(v) => v,
     }
 }
@@ -349,16 +421,20 @@ fn site_verdict(ir: &KernelIr, coeffs: &[i64]) -> Verdict {
 /// agree on their work-item coefficients (the sites then share the
 /// work-item difference vector); otherwise the absolute indices cannot be
 /// eliminated and the pair stays [`Verdict::Unknown`].
-fn pair_verdict(ir: &KernelIr, a: &[i64], b: &[i64]) -> Verdict {
+fn pair_verdict(
+    loops: &[ResolvedLoop],
+    (a, ra): (&[i64], Option<(i64, i64)>),
+    (b, rb): (&[i64], Option<(i64, i64)>),
+    tier: AnalysisTier,
+) -> Verdict {
     let mut terms = Vec::new();
     let mut any_work_item_loop = false;
-    for (d, l) in ir.loops.iter().enumerate() {
+    for (d, l) in loops.iter().enumerate() {
         let ca = a.get(d).copied().unwrap_or(0);
         let cb = b.get(d).copied().unwrap_or(0);
-        let work_item = matches!(l.kind, LoopKind::WorkItem(_));
-        any_work_item_loop |= work_item;
-        let extent = extent_of(l.bound);
-        if work_item {
+        any_work_item_loop |= l.work_item;
+        let extent = l.extent;
+        if l.work_item {
             if ca != cb {
                 return Verdict::Unknown;
             }
@@ -423,7 +499,21 @@ fn pair_verdict(ir: &KernelIr, a: &[i64], b: &[i64]) -> Verdict {
         // All work-item dims were pinned (extent ≤ 1): one work item only.
         return Verdict::Disjoint;
     }
-    analyze_terms(&terms)
+    // The two sites' declared offsets are independent: `oa − ob` ranges
+    // over `[lo_a − hi_b, hi_a − lo_b]` (a missing range is the constant 0).
+    let (la, ha) = ra.unwrap_or((0, 0));
+    let (lb, hb) = rb.unwrap_or((0, 0));
+    let (dlo, dhi) = (la.saturating_sub(hb), ha.saturating_sub(lb));
+    if dlo != 0 || dhi != 0 {
+        terms.push(Term {
+            coeff: 1,
+            lo: dlo,
+            hi: dhi,
+            bounded: true,
+            work_item: false,
+        });
+    }
+    analyze_terms_tiered(&terms, tier)
 }
 
 fn combine(acc: Verdict, v: Verdict) -> Verdict {
@@ -434,9 +524,26 @@ fn combine(acc: Verdict, v: Verdict) -> Verdict {
     }
 }
 
-/// Analyzes every argument with at least one store site, returning one
-/// verdict per stored argument (ascending argument order).
-pub fn write_disjointness(ir: &KernelIr) -> Vec<ArgVerdict> {
+/// A store site's per-loop coefficients plus its absolute offset window
+/// (`None` when the site carries no [`AccessIr::index_range`]).
+type AffineView<'a> = (&'a [i64], Option<(i64, i64)>);
+
+/// The effective affine view of a store site: its coefficients and offset
+/// range. An [`AccessPattern::Indirect`] site with a declared
+/// [`AccessIr::index_range`] is the all-zero-coefficient affine site plus
+/// that absolute window; without a range it stays unanalyzable.
+fn affine_view(site: &AccessIr) -> Option<AffineView<'_>> {
+    match &site.pattern {
+        AccessPattern::Affine(coeffs) => Some((coeffs, offset_range(site))),
+        AccessPattern::Indirect => offset_range(site).map(|r| (&[][..], Some(r))),
+    }
+}
+
+/// Analyzes every argument with at least one store site at the requested
+/// [`AnalysisTier`], returning one verdict per stored argument (ascending
+/// argument order).
+pub fn write_disjointness_with(ir: &KernelIr, tier: AnalysisTier) -> Vec<ArgVerdict> {
+    let loops = resolve_loops(ir);
     let mut args: Vec<usize> = ir
         .accesses
         .iter()
@@ -454,17 +561,14 @@ pub fn write_disjointness(ir: &KernelIr) -> Vec<ArgVerdict> {
                 .collect();
             let mut verdict = Verdict::Disjoint;
             for (i, s) in sites.iter().enumerate() {
-                match &s.pattern {
-                    AccessPattern::Indirect => {
-                        verdict = combine(verdict, Verdict::Unknown);
-                    }
-                    AccessPattern::Affine(coeffs) => {
-                        verdict = combine(verdict, site_verdict(ir, coeffs));
-                        for other in &sites[i + 1..] {
-                            if let AccessPattern::Affine(oc) = &other.pattern {
-                                verdict = combine(verdict, pair_verdict(ir, coeffs, oc));
-                            }
-                        }
+                let Some(view) = affine_view(s) else {
+                    verdict = combine(verdict, Verdict::Unknown);
+                    continue;
+                };
+                verdict = combine(verdict, site_verdict(&loops, view.0, view.1, tier));
+                for other in &sites[i + 1..] {
+                    if let Some(oview) = affine_view(other) {
+                        verdict = combine(verdict, pair_verdict(&loops, view, oview, tier));
                     }
                 }
             }
@@ -477,10 +581,15 @@ pub fn write_disjointness(ir: &KernelIr) -> Vec<ArgVerdict> {
         .collect()
 }
 
-/// Kernel-level verdict over every stored argument; `None` when the IR
-/// declares no store site at all (nothing to analyze).
-pub fn write_verdict(ir: &KernelIr) -> Option<Verdict> {
-    let per_arg = write_disjointness(ir);
+/// [`write_disjointness_with`] at the default [`AnalysisTier::Full`].
+pub fn write_disjointness(ir: &KernelIr) -> Vec<ArgVerdict> {
+    write_disjointness_with(ir, AnalysisTier::Full)
+}
+
+/// Kernel-level verdict over every stored argument at the requested tier;
+/// `None` when the IR declares no store site at all (nothing to analyze).
+pub fn write_verdict_with(ir: &KernelIr, tier: AnalysisTier) -> Option<Verdict> {
+    let per_arg = write_disjointness_with(ir, tier);
     if per_arg.is_empty() {
         return None;
     }
@@ -489,6 +598,11 @@ pub fn write_verdict(ir: &KernelIr) -> Option<Verdict> {
             .iter()
             .fold(Verdict::Disjoint, |acc, a| combine(acc, a.verdict)),
     )
+}
+
+/// Kernel-level verdict at the default [`AnalysisTier::Full`].
+pub fn write_verdict(ir: &KernelIr) -> Option<Verdict> {
+    write_verdict_with(ir, AnalysisTier::Full)
 }
 
 #[cfg(test)]
@@ -678,6 +792,144 @@ mod tests {
             vec![AccessIr::affine_store(0, vec![n * n, n, 1])],
         );
         assert_eq!(write_verdict(&k), Some(Verdict::Disjoint));
+    }
+
+    #[test]
+    fn gcd_path_with_zero_stride_terms_is_disjoint() {
+        // Regression for the hoisted bound resolution: an unbounded kernel
+        // stride of 16 against reach ±7, with a second kernel loop the
+        // address ignores (zero stride). The zero-stride dimension must be
+        // dropped, not fed into the gcd.
+        let k = ir(
+            vec![
+                wi(LoopBound::Const(8)),
+                kl(LoopBound::UniformRuntime),
+                kl(LoopBound::Const(4)),
+            ],
+            vec![AccessIr::affine_store(0, vec![1, 16, 0])],
+        );
+        assert_eq!(write_verdict(&k), Some(Verdict::Disjoint));
+        assert_eq!(
+            write_verdict_with(&k, AnalysisTier::Affine),
+            Some(Verdict::Disjoint)
+        );
+    }
+
+    #[test]
+    fn strided_indirect_store_resolved_by_absint_tier() {
+        // The kmeans shape: one unbounded work-item loop at stride 32 plus
+        // a declared offset range [0, 31] — every work item owns a 32-wide
+        // block. The affine tier's clamped probe abstains; the interval +
+        // congruence tier proves no offset difference reaches stride 32.
+        let k = ir(
+            vec![wi(LoopBound::UniformRuntime), kl(LoopBound::Const(16))],
+            vec![AccessIr::affine_store(0, vec![32, 0]).with_index_range(0, 31)],
+        );
+        assert_eq!(
+            write_verdict_with(&k, AnalysisTier::Affine),
+            Some(Verdict::Unknown)
+        );
+        assert_eq!(write_verdict(&k), Some(Verdict::Disjoint));
+    }
+
+    #[test]
+    fn strided_indirect_store_with_wide_range_overlaps() {
+        // Offset range [0, 16] reaches the neighbouring block: work items
+        // i and i+1 collide at offsets 16 and 0 (the range contract makes
+        // the pair attainable). The stride sits beyond the affine tier's
+        // ±8 witness clamp, so only the exact sum-set of the absint tier
+        // finds it.
+        let k = ir(
+            vec![wi(LoopBound::UniformRuntime)],
+            vec![AccessIr::affine_store(0, vec![16]).with_index_range(0, 16)],
+        );
+        assert_eq!(
+            write_verdict_with(&k, AnalysisTier::Affine),
+            Some(Verdict::Unknown)
+        );
+        assert_eq!(write_verdict(&k), Some(Verdict::Overlap));
+    }
+
+    #[test]
+    fn indirect_store_with_range_is_honest_overlap() {
+        // The histogram shape: a pure indirect scatter with a declared
+        // absolute window [0, 255]. Any two work items can pick the same
+        // bin — the annotation turns the old abstention into a proof of
+        // overlap (which the atomics then make safe).
+        let k = ir(
+            vec![wi(LoopBound::UniformRuntime), kl(LoopBound::Const(256))],
+            vec![AccessIr::indirect_store(0).with_index_range(0, 255)],
+        );
+        assert_eq!(write_verdict(&k), Some(Verdict::Overlap));
+    }
+
+    #[test]
+    fn indirect_store_without_range_still_abstains() {
+        let k = ir(
+            vec![wi(LoopBound::UniformRuntime)],
+            vec![AccessIr::indirect_store(0)],
+        );
+        assert_eq!(write_verdict(&k), Some(Verdict::Unknown));
+        assert_eq!(
+            write_verdict_with(&k, AnalysisTier::Affine),
+            Some(Verdict::Unknown)
+        );
+    }
+
+    #[test]
+    fn malformed_index_range_is_ignored() {
+        // lo > hi is surfaced by lint DV501; the solver must not consume it.
+        let k = ir(
+            vec![wi(LoopBound::UniformRuntime)],
+            vec![AccessIr::affine_store(0, vec![1]).with_index_range(5, -5)],
+        );
+        assert_eq!(write_verdict(&k), Some(Verdict::Disjoint));
+    }
+
+    #[test]
+    fn cross_site_offset_ranges_feed_pair_term() {
+        // Site A writes block base + [0, 3], site B base + [4, 7] of the
+        // same 8-wide blocks: the pair's offset difference [-7, -1] never
+        // cancels, and each site alone stays in its half.
+        let loops = vec![wi(LoopBound::UniformRuntime)];
+        let k = ir(
+            loops,
+            vec![
+                AccessIr::affine_store(0, vec![8]).with_index_range(0, 3),
+                AccessIr::affine_store(0, vec![8]).with_index_range(4, 7),
+            ],
+        );
+        assert_eq!(write_verdict(&k), Some(Verdict::Disjoint));
+    }
+
+    #[test]
+    fn full_tier_never_flips_affine_verdicts() {
+        // Structural spot-check of the refinement contract over assorted
+        // shapes: wherever the affine tier already decided, Full agrees.
+        let shapes = vec![
+            ir(
+                vec![wi(LoopBound::UniformRuntime), kl(LoopBound::DataDependent)],
+                vec![AccessIr::affine_store(0, vec![1, 0])],
+            ),
+            ir(
+                vec![wi(LoopBound::UniformRuntime), kl(LoopBound::Const(16))],
+                vec![AccessIr::affine_store(0, vec![0, 1])],
+            ),
+            ir(
+                vec![wi_d(1, LoopBound::Const(4)), wi_d(0, LoopBound::Const(4))],
+                vec![AccessIr::affine_store(0, vec![2, 1])],
+            ),
+            ir(
+                vec![wi(LoopBound::Const(8)), kl(LoopBound::UniformRuntime)],
+                vec![AccessIr::affine_store(0, vec![1, 16])],
+            ),
+        ];
+        for k in shapes {
+            let affine = write_verdict_with(&k, AnalysisTier::Affine).unwrap();
+            if affine != Verdict::Unknown {
+                assert_eq!(write_verdict(&k), Some(affine));
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,11 @@
 //!   [`dysel_kernel::AccessPattern::Affine`] coefficients to statically
 //!   prove or refute cross-work-item write disjointness (write-write race
 //!   detection);
+//! * [`absint`] — the interval + congruence abstract-interpretation tier
+//!   that refines what the affine machinery abstains on (strided indirect
+//!   stores with declared [`dysel_kernel::AccessIr::index_range`]s,
+//!   unbounded kernel strides with compatible residues) without ever
+//!   flipping a proven verdict;
 //! * [`lint`] — a small lint engine with stable codes (`DV1xx` disjointness,
 //!   `DV2xx` output declarations, `DV3xx` sandbox/placement indices,
 //!   `DV4xx` mode overrides), `Deny`/`Warn`/`Note` severities, per-code
@@ -26,12 +31,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod checks;
 pub mod disjoint;
 pub mod lint;
 pub mod replay;
 
+pub use absint::{AbsVal, Congruence, Interval};
 pub use checks::{has_deny, verify_arity, verify_mode_override, verify_set, verify_variant};
-pub use disjoint::{write_disjointness, write_verdict, ArgVerdict, Verdict};
+pub use disjoint::{
+    write_disjointness, write_disjointness_with, write_verdict, write_verdict_with, AnalysisTier,
+    ArgVerdict, Verdict,
+};
 pub use lint::{render_human, render_json, Diagnostic, LintCode, LintConfig, Severity};
 pub use replay::{sanitize_variant, FootprintSink, SanitizeOutcome, StoreFootprint};

@@ -16,6 +16,9 @@
 //! | DV302 | Warn | placement list does not cover a referenced argument |
 //! | DV400 | Deny | mode override weaker than what side effects require |
 //! | DV401 | Warn | `FullyProductive` override on an irregular variant set |
+//! | DV500 | Warn | declared-regular variant with an unannotated indirect store |
+//! | DV501 | Deny | `index_range` annotation with `lo > hi` |
+//! | DV502 | Warn | audit-mode pruning disagreement: a dominated variant won |
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -70,11 +73,23 @@ pub enum LintCode {
     /// DV401: a `FullyProductive` override on an irregular or early-exit
     /// variant set — measurements will be unfair, though not unsound.
     RiskyModeOverride,
+    /// DV500: a variant with uniform loop bounds and no early exit stores
+    /// through an indirect site that carries no `index_range` annotation —
+    /// the feature extractor must flag it irregular and dominance pruning
+    /// abstains, purely for want of a cheap annotation.
+    FeatureDivergence,
+    /// DV501: an `index_range` annotation with `lo > hi` — meaningless as
+    /// a covering window; the disjointness solver ignores it.
+    InvalidIndexRange,
+    /// DV502: audit-mode pruning disagreement — a variant the dominance
+    /// rule would have pruned won micro-profiling, falsifying the rule on
+    /// this signature.
+    PruningDisagreement,
 }
 
 impl LintCode {
     /// Every code, in ascending code order.
-    pub const ALL: [LintCode; 10] = [
+    pub const ALL: [LintCode; 13] = [
         LintCode::DisjointViolated,
         LintCode::DisjointUnderclaimed,
         LintCode::DisjointUnproven,
@@ -85,6 +100,9 @@ impl LintCode {
         LintCode::PlacementsTooShort,
         LintCode::IllegalModeOverride,
         LintCode::RiskyModeOverride,
+        LintCode::FeatureDivergence,
+        LintCode::InvalidIndexRange,
+        LintCode::PruningDisagreement,
     ];
 
     /// The stable code string (e.g. `"DV100"`).
@@ -100,6 +118,9 @@ impl LintCode {
             LintCode::PlacementsTooShort => "DV302",
             LintCode::IllegalModeOverride => "DV400",
             LintCode::RiskyModeOverride => "DV401",
+            LintCode::FeatureDivergence => "DV500",
+            LintCode::InvalidIndexRange => "DV501",
+            LintCode::PruningDisagreement => "DV502",
         }
     }
 
@@ -110,10 +131,13 @@ impl LintCode {
             | LintCode::UndeclaredStore
             | LintCode::SandboxMissingOutput
             | LintCode::SandboxOutOfRange
-            | LintCode::IllegalModeOverride => Severity::Deny,
+            | LintCode::IllegalModeOverride
+            | LintCode::InvalidIndexRange => Severity::Deny,
             LintCode::OutputNeverStored
             | LintCode::PlacementsTooShort
-            | LintCode::RiskyModeOverride => Severity::Warn,
+            | LintCode::RiskyModeOverride
+            | LintCode::FeatureDivergence
+            | LintCode::PruningDisagreement => Severity::Warn,
             LintCode::DisjointUnderclaimed | LintCode::DisjointUnproven => Severity::Note,
         }
     }

@@ -1,0 +1,220 @@
+//! Randomized property tests for the interval/congruence refinement tier.
+//!
+//! Gated behind the dep-less `proptest` cargo feature and driven by the
+//! in-tree [`XorShiftRng`]: `cargo test -p dysel-verify --features proptest`.
+//!
+//! Three properties pin the tier's contract down:
+//!
+//! 1. the abstract domains over-approximate: an interval/congruence sum
+//!    contains every concrete sum of members;
+//! 2. the `Full` tier is *refining only* — it never flips a verdict the
+//!    `Affine` tier already proved, it only resolves `Unknown`s;
+//! 3. a `Full`-tier `Disjoint` over a runtime-bounded nest survives
+//!    brute-force enumeration at every sampled concrete extent, and a
+//!    `Full`-tier `Overlap` produces a race at every extent ≥ 2 (the
+//!    witness multiplier on unbounded dimensions is clamped to ±1).
+#![cfg(feature = "proptest")]
+
+use dysel_kernel::{AccessIr, KernelIr, LoopBound, LoopIr, LoopKind, XorShiftRng};
+use dysel_verify::{write_verdict_with, AnalysisTier, Congruence, Interval, Verdict};
+
+const CASES: u64 = 256;
+
+/// Ground truth by exhaustive enumeration (same definition as `prop.rs`):
+/// whether two distinct work-item sub-tuples of the all-constant nest ever
+/// produce the same affine store value.
+fn brute_force_overlaps(extents: &[u64], wi_dims: &[bool], coeffs: &[i64]) -> bool {
+    let total: u64 = extents.iter().product();
+    let mut seen: Vec<(i64, Vec<u64>)> = Vec::with_capacity(total as usize);
+    for flat in 0..total {
+        let mut rest = flat;
+        let mut value = 0i64;
+        let mut wi_tuple = Vec::new();
+        for (d, &e) in extents.iter().enumerate() {
+            let idx = rest % e;
+            rest /= e;
+            value += coeffs[d] * idx as i64;
+            if wi_dims[d] {
+                wi_tuple.push(idx);
+            }
+        }
+        if seen.iter().any(|(v, wt)| *v == value && *wt != wi_tuple) {
+            return true;
+        }
+        seen.push((value, wi_tuple));
+    }
+    false
+}
+
+/// Interval sums over-approximate: for members `x ∈ a`, `y ∈ b`, the sum
+/// `x + y` lies in `a + b`; and `contains` respects the stated bounds.
+#[test]
+fn interval_sum_is_sound() {
+    for case in 0..CASES {
+        let mut rng = XorShiftRng::seed_from_u64(0xAB51_0000 + case);
+        let span = |rng: &mut XorShiftRng| {
+            let lo = rng.gen_range_u64(0, 41) as i64 - 20;
+            let len = rng.gen_range_u64(0, 8) as i64;
+            (lo, lo + len)
+        };
+        let (alo, ahi) = span(&mut rng);
+        let (blo, bhi) = span(&mut rng);
+        let a = Interval::new(alo, ahi);
+        let b = Interval::new(blo, bhi);
+        let sum = a + b;
+        for x in alo..=ahi {
+            assert!(a.contains(x), "case {case}: [{alo},{ahi}] lost {x}");
+            for y in blo..=bhi {
+                assert!(
+                    sum.contains(x + y),
+                    "case {case}: sum of [{alo},{ahi}]+[{blo},{bhi}] lost {}",
+                    x + y
+                );
+            }
+        }
+        assert!(!a.contains(alo - 1) && !a.contains(ahi + 1));
+        // Half-bounded operands survive the sum soundly too.
+        let top = Interval::TOP + a;
+        assert!(top.contains(alo + blo) && top.contains(i64::MIN) && top.contains(i64::MAX));
+    }
+}
+
+/// Congruence sums over-approximate: `m·i + n·j` lies in
+/// `multiples_of(m) + multiples_of(n)`, shifted classes keep their
+/// residue, and exact constants stay exact.
+#[test]
+fn congruence_sum_is_sound() {
+    for case in 0..CASES {
+        let mut rng = XorShiftRng::seed_from_u64(0xAB51_1000 + case);
+        let m = rng.gen_range_u64(0, 13) as i64 - 6;
+        let n = rng.gen_range_u64(0, 13) as i64 - 6;
+        let c = rng.gen_range_u64(0, 41) as i64 - 20;
+        let a = Congruence::multiples_of(m);
+        let b = Congruence::multiples_of(n);
+        let sum = a + b;
+        for i in -4i64..=4 {
+            assert!(a.contains(m * i), "case {case}: {m}ℤ lost {}", m * i);
+            for j in -4i64..=4 {
+                assert!(
+                    sum.contains(m * i + n * j),
+                    "case {case}: {m}ℤ+{n}ℤ lost {}",
+                    m * i + n * j
+                );
+            }
+        }
+        let shifted = a + Congruence::point(c);
+        for i in -4i64..=4 {
+            assert!(
+                shifted.contains(m * i + c),
+                "case {case}: {m}ℤ+{c} lost {}",
+                m * i + c
+            );
+        }
+        let exact = Congruence::point(c) + Congruence::point(-c);
+        assert!(exact.contains(0) && !exact.contains(1) && !exact.contains(-1));
+    }
+}
+
+/// Builds a random nest mixing constant and uniform-runtime bounds with a
+/// single affine store, returning `(ir, bounds, wi_dims, coeffs)` where
+/// `bounds[d]` is `Some(extent)` for constant loops and `None` for runtime
+/// ones.
+fn random_runtime_nest(rng: &mut XorShiftRng) -> (KernelIr, Vec<Option<u64>>, Vec<bool>, Vec<i64>) {
+    let nloops = rng.gen_range_usize(1, 5);
+    let wi_slot = rng.gen_range_usize(0, nloops);
+    let runtime_slot = rng.gen_range_usize(0, nloops);
+    let mut loops = Vec::new();
+    let mut bounds = Vec::new();
+    let mut wi_dims = Vec::new();
+    for d in 0..nloops {
+        let wi = d == wi_slot || rng.gen_range_u32(0, 4) == 0;
+        let runtime = d == runtime_slot || rng.gen_range_u32(0, 4) == 0;
+        let kind = if wi {
+            LoopKind::WorkItem((wi_dims.iter().filter(|w| **w).count() as u8).min(2))
+        } else {
+            LoopKind::Kernel
+        };
+        if runtime {
+            loops.push(LoopIr::new(kind, LoopBound::UniformRuntime));
+            bounds.push(None);
+        } else {
+            let extent = rng.gen_range_u64(1, 6);
+            loops.push(LoopIr::new(kind, LoopBound::Const(extent)));
+            bounds.push(Some(extent));
+        }
+        wi_dims.push(wi);
+    }
+    let coeffs: Vec<i64> = (0..nloops)
+        .map(|_| rng.gen_range_u64(0, 9) as i64 - 4)
+        .collect();
+    let ir = KernelIr::regular(vec![0])
+        .with_loops(loops.clone())
+        .with_accesses(vec![AccessIr::affine_store(0, coeffs.clone())]);
+    (ir, bounds, wi_dims, coeffs)
+}
+
+/// The `Full` tier never flips an `Affine`-tier proof — across a corpus of
+/// runtime-bounded nests every decided affine verdict is preserved, and at
+/// least some affine abstentions get resolved (the tier is not vacuous).
+#[test]
+fn full_tier_only_resolves_abstentions() {
+    let mut resolved = 0u32;
+    for case in 0..CASES {
+        let mut rng = XorShiftRng::seed_from_u64(0xAB51_2000 + case);
+        let (ir, bounds, wi_dims, coeffs) = random_runtime_nest(&mut rng);
+        let affine = write_verdict_with(&ir, AnalysisTier::Affine).expect("one store site");
+        let full = write_verdict_with(&ir, AnalysisTier::Full).expect("one store site");
+        match affine {
+            Verdict::Unknown => {
+                if full != Verdict::Unknown {
+                    resolved += 1;
+                }
+            }
+            decided => assert_eq!(
+                full, decided,
+                "case {case}: Full tier flipped an Affine proof \
+                 (bounds {bounds:?}, wi {wi_dims:?}, coeffs {coeffs:?})"
+            ),
+        }
+    }
+    assert!(
+        resolved > 0,
+        "corpus never exercised the refinement tier — generator drifted"
+    );
+}
+
+/// `Full`-tier verdicts over runtime-bounded nests are sound under every
+/// sampled concrete instantiation of the runtime extents: `Disjoint` means
+/// no instantiation races, `Overlap` means every instantiation with
+/// extents ≥ 2 does (the witness multiplier is clamped to ±1).
+#[test]
+fn full_tier_verdicts_sound_under_runtime_instantiation() {
+    const SAMPLES: [u64; 3] = [2, 3, 8];
+    for case in 0..CASES {
+        let mut rng = XorShiftRng::seed_from_u64(0xAB51_3000 + case);
+        let (ir, bounds, wi_dims, coeffs) = random_runtime_nest(&mut rng);
+        let full = write_verdict_with(&ir, AnalysisTier::Full).expect("one store site");
+        if full == Verdict::Unknown {
+            continue;
+        }
+        // Instantiate every runtime loop at each sampled extent (uniform:
+        // the runtime hands all uniform-runtime loops the same bound).
+        for sample in SAMPLES {
+            let extents: Vec<u64> = bounds.iter().map(|b| b.unwrap_or(sample)).collect();
+            let races = brute_force_overlaps(&extents, &wi_dims, &coeffs);
+            match full {
+                Verdict::Disjoint => assert!(
+                    !races,
+                    "case {case}: Disjoint but extent {sample} races \
+                     (bounds {bounds:?}, wi {wi_dims:?}, coeffs {coeffs:?})"
+                ),
+                Verdict::Overlap => assert!(
+                    races,
+                    "case {case}: Overlap witness vanished at extent {sample} \
+                     (bounds {bounds:?}, wi {wi_dims:?}, coeffs {coeffs:?})"
+                ),
+                Verdict::Unknown => unreachable!(),
+            }
+        }
+    }
+}

@@ -358,6 +358,7 @@ fn schedule_ir(shape: Shape, sched: &[Lp; 5]) -> KernelIr {
                 store: true,
                 lane_uniform: false,
                 reuse_window_bytes: None,
+                index_range: None,
             },
         ])
 }

@@ -57,9 +57,12 @@ fn ir() -> KernelIr {
         .with_accesses(vec![
             AccessIr::affine_load(arg::DATA, vec![0, 1]),
             // Data-dependent read-modify-write of the bins: the histogram
-            // *stores* through an indirect pattern, which is what keeps the
-            // verifier from (wrongly) proving its writes disjoint.
-            AccessIr::indirect_store(arg::HIST),
+            // *stores* through an indirect pattern. The declared index
+            // window [0, BINS) lets the verifier prove the writes Overlap
+            // (any two work items can pick the same bin) instead of
+            // abstaining — honest, and safe here because the declared
+            // atomics force swap-based profiling anyway.
+            AccessIr::indirect_store(arg::HIST).with_index_range(0, BINS as i64 - 1),
         ])
         .with_atomics()
         .with_overlapping_outputs();

@@ -90,8 +90,12 @@ fn compute_block(args: &mut Args, shape: Shape, unit: u64) {
 
 fn ir(shape: Shape, order: CpuOrder) -> KernelIr {
     let d = shape.d as i64;
-    // Loop vars: p (work-item), c (kernel), d (kernel). Coefficients for
-    // points[p*d + dim] and centers[c*d + dim] per loop position.
+    let blk = POINT_BLOCK as i64;
+    // Loop vars: p (work-item, one *block* of POINT_BLOCK points), c
+    // (kernel), d (kernel). Within a block the point slot `s ∈ [0, 31]` is
+    // a data-dependent offset: points[(blk·p + s)·d + dim] and
+    // assign[blk·p + s], declared through `index_range` so the
+    // interval/congruence tier can prove the 32-wide blocks disjoint.
     let (order_chars, _) = match order {
         CpuOrder::Pcd => (['p', 'c', 'd'], ()),
         CpuOrder::Cpd => (['c', 'p', 'd'], ()),
@@ -99,7 +103,7 @@ fn ir(shape: Shape, order: CpuOrder) -> KernelIr {
     };
     let coeff = |v: char| -> (i64, i64) {
         match v {
-            'p' => (d, 0),
+            'p' => (blk * d, 0),
             'c' => (0, d),
             _ => (1, 1),
         }
@@ -120,15 +124,16 @@ fn ir(shape: Shape, order: CpuOrder) -> KernelIr {
         let (a, b) = coeff(v);
         cp.push(a);
         cc.push(b);
-        // assign[p]: unit stride in the work-item loop, invariant in c/d.
-        ca.push(i64::from(v == 'p'));
+        // assign[blk·p + s]: block stride in the work-item loop, invariant
+        // in c/d.
+        ca.push(blk * i64::from(v == 'p'));
     }
     KernelIr::regular(vec![arg::ASSIGN])
         .with_loops(loops)
         .with_accesses(vec![
-            AccessIr::affine_load(arg::POINTS, cp),
+            AccessIr::affine_load(arg::POINTS, cp).with_index_range(0, (blk - 1) * d),
             AccessIr::affine_load(arg::CENTERS, cc),
-            AccessIr::affine_store(arg::ASSIGN, ca),
+            AccessIr::affine_store(arg::ASSIGN, ca).with_index_range(0, blk - 1),
         ])
 }
 

@@ -246,6 +246,7 @@ fn schedule_ir(n: usize, s: Schedule) -> KernelIr {
                 store: true,
                 lane_uniform: false,
                 reuse_window_bytes: None,
+                index_range: None,
             },
         ])
 }

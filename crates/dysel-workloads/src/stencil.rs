@@ -240,6 +240,7 @@ fn cpu_ir(n: usize, order: CpuOrder) -> KernelIr {
                 store: true,
                 lane_uniform: false,
                 reuse_window_bytes: None,
+                index_range: None,
             },
         ])
 }

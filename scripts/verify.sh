@@ -106,6 +106,39 @@ grep "^run summary" /tmp/dysel-verify-corrupt.txt | grep -vq " profiled=0 "
 rm -f "$state"
 echo "    cold-started with a warning"
 
+echo "==> features export: --features-out must write one record per variant"
+features=/tmp/dysel-verify-features.jsonl
+rm -f "$features"
+"$bin" --features-out "$features" | grep -q "^features: 153 records"
+test "$(wc -l < "$features")" -eq 153
+if grep -vq '"encoded":"' "$features"; then
+    echo "    a features record is missing its canonical encoding" >&2
+    exit 1
+fi
+echo "    153 records, encodings present"
+
+echo "==> dominance pruning: selections must be prune-invariant, cost must drop"
+# Three full-suite passes: the digest (and thus every figure's winners)
+# must not depend on the prune level, audit mode must record zero
+# disagreements (the dominance rule is never falsified on the suite),
+# and prune=on must strictly reduce profiled launches.
+"$bin" --prune off   | grep "^run summary" > /tmp/dysel-verify-prune-off.txt
+"$bin" --prune audit | grep "^run summary" > /tmp/dysel-verify-prune-audit.txt
+"$bin" --prune on    | grep "^run summary" > /tmp/dysel-verify-prune-on.txt
+sel_off=$(grep -o "selections=[0-9a-f]*" /tmp/dysel-verify-prune-off.txt)
+sel_audit=$(grep -o "selections=[0-9a-f]*" /tmp/dysel-verify-prune-audit.txt)
+sel_on=$(grep -o "selections=[0-9a-f]*" /tmp/dysel-verify-prune-on.txt)
+test -n "$sel_off" && test "$sel_off" = "$sel_audit" && test "$sel_off" = "$sel_on"
+grep -q " prune-disagreements=0 " /tmp/dysel-verify-prune-audit.txt
+if grep -q " pruned=0 " /tmp/dysel-verify-prune-audit.txt; then
+    echo "    audit flagged nothing — the dominance rule went vacuous" >&2
+    exit 1
+fi
+prof_off=$(grep -o "profiled-variants=[0-9]*" /tmp/dysel-verify-prune-off.txt | cut -d= -f2)
+prof_on=$(grep -o "profiled-variants=[0-9]*" /tmp/dysel-verify-prune-on.txt | cut -d= -f2)
+test "$prof_on" -lt "$prof_off"
+echo "    same winners ($sel_on), profiled variants $prof_off -> $prof_on, 0 disagreements"
+
 echo "==> service stress: --clients 8 digest must equal --clients 1"
 "$bin" --clients 1 --tenants 2 | grep "^service summary" > /tmp/dysel-verify-svc1.txt
 "$bin" --clients 8 --tenants 2 | grep "^service summary" > /tmp/dysel-verify-svc8.txt
