@@ -27,7 +27,8 @@ use dysel_kernel::{AccessIr, AccessPattern, KernelIr, LoopBound, LoopKind, Varia
 use crate::uniform_workload;
 
 /// Version byte leading every [`VariantFeatures::encode`] output.
-pub const FEATURES_ENCODING_VERSION: u8 = 1;
+/// Version 2 added the sticky `saturated` flag (flags-byte bit 2).
+pub const FEATURES_ENCODING_VERSION: u8 = 2;
 
 /// Byte length of [`VariantFeatures::encode`]'s fixed-width output.
 pub const FEATURES_ENCODED_LEN: usize = 63;
@@ -74,6 +75,12 @@ pub struct VariantFeatures {
     /// without a declared [`AccessIr::index_range`] (the shape no static
     /// tier can bound).
     pub irregular: bool,
+    /// Sticky saturation flag: some footprint computation clamped to
+    /// `u64::MAX` by arithmetic overflow (as opposed to the deliberate
+    /// `u64::MAX` "unbounded" sentinel from a runtime-bounded loop). Two
+    /// clamped variants compare equal-footprint even when their true
+    /// footprints differ, so [`VariantFeatures::dominates`] abstains.
+    pub saturated: bool,
     /// Scratchpad bytes per work-group (occupancy pressure).
     pub scratchpad_bytes: u32,
     /// Work-items per work-group.
@@ -91,18 +98,45 @@ fn varies_with(site: &AccessIr, d: usize) -> bool {
     }
 }
 
+/// Multiplies footprint bounds, distinguishing the deliberate `u64::MAX`
+/// "unbounded" sentinel (which propagates silently) from an arithmetic
+/// overflow of bounded values (which clamps and sets the sticky flag).
+fn footprint_mul(a: u64, b: u64, saturated: &mut bool) -> u64 {
+    if a == u64::MAX || b == u64::MAX {
+        return u64::MAX;
+    }
+    a.checked_mul(b).unwrap_or_else(|| {
+        *saturated = true;
+        u64::MAX
+    })
+}
+
+/// Adds footprint bounds with the same sentinel-vs-overflow distinction
+/// as [`footprint_mul`].
+fn footprint_add(a: u64, b: u64, saturated: &mut bool) -> u64 {
+    if a == u64::MAX || b == u64::MAX {
+        return u64::MAX;
+    }
+    a.checked_add(b).unwrap_or_else(|| {
+        *saturated = true;
+        u64::MAX
+    })
+}
+
 /// Per-site footprint bounds (elements per work item), over kernel loops
-/// only — work-item loops partition work rather than multiply it.
-fn site_footprint(ir: &KernelIr, site: &AccessIr) -> (u64, u64) {
+/// only — work-item loops partition work rather than multiply it. The
+/// returned flag records whether either bound clamped by overflow.
+fn site_footprint(ir: &KernelIr, site: &AccessIr) -> (u64, u64, bool) {
     let (mut lo, mut hi) = (1u64, 1u64);
+    let mut saturated = false;
     for (d, l) in ir.loops.iter().enumerate() {
         if matches!(l.kind, LoopKind::WorkItem(_)) || !varies_with(site, d) {
             continue;
         }
         match l.bound {
             LoopBound::Const(e) => {
-                lo = lo.saturating_mul(e);
-                hi = hi.saturating_mul(e);
+                lo = footprint_mul(lo, e, &mut saturated);
+                hi = footprint_mul(hi, e, &mut saturated);
             }
             LoopBound::UniformRuntime | LoopBound::DataDependent => {
                 hi = u64::MAX;
@@ -112,10 +146,10 @@ fn site_footprint(ir: &KernelIr, site: &AccessIr) -> (u64, u64) {
     if let Some((rlo, rhi)) = site.index_range {
         if rhi > rlo {
             // A data-dependent offset window widens the reachable set.
-            hi = hi.saturating_add(rhi.abs_diff(rlo));
+            hi = footprint_add(hi, rhi.abs_diff(rlo), &mut saturated);
         }
     }
-    (lo, hi)
+    (lo, hi, saturated)
 }
 
 /// The site's stride along the innermost loop of the nest (0 when the
@@ -145,10 +179,12 @@ pub fn extract_features(meta: &VariantMeta) -> VariantFeatures {
     let (mut coalesced_sites, mut strided_sites, mut indirect_sites) = (0u32, 0u32, 0u32);
     let mut reuse_class = 0u8;
     let mut unbounded_indirect_store = false;
+    let mut saturated = false;
     for site in &ir.accesses {
-        let (lo, hi) = site_footprint(ir, site);
-        footprint_lo = footprint_lo.saturating_add(lo);
-        footprint_hi = footprint_hi.saturating_add(hi);
+        let (lo, hi, site_saturated) = site_footprint(ir, site);
+        saturated |= site_saturated;
+        footprint_lo = footprint_add(footprint_lo, lo, &mut saturated);
+        footprint_hi = footprint_add(footprint_hi, hi, &mut saturated);
         match innermost_stride(ir, site) {
             Some(s) if s.abs() <= 1 => coalesced_sites += 1,
             Some(_) if site.lane_uniform => coalesced_sites += 1,
@@ -192,6 +228,7 @@ pub fn extract_features(meta: &VariantMeta) -> VariantFeatures {
         intensity_x16,
         divergent,
         irregular: divergent || unbounded_indirect_store,
+        saturated,
         scratchpad_bytes: ir.scratchpad_bytes,
         group_size: meta.group_size,
         wa_factor: meta.wa_factor,
@@ -201,7 +238,7 @@ pub fn extract_features(meta: &VariantMeta) -> VariantFeatures {
 impl VariantFeatures {
     /// Canonical fixed-width byte encoding: version byte, then every field
     /// big-endian in declaration order, flags packed last
-    /// (bit 0 = divergent, bit 1 = irregular). Always
+    /// (bit 0 = divergent, bit 1 = irregular, bit 2 = saturated). Always
     /// [`FEATURES_ENCODED_LEN`] bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(FEATURES_ENCODED_LEN);
@@ -223,7 +260,11 @@ impl VariantFeatures {
             out.extend_from_slice(&v.to_be_bytes());
         }
         out.push(self.reuse_class);
-        out.push(u8::from(self.divergent) | (u8::from(self.irregular) << 1));
+        out.push(
+            u8::from(self.divergent)
+                | (u8::from(self.irregular) << 1)
+                | (u8::from(self.saturated) << 2),
+        );
         debug_assert_eq!(out.len(), FEATURES_ENCODED_LEN);
         out
     }
@@ -253,8 +294,12 @@ impl VariantFeatures {
     /// work input-dependent, so static access shape cannot rank such
     /// variants (a breadth-first spmv schedule loses on random matrices
     /// yet wins on diagonal ones — exactly what micro-profiling is for).
+    /// Dominance also abstains when either side's footprint **saturated**:
+    /// a clamped `u64::MAX` erases the very magnitudes `same_context`
+    /// compares, so two differently-sized variants would spuriously
+    /// qualify as same-footprint.
     pub fn dominates(&self, other: &VariantFeatures) -> bool {
-        if self.divergent || self.irregular {
+        if self.divergent || self.irregular || self.saturated || other.saturated {
             return false;
         }
         if !self.same_context(other) {
@@ -317,6 +362,45 @@ mod tests {
         let f = extract_features(&meta(ir));
         assert_eq!(f.footprint_lo, 1);
         assert_eq!(f.footprint_hi, u64::MAX);
+        // The unbounded-loop sentinel is deliberate, not a clamp.
+        assert!(!f.saturated);
+    }
+
+    #[test]
+    fn footprint_overflow_sets_sticky_saturated_and_blocks_dominance() {
+        // Two const kernel loops whose extent product overflows u64:
+        // both bounds clamp to u64::MAX and the sticky flag records it.
+        let ir = |inner_coeffs: Vec<i64>| {
+            KernelIr::regular(vec![0])
+                .with_loops(vec![
+                    wi(LoopBound::UniformRuntime),
+                    kl(LoopBound::Const(1 << 33)),
+                    kl(LoopBound::Const(1 << 33)),
+                ])
+                .with_accesses(vec![
+                    AccessIr::affine_load(1, vec![0, 1, 1]),
+                    AccessIr::affine_store(0, inner_coeffs),
+                ])
+        };
+        let a = extract_features(&meta(ir(vec![1, 0, 1])));
+        let b = extract_features(&meta(ir(vec![1, 0, 16])));
+        assert!(a.saturated && b.saturated);
+        assert_eq!(a.footprint_hi, u64::MAX);
+        assert_eq!(a.footprint_lo, u64::MAX);
+        // Both clamped to the same footprint — without the flag they would
+        // compare as same-context and `a` (unit-stride store) would
+        // spuriously dominate `b`; saturation forces abstention.
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+        // The flag lands in the encoding (flags byte, bit 2) and the
+        // version byte advertises the new layout.
+        let enc = a.encode();
+        assert_eq!(enc[0], FEATURES_ENCODING_VERSION);
+        assert_eq!(FEATURES_ENCODING_VERSION, 2);
+        assert_eq!(enc[FEATURES_ENCODED_LEN - 1] & 0b100, 0b100);
+        let mut clean = a.clone();
+        clean.saturated = false;
+        assert_eq!(clean.encode()[FEATURES_ENCODED_LEN - 1] & 0b100, 0);
     }
 
     #[test]

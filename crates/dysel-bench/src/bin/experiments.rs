@@ -52,7 +52,20 @@
 //! variant (both targets) as JSON Lines — one record per variant with the
 //! raw `VariantFeatures` integers plus the canonical encoding in hex.
 //! Given without experiment ids and without `--clients`, it writes the
-//! file and exits without running anything.
+//! file and exits without running anything. The file is written atomically
+//! (tmp sibling + rename), so a crashed export never leaves a truncated
+//! corpus for the trainer to trip over.
+//!
+//! `--predict LEVEL` (`off` | `shadow` | `on`) sets the runtime's
+//! trained-prediction level and `--predict-model PATH` loads the model the
+//! `dysel-train` binary wrote. `shadow` ranks the candidates on every
+//! launch and scores the verdict against the profiled selection
+//! (`predict-hits=` / `predict-misses=` in the summary line) without
+//! changing any decision — the selections digest is bit-identical to
+//! `off`. `on` additionally skips micro-profiling when the model's
+//! confidence margin clears the runtime's threshold, falling back to
+//! drift-watched re-profiling when observed per-unit costs leave the band
+//! (`drift-reprofiles=`).
 //!
 //! `--clients N [--tenants M]` runs the multi-tenant service stress
 //! driver instead of the figures: `N` client threads submit the scaled
@@ -67,7 +80,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dysel_bench::{experiments, harness, StressOpts};
-use dysel_core::{ChaosPlan, FaultPlan, PruneLevel};
+use dysel_core::{ChaosPlan, FaultPlan, PredictLevel, PruneLevel};
 use dysel_obs::EventSink;
 
 fn parse_prune(spec: &str) -> PruneLevel {
@@ -77,6 +90,28 @@ fn parse_prune(spec: &str) -> PruneLevel {
         "on" => PruneLevel::On,
         other => {
             eprintln!("--prune needs off|audit|on, got {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_predict(spec: &str) -> PredictLevel {
+    match spec {
+        "off" => PredictLevel::Off,
+        "shadow" => PredictLevel::Shadow,
+        "on" => PredictLevel::On,
+        other => {
+            eprintln!("--predict needs off|shadow|on, got {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn install_predict_model(path: &str) {
+    match dysel_predict::load(std::path::Path::new(path)) {
+        Ok(model) => harness::set_predict_model(Some(Arc::new(model))),
+        Err(e) => {
+            eprintln!("--predict-model could not load {path:?}: {e}");
             std::process::exit(2);
         }
     }
@@ -102,6 +137,25 @@ fn parse_chaos_plan(spec: &str) -> ChaosPlan {
             std::process::exit(2);
         }
     }
+}
+
+/// Writes `bytes` to `path` through a same-directory tmp sibling and an
+/// atomic rename, so readers only ever see a complete file.
+fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let result = (|| {
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 fn main() {
@@ -180,6 +234,22 @@ fn main() {
             harness::set_prune(parse_prune(&spec));
         } else if let Some(spec) = a.strip_prefix("--prune=") {
             harness::set_prune(parse_prune(spec));
+        } else if a == "--predict" {
+            let spec = args.next().unwrap_or_else(|| {
+                eprintln!("--predict needs a level (off|shadow|on)");
+                std::process::exit(2);
+            });
+            harness::set_predict(parse_predict(&spec));
+        } else if let Some(spec) = a.strip_prefix("--predict=") {
+            harness::set_predict(parse_predict(spec));
+        } else if a == "--predict-model" {
+            let p = args.next().unwrap_or_else(|| {
+                eprintln!("--predict-model needs a path");
+                std::process::exit(2);
+            });
+            install_predict_model(&p);
+        } else if let Some(p) = a.strip_prefix("--predict-model=") {
+            install_predict_model(p);
         } else if a == "--features-out" {
             let p = args.next().unwrap_or_else(|| {
                 eprintln!("--features-out needs a path");
@@ -223,7 +293,10 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        match std::fs::write(path, buf) {
+        // Atomic tmp-sibling + rename: a crash mid-write must never leave
+        // a truncated corpus behind — the trainer treats torn records as
+        // hard errors, not noise to skip.
+        match write_atomic(path, &buf) {
             Ok(()) => println!("features: {} records -> {}", records, path.display()),
             Err(e) => {
                 eprintln!("--features-out could not write {}: {e}", path.display());

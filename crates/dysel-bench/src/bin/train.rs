@@ -1,0 +1,102 @@
+//! Offline trainer for the DySel selection predictor.
+//!
+//! ```text
+//! dysel-train --corpus features.jsonl --metrics metrics.txt --out model.bin
+//! ```
+//!
+//! Joins the static-feature corpus the `experiments --features-out` export
+//! wrote with the observed `dysel_profile_cycles/<sig>/<variant>`
+//! histograms from an `experiments --metrics-out` run, and writes the
+//! trained model in the versioned, checksummed `dysel-predict` format.
+//! Fully deterministic: the same two inputs always produce a
+//! byte-identical model file. Truncated or malformed corpus records are
+//! typed errors, never silently skipped — re-export the corpus instead.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use dysel_predict::{parse_corpus, parse_metrics_text, save, train};
+
+fn usage() -> ! {
+    eprintln!("usage: dysel-train --corpus features.jsonl --metrics metrics.txt --out model.bin");
+    exit(2);
+}
+
+fn read(path: &PathBuf, what: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("could not read {what} {}: {e}", path.display());
+        exit(2);
+    })
+}
+
+fn main() {
+    let mut corpus_path: Option<PathBuf> = None;
+    let mut metrics_path: Option<PathBuf> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |slot: &mut Option<PathBuf>, inline: Option<&str>| match inline {
+            Some(v) => *slot = Some(PathBuf::from(v)),
+            None => match args.next() {
+                Some(v) => *slot = Some(PathBuf::from(v)),
+                None => usage(),
+            },
+        };
+        if a == "--corpus" {
+            take(&mut corpus_path, None);
+        } else if let Some(v) = a.strip_prefix("--corpus=") {
+            take(&mut corpus_path, Some(v));
+        } else if a == "--metrics" {
+            take(&mut metrics_path, None);
+        } else if let Some(v) = a.strip_prefix("--metrics=") {
+            take(&mut metrics_path, Some(v));
+        } else if a == "--out" {
+            take(&mut out_path, None);
+        } else if let Some(v) = a.strip_prefix("--out=") {
+            take(&mut out_path, Some(v));
+        } else {
+            eprintln!("unknown argument {a:?}");
+            usage();
+        }
+    }
+    let (Some(corpus_path), Some(metrics_path), Some(out_path)) =
+        (corpus_path, metrics_path, out_path)
+    else {
+        usage()
+    };
+
+    let corpus = match parse_corpus(&read(&corpus_path, "corpus")) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("corpus {} rejected: {e}", corpus_path.display());
+            exit(1);
+        }
+    };
+    let observed = match parse_metrics_text(&read(&metrics_path, "metrics")) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("metrics {} rejected: {e}", metrics_path.display());
+            exit(1);
+        }
+    };
+    let model = match train(&corpus, &observed) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("training failed: {e}");
+            exit(1);
+        }
+    };
+    if let Err(e) = save(&model, &out_path) {
+        eprintln!("could not write model {}: {e}", out_path.display());
+        exit(1);
+    }
+    let variants: usize = model.table.values().map(|v| v.len()).sum();
+    println!(
+        "trained: signatures={} variants={} centroid-examples={}+{} -> {}",
+        model.table.len(),
+        variants,
+        model.winner_examples,
+        model.loser_examples,
+        out_path.display()
+    );
+}

@@ -33,15 +33,19 @@ pub fn write_features_jsonl(w: &mut dyn Write) -> io::Result<usize> {
                 let f = extract_features(&v.meta);
                 writeln!(
                     w,
-                    "{{\"workload\":\"{name}\",\"target\":\"{tag}\",\
+                    "{{\"workload\":\"{name}\",\"signature\":\"{}\",\
+                     \"target\":\"{tag}\",\"total_units\":{},\
                      \"variant\":\"{}\",\"sites\":{},\"stores\":{},\
                      \"wi_loops\":{},\"kernel_loops\":{},\
                      \"footprint_lo\":{},\"footprint_hi\":{},\
                      \"coalesced_sites\":{},\"strided_sites\":{},\
                      \"indirect_sites\":{},\"reuse_class\":{},\
                      \"intensity_x16\":{},\"divergent\":{},\"irregular\":{},\
+                     \"saturated\":{},\
                      \"scratchpad_bytes\":{},\"group_size\":{},\
                      \"wa_factor\":{},\"encoded\":\"{}\"}}",
+                    workload.signature,
+                    workload.total_units,
                     v.name(),
                     f.sites,
                     f.stores,
@@ -56,6 +60,7 @@ pub fn write_features_jsonl(w: &mut dyn Write) -> io::Result<usize> {
                     f.intensity_x16,
                     f.divergent,
                     f.irregular,
+                    f.saturated,
                     f.scratchpad_bytes,
                     f.group_size,
                     f.wa_factor,
@@ -88,6 +93,10 @@ mod tests {
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
             assert!(line.contains("\"encoded\":\""), "{line}");
+            // The trainer joins corpus records with runtime metrics on
+            // the kernel signature — every record must carry it.
+            assert!(line.contains("\"signature\":\""), "{line}");
+            assert!(line.contains("\"saturated\":"), "{line}");
         }
     }
 

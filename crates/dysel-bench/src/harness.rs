@@ -8,12 +8,13 @@ use std::sync::{Arc, Mutex};
 
 use dysel_baselines::{exhaustive_sweep, SweepResult};
 use dysel_core::{
-    FaultPlan, InitialSelection, LaunchOptions, LaunchReport, PruneLevel, Runtime, RuntimeConfig,
-    SkipReason,
+    FaultPlan, InitialSelection, LaunchOptions, LaunchReport, PredictLevel, PruneLevel, Runtime,
+    RuntimeConfig, SkipReason,
 };
 use dysel_device::{CpuConfig, CpuDevice, Cycles, Device, GpuConfig, GpuDevice};
 use dysel_kernel::Orchestration;
 use dysel_obs::EventSink;
+use dysel_predict::Model;
 use dysel_workloads::{Target, Workload};
 
 /// Worker threads the factories give each fresh device's functional
@@ -89,6 +90,36 @@ pub fn prune() -> PruneLevel {
     *PRUNE.lock().unwrap()
 }
 
+/// Prediction level installed on every [`run_dysel`] runtime (the
+/// `--predict` flag); [`PredictLevel::Off`] by default.
+static PREDICT: Mutex<PredictLevel> = Mutex::new(PredictLevel::Off);
+
+/// Sets the prediction level used by [`run_dysel`].
+pub fn set_predict(level: PredictLevel) {
+    *PREDICT.lock().unwrap() = level;
+}
+
+/// The currently installed prediction level.
+pub fn predict() -> PredictLevel {
+    *PREDICT.lock().unwrap()
+}
+
+/// Trained model installed on every [`run_dysel`] runtime (the
+/// `--predict-model` flag); `None` (the default) predicts nothing even
+/// with prediction enabled.
+static PREDICT_MODEL: Mutex<Option<Arc<Model>>> = Mutex::new(None);
+
+/// Installs (or clears, with `None`) the trained model used by
+/// [`run_dysel`].
+pub fn set_predict_model(model: Option<Arc<Model>>) {
+    *PREDICT_MODEL.lock().unwrap() = model;
+}
+
+/// The currently installed trained model, if any.
+pub fn predict_model() -> Option<Arc<Model>> {
+    PREDICT_MODEL.lock().unwrap().clone()
+}
+
 /// Event sink installed on every [`run_dysel`] runtime (the `--trace-out`
 /// / `--metrics-out` flags); `None` (the default) observes nothing — the
 /// runs are then bit-identical to an unobserved build.
@@ -141,6 +172,13 @@ pub struct RunSummary {
     /// Audit-mode pruning disagreements: launches whose winner the
     /// dominance rule would have pruned.
     pub prune_disagreements: u64,
+    /// Launches whose model prediction matched the final selection.
+    pub predict_hits: u64,
+    /// Launches whose model prediction missed.
+    pub predict_misses: u64,
+    /// Launches whose drift watch invalidated the reused selection (the
+    /// following launch of that signature re-profiled).
+    pub drift_reprofiles: u64,
     /// FNV-1a digest over the `(signature, selected name)` sequence, in
     /// launch order. Deterministic run order makes equal digests mean
     /// "every launch selected the same winner" — what the warm-restart
@@ -167,6 +205,9 @@ impl RunSummary {
             quarantined: 0,
             pruned: 0,
             prune_disagreements: 0,
+            predict_hits: 0,
+            predict_misses: 0,
+            drift_reprofiles: 0,
             selections_digest: Self::FNV_OFFSET,
         }
     }
@@ -200,6 +241,12 @@ impl RunSummary {
         self.quarantined += report.faults.quarantined.len() as u64;
         self.pruned += report.pruned_variants;
         self.prune_disagreements += u64::from(report.prune_disagreement);
+        match report.predict_hit {
+            Some(true) => self.predict_hits += 1,
+            Some(false) => self.predict_misses += 1,
+            None => {}
+        }
+        self.drift_reprofiles += u64::from(report.drift_reprofiled);
         self.fold(report.signature.as_bytes());
         self.fold(report.selected_name.as_bytes());
     }
@@ -211,7 +258,8 @@ impl RunSummary {
              warm-skips={} \
              faults[errors={} retries={} deadline={} preempted={} \
              wrong-output={} repaired={}] quarantined={} pruned={} \
-             prune-disagreements={} selections={:016x}",
+             prune-disagreements={} predict-hits={} predict-misses={} \
+             drift-reprofiles={} selections={:016x}",
             self.launches,
             self.profiled,
             self.profiled_variants,
@@ -225,6 +273,9 @@ impl RunSummary {
             self.quarantined,
             self.pruned,
             self.prune_disagreements,
+            self.predict_hits,
+            self.predict_misses,
+            self.drift_reprofiles,
             self.selections_digest,
         )
     }
@@ -329,6 +380,8 @@ pub fn run_dysel(
             state_path: state_path.clone(),
             observe: observer(),
             prune: prune(),
+            predict: predict(),
+            predict_model: predict_model(),
             ..RuntimeConfig::default()
         },
     );

@@ -50,15 +50,15 @@ pub use fault::{
 pub use journal::{journal_path, Journal, JournalRecord, Replay};
 pub use mixed::MixedReport;
 pub use options::{
-    InitialSelection, LaunchOptions, PruneLevel, RuntimeConfig, TenantId, VerifyLevel,
+    InitialSelection, LaunchOptions, PredictLevel, PruneLevel, RuntimeConfig, TenantId, VerifyLevel,
 };
 pub use persist::{RuntimeState, StateError, TenantState};
 pub use pool::KernelPool;
 pub use report::{LaunchReport, Measurement, SkipReason};
 pub use runtime::Runtime;
 pub use service::{
-    BreakerConfig, CacheEntry, DeviceFactory, LaunchOutcome, LaunchService, RecoveryInfo,
-    RejectReason, ServiceConfig, ShardedCache, StreamKey, SubmitError, Ticket,
+    BreakerConfig, CacheEntry, DeviceFactory, LaunchOutcome, LaunchService, PredictStats,
+    RecoveryInfo, RejectReason, ServiceConfig, ShardedCache, StreamKey, SubmitError, Ticket,
 };
 pub use stats::LaunchStats;
 pub use timeline::{LaunchKind, Timeline, TimelineEntry};

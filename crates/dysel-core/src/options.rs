@@ -185,6 +185,33 @@ pub enum PruneLevel {
     On,
 }
 
+/// How the runtime uses a trained winner-prediction model (see
+/// `dysel-predict`).
+///
+/// Shadow is the falsifiability mode (the same pattern as
+/// [`PruneLevel::Audit`]): predict on every launch, still profile, and
+/// count `dysel_predict_{hits,misses}_total` so model accuracy is
+/// measurable against ground truth. On additionally skips micro-profiling
+/// when the model's confidence margin clears
+/// [`RuntimeConfig::predict_margin_pm`] — with a drift detector that
+/// invalidates a predicted selection whose observed cost leaves its band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PredictLevel {
+    /// No prediction; classic reactive profiling only. The default:
+    /// existing behaviour is bit-identical.
+    #[default]
+    Off,
+    /// Predict and record accuracy, but never alter selection: profiling
+    /// runs exactly as under [`PredictLevel::Off`], so selections (and
+    /// the digest over them) are bit-identical to an unpredicted run.
+    Shadow,
+    /// Skip micro-profiling when the model names a winner with a
+    /// confidence margin of at least
+    /// [`RuntimeConfig::predict_margin_pm`]; fall back to classic
+    /// profiling otherwise. Predicted selections are watched for drift.
+    On,
+}
+
 /// Runtime-wide configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeConfig {
@@ -255,6 +282,27 @@ pub struct RuntimeConfig {
     /// [`PruneLevel::Off`] by default — pruning is opt-in and the healthy
     /// path pays nothing for it.
     pub prune: PruneLevel,
+    /// Learned winner prediction. [`PredictLevel::Off`] by default — the
+    /// healthy path pays nothing; Shadow/On additionally require
+    /// [`RuntimeConfig::predict_model`].
+    pub predict: PredictLevel,
+    /// The trained model consulted when [`RuntimeConfig::predict`] is not
+    /// Off. `None` disables prediction regardless of the level (a missing
+    /// or corrupt model file must degrade to classic profiling, never
+    /// fail a launch).
+    pub predict_model: Option<std::sync::Arc<dysel_predict::Model>>,
+    /// Minimum confidence margin (per-mille of the runner-up's predicted
+    /// cost) for [`PredictLevel::On`] to skip micro-profiling. The
+    /// centroid fallback always reports margin 0, so it never skips.
+    pub predict_margin_pm: u32,
+    /// Drift detector window: this many *consecutive* launches of a
+    /// predicted selection observing a per-unit cost above the band
+    /// invalidate the selection and force re-profiling.
+    pub predict_drift_window: u32,
+    /// Drift band width in per-mille: a launch is over-band when its
+    /// per-unit cost exceeds `best-observed × predict_drift_factor_pm /
+    /// 1000`. Integer per-mille keeps the detector float-free.
+    pub predict_drift_factor_pm: u32,
     /// When `true`, the runtime re-addresses every launch's buffers — and
     /// allocates sandbox copies — from its own private
     /// [`dysel_kernel::AddrSpace`] instead of the process-global virtual
@@ -285,6 +333,11 @@ impl Default for RuntimeConfig {
             observe: None,
             tenant: TenantId(0),
             prune: PruneLevel::Off,
+            predict: PredictLevel::Off,
+            predict_model: None,
+            predict_margin_pm: 50,
+            predict_drift_window: 3,
+            predict_drift_factor_pm: 2000,
             private_addrs: false,
         }
     }

@@ -29,6 +29,10 @@ pub enum SkipReason {
     SmallWorkload,
     /// Safe point analysis could not fit profiling slices in the workload.
     InfeasiblePlan,
+    /// The trained model named a winner with a confidence margin above
+    /// the configured threshold (`PredictLevel::On`), so micro-profiling
+    /// was skipped and the predicted variant ran the whole workload.
+    Predicted,
 }
 
 /// Report returned by every DySel launch.
@@ -76,6 +80,16 @@ pub struct LaunchReport {
     /// dominance rule would have pruned (also recorded as a `DV502`
     /// diagnostic on the runtime).
     pub prune_disagreement: bool,
+    /// The trained model's predicted winner for this launch (`None` when
+    /// prediction was off, had no model, or could not rank).
+    pub predicted: Option<String>,
+    /// Whether the prediction matched the final selection (`None` exactly
+    /// when [`LaunchReport::predicted`] is `None`).
+    pub predict_hit: Option<bool>,
+    /// Whether this launch's observed per-unit cost pushed its predicted
+    /// selection out of the drift band for the configured window — the
+    /// selection was invalidated and the *next* launch re-profiles.
+    pub drift_reprofiled: bool,
     /// What the graceful-degradation machinery saw and did (retries,
     /// deadline discards, quarantines, repairs). Empty on the healthy path.
     pub faults: FaultReport,
@@ -163,6 +177,9 @@ mod tests {
             extra_space_bytes: 0,
             pruned_variants: 0,
             prune_disagreement: false,
+            predicted: None,
+            predict_hit: None,
+            drift_reprofiled: false,
             eager_chunks: 0,
             launches: 3,
             faults: FaultReport::default(),

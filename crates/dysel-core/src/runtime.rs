@@ -29,8 +29,8 @@ use crate::persist::{self, RuntimeState, StateError};
 use crate::pool::SandboxPool;
 use crate::timeline::{LaunchKind, Timeline, TimelineEntry};
 use crate::{
-    DyselError, KernelPool, LaunchOptions, LaunchReport, LaunchStats, Measurement, PruneLevel,
-    RuntimeConfig, SkipReason, VerifyLevel,
+    DyselError, KernelPool, LaunchOptions, LaunchReport, LaunchStats, Measurement, PredictLevel,
+    PruneLevel, RuntimeConfig, SkipReason, VerifyLevel,
 };
 
 /// The compute stream used for eager chunks and the final batch; profiling
@@ -110,6 +110,9 @@ pub struct Runtime {
     /// `(signature, variant)` pairs the trace-replay sanitizer already
     /// cross-checked; the sanitizer runs once per pair, not per launch.
     sanitized: HashSet<(String, usize)>,
+    /// Per-signature per-unit-cost drift watch (see [`DriftTracker`]);
+    /// populated only while [`RuntimeConfig::predict`] is not `Off`.
+    drift: HashMap<String, DriftTracker>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -126,6 +129,23 @@ impl std::fmt::Debug for Runtime {
 struct ProfiledLaunch {
     variant: usize,
     record: LaunchRecord,
+}
+
+/// Per-signature drift watch over skip-path launches (prediction enabled).
+///
+/// All integer arithmetic: per-unit cost is tracked scaled by 1000, and a
+/// launch is over-band when `cost * 1000 > floor * drift_factor_pm`. After
+/// [`RuntimeConfig::predict_drift_window`] *consecutive* over-band launches
+/// the cached selection is invalidated so the next launch re-profiles.
+#[derive(Debug, Clone, Copy)]
+struct DriftTracker {
+    /// Cheapest per-unit cost seen so far, scaled by 1000.
+    floor: u64,
+    /// Consecutive launches above the drift band.
+    over: u32,
+    /// The watch tripped: the next launch must reach live profiling, so
+    /// prediction skips are suppressed until the re-profile clears this.
+    hold: bool,
 }
 
 impl Runtime {
@@ -162,6 +182,7 @@ impl Runtime {
             state_error: None,
             diagnostics: HashMap::new(),
             sanitized: HashSet::new(),
+            drift: HashMap::new(),
         };
         if let Some(obs) = &rt.config.observe {
             rt.device.set_observer(Some(obs.clone()));
@@ -686,10 +707,12 @@ impl Runtime {
         // a same-context sibling is excluded from the micro-profiling pool
         // (`PruneLevel::On`) or profiled anyway and cross-checked against
         // the winner (`PruneLevel::Audit`). Pareto maximality guarantees at
-        // least one variant always survives. Runs only when this launch
-        // will actually profile — skip paths never consult the pool.
+        // least one variant always survives. The *accounting* (events,
+        // counters, report fields) runs on every launch — warm and cold
+        // alike, so metric streams stay comparable across restarts — but
+        // the pool is only actually shrunk when this launch will profile.
         let mut would_prune: Vec<usize> = Vec::new();
-        if self.config.prune != PruneLevel::Off && skip.is_none() && active.len() > 1 {
+        if self.config.prune != PruneLevel::Off && active.len() > 1 {
             let feats: Vec<_> = active
                 .iter()
                 .map(|&i| dysel_analysis::extract_features(&variants[i].meta))
@@ -720,12 +743,74 @@ impl Runtime {
                     }
                     obs.count(names::PRUNED, would_prune.len() as u64);
                 }
-                if self.config.prune == PruneLevel::On {
+                if self.config.prune == PruneLevel::On && skip.is_none() {
                     active.retain(|vi| !would_prune.contains(vi));
                 }
             }
         }
         let initial = sanitize(&active, initial);
+
+        // ---- trained-model prediction (see `dysel-predict`) -------------
+        // Shadow mode ranks the active candidates and records the verdict
+        // (events plus hit/miss counters folded at report time) without
+        // touching control flow. On mode additionally converts a
+        // would-profile launch into a skip when the model's confidence
+        // margin clears the configured threshold — an exact-tier margin of
+        // zero (unranked or centroid-sourced prediction) never skips.
+        let mut predicted_name: Option<String> = None;
+        let mut skip = skip;
+        if self.config.predict != PredictLevel::Off {
+            if let Some(model) = self
+                .config
+                .predict_model
+                .as_deref()
+                .filter(|m| !m.is_empty())
+            {
+                let feats: Vec<_> = active
+                    .iter()
+                    .map(|&i| dysel_analysis::extract_features(&variants[i].meta))
+                    .collect();
+                let candidates: Vec<dysel_predict::Candidate<'_>> = active
+                    .iter()
+                    .zip(feats.iter())
+                    .map(|(&i, f)| dysel_predict::Candidate {
+                        name: variants[i].name(),
+                        features: f,
+                    })
+                    .collect();
+                if let Some(p) = model.predict(signature, &candidates) {
+                    if let Some(obs) = &self.config.observe {
+                        obs.emit(
+                            Event::new(Stage::Predict)
+                                .signature(signature)
+                                .variant(&p.variant)
+                                .at(t_start.0)
+                                .detail(format!(
+                                    "source={} margin_pm={}",
+                                    p.source.as_str(),
+                                    p.margin_pm
+                                )),
+                        );
+                    }
+                    if self.config.predict == PredictLevel::On
+                        && skip.is_none()
+                        && active.len() > 1
+                        && p.margin_pm > 0
+                        && p.margin_pm >= self.config.predict_margin_pm
+                        && !self.drift.get(signature).is_some_and(|t| t.hold)
+                    {
+                        if let Some(&vi) = active.iter().find(|&&i| variants[i].name() == p.variant)
+                        {
+                            if let Some(obs) = &self.config.observe {
+                                obs.count(names::PREDICT_SKIPS, 1);
+                            }
+                            skip = Some((SkipReason::Predicted, VariantId(vi)));
+                        }
+                    }
+                    predicted_name = Some(p.variant);
+                }
+            }
+        }
 
         let active_metas: Vec<_> = active.iter().map(|&i| variants[i].meta.clone()).collect();
         let mode = if force_swap {
@@ -827,7 +912,7 @@ impl Runtime {
                 },
             );
             self.stats.record_faults(&faults);
-            let report = LaunchReport {
+            let mut report = LaunchReport {
                 signature: signature.to_owned(),
                 tenant: self.config.tenant,
                 selected,
@@ -843,10 +928,88 @@ impl Runtime {
                 extra_space_bytes: 0,
                 eager_chunks: 0,
                 launches: launches_issued,
-                pruned_variants: 0,
+                pruned_variants: would_prune.len() as u64,
                 prune_disagreement: false,
+                predicted: None,
+                predict_hit: None,
+                drift_reprofiled: false,
                 faults,
             };
+            // Audit-mode falsification holds on skip paths too: a cached
+            // winner the dominance rule would prune falsifies the rule for
+            // this signature exactly as a freshly profiled one does, and
+            // counting it here keeps warm and cold metric streams at
+            // parity.
+            if self.config.prune == PruneLevel::Audit && would_prune.contains(&report.selected.0) {
+                report.prune_disagreement = true;
+                if let Some(obs) = &self.config.observe {
+                    obs.count(names::PRUNE_DISAGREEMENTS, 1);
+                }
+                record_diags(
+                    &mut self.diagnostics,
+                    &self.config,
+                    signature,
+                    vec![Diagnostic::new(
+                        LintCode::PruningDisagreement,
+                        variants[report.selected.0].name(),
+                        "dominance pruning would have excluded the cached \
+                         selection; the static rule is falsified for this \
+                         signature",
+                    )],
+                );
+            }
+            fold_prediction(&self.config, predicted_name, &mut report);
+            // ---- drift watch --------------------------------------------
+            // Reusing a selection without measuring alternatives is a bet;
+            // the drift watch hedges it. Per-unit cost of each skip-path
+            // launch is compared against the cheapest seen so far, and
+            // after `predict_drift_window` consecutive launches above the
+            // band the selection is invalidated — the next launch falls
+            // through to live micro-profiling.
+            if self.config.predict != PredictLevel::Off
+                && matches!(reason, SkipReason::CachedSelection | SkipReason::Predicted)
+                && total_units > 0
+            {
+                let cost = report.total_time.0.saturating_mul(1000) / total_units;
+                let factor = u64::from(self.config.predict_drift_factor_pm);
+                let t = self
+                    .drift
+                    .entry(signature.to_owned())
+                    .or_insert(DriftTracker {
+                        floor: cost,
+                        over: 0,
+                        hold: false,
+                    });
+                let mut tripped = false;
+                if cost.saturating_mul(1000) > t.floor.saturating_mul(factor) {
+                    t.over += 1;
+                    if t.over >= self.config.predict_drift_window && !t.hold {
+                        // Keep the entry: the `hold` suppresses prediction
+                        // skips until the re-profile removes it.
+                        t.hold = true;
+                        t.over = 0;
+                        tripped = true;
+                    }
+                } else {
+                    t.over = 0;
+                    t.floor = t.floor.min(cost);
+                }
+                if tripped {
+                    report.drift_reprofiled = true;
+                    self.selection_cache.remove(signature);
+                    self.warm.remove(signature);
+                    if let Some(obs) = &self.config.observe {
+                        obs.emit(
+                            Event::new(Stage::Predict)
+                                .signature(signature)
+                                .variant(&report.selected_name)
+                                .at(t_start.0)
+                                .detail("drift-reprofile"),
+                        );
+                        obs.count(names::PREDICT_DRIFT_REPROFILES, 1);
+                    }
+                }
+            }
             fold_report_metrics(&self.config, &report);
             return Ok(report);
         }
@@ -901,10 +1064,36 @@ impl Runtime {
                 )],
             );
         }
+        fold_prediction(&self.config, predicted_name, &mut report);
+        // A fresh profile starts a fresh bet; the drift watch re-seeds its
+        // per-unit-cost floor from the next skip-path launch.
+        self.drift.remove(signature);
         self.selection_cache
             .insert(signature.to_owned(), report.selected);
         fold_report_metrics(&self.config, &report);
         Ok(report)
+    }
+}
+
+/// Scores a model prediction against the launch's final selection: sets the
+/// report's `predicted` / `predict_hit` fields and bumps the hit/miss
+/// counters. A launch with no prediction (mode off, no model, model could
+/// not rank) leaves the fields `None` and the counters untouched.
+fn fold_prediction(config: &RuntimeConfig, predicted: Option<String>, report: &mut LaunchReport) {
+    if let Some(pred) = predicted {
+        let hit = pred == report.selected_name;
+        if let Some(obs) = &config.observe {
+            obs.count(
+                if hit {
+                    names::PREDICT_HITS
+                } else {
+                    names::PREDICT_MISSES
+                },
+                1,
+            );
+        }
+        report.predict_hit = Some(hit);
+        report.predicted = Some(pred);
     }
 }
 
@@ -1407,12 +1596,7 @@ fn profile_core(
                     obs.count(names::PROFILE_LAUNCHES, 1);
                     if let Some(m) = record.measured {
                         obs.record_hist(
-                            &format!(
-                                "{}/{}/{}",
-                                names::PROFILE_CYCLES,
-                                signature,
-                                variants[vi].name()
-                            ),
+                            &dysel_obs::profile_cycles_key(signature, variants[vi].name()),
                             m.0,
                         );
                     }
@@ -1865,6 +2049,9 @@ fn profile_core(
         launches: launches_issued,
         pruned_variants: 0,
         prune_disagreement: false,
+        predicted: None,
+        predict_hit: None,
+        drift_reprofiled: false,
         faults: faults.clone(),
     })
 }

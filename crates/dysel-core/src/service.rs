@@ -668,6 +668,7 @@ struct ExecSlot {
 struct StreamStats {
     launches: u64,
     digest: u64,
+    predict: PredictStats,
     sink: Option<Arc<EventSink>>,
 }
 
@@ -676,8 +677,42 @@ impl Default for StreamStats {
         StreamStats {
             launches: 0,
             digest: FNV_OFFSET,
+            predict: PredictStats::default(),
             sink: None,
         }
+    }
+}
+
+/// Prediction accounting for one tenant (or one stream): how the trained
+/// model scored against the launches' final selections, and how often the
+/// drift watch invalidated a reused selection. All zeros while prediction
+/// is off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictStats {
+    /// Launches whose prediction matched the final selection.
+    pub hits: u64,
+    /// Launches whose prediction missed.
+    pub misses: u64,
+    /// Launches whose drift watch invalidated the reused selection.
+    pub drift_reprofiles: u64,
+}
+
+impl PredictStats {
+    fn fold(&mut self, report: &LaunchReport) {
+        match report.predict_hit {
+            Some(true) => self.hits += 1,
+            Some(false) => self.misses += 1,
+            None => {}
+        }
+        if report.drift_reprofiled {
+            self.drift_reprofiles += 1;
+        }
+    }
+
+    fn add(&mut self, other: &PredictStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.drift_reprofiles += other.drift_reprofiles;
     }
 }
 
@@ -1036,6 +1071,29 @@ impl LaunchService {
             fnv_fold(&mut digest, &stream_digest.to_le_bytes());
         }
         digest
+    }
+
+    /// One stream's prediction accounting (`None` if the stream never
+    /// launched). Counted from the launch reports, so it reflects exactly
+    /// the launches this stream completed — unlike the lane sinks, it
+    /// survives lane discards and needs no observability to be on.
+    pub fn stream_predict_stats(&self, tenant: TenantId, signature: &str) -> Option<PredictStats> {
+        let key = StreamKey::new(tenant, signature);
+        let shard = &self.inner.shards[(key.hash64() % self.inner.shards.len() as u64) as usize];
+        lock(&shard.stats).get(&key).map(|s| s.predict)
+    }
+
+    /// The tenant's prediction accounting, summed over all of its streams.
+    pub fn tenant_predict_stats(&self, tenant: TenantId) -> PredictStats {
+        let mut total = PredictStats::default();
+        for shard in self.inner.shards.iter() {
+            for (key, stats) in lock(&shard.stats).iter() {
+                if key.tenant == tenant {
+                    total.add(&stats.predict);
+                }
+            }
+        }
+        total
     }
 
     /// Total launches completed across all streams.
@@ -1657,6 +1715,7 @@ fn process(inner: &Inner, shard: &Shard, mut job: Job) {
                 if let Ok(report) = &result {
                     fnv_fold(&mut entry.digest, report.signature.as_bytes());
                     fnv_fold(&mut entry.digest, report.selected_name.as_bytes());
+                    entry.predict.fold(report);
                 }
             }
             if let Ok(report) = &result {

@@ -58,6 +58,10 @@ pub enum Stage {
     /// A statically dominated variant was pruned from (or, in audit
     /// mode, flagged for pruning in) the micro-profiling pool.
     Prune,
+    /// The trained model predicted a winner for this launch (shadow or
+    /// on mode); detail records the predicted variant, margin and — once
+    /// the launch resolves — whether the prediction hit.
+    Predict,
 }
 
 impl Stage {
@@ -86,6 +90,7 @@ impl Stage {
             Stage::DeadlineExpire => "deadline-expire",
             Stage::JournalCompact => "journal-compact",
             Stage::Prune => "prune",
+            Stage::Predict => "predict",
         }
     }
 
@@ -418,6 +423,7 @@ mod tests {
             Stage::DeadlineExpire,
             Stage::JournalCompact,
             Stage::Prune,
+            Stage::Predict,
         ] {
             assert!(!s.is_span(), "{s} should be a point stage");
         }

@@ -41,4 +41,6 @@ mod metrics;
 
 pub use event::{Event, EventSink, Stage};
 pub use export::{chrome_trace, jsonl};
-pub use metrics::{names, Histogram, MetricsSnapshot};
+pub use metrics::{
+    names, parse_profile_cycles_key, profile_cycles_key, Histogram, MetricsSnapshot,
+};

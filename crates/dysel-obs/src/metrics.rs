@@ -48,8 +48,21 @@ pub mod names {
     /// Audit-mode disagreements: a would-be-pruned variant won profiling.
     pub const PRUNE_DISAGREEMENTS: &str = "dysel_prune_disagreements_total";
     /// Prefix of the per-variant profiling-cycle histograms; full names
-    /// are `dysel_profile_cycles/<signature>/<variant>`.
+    /// are `dysel_profile_cycles/<signature>/<variant>` with `/` and `%`
+    /// inside either component percent-escaped — build and split them
+    /// with [`super::profile_cycles_key`] / [`super::parse_profile_cycles_key`],
+    /// never by raw concatenation.
     pub const PROFILE_CYCLES: &str = "dysel_profile_cycles";
+    /// Shadow/On-mode predictions matching the profiled (or cached) winner.
+    pub const PREDICT_HITS: &str = "dysel_predict_hits_total";
+    /// Shadow/On-mode predictions contradicted by the observed winner.
+    pub const PREDICT_MISSES: &str = "dysel_predict_misses_total";
+    /// Launches whose micro-profiling was skipped on a confident
+    /// prediction (`predict=on` only).
+    pub const PREDICT_SKIPS: &str = "dysel_predict_skips_total";
+    /// Predicted selections invalidated and re-profiled after the drift
+    /// detector saw K consecutive over-band launches.
+    pub const PREDICT_DRIFT_REPROFILES: &str = "dysel_predict_drift_reprofiles_total";
     /// Launch submissions accepted by a `LaunchService` shard queue.
     pub const SERVICE_SUBMITS: &str = "dysel_service_submits_total";
     /// Submissions pushed back with typed `Busy` (shard queue full).
@@ -82,6 +95,78 @@ pub mod names {
     pub const SERVICE_JOURNAL_COMPACTIONS: &str = "dysel_service_journal_compactions_total";
     /// Journal records replayed during crash recovery at construction.
     pub const SERVICE_JOURNAL_REPLAYS: &str = "dysel_service_journal_replays_total";
+}
+
+/// Percent-escapes one key component: `%` → `%25`, `/` → `%2F`. Clean
+/// components (the entire workload suite) pass through byte-identical,
+/// so rendered metric text is stable for every existing signature.
+fn escape_key_component(component: &str) -> String {
+    if !component.contains(['%', '/']) {
+        return component.to_owned();
+    }
+    let mut out = String::with_capacity(component.len() + 4);
+    for c in component.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '/' => out.push_str("%2F"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_key_component`]. `None` on a malformed escape.
+fn unescape_key_component(component: &str) -> Option<String> {
+    if !component.contains('%') {
+        return Some(component.to_owned());
+    }
+    let mut out = String::with_capacity(component.len());
+    let mut rest = component;
+    while let Some(pos) = rest.find('%') {
+        out.push_str(&rest[..pos]);
+        match rest.get(pos + 1..pos + 3)? {
+            "25" => out.push('%'),
+            "2F" => out.push('/'),
+            _ => return None,
+        }
+        rest = &rest[pos + 3..];
+    }
+    out.push_str(rest);
+    Some(out)
+}
+
+/// Builds the full `dysel_profile_cycles/<signature>/<variant>` histogram
+/// name, escaping `/` and `%` inside either component so the key always
+/// splits back into exactly two parts. For clean components the result is
+/// identical to naive concatenation — rendered metric text is unchanged
+/// for every signature in the suite.
+pub fn profile_cycles_key(signature: &str, variant: &str) -> String {
+    format!(
+        "{}/{}/{}",
+        names::PROFILE_CYCLES,
+        escape_key_component(signature),
+        escape_key_component(variant)
+    )
+}
+
+/// Splits a full histogram name built by [`profile_cycles_key`] back into
+/// `(signature, variant)`. `None` when the name does not carry the
+/// profile-cycles prefix, has the wrong number of components (a legacy
+/// raw-concatenated key with an embedded `/`), or a malformed escape.
+pub fn parse_profile_cycles_key(name: &str) -> Option<(String, String)> {
+    let rest = name
+        .strip_prefix(names::PROFILE_CYCLES)?
+        .strip_prefix('/')?;
+    let mut parts = rest.split('/');
+    let sig = parts.next()?;
+    let variant = parts.next()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((
+        unescape_key_component(sig)?,
+        unescape_key_component(variant)?,
+    ))
 }
 
 /// Bucket count: value `0` plus one bucket per possible bit length of a
@@ -267,6 +352,57 @@ mod tests {
         );
         // Rendering twice is byte-identical.
         assert_eq!(text, r.snapshot().render());
+    }
+
+    #[test]
+    fn profile_cycles_key_is_stable_for_clean_signatures() {
+        let key = profile_cycles_key("spmv-csr(random)", "scalar");
+        assert_eq!(key, "dysel_profile_cycles/spmv-csr(random)/scalar");
+        assert_eq!(
+            parse_profile_cycles_key(&key),
+            Some(("spmv-csr(random)".to_owned(), "scalar".to_owned()))
+        );
+    }
+
+    #[test]
+    fn profile_cycles_key_round_trips_slash_bearing_signatures() {
+        // A signature with an embedded separator must stay unambiguous:
+        // naive concatenation of "bfs/csr" + "warp/row" collides with
+        // "bfs" + "csr/warp/row" and with "bfs/csr/warp" + "row".
+        let key = profile_cycles_key("bfs/csr", "warp/row");
+        assert_eq!(key, "dysel_profile_cycles/bfs%2Fcsr/warp%2Frow");
+        assert_eq!(
+            parse_profile_cycles_key(&key),
+            Some(("bfs/csr".to_owned(), "warp/row".to_owned()))
+        );
+        // Escape characters themselves round-trip.
+        let tricky = profile_cycles_key("a%2Fb", "v%");
+        assert_eq!(
+            parse_profile_cycles_key(&tricky),
+            Some(("a%2Fb".to_owned(), "v%".to_owned()))
+        );
+        // Distinct (signature, variant) pairs never share a key.
+        assert_ne!(
+            profile_cycles_key("bfs/csr", "row"),
+            profile_cycles_key("bfs", "csr/row")
+        );
+    }
+
+    #[test]
+    fn parse_profile_cycles_key_rejects_ambiguous_or_foreign_names() {
+        // A legacy raw-concatenated key with an extra separator.
+        assert_eq!(
+            parse_profile_cycles_key("dysel_profile_cycles/bfs/csr/row"),
+            None
+        );
+        // Missing components or a different metric family.
+        assert_eq!(parse_profile_cycles_key("dysel_profile_cycles/solo"), None);
+        assert_eq!(parse_profile_cycles_key("dysel_launches_total"), None);
+        // A malformed escape sequence.
+        assert_eq!(
+            parse_profile_cycles_key("dysel_profile_cycles/a%zz/b"),
+            None
+        );
     }
 
     #[test]

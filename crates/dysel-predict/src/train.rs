@@ -1,0 +1,490 @@
+//! Offline training: join the `--features-out` JSONL corpus with the
+//! observed `dysel_profile_cycles` histograms from `--metrics-out`.
+//!
+//! Parsing is hand-rolled (the workspace is dependency-free by design)
+//! but **strict**: a truncated or half-written record is a typed
+//! [`TrainError`], never a panic or a silently dropped line — the corpus
+//! writer crashes too, and a trainer that half-parses a torn file would
+//! train a silently wrong model.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dysel_analysis::VariantFeatures;
+use dysel_obs::parse_profile_cycles_key;
+
+use crate::model::{feature_vector, Model, VariantStats, CENTROID_SCALE, FEATURE_DIM};
+
+/// One parsed record of the features corpus: the static feature vector of
+/// one suite variant, keyed for the metrics join by kernel signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusRecord {
+    /// Workload name (human key; not the join key).
+    pub workload: String,
+    /// Kernel signature — the join key against the cycle histograms.
+    pub signature: String,
+    /// Target tag (`"cpu"` / `"gpu"`).
+    pub target: String,
+    /// Workload extent in base units.
+    pub total_units: u64,
+    /// Variant name.
+    pub variant: String,
+    /// The static features, reassembled from the record's integer fields.
+    pub features: VariantFeatures,
+}
+
+/// Why training (or corpus/metrics parsing) failed. Typed end to end: a
+/// torn corpus line or a half-written metrics file is rejected with the
+/// offending line number, never `unwrap`ped over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// A corpus line is not a complete JSON object — the torn tail of an
+    /// interrupted write.
+    TruncatedRecord {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A corpus record is missing a required field.
+    MissingField {
+        /// 1-based line number.
+        line: usize,
+        /// Field name.
+        field: &'static str,
+    },
+    /// A corpus record's field failed to parse (or the record's canonical
+    /// `encoded` bytes disagree with its integer fields — encoding drift).
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Field name.
+        field: &'static str,
+    },
+    /// A `dysel_profile_cycles` histogram line is malformed.
+    BadMetricLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The corpus parsed to zero records.
+    EmptyCorpus,
+    /// The metrics carried no profile-cycle observations to train on.
+    NoObservations,
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::TruncatedRecord { line } => {
+                write!(f, "corpus line {line}: truncated record")
+            }
+            TrainError::MissingField { line, field } => {
+                write!(f, "corpus line {line}: missing field {field:?}")
+            }
+            TrainError::BadField { line, field } => {
+                write!(f, "corpus line {line}: malformed field {field:?}")
+            }
+            TrainError::BadMetricLine { line } => {
+                write!(f, "metrics line {line}: malformed profile-cycles histogram")
+            }
+            TrainError::EmptyCorpus => f.write_str("features corpus contains no records"),
+            TrainError::NoObservations => {
+                f.write_str("metrics contain no profile-cycle observations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Extracts a raw JSON value slice for `field` from a flat, exporter-
+/// written object line. Handles the only shapes our exporter emits:
+/// strings without embedded escapes, integers, and booleans.
+fn raw_field<'a>(line: &'a str, field: &str) -> Option<&'a str> {
+    let needle = format!("\"{field}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    if let Some(s) = rest.strip_prefix('"') {
+        return Some(&s[..s.find('"')?]);
+    }
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn str_field(line: &str, n: usize, field: &'static str) -> Result<String, TrainError> {
+    raw_field(line, field)
+        .map(str::to_owned)
+        .ok_or(TrainError::MissingField { line: n, field })
+}
+
+fn u64_field(line: &str, n: usize, field: &'static str) -> Result<u64, TrainError> {
+    let raw = raw_field(line, field).ok_or(TrainError::MissingField { line: n, field })?;
+    raw.parse()
+        .map_err(|_| TrainError::BadField { line: n, field })
+}
+
+fn bool_field(line: &str, n: usize, field: &'static str) -> Result<bool, TrainError> {
+    let raw = raw_field(line, field).ok_or(TrainError::MissingField { line: n, field })?;
+    raw.parse()
+        .map_err(|_| TrainError::BadField { line: n, field })
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Parses the `--features-out` JSONL corpus. Strict by contract: every
+/// line must be a complete record with every field present, and each
+/// record's `encoded` hex must match the canonical encoding of its
+/// integer fields (otherwise the corpus was produced by a drifted build).
+pub fn parse_corpus(text: &str) -> Result<Vec<CorpusRecord>, TrainError> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return Err(TrainError::TruncatedRecord { line: n });
+        }
+        let narrow = |v: u64, field: &'static str| -> Result<u32, TrainError> {
+            u32::try_from(v).map_err(|_| TrainError::BadField { line: n, field })
+        };
+        let features = VariantFeatures {
+            sites: narrow(u64_field(line, n, "sites")?, "sites")?,
+            stores: narrow(u64_field(line, n, "stores")?, "stores")?,
+            wi_loops: narrow(u64_field(line, n, "wi_loops")?, "wi_loops")?,
+            kernel_loops: narrow(u64_field(line, n, "kernel_loops")?, "kernel_loops")?,
+            footprint_lo: u64_field(line, n, "footprint_lo")?,
+            footprint_hi: u64_field(line, n, "footprint_hi")?,
+            coalesced_sites: narrow(u64_field(line, n, "coalesced_sites")?, "coalesced_sites")?,
+            strided_sites: narrow(u64_field(line, n, "strided_sites")?, "strided_sites")?,
+            indirect_sites: narrow(u64_field(line, n, "indirect_sites")?, "indirect_sites")?,
+            reuse_class: u8::try_from(u64_field(line, n, "reuse_class")?).map_err(|_| {
+                TrainError::BadField {
+                    line: n,
+                    field: "reuse_class",
+                }
+            })?,
+            intensity_x16: narrow(u64_field(line, n, "intensity_x16")?, "intensity_x16")?,
+            divergent: bool_field(line, n, "divergent")?,
+            irregular: bool_field(line, n, "irregular")?,
+            saturated: bool_field(line, n, "saturated")?,
+            scratchpad_bytes: narrow(u64_field(line, n, "scratchpad_bytes")?, "scratchpad_bytes")?,
+            group_size: narrow(u64_field(line, n, "group_size")?, "group_size")?,
+            wa_factor: narrow(u64_field(line, n, "wa_factor")?, "wa_factor")?,
+        };
+        let encoded = str_field(line, n, "encoded")?;
+        if encoded != hex(&features.encode()) {
+            return Err(TrainError::BadField {
+                line: n,
+                field: "encoded",
+            });
+        }
+        records.push(CorpusRecord {
+            workload: str_field(line, n, "workload")?,
+            signature: str_field(line, n, "signature")?,
+            target: str_field(line, n, "target")?,
+            total_units: u64_field(line, n, "total_units")?,
+            variant: str_field(line, n, "variant")?,
+            features,
+        });
+    }
+    if records.is_empty() {
+        return Err(TrainError::EmptyCorpus);
+    }
+    Ok(records)
+}
+
+/// Extracts `(signature, variant) → stats` from the canonical metrics
+/// text (`MetricsSnapshot::render` output): one
+/// `hist dysel_profile_cycles/... count=N sum=S ...` line per observed
+/// variant. Lines of other metric families are ignored; a malformed line
+/// *of this family* is a typed error.
+pub fn parse_metrics_text(
+    text: &str,
+) -> Result<BTreeMap<(String, String), VariantStats>, TrainError> {
+    let mut out = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        let Some(rest) = line.strip_prefix("hist ") else {
+            continue;
+        };
+        let mut tokens = rest.split_whitespace();
+        let Some(name) = tokens.next() else {
+            continue;
+        };
+        let Some((signature, variant)) = parse_profile_cycles_key(name) else {
+            continue;
+        };
+        let mut count = None;
+        let mut sum = None;
+        for tok in tokens {
+            if let Some(v) = tok.strip_prefix("count=") {
+                count = v.parse::<u64>().ok();
+            } else if let Some(v) = tok.strip_prefix("sum=") {
+                sum = v.parse::<u64>().ok();
+            }
+        }
+        let (Some(count), Some(sum)) = (count, sum) else {
+            return Err(TrainError::BadMetricLine { line: n });
+        };
+        if count == 0 {
+            continue;
+        }
+        out.insert(
+            (signature, variant),
+            VariantStats {
+                mean_cycles: sum / count,
+                observations: count,
+            },
+        );
+    }
+    Ok(out)
+}
+
+/// Trains a model from a parsed corpus and the observed per-variant
+/// profiling cycles. Deterministic: the same inputs always produce the
+/// same model — and therefore, through `encode`, byte-identical files.
+pub fn train(
+    corpus: &[CorpusRecord],
+    observed: &BTreeMap<(String, String), VariantStats>,
+) -> Result<Model, TrainError> {
+    if corpus.is_empty() {
+        return Err(TrainError::EmptyCorpus);
+    }
+    if observed.is_empty() {
+        return Err(TrainError::NoObservations);
+    }
+    let mut model = Model::default();
+    for ((sig, variant), stats) in observed {
+        model
+            .table
+            .entry(sig.clone())
+            .or_default()
+            .insert(variant.clone(), *stats);
+    }
+    // Centroids: each corpus record whose (signature, variant) was
+    // observed becomes a winner or loser example, labeled by the
+    // cheapest observed variant of its signature (ties break to the
+    // lexicographically smallest name — stable across reruns).
+    let mut winner_sum = [0i64; FEATURE_DIM];
+    let mut loser_sum = [0i64; FEATURE_DIM];
+    let (mut winner_n, mut loser_n) = (0u64, 0u64);
+    for rec in corpus {
+        let Some(entry) = model.table.get(&rec.signature) else {
+            continue;
+        };
+        if !entry.contains_key(&rec.variant) || entry.len() < 2 {
+            // Unobserved variant, or a single-variant signature that
+            // carries no win/lose signal.
+            continue;
+        }
+        let winner = entry
+            .iter()
+            .min_by_key(|(name, s)| (s.mean_cycles, name.as_str()))
+            .map(|(name, _)| name.as_str())
+            .expect("entry has at least two variants");
+        let fv = feature_vector(&rec.features);
+        let (sum, count) = if rec.variant == winner {
+            (&mut winner_sum, &mut winner_n)
+        } else {
+            (&mut loser_sum, &mut loser_n)
+        };
+        for (s, f) in sum.iter_mut().zip(fv) {
+            *s += f;
+        }
+        *count += 1;
+    }
+    if winner_n > 0 && loser_n > 0 {
+        for d in 0..FEATURE_DIM {
+            model.winner_centroid[d] = winner_sum[d] * CENTROID_SCALE / winner_n as i64;
+            model.loser_centroid[d] = loser_sum[d] * CENTROID_SCALE / loser_n as i64;
+        }
+        model.winner_examples = winner_n;
+        model.loser_examples = loser_n;
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Candidate;
+
+    fn features(coalesced: u32, strided: u32) -> VariantFeatures {
+        VariantFeatures {
+            sites: coalesced + strided,
+            stores: 1,
+            wi_loops: 1,
+            kernel_loops: 1,
+            footprint_lo: 4,
+            footprint_hi: 4,
+            coalesced_sites: coalesced,
+            strided_sites: strided,
+            indirect_sites: 0,
+            reuse_class: 0,
+            intensity_x16: 8,
+            divergent: false,
+            irregular: false,
+            saturated: false,
+            scratchpad_bytes: 0,
+            group_size: 64,
+            wa_factor: 1,
+        }
+    }
+
+    fn record_line(signature: &str, variant: &str, f: &VariantFeatures) -> String {
+        format!(
+            "{{\"workload\":\"w\",\"signature\":\"{signature}\",\"target\":\"cpu\",\
+             \"total_units\":256,\"variant\":\"{variant}\",\"sites\":{},\"stores\":{},\
+             \"wi_loops\":{},\"kernel_loops\":{},\"footprint_lo\":{},\"footprint_hi\":{},\
+             \"coalesced_sites\":{},\"strided_sites\":{},\"indirect_sites\":{},\
+             \"reuse_class\":{},\"intensity_x16\":{},\"divergent\":{},\"irregular\":{},\
+             \"saturated\":{},\"scratchpad_bytes\":{},\"group_size\":{},\"wa_factor\":{},\
+             \"encoded\":\"{}\"}}",
+            f.sites,
+            f.stores,
+            f.wi_loops,
+            f.kernel_loops,
+            f.footprint_lo,
+            f.footprint_hi,
+            f.coalesced_sites,
+            f.strided_sites,
+            f.indirect_sites,
+            f.reuse_class,
+            f.intensity_x16,
+            f.divergent,
+            f.irregular,
+            f.saturated,
+            f.scratchpad_bytes,
+            f.group_size,
+            f.wa_factor,
+            hex(&f.encode()),
+        )
+    }
+
+    fn sample_corpus_text() -> String {
+        [
+            record_line("k", "fast", &features(2, 0)),
+            record_line("k", "slow", &features(0, 2)),
+        ]
+        .join("\n")
+    }
+
+    fn sample_metrics_text() -> &'static str {
+        "counter dysel_launches_total 2\n\
+         hist dysel_profile_cycles/k/fast count=2 sum=1000 lt1024=2\n\
+         hist dysel_profile_cycles/k/slow count=2 sum=4000 lt4096=2\n"
+    }
+
+    #[test]
+    fn corpus_round_trips_and_training_is_deterministic() {
+        let corpus = parse_corpus(&sample_corpus_text()).unwrap();
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus[0].signature, "k");
+        assert_eq!(corpus[0].features, features(2, 0));
+        let observed = parse_metrics_text(sample_metrics_text()).unwrap();
+        assert_eq!(observed.len(), 2);
+        let model = train(&corpus, &observed).unwrap();
+        assert_eq!(model.table["k"]["fast"].mean_cycles, 500);
+        assert_eq!(model.winner_examples, 1);
+        assert_eq!(model.loser_examples, 1);
+        // Same inputs, byte-identical model file.
+        let again = train(&corpus, &observed).unwrap();
+        assert_eq!(crate::encode(&model), crate::encode(&again));
+        // And the trained table predicts the observed winner.
+        let (ff, fs) = (features(2, 0), features(0, 2));
+        let cands = [
+            Candidate {
+                name: "fast",
+                features: &ff,
+            },
+            Candidate {
+                name: "slow",
+                features: &fs,
+            },
+        ];
+        let p = model.predict("k", &cands).unwrap();
+        assert_eq!(p.variant, "fast");
+        assert!(p.margin_pm > 0);
+    }
+
+    #[test]
+    fn truncated_record_is_a_typed_error() {
+        let mut text = sample_corpus_text();
+        // Chop the final record mid-field — the torn tail of a crash.
+        text.truncate(text.len() - 25);
+        assert_eq!(
+            parse_corpus(&text),
+            Err(TrainError::TruncatedRecord { line: 2 })
+        );
+    }
+
+    #[test]
+    fn missing_and_malformed_fields_are_typed() {
+        let line = record_line("k", "v", &features(1, 0)).replace("\"sites\":1,", "");
+        assert_eq!(
+            parse_corpus(&line),
+            Err(TrainError::MissingField {
+                line: 1,
+                field: "sites"
+            })
+        );
+        let line = record_line("k", "v", &features(1, 0)).replace("\"sites\":1", "\"sites\":x");
+        assert_eq!(
+            parse_corpus(&line),
+            Err(TrainError::BadField {
+                line: 1,
+                field: "sites"
+            })
+        );
+    }
+
+    #[test]
+    fn encoding_drift_is_rejected() {
+        let f = features(1, 0);
+        let good = hex(&f.encode());
+        let mut drifted = good.clone();
+        drifted.replace_range(0..2, "ff");
+        let line = record_line("k", "v", &f).replace(&good, &drifted);
+        assert_eq!(
+            parse_corpus(&line),
+            Err(TrainError::BadField {
+                line: 1,
+                field: "encoded"
+            })
+        );
+    }
+
+    #[test]
+    fn empty_inputs_are_typed() {
+        assert_eq!(parse_corpus(""), Err(TrainError::EmptyCorpus));
+        let corpus = parse_corpus(&sample_corpus_text()).unwrap();
+        assert_eq!(
+            train(&corpus, &BTreeMap::new()),
+            Err(TrainError::NoObservations)
+        );
+    }
+
+    #[test]
+    fn metrics_parse_ignores_other_families_and_rejects_torn_hists() {
+        let ok = parse_metrics_text("counter x 1\nhist other_hist count=1 sum=2\n").unwrap();
+        assert!(ok.is_empty());
+        let err = parse_metrics_text("hist dysel_profile_cycles/k/v count=2\n");
+        assert_eq!(err, Err(TrainError::BadMetricLine { line: 1 }));
+    }
+
+    #[test]
+    fn slash_bearing_signatures_join_correctly() {
+        let text = "hist dysel_profile_cycles/bfs%2Fcsr/warp count=1 sum=100 lt128=1\n";
+        let observed = parse_metrics_text(text).unwrap();
+        assert_eq!(
+            observed.keys().next().unwrap(),
+            &("bfs/csr".to_owned(), "warp".to_owned())
+        );
+    }
+}

@@ -122,7 +122,11 @@ echo "==> dominance pruning: selections must be prune-invariant, cost must drop"
 # must not depend on the prune level, audit mode must record zero
 # disagreements (the dominance rule is never falsified on the suite),
 # and prune=on must strictly reduce profiled launches.
-"$bin" --prune off   | grep "^run summary" > /tmp/dysel-verify-prune-off.txt
+# The off pass doubles as the predictor smoke's training run: metrics
+# collection is observe-only and must not move the digest.
+metrics=/tmp/dysel-verify-metrics.txt
+rm -f "$metrics"
+"$bin" --prune off --metrics-out "$metrics" | grep "^run summary" > /tmp/dysel-verify-prune-off.txt
 "$bin" --prune audit | grep "^run summary" > /tmp/dysel-verify-prune-audit.txt
 "$bin" --prune on    | grep "^run summary" > /tmp/dysel-verify-prune-on.txt
 sel_off=$(grep -o "selections=[0-9a-f]*" /tmp/dysel-verify-prune-off.txt)
@@ -138,6 +142,55 @@ prof_off=$(grep -o "profiled-variants=[0-9]*" /tmp/dysel-verify-prune-off.txt | 
 prof_on=$(grep -o "profiled-variants=[0-9]*" /tmp/dysel-verify-prune-on.txt | cut -d= -f2)
 test "$prof_on" -lt "$prof_off"
 echo "    same winners ($sel_on), profiled variants $prof_off -> $prof_on, 0 disagreements"
+
+echo "==> predictor: train must be byte-reproducible, shadow digest-invariant"
+# Train on the features corpus + the metrics dump the previous gates
+# produced; two trainings of the same inputs must be byte-identical.
+model=/tmp/dysel-verify-model.bin
+rm -f "$model" "$model.2"
+train=target/release/dysel-train
+"$train" --corpus "$features" --metrics "$metrics" --out "$model" \
+    | grep -q "^trained: signatures="
+"$train" --corpus "$features" --metrics "$metrics" --out "$model.2" > /dev/null
+cmp "$model" "$model.2"
+# A truncated corpus is a typed rejection, never a silent skip.
+head -c 100 "$features" > /tmp/dysel-verify-features-trunc.jsonl
+if "$train" --corpus /tmp/dysel-verify-features-trunc.jsonl \
+    --metrics "$metrics" --out /dev/null 2>/dev/null; then
+    echo "    trainer accepted a truncated corpus" >&2
+    exit 1
+fi
+# Shadow mode predicts on every launch but must never steer: same
+# digest as the plain run, with a non-vacuous hit/miss split.
+"$bin" --predict shadow --predict-model "$model" \
+    | grep "^run summary" > /tmp/dysel-verify-predict-shadow.txt
+sel_shadow=$(grep -o "selections=[0-9a-f]*" /tmp/dysel-verify-predict-shadow.txt)
+test -n "$sel_shadow" && test "$sel_shadow" = "$sel_off"
+hits=$(grep -o "predict-hits=[0-9]*" /tmp/dysel-verify-predict-shadow.txt | cut -d= -f2)
+misses=$(grep -o "predict-misses=[0-9]*" /tmp/dysel-verify-predict-shadow.txt | cut -d= -f2)
+test "$hits" -gt 0 && test "$hits" -gt "$misses"
+# Shadow parity must also hold per thread count (cheap subset id).
+"$bin" --threads 1 fig11a | grep "^run summary" > /tmp/dysel-verify-p-base.txt
+sel_base=$(grep -o "selections=[0-9a-f]*" /tmp/dysel-verify-p-base.txt)
+for t in 1 2 8; do
+    "$bin" --threads "$t" --predict shadow --predict-model "$model" fig11a \
+        | grep "^run summary" > /tmp/dysel-verify-p-shadow-t.txt
+    sel_t=$(grep -o "selections=[0-9a-f]*" /tmp/dysel-verify-p-shadow-t.txt)
+    test -n "$sel_base" && test "$sel_t" = "$sel_base"
+done
+# On mode must skip real profiling work (the suite itself verifies
+# every output, so a non-zero exit would mean a wrong selection ran),
+# and its digest must be invariant across reruns.
+"$bin" --predict on --predict-model "$model" \
+    | grep "^run summary" > /tmp/dysel-verify-predict-on.txt
+prof_pred=$(grep -o "profiled-variants=[0-9]*" /tmp/dysel-verify-predict-on.txt | cut -d= -f2)
+test "$prof_pred" -lt "$prof_off"
+"$bin" --predict on --predict-model "$model" fig11a \
+    | grep "^run summary" > /tmp/dysel-verify-p-on1.txt
+"$bin" --predict on --predict-model "$model" fig11a \
+    | grep "^run summary" > /tmp/dysel-verify-p-on2.txt
+diff /tmp/dysel-verify-p-on1.txt /tmp/dysel-verify-p-on2.txt
+echo "    reproducible model, shadow = off ($sel_shadow, hits=$hits misses=$misses), on profiled $prof_off -> $prof_pred"
 
 echo "==> service stress: --clients 8 digest must equal --clients 1"
 "$bin" --clients 1 --tenants 2 | grep "^service summary" > /tmp/dysel-verify-svc1.txt

@@ -30,6 +30,7 @@
 //! | [`baselines`] | LC scheduling, PORPLE-like placement, heuristics, oracle |
 //! | [`verify`] | static kernel-variant verifier: disjointness solver, lints |
 //! | [`obs`] | deterministic observability: structured events, metrics, exporters |
+//! | [`predict`] | trained selection predictor: integer cost model, offline trainer |
 //!
 //! ## Quickstart
 //!
@@ -69,5 +70,6 @@ pub use dysel_core as core;
 pub use dysel_device as device;
 pub use dysel_kernel as kernel;
 pub use dysel_obs as obs;
+pub use dysel_predict as predict;
 pub use dysel_verify as verify;
 pub use dysel_workloads as workloads;
